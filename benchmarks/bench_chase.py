@@ -1,0 +1,70 @@
+"""SB-1 — chase throughput vs. instance size × mapping family.
+
+Also the D1 ablation: restricted vs. oblivious chase.  Expected shape:
+near-linear growth in the number of triggers; the restricted variant
+pays a satisfaction check per trigger but generates no redundant facts,
+so it wins whenever the source pre-satisfies part of the mapping.
+"""
+
+import pytest
+
+from repro.workloads.generators import (
+    chain_decomposition_mapping,
+    random_instance,
+)
+from repro.workloads.scenarios import get_scenario
+
+from .conftest import record_metric
+
+
+SIZES = [10, 50, 200]
+FAMILIES = ["copy", "decomposition", "path2"]
+
+
+def _mapping(family):
+    return get_scenario(family).mapping
+
+
+def _source(family, size, null_ratio=0.0):
+    mapping = _mapping(family)
+    return random_instance(
+        mapping.source, size, seed=size, null_ratio=null_ratio, value_pool=size
+    )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", SIZES)
+def test_chase_restricted(benchmark, family, size):
+    mapping, source = _mapping(family), _source(family, size)
+    result = benchmark(mapping.chase_result, source)
+    record_metric(
+        benchmark, family=family, size=size, steps=result.steps,
+        generated=len(result.generated),
+    )
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("size", [10, 50])
+def test_chase_oblivious_ablation(benchmark, family, size):
+    """D1: the oblivious chase on the same inputs."""
+    mapping, source = _mapping(family), _source(family, size)
+    result = benchmark(mapping.chase_result, source, variant="oblivious")
+    record_metric(benchmark, family=family, size=size, steps=result.steps)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_chase_with_null_sources(benchmark, size):
+    """Sources with 30% nulls — the paper's setting — cost the same."""
+    mapping = _mapping("path2")
+    source = _source("path2", size, null_ratio=0.3)
+    result = benchmark(mapping.chase_result, source)
+    record_metric(benchmark, size=size, nulls_in=len(source.nulls))
+
+
+@pytest.mark.parametrize("length", [1, 2, 4, 8])
+def test_chase_chain_fanout(benchmark, length):
+    """Per-fact fan-out scaling: one premise, `length` conclusion atoms."""
+    mapping = chain_decomposition_mapping(length)
+    source = random_instance(mapping.source, 50, seed=7, value_pool=100)
+    result = benchmark(mapping.chase_result, source)
+    record_metric(benchmark, length=length, generated=len(result.generated))

@@ -1,0 +1,58 @@
+"""SB-9 — syntactic composition and evolution-pipeline costs.
+
+Expected shape: composed dependency count is the product of producer
+choices per premise atom (exponential in premise width, linear in chain
+length for single-producer chains); pipeline round trips cost the sum of
+per-hop chases plus the core computations.
+"""
+
+import pytest
+
+from repro.instance import Instance
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.mappings.syntactic_composition import compose
+from repro.reverse.pipeline import EvolutionPipeline
+from repro.workloads.evolution import rename_relation, vertical_partition
+from repro.workloads.generators import random_instance
+
+from .conftest import record_metric
+
+
+@pytest.mark.parametrize("chain_length", [2, 4, 8])
+def test_compose_rename_chain(benchmark, chain_length):
+    hops = [
+        rename_relation(f"R{i}", f"R{i + 1}", 2) for i in range(chain_length)
+    ]
+    pipeline = EvolutionPipeline(hops)
+    composed = benchmark(pipeline.collapse)
+    record_metric(
+        benchmark, chain_length=chain_length,
+        dependencies=len(composed.dependencies),
+    )
+    assert len(composed.dependencies) == 1
+
+
+@pytest.mark.parametrize("producers", [1, 2, 4])
+def test_compose_producer_blowup(benchmark, producers):
+    left_text = "\n".join(f"A{i}(x) -> B(x)" for i in range(producers))
+    first = SchemaMapping.from_text(left_text)
+    second = SchemaMapping.from_text("B(x) & B(y) & B(z) -> C(x, y, z)")
+    composed = benchmark(compose, first, second)
+    record_metric(
+        benchmark, producers=producers, dependencies=len(composed.dependencies)
+    )
+    assert len(composed.dependencies) == producers**3
+
+
+@pytest.mark.parametrize("hop_count", [1, 2, 3])
+def test_pipeline_round_trip(benchmark, hop_count):
+    hops = [rename_relation(f"R{i}", f"R{i + 1}", 3) for i in range(hop_count - 1)]
+    hops.append(vertical_partition(f"R{hop_count - 1}", "Left", "Right", 3, split=1))
+    pipeline = EvolutionPipeline(hops)
+    schema = hops[0].forward.source
+    source = random_instance(schema, 20, seed=13, value_pool=40)
+    recovered = benchmark(pipeline.round_trip, source)
+    record_metric(
+        benchmark, hop_count=hop_count, recovered_facts=len(recovered),
+        sound=pipeline.recovery_is_sound(source),
+    )

@@ -1,0 +1,88 @@
+"""EX-* — the paper's worked examples as end-to-end timed pipelines.
+
+One benchmark per worked example: Example 1.1's decomposition round
+trip, Example 3.18's chase-inverse round trip, Example 3.19's failing
+Constant-guarded round trip, Theorem 5.2's disjunctive recovery, and
+Example 6.7's lossiness comparison.  These anchor the synthetic sweeps
+(SB-*) to the exact objects the paper reasons about.
+"""
+
+import pytest
+
+from repro.homs.search import is_hom_equivalent, is_homomorphic
+from repro.instance import Instance
+from repro.inverses.extended_inverse import round_trip as tgd_round_trip
+from repro.inverses.information_loss import is_less_lossy
+from repro.inverses.quasi_inverse import maximum_extended_recovery_for_full_tgds
+from repro.reverse.exchange import round_trip
+from repro.workloads.scenarios import PATH2_CONSTANT_REVERSE, get_scenario
+
+from .conftest import record_metric
+
+
+def test_example_1_1_roundtrip(benchmark):
+    scenario = get_scenario("decomposition")
+    source = Instance.parse("P(a, b, c)")
+    result = benchmark(round_trip, scenario.mapping, scenario.reverse, source)
+    recovered = result.candidates[0]
+    record_metric(
+        benchmark,
+        maps_back=is_homomorphic(recovered, source),
+        recovers=is_homomorphic(source, recovered),
+    )
+
+
+def test_example_3_18_chase_inverse_roundtrip(benchmark):
+    scenario = get_scenario("path2")
+    source = Instance.parse("P(a, b), P(b, c), P(W, a)")
+    recovered = benchmark(tgd_round_trip, scenario.mapping, scenario.reverse, source)
+    record_metric(benchmark, hom_equivalent=is_hom_equivalent(source, recovered))
+    assert is_hom_equivalent(source, recovered)
+
+
+def test_example_3_19_constant_guard_failure(benchmark):
+    scenario = get_scenario("path2")
+    source = Instance.parse("P(W, Z)")
+    recovered = benchmark(
+        tgd_round_trip, scenario.mapping, PATH2_CONSTANT_REVERSE, source
+    )
+    record_metric(
+        benchmark,
+        empty=recovered.is_empty(),
+        hom_equivalent=is_hom_equivalent(source, recovered),
+    )
+    assert recovered.is_empty()
+
+
+def test_theorem_5_2_disjunctive_recovery(benchmark):
+    scenario = get_scenario("self_join_target")
+    source = Instance.parse("P(1, 2), P(3, 3), T(4)")
+    result = benchmark(round_trip, scenario.mapping, scenario.reverse, source)
+    record_metric(benchmark, branches=len(result.candidates))
+
+
+def test_theorem_5_1_algorithm_plus_roundtrip(benchmark):
+    scenario = get_scenario("self_join_target")
+    source = Instance.parse("P(1, 2), T(3)")
+
+    def pipeline():
+        recovery = maximum_extended_recovery_for_full_tgds(scenario.mapping)
+        return round_trip(scenario.mapping, recovery, source)
+
+    result = benchmark(pipeline)
+    record_metric(benchmark, branches=len(result.candidates))
+
+
+def test_example_6_7_comparison(benchmark):
+    import itertools
+
+    copy = get_scenario("copy").mapping
+    split = get_scenario("component_split").mapping
+    instances = [
+        Instance.parse(s)
+        for s in ("P(1, 0)", "P(1, 1), P(0, 0)", "P(0, 1)")
+    ]
+    pairs = list(itertools.product(instances, repeat=2))
+    verdict = benchmark(is_less_lossy, copy, split, pairs)
+    record_metric(benchmark, holds=verdict.holds)
+    assert verdict.holds

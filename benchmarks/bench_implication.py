@@ -1,0 +1,59 @@
+"""SB-10 — dependency implication, pruning, and query containment.
+
+Expected shape: one implication test = one frozen-premise chase + one
+conclusion match, so cost scales with the implying set's trigger count;
+pruning is quadratic in the dependency count; query containment is one
+evaluation over the frozen body (exponential only in query width).
+"""
+
+import pytest
+
+from repro.logic.containment import contained_in, minimize_query
+from repro.logic.implication import implies, prune_redundant
+from repro.parsing.parser import parse_dependencies, parse_dependency, parse_query
+
+from .conftest import record_metric
+
+
+def chain_dependencies(length: int):
+    return parse_dependencies(
+        "\n".join(f"R{i}(x) -> R{i + 1}(x)" for i in range(length))
+    )
+
+
+@pytest.mark.parametrize("length", [2, 8, 32])
+def test_implication_chain(benchmark, length):
+    """Implication across a chain needs `length` chase rounds."""
+    sigma = chain_dependencies(length)
+    candidate = parse_dependency(f"R0(x) -> R{length}(x)")
+    result = benchmark(implies, sigma, candidate)
+    record_metric(benchmark, length=length, implied=result)
+
+
+@pytest.mark.parametrize("count", [4, 8, 16])
+def test_prune_redundant_scaling(benchmark, count):
+    deps = chain_dependencies(count)
+    # Add the transitive closure — all redundant.
+    deps = deps + parse_dependencies(
+        "\n".join(f"R0(x) -> R{i}(x)" for i in range(2, count + 1))
+    )
+    pruned = benchmark(prune_redundant, deps)
+    record_metric(benchmark, input=len(deps), kept=len(pruned))
+
+
+@pytest.mark.parametrize("width", [2, 4, 6])
+def test_query_containment(benchmark, width):
+    body_long = " & ".join(f"E(x{i}, x{i + 1})" for i in range(width))
+    long_path = parse_query(f"q(x0, x{width}) :- {body_long}")
+    anywhere = parse_query(f"q(x0, x{width}) :- E(x0, u) & E(v, x{width})")
+    result = benchmark(contained_in, long_path, anywhere)
+    record_metric(benchmark, width=width, contained=result)
+    assert result
+
+
+def test_query_minimization(benchmark):
+    padded = parse_query(
+        "q(x) :- P(x, y) & P(x, z) & P(x, w) & P(x, x)"
+    )
+    minimized = benchmark(minimize_query, padded)
+    record_metric(benchmark, input_atoms=4, output_atoms=len(minimized.body))

@@ -1,0 +1,60 @@
+"""SB-7 — information-loss estimation and less-lossy decisions.
+
+Expected shape (Example 6.7): the copy mapping shows zero sampled loss;
+the component-split and projection mappings show strictly positive loss
+rates that grow with instance overlap (smaller value pools); the
+less-lossy comparison costs two chases + two hom checks per pair.
+"""
+
+import pytest
+
+from repro.inverses.information_loss import (
+    is_less_lossy,
+    sample_information_loss,
+)
+from repro.schema import Schema
+from repro.workloads.generators import ground_pairs
+from repro.workloads.scenarios import get_scenario
+
+from .conftest import record_metric
+
+
+SCHEMA = Schema([("P", 2)])
+
+
+@pytest.mark.parametrize("family", ["copy", "component_split", "projection"])
+@pytest.mark.parametrize("pair_count", [20, 60])
+def test_sampled_loss(benchmark, family, pair_count):
+    mapping = get_scenario(family).mapping
+    schema = mapping.source
+    pairs = ground_pairs(schema, pair_count, size=3, seed=21, value_pool=3)
+    report = benchmark(sample_information_loss, mapping, pairs)
+    record_metric(
+        benchmark, family=family, pairs=pair_count,
+        loss_rate=round(report.loss_rate, 3), lost=report.lost,
+    )
+    if family == "copy":
+        assert report.is_lossless_on_sample
+    else:
+        assert report.lost > 0
+
+
+@pytest.mark.parametrize("value_pool", [2, 4, 8])
+def test_loss_rate_vs_overlap(benchmark, value_pool):
+    """Smaller pools mean more accidental →_M hits: loss rate rises."""
+    mapping = get_scenario("component_split").mapping
+    pairs = ground_pairs(SCHEMA, 40, size=3, seed=5, value_pool=value_pool)
+    report = benchmark(sample_information_loss, mapping, pairs)
+    record_metric(
+        benchmark, value_pool=value_pool, loss_rate=round(report.loss_rate, 3)
+    )
+
+
+@pytest.mark.parametrize("pair_count", [10, 40])
+def test_less_lossy_decision_cost(benchmark, pair_count):
+    copy = get_scenario("copy").mapping
+    split = get_scenario("component_split").mapping
+    pairs = ground_pairs(SCHEMA, pair_count, size=3, seed=8, value_pool=3)
+    verdict = benchmark(is_less_lossy, copy, split, pairs)
+    record_metric(benchmark, pairs=pair_count, holds=verdict.holds)
+    assert verdict.holds

@@ -1,0 +1,57 @@
+"""SB-8 — the invertibility-audit cost across a mapping catalogue.
+
+Expected shape: the homomorphism-property check is quadratic in the
+canonical family (|family|² chase-pair hom checks, chases cached), so
+mappings with more dependencies/variables cost more; refutations exit
+early, so lossy mappings are usually *cheaper* to audit than lossless
+ones.
+"""
+
+import pytest
+
+from repro.inverses.extended_inverse import (
+    canonical_source_instances,
+    is_chase_inverse,
+    is_extended_invertible,
+)
+from repro.inverses.ground import is_invertible
+from repro.workloads.generators import random_full_tgd_mapping
+from repro.workloads.scenarios import PAPER_SCENARIOS
+
+from .conftest import record_metric
+
+
+SCENARIO_NAMES = sorted(PAPER_SCENARIOS)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+def test_extended_invertibility_audit(benchmark, name):
+    mapping = PAPER_SCENARIOS[name].mapping
+    verdict = benchmark(is_extended_invertible, mapping)
+    record_metric(
+        benchmark, scenario=name, holds=verdict.holds,
+        family=len(canonical_source_instances(mapping)),
+    )
+
+
+@pytest.mark.parametrize("name", ["copy", "path2", "union", "decomposition"])
+def test_ground_invertibility_audit(benchmark, name):
+    mapping = PAPER_SCENARIOS[name].mapping
+    verdict = benchmark(is_invertible, mapping)
+    record_metric(benchmark, scenario=name, holds=verdict.holds)
+
+
+def test_chase_inverse_audit(benchmark):
+    scenario = PAPER_SCENARIOS["path2"]
+    verdict = benchmark(is_chase_inverse, scenario.mapping, scenario.reverse)
+    record_metric(benchmark, holds=verdict.holds)
+    assert verdict.holds
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_mapping_audit(benchmark, seed):
+    mapping = random_full_tgd_mapping(
+        seed=seed, max_arity=2, max_premise_atoms=1, max_conclusion_atoms=2
+    )
+    verdict = benchmark(is_extended_invertible, mapping)
+    record_metric(benchmark, seed=seed, holds=verdict.holds)

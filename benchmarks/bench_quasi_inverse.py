@@ -1,0 +1,63 @@
+"""SB-4 — quasi-inverse algorithm: cost and output size.
+
+Expected shape: output dependency count grows with the number of target
+relations × Bell(arity) (the equality-type blowup), and disjunct count
+with the number of producers per pattern.  The algorithm itself is
+cheap — the cost lives in *using* the disjunctive output (SB-3).
+"""
+
+import pytest
+
+from repro.inverses.quasi_inverse import (
+    maximum_extended_recovery_for_full_tgds,
+    output_statistics,
+)
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import Tgd
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.terms import Var
+from repro.workloads.generators import random_full_tgd_mapping
+
+from .conftest import record_metric
+
+
+def union_family(branch_count: int) -> SchemaMapping:
+    """`branch_count` relations all funnelling into one target relation."""
+    tgds = [
+        Tgd((Atom(f"S{i}", (Var("x"),)),), (Atom("R", (Var("x"),)),))
+        for i in range(branch_count)
+    ]
+    return SchemaMapping(tgds)
+
+
+def wide_copy(arity: int) -> SchemaMapping:
+    variables = tuple(Var(f"x{i}") for i in range(arity))
+    return SchemaMapping([Tgd((Atom("P", variables),), (Atom("Q", variables),))])
+
+
+@pytest.mark.parametrize("branch_count", [2, 4, 8, 16])
+def test_algorithm_vs_producer_count(benchmark, branch_count):
+    mapping = union_family(branch_count)
+    reverse = benchmark(maximum_extended_recovery_for_full_tgds, mapping)
+    stats = output_statistics(reverse)
+    record_metric(benchmark, branch_count=branch_count, **stats)
+
+
+@pytest.mark.parametrize("arity", [1, 2, 3, 4])
+def test_algorithm_vs_arity(benchmark, arity):
+    """Bell(arity) equality types per target relation."""
+    mapping = wide_copy(arity)
+    reverse = benchmark(maximum_extended_recovery_for_full_tgds, mapping)
+    stats = output_statistics(reverse)
+    record_metric(benchmark, arity=arity, **stats)
+
+
+@pytest.mark.parametrize("tgd_count", [2, 4, 8])
+def test_algorithm_on_random_mappings(benchmark, tgd_count):
+    mapping = random_full_tgd_mapping(
+        seed=tgd_count, tgd_count=tgd_count, max_arity=3,
+        source_relations=3, target_relations=3,
+    )
+    reverse = benchmark(maximum_extended_recovery_for_full_tgds, mapping)
+    stats = output_statistics(reverse)
+    record_metric(benchmark, tgd_count=tgd_count, **stats)

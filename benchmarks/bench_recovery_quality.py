@@ -1,0 +1,84 @@
+"""SB-5 — round-trip recovery quality: lossless vs. lossy families.
+
+Expected shape: extended-invertible mappings (copy, path2) recover the
+source up to hom-equivalence on every input (hom_equivalent = True);
+lossy families (decomposition chains, projection) do not, and their
+fact recall drops as the chain length (i.e., the amount of severed
+association) grows.  This is the operational content of Theorem 3.17
+vs. mere recoveries.
+"""
+
+import pytest
+
+from repro.reverse.exchange import recovery_quality, round_trip
+from repro.workloads.generators import (
+    chain_decomposition_mapping,
+    chain_join_reverse,
+    random_instance,
+)
+from repro.workloads.scenarios import get_scenario
+
+from .conftest import record_metric
+
+
+@pytest.mark.parametrize("family", ["copy", "path2"])
+@pytest.mark.parametrize("size", [5, 12])
+def test_lossless_families_recover(benchmark, family, size):
+    scenario = get_scenario(family)
+    source = random_instance(
+        scenario.mapping.source, size, seed=size, value_pool=size * 2
+    )
+    benchmark(
+        round_trip, scenario.mapping, scenario.reverse, source, take_core=False
+    )
+    quality = recovery_quality(scenario.mapping, scenario.reverse, source)
+    record_metric(
+        benchmark, family=family, size=size,
+        hom_equivalent=quality.hom_equivalent, fact_recall=quality.fact_recall,
+    )
+    assert quality.hom_equivalent
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_chain_decomposition_recovery(benchmark, length):
+    mapping = chain_decomposition_mapping(length)
+    reverse = chain_join_reverse(length)
+    source = random_instance(mapping.source, 5, seed=3, value_pool=50)
+    benchmark(round_trip, mapping, reverse, source, take_core=False)
+    quality = recovery_quality(mapping, reverse, source)
+    record_metric(
+        benchmark, length=length,
+        hom_equivalent=quality.hom_equivalent, fact_recall=quality.fact_recall,
+    )
+
+
+@pytest.mark.parametrize("family", ["projection", "decomposition"])
+def test_lossy_families_do_not_recover(benchmark, family):
+    scenario = get_scenario(family)
+    source = random_instance(scenario.mapping.source, 8, seed=5, value_pool=20)
+    benchmark(
+        round_trip, scenario.mapping, scenario.reverse, source, take_core=False
+    )
+    quality = recovery_quality(scenario.mapping, scenario.reverse, source)
+    record_metric(
+        benchmark, family=family,
+        hom_equivalent=quality.hom_equivalent, fact_recall=quality.fact_recall,
+    )
+    assert not quality.hom_equivalent
+
+
+@pytest.mark.parametrize("null_ratio", [0.0, 0.3])
+def test_recovery_with_null_sources(benchmark, null_ratio):
+    """The paper's headline: recovery still works when sources have nulls."""
+    scenario = get_scenario("path2")
+    source = random_instance(
+        scenario.mapping.source, 10, seed=11, null_ratio=null_ratio, value_pool=20
+    )
+    benchmark(
+        round_trip, scenario.mapping, scenario.reverse, source, take_core=False
+    )
+    quality = recovery_quality(scenario.mapping, scenario.reverse, source)
+    record_metric(
+        benchmark, null_ratio=null_ratio, hom_equivalent=quality.hom_equivalent
+    )
+    assert quality.hom_equivalent

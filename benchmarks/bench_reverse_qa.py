@@ -1,0 +1,98 @@
+"""SB-6 — reverse certain answers: chase-based vs. brute-force oracle.
+
+Expected shape: the Theorem 6.5 computation scales with the reverse
+chase (branch count × query evaluation); the brute-force oracle is
+exponential in the universe and only feasible on toy pools — the point
+of the theorem.  Agreement between the two is asserted on the oracle-
+sized cases.
+"""
+
+import pytest
+
+from repro.instance import Fact, Instance
+from repro.inverses.quasi_inverse import maximum_extended_recovery_for_full_tgds
+from repro.mappings.composition import in_extended_composition
+from repro.parsing.parser import parse_query
+from repro.reverse.query_answering import (
+    brute_force_certain_answers,
+    enumerate_instances,
+    reverse_certain_answers,
+)
+from repro.schema import Schema
+from repro.terms import Const
+from repro.workloads.scenarios import get_scenario
+
+from .conftest import record_metric
+
+
+MAPPING = get_scenario("self_join_target").mapping
+REVERSE = get_scenario("self_join_target").reverse
+QUERY = parse_query("q(x, y) :- P(x, y)")
+
+
+def source_of(size: int, diagonal_every: int = 3) -> Instance:
+    facts = []
+    for i in range(size):
+        if i % diagonal_every == 0:
+            facts.append(Fact("P", (Const(i), Const(i))))
+        else:
+            facts.append(Fact("P", (Const(i), Const(i + 1000))))
+    return Instance(facts)
+
+
+@pytest.mark.parametrize("size", [4, 8, 16])
+def test_reverse_certain_answers_scaling(benchmark, size):
+    source = source_of(size)
+    answers = benchmark(
+        reverse_certain_answers, MAPPING, REVERSE, QUERY, source,
+    )
+    record_metric(benchmark, size=size, certain=len(answers))
+
+
+def test_chase_based_vs_oracle(benchmark):
+    """Tiny universe where the oracle is feasible: results must agree."""
+    source = Instance.parse("P(0, 0), P(0, 1)")
+    fast = benchmark(reverse_certain_answers, MAPPING, REVERSE, QUERY, source)
+    pool = enumerate_instances(
+        Schema([("P", 2), ("T", 1)]), [Const(0), Const(1)], 2
+    )
+    brute = brute_force_certain_answers(
+        QUERY,
+        lambda inst: in_extended_composition(MAPPING, REVERSE, source, inst),
+        pool,
+    )
+    record_metric(benchmark, oracle_pool=len(pool), agree=(fast == brute))
+    assert fast == brute
+
+
+def test_oracle_cost(benchmark):
+    """The oracle's own cost on the same tiny case, for the comparison."""
+    source = Instance.parse("P(0, 0), P(0, 1)")
+    pool = enumerate_instances(
+        Schema([("P", 2), ("T", 1)]), [Const(0), Const(1)], 2
+    )
+
+    def run():
+        return brute_force_certain_answers(
+            QUERY,
+            lambda inst: in_extended_composition(MAPPING, REVERSE, source, inst),
+            pool,
+        )
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("family", ["copy", "union"])
+def test_reverse_qa_across_loss_profiles(benchmark, family):
+    scenario = get_scenario(family)
+    recovery = maximum_extended_recovery_for_full_tgds(scenario.mapping)
+    if family == "copy":
+        source = Instance.parse("P(1, 2), P(3, 4)")
+        query = parse_query("q(x, y) :- P(x, y)")
+    else:
+        source = Instance.parse("P(0), P(1), Q(2)")
+        query = parse_query("q(x) :- P(x)")
+    answers = benchmark(
+        reverse_certain_answers, scenario.mapping, recovery, query, source
+    )
+    record_metric(benchmark, family=family, certain=len(answers))

@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark module maps to one experiment id from DESIGN.md §3
+(SB-1 … SB-8 plus the EX paper-example round trips).  Benchmarks print
+any non-timing measurements (branch counts, loss rates, recovery
+quality) through :func:`record_metric`, so the numbers land both in the
+pytest-benchmark JSON (``extra_info``) and on stdout for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def record_metric(benchmark, **metrics) -> None:
+    """Attach non-timing metrics to a benchmark result and echo them."""
+    for key, value in metrics.items():
+        benchmark.extra_info[key] = value
+
+
+@pytest.fixture(scope="session")
+def paper_scenarios():
+    from repro.workloads.scenarios import PAPER_SCENARIOS
+
+    return PAPER_SCENARIOS

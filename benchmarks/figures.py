@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Render the experiment *figures* as ASCII series from a benchmark JSON.
+
+The paper has no figures of its own; DESIGN.md defines the synthetic
+sweeps whose growth curves are this reproduction's figures.  This script
+turns the recorded benchmark JSON into log-scale ASCII charts — one per
+figure — so the shapes (linear chase, Bell-exponential reverse chase,
+loss-vs-overlap decay) are visible at a glance in any terminal.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/figures.py bench.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+WIDTH = 52
+
+
+def _bar(value: float, lo: float, hi: float, width: int = WIDTH) -> str:
+    if hi <= lo:
+        return "#"
+    # Log scale: spans of several orders stay readable.
+    position = (math.log10(value) - math.log10(lo)) / (
+        math.log10(hi) - math.log10(lo)
+    )
+    return "#" * max(1, int(round(position * width)))
+
+
+def _fmt(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:7.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:7.2f}ms"
+    return f"{seconds:7.3f}s "
+
+
+class Figure:
+    """One ASCII chart: rows keyed by a benchmark parameter."""
+
+    def __init__(self, title: str, caption: str) -> None:
+        self.title = title
+        self.caption = caption
+        self.rows: List[Tuple[str, float, str]] = []
+
+    def add(self, label: str, seconds: float, note: str = "") -> None:
+        self.rows.append((label, seconds, note))
+
+    def render(self) -> str:
+        if not self.rows:
+            return f"{self.title}\n  (no data)"
+        values = [v for _, v, _ in self.rows]
+        lo, hi = min(values), max(values)
+        out = [self.title, "-" * len(self.title)]
+        label_width = max(len(label) for label, _, _ in self.rows)
+        for label, value, note in self.rows:
+            bar = _bar(value, lo, hi)
+            suffix = f"   {note}" if note else ""
+            out.append(
+                f"  {label:<{label_width}}  {_fmt(value)}  {bar}{suffix}"
+            )
+        out.append(f"  ({self.caption}; log scale)")
+        return "\n".join(out)
+
+
+def _index(data: dict) -> Dict[str, dict]:
+    return {bench["name"]: bench for bench in data["benchmarks"]}
+
+
+def _series(
+    benches: Dict[str, dict],
+    prefix: str,
+    params: Sequence[str],
+    note_keys: Sequence[str] = (),
+) -> List[Tuple[str, float, str]]:
+    rows = []
+    for param in params:
+        name = f"{prefix}[{param}]"
+        bench = benches.get(name)
+        if bench is None:
+            continue
+        note = ", ".join(
+            f"{key}={bench['extra_info'][key]}"
+            for key in note_keys
+            if key in bench.get("extra_info", {})
+        )
+        rows.append((param, bench["stats"]["mean"], note))
+    return rows
+
+
+def build_figures(data: dict) -> List[Figure]:
+    benches = _index(data)
+    figures: List[Figure] = []
+
+    fig = Figure(
+        "Figure 1 — chase wall time vs. source size (path2 family)",
+        "SB-1: near-linear growth in triggers",
+    )
+    for row in _series(
+        benches, "test_chase_restricted",
+        ["10-path2", "50-path2", "200-path2"], ["generated"],
+    ):
+        fig.add(*row)
+    figures.append(fig)
+
+    fig = Figure(
+        "Figure 2 — reverse disjunctive chase vs. target nulls",
+        "SB-3: Bell-like growth in quotients; minimized branches stay tiny",
+    )
+    for row in _series(
+        benches, "test_reverse_chase_branching",
+        ["0", "1", "2", "3", "4"], ["quotients", "minimized_branches"],
+    ):
+        fig.add(*row)
+    figures.append(fig)
+
+    fig = Figure(
+        "Figure 3 — quasi-inverse output size vs. target arity",
+        "SB-4: Bell(arity) equality types per relation",
+    )
+    for row in _series(
+        benches, "test_algorithm_vs_arity",
+        ["1", "2", "3", "4"], ["dependencies", "inequalities"],
+    ):
+        fig.add(*row)
+    figures.append(fig)
+
+    fig = Figure(
+        "Figure 4 — information-loss rate vs. value-pool width",
+        "SB-7: smaller pools = more accidental arrow_M hits",
+    )
+    for row in _series(
+        benches, "test_loss_rate_vs_overlap", ["2", "4", "8"], ["loss_rate"],
+    ):
+        fig.add(*row)
+    figures.append(fig)
+
+    fig = Figure(
+        "Figure 5 — reverse certain answers vs. source size",
+        "SB-6: cost follows the branch set",
+    )
+    for row in _series(
+        benches, "test_reverse_certain_answers_scaling",
+        ["4", "8", "16"], ["certain"],
+    ):
+        fig.add(*row)
+    figures.append(fig)
+
+    return figures
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        data = json.load(handle)
+    for figure in build_figures(data):
+        print()
+        print(figure.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regenerate the EXPERIMENTS.md result tables from a benchmark JSON.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
+    python benchmarks/report.py bench.json
+
+Groups benchmark entries by module (one module per experiment id, see
+DESIGN.md §3) and prints one table per experiment with the mean timing
+and every recorded ``extra_info`` metric — the same rows EXPERIMENTS.md
+reports, so the document can be refreshed after any change.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from typing import Dict, List
+
+
+EXPERIMENT_BY_MODULE = {
+    "bench_chase": "SB-1 chase throughput (+ D1 ablation)",
+    "bench_homomorphism": "SB-2 homomorphism machinery (+ D3/D4 ablations)",
+    "bench_reverse_chase": "SB-3 reverse disjunctive chase (+ D2 ablation)",
+    "bench_quasi_inverse": "SB-4 quasi-inverse algorithm",
+    "bench_recovery_quality": "SB-5 round-trip recovery quality",
+    "bench_reverse_qa": "SB-6 reverse certain answers vs. oracle",
+    "bench_information_loss": "SB-7 information loss",
+    "bench_invertibility": "SB-8 invertibility audit",
+    "bench_composition": "SB-9 composition / pipelines",
+    "bench_example_roundtrips": "EX-* paper example round trips",
+}
+
+
+def format_time(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:8.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds:8.3f} s "
+
+
+def load(path: str) -> Dict[str, List[dict]]:
+    with open(path) as handle:
+        data = json.load(handle)
+    groups: Dict[str, List[dict]] = defaultdict(list)
+    for bench in data["benchmarks"]:
+        module = bench["fullname"].split("/")[-1].split(".py")[0]
+        groups[module].append(bench)
+    return groups
+
+
+def render(groups: Dict[str, List[dict]]) -> str:
+    lines: List[str] = []
+    for module in sorted(groups, key=lambda m: EXPERIMENT_BY_MODULE.get(m, m)):
+        title = EXPERIMENT_BY_MODULE.get(module, module)
+        lines.append("")
+        lines.append(f"### {title}")
+        lines.append("")
+        lines.append("| benchmark | mean | extra |")
+        lines.append("|---|---|---|")
+        for bench in sorted(groups[module], key=lambda b: b["name"]):
+            name = bench["name"].replace("test_", "")
+            mean = format_time(bench["stats"]["mean"]).strip()
+            extra = ", ".join(
+                f"{key}={value}" for key, value in sorted(bench["extra_info"].items())
+            )
+            lines.append(f"| `{name}` | {mean} | {extra} |")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    print(render(load(argv[1])))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

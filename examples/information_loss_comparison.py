@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Comparing schema mappings by information loss (Example 6.7 / §6.3).
+
+Mapping-generation tools interpret a visual schema correspondence in
+multiple ways; the paper proposes picking the *less lossy*
+interpretation.  This example reproduces Example 6.7's comparison of
+the two candidate interpretations of "P's columns map to P''s columns"
+and quantifies the loss on sampled instance pairs.
+
+Run:  python examples/information_loss_comparison.py
+"""
+
+import itertools
+
+from repro import Instance, SchemaMapping
+from repro.inverses.information_loss import (
+    is_less_lossy,
+    sample_information_loss,
+    strictness_witness,
+)
+from repro.workloads.generators import ground_pairs
+from repro.schema import Schema
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Example 6.7: which interpretation of a visual spec is better?")
+    print("=" * 72)
+
+    m1 = SchemaMapping.from_text("P(x, y) -> P'(x, y)")
+    m2 = SchemaMapping.from_text(
+        "P(x, y) -> EXISTS z . P'(x, z)\nP(x, y) -> EXISTS u . P'(u, y)"
+    )
+    print("\nInterpretation M1 (copy the tuple):")
+    print(f"  {m1.dependencies[0]}")
+    print("Interpretation M2 (copy each column separately):")
+    for dep in m2.dependencies:
+        print(f"  {dep}")
+
+    print("\n--- Qualitative comparison (Definition 6.6) ---")
+    pairs = [
+        (Instance.parse(a), Instance.parse(b))
+        for a, b in itertools.product(
+            ["P(1, 0)", "P(1, 1), P(0, 0)", "P(0, 1)", "P(1, 0), P(0, 1)"],
+            repeat=2,
+        )
+    ]
+    forward = is_less_lossy(m1, m2, pairs)
+    backward = is_less_lossy(m2, m1, pairs)
+    print(f"  M1 less lossy than M2:  {forward.holds}")
+    print(f"  M2 less lossy than M1:  {backward.holds}")
+    witness = strictness_witness(m1, m2, pairs)
+    if witness:
+        left, right = witness
+        print(f"  strictness witness (the paper's): ({left}, {right})")
+        print("    M2 confuses P(1,0) with {P(1,1), P(0,0)}; M1 does not.")
+
+    print("\n--- Quantitative loss on random ground pairs ---")
+    schema = Schema([("P", 2)])
+    sampled = ground_pairs(schema, count=60, size=3, seed=42, value_pool=3)
+    for name, mapping in (("M1", m1), ("M2", m2)):
+        report = sample_information_loss(mapping, sampled)
+        print(
+            f"  {name}: {report.lost}/{report.pairs_tested} sampled pairs in the "
+            f"information loss (rate {report.loss_rate:.2f}); "
+            f"|→_M| = {report.in_arrow_m}, |→| = {report.in_hom}"
+        )
+
+    print("\nConclusion: generate M1 — the interpretation both mapping-")
+    print("generation systems cited by the paper indeed choose.")
+
+
+if __name__ == "__main__":
+    main()

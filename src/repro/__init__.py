@@ -1,0 +1,93 @@
+"""repro — Reverse Data Exchange: Coping with Nulls (PODS 2009).
+
+A from-scratch reproduction of Fagin, Kolaitis, Popa, and Tan's framework
+for reverse data exchange over instances with labeled nulls: homomorphic
+extensions of schema mappings, extended inverses, maximum extended
+recoveries, the quasi-inverse algorithm for full tgds, reverse query
+answering, and information-loss comparison of schema mappings.
+
+Quickstart::
+
+    from repro import SchemaMapping, Instance
+
+    M = SchemaMapping.from_text("P(x, y, z) -> Q(x, y) & R(y, z)")
+    I = Instance.parse("P(a, b, c)")
+    U = M.chase(I)                      # {Q(a, b), R(b, c)}
+
+See ``examples/quickstart.py`` for the full Example 1.1 round trip.
+"""
+
+from .terms import Const, Null, NullFactory, Var
+from .schema import RelationSymbol, Schema
+from .instance import Fact, Instance, fact
+from .logic.atoms import Atom, atom
+from .logic.guards import ConstantGuard, Inequality
+from .logic.dependencies import DisjunctiveTgd, Tgd
+from .logic.queries import ConjunctiveQuery
+from .parsing.parser import parse_dependencies, parse_dependency, parse_query
+from .homs.search import (
+    all_homomorphisms,
+    find_homomorphism,
+    is_hom_equivalent,
+    is_homomorphic,
+)
+from .homs.core import core
+from .chase.standard import ChaseNonTermination, ChaseResult, chase
+from .chase.disjunctive import (
+    disjunctive_chase,
+    minimize_branches,
+    reverse_disjunctive_chase,
+)
+from .mappings.schema_mapping import SchemaMapping
+from .mappings.extension import (
+    extended_universal_solution,
+    in_extension,
+    in_extension_reverse,
+    is_extended_solution,
+)
+from .mappings.identity import extended_identity_contains, identity_contains
+from .mappings.composition import in_extended_composition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Const",
+    "Null",
+    "NullFactory",
+    "Var",
+    "RelationSymbol",
+    "Schema",
+    "Fact",
+    "Instance",
+    "fact",
+    "Atom",
+    "atom",
+    "ConstantGuard",
+    "Inequality",
+    "DisjunctiveTgd",
+    "Tgd",
+    "ConjunctiveQuery",
+    "parse_dependencies",
+    "parse_dependency",
+    "parse_query",
+    "all_homomorphisms",
+    "find_homomorphism",
+    "is_hom_equivalent",
+    "is_homomorphic",
+    "core",
+    "ChaseNonTermination",
+    "ChaseResult",
+    "chase",
+    "disjunctive_chase",
+    "minimize_branches",
+    "reverse_disjunctive_chase",
+    "SchemaMapping",
+    "extended_universal_solution",
+    "in_extension",
+    "in_extension_reverse",
+    "is_extended_solution",
+    "extended_identity_contains",
+    "identity_contains",
+    "in_extended_composition",
+    "__version__",
+]

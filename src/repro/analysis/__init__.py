@@ -1,0 +1,5 @@
+"""Whole-mapping analysis reports."""
+
+from .report import MappingReport, analyze_mapping
+
+__all__ = ["MappingReport", "analyze_mapping"]

@@ -1,0 +1,160 @@
+"""One-stop analysis of a schema mapping.
+
+Bundles the paper's toolbox into a single structured report: language
+classification, classical and extended invertibility (with verified
+counterexamples), a computed maximum extended recovery when the
+quasi-inverse algorithm applies, sampled information loss, and a
+round-trip demonstration on a probe instance.  This is what the CLI's
+``report`` command prints and what a mapping-design tool would surface
+to its user (the Section 6.3 use case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..instance import Instance
+from ..inverses.extended_inverse import (
+    canonical_source_instances,
+    is_extended_invertible,
+)
+from ..inverses.ground import is_invertible
+from ..inverses.information_loss import LossReport, sample_information_loss
+from ..inverses.quasi_inverse import (
+    NotFullTgds,
+    maximum_extended_recovery_for_full_tgds,
+)
+from ..inverses.verdicts import CheckVerdict
+from ..mappings.schema_mapping import SchemaMapping
+from ..reverse.exchange import recovery_quality
+from ..workloads.generators import ground_pairs
+
+
+@dataclass(frozen=True)
+class MappingReport:
+    """A structured analysis of one schema mapping."""
+
+    mapping: SchemaMapping
+    language: str
+    invertible: CheckVerdict
+    extended_invertible: CheckVerdict
+    recovery: Optional[SchemaMapping]
+    recovery_note: str
+    loss: Optional[LossReport]
+    probe: Optional[Instance]
+    probe_hom_equivalent: Optional[bool]
+    probe_branches: Optional[int]
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering (used by the CLI)."""
+        lines: List[str] = []
+        lines.append(f"language:              {self.language}")
+        lines.append(f"invertible (ground):   {self.invertible.holds}")
+        lines.append(f"extended invertible:   {self.extended_invertible.holds}")
+        if not self.extended_invertible.holds:
+            lines.append(f"  counterexample:      {self.extended_invertible.counterexample}")
+        if self.recovery is not None:
+            role = "maximum extended recovery"
+            if self.extended_invertible.holds and not self.recovery.is_disjunctive():
+                role += " — an extended inverse (Prop 4.16)"
+            lines.append(f"{role} (quasi-inverse algorithm):")
+            for dep in self.recovery.dependencies:
+                lines.append(f"  {dep}")
+        else:
+            lines.append(f"maximum extended recovery: {self.recovery_note}")
+        if self.loss is not None:
+            lines.append(
+                "sampled information loss: "
+                f"{self.loss.lost}/{self.loss.pairs_tested} pairs "
+                f"(rate {self.loss.loss_rate:.2f})"
+            )
+        if self.probe is not None:
+            lines.append(f"round-trip probe:      {self.probe}")
+            lines.append(f"  recovered up to hom-equivalence: {self.probe_hom_equivalent}")
+            lines.append(f"  reverse branches:                {self.probe_branches}")
+        return "\n".join(lines)
+
+
+def _classify(mapping: SchemaMapping) -> str:
+    parts = []
+    if mapping.is_plain_tgds():
+        parts.append("full s-t tgds" if mapping.is_full() else "s-t tgds")
+    else:
+        if mapping.is_disjunctive():
+            parts.append("disjunctive tgds")
+        else:
+            parts.append("guarded tgds")
+        if mapping.uses_inequality():
+            parts.append("with inequalities")
+        if mapping.uses_constant_guard():
+            parts.append("with Constant")
+    return " ".join(parts)
+
+
+def analyze_mapping(
+    mapping: SchemaMapping,
+    loss_sample_pairs: int = 40,
+    probe: Optional[Instance] = None,
+    seed: int = 17,
+) -> MappingReport:
+    """Run the full analysis battery on *mapping*.
+
+    The mapping must be specified by plain tgds (the class the paper's
+    positive results cover).  The information-loss sample and the
+    round-trip probe are only produced when a recovery is computable
+    (full tgds); the invertibility verdicts always are.
+    """
+    if not mapping.is_plain_tgds():
+        raise ValueError("analyze_mapping expects a plain-tgd mapping")
+
+    invertible = is_invertible(mapping)
+    extended = is_extended_invertible(mapping)
+
+    recovery: Optional[SchemaMapping] = None
+    recovery_note = ""
+    try:
+        recovery = maximum_extended_recovery_for_full_tgds(mapping)
+    except NotFullTgds as exc:
+        recovery_note = (
+            f"not computed ({exc}); the canonical M* = {{(chase_M(I), I)}} "
+            "exists semantically (Theorem 4.10)"
+        )
+
+    loss: Optional[LossReport] = None
+    try:
+        pairs = ground_pairs(
+            mapping.source, loss_sample_pairs, size=3, seed=seed, value_pool=3
+        )
+        loss = sample_information_loss(mapping, pairs)
+    except ValueError:
+        loss = None
+
+    probe_instance = probe
+    if probe_instance is None:
+        ground_probes = [
+            inst
+            for inst in canonical_source_instances(mapping)
+            if inst.is_ground() and not inst.is_empty()
+        ]
+        probe_instance = ground_probes[0] if ground_probes else None
+
+    probe_hom_equivalent: Optional[bool] = None
+    probe_branches: Optional[int] = None
+    if recovery is not None and probe_instance is not None:
+        quality = recovery_quality(mapping, recovery, probe_instance)
+        probe_hom_equivalent = quality.hom_equivalent
+        probe_branches = quality.candidates
+
+    return MappingReport(
+        mapping=mapping,
+        language=_classify(mapping),
+        invertible=invertible,
+        extended_invertible=extended,
+        recovery=recovery,
+        recovery_note=recovery_note,
+        loss=loss,
+        probe=probe_instance,
+        probe_hom_equivalent=probe_hom_equivalent,
+        probe_branches=probe_branches,
+    )

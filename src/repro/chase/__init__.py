@@ -1,0 +1,13 @@
+"""Chase procedures: standard (restricted/oblivious) and disjunctive."""
+
+from .standard import ChaseNonTermination, ChaseResult, chase
+from .disjunctive import disjunctive_chase, minimize_branches, reverse_disjunctive_chase
+
+__all__ = [
+    "ChaseNonTermination",
+    "ChaseResult",
+    "chase",
+    "disjunctive_chase",
+    "minimize_branches",
+    "reverse_disjunctive_chase",
+]

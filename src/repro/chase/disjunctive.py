@@ -1,0 +1,167 @@
+"""The disjunctive chase, with inequality guards and quotient branching.
+
+Section 6 of the paper performs *reverse* data exchange by chasing a
+target instance with a maximum extended recovery given by **disjunctive
+tgds with inequalities**.  "The disjunctive chase is an extension of the
+standard chase where each step branches out several instances, each
+satisfying one of the disjuncts" — so the result is a *set* of instances.
+
+Over instances that contain nulls there is an extra subtlety the paper's
+abstract treatment leaves implicit: distinct labeled nulls may still stand
+for the same unknown value, so both syntactic pattern matching (``P'(x,x)``
+against ``P'(n1, n2)``) and inequality guards must be evaluated *in every
+world of null identifications*.  :func:`reverse_disjunctive_chase`
+therefore first branches over the quotients of the input (see
+:mod:`repro.homs.quotient`) and then runs the plain disjunctive chase in
+each world, where matching is syntactic and an inequality between distinct
+values holds.  DESIGN.md (substitution table) explains why this is exactly
+the completion needed for the paper's Theorems 6.2 and 6.5 to hold; the
+tests verify it on the paper's own mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from ..homs.quotient import enumerate_quotients
+from ..homs.search import is_homomorphic
+from ..instance import Instance, InstanceBuilder
+from ..logic.dependencies import Dependency, DisjunctiveTgd, iter_disjunctive
+from ..logic.matching import match_atoms
+from ..terms import NullFactory
+from .standard import ChaseNonTermination
+
+
+def _trigger_satisfied(
+    dtgd: DisjunctiveTgd, binding: dict, instance: Instance
+) -> bool:
+    """Is some disjunct already witnessed in *instance* under *binding*?"""
+    for disjunct in dtgd.disjuncts:
+        shared = {
+            v: binding[v]
+            for a in disjunct
+            for v in a.variables()
+            if v in binding
+        }
+        if next(match_atoms(disjunct, instance, initial=shared), None) is not None:
+            return True
+    return False
+
+
+def disjunctive_chase(
+    instance: Instance,
+    dependencies: Sequence[Dependency],
+    max_rounds: int = 32,
+    max_branches: int = 10_000,
+    null_prefix: str = "D",
+) -> List[Instance]:
+    """Chase *instance* with disjunctive tgds; return the branch instances.
+
+    Plain tgds are accepted too (treated as one-disjunct disjunctions).
+    Matching is syntactic; inequality guards hold between distinct values.
+    Branches are *full* instances (input facts plus generated facts);
+    callers typically restrict to the source schema afterwards.
+
+    Raises :class:`ChaseNonTermination` when a branch exceeds *max_rounds*
+    rounds, and :class:`RuntimeError` when the frontier exceeds
+    *max_branches* worlds.
+    """
+    dtgds: List[DisjunctiveTgd] = list(iter_disjunctive(dependencies))
+
+    finished: List[Instance] = []
+    frontier: List[Tuple[Instance, int]] = [(instance, 0)]
+    seen: Set[Instance] = set()
+
+    while frontier:
+        if len(frontier) + len(finished) > max_branches:
+            raise RuntimeError(
+                f"disjunctive chase exceeded max_branches={max_branches}"
+            )
+        current, rounds = frontier.pop()
+        if rounds > max_rounds:
+            raise ChaseNonTermination(
+                f"disjunctive chase branch exceeded {max_rounds} rounds"
+            )
+        trigger = _find_trigger(dtgds, current)
+        if trigger is None:
+            if current not in seen:
+                seen.add(current)
+                finished.append(current)
+            continue
+        dtgd, binding = trigger
+        factory = NullFactory.avoiding(current.active_domain, prefix=null_prefix)
+        for disjunct_index, disjunct in enumerate(dtgd.disjuncts):
+            full = dict(binding)
+            for var in sorted(dtgd.existential_variables(disjunct_index)):
+                full[var] = factory.fresh()
+            builder = InstanceBuilder(current)
+            builder.add_all(atom.instantiate(full) for atom in disjunct)
+            child = builder.snapshot()
+            if child not in seen:
+                frontier.append((child, rounds + 1))
+    return finished
+
+
+def _find_trigger(dtgds: List[DisjunctiveTgd], instance: Instance):
+    """Find one unsatisfied trigger, deterministically (first in order)."""
+    for dtgd in dtgds:
+        for binding in match_atoms(dtgd.premise, instance, dtgd.guards):
+            if not _trigger_satisfied(dtgd, binding, instance):
+                return dtgd, binding
+    return None
+
+
+def minimize_branches(branches: Iterable[Instance]) -> List[Instance]:
+    """Keep only hom-minimal branches (an antichain under ``→``).
+
+    Dropping a branch ``V`` when some kept ``V'`` has ``V' → V`` preserves
+    all three universal-faithfulness conditions of Definition 6.1:
+    condition (1) is per-element, and for condition (3) any ``V → I'`` is
+    witnessed by ``V' → V → I'``.  Hom-equivalent branches collapse to one
+    representative.
+    """
+    pool = sorted(set(branches), key=lambda inst: (len(inst), str(inst)))
+    kept: List[Instance] = []
+    for candidate in pool:
+        if any(is_homomorphic(existing, candidate) for existing in kept):
+            continue
+        kept = [
+            existing for existing in kept if not is_homomorphic(candidate, existing)
+        ]
+        kept.append(candidate)
+    return kept
+
+
+def reverse_disjunctive_chase(
+    target_instance: Instance,
+    dependencies: Sequence[Dependency],
+    result_relations: Sequence[str] | None = None,
+    max_nulls: int = 8,
+    max_rounds: int = 32,
+    max_branches: int = 10_000,
+    minimize: bool = True,
+) -> List[Instance]:
+    """Reverse data exchange: chase a target instance back to source worlds.
+
+    Branches first over the quotients of *target_instance* (worlds of null
+    identifications), then runs the disjunctive chase in each world.  When
+    *result_relations* is given, each branch is restricted to those
+    relations (the source schema); otherwise branches keep all facts.
+
+    Returns a hom-minimal antichain of branch instances unless
+    ``minimize=False`` (the raw set is exponentially redundant).
+    """
+    collected: List[Instance] = []
+    for quotient in enumerate_quotients(target_instance, max_nulls=max_nulls):
+        for branch in disjunctive_chase(
+            quotient.instance,
+            dependencies,
+            max_rounds=max_rounds,
+            max_branches=max_branches,
+        ):
+            if result_relations is not None:
+                branch = branch.restrict(result_relations)
+            collected.append(branch)
+    if minimize:
+        return minimize_branches(collected)
+    return sorted(set(collected), key=lambda inst: (len(inst), str(inst)))

@@ -1,0 +1,178 @@
+"""The standard chase with tuple-generating dependencies.
+
+Given an instance and a set of tgds, the chase repeatedly finds a *trigger*
+— a premise match whose conclusion is not (yet) witnessed — and fires it,
+adding the conclusion facts with fresh nulls for the existential variables.
+For a schema mapping specified by s-t tgds, chasing a source instance
+yields a universal solution [FKMP, TCS 2005], and by Proposition 3.11 of
+the paper an *extended* universal solution as well — crucially, this holds
+even when the source instance itself contains nulls, because premise
+matching treats nulls as plain values.
+
+Two variants are provided (design decision D1 in DESIGN.md):
+
+* ``restricted`` (default): a trigger fires only if the conclusion cannot
+  be satisfied in the current instance by any extension of the premise
+  binding.  Produces smaller results.
+* ``oblivious``: every premise match fires exactly once (memoized by the
+  premise binding).  Simpler, always terminates for s-t tgds, and the
+  result is hom-equivalent to the restricted result.
+
+Both run to a fixpoint in rounds, so they also work when conclusions feed
+premises (not the s-t case); a ``max_rounds`` guard turns potential
+non-termination into :class:`ChaseNonTermination`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from ..instance import Instance, InstanceBuilder
+from ..logic.atoms import Atom
+from ..logic.dependencies import Dependency, Tgd
+from ..logic.matching import match_atoms
+from ..terms import NullFactory, Value, Var
+
+
+class ChaseNonTermination(RuntimeError):
+    """The chase exceeded its round budget without reaching a fixpoint."""
+
+
+@dataclass(frozen=True)
+class ChaseResult:
+    """Outcome of a chase run.
+
+    ``instance`` is the full chased instance (input plus generated facts);
+    ``generated`` the facts added by the chase; ``steps`` the number of
+    trigger firings; ``rounds`` the number of fixpoint rounds used.
+    """
+
+    instance: Instance
+    generated: FrozenSet
+    steps: int
+    rounds: int
+
+    def restricted_to(self, relations: Sequence[str]) -> Instance:
+        """The chased instance projected onto the given relation names."""
+        return self.instance.restrict(relations)
+
+
+def _frontier_binding(tgd: Tgd, binding: Dict[Var, Value]) -> Dict[Var, Value]:
+    return {v: binding[v] for v in tgd.frontier}
+
+
+def _conclusion_satisfied(tgd: Tgd, binding: Dict[Var, Value], store) -> bool:
+    """Can the conclusion be witnessed in *store* extending *binding*?
+
+    *store* is anything with the ``tuples(relation)`` matching protocol —
+    an :class:`Instance` or a live :class:`InstanceBuilder`.
+    """
+    seed = {v: binding[v] for v in tgd.premise_variables & tgd.conclusion_variables}
+    return (
+        next(match_atoms(tgd.conclusion, store, initial=seed), None) is not None
+    )
+
+
+def _fire(
+    tgd: Tgd,
+    binding: Dict[Var, Value],
+    builder: InstanceBuilder,
+    factory: NullFactory,
+) -> int:
+    """Add the conclusion facts for one trigger; return how many were new."""
+    full = dict(binding)
+    for var in sorted(tgd.existential_variables):
+        full[var] = factory.fresh()
+    return builder.add_all(atom.instantiate(full) for atom in tgd.conclusion)
+
+
+def chase(
+    instance: Instance,
+    dependencies: Sequence[Dependency],
+    variant: str = "restricted",
+    max_rounds: int = 64,
+    null_prefix: str = "N",
+) -> ChaseResult:
+    """Chase *instance* with plain tgds; returns the full chased instance.
+
+    Dependencies must be plain or guarded :class:`Tgd`s (disjunctive tgds
+    need :func:`repro.chase.disjunctive.disjunctive_chase`).  Guards on
+    premises are honored during matching.
+
+    Raises :class:`ChaseNonTermination` after *max_rounds* fixpoint rounds;
+    for source-to-target tgds one round always suffices.
+    """
+    tgds: List[Tgd] = []
+    for dep in dependencies:
+        if not isinstance(dep, Tgd):
+            raise TypeError(
+                f"standard chase handles plain tgds only, got {dep!r}; "
+                "use disjunctive_chase for disjunctive dependencies"
+            )
+        tgds.append(dep)
+    if variant not in ("restricted", "oblivious"):
+        raise ValueError(f"unknown chase variant {variant!r}")
+
+    builder = InstanceBuilder(instance)
+    factory = NullFactory.avoiding(instance.active_domain, prefix=null_prefix)
+    fired: Set[Tuple[int, Tuple[Tuple[Var, Value], ...]]] = set()
+    steps = 0
+    rounds = 0
+
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ChaseNonTermination(
+                f"chase did not terminate within {max_rounds} rounds"
+            )
+        current = builder.snapshot()
+        progressed = False
+        for tgd_index, tgd in enumerate(tgds):
+            for binding in match_atoms(tgd.premise, current, tgd.guards):
+                if variant == "oblivious":
+                    key = (tgd_index, tuple(sorted(binding.items())))
+                    if key in fired:
+                        continue
+                    fired.add(key)
+                    _fire(tgd, binding, builder, factory)
+                    steps += 1
+                    progressed = True
+                else:
+                    # Restricted: check satisfaction against the *live*
+                    # builder state so one round does not add duplicate
+                    # witnesses for overlapping triggers.
+                    if _conclusion_satisfied(tgd, binding, builder):
+                        continue
+                    _fire(tgd, binding, builder, factory)
+                    steps += 1
+                    progressed = True
+        if not progressed:
+            break
+
+    final = builder.snapshot()
+    return ChaseResult(
+        instance=final,
+        generated=final.facts - instance.facts,
+        steps=steps,
+        rounds=rounds,
+    )
+
+
+def chase_atoms_canonical(
+    premise: Sequence[Atom], null_prefix: str = "C"
+) -> Instance:
+    """The canonical instance of a premise: variables become fresh nulls.
+
+    Used to build canonical test families for the semi-decision checkers
+    (the "frozen premise" construction standard in chase theory).
+    """
+    factory = NullFactory(prefix=null_prefix)
+    seen: Dict[Var, Value] = {}
+    facts = []
+    for atom in premise:
+        for term in atom.terms:
+            if isinstance(term, Var) and term not in seen:
+                seen[term] = factory.fresh()
+        facts.append(atom.instantiate(seen))
+    return Instance(facts)

@@ -1,0 +1,206 @@
+"""Command-line interface: chase, reverse, audit, recover, answer.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro chase   --mapping deps.txt --instance "P(a, b, c)"
+    python -m repro reverse --mapping rev.txt  --instance "Q(a, b), R(b, c)"
+    python -m repro audit   --mapping deps.txt
+    python -m repro recover --mapping deps.txt            # quasi-inverse algo
+    python -m repro answer  --mapping deps.txt --recovery rev.txt \\
+                            --instance "P(1, 2)" --query "q(x) :- P(x, y)"
+
+``--mapping``/``--recovery`` accept a file path or an inline dependency
+string (semicolon-separated).  Instances use the token convention
+(lowercase/number = constant, Uppercase = null).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from .instance import Instance
+from .inverses.extended_inverse import is_chase_inverse, is_extended_invertible
+from .inverses.ground import is_invertible
+from .inverses.quasi_inverse import (
+    NotFullTgds,
+    maximum_extended_recovery_for_full_tgds,
+)
+from .mappings.schema_mapping import SchemaMapping
+from .parsing.parser import parse_query
+from .reverse.exchange import reverse_exchange
+from .reverse.query_answering import reverse_certain_answers
+
+
+def _load_mapping(spec: str) -> SchemaMapping:
+    if os.path.exists(spec):
+        with open(spec) as handle:
+            text = handle.read()
+    else:
+        text = spec
+    return SchemaMapping.from_text(text)
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    mapping = _load_mapping(args.mapping)
+    source = Instance.parse(args.instance)
+    result = mapping.chase(source, variant=args.variant)
+    print(result)
+    return 0
+
+
+def _cmd_reverse(args: argparse.Namespace) -> int:
+    mapping = _load_mapping(args.mapping)
+    target = Instance.parse(args.instance)
+    result = reverse_exchange(mapping, target, max_nulls=args.max_nulls)
+    if len(result.candidates) == 1:
+        print(result.candidates[0])
+    else:
+        for index, candidate in enumerate(result.candidates):
+            print(f"[{index}] {candidate}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    mapping = _load_mapping(args.mapping)
+    invertible = is_invertible(mapping)
+    extended = is_extended_invertible(mapping)
+    print(f"invertible (ground subset property): {invertible.holds}")
+    print(f"extended invertible (hom property):  {extended.holds}")
+    if not extended.holds:
+        print(f"  counterexample: {extended.counterexample}")
+    if args.reverse:
+        reverse = _load_mapping(args.reverse)
+        verdict = is_chase_inverse(mapping, reverse)
+        print(f"reverse is a chase-inverse:          {verdict.holds}")
+        if not verdict.holds:
+            print(f"  counterexample: {verdict.counterexample}")
+    return 0 if extended.holds else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    mapping = _load_mapping(args.mapping)
+    try:
+        recovery = maximum_extended_recovery_for_full_tgds(mapping)
+    except NotFullTgds as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for dep in recovery.dependencies:
+        print(dep)
+    return 0
+
+
+def _cmd_answer(args: argparse.Namespace) -> int:
+    mapping = _load_mapping(args.mapping)
+    recovery = (
+        _load_mapping(args.recovery)
+        if args.recovery
+        else maximum_extended_recovery_for_full_tgds(mapping)
+    )
+    source = Instance.parse(args.instance)
+    query = parse_query(args.query)
+    answers = reverse_certain_answers(
+        mapping, recovery, query, source, max_nulls=args.max_nulls
+    )
+    for row in sorted(answers, key=str):
+        print("(" + ", ".join(str(v) for v in row) + ")")
+    if not answers:
+        print("-- no certain answers --")
+    return 0
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    from .mappings.syntactic_composition import NotComposable, compose
+
+    first = _load_mapping(args.first)
+    second = _load_mapping(args.second)
+    try:
+        composed = compose(first, second, prune=not args.no_prune)
+    except NotComposable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for dep in composed.dependencies:
+        print(dep)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import analyze_mapping
+
+    mapping = _load_mapping(args.mapping)
+    probe = Instance.parse(args.probe) if args.probe else None
+    print(analyze_mapping(mapping, probe=probe).render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reverse data exchange with nulls (PODS 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chase = sub.add_parser("chase", help="forward data exchange (the chase)")
+    chase.add_argument("--mapping", required=True)
+    chase.add_argument("--instance", required=True)
+    chase.add_argument("--variant", choices=["restricted", "oblivious"],
+                       default="restricted")
+    chase.set_defaults(func=_cmd_chase)
+
+    reverse = sub.add_parser("reverse", help="reverse data exchange")
+    reverse.add_argument("--mapping", required=True,
+                         help="the REVERSE mapping (target -> source)")
+    reverse.add_argument("--instance", required=True)
+    reverse.add_argument("--max-nulls", type=int, default=8)
+    reverse.set_defaults(func=_cmd_reverse)
+
+    audit = sub.add_parser("audit", help="invertibility audit")
+    audit.add_argument("--mapping", required=True)
+    audit.add_argument("--reverse", help="candidate chase-inverse to verify")
+    audit.set_defaults(func=_cmd_audit)
+
+    recover = sub.add_parser(
+        "recover", help="compute a maximum extended recovery (full tgds)"
+    )
+    recover.add_argument("--mapping", required=True)
+    recover.set_defaults(func=_cmd_recover)
+
+    answer = sub.add_parser("answer", help="reverse certain answers")
+    answer.add_argument("--mapping", required=True)
+    answer.add_argument("--recovery",
+                        help="reverse mapping; computed when omitted")
+    answer.add_argument("--instance", required=True)
+    answer.add_argument("--query", required=True)
+    answer.add_argument("--max-nulls", type=int, default=8)
+    answer.set_defaults(func=_cmd_answer)
+
+    compose_cmd = sub.add_parser(
+        "compose", help="syntactically compose two tgd mappings"
+    )
+    compose_cmd.add_argument("--first", required=True,
+                             help="left mapping (must be full tgds)")
+    compose_cmd.add_argument("--second", required=True)
+    compose_cmd.add_argument("--no-prune", action="store_true",
+                             help="skip implication-based minimization")
+    compose_cmd.set_defaults(func=_cmd_compose)
+
+    report = sub.add_parser(
+        "report", help="full analysis report (language, invertibility, "
+        "recovery, loss, round trip)"
+    )
+    report.add_argument("--mapping", required=True)
+    report.add_argument("--probe", help="probe instance for the round trip")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

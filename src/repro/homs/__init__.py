@@ -1,0 +1,24 @@
+"""Homomorphisms between instances: search, equivalence, cores, quotients."""
+
+from .search import (
+    all_homomorphisms,
+    find_homomorphism,
+    is_hom_equivalent,
+    is_homomorphic,
+)
+from .core import core
+from .quotient import enumerate_quotients, Quotient
+from .isomorphism import canonically_equivalent, find_isomorphism, is_isomorphic
+
+__all__ = [
+    "all_homomorphisms",
+    "find_homomorphism",
+    "is_hom_equivalent",
+    "is_homomorphic",
+    "core",
+    "enumerate_quotients",
+    "Quotient",
+    "canonically_equivalent",
+    "find_isomorphism",
+    "is_isomorphic",
+]

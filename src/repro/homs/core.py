@@ -1,0 +1,89 @@
+"""Cores of instances.
+
+The *core* of an instance ``I`` is a minimal subinstance ``C ⊆ I`` such
+that ``I → C`` (a minimal retract).  Cores are unique up to isomorphism and
+give canonical representatives of homomorphic-equivalence classes: two
+instances are hom-equivalent iff their cores are isomorphic.  The paper
+works "up to homomorphic equivalence" throughout (e.g. chase-inverses
+recover the source up to hom-equivalence), so cores are the natural
+normal form for reporting recovered instances.
+
+Algorithm: repeatedly look for a retraction into a proper subinstance
+obtained by deleting one fact; replace the instance by the homomorphic
+image; stop when no single-fact deletion admits a homomorphism.  (If any
+proper retract exists, then a retract avoiding at least one particular
+fact exists, so single-fact probing is complete.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..instance import Instance
+from ..terms import Null, Value
+from .search import find_homomorphism
+
+
+def core(instance: Instance) -> Instance:
+    """Return the core of *instance*.
+
+    Ground instances are their own cores.  The result is a subinstance of
+    the input (we retract rather than rename).
+    """
+    current = instance
+    while True:
+        if current.is_ground():
+            return current
+        shrunk = _shrink_once(current)
+        if shrunk is None:
+            return current
+        current = shrunk
+
+
+def _shrink_once(instance: Instance) -> Instance | None:
+    """Find a retraction into a proper subinstance, or None if core already."""
+    facts = sorted(instance.facts, key=lambda f: f.sort_key())
+    for f in facts:
+        # Only facts containing nulls can be "folded away"; a ground fact
+        # maps to itself under every homomorphism.
+        if f.is_ground():
+            continue
+        smaller = Instance(instance.facts - {f})
+        h = find_homomorphism(instance, smaller)
+        if h is not None:
+            return instance.substitute(dict(h))
+    return None
+
+
+def is_core(instance: Instance) -> bool:
+    """True when the instance has no proper retract."""
+    return _shrink_once(instance) is None
+
+
+def retraction_to_core(instance: Instance) -> Dict[Null, Value]:
+    """A homomorphism from *instance* onto its core.
+
+    Composes the per-step retractions; the identity on nulls that survive.
+    """
+    mapping: Dict[Null, Value] = {n: n for n in instance.nulls}
+    current = instance
+    while True:
+        if current.is_ground():
+            return mapping
+        found = None
+        for f in sorted(current.facts, key=lambda f: f.sort_key()):
+            if f.is_ground():
+                continue
+            smaller = Instance(current.facts - {f})
+            h = find_homomorphism(current, smaller)
+            if h is not None:
+                found = h
+                break
+        if found is None:
+            return mapping
+        step: Dict[Null, Value] = dict(found)
+        mapping = {
+            n: (step.get(v, v) if isinstance(v, Null) else v)
+            for n, v in mapping.items()
+        }
+        current = current.substitute(step)

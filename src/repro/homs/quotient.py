@@ -1,0 +1,131 @@
+"""Quotients of instances by null identifications.
+
+A *quotient* of an instance ``J`` identifies some of its nulls with each
+other and/or with constants of ``J``.  Formally, a quotient is induced by
+an idempotent substitution whose kernel partitions the nulls, each block
+optionally anchored to one constant occurring in ``J``.
+
+Why this matters: the disjunctive chase with inequalities, run over a
+target instance that *contains nulls*, must consider that distinct nulls
+may denote the same unknown value.  Without quotient branching, the
+paper's own maximum extended recovery for Theorem 5.2 would fail
+universal-faithfulness on ``J = {P'(n1, n2)}`` — the branch where
+``n1 = n2`` (and the branch where both equal a constant) must exist for
+condition (3) of Definition 6.1 to hold.  Enumerating all quotients of
+``J`` enumerates exactly the possible kernels of homomorphisms out of
+``J``, which is the completeness requirement.
+
+The count grows like the Bell numbers in the number of nulls, so
+:func:`enumerate_quotients` takes a ``max_nulls`` guard that raises
+instead of silently exploding; benchmarks measure the growth (SB-3).
+
+Limitation (documented in DESIGN.md): blocks are anchored only to
+constants *occurring in J*.  Anchoring to fresh constants outside ``J``
+could only be observed by a ``Constant(x)`` premise guard; the reverse
+dependencies produced in this paper's setting (disjunctive tgds with
+inequalities) have no such guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..instance import Instance
+from ..terms import Const, Null, Value, value_sort_key
+
+
+class QuotientExplosion(RuntimeError):
+    """Raised when an instance has too many nulls to quotient exhaustively."""
+
+
+@dataclass(frozen=True)
+class Quotient:
+    """One quotient: the substitution applied and the resulting instance."""
+
+    substitution: Tuple[Tuple[Null, Value], ...]
+    instance: Instance
+
+    @property
+    def mapping(self) -> Dict[Null, Value]:
+        return dict(self.substitution)
+
+    def is_identity(self) -> bool:
+        return all(n == v for n, v in self.substitution)
+
+
+def _partitions(items: Sequence[Null]) -> Iterator[List[List[Null]]]:
+    """Enumerate set partitions (restricted-growth recursion)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in _partitions(rest):
+        for block in partial:
+            yield [blk + [first] if blk is block else list(blk) for blk in partial]
+        yield [[first]] + [list(blk) for blk in partial]
+
+
+def enumerate_quotients(
+    instance: Instance,
+    max_nulls: int = 8,
+    anchor_constants: bool = True,
+    extra_anchors: Sequence[Const] = (),
+) -> Iterator[Quotient]:
+    """Yield every quotient of *instance* (identity quotient included).
+
+    Each quotient merges blocks of nulls, each block optionally anchored to
+    a constant of the instance (plus any *extra_anchors*).  Raises
+    :class:`QuotientExplosion` when the instance has more than *max_nulls*
+    nulls.
+    """
+    nulls = sorted(instance.nulls)
+    if len(nulls) > max_nulls:
+        raise QuotientExplosion(
+            f"instance has {len(nulls)} nulls > max_nulls={max_nulls}; "
+            "raise the limit explicitly if the blowup is acceptable"
+        )
+    anchors: List[Optional[Const]] = [None]
+    if anchor_constants:
+        anchors += sorted(
+            set(instance.constants) | set(extra_anchors), key=value_sort_key
+        )
+
+    for partition in _partitions(nulls):
+        for anchor_choice in _anchor_choices(partition, anchors):
+            substitution: Dict[Null, Value] = {}
+            for block, anchor in zip(partition, anchor_choice):
+                representative: Value = anchor if anchor is not None else min(block)
+                for null in block:
+                    substitution[null] = representative
+            yield Quotient(
+                tuple(sorted(substitution.items())),
+                instance.substitute(substitution),
+            )
+
+
+def _anchor_choices(
+    partition: List[List[Null]], anchors: List[Optional[Const]]
+) -> Iterator[Tuple[Optional[Const], ...]]:
+    """All ways to anchor each block to one of the anchors (or to none)."""
+    if not partition:
+        yield ()
+        return
+    for rest in _anchor_choices(partition[1:], anchors):
+        for anchor in anchors:
+            yield (anchor,) + rest
+
+
+def count_quotients(null_count: int, constant_count: int) -> int:
+    """Closed-form count of quotients, for benchmark reporting.
+
+    Sum over partitions of the nulls of ``(constants + 1) ^ blocks``.
+    """
+    # Stirling-number recurrence: S(n, k) blocks, each with (c+1) anchors.
+    c = constant_count + 1
+    stirling = [[0] * (null_count + 1) for _ in range(null_count + 1)]
+    stirling[0][0] = 1
+    for n in range(1, null_count + 1):
+        for k in range(1, n + 1):
+            stirling[n][k] = k * stirling[n - 1][k] + stirling[n - 1][k - 1]
+    return sum(stirling[null_count][k] * (c**k) for k in range(null_count + 1))

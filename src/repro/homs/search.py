@@ -1,0 +1,150 @@
+"""Homomorphism search between instances.
+
+A homomorphism ``h : I1 → I2`` (Definition 3.1) maps every constant to
+itself and every fact of ``I1``, pointwise through ``h``, to a fact of
+``I2``.  The binary relation ``I1 → I2`` ("there is a homomorphism") is the
+backbone of the whole paper: it *is* the extended identity schema mapping
+``e(Id)``, and every extended notion is phrased through it.
+
+The search is backtracking over the facts of ``I1`` with a
+most-constrained-first ordering and per-relation candidate indexes on
+``I2``.  Constants prune immediately since they must map to themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+from ..instance import Fact, Instance
+from ..terms import Const, Null, Value
+
+
+def _fact_order(source: Instance, target: Instance) -> list:
+    """Order source facts cheapest-first: few target candidates, many constants."""
+
+    def key(f) -> tuple:
+        candidates = len(target.tuples(f.relation))
+        constants = sum(1 for v in f.values if isinstance(v, Const))
+        return (candidates, -constants)
+
+    return sorted(source.facts, key=key)
+
+
+def _extend(
+    fact_values: tuple, target_values: tuple, assignment: Dict[Null, Value]
+) -> Optional[Dict[Null, Value]]:
+    """Try mapping one source fact onto one target fact; return the delta."""
+    delta: Dict[Null, Value] = {}
+    for v, w in zip(fact_values, target_values):
+        if isinstance(v, Const):
+            if v != w:
+                return None
+        else:
+            known = assignment.get(v, delta.get(v))
+            if known is None:
+                delta[v] = w
+            elif known != w:
+                return None
+    return delta
+
+
+def homomorphisms(
+    source: Instance,
+    target: Instance,
+    seed: Optional[Mapping[Null, Value]] = None,
+    ordering: str = "constrained",
+) -> Iterator[Dict[Null, Value]]:
+    """Yield every homomorphism from *source* to *target*.
+
+    Homomorphisms are returned as ``{null: value}`` maps over the nulls of
+    *source* (constants are implicitly fixed).  *seed* pre-commits some
+    nulls — useful for extending partial homomorphisms.
+
+    *ordering* selects the fact-processing order: ``"constrained"``
+    (default) sorts most-constrained-first; ``"naive"`` takes an arbitrary
+    deterministic order — kept for the D3 ablation benchmark, not for use.
+    """
+    if ordering == "constrained":
+        ordered = _fact_order(source, target)
+    elif ordering == "naive":
+        ordered = sorted(source.facts, key=Fact.sort_key)
+    else:
+        raise ValueError(f"unknown ordering {ordering!r}")
+    assignment: Dict[Null, Value] = dict(seed) if seed else {}
+
+    def candidates(f: Fact):
+        """Index-backed candidate tuples: probe the smallest bucket among
+        the positions already fixed (constants or assigned nulls)."""
+        best = None
+        for position, v in enumerate(f.values):
+            value = v if isinstance(v, Const) else assignment.get(v)
+            if value is None:
+                continue
+            bucket = target.tuples_at(f.relation, position, value)
+            if best is None or len(bucket) < len(best):
+                best = bucket
+                if not best:
+                    break
+        if best is None:
+            return target.tuples(f.relation)
+        return best
+
+    def search(index: int) -> Iterator[Dict[Null, Value]]:
+        if index == len(ordered):
+            yield dict(assignment)
+            return
+        f = ordered[index]
+        for values in candidates(f):
+            delta = _extend(f.values, values, assignment)
+            if delta is None:
+                continue
+            assignment.update(delta)
+            yield from search(index + 1)
+            for null in delta:
+                del assignment[null]
+
+    yield from search(0)
+
+
+def find_homomorphism(
+    source: Instance,
+    target: Instance,
+    seed: Optional[Mapping[Null, Value]] = None,
+) -> Optional[Dict[Null, Value]]:
+    """Return one homomorphism ``source → target``, or None."""
+    return next(homomorphisms(source, target, seed), None)
+
+
+def all_homomorphisms(source: Instance, target: Instance) -> list:
+    """All homomorphisms as a list (beware: can be exponential)."""
+    return list(homomorphisms(source, target))
+
+
+def is_homomorphic(source: Instance, target: Instance) -> bool:
+    """The relation ``source → target`` of the paper."""
+    return find_homomorphism(source, target) is not None
+
+
+def is_hom_equivalent(left: Instance, right: Instance) -> bool:
+    """Homomorphic equivalence: ``left → right`` and ``right → left``."""
+    return is_homomorphic(left, right) and is_homomorphic(right, left)
+
+
+def apply_homomorphism(h: Mapping[Null, Value], instance: Instance) -> Instance:
+    """The image ``h(I)`` of an instance under a (partial) null mapping."""
+    return instance.substitute(dict(h))
+
+
+def verify_homomorphism(
+    h: Mapping[Null, Value], source: Instance, target: Instance
+) -> bool:
+    """Independent check that *h* really is a homomorphism source → target.
+
+    Used by the test suite to validate search results and by the
+    counterexample objects of the semi-decision checkers.
+    """
+    for f in source.facts:
+        image = f.substitute(dict(h))
+        if image not in target.facts:
+            return False
+    return True

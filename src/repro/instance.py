@@ -1,0 +1,390 @@
+"""Database instances over constants and labeled nulls.
+
+An instance assigns to each relation symbol a finite set of tuples over
+``Const ∪ Null`` (Section 2 of the paper).  Unlike the classical data
+exchange setting, *source* instances here may contain nulls — that is the
+whole point of the paper — so a single representation serves both sides of
+a schema mapping.
+
+``Instance`` is immutable and hashable: the chase and the disjunctive chase
+build new instances through :class:`InstanceBuilder`, and every set-like
+operation (union, substitution, restriction) returns a fresh instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from .schema import Schema
+from .terms import (
+    Const,
+    Null,
+    NullFactory,
+    Value,
+    is_value,
+    value_from_token,
+    value_sort_key,
+)
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A single fact ``R(v1, ..., vn)`` with values in ``Const ∪ Null``."""
+
+    relation: str
+    values: Tuple[Value, ...]
+
+    def __post_init__(self) -> None:
+        for v in self.values:
+            if not is_value(v):
+                raise TypeError(
+                    f"fact {self.relation} contains non-value {v!r}; "
+                    "facts hold Const/Null only (Var belongs in dependencies)"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    def nulls(self) -> Iterator[Null]:
+        """Yield the nulls of the fact, with repetitions."""
+        for v in self.values:
+            if isinstance(v, Null):
+                yield v
+
+    def is_ground(self) -> bool:
+        return all(isinstance(v, Const) for v in self.values)
+
+    def substitute(self, mapping: Mapping[Value, Value]) -> "Fact":
+        """Apply a value mapping (identity outside its domain)."""
+        return Fact(self.relation, tuple(mapping.get(v, v) for v in self.values))
+
+    def __str__(self) -> str:
+        args = ", ".join(str(v) for v in self.values)
+        return f"{self.relation}({args})"
+
+    def sort_key(self) -> tuple:
+        """A total order over facts with mixed constant/null values."""
+        return (self.relation, tuple(value_sort_key(v) for v in self.values))
+
+
+def fact(relation: str, *tokens: object) -> Fact:
+    """Convenience constructor: ``fact("P", "a", "X", 3)``.
+
+    Strings are interpreted by :func:`repro.terms.value_from_token`
+    (lowercase/number = constant, uppercase = null); ints become constants;
+    ``Const``/``Null`` objects pass through.
+    """
+    values = []
+    for tok in tokens:
+        if is_value(tok):
+            values.append(tok)
+        elif isinstance(tok, int):
+            values.append(Const(tok))
+        elif isinstance(tok, str):
+            values.append(value_from_token(tok))
+        else:
+            raise TypeError(f"cannot build a fact value from {tok!r}")
+    return Fact(relation, tuple(values))
+
+
+class Instance:
+    """An immutable finite relational instance.
+
+    Facts are stored per relation for fast pattern matching; the instance
+    also precomputes its active domain, null set, and a hash.  Instances
+    compare equal exactly when they contain the same facts (set equality;
+    homomorphic equivalence is a separate, weaker notion provided by
+    :mod:`repro.homs`).
+    """
+
+    __slots__ = ("_relations", "_facts", "_hash", "_adom", "_nulls", "_index")
+
+    def __init__(self, facts: Iterable[Fact] = (), schema: Optional[Schema] = None) -> None:
+        relations: Dict[str, set] = {}
+        all_facts = []
+        for f in facts:
+            if not isinstance(f, Fact):
+                raise TypeError(f"expected Fact, got {f!r}")
+            if schema is not None:
+                if f.relation not in schema:
+                    raise ValueError(f"fact {f} uses relation outside schema {schema!r}")
+                if schema.arity(f.relation) != f.arity:
+                    raise ValueError(
+                        f"fact {f} has arity {f.arity}, schema says "
+                        f"{schema.arity(f.relation)}"
+                    )
+            bucket = relations.setdefault(f.relation, set())
+            if f.values not in bucket:
+                bucket.add(f.values)
+                all_facts.append(f)
+        self._relations: Dict[str, FrozenSet[Tuple[Value, ...]]] = {
+            rel: frozenset(tuples) for rel, tuples in relations.items()
+        }
+        self._facts: FrozenSet[Fact] = frozenset(all_facts)
+        self._hash = hash(self._facts)
+        adom = set()
+        nulls = set()
+        for f in all_facts:
+            for v in f.values:
+                adom.add(v)
+                if isinstance(v, Null):
+                    nulls.add(v)
+        self._adom: FrozenSet[Value] = frozenset(adom)
+        self._nulls: FrozenSet[Null] = frozenset(nulls)
+        self._index: Optional[Dict[str, dict]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, *facts_: Fact) -> "Instance":
+        """Build an instance from facts given positionally."""
+        return cls(facts_)
+
+    @classmethod
+    def parse(cls, text: str) -> "Instance":
+        """Parse ``"P(a, X), Q(b, 1)"`` using the token convention.
+
+        Lowercase/number tokens are constants, uppercase tokens are nulls.
+        An empty string parses to the empty instance.
+        """
+        text = text.strip()
+        if not text:
+            return cls()
+        facts_ = []
+        depth = 0
+        start = 0
+        pieces = []
+        for i, ch in enumerate(text):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                pieces.append(text[start:i])
+                start = i + 1
+        pieces.append(text[start:])
+        for piece in pieces:
+            piece = piece.strip()
+            if not piece:
+                continue
+            if not piece.endswith(")") or "(" not in piece:
+                raise ValueError(f"cannot parse fact {piece!r}")
+            name, _, rest = piece.partition("(")
+            args = rest[:-1].strip()
+            tokens = [t for t in (s.strip() for s in args.split(","))] if args else []
+            facts_.append(fact(name.strip(), *tokens))
+        return cls(facts_)
+
+    # ------------------------------------------------------------------
+    # Set-like protocol
+    # ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(sorted(self._facts, key=Fact.sort_key))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, f: object) -> bool:
+        return f in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __le__(self, other: "Instance") -> bool:
+        """Subset on fact sets (the paper's ``I1 ⊆ I2``)."""
+        return self._facts <= other._facts
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(f) for f in self)
+        return f"Instance({{{inner}}})"
+
+    def __str__(self) -> str:
+        if not self._facts:
+            return "{}"
+        return "{" + ", ".join(str(f) for f in self) + "}"
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        return self._facts
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def tuples(self, relation: str) -> FrozenSet[Tuple[Value, ...]]:
+        """Return the tuples of *relation* (empty if absent)."""
+        return self._relations.get(relation, frozenset())
+
+    def tuples_at(
+        self, relation: str, position: int, value: Value
+    ) -> Tuple[Tuple[Value, ...], ...]:
+        """Tuples of *relation* carrying *value* at *position*.
+
+        Backed by a lazily built per-(relation, position, value) hash
+        index, so selective premise atoms scan only their candidates
+        instead of the whole relation.  The index is built once per
+        instance on first use (instances are immutable).
+        """
+        if self._index is None:
+            index: Dict[str, Dict[Tuple[int, Value], list]] = {}
+            for rel, tuples in self._relations.items():
+                buckets: Dict[Tuple[int, Value], list] = {}
+                for values in tuples:
+                    for pos, val in enumerate(values):
+                        buckets.setdefault((pos, val), []).append(values)
+                index[rel] = buckets
+            self._index = index
+        buckets = self._index.get(relation)
+        if buckets is None:
+            return ()
+        return tuple(buckets.get((position, value), ()))
+
+    @property
+    def active_domain(self) -> FrozenSet[Value]:
+        """All values occurring in the instance."""
+        return self._adom
+
+    @property
+    def nulls(self) -> FrozenSet[Null]:
+        """All labeled nulls occurring in the instance."""
+        return self._nulls
+
+    @property
+    def constants(self) -> FrozenSet[Const]:
+        """All constants occurring in the instance."""
+        return frozenset(v for v in self._adom if isinstance(v, Const))
+
+    def is_ground(self) -> bool:
+        """True when the instance contains no nulls."""
+        return not self._nulls
+
+    def is_empty(self) -> bool:
+        return not self._facts
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "Instance") -> "Instance":
+        return Instance(list(self._facts) + list(other._facts))
+
+    def difference(self, other: "Instance") -> "Instance":
+        return Instance(self._facts - other._facts)
+
+    def restrict(self, relations: Iterable[str]) -> "Instance":
+        """Keep only the facts over the given relation names."""
+        keep = set(relations)
+        return Instance(f for f in self._facts if f.relation in keep)
+
+    def substitute(self, mapping: Mapping[Value, Value]) -> "Instance":
+        """Apply a value mapping to every fact (identity outside its domain).
+
+        This is how a homomorphism (or a quotient of nulls) is applied to an
+        instance; collapsing facts is allowed and handled by set semantics.
+        """
+        return Instance(f.substitute(mapping) for f in self._facts)
+
+    def rename_nulls_apart(self, avoid: "Instance", prefix: str = "R") -> "Instance":
+        """Rename this instance's nulls so they are disjoint from *avoid*'s."""
+        clashes = self._nulls & avoid.nulls
+        if not clashes:
+            return self
+        factory = NullFactory.avoiding(self._adom | avoid.active_domain, prefix=prefix)
+        renaming: Dict[Value, Value] = {n: factory.fresh() for n in sorted(clashes)}
+        return self.substitute(renaming)
+
+    def freshen_nulls(self, prefix: str = "F") -> "Instance":
+        """Rename every null to a fresh one with the given prefix."""
+        factory = NullFactory(prefix=prefix)
+        renaming: Dict[Value, Value] = {n: factory.fresh() for n in sorted(self._nulls)}
+        return self.substitute(renaming)
+
+    def map_values(self, fn: Callable[[Value], Value]) -> "Instance":
+        """Apply an arbitrary value function to every position."""
+        return Instance(
+            Fact(f.relation, tuple(fn(v) for v in f.values)) for f in self._facts
+        )
+
+    def schema(self) -> Schema:
+        """Infer the minimal schema this instance is over."""
+        arities: Dict[str, int] = {}
+        for f in self._facts:
+            known = arities.get(f.relation)
+            if known is not None and known != f.arity:
+                raise ValueError(
+                    f"relation {f.relation!r} used with arities {known} and {f.arity}"
+                )
+            arities[f.relation] = f.arity
+        return Schema.from_arities(arities)
+
+
+class InstanceBuilder:
+    """A mutable accumulator of facts, for the chase's inner loops.
+
+    Deduplicates eagerly, tracks the null set so the chase can mint fresh
+    nulls without rescanning, and exposes a live per-relation ``tuples``
+    view so satisfaction checks can run against the builder without
+    snapshotting (the restricted chase's hot path).
+    """
+
+    def __init__(self, base: Optional[Instance] = None) -> None:
+        self._facts: set[Fact] = set(base.facts) if base is not None else set()
+        self._values: set[Value] = set(base.active_domain) if base is not None else set()
+        self._relations: Dict[str, set] = {}
+        for f in self._facts:
+            self._relations.setdefault(f.relation, set()).add(f.values)
+
+    def add(self, f: Fact) -> bool:
+        """Add a fact; return True when it was new."""
+        if f in self._facts:
+            return False
+        self._facts.add(f)
+        self._values.update(f.values)
+        self._relations.setdefault(f.relation, set()).add(f.values)
+        return True
+
+    def tuples(self, relation: str) -> set:
+        """Live view of the tuples of *relation* (matching-protocol duck
+        type shared with :class:`Instance`)."""
+        return self._relations.get(relation, set())
+
+    def add_all(self, facts_: Iterable[Fact]) -> int:
+        """Add many facts; return how many were new."""
+        return sum(1 for f in facts_ if self.add(f))
+
+    def __contains__(self, f: Fact) -> bool:
+        return f in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    @property
+    def values(self) -> set:
+        return self._values
+
+    def snapshot(self) -> Instance:
+        """Freeze the current contents into an :class:`Instance`."""
+        return Instance(self._facts)

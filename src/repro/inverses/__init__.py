@@ -1,0 +1,57 @@
+"""Extended inverses, extended recoveries, and information loss."""
+
+from .verdicts import CheckVerdict, Counterexample
+from .extended_inverse import (
+    canonical_source_instances,
+    homomorphism_property_counterexample,
+    is_chase_inverse,
+    is_extended_invertible,
+)
+from .recovery import (
+    canonical_recovery_member,
+    in_arrow_m,
+    is_extended_recovery,
+    is_maximum_extended_recovery,
+)
+from .quasi_inverse import maximum_extended_recovery_for_full_tgds
+from .faithful import (
+    exact_information_branch,
+    is_universal_faithful,
+    universal_faithful_report,
+)
+from .information_loss import (
+    information_loss_pairs,
+    is_less_lossy,
+    sample_information_loss,
+)
+from .ground import is_ground_recovery, is_invertible, subset_property_counterexample
+from .witness import is_witness_solution, solutions_contained
+from .ground_quasi_inverse import is_quasi_inverse, saturate, sol_equivalent
+
+__all__ = [
+    "CheckVerdict",
+    "Counterexample",
+    "canonical_source_instances",
+    "homomorphism_property_counterexample",
+    "is_chase_inverse",
+    "is_extended_invertible",
+    "canonical_recovery_member",
+    "in_arrow_m",
+    "is_extended_recovery",
+    "is_maximum_extended_recovery",
+    "maximum_extended_recovery_for_full_tgds",
+    "exact_information_branch",
+    "is_universal_faithful",
+    "universal_faithful_report",
+    "information_loss_pairs",
+    "is_less_lossy",
+    "sample_information_loss",
+    "is_ground_recovery",
+    "is_invertible",
+    "subset_property_counterexample",
+    "is_witness_solution",
+    "solutions_contained",
+    "is_quasi_inverse",
+    "saturate",
+    "sol_equivalent",
+]

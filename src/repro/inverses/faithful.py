@@ -1,0 +1,175 @@
+"""Universal-faithful schema mappings (Definition 6.1, Theorem 6.2).
+
+M' (disjunctive tgds) is *universal-faithful* for M (s-t tgds) when for
+every source instance I, the reverse chase result
+``chase_M'(chase_M(I)) = {V1, ..., Vk}`` satisfies:
+
+1. every ``Vl`` exports at least as much as I:  ``I →_M Vl``;
+2. some ``Vi`` exports no more than I:  ``Vi →_M I``;
+3. universality: for every I' with ``I →_M I'`` some ``Vj → I'``.
+
+Theorem 6.2: for M' given by disjunctive tgds, universal-faithful for M
+⟺ maximum extended recovery of M.  This gives the *procedural* handle on
+maximum extended recoveries and is how the test suite validates the
+quasi-inverse algorithm's output.
+
+``chase_M'`` here is the quotient-branching reverse disjunctive chase
+(see :mod:`repro.chase.disjunctive` for why the branching is needed over
+instances with nulls).  Checking the three conditions on the *minimized*
+branch antichain is complete: a kept dominator ``V' → V`` transfers both
+a condition-(1) violation and a condition-(2)/(3) witness (the module
+tests verify this reasoning on the paper's mappings).
+
+Condition (3) quantifies over all I'; it is tested over an explicit
+family (canonical instances of M, the input I, the branches themselves,
+and caller extras) — semi-decision semantics as in
+:mod:`repro.inverses.verdicts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..homs.search import is_homomorphic
+from ..instance import Instance
+from ..mappings.schema_mapping import SchemaMapping
+from .extended_inverse import canonical_source_instances
+from .recovery import in_arrow_m
+from .verdicts import CheckVerdict, Counterexample
+
+
+@dataclass(frozen=True)
+class FaithfulReport:
+    """Per-instance outcome of the three Definition 6.1 conditions."""
+
+    source: Instance
+    branches: Tuple[Instance, ...]
+    condition1: bool
+    condition2: bool
+    condition3: bool
+    condition3_violator: Optional[Instance] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.condition1 and self.condition2 and self.condition3
+
+
+def universal_faithful_report(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    source: Instance,
+    iprime_family: Sequence[Instance] = (),
+    max_nulls: int = 8,
+) -> FaithfulReport:
+    """Evaluate Definition 6.1's conditions for one source instance.
+
+    The condition-(3) family is *iprime_family* plus the source itself and
+    the reverse-chase branches (each branch trivially satisfies
+    ``I →_M V`` when condition 1 holds, making them useful probes).
+    """
+    target = mapping.chase(source)
+    branches = tuple(reverse_mapping.reverse_chase(target, max_nulls=max_nulls))
+
+    condition1 = all(in_arrow_m(mapping, source, branch) for branch in branches)
+    condition2 = any(in_arrow_m(mapping, branch, source) for branch in branches)
+
+    condition3 = True
+    violator: Optional[Instance] = None
+    probes = list(iprime_family) + [source] + list(branches)
+    for candidate in probes:
+        if not in_arrow_m(mapping, source, candidate):
+            continue
+        if not any(is_homomorphic(branch, candidate) for branch in branches):
+            condition3 = False
+            violator = candidate
+            break
+
+    return FaithfulReport(
+        source=source,
+        branches=branches,
+        condition1=condition1,
+        condition2=condition2,
+        condition3=condition3,
+        condition3_violator=violator,
+    )
+
+
+def exact_information_branch(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    source: Instance,
+    max_nulls: int = 8,
+) -> Optional[Instance]:
+    """The recovered branch that exports *exactly* the source's information.
+
+    When M' is universal-faithful for M, Definition 6.1's conditions (1)
+    and (2) guarantee some branch ``Vi`` with ``Vi →_M I`` and
+    ``I →_M Vi`` — the best possible recovery.  Returns that branch, or
+    None when the reverse mapping does not deliver one (it is then not a
+    maximum extended recovery of M, by Theorem 6.2).
+    """
+    branches = reverse_mapping.reverse_chase(
+        mapping.chase(source), max_nulls=max_nulls
+    )
+    for branch in branches:
+        if in_arrow_m(mapping, branch, source) and in_arrow_m(
+            mapping, source, branch
+        ):
+            return branch
+    return None
+
+
+def is_universal_faithful(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instances: Optional[Sequence[Instance]] = None,
+    max_nulls: int = 8,
+) -> CheckVerdict:
+    """Semi-decide "M' is universal-faithful for M" over a family.
+
+    The same canonical family serves as the test sources and as the
+    condition-(3) probes.  A False verdict carries the offending source
+    instance (and, for condition 3, the unreachable I').
+    """
+    family = (
+        list(instances) if instances is not None else canonical_source_instances(mapping)
+    )
+    for inst in family:
+        report = universal_faithful_report(
+            mapping, reverse_mapping, inst, iprime_family=family, max_nulls=max_nulls
+        )
+        if not report.ok:
+            failed = [
+                name
+                for name, good in (
+                    ("1", report.condition1),
+                    ("2", report.condition2),
+                    ("3", report.condition3),
+                )
+                if not good
+            ]
+            witnesses: List[Instance] = [inst]
+            if report.condition3_violator is not None:
+                witnesses.append(report.condition3_violator)
+
+            def check(inst=inst, family=family) -> bool:
+                return not universal_faithful_report(
+                    mapping,
+                    reverse_mapping,
+                    inst,
+                    iprime_family=family,
+                    max_nulls=max_nulls,
+                ).ok
+
+            return CheckVerdict(
+                holds=False,
+                tested=len(family),
+                counterexample=Counterexample(
+                    f"universal-faithfulness condition(s) {', '.join(failed)} "
+                    "fail at this source instance",
+                    tuple(witnesses),
+                    check,
+                ),
+            )
+    return CheckVerdict(holds=True, tested=len(family))

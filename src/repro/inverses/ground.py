@@ -1,0 +1,133 @@
+"""The classical ground-source framework, for comparison (Sections 2, 4.2).
+
+The paper repeatedly contrasts the extended notions with their classical
+ground-source counterparts ([Fagin TODS'07], [FKPT TODS'08],
+[Arenas-Pérez-Riveros PODS'08]).  To reproduce those contrasts we need
+executable versions of the classical notions:
+
+* the **subset property** of FKPT'08, which characterizes invertibility
+  of tgd mappings on ground sources: for all ground ``I1, I2``,
+  ``Sol(I2) ⊆ Sol(I1)`` implies ``I1 ⊆ I2``.  For tgd mappings the
+  solution-containment premise is decided via universal solutions as
+  ``chase_M(I1) → chase_M(I2)``;
+* ``→_{M,g}`` and the information loss on ground instances
+  (Definition 4.18, Proposition 4.19) — in :mod:`.information_loss` and
+  :mod:`.recovery`;
+* ground recoveries: ``(I, I) ∈ M ∘ M'`` for ground I (Definition 4.1).
+
+Theorem 3.15(1) — extended invertible ⇒ invertible — becomes checkable:
+the homomorphism property restricted to the ground members of a family
+implies the subset property on that family.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import itertools
+
+from ..homs.quotient import enumerate_quotients
+from ..homs.search import is_homomorphic
+from ..instance import Instance
+from ..mappings.schema_mapping import SchemaMapping
+from .extended_inverse import canonical_source_instances
+from .verdicts import CheckVerdict, Counterexample
+
+
+def ground_family(
+    mapping: SchemaMapping, instances: Optional[Sequence[Instance]] = None
+) -> List[Instance]:
+    """The ground members of the canonical family (or of *instances*)."""
+    family = (
+        list(instances)
+        if instances is not None
+        else canonical_source_instances(mapping)
+    )
+    return [inst for inst in family if inst.is_ground()]
+
+
+def subset_property_counterexample(
+    mapping: SchemaMapping,
+    instances: Optional[Sequence[Instance]] = None,
+) -> Optional[Counterexample]:
+    """A violation of the subset property, or None on the tested family.
+
+    A counterexample is a ground pair with ``chase_M(I1) → chase_M(I2)``
+    (hence ``Sol(I2) ⊆ Sol(I1)``) but ``I1 ⊄ I2``.
+    """
+    family = ground_family(mapping, instances)
+    chased = {inst: mapping.chase(inst) for inst in family}
+    for left, right in itertools.permutations(family, 2):
+        if is_homomorphic(chased[left], chased[right]) and not (left <= right):
+            def check(left=left, right=right) -> bool:
+                return is_homomorphic(
+                    mapping.chase(left), mapping.chase(right)
+                ) and not (left <= right)
+
+            return Counterexample(
+                "subset property fails: Sol(I2) ⊆ Sol(I1) but I1 ⊄ I2",
+                (left, right),
+                check,
+            )
+    return None
+
+
+def is_invertible(
+    mapping: SchemaMapping,
+    instances: Optional[Sequence[Instance]] = None,
+) -> CheckVerdict:
+    """Semi-decide classical (ground-source) invertibility.
+
+    Uses the FKPT'08 characterization: a tgd mapping is invertible iff it
+    has the subset property.  Same verdict semantics as the extended
+    checkers: refutations are sound; a pass covers the tested family.
+    """
+    family = ground_family(mapping, instances)
+    counterexample = subset_property_counterexample(mapping, family)
+    tested = len(family) * (len(family) - 1)
+    if counterexample is None:
+        return CheckVerdict(holds=True, tested=tested)
+    return CheckVerdict(holds=False, tested=tested, counterexample=counterexample)
+
+
+def is_ground_recovery(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instances: Optional[Sequence[Instance]] = None,
+) -> CheckVerdict:
+    """Decide "M' is a recovery of M" on the ground family (Def. 4.1).
+
+    ``(I, I) ∈ M ∘ M'`` needs a middle instance J with ``(I, J) ⊨ Σ`` and
+    ``(J, I) ⊨ Σ'``.  It suffices to search J among the *quotients* of
+    ``chase_M(I)``: any solution J contains a homomorphic image
+    ``h(chase_M(I))``, which still satisfies Σ (homomorphic images of the
+    chase's witnesses) and imposes fewer Σ'-obligations than J; and a
+    value outside the chase's active domain behaves like a fresh null (or
+    only adds ``Constant``-guard triggers), so quotient images are enough.
+    """
+    family = ground_family(mapping, instances)
+    for inst in family:
+        chased = mapping.chase(inst)
+        if any(
+            reverse_mapping.satisfies(quotient.instance, inst)
+            for quotient in enumerate_quotients(chased)
+        ):
+            continue
+
+        def check(inst=inst) -> bool:
+            chased = mapping.chase(inst)
+            return not any(
+                reverse_mapping.satisfies(quotient.instance, inst)
+                for quotient in enumerate_quotients(chased)
+            )
+
+        return CheckVerdict(
+            holds=False,
+            tested=len(family),
+            counterexample=Counterexample(
+                "ground recovery fails: (I, I) not witnessed in M ∘ M'",
+                (inst,),
+                check,
+            ),
+        )
+    return CheckVerdict(holds=True, tested=len(family))

@@ -1,0 +1,204 @@
+"""Information loss of schema mappings and the less-lossy comparison.
+
+Section 4's quantitative story: for M specified by s-t tgds and any
+maximum extended recovery M', the composition ``e(M) ∘ e(M')`` equals
+``→_M`` (Theorem 4.13), so the **information loss** of M — the amount by
+which M deviates from extended invertibility — is the set difference
+``→_M \\ →`` (Corollary 4.14).  M is extended invertible iff this
+difference is empty (Corollary 4.15).
+
+Section 6.3 compares mappings: M1 is **less lossy** than M2 when
+``→_{M1} ⊆ →_{M2}`` (Definition 6.6), with the procedural
+characterization of Theorem 6.8 through reverse chases.
+
+Since ``→_M`` and ``→`` are infinite binary relations, the functions
+here work pointwise on caller-supplied (or canonically generated) pairs,
+reporting memberships, differences, and sampled loss rates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..homs.search import is_homomorphic
+from ..instance import Instance
+from ..mappings.schema_mapping import SchemaMapping
+from .extended_inverse import canonical_source_instances
+from .recovery import in_arrow_m, in_arrow_m_ground
+from .verdicts import CheckVerdict, Counterexample
+
+
+def information_loss_pairs(
+    mapping: SchemaMapping,
+    pairs: Optional[Sequence[Tuple[Instance, Instance]]] = None,
+) -> List[Tuple[Instance, Instance]]:
+    """The pairs of *pairs* lying in the information loss ``→_M \\ →``.
+
+    With ``pairs=None``, all ordered pairs over the canonical family of M
+    are probed.  An extended-invertible mapping yields the empty list on
+    every probe set (Corollary 4.15).
+    """
+    if pairs is None:
+        family = canonical_source_instances(mapping)
+        pairs = list(itertools.product(family, repeat=2))
+    return [
+        (left, right)
+        for left, right in pairs
+        if in_arrow_m(mapping, left, right) and not is_homomorphic(left, right)
+    ]
+
+
+def ground_information_loss_pairs(
+    mapping: SchemaMapping,
+    pairs: Sequence[Tuple[Instance, Instance]],
+) -> List[Tuple[Instance, Instance]]:
+    """The ground-instance analogue ``→_{M,g} \\ Id`` (Proposition 4.19)."""
+    return [
+        (left, right)
+        for left, right in pairs
+        if in_arrow_m_ground(mapping, left, right) and not left <= right
+    ]
+
+
+@dataclass(frozen=True)
+class LossReport:
+    """Sampled information-loss statistics of one mapping."""
+
+    pairs_tested: int
+    in_arrow_m: int
+    in_hom: int
+    lost: int
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of tested pairs in the information loss."""
+        if self.pairs_tested == 0:
+            return 0.0
+        return self.lost / self.pairs_tested
+
+    @property
+    def is_lossless_on_sample(self) -> bool:
+        return self.lost == 0
+
+
+def sample_information_loss(
+    mapping: SchemaMapping,
+    pairs: Sequence[Tuple[Instance, Instance]],
+) -> LossReport:
+    """Count memberships of *pairs* in ``→_M``, ``→``, and the loss."""
+    arrow_m_count = 0
+    hom_count = 0
+    lost = 0
+    for left, right in pairs:
+        in_m = in_arrow_m(mapping, left, right)
+        in_h = is_homomorphic(left, right)
+        arrow_m_count += in_m
+        hom_count += in_h
+        lost += in_m and not in_h
+    return LossReport(
+        pairs_tested=len(pairs),
+        in_arrow_m=arrow_m_count,
+        in_hom=hom_count,
+        lost=lost,
+    )
+
+
+def is_less_lossy(
+    first: SchemaMapping,
+    second: SchemaMapping,
+    pairs: Optional[Sequence[Tuple[Instance, Instance]]] = None,
+) -> CheckVerdict:
+    """Semi-decide ``→_{M1} ⊆ →_{M2}`` (Definition 6.6) on pairs.
+
+    Both mappings must share their source schema (the relation being
+    compared lives over source-instance pairs).  With ``pairs=None`` the
+    probe set is all ordered pairs over the union of both canonical
+    families.
+    """
+    if pairs is None:
+        family = canonical_source_instances(first, extra=tuple(
+            canonical_source_instances(second)
+        ))
+        pairs = list(itertools.product(family, repeat=2))
+    for left, right in pairs:
+        if in_arrow_m(first, left, right) and not in_arrow_m(second, left, right):
+            def check(left=left, right=right) -> bool:
+                return in_arrow_m(first, left, right) and not in_arrow_m(
+                    second, left, right
+                )
+
+            return CheckVerdict(
+                holds=False,
+                tested=len(pairs),
+                counterexample=Counterexample(
+                    "less-lossy fails: pair in →_{M1} but not in →_{M2}",
+                    (left, right),
+                    check,
+                ),
+            )
+    return CheckVerdict(holds=True, tested=len(pairs))
+
+
+def strictness_witness(
+    first: SchemaMapping,
+    second: SchemaMapping,
+    pairs: Sequence[Tuple[Instance, Instance]],
+) -> Optional[Tuple[Instance, Instance]]:
+    """A pair in ``→_{M2} \\ →_{M1}``, witnessing *strictly* less lossy."""
+    for left, right in pairs:
+        if in_arrow_m(second, left, right) and not in_arrow_m(first, left, right):
+            return (left, right)
+    return None
+
+
+def less_lossy_via_reverse_chases(
+    first: SchemaMapping,
+    first_recovery: SchemaMapping,
+    second: SchemaMapping,
+    second_recovery: SchemaMapping,
+    instances: Optional[Sequence[Instance]] = None,
+    max_nulls: int = 8,
+) -> CheckVerdict:
+    """Theorem 6.8's procedural criterion for "M1 less lossy than M2".
+
+    For every source instance I and every branch ``V1`` of
+    ``chase_{M1'}(chase_M1(I))`` there must be a branch ``V2`` of
+    ``chase_{M2'}(chase_M2(I))`` with ``V2 → V1``.  Both recoveries must
+    be maximum extended recoveries for the equivalence with Definition 6.6
+    to apply.
+    """
+    family = (
+        list(instances)
+        if instances is not None
+        else canonical_source_instances(first, extra=tuple(
+            canonical_source_instances(second)
+        ))
+    )
+    for inst in family:
+        first_branches = first_recovery.reverse_chase(
+            first.chase(inst), max_nulls=max_nulls
+        )
+        second_branches = second_recovery.reverse_chase(
+            second.chase(inst), max_nulls=max_nulls
+        )
+        for v1 in first_branches:
+            if not any(is_homomorphic(v2, v1) for v2 in second_branches):
+                def check(inst=inst, v1=v1) -> bool:
+                    branches = second_recovery.reverse_chase(
+                        second.chase(inst), max_nulls=max_nulls
+                    )
+                    return not any(is_homomorphic(v2, v1) for v2 in branches)
+
+                return CheckVerdict(
+                    holds=False,
+                    tested=len(family),
+                    counterexample=Counterexample(
+                        "Theorem 6.8 criterion fails: a recovered branch of "
+                        "M1 is not dominated by any branch of M2",
+                        (inst, v1),
+                        check,
+                    ),
+                )
+    return CheckVerdict(holds=True, tested=len(family))

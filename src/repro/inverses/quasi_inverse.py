@@ -1,0 +1,195 @@
+"""The quasi-inverse algorithm for full s-t tgds (Theorem 5.1).
+
+Given a schema mapping M specified by a finite set of **full** s-t tgds,
+this module computes a reverse schema mapping specified by **disjunctive
+tgds with inequalities** that is a maximum extended recovery of M.  The
+paper obtains this from the quasi-inverse algorithm for full tgds of
+[Fagin, Kolaitis, Popa, Tan; TODS 2008, §4.2]; the construction below is
+the per-atom, per-equality-type formulation of that algorithm:
+
+For every target relation ``R`` appearing in some conclusion and every
+*equality type* (partition of ``R``'s positions):
+
+* the **premise** is the pattern atom ``R(v_b1, ..., v_bk)`` using one
+  variable per block, guarded by inequalities between distinct blocks;
+* the **disjuncts** are, for every tgd ``σ : ϕ → ψ`` and every conclusion
+  atom ``A ∈ ψ`` over ``R`` consistent with the equality type, the premise
+  ``ϕ`` with ``A``'s variables unified into the pattern variables and the
+  remaining premise variables existentially quantified.
+
+An atom ``A`` is *consistent* with an equality type iff positions carrying
+the same variable of ``A`` lie in the same block (a producer can never emit
+distinct values from one variable).  Patterns with no producer are
+unsatisfiable in any chase result of M and are omitted (the paper's
+language has no denial constraints).
+
+Reproductions of the paper's own outputs (verified in the tests):
+
+* Example 1.1's Σ′ (decomposition): the per-atom inversions of ``Q`` and
+  ``R``, refined by equality types;
+* Theorem 5.2: ``P'(x,y) ∧ x≠y → P(x,y)`` and
+  ``P'(x,x) → T(x) ∨ P(x,x)`` — both the inequality and the disjunction
+  are produced exactly;
+* the union mapping: ``R(x) → P(x) ∨ Q(x)``.
+
+Correctness is machine-checked through Theorem 6.2: the output is
+universal-faithful for M (see :mod:`repro.inverses.faithful`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.dependencies import DisjunctiveTgd, Tgd
+from ..logic.guards import Guard, Inequality
+from ..mappings.schema_mapping import SchemaMapping
+from ..terms import Const, Var
+
+
+class NotFullTgds(ValueError):
+    """The input mapping is outside the algorithm's scope."""
+
+
+def _position_partitions(arity: int) -> Iterator[Tuple[Tuple[int, ...], ...]]:
+    """Enumerate partitions of ``{0..arity-1}`` as sorted block tuples."""
+
+    def rec(positions: List[int]) -> Iterator[List[List[int]]]:
+        if not positions:
+            yield []
+            return
+        first, rest = positions[0], positions[1:]
+        for partial in rec(rest):
+            for block in partial:
+                yield [blk + [first] if blk is block else list(blk) for blk in partial]
+            yield [[first]] + [list(blk) for blk in partial]
+
+    for partition in rec(list(range(arity))):
+        yield tuple(tuple(sorted(block)) for block in sorted(partition))
+
+
+def _validate(mapping: SchemaMapping) -> List[Tgd]:
+    tgds: List[Tgd] = []
+    for dep in mapping.dependencies:
+        if not isinstance(dep, Tgd) or not dep.is_plain():
+            raise NotFullTgds(f"dependency {dep} is not a plain tgd")
+        if not dep.is_full():
+            raise NotFullTgds(f"dependency {dep} is not full (has existentials)")
+        for atom in dep.conclusion:
+            if any(isinstance(t, Const) for t in atom.terms):
+                raise NotFullTgds(
+                    f"conclusion atom {atom} contains a constant; the "
+                    "equality-type construction here handles variable-only "
+                    "conclusions (all of the paper's examples)"
+                )
+        tgds.append(dep)
+    if not tgds:
+        raise NotFullTgds("the mapping has no dependencies")
+    return tgds
+
+
+def _pattern_for(relation: str, partition: Tuple[Tuple[int, ...], ...]) -> Tuple[
+    Atom, Tuple[Guard, ...], Dict[int, Var]
+]:
+    """Build the pattern atom and inequality guards for one equality type."""
+    block_var: Dict[int, Var] = {}
+    position_var: Dict[int, Var] = {}
+    for index, block in enumerate(partition):
+        var = Var(f"v{index}")
+        block_var[index] = var
+        for position in block:
+            position_var[position] = var
+    arity = len(position_var)
+    pattern = Atom(relation, tuple(position_var[i] for i in range(arity)))
+    guards = tuple(
+        Inequality(block_var[i], block_var[j])
+        for i, j in itertools.combinations(range(len(partition)), 2)
+    )
+    return pattern, guards, position_var
+
+
+def _unify_producer(
+    tgd: Tgd, conclusion_atom: Atom, position_var: Dict[int, Var]
+) -> Optional[Tuple[Atom, ...]]:
+    """The disjunct for one producer, or None when inconsistent.
+
+    Maps each variable of *conclusion_atom* to the pattern variable of its
+    position's block; inconsistent when one variable would need two
+    distinct pattern variables (it sits in two different blocks).
+    Remaining premise variables are renamed apart (``w0, w1, ...``) and
+    become existentials of the disjunct.
+    """
+    unifier: Dict[Var, Var] = {}
+    for position, term in enumerate(conclusion_atom.terms):
+        assert isinstance(term, Var)  # constants rejected by _validate
+        wanted = position_var[position]
+        bound = unifier.get(term)
+        if bound is None:
+            unifier[term] = wanted
+        elif bound != wanted:
+            return None
+    counter = itertools.count()
+    for var in sorted(tgd.premise_variables, key=lambda v: v.name):
+        if var not in unifier:
+            unifier[var] = Var(f"w{next(counter)}")
+    return tuple(atom.substitute_terms(unifier) for atom in tgd.premise)
+
+
+def maximum_extended_recovery_for_full_tgds(
+    mapping: SchemaMapping,
+) -> SchemaMapping:
+    """Compute a maximum extended recovery of a full-tgd mapping.
+
+    Returns a reverse schema mapping (target schema → source schema)
+    specified by disjunctive tgds with inequalities, per Theorem 5.1.
+    Raises :class:`NotFullTgds` when the input is not a set of full plain
+    tgds with variable-only conclusions.
+    """
+    tgds = _validate(mapping)
+    producers: Dict[str, List[Tuple[Tgd, Atom]]] = {}
+    for tgd in tgds:
+        for atom in tgd.conclusion:
+            producers.setdefault(atom.relation, []).append((tgd, atom))
+
+    reverse_dependencies: List[DisjunctiveTgd | Tgd] = []
+    for relation in sorted(producers):
+        arity = producers[relation][0][1].arity
+        for partition in sorted(_position_partitions(arity)):
+            pattern, guards, position_var = _pattern_for(relation, partition)
+            disjuncts: List[Tuple[Atom, ...]] = []
+            for tgd, conclusion_atom in producers[relation]:
+                disjunct = _unify_producer(tgd, conclusion_atom, position_var)
+                if disjunct is not None and disjunct not in disjuncts:
+                    disjuncts.append(disjunct)
+            if not disjuncts:
+                continue
+            if len(disjuncts) == 1:
+                reverse_dependencies.append(Tgd((pattern,), disjuncts[0], guards))
+            else:
+                reverse_dependencies.append(
+                    DisjunctiveTgd((pattern,), tuple(disjuncts), guards)
+                )
+    return SchemaMapping(
+        reverse_dependencies, source=mapping.target, target=mapping.source
+    )
+
+
+def output_statistics(reverse_mapping: SchemaMapping) -> Dict[str, int]:
+    """Size statistics of an algorithm output, for the benchmarks (SB-4)."""
+    dependency_count = len(reverse_mapping.dependencies)
+    disjunct_count = 0
+    inequality_count = 0
+    for dep in reverse_mapping.dependencies:
+        if isinstance(dep, DisjunctiveTgd):
+            disjunct_count += len(dep.disjuncts)
+        else:
+            disjunct_count += 1
+        inequality_count += sum(
+            1 for g in dep.guards if isinstance(g, Inequality)
+        )
+    return {
+        "dependencies": dependency_count,
+        "disjuncts": disjunct_count,
+        "inequalities": inequality_count,
+    }

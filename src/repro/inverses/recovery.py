@@ -1,0 +1,159 @@
+"""Extended recoveries and maximum extended recoveries (Section 4).
+
+Executable versions of the central Section 4 notions for mappings
+specified by s-t tgds:
+
+* ``I1 →_M I2`` (Definition 4.6), decided via Proposition 4.7 as
+  ``chase_M(I1) → chase_M(I2)``;
+* the canonical strong maximum extended recovery
+  ``M* = {(chase_M(I), I)}`` (Theorem 4.10), with the membership tests
+  ``(J, I) ∈ M*`` and ``(J, I) ∈ e(M*) ⟺ J → chase_M(I)``;
+* semi-decision of "M' is an extended recovery of M"
+  (``(I, I) ∈ e(M) ∘ e(M')`` for all I, Definition 4.3) and of
+  "M' is a maximum extended recovery of M", the latter via Theorem 4.13:
+  M' is a maximum extended recovery iff ``e(M) ∘ e(M') = →_M``, checked
+  as a two-sided inclusion over a family of instance pairs.
+
+The ground-restricted analogues of Section 4.2 (``→_{M,g}``) are included
+for the information-loss comparison on ground instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..homs.search import is_homomorphic
+from ..instance import Instance
+from ..mappings.composition import in_extended_composition
+from ..mappings.schema_mapping import SchemaMapping
+from .extended_inverse import canonical_source_instances
+from .verdicts import CheckVerdict, Counterexample
+
+
+def in_arrow_m(mapping: SchemaMapping, left: Instance, right: Instance) -> bool:
+    """``left →_M right`` — decided as ``chase_M(left) → chase_M(right)``.
+
+    (Proposition 4.7; Definition 4.6 reads ``eSol_M(right) ⊆ eSol_M(left)``.)
+    """
+    return is_homomorphic(mapping.chase(left), mapping.chase(right))
+
+
+def in_arrow_m_ground(mapping: SchemaMapping, left: Instance, right: Instance) -> bool:
+    """``left →_{M,g} right`` (Definition 4.18), for ground instances.
+
+    ``Sol_M(right) ⊆ Sol_M(left)`` holds for tgd mappings iff the
+    universal solutions compare: ``chase_M(left) → chase_M(right)``.
+    """
+    if not left.is_ground() or not right.is_ground():
+        raise ValueError("→_{M,g} is defined on ground instances only")
+    return is_homomorphic(mapping.chase(left), mapping.chase(right))
+
+
+def canonical_recovery_member(
+    mapping: SchemaMapping, target: Instance, source: Instance
+) -> bool:
+    """``(target, source) ∈ M*`` where ``M* = {(chase_M(I), I)}``.
+
+    Membership is literal equality with the canonical chase (up to the
+    chase's deterministic null naming).
+    """
+    return target == mapping.chase(source)
+
+
+def in_canonical_recovery_extension(
+    mapping: SchemaMapping, target: Instance, source: Instance
+) -> bool:
+    """``(target, source) ∈ e(M*) ⟺ target → chase_M(source)``."""
+    return is_homomorphic(target, mapping.chase(source))
+
+
+def is_extended_recovery(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instances: Optional[Sequence[Instance]] = None,
+    max_nulls: int = 8,
+) -> CheckVerdict:
+    """Semi-decide "M' is an extended recovery of M" (Definition 4.3).
+
+    Tests ``(I, I) ∈ e(M) ∘ e(M')`` over the canonical family of M (or
+    the supplied instances).  The reverse mapping may be disjunctive.
+    """
+    family = (
+        list(instances) if instances is not None else canonical_source_instances(mapping)
+    )
+    for inst in family:
+        if not in_extended_composition(
+            mapping, reverse_mapping, inst, inst, max_nulls=max_nulls
+        ):
+            def check(inst=inst) -> bool:
+                return not in_extended_composition(
+                    mapping, reverse_mapping, inst, inst, max_nulls=max_nulls
+                )
+
+            return CheckVerdict(
+                holds=False,
+                tested=len(family),
+                counterexample=Counterexample(
+                    "extended recovery fails: (I, I) not in e(M) ∘ e(M')",
+                    (inst,),
+                    check,
+                ),
+            )
+    return CheckVerdict(holds=True, tested=len(family))
+
+
+def composition_equals_arrow_m(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    pairs: Sequence[Tuple[Instance, Instance]],
+    max_nulls: int = 8,
+) -> CheckVerdict:
+    """Check ``e(M) ∘ e(M') = →_M`` pointwise on *pairs* (Theorem 4.13)."""
+    for left, right in pairs:
+        in_comp = in_extended_composition(
+            mapping, reverse_mapping, left, right, max_nulls=max_nulls
+        )
+        in_arrow = in_arrow_m(mapping, left, right)
+        if in_comp != in_arrow:
+            def check(left=left, right=right, in_arrow=in_arrow) -> bool:
+                return (
+                    in_extended_composition(
+                        mapping, reverse_mapping, left, right, max_nulls=max_nulls
+                    )
+                    != in_arrow
+                ) or (in_arrow_m(mapping, left, right) == in_arrow)
+
+            side = "⊄" if in_comp else "⊅"
+            return CheckVerdict(
+                holds=False,
+                tested=len(pairs),
+                counterexample=Counterexample(
+                    f"e(M) ∘ e(M') {side} →_M at this pair",
+                    (left, right),
+                    check,
+                ),
+            )
+    return CheckVerdict(holds=True, tested=len(pairs))
+
+
+def is_maximum_extended_recovery(
+    mapping: SchemaMapping,
+    reverse_mapping: SchemaMapping,
+    instances: Optional[Sequence[Instance]] = None,
+    max_nulls: int = 8,
+) -> CheckVerdict:
+    """Semi-decide "M' is a maximum extended recovery of M".
+
+    Uses the characterization of Theorem 4.13 — ``e(M) ∘ e(M') = →_M`` —
+    tested over all ordered pairs from the canonical family of M (or the
+    supplied instances).  Note that equality with ``→_M`` subsumes being
+    an extended recovery, since ``(I, I) ∈ →_M`` always.
+    """
+    family = (
+        list(instances) if instances is not None else canonical_source_instances(mapping)
+    )
+    pairs: List[Tuple[Instance, Instance]] = list(itertools.product(family, repeat=2))
+    return composition_equals_arrow_m(
+        mapping, reverse_mapping, pairs, max_nulls=max_nulls
+    )

@@ -1,0 +1,73 @@
+"""Verdict and counterexample types for the semi-decision checkers.
+
+Several properties of schema mappings quantify over *all* source
+instances (the homomorphism property, chase-inverses, extended
+recoveries, universal-faithfulness, less-lossy).  The checkers in this
+package decide them over an explicit, recorded family of test instances:
+
+* a returned :class:`Counterexample` is a *sound refutation* — it carries
+  the witnessing instances, and its :meth:`Counterexample.verify` method
+  re-establishes the violation independently of the search that found it;
+* a verdict with ``holds=True`` means *no violation in the tested family*
+  (``likely_holds`` semantics), with the family size recorded so callers
+  can judge the evidence.
+
+DESIGN.md §5 explains why this is the right fidelity for reproducing a
+theory paper: the paper's own refutations are tiny canonical instances,
+all of which are contained in the default families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from ..instance import Instance
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete violation of a universally quantified property.
+
+    ``witnesses`` are the instances involved (e.g. the pair ``(I1, I2)``
+    violating the homomorphism property); ``description`` says what failed;
+    ``check`` re-verifies the violation from scratch.
+    """
+
+    description: str
+    witnesses: Tuple[Instance, ...]
+    check: Callable[[], bool] = field(compare=False, repr=False, default=lambda: True)
+
+    def verify(self) -> bool:
+        """Re-establish the violation independently."""
+        return self.check()
+
+    def __str__(self) -> str:
+        parts = "; ".join(str(w) for w in self.witnesses)
+        return f"{self.description} [witnesses: {parts}]"
+
+
+@dataclass(frozen=True)
+class CheckVerdict:
+    """Outcome of a semi-decision check.
+
+    ``holds`` is True when no violation was found in ``tested`` instances
+    (or instance pairs); a False verdict always carries a verified
+    :class:`Counterexample`.
+    """
+
+    holds: bool
+    tested: int
+    counterexample: Optional[Counterexample] = None
+
+    def __post_init__(self) -> None:
+        if not self.holds and self.counterexample is None:
+            raise ValueError("a failing verdict must carry a counterexample")
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __str__(self) -> str:
+        if self.holds:
+            return f"holds (no violation in {self.tested} tested cases)"
+        return f"fails: {self.counterexample}"

@@ -1,0 +1,130 @@
+"""Witness solutions (from [APR'08], used by Proposition 4.2).
+
+A target instance J is a *witness* for a source instance I under M when
+every source I' admitting J as a solution admits every solution of I:
+
+    ∀I':  J ∈ Sol_M(I')  ⇒  Sol_M(I) ⊆ Sol_M(I').
+
+A witness that is itself a solution for I is a *witness solution*.  The
+existence of witness solutions for every source instance is equivalent
+(by Theorem 3.5 of [APR'08], generalized to non-ground sources in the
+paper) to the existence of a maximum recovery — which is how
+Proposition 4.2 refutes maximum recoveries over non-ground sources.
+
+Decision procedures for tgd-specified M:
+
+* ``J ∈ Sol_M(I')`` is plain satisfaction (rigid nulls);
+* ``Sol_M(I) ⊆ Sol_M(I')`` is semi-decided soundly-for-refutation by
+  probing with members of ``Sol_M(I)`` (the canonical solution under
+  fresh nulls first — the probe that powers the paper's case analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..homs.quotient import enumerate_quotients
+from ..instance import Instance
+from ..mappings.schema_mapping import SchemaMapping
+from .verdicts import CheckVerdict, Counterexample
+
+
+def solution_probes(mapping: SchemaMapping, source: Instance) -> List[Instance]:
+    """Members of ``Sol_M(source)`` used to refute solution containment.
+
+    The canonical universal solution with fresh nulls, its quotients
+    grounded variants, and a padded variant — small but sharp probes.
+    """
+    canonical = mapping.chase(source).freshen_nulls(prefix="PRB")
+    probes = [canonical]
+    for quotient in enumerate_quotients(canonical, max_nulls=6):
+        if not quotient.is_identity():
+            candidate = quotient.instance
+            if mapping.satisfies(source, candidate):
+                probes.append(candidate)
+    return probes
+
+
+def solutions_contained(
+    mapping: SchemaMapping,
+    inner: Instance,
+    outer: Instance,
+    probes: Optional[Sequence[Instance]] = None,
+) -> bool:
+    """Semi-decide ``Sol_M(inner) ⊆ Sol_M(outer)``.
+
+    Sound for refutation: a returned False is witnessed by a concrete
+    member of ``Sol_M(inner) \\ Sol_M(outer)`` from the probe set.
+    """
+    for probe in probes if probes is not None else solution_probes(mapping, inner):
+        if mapping.satisfies(inner, probe) and not mapping.satisfies(outer, probe):
+            return False
+    return True
+
+
+def is_witness_solution(
+    mapping: SchemaMapping,
+    source: Instance,
+    candidate: Instance,
+    adversaries: Iterable[Instance],
+) -> CheckVerdict:
+    """Semi-decide "candidate is a witness solution for source".
+
+    *adversaries* supplies the sources I' quantified over; a failing
+    verdict carries the separating I' (with a verified re-check).
+    """
+    if not mapping.satisfies(source, candidate):
+        return CheckVerdict(
+            holds=False,
+            tested=1,
+            counterexample=Counterexample(
+                "candidate is not even a solution for the source",
+                (source, candidate),
+                lambda: not mapping.satisfies(source, candidate),
+            ),
+        )
+    adversaries = list(adversaries)
+    for iprime in adversaries:
+        if mapping.satisfies(iprime, candidate) and not solutions_contained(
+            mapping, source, iprime
+        ):
+            def check(iprime=iprime) -> bool:
+                return mapping.satisfies(iprime, candidate) and not (
+                    solutions_contained(mapping, source, iprime)
+                )
+
+            return CheckVerdict(
+                holds=False,
+                tested=len(adversaries),
+                counterexample=Counterexample(
+                    "witness property fails: J ∈ Sol(I') but Sol(I) ⊄ Sol(I')",
+                    (iprime, candidate),
+                    check,
+                ),
+            )
+    return CheckVerdict(holds=True, tested=len(adversaries))
+
+
+def witness_adversaries_for(source: Instance) -> List[Instance]:
+    """A default adversary pool: the source, diagonal completions, and
+
+    null-fact extensions (the shapes Proposition 4.2's case analysis
+    needs).  Callers with domain knowledge should extend it.
+    """
+    from ..instance import Fact
+    from ..terms import Const, Null
+
+    pool = [source]
+    constants = sorted(source.constants, key=lambda c: str(c.value))
+    relations = {f.relation: f.arity for f in source.facts}
+    for relation, arity in sorted(relations.items()):
+        for const in constants[:2]:
+            pool.append(
+                source.union(Instance([Fact(relation, (const,) * arity)]))
+            )
+        pool.append(
+            source.union(
+                Instance([Fact(relation, tuple(Null(f"ADV{i}") for i in range(arity)))])
+            )
+        )
+    return pool

@@ -1,0 +1,30 @@
+"""First-order building blocks: atoms, guards, dependencies, queries."""
+
+from .atoms import Atom, atom
+from .guards import ConstantGuard, Inequality
+from .dependencies import Dependency, DisjunctiveTgd, Tgd
+from .queries import ConjunctiveQuery
+from .matching import match_atoms
+from .containment import contained_in, equivalent_queries, minimize_query
+from .implication import equivalent, implies, prune_redundant
+from .normalization import normalize, split_full_conclusions
+
+__all__ = [
+    "Atom",
+    "atom",
+    "ConstantGuard",
+    "Inequality",
+    "Dependency",
+    "DisjunctiveTgd",
+    "Tgd",
+    "ConjunctiveQuery",
+    "match_atoms",
+    "contained_in",
+    "equivalent_queries",
+    "minimize_query",
+    "equivalent",
+    "implies",
+    "prune_redundant",
+    "normalize",
+    "split_full_conclusions",
+]

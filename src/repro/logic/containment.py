@@ -1,0 +1,86 @@
+"""Conjunctive-query containment and minimization.
+
+The Chandra-Merlin homomorphism theorem, the classical companion of the
+chase: ``q1 ⊆ q2`` (containment on all instances) iff evaluating ``q2``
+over the *frozen body* of ``q1`` returns ``q1``'s frozen head.  On top:
+query equivalence and body minimization (the query's core), with head
+variables frozen as constants so they cannot be folded away.
+
+Reverse query answering (Section 6.2) deals in conjunctive queries;
+these utilities let users normalize queries before computing certain
+answers and let the test suite state query-level identities compactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..instance import Instance
+from ..terms import Const, Null, Value, Var
+from .atoms import Atom
+from .queries import ConjunctiveQuery
+
+
+def _freeze(query: ConjunctiveQuery) -> Tuple[Instance, Tuple[Value, ...]]:
+    """The canonical ("frozen") database of a query.
+
+    Head variables freeze to distinguished constants (they must map to
+    themselves under any containment homomorphism); existential body
+    variables freeze to nulls.
+    """
+    head_vars = set(query.head)
+    mapping: Dict[Var, Value] = {}
+    for atom in query.body:
+        for term in atom.terms:
+            if isinstance(term, Var) and term not in mapping:
+                if term in head_vars:
+                    mapping[term] = Const(f"__head_{term.name}")
+                else:
+                    mapping[term] = Null(f"FRZ_{term.name}")
+    facts = [atom.instantiate(mapping) for atom in query.body]
+    head = tuple(mapping[v] for v in query.head)
+    return Instance(facts), head
+
+
+def contained_in(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """``first ⊆ second``: every answer of *first* is one of *second*.
+
+    Decided by evaluating *second* over *first*'s frozen body and
+    checking for the frozen head (Chandra-Merlin).  Queries must have
+    the same head arity.
+    """
+    if len(first.head) != len(second.head):
+        raise ValueError(
+            f"head arities differ: {len(first.head)} vs {len(second.head)}"
+        )
+    frozen, head = _freeze(first)
+    return head in second.evaluate(frozen)
+
+
+def equivalent_queries(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """Containment in both directions."""
+    return contained_in(first, second) and contained_in(second, first)
+
+
+def minimize_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The minimal equivalent query (unique up to renaming): drop body
+
+    atoms while the smaller query stays equivalent.  Since dropping
+    atoms only *weakens* a CQ (fewer joins ⇒ more answers), it suffices
+    to check ``smaller ⊆ query`` at each step.
+    """
+    body = list(query.body)
+    index = 0
+    while index < len(body) and len(body) > 1:
+        candidate_body = body[:index] + body[index + 1 :]
+        head_vars = set(query.head)
+        still_safe = head_vars <= {
+            v for atom in candidate_body for v in atom.variables()
+        }
+        if still_safe:
+            candidate = ConjunctiveQuery(query.head, tuple(candidate_body))
+            if contained_in(candidate, query):
+                body = candidate_body
+                continue
+        index += 1
+    return ConjunctiveQuery(query.head, tuple(body))

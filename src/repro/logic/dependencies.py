@@ -1,0 +1,244 @@
+"""Tuple-generating dependencies, plain and disjunctive.
+
+The dependency languages of Section 2 of the paper, in increasing
+generality:
+
+* **s-t tgds** ``∀x (ϕ(x) → ∃y ψ(x, y))`` — :class:`Tgd` with no guards;
+* **full s-t tgds** — tgds with no existential variables;
+* **tgds with constants** — premises may use ``Constant(x)`` guards;
+* **tgds with inequalities** — premises may use ``x ≠ x'`` guards;
+* **disjunctive tgds (with constants and inequalities)**
+  ``∀x (ϕ(x) → ⋁ᵢ ∃yᵢ ψᵢ(x, yᵢ))`` — :class:`DisjunctiveTgd`.
+
+Both classes validate *safety*: every universally quantified variable
+(i.e., every premise or guard variable, and every non-existential
+conclusion variable) must occur in a relational premise atom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Mapping, Sequence, Tuple, Union
+
+from ..terms import Term, Var
+from .atoms import Atom
+from .guards import ConstantGuard, Guard, Inequality
+
+
+def _atom_variables(atoms: Sequence[Atom]) -> FrozenSet[Var]:
+    out = set()
+    for a in atoms:
+        out.update(a.variables())
+    return frozenset(out)
+
+
+def _guard_variables(guards: Sequence[Guard]) -> FrozenSet[Var]:
+    out = set()
+    for g in guards:
+        if isinstance(g, Inequality):
+            for t in (g.left, g.right):
+                if isinstance(t, Var):
+                    out.add(t)
+        elif isinstance(g, ConstantGuard):
+            if isinstance(g.term, Var):
+                out.add(g.term)
+    return frozenset(out)
+
+
+def _check_safety(premise: Sequence[Atom], guards: Sequence[Guard], label: str) -> None:
+    premise_vars = _atom_variables(premise)
+    loose = _guard_variables(guards) - premise_vars
+    if loose:
+        names = ", ".join(sorted(v.name for v in loose))
+        raise ValueError(f"{label}: guard variables {{{names}}} missing from premise atoms")
+
+
+@dataclass(frozen=True)
+class Tgd:
+    """A tuple-generating dependency ``ϕ(x) ∧ guards → ∃y ψ(x, y)``.
+
+    ``premise`` atoms are over the source-side schema and ``conclusion``
+    atoms over the target side (for target-to-source dependencies the roles
+    swap; the class itself is direction-agnostic).  Conclusion variables
+    absent from the premise are existentially quantified.
+    """
+
+    premise: Tuple[Atom, ...]
+    conclusion: Tuple[Atom, ...]
+    guards: Tuple[Guard, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.conclusion:
+            raise ValueError("tgd needs at least one conclusion atom")
+        if not self.premise:
+            raise ValueError("tgd needs at least one premise atom (safety)")
+        _check_safety(self.premise, self.guards, f"tgd {self}")
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def premise_variables(self) -> FrozenSet[Var]:
+        return _atom_variables(self.premise)
+
+    @property
+    def conclusion_variables(self) -> FrozenSet[Var]:
+        return _atom_variables(self.conclusion)
+
+    @property
+    def existential_variables(self) -> FrozenSet[Var]:
+        """Conclusion variables not bound by the premise (the ``∃y``)."""
+        return self.conclusion_variables - self.premise_variables
+
+    @property
+    def frontier(self) -> FrozenSet[Var]:
+        """Variables shared between premise and conclusion."""
+        return self.conclusion_variables & self.premise_variables
+
+    def is_full(self) -> bool:
+        """True for full tgds (no existential quantifiers)."""
+        return not self.existential_variables
+
+    def uses_constant_guard(self) -> bool:
+        return any(isinstance(g, ConstantGuard) for g in self.guards)
+
+    def uses_inequality(self) -> bool:
+        return any(isinstance(g, Inequality) for g in self.guards)
+
+    def is_plain(self) -> bool:
+        """True for guard-free tgds — the paper's plain (s-t) tgds."""
+        return not self.guards
+
+    # -- structure ------------------------------------------------------
+
+    def premise_relations(self) -> FrozenSet[str]:
+        return frozenset(a.relation for a in self.premise)
+
+    def conclusion_relations(self) -> FrozenSet[str]:
+        return frozenset(a.relation for a in self.conclusion)
+
+    def substitute_terms(self, mapping: Mapping[Var, Term]) -> "Tgd":
+        """Apply a variable→term substitution to both sides and guards.
+
+        Used to instantiate equality types in the quasi-inverse algorithm.
+        Substituting may make an inequality trivially false; callers decide
+        whether such a dependency is kept (it is vacuous) or dropped.
+        """
+        return Tgd(
+            tuple(a.substitute_terms(mapping) for a in self.premise),
+            tuple(a.substitute_terms(mapping) for a in self.conclusion),
+            tuple(g.substitute_terms(mapping) for g in self.guards),
+        )
+
+    def to_disjunctive(self) -> "DisjunctiveTgd":
+        return DisjunctiveTgd(self.premise, (self.conclusion,), self.guards)
+
+    def __str__(self) -> str:
+        left = " & ".join(str(a) for a in self.premise)
+        if self.guards:
+            left += " & " + " & ".join(str(g) for g in self.guards)
+        exis = sorted(self.existential_variables)
+        right = " & ".join(str(a) for a in self.conclusion)
+        if exis:
+            names = ", ".join(v.name for v in exis)
+            right = f"EXISTS {names} . {right}"
+        return f"{left} -> {right}"
+
+    def __repr__(self) -> str:
+        return f"Tgd({self})"
+
+
+@dataclass(frozen=True)
+class DisjunctiveTgd:
+    """A disjunctive tgd ``ϕ(x) ∧ guards → ⋁ᵢ ∃yᵢ ψᵢ(x, yᵢ)``.
+
+    Each disjunct is a conjunction of atoms with its own existential
+    variables.  A disjunctive tgd with one disjunct is semantically a plain
+    tgd; :meth:`as_tgd` converts back in that case.
+    """
+
+    premise: Tuple[Atom, ...]
+    disjuncts: Tuple[Tuple[Atom, ...], ...]
+    guards: Tuple[Guard, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise ValueError(
+                "disjunctive tgd needs at least one disjunct (an empty "
+                "disjunction is a denial constraint, which the paper's "
+                "language does not include)"
+            )
+        if any(not d for d in self.disjuncts):
+            raise ValueError("every disjunct needs at least one atom")
+        if not self.premise:
+            raise ValueError("disjunctive tgd needs at least one premise atom")
+        _check_safety(self.premise, self.guards, f"disjunctive tgd {self}")
+
+    @property
+    def premise_variables(self) -> FrozenSet[Var]:
+        return _atom_variables(self.premise)
+
+    def existential_variables(self, disjunct_index: int) -> FrozenSet[Var]:
+        """Existential variables of one disjunct."""
+        return _atom_variables(self.disjuncts[disjunct_index]) - self.premise_variables
+
+    def is_full(self) -> bool:
+        return all(not self.existential_variables(i) for i in range(len(self.disjuncts)))
+
+    def uses_constant_guard(self) -> bool:
+        return any(isinstance(g, ConstantGuard) for g in self.guards)
+
+    def uses_inequality(self) -> bool:
+        return any(isinstance(g, Inequality) for g in self.guards)
+
+    def is_disjunctive(self) -> bool:
+        """True when there are two or more disjuncts."""
+        return len(self.disjuncts) > 1
+
+    def premise_relations(self) -> FrozenSet[str]:
+        return frozenset(a.relation for a in self.premise)
+
+    def conclusion_relations(self) -> FrozenSet[str]:
+        return frozenset(a.relation for d in self.disjuncts for a in d)
+
+    def as_tgd(self) -> Tgd:
+        """Convert a one-disjunct disjunctive tgd back to a plain tgd."""
+        if len(self.disjuncts) != 1:
+            raise ValueError(f"{self} has {len(self.disjuncts)} disjuncts, not 1")
+        return Tgd(self.premise, self.disjuncts[0], self.guards)
+
+    def substitute_terms(self, mapping: Mapping[Var, Term]) -> "DisjunctiveTgd":
+        return DisjunctiveTgd(
+            tuple(a.substitute_terms(mapping) for a in self.premise),
+            tuple(
+                tuple(a.substitute_terms(mapping) for a in d) for d in self.disjuncts
+            ),
+            tuple(g.substitute_terms(mapping) for g in self.guards),
+        )
+
+    def __str__(self) -> str:
+        left = " & ".join(str(a) for a in self.premise)
+        if self.guards:
+            left += " & " + " & ".join(str(g) for g in self.guards)
+        parts = []
+        for i, d in enumerate(self.disjuncts):
+            body = " & ".join(str(a) for a in d)
+            exis = sorted(self.existential_variables(i))
+            if exis:
+                names = ", ".join(v.name for v in exis)
+                body = f"EXISTS {names} . {body}"
+            if len(d) > 1 and len(self.disjuncts) > 1:
+                body = f"({body})"
+            parts.append(body)
+        return f"{left} -> " + " | ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"DisjunctiveTgd({self})"
+
+
+Dependency = Union[Tgd, DisjunctiveTgd]
+
+
+def iter_disjunctive(dependencies: Sequence[Dependency]) -> Iterator[DisjunctiveTgd]:
+    """View a mixed dependency list uniformly as disjunctive tgds."""
+    for dep in dependencies:
+        yield dep.to_disjunctive() if isinstance(dep, Tgd) else dep

@@ -1,0 +1,88 @@
+"""Dependency implication and logical equivalence, via the chase.
+
+The classic decision procedure [Beeri-Vardi, JACM 1984] that the paper's
+toolbox presupposes: a set of tgds Σ *implies* a tgd σ : ϕ → ∃y ψ iff
+chasing the frozen premise of σ with Σ satisfies σ's conclusion.  On top
+of implication we get equivalence of dependency sets and redundancy
+pruning — used to normalize quasi-inverse outputs and composed mappings.
+
+Scope: plain tgds (no disjunction; guards on the premise of the *implied*
+dependency are honored by freezing, but implying sets must be guard-free
+tgds so the chase applies).  Termination inherits the chase's
+``max_rounds`` guard; for s-t shaped sets one round suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..chase.standard import chase
+from ..instance import Instance
+from ..logic.matching import match_atoms
+from ..terms import Null, Value, Var
+from .dependencies import Dependency, Tgd
+
+
+def _freeze_premise(tgd: Tgd) -> tuple[Instance, Dict[Var, Value]]:
+    """The frozen premise of *tgd*: distinct fresh nulls per variable.
+
+    Inequality guards on the tgd hold automatically (distinct nulls);
+    ``Constant`` guards would not be faithfully frozen, so tgds with
+    Constant guards are rejected by the callers.
+    """
+    binding: Dict[Var, Value] = {}
+    counter = 0
+    facts = []
+    for atom in tgd.premise:
+        for term in atom.terms:
+            if isinstance(term, Var) and term not in binding:
+                binding[term] = Null(f"FRZ{counter}")
+                counter += 1
+        facts.append(atom.instantiate(binding))
+    return Instance(facts), binding
+
+
+def implies(dependencies: Sequence[Dependency], candidate: Tgd,
+            max_rounds: int = 64) -> bool:
+    """Does Σ logically imply *candidate*?  (Beeri-Vardi chase test.)
+
+    Chase the frozen premise of *candidate* with Σ; the implication holds
+    iff some extension of the frozen binding witnesses the conclusion.
+    """
+    for dep in dependencies:
+        if not isinstance(dep, Tgd) or not dep.is_plain():
+            raise TypeError(
+                f"implication test needs plain tgds in the implying set, got {dep}"
+            )
+    if candidate.uses_constant_guard():
+        raise TypeError("Constant guards cannot be frozen faithfully")
+    frozen, binding = _freeze_premise(candidate)
+    chased = chase(frozen, dependencies, max_rounds=max_rounds).instance
+    seed = {v: binding[v] for v in candidate.frontier}
+    return next(match_atoms(candidate.conclusion, chased, initial=seed), None) is not None
+
+
+def equivalent(left: Sequence[Dependency], right: Sequence[Dependency],
+               max_rounds: int = 64) -> bool:
+    """Logical equivalence of two plain-tgd sets (mutual implication)."""
+    return all(implies(left, dep, max_rounds) for dep in right) and all(
+        implies(right, dep, max_rounds) for dep in left
+    )
+
+
+def prune_redundant(dependencies: Sequence[Tgd], max_rounds: int = 64) -> List[Tgd]:
+    """Drop dependencies implied by the remaining ones.
+
+    Processes in order, keeping a dependency only when the others do not
+    already imply it; the result is equivalent to the input.
+    """
+    kept = list(dependencies)
+    index = 0
+    while index < len(kept):
+        candidate = kept[index]
+        rest = kept[:index] + kept[index + 1 :]
+        if rest and implies(rest, candidate, max_rounds):
+            kept = rest
+        else:
+            index += 1
+    return kept

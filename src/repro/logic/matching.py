@@ -1,0 +1,145 @@
+"""Matching conjunctions of atoms against an instance.
+
+This is the shared engine under chase steps and conjunctive-query
+evaluation: enumerate all variable bindings under which every relational
+atom of a premise is a fact of the instance and every guard holds.
+
+The matcher does a backtracking search, at each step picking the pending
+atom with the fewest candidate facts given the bindings so far
+(most-constrained-first), which keeps premise matching fast on the skewed
+instances the workload generators produce.  Guards are checked as soon as
+all their variables are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..instance import Instance
+from ..terms import Const, Value, Var
+from .atoms import Atom
+from .guards import Guard
+
+
+def _candidate_count(atom: Atom, instance: Instance, binding: Mapping[Var, Value]) -> int:
+    """Cheap upper bound on how many facts could match *atom* now."""
+    tuples = instance.tuples(atom.relation)
+    if not tuples:
+        return 0
+    bound = sum(
+        1 for t in atom.terms if isinstance(t, Const) or (isinstance(t, Var) and t in binding)
+    )
+    # Fully-bound atoms are membership tests (0 or 1 candidates).
+    if bound == atom.arity:
+        return 1
+    return len(tuples)
+
+
+def _candidates(atom: Atom, store, binding: Mapping[Var, Value]):
+    """The tuples worth probing for *atom* given the current binding.
+
+    When a term is already bound (a constant or a bound variable) and the
+    store carries a position index, scan only that bucket — the smallest
+    one among the bound positions.  Falls back to the full relation for
+    unbound atoms or index-less stores (e.g. live chase builders).
+    """
+    lookup = getattr(store, "tuples_at", None)
+    if lookup is None:
+        return store.tuples(atom.relation)
+    best = None
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            value = term
+        elif isinstance(term, Var):
+            value = binding.get(term)
+            if value is None:
+                continue
+        else:  # pragma: no cover - terms are Const/Var by construction
+            continue
+        bucket = lookup(atom.relation, position, value)
+        if best is None or len(bucket) < len(best):
+            best = bucket
+            if not best:
+                break
+    if best is None:
+        return store.tuples(atom.relation)
+    return best
+
+
+def _match_fact(
+    atom: Atom, values: Tuple[Value, ...], binding: Dict[Var, Value]
+) -> Optional[Dict[Var, Value]]:
+    """Try to extend *binding* so that *atom* maps onto *values*."""
+    extension: Dict[Var, Value] = {}
+    for term, value in zip(atom.terms, values):
+        if isinstance(term, Const):
+            if term != value:
+                return None
+        else:
+            known = binding.get(term, extension.get(term))
+            if known is None:
+                extension[term] = value
+            elif known != value:
+                return None
+    return extension
+
+
+def match_atoms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    guards: Sequence[Guard] = (),
+    initial: Optional[Mapping[Var, Value]] = None,
+) -> Iterator[Dict[Var, Value]]:
+    """Yield every binding satisfying all *atoms* and *guards* in *instance*.
+
+    Bindings map exactly the variables of *atoms* plus those of *initial*.
+    With no atoms, yields the initial binding once (if the guards hold).
+    """
+    binding: Dict[Var, Value] = dict(initial) if initial else {}
+
+    def guards_ok(b: Mapping[Var, Value]) -> bool:
+        for guard in guards:
+            try:
+                if not guard.holds(b):
+                    return False
+            except KeyError:
+                # Guard variable not yet bound; defer to a later check.
+                continue
+        return True
+
+    def all_guards_ok(b: Mapping[Var, Value]) -> bool:
+        return all(guard.holds(b) for guard in guards)
+
+    def search(pending: list, b: Dict[Var, Value]) -> Iterator[Dict[Var, Value]]:
+        if not pending:
+            if all_guards_ok(b):
+                yield dict(b)
+            return
+        # Most-constrained-first: pick the cheapest pending atom.
+        index = min(
+            range(len(pending)),
+            key=lambda i: _candidate_count(pending[i], instance, b),
+        )
+        atom = pending[index]
+        rest = pending[:index] + pending[index + 1 :]
+        for values in _candidates(atom, instance, b):
+            extension = _match_fact(atom, values, b)
+            if extension is None:
+                continue
+            b.update(extension)
+            if guards_ok(b):
+                yield from search(rest, b)
+            for var in extension:
+                del b[var]
+
+    yield from search(list(atoms), binding)
+
+
+def has_match(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    guards: Sequence[Guard] = (),
+    initial: Optional[Mapping[Var, Value]] = None,
+) -> bool:
+    """True when at least one binding exists."""
+    return next(match_atoms(atoms, instance, guards, initial), None) is not None

@@ -1,0 +1,85 @@
+"""Normalization of tgd sets.
+
+Standard data-exchange preprocessing, used before feeding mappings to
+the quasi-inverse algorithm or the composer:
+
+* **split conclusions**: replace ``ϕ → A1 ∧ ... ∧ Ak`` (full tgd) by the
+  k single-conclusion tgds ``ϕ → Ai``.  For *full* tgds this is
+  logically equivalent; for existential tgds the conjunction shares its
+  witnesses and must NOT be split (splitting weakens it), so those are
+  passed through unchanged.
+* **deduplicate modulo renaming**: two tgds equal up to a variable
+  renaming are the same dependency; keep one representative.
+* **minimize**: drop implied dependencies (re-exported from
+  :mod:`repro.logic.implication`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence
+
+from ..terms import Term, Var
+from .dependencies import Tgd
+from .implication import prune_redundant
+
+
+def split_full_conclusions(dependencies: Sequence[Tgd]) -> List[Tgd]:
+    """Single-conclusion normal form for the full tgds of a set.
+
+    Full tgds with k conclusion atoms become k tgds (equivalent);
+    existential tgds pass through untouched (their conclusion atoms
+    share witnesses).
+    """
+    out: List[Tgd] = []
+    for dep in dependencies:
+        if dep.is_full() and len(dep.conclusion) > 1:
+            for atom in dep.conclusion:
+                out.append(Tgd(dep.premise, (atom,), dep.guards))
+        else:
+            out.append(dep)
+    return out
+
+
+def _canonical_renaming(tgd: Tgd) -> Tgd:
+    """Rename variables to x0, x1, ... in order of first occurrence."""
+    order: List[Var] = []
+    for atom in list(tgd.premise) + list(tgd.conclusion):
+        for var in atom.variables():
+            if var not in order:
+                order.append(var)
+    renaming: Dict[Var, Term] = {
+        var: Var(f"x{i}") for i, var in enumerate(order)
+    }
+    return tgd.substitute_terms(renaming)
+
+
+def dedup_modulo_renaming(dependencies: Sequence[Tgd]) -> List[Tgd]:
+    """Collapse tgds that are equal up to variable renaming.
+
+    Uses the canonical first-occurrence renaming as the signature; tgds
+    with permuted atom ORDER are considered distinct (atom order is
+    syntactic; logical duplicates across orders fall to `prune`).
+    """
+    seen = set()
+    out: List[Tgd] = []
+    for dep in dependencies:
+        signature = _canonical_renaming(dep)
+        if signature not in seen:
+            seen.add(signature)
+            out.append(dep)
+    return out
+
+
+def normalize(dependencies: Sequence[Tgd], prune: bool = True) -> List[Tgd]:
+    """Split full conclusions, dedup modulo renaming, optionally prune.
+
+    The result is logically equivalent to the input (splitting is only
+    applied where equivalent; pruning uses the implication test).
+    Pruning requires guard-free tgds and is skipped otherwise.
+    """
+    split = split_full_conclusions(list(dependencies))
+    deduped = dedup_modulo_renaming(split)
+    if prune and all(d.is_plain() for d in deduped):
+        return prune_redundant(deduped)
+    return deduped

@@ -1,0 +1,95 @@
+"""Conjunctive queries and their evaluation.
+
+Section 6.2 of the paper answers conjunctive queries over the source schema
+under certain-answer semantics.  A conjunctive query here is
+
+    ``q(x) :- A1, ..., Ak``
+
+with distinguished (head) variables ``x`` and relational body atoms; the
+remaining body variables are existential.  Evaluation over instances with
+nulls is *naive*: nulls are matched like ordinary values, and the caller
+decides whether to keep answer tuples containing nulls
+(:meth:`ConjunctiveQuery.evaluate`) or to discard them — the paper's
+``q(I)↓`` (:meth:`ConjunctiveQuery.evaluate_null_free`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from ..instance import Instance
+from ..terms import Const, Value, Var
+from .atoms import Atom
+from .matching import match_atoms
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query with head variables and a body of atoms."""
+
+    head: Tuple[Var, ...]
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError("conjunctive query needs at least one body atom")
+        body_vars = {v for a in self.body for v in a.variables()}
+        loose = set(self.head) - body_vars
+        if loose:
+            names = ", ".join(sorted(v.name for v in loose))
+            raise ValueError(f"head variables {{{names}}} missing from query body")
+
+    @classmethod
+    def build(cls, head_names: Iterable[str], body: Iterable[Atom]) -> "ConjunctiveQuery":
+        return cls(tuple(Var(n) for n in head_names), tuple(body))
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def evaluate(self, instance: Instance) -> FrozenSet[Tuple[Value, ...]]:
+        """Naive evaluation: answer tuples may contain nulls."""
+        answers = set()
+        for binding in match_atoms(self.body, instance):
+            answers.add(tuple(binding[v] for v in self.head))
+        return frozenset(answers)
+
+    def evaluate_null_free(self, instance: Instance) -> FrozenSet[Tuple[Value, ...]]:
+        """The paper's ``q(I)↓``: evaluate and drop tuples containing nulls."""
+        return frozenset(
+            row
+            for row in self.evaluate(instance)
+            if all(isinstance(v, Const) for v in row)
+        )
+
+    def holds_in(self, instance: Instance) -> bool:
+        """Boolean-query satisfaction (exists a match)."""
+        return next(match_atoms(self.body, instance), None) is not None
+
+    def __str__(self) -> str:
+        head = ", ".join(v.name for v in self.head)
+        body = " & ".join(str(a) for a in self.body)
+        return f"q({head}) :- {body}"
+
+
+def certain_answers_over_set(
+    query: ConjunctiveQuery, instances: Iterable[Instance]
+) -> FrozenSet[Tuple[Value, ...]]:
+    """``(⋂_K q(K))↓`` — the combinator used by Theorem 6.5.
+
+    Intersect the naive answers over every instance in the collection, then
+    discard tuples containing nulls.  With an empty collection the certain
+    answers are conventionally empty (no evidence for any tuple).
+    """
+    result = None
+    for inst in instances:
+        answers = query.evaluate(inst)
+        result = answers if result is None else (result & answers)
+        if not result:
+            return frozenset()
+    if result is None:
+        return frozenset()
+    return frozenset(
+        row for row in result if all(isinstance(v, Const) for v in row)
+    )

@@ -1,0 +1,28 @@
+"""Schema mappings, homomorphic extensions, identity, composition."""
+
+from .schema_mapping import SchemaMapping
+from .extension import (
+    extended_universal_solution,
+    in_extension,
+    in_extension_reverse,
+    is_extended_solution,
+    is_solution,
+)
+from .identity import extended_identity_contains, identity_contains
+from .composition import in_extended_composition, right_composition_relation
+from .syntactic_composition import NotComposable, compose
+
+__all__ = [
+    "SchemaMapping",
+    "extended_universal_solution",
+    "in_extension",
+    "in_extension_reverse",
+    "is_extended_solution",
+    "is_solution",
+    "extended_identity_contains",
+    "identity_contains",
+    "in_extended_composition",
+    "right_composition_relation",
+    "NotComposable",
+    "compose",
+]

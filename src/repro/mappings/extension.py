@@ -1,0 +1,93 @@
+"""Homomorphic extensions ``e(M)`` and extended solutions.
+
+``e(M) = → ∘ M ∘ →`` (Definition 3.6); ``J`` is an *extended solution*
+for ``I`` w.r.t. ``M`` exactly when ``(I, J) ∈ e(M)`` (Definition 3.2).
+
+For mappings specified by tgds, membership in ``e(M)`` has a clean
+decision procedure built on the chase and universality::
+
+    (I, J) ∈ e(M)   ⟺   chase_M(I) → J
+
+(⇐: take the witnesses ``I' = I`` and ``J' = chase_M(I)``.  ⇒: if
+``I → I'`` and ``(I', J') ⊨ Σ`` and ``J' → J``, then by universality
+``chase_M(I) → chase_M(I') → J' → J``.)  The same trick decides membership
+for reverse mappings given by disjunctive tgds, via the branch set of the
+reverse disjunctive chase.
+"""
+
+from __future__ import annotations
+
+from ..chase.disjunctive import reverse_disjunctive_chase
+from ..homs.search import is_homomorphic
+from ..instance import Instance
+from .schema_mapping import SchemaMapping
+
+
+def is_solution(mapping: SchemaMapping, source: Instance, target: Instance) -> bool:
+    """``target ∈ Sol_M(source)`` — plain satisfaction."""
+    return mapping.satisfies(source, target)
+
+
+def in_extension(mapping: SchemaMapping, source: Instance, target: Instance) -> bool:
+    """``(source, target) ∈ e(M)`` for a mapping specified by tgds.
+
+    Decided as ``chase_M(source) → target``.
+    """
+    if mapping.is_disjunctive():
+        raise ValueError(
+            "e(M) membership via the standard chase needs non-disjunctive Σ; "
+            "use in_extension_reverse for disjunctive reverse mappings"
+        )
+    return is_homomorphic(mapping.chase(source), target)
+
+
+def is_extended_solution(
+    mapping: SchemaMapping, source: Instance, target: Instance
+) -> bool:
+    """``target ∈ eSol_M(source)`` (Definition 3.2)."""
+    return in_extension(mapping, source, target)
+
+
+def extended_universal_solution(mapping: SchemaMapping, source: Instance) -> Instance:
+    """An extended universal solution for *source* (Proposition 3.11).
+
+    ``chase_M(I)`` is a universal solution and hence an extended universal
+    solution: it is an extended solution, and it maps homomorphically into
+    every extended solution.
+    """
+    return mapping.chase(source)
+
+
+def is_extended_universal_solution(
+    mapping: SchemaMapping, source: Instance, candidate: Instance
+) -> bool:
+    """Definition 3.5, decided via the chase.
+
+    ``J`` is an extended universal solution for ``I`` iff ``J`` is an
+    extended solution and ``J → chase_M(I)`` (since ``chase_M(I)`` is
+    itself an extended solution, and conversely ``chase_M(I) → J'`` for
+    every extended solution ``J'``).
+    """
+    chased = mapping.chase(source)
+    return is_homomorphic(chased, candidate) and is_homomorphic(candidate, chased)
+
+
+def in_extension_reverse(
+    reverse_mapping: SchemaMapping,
+    target: Instance,
+    source: Instance,
+    max_nulls: int = 8,
+) -> bool:
+    """``(target, source) ∈ e(M')`` for a reverse mapping given by
+    (disjunctive) tgds, decided via the reverse disjunctive chase:
+    some branch of ``chase_{M'}`` over a quotient of *target* must map
+    homomorphically into *source*.
+    """
+    branches = reverse_disjunctive_chase(
+        target,
+        reverse_mapping.dependencies,
+        result_relations=reverse_mapping.target.names,
+        max_nulls=max_nulls,
+        minimize=True,
+    )
+    return any(is_homomorphic(branch, source) for branch in branches)

@@ -1,0 +1,33 @@
+"""The identity schema mapping and its homomorphic extension.
+
+The (ground) identity mapping ``Id`` relates ground instances with
+``I1 ⊆ I2`` (through the replica schema; we elide the replica renaming as
+the paper does from Section 2 on).  Its homomorphic extension is the
+*extended identity* ``e(Id) = →`` (Definition 3.7): instances related by
+the existence of a homomorphism.  For ground pairs the two coincide.
+"""
+
+from __future__ import annotations
+
+from ..homs.search import is_homomorphic
+from ..instance import Instance
+
+
+def identity_contains(left: Instance, right: Instance) -> bool:
+    """``(left, right) ∈ Id`` — both ground and ``left ⊆ right``.
+
+    Raises ``ValueError`` on non-ground inputs: the ground identity is
+    simply not defined there, which is precisely the semantic mismatch the
+    paper sets out to fix.
+    """
+    if not left.is_ground() or not right.is_ground():
+        raise ValueError(
+            "the ground identity mapping Id is only defined on ground "
+            "instances; use extended_identity_contains for instances with nulls"
+        )
+    return left <= right
+
+
+def extended_identity_contains(left: Instance, right: Instance) -> bool:
+    """``(left, right) ∈ e(Id)``, i.e. ``left → right``."""
+    return is_homomorphic(left, right)

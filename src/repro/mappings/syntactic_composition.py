@@ -1,0 +1,192 @@
+"""Syntactic composition of schema mappings specified by tgds.
+
+The introduction of the paper motivates inverses *together with*
+composition: "in combination, they can be used to analyze schema
+evolution."  This module supplies the composition half for the
+tractable fragment: when ``M12`` is specified by **full** s-t tgds and
+``M23`` by arbitrary s-t tgds, the composition ``M12 ∘ M23`` is again
+specified by s-t tgds, obtained by *unfolding* — every premise atom of
+a ``Σ23`` dependency is resolved against the conclusions that ``Σ12``
+can produce (cf. [Fagin-Kolaitis-Popa-Tan, TODS'05]; beyond full
+``Σ12`` the composition may need second-order tgds, which is out of
+scope here and rejected loudly).
+
+The unfolding is most-general-unifier based: for each choice of a
+producer conclusion atom per premise atom, unify (variables of the
+``Σ12`` copies are renamed apart), pull the unified ``Σ12`` premises up
+as the new premise, and push the substitution through the ``Σ23``
+conclusion.  Inconsistent choices (constant clashes) are dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..logic.atoms import Atom
+from ..logic.dependencies import Tgd
+from ..schema import Schema
+from ..terms import Const, Term, Var
+from .schema_mapping import SchemaMapping
+
+
+class NotComposable(ValueError):
+    """The mappings fall outside the tgd-composable fragment."""
+
+
+def _resolve(term: Term, substitution: Dict[Var, Term]) -> Term:
+    """Follow the substitution chain to a representative term."""
+    seen = set()
+    while isinstance(term, Var) and term in substitution:
+        if term in seen:  # pragma: no cover - cycles impossible by union rule
+            break
+        seen.add(term)
+        term = substitution[term]
+    return term
+
+
+def _unify_atoms(
+    left: Atom, right: Atom, substitution: Dict[Var, Term]
+) -> Optional[Dict[Var, Term]]:
+    """Extend *substitution* to unify two atoms, or None on clash."""
+    if left.relation != right.relation or left.arity != right.arity:
+        return None
+    out = dict(substitution)
+    for l_term, r_term in zip(left.terms, right.terms):
+        a, b = _resolve(l_term, out), _resolve(r_term, out)
+        if a == b:
+            continue
+        if isinstance(a, Var):
+            out[a] = b
+        elif isinstance(b, Var):
+            out[b] = a
+        else:  # two distinct constants
+            return None
+    return out
+
+
+def _rename_apart(tgd: Tgd, index: int) -> Tgd:
+    renaming = {
+        v: Var(f"u{index}_{v.name}")
+        for v in tgd.premise_variables | tgd.conclusion_variables
+    }
+    return tgd.substitute_terms(renaming)
+
+
+def _apply(atom: Atom, substitution: Dict[Var, Term]) -> Atom:
+    return Atom(
+        atom.relation,
+        tuple(
+            _resolve(t, substitution) if isinstance(t, Var) else t
+            for t in atom.terms
+        ),
+    )
+
+
+_CANONICAL_NAMES = ("x", "y", "z", "u", "v", "w")
+
+
+def _canonicalize(tgd: Tgd) -> Tgd:
+    """Rename variables to a stable alphabet in order of first occurrence.
+
+    Makes the unfolded output readable and deterministic regardless of
+    the internal renaming-apart scheme.
+    """
+    order: List[Var] = []
+    for atom in list(tgd.premise) + list(tgd.conclusion):
+        for var in atom.variables():
+            if var not in order:
+                order.append(var)
+    renaming: Dict[Var, Term] = {}
+    for index, var in enumerate(order):
+        name = (
+            _CANONICAL_NAMES[index]
+            if index < len(_CANONICAL_NAMES)
+            else f"x{index}"
+        )
+        renaming[var] = Var(name)
+    return tgd.substitute_terms(renaming)
+
+
+def compose(
+    first: SchemaMapping, second: SchemaMapping, prune: bool = True
+) -> SchemaMapping:
+    """Compute ``first ∘ second`` as a tgd-specified schema mapping.
+
+    Requires *first* to be full plain tgds (else the composition can
+    escape first-order tgds) and *second* to be plain tgds over
+    *first*'s target schema.  Returns a mapping from *first*'s source
+    schema to *second*'s target schema.  ``Σ23`` dependencies whose
+    premise mentions a relation no ``Σ12`` conclusion produces unfold to
+    nothing (they can never fire on exchanged data) and are dropped.
+
+    Unfolding over producer choices routinely emits logically redundant
+    dependencies (specializations of each other); with *prune* (default)
+    the output is minimized under the Beeri-Vardi implication test —
+    logically equivalent, often much smaller.
+    """
+    if not (first.is_plain_tgds() and first.is_full()):
+        raise NotComposable(
+            "the left mapping must be full plain tgds; compositions with "
+            "existentials on the left generally need second-order tgds"
+        )
+    if not second.is_plain_tgds():
+        raise NotComposable("the right mapping must be plain tgds")
+    if set(second.source.names) - set(first.target.names):
+        missing = sorted(set(second.source.names) - set(first.target.names))
+        raise NotComposable(
+            f"middle schemas disagree: {missing} not in the left target"
+        )
+
+    producers: Dict[str, List[Tuple[Tgd, int]]] = {}
+    for dep in first.dependencies:
+        for position, atom in enumerate(dep.conclusion):
+            producers.setdefault(atom.relation, []).append((dep, position))
+
+    composed: List[Tgd] = []
+    for dep in second.dependencies:
+        options = []
+        for premise_atom in dep.premise:
+            atom_producers = producers.get(premise_atom.relation, [])
+            if not atom_producers:
+                options = []
+                break
+            options.append([(premise_atom, p) for p in atom_producers])
+        if not options:
+            continue
+        for choice in itertools.product(*options):
+            # Each chosen producer gets a FRESH renamed copy: unfolding two
+            # premise atoms through the same Σ12 tgd must not share its
+            # variables, or the composition would force spurious joins.
+            substitution: Optional[Dict[Var, Term]] = {}
+            resolved_choice = []
+            for copy_index, (premise_atom, (producer, position)) in enumerate(choice):
+                renamed = _rename_apart(producer, copy_index)
+                producer_atom = renamed.conclusion[position]
+                resolved_choice.append((premise_atom, (renamed, producer_atom)))
+                substitution = _unify_atoms(premise_atom, producer_atom, substitution)
+                if substitution is None:
+                    break
+            if substitution is None:
+                continue
+            choice = resolved_choice
+            new_premise = []
+            for _, (producer_tgd, _) in choice:
+                for atom in producer_tgd.premise:
+                    unfolded = _apply(atom, substitution)
+                    if unfolded not in new_premise:
+                        new_premise.append(unfolded)
+            new_conclusion = tuple(_apply(a, substitution) for a in dep.conclusion)
+            candidate = _canonicalize(Tgd(tuple(new_premise), new_conclusion))
+            if candidate not in composed:
+                composed.append(candidate)
+
+    if not composed:
+        raise NotComposable(
+            "the composition is empty: no Σ23 premise unfolds through Σ12"
+        )
+    if prune:
+        from ..logic.implication import prune_redundant
+
+        composed = prune_redundant(composed)
+    return SchemaMapping(composed, source=first.source, target=second.target)

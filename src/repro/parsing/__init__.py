@@ -1,0 +1,5 @@
+"""Text syntax for dependencies, queries, and instances."""
+
+from .parser import parse_dependencies, parse_dependency, parse_query
+
+__all__ = ["parse_dependencies", "parse_dependency", "parse_query"]

@@ -1,0 +1,21 @@
+"""Reverse data exchange and reverse query answering (Section 6)."""
+
+from .exchange import ExchangeResult, forward_exchange, reverse_exchange, round_trip
+from .pipeline import EvolutionPipeline, Hop
+from .query_answering import (
+    brute_force_certain_answers,
+    certain_answers,
+    reverse_certain_answers,
+)
+
+__all__ = [
+    "EvolutionPipeline",
+    "Hop",
+    "ExchangeResult",
+    "forward_exchange",
+    "reverse_exchange",
+    "round_trip",
+    "brute_force_certain_answers",
+    "certain_answers",
+    "reverse_certain_answers",
+]

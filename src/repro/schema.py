@@ -1,0 +1,108 @@
+"""Relational schemas.
+
+A schema is a finite set of relation symbols, each with a fixed arity
+(Section 2 of the paper).  Schemas validate instances and dependencies:
+an atom or fact over an unknown relation symbol, or with the wrong arity,
+is rejected eagerly instead of producing silently wrong chase results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A relation symbol with a fixed arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("relation symbol needs a non-empty name")
+        if self.arity < 0:
+            raise ValueError(f"negative arity for relation {self.name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Schema:
+    """An immutable collection of relation symbols keyed by name.
+
+    Two schemas are equal when they contain the same symbols.  A schema can
+    be built from ``RelationSymbol`` objects or from ``(name, arity)`` pairs.
+    """
+
+    def __init__(self, relations: Iterable[RelationSymbol | Tuple[str, int]] = ()) -> None:
+        by_name: Dict[str, RelationSymbol] = {}
+        for rel in relations:
+            if isinstance(rel, tuple):
+                rel = RelationSymbol(*rel)
+            existing = by_name.get(rel.name)
+            if existing is not None and existing != rel:
+                raise ValueError(
+                    f"conflicting arities for relation {rel.name!r}: "
+                    f"{existing.arity} vs {rel.arity}"
+                )
+            by_name[rel.name] = rel
+        self._by_name: Mapping[str, RelationSymbol] = dict(sorted(by_name.items()))
+
+    @classmethod
+    def from_arities(cls, arities: Mapping[str, int]) -> "Schema":
+        """Build a schema from a ``{name: arity}`` mapping."""
+        return cls(RelationSymbol(name, arity) for name, arity in arities.items())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> RelationSymbol:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}; schema has {sorted(self._by_name)}")
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._by_name == other._by_name
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._by_name.values()))
+
+    def __repr__(self) -> str:
+        rels = ", ".join(str(rel) for rel in self)
+        return f"Schema({rels})"
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._by_name)
+
+    def arity(self, name: str) -> int:
+        """Return the arity of relation *name* (KeyError if unknown)."""
+        return self[name].arity
+
+    def union(self, other: "Schema") -> "Schema":
+        """Return the union schema; arities must agree on shared names."""
+        return Schema(list(self) + list(other))
+
+    def disjoint_with(self, other: "Schema") -> bool:
+        """True when the two schemas share no relation names."""
+        return not set(self.names) & set(other.names)
+
+    def replica(self, suffix: str = "^") -> "Schema":
+        """Return a replica schema with every name suffixed (Section 2).
+
+        The paper writes the replica of ``S`` as ``Ŝ`` with symbols ``R̂``;
+        we suffix names instead.  The replica is used by the (non-extended)
+        identity schema mapping.
+        """
+        return Schema(RelationSymbol(rel.name + suffix, rel.arity) for rel in self)

@@ -1,0 +1,183 @@
+"""Term algebra for instances and dependencies.
+
+The paper distinguishes three kinds of terms:
+
+* **constants** (``Const``) — values from the fixed infinite set ``Const`` of
+  the paper; homomorphisms must map every constant to itself;
+* **labeled nulls** (``Null``) — values from the infinite set ``Var`` of the
+  paper (renamed here to avoid clashing with dependency variables); a
+  homomorphism may map a null to any constant or null;
+* **variables** (``Var``) — placeholders that occur only inside dependencies
+  and queries, never inside instances.
+
+Instances contain only ``Const`` and ``Null`` values; dependencies and
+queries contain ``Const`` and ``Var`` terms.  Keeping the three kinds as
+distinct types (rather than, say, string conventions) makes the
+homomorphism/chase code self-checking: mixing a ``Var`` into an instance is
+a type error caught by validation, not a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+
+@dataclass(frozen=True, order=True)
+class Const:
+    """A constant value.
+
+    Homomorphisms are required to map every constant to itself
+    (Definition 3.1 of the paper).  The payload may be any hashable,
+    orderable value; strings and integers are typical.
+    """
+
+    value: Union[str, int]
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    @property
+    def is_null(self) -> bool:
+        return False
+
+    @property
+    def is_const(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, order=True)
+class Null:
+    """A labeled null.
+
+    Nulls represent unknown values.  Two nulls with the same name are the
+    same null; nulls with different names are distinct values of an
+    instance, but a homomorphism may collapse them or send them to
+    constants.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Null({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"_{self.name}"
+
+    @property
+    def is_null(self) -> bool:
+        return True
+
+    @property
+    def is_const(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A first-order variable, used only inside dependencies and queries."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: A value that may occur in an instance.
+Value = Union[Const, Null]
+
+#: A term that may occur in a dependency or query atom.
+Term = Union[Const, Var]
+
+
+def is_value(obj: object) -> bool:
+    """Return True if *obj* may occur in an instance (constant or null)."""
+    return isinstance(obj, (Const, Null))
+
+
+def is_term(obj: object) -> bool:
+    """Return True if *obj* may occur in a dependency atom."""
+    return isinstance(obj, (Const, Var))
+
+
+class NullFactory:
+    """Deterministic factory of fresh labeled nulls.
+
+    The chase needs a stream of nulls guaranteed not to clash with nulls
+    already present in the input.  A factory carries a prefix and a counter;
+    creating the factory with :meth:`avoiding` skips every name already in
+    use, so freshness is guaranteed without global state.
+    """
+
+    def __init__(self, prefix: str = "N", start: int = 0) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(start)
+        self._taken: set[str] = set()
+
+    @classmethod
+    def avoiding(cls, values: Iterable[Value], prefix: str = "N") -> "NullFactory":
+        """Build a factory whose nulls avoid every null name in *values*."""
+        factory = cls(prefix=prefix)
+        factory._taken = {v.name for v in values if isinstance(v, Null)}
+        return factory
+
+    def fresh(self) -> Null:
+        """Return a null that no previous call (nor the avoided set) produced."""
+        while True:
+            name = f"{self._prefix}{next(self._counter)}"
+            if name not in self._taken:
+                self._taken.add(name)
+                return Null(name)
+
+    def fresh_many(self, count: int) -> list[Null]:
+        """Return *count* distinct fresh nulls."""
+        return [self.fresh() for _ in range(count)]
+
+
+def value_sort_key(value: Value) -> tuple:
+    """A total order over mixed constants and nulls (constants first).
+
+    ``Const`` payloads may mix ints and strings, so the key stringifies
+    with a type tag to stay comparable.
+    """
+    if isinstance(value, Const):
+        return (0, type(value.value).__name__, str(value.value))
+    return (1, "null", value.name)
+
+
+def term_sort_key(term: Term) -> tuple:
+    """A total order over mixed constants and variables (constants first)."""
+    if isinstance(term, Const):
+        return (0, type(term.value).__name__, str(term.value))
+    return (1, "var", term.name)
+
+
+_CONST_TOKEN = re.compile(r"^[a-z0-9][A-Za-z0-9_']*$|^[0-9]+$")
+_NULL_TOKEN = re.compile(r"^[A-Z][A-Za-z0-9_']*$")
+
+
+def value_from_token(token: str) -> Value:
+    """Interpret a bare token as a value, following data-exchange convention.
+
+    Lowercase-initial tokens and numbers are constants; uppercase-initial
+    tokens are labeled nulls.  This mirrors the paper's notation, where
+    ``a, b, c, 0, 1`` are constants and ``X, Y, Z, W, U, V`` are nulls.
+    """
+    token = token.strip()
+    if not token:
+        raise ValueError("empty value token")
+    if token.isdigit():
+        return Const(int(token))
+    if _NULL_TOKEN.match(token):
+        return Null(token)
+    if _CONST_TOKEN.match(token):
+        return Const(token)
+    raise ValueError(f"cannot interpret {token!r} as a constant or null")

@@ -1,0 +1,17 @@
+"""Synthetic workloads: named paper scenarios and random generators."""
+
+from .scenarios import PAPER_SCENARIOS, Scenario, get_scenario
+from .generators import (
+    random_full_tgd_mapping,
+    random_instance,
+    random_source_instances,
+)
+
+__all__ = [
+    "PAPER_SCENARIOS",
+    "Scenario",
+    "get_scenario",
+    "random_full_tgd_mapping",
+    "random_instance",
+    "random_source_instances",
+]

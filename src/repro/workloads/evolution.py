@@ -1,0 +1,147 @@
+"""Schema-evolution primitives as ready-made hops.
+
+The common evolution steps every migration tool supports, each packaged
+as a forward mapping plus its natural reverse — the building blocks for
+evolution pipelines and for the recovery benchmarks:
+
+* ``rename_relation``    — lossless, extended invertible;
+* ``add_column``         — new column filled with nulls; lossless;
+* ``drop_column``        — projection; lossy;
+* ``vertical_partition`` — Example 1.1's decomposition; lossy
+  (association between the parts is severed);
+* ``horizontal_merge``   — Example 3.14's union; lossy (provenance);
+* ``denormalize_join``   — the reverse shape of a partition: two
+  relations joined into one; lossless only on the join column.
+
+Each factory returns a :class:`repro.reverse.pipeline.Hop` so chains
+compose directly into :class:`EvolutionPipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..logic.atoms import Atom
+from ..logic.dependencies import Tgd
+from ..mappings.schema_mapping import SchemaMapping
+from ..reverse.pipeline import Hop
+from ..terms import Var
+
+
+def _vars(count: int, prefix: str = "x") -> List[Var]:
+    return [Var(f"{prefix}{i}") for i in range(count)]
+
+
+def rename_relation(old: str, new: str, arity: int) -> Hop:
+    """``old(x...) -> new(x...)`` with the exact inverse."""
+    variables = tuple(_vars(arity))
+    forward = SchemaMapping([Tgd((Atom(old, variables),), (Atom(new, variables),))])
+    reverse = SchemaMapping([Tgd((Atom(new, variables),), (Atom(old, variables),))])
+    return Hop(forward=forward, reverse=reverse, label=f"rename {old}->{new}")
+
+
+def add_column(old: str, new: str, arity: int) -> Hop:
+    """Widen by one column; the unknown values are existential nulls."""
+    variables = _vars(arity)
+    extended = tuple(variables) + (Var("fresh"),)
+    forward = SchemaMapping(
+        [Tgd((Atom(old, tuple(variables)),), (Atom(new, extended),))]
+    )
+    reverse = SchemaMapping(
+        [Tgd((Atom(new, extended),), (Atom(old, tuple(variables)),))]
+    )
+    return Hop(forward=forward, reverse=reverse, label=f"add column to {old}")
+
+
+def drop_column(old: str, new: str, arity: int, position: int) -> Hop:
+    """Project away the column at *position* (lossy)."""
+    if not 0 <= position < arity:
+        raise ValueError(f"position {position} outside arity {arity}")
+    variables = _vars(arity)
+    kept = tuple(v for i, v in enumerate(variables) if i != position)
+    forward = SchemaMapping([Tgd((Atom(old, tuple(variables)),), (Atom(new, kept),))])
+    reverse = SchemaMapping([Tgd((Atom(new, kept),), (Atom(old, tuple(variables)),))])
+    return Hop(forward=forward, reverse=reverse, label=f"drop column {position} of {old}")
+
+
+def vertical_partition(
+    old: str, left: str, right: str, arity: int, split: int
+) -> Hop:
+    """Split columns ``[0, split]`` and ``[split, arity)`` sharing the
+    split column as the join key — Example 1.1 generalized (lossy)."""
+    if not 0 < split < arity - 1:
+        raise ValueError(f"split {split} must leave columns on both sides")
+    variables = _vars(arity)
+    left_cols = tuple(variables[: split + 1])
+    right_cols = tuple(variables[split:])
+    forward = SchemaMapping(
+        [
+            Tgd(
+                (Atom(old, tuple(variables)),),
+                (Atom(left, left_cols), Atom(right, right_cols)),
+            )
+        ]
+    )
+    reverse = SchemaMapping(
+        [
+            Tgd((Atom(left, left_cols),), (Atom(old, tuple(variables)),)),
+            Tgd((Atom(right, right_cols),), (Atom(old, tuple(variables)),)),
+        ]
+    )
+    return Hop(forward=forward, reverse=reverse, label=f"partition {old}")
+
+
+def horizontal_merge(parts: List[str], merged: str, arity: int) -> Hop:
+    """Union several relations into one — Example 3.14 generalized (lossy).
+
+    The *maximum extended recovery* is disjunctive
+    (``merged(x) -> part1(x) | part2(x) | ...``, computable via the
+    quasi-inverse algorithm); since tgd pipelines need non-disjunctive
+    reverses, the returned hop's reverse sends every merged row back to
+    *every* part.  That over-recovers — it is NOT a recovery (it invents
+    facts the source never had) — but it is the standard practical
+    fallback, and each per-part projection of its round trip covers the
+    source's rows of that part.
+    """
+    if len(parts) < 2:
+        raise ValueError("a merge needs at least two parts")
+    variables = tuple(_vars(arity))
+    forward = SchemaMapping(
+        [Tgd((Atom(part, variables),), (Atom(merged, variables),)) for part in parts]
+    )
+    reverse = SchemaMapping(
+        [Tgd((Atom(merged, variables),), (Atom(part, variables),)) for part in parts]
+    )
+    return Hop(forward=forward, reverse=reverse, label=f"merge into {merged}")
+
+
+def denormalize_join(
+    left: str, right: str, merged: str, left_arity: int, right_arity: int
+) -> Hop:
+    """Join two relations on the last/first column into one wide relation.
+
+    ``left(x0..xk) ∧ right(xk..xn) -> merged(x0..xn)``; lossless exactly
+    for the joined pairs (dangling tuples are dropped — documented
+    lossiness of denormalization).
+    """
+    total = left_arity + right_arity - 1
+    variables = _vars(total)
+    left_cols = tuple(variables[:left_arity])
+    right_cols = tuple(variables[left_arity - 1 :])
+    forward = SchemaMapping(
+        [
+            Tgd(
+                (Atom(left, left_cols), Atom(right, right_cols)),
+                (Atom(merged, tuple(variables)),),
+            )
+        ]
+    )
+    reverse = SchemaMapping(
+        [
+            Tgd(
+                (Atom(merged, tuple(variables)),),
+                (Atom(left, left_cols), Atom(right, right_cols)),
+            )
+        ]
+    )
+    return Hop(forward=forward, reverse=reverse, label=f"denormalize into {merged}")

@@ -1,0 +1,181 @@
+"""Random workload generators (seeded, reproducible).
+
+The paper has no empirical workload; the calibration notes call for
+*synthetic mappings*.  The generators here produce:
+
+* random instances over a schema with a controllable size, value-pool
+  width (skew), and **null ratio** — the knob this paper is about;
+* random **full** s-t tgd mappings, suitable inputs for the
+  quasi-inverse algorithm of Section 5;
+* batches of source instances for round-trip / certain-answer sweeps.
+
+All functions take a :class:`random.Random` or an integer seed, never the
+global RNG, so every benchmark row is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from ..instance import Fact, Instance
+from ..logic.atoms import Atom
+from ..logic.dependencies import Tgd
+from ..mappings.schema_mapping import SchemaMapping
+from ..schema import RelationSymbol, Schema
+from ..terms import Const, Null, Value, Var
+
+
+def _rng(seed: Union[int, random.Random]) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_instance(
+    schema: Schema,
+    size: int,
+    seed: Union[int, random.Random] = 0,
+    null_ratio: float = 0.0,
+    value_pool: int = 10,
+) -> Instance:
+    """A random instance with *size* facts over *schema*.
+
+    Each position draws a null with probability *null_ratio*, else a
+    constant from a pool of *value_pool* values (smaller pools mean more
+    joins/skew).  Nulls are drawn from a pool of the same width, so
+    repeated nulls occur — realistic for chase outputs.
+    """
+    if not 0.0 <= null_ratio <= 1.0:
+        raise ValueError(f"null_ratio must be in [0, 1], got {null_ratio}")
+    rng = _rng(seed)
+    relations = list(schema)
+    if not relations:
+        raise ValueError("schema has no relations")
+    facts: List[Fact] = []
+    for _ in range(size):
+        relation = rng.choice(relations)
+        values: List[Value] = []
+        for _ in range(relation.arity):
+            if rng.random() < null_ratio:
+                values.append(Null(f"G{rng.randrange(value_pool)}"))
+            else:
+                values.append(Const(rng.randrange(value_pool)))
+        facts.append(Fact(relation.name, tuple(values)))
+    return Instance(facts)
+
+
+def random_source_instances(
+    schema: Schema,
+    count: int,
+    size: int,
+    seed: Union[int, random.Random] = 0,
+    null_ratio: float = 0.0,
+    value_pool: int = 10,
+) -> List[Instance]:
+    """A reproducible batch of random instances."""
+    rng = _rng(seed)
+    return [
+        random_instance(
+            schema, size, seed=rng, null_ratio=null_ratio, value_pool=value_pool
+        )
+        for _ in range(count)
+    ]
+
+
+def random_full_tgd_mapping(
+    source_relations: int = 3,
+    target_relations: int = 3,
+    tgd_count: int = 4,
+    max_arity: int = 3,
+    max_premise_atoms: int = 2,
+    max_conclusion_atoms: int = 2,
+    seed: Union[int, random.Random] = 0,
+) -> SchemaMapping:
+    """A random mapping specified by full s-t tgds.
+
+    Premises are random atoms over the source schema using a small
+    variable pool; conclusions are random atoms over the target schema
+    whose variables are drawn from the premise variables (fullness).
+    """
+    rng = _rng(seed)
+    source = Schema(
+        RelationSymbol(f"S{i}", rng.randint(1, max_arity))
+        for i in range(source_relations)
+    )
+    target = Schema(
+        RelationSymbol(f"T{i}", rng.randint(1, max_arity))
+        for i in range(target_relations)
+    )
+    source_rels = list(source)
+    target_rels = list(target)
+
+    tgds: List[Tgd] = []
+    for _ in range(tgd_count):
+        variables = [Var(f"x{i}") for i in range(max_arity * max_premise_atoms)]
+        premise = []
+        used: List[Var] = []
+        for _ in range(rng.randint(1, max_premise_atoms)):
+            relation = rng.choice(source_rels)
+            terms = tuple(rng.choice(variables) for _ in range(relation.arity))
+            premise.append(Atom(relation.name, terms))
+            used.extend(t for t in terms if isinstance(t, Var))
+        conclusion = []
+        for _ in range(rng.randint(1, max_conclusion_atoms)):
+            relation = rng.choice(target_rels)
+            terms = tuple(rng.choice(used) for _ in range(relation.arity))
+            conclusion.append(Atom(relation.name, terms))
+        tgds.append(Tgd(tuple(premise), tuple(conclusion)))
+    return SchemaMapping(tgds, source=source, target=target)
+
+
+def chain_decomposition_mapping(length: int) -> SchemaMapping:
+    """The wide-decomposition family: ``P(x0..xk) -> R1(x0,x1) & ... ``.
+
+    Generalizes Example 1.1's decomposition to a chain of *length*
+    binary target relations; used by the chase and recovery benchmarks to
+    scale the per-fact fan-out.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    variables = [Var(f"x{i}") for i in range(length + 1)]
+    premise = (Atom("P", tuple(variables)),)
+    conclusion = tuple(
+        Atom(f"R{i}", (variables[i], variables[i + 1])) for i in range(length)
+    )
+    return SchemaMapping([Tgd(premise, conclusion)])
+
+
+def chain_join_reverse(length: int) -> SchemaMapping:
+    """Per-atom reverse of :func:`chain_decomposition_mapping`.
+
+    Each ``Ri(xi, xi+1)`` rejoins into ``P`` with the other positions
+    existential — the Example 1.1 reverse, generalized.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    variables = [Var(f"x{i}") for i in range(length + 1)]
+    tgds = []
+    for i in range(length):
+        premise = (Atom(f"R{i}", (variables[i], variables[i + 1])),)
+        conclusion = (Atom("P", tuple(variables)),)
+        tgds.append(Tgd(premise, conclusion))
+    return SchemaMapping(tgds)
+
+
+def ground_pairs(
+    schema: Schema,
+    count: int,
+    size: int,
+    seed: Union[int, random.Random] = 0,
+    value_pool: int = 6,
+) -> List[tuple]:
+    """Random (left, right) ground-instance pairs for loss sampling."""
+    rng = _rng(seed)
+    return [
+        (
+            random_instance(schema, size, seed=rng, value_pool=value_pool),
+            random_instance(schema, size, seed=rng, value_pool=value_pool),
+        )
+        for _ in range(count)
+    ]

@@ -1,0 +1,59 @@
+"""Shared fixtures: the paper's scenarios and common instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, SchemaMapping
+from repro.workloads.scenarios import PAPER_SCENARIOS, get_scenario
+
+
+@pytest.fixture(scope="session")
+def decomposition() -> SchemaMapping:
+    """Example 1.1's mapping: P(x,y,z) -> Q(x,y) & R(y,z)."""
+    return get_scenario("decomposition").mapping
+
+
+@pytest.fixture(scope="session")
+def decomposition_reverse() -> SchemaMapping:
+    return get_scenario("decomposition").reverse
+
+
+@pytest.fixture(scope="session")
+def path2() -> SchemaMapping:
+    """P(x,y) -> ∃z (Q(x,z) ∧ Q(z,y)) — Theorem 3.15(3) / Example 3.18."""
+    return get_scenario("path2").mapping
+
+
+@pytest.fixture(scope="session")
+def path2_reverse() -> SchemaMapping:
+    return get_scenario("path2").reverse
+
+
+@pytest.fixture(scope="session")
+def union_mapping() -> SchemaMapping:
+    """Example 3.14's union mapping."""
+    return get_scenario("union").mapping
+
+
+@pytest.fixture(scope="session")
+def self_join_target() -> SchemaMapping:
+    """Theorem 5.2's mapping."""
+    return get_scenario("self_join_target").mapping
+
+
+@pytest.fixture(scope="session")
+def self_join_reverse() -> SchemaMapping:
+    """Theorem 5.2's Σ*."""
+    return get_scenario("self_join_target").reverse
+
+
+@pytest.fixture(params=sorted(PAPER_SCENARIOS))
+def scenario(request):
+    """Parametrized over every catalogued paper scenario."""
+    return PAPER_SCENARIOS[request.param]
+
+
+@pytest.fixture
+def ground_pabc() -> Instance:
+    return Instance.parse("P(a, b, c)")

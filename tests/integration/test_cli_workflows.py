@@ -1,0 +1,88 @@
+"""Integration: complete CLI workflows over real files.
+
+Simulates a user driving the tool end-to-end: write mapping files,
+exchange data, audit, compute a recovery to a file, and answer legacy
+queries with it.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    forward = tmp_path / "forward.deps"
+    forward.write_text(
+        "-- archive schema evolution\n"
+        "P(x, y) -> P'(x, y)\n"
+        "T(x) -> P'(x, x)\n"
+    )
+    reverse = tmp_path / "reverse.deps"
+    return tmp_path, forward, reverse
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestFullWorkflow:
+    def test_exchange_audit_recover_answer(self, capsys, workspace):
+        tmp_path, forward, reverse = workspace
+
+        # 1. Forward exchange.
+        code, out, _ = run(
+            capsys, "chase", "--mapping", str(forward),
+            "--instance", "P(1, 2), P(3, 3), T(4)",
+        )
+        assert code == 0
+        assert "P'(1, 2)" in out and "P'(3, 3)" in out and "P'(4, 4)" in out
+
+        # 2. Audit: the mapping is lossy.
+        code, out, _ = run(capsys, "audit", "--mapping", str(forward))
+        assert code == 1
+        assert "extended invertible" in out and "False" in out
+
+        # 3. Compute the maximum extended recovery, save it.
+        code, out, _ = run(capsys, "recover", "--mapping", str(forward))
+        assert code == 0
+        reverse.write_text(out)
+
+        # 4. Reverse exchange from the archived target with the saved file.
+        code, out, _ = run(
+            capsys, "reverse", "--mapping", str(reverse),
+            "--instance", "P'(1, 2), P'(3, 3)",
+        )
+        assert code == 0
+        assert "P(1, 2)" in out
+
+        # 5. Legacy query answering with the saved recovery.
+        code, out, _ = run(
+            capsys, "answer",
+            "--mapping", str(forward),
+            "--recovery", str(reverse),
+            "--instance", "P(1, 2), P(3, 3), T(4)",
+            "--query", "q(x, y) :- P(x, y)",
+        )
+        assert code == 0
+        assert "(1, 2)" in out and "(3, 3)" not in out
+
+    def test_report_matches_audit(self, capsys, workspace):
+        _, forward, _ = workspace
+        code, out, _ = run(capsys, "report", "--mapping", str(forward))
+        assert code == 0
+        assert "extended invertible:   False" in out
+        assert "P'(v0, v0) -> P(v0, v0) | T(v0)" in out
+
+    def test_compose_chain_via_files(self, capsys, tmp_path):
+        first = tmp_path / "hop1.deps"
+        first.write_text("A(x, y) -> B(x, y)\n")
+        second = tmp_path / "hop2.deps"
+        second.write_text("B(x, z) & B(z, y) -> C(x, y)\n")
+        code, out, _ = run(
+            capsys, "compose", "--first", str(first), "--second", str(second)
+        )
+        assert code == 0
+        assert "A(x, y) & A(y, z) -> C(x, z)" in out

@@ -1,0 +1,59 @@
+"""EX-1.1 — Example 1.1: the motivating decomposition round trip.
+
+M : P(x,y,z) -> Q(x,y) ∧ R(y,z)
+M': Q(x,y) -> ∃z P(x,y,z),  R(y,z) -> ∃x P(x,y,z)
+
+Chasing I = {P(a,b,c)} gives U = {Q(a,b), R(b,c)}; chasing U with M'
+gives V = {P(a,b,Z), P(X,b,c)} — a source instance WITH NULLS, outside
+the classical framework.
+"""
+
+from repro.homs.search import is_homomorphic
+from repro.instance import Instance
+from repro.terms import Const, Null
+
+
+def test_forward_exchange_shape(decomposition, ground_pabc):
+    assert decomposition.chase(ground_pabc) == Instance.parse("Q(a, b), R(b, c)")
+
+
+def test_reverse_exchange_produces_nulls(
+    decomposition, decomposition_reverse, ground_pabc
+):
+    u = decomposition.chase(ground_pabc)
+    v = decomposition_reverse.chase(u)
+    assert len(v) == 2
+    assert not v.is_ground()
+    # Exactly the paper's shape: P(a, b, Z) and P(X, b, c).
+    tuples = sorted(v.tuples("P"), key=lambda t: str(t))
+    patterns = set()
+    for values in v.tuples("P"):
+        patterns.add(tuple("null" if isinstance(x, Null) else x for x in values))
+    assert patterns == {
+        (Const("a"), Const("b"), "null"),
+        ("null", Const("b"), Const("c")),
+    }
+
+
+def test_v_is_not_ground_hence_outside_ground_framework(
+    decomposition, decomposition_reverse, ground_pabc
+):
+    from repro.mappings.identity import identity_contains
+    import pytest
+
+    v = decomposition_reverse.chase(decomposition.chase(ground_pabc))
+    with pytest.raises(ValueError):
+        identity_contains(v, ground_pabc)
+
+
+def test_v_maps_into_i_but_not_back(decomposition, decomposition_reverse, ground_pabc):
+    v = decomposition_reverse.chase(decomposition.chase(ground_pabc))
+    assert is_homomorphic(v, ground_pabc)
+    assert not is_homomorphic(ground_pabc, v)
+
+
+def test_reverse_is_sound_for_larger_sources(decomposition, decomposition_reverse):
+    """The same pipeline on a multi-fact source still under-approximates."""
+    source = Instance.parse("P(a, b, c), P(c, d, e), P(a, b, e)")
+    v = decomposition_reverse.chase(decomposition.chase(source))
+    assert is_homomorphic(v, source)

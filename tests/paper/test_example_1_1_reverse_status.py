@@ -1,0 +1,64 @@
+"""EX-1.1 (reverse status) — "a natural 'inverse' of M, which is both a
+
+quasi-inverse of M and a maximum recovery for M, is the schema mapping
+M' given by Σ'."  Both halves of that sentence, machine-checked:
+
+* quasi-inverse: the FKPT'08 relaxed-identity equation holds on the
+  probe family (including the pair that defeats plain inversion);
+* maximum recovery (ground): by Proposition 4.19, M ∘ M' must equal
+  ``→_{M,g}`` pointwise on ground pairs.
+"""
+
+import itertools
+
+from repro.instance import Instance
+from repro.inverses.ground import is_invertible
+from repro.inverses.ground_quasi_inverse import (
+    _in_ground_composition,
+    is_quasi_inverse,
+)
+from repro.inverses.recovery import in_arrow_m_ground
+
+
+FAMILY = [
+    Instance.parse(s)
+    for s in (
+        "",
+        "P(a, b, c)",
+        "P(a, b, c), P(d, b, e)",
+        "P(a, b, c), P(a, b, d)",
+        "P(a, b, d), P(e, b, c)",
+    )
+]
+
+
+def test_m_is_not_invertible(decomposition):
+    assert not is_invertible(decomposition).holds
+
+
+def test_m_prime_is_a_quasi_inverse(decomposition, decomposition_reverse):
+    verdict = is_quasi_inverse(
+        decomposition, decomposition_reverse, instances=FAMILY
+    )
+    assert verdict.holds, str(verdict.counterexample)
+
+
+def test_m_prime_is_a_maximum_recovery(decomposition, decomposition_reverse):
+    """Proposition 4.19's fingerprint: M ∘ M' = →_{M,g} on ground pairs."""
+    for left, right in itertools.product(FAMILY, repeat=2):
+        assert _in_ground_composition(
+            decomposition, decomposition_reverse, left, right
+        ) == in_arrow_m_ground(decomposition, left, right), (left, right)
+
+
+def test_quasi_inversion_needs_the_relaxation(decomposition, decomposition_reverse):
+    """The concrete pair that plain inversion cannot absorb: it is in
+
+    M ∘ M' yet outside Id — only Id[∼] (via the cross-product
+    saturation) accepts it."""
+    left = Instance.parse("P(a, b, c)")
+    right = Instance.parse("P(a, b, d), P(e, b, c)")
+    assert _in_ground_composition(
+        decomposition, decomposition_reverse, left, right
+    )
+    assert not left <= right

@@ -1,0 +1,83 @@
+"""EX-3.4 (widened) — Proposition 3.4 via randomized probing.
+
+For *ground* sources and tgd mappings, eSol = Sol.  The unit/paper
+suites check this on hand-picked targets; here the probing is widened to
+randomized target instances derived from chases, their quotients, their
+ground completions, and unions with junk — any of which could in
+principle separate the two notions if the implementation were wrong.
+"""
+
+import pytest
+
+from repro.homs.quotient import enumerate_quotients
+from repro.instance import Instance
+from repro.mappings.extension import is_extended_solution
+from repro.terms import Const
+from repro.workloads.generators import random_instance
+from repro.workloads.scenarios import PAPER_SCENARIOS
+
+
+TGD_SCENARIOS = [
+    name
+    for name, sc in sorted(PAPER_SCENARIOS.items())
+    if sc.mapping.is_plain_tgds()
+]
+
+
+def target_probes(mapping, source):
+    """A battery of candidate targets of varied relationship to source."""
+    chased = mapping.chase(source)
+    probes = [chased, Instance()]
+    for quotient in enumerate_quotients(chased, max_nulls=6):
+        probes.append(quotient.instance)
+    # Ground completion: replace nulls by one fresh constant.
+    probes.append(chased.substitute({n: Const("gc") for n in chased.nulls}))
+    # Padding with unrelated facts.
+    if chased.relation_names:
+        relation = chased.relation_names[0]
+        arity = len(next(iter(chased.tuples(relation))))
+        probes.append(
+            chased.union(
+                Instance.parse(
+                    relation + "(" + ", ".join(["junk"] * arity) + ")"
+                )
+            )
+        )
+    # A *wrong* target: chase of a different source.
+    return probes
+
+
+@pytest.mark.parametrize("name", TGD_SCENARIOS)
+def test_ground_sources_esol_equals_sol(name):
+    scenario = PAPER_SCENARIOS[name]
+    mapping = scenario.mapping
+    for seed in range(3):
+        source = random_instance(mapping.source, 3, seed=seed, value_pool=3)
+        assert source.is_ground()
+        for target in target_probes(mapping, source):
+            if target.is_empty() and not source.is_empty():
+                # Equality must hold here too, both sides False (unless
+                # the mapping maps the source to nothing).
+                pass
+            assert mapping.satisfies(source, target) == is_extended_solution(
+                mapping, source, target
+            ), (name, source, target)
+
+
+@pytest.mark.parametrize("name", ["decomposition", "path2"])
+def test_divergence_is_null_specific(name):
+    """With a null source the notions must genuinely diverge somewhere
+
+    (otherwise the extended machinery would be pointless for the
+    scenario) — locate a separating target for each mapping.
+    """
+    scenario = PAPER_SCENARIOS[name]
+    mapping = scenario.mapping
+    if name == "decomposition":
+        source = Instance.parse("P(a, b, Z), P(X, b, c)")
+        separating = Instance.parse("Q(a, b), R(b, c)")
+    else:
+        source = Instance.parse("P(a, Z)")
+        separating = Instance.parse("Q(a, m), Q(m, q)")
+    assert not mapping.satisfies(source, separating)
+    assert is_extended_solution(mapping, source, separating)

@@ -1,0 +1,96 @@
+"""EX-4.11 / EX-4.12 — the structural lemmas behind Theorem 4.13.
+
+* Proposition 4.11: ``→_M = → ∘ →_M ∘ →`` — the relation is closed
+  under homomorphic pre/post-composition.
+* Lemma 4.9: for every extended recovery M', ``M* ⊆ e(M')`` where
+  ``M* = {(chase_M(I), I)}``.
+* Lemma 4.12: ``e(M) ∘ e(M*) = →_M``.
+"""
+
+import itertools
+
+from repro.homs.search import is_homomorphic
+from repro.instance import Instance
+from repro.inverses.recovery import in_arrow_m, in_canonical_recovery_extension
+from repro.mappings.composition import in_extended_composition
+from repro.mappings.extension import in_extension_reverse
+
+
+PROBES = [
+    Instance.parse(s)
+    for s in (
+        "",
+        "P(a, b)",
+        "P(a, a)",
+        "P(b, a)",
+        "P(X, b)",
+        "P(X, Y)",
+        "P(a, b), P(b, c)",
+        "P(a, b), P(X, b)",
+    )
+]
+
+
+class TestProposition411:
+    def test_closure_under_pre_post_homs(self, path2):
+        """If I0 → I1 →_M I2 → I3 then I0 →_M I3, on all probe triples."""
+        for left, middle in itertools.product(PROBES, repeat=2):
+            if not is_homomorphic(left, middle):
+                continue
+            for right, far in itertools.product(PROBES, repeat=2):
+                if in_arrow_m(path2, middle, right) and is_homomorphic(right, far):
+                    assert in_arrow_m(path2, left, far)
+
+    def test_hom_contained_in_arrow_m(self, path2):
+        """The ``→ ⊆ →_M`` half used by the proof."""
+        for left, right in itertools.permutations(PROBES, 2):
+            if is_homomorphic(left, right):
+                assert in_arrow_m(path2, left, right)
+
+
+class TestLemma49:
+    def test_m_star_contained_in_every_recovery_extension(
+        self, path2, path2_reverse
+    ):
+        """(chase(I), I') ∈ e(M*) implies membership in e(M') for the
+
+        catalogued extended recovery M' of path2.
+        """
+        for source, other in itertools.product(PROBES, repeat=2):
+            chased = path2.chase(source)
+            if in_canonical_recovery_extension(path2, chased, other):
+                assert in_extension_reverse(path2_reverse, chased, other)
+
+
+class TestLemma412:
+    def test_composition_with_m_star_is_arrow_m(self, path2):
+        """e(M) ∘ e(M*) = →_M pointwise.
+
+        The middle-elimination: (I1, I2) ∈ e(M) ∘ e(M*) ⟺
+        (chase(I1), I2) ∈ e(M*) ⟺ chase(I1) → chase(I2) ⟺ I1 →_M I2.
+        """
+        for left, right in itertools.product(PROBES, repeat=2):
+            via_m_star = in_canonical_recovery_extension(
+                path2, path2.chase(left), right
+            )
+            assert via_m_star == in_arrow_m(path2, left, right)
+
+    def test_same_through_syntactic_recovery(self, union_mapping):
+        """For the union mapping the algorithmic recovery realizes the
+
+        same composition as M* (both are maximum extended recoveries).
+        """
+        from repro.inverses.quasi_inverse import (
+            maximum_extended_recovery_for_full_tgds,
+        )
+
+        recovery = maximum_extended_recovery_for_full_tgds(union_mapping)
+        probes = [Instance.parse(s) for s in ("", "P(0)", "Q(0)", "P(0), Q(1)")]
+        for left, right in itertools.product(probes, repeat=2):
+            algorithmic = in_extended_composition(
+                union_mapping, recovery, left, right
+            )
+            canonical = in_canonical_recovery_extension(
+                union_mapping, union_mapping.chase(left), right
+            )
+            assert algorithmic == canonical == in_arrow_m(union_mapping, left, right)

@@ -1,0 +1,129 @@
+"""EX-4.2 — Proposition 4.2: no maximum recovery over non-ground sources.
+
+M = {P(x,y) -> ∃z (Q(x,z) ∧ Q(z,y))} has a maximum recovery when sources
+are ground, but none when sources may contain nulls.  The paper's proof
+shows that I = {P(0,1), P(1,0)} has **no witness solution**: every
+solution J for I contains Q(0,X), Q(X,1), Q(1,Y), Q(Y,0) for some X, Y,
+and in each of the four cases of the proof's analysis there is a source
+I' with J ∈ Sol(I') but Sol(I) ⊄ Sol(I').
+
+This test reproduces the case analysis computationally: it enumerates
+the minimal candidate witness solutions (X, Y ranging over {0, 1} and
+fresh nulls), and for each finds a distinguishing I' — establishing
+Sol(I) ⊄ Sol(I') soundly by exhibiting a concrete member of
+Sol(I) \\ Sol(I').  Satisfaction here is the *plain* (rigid-null)
+semantics: a trigger over a source null must be witnessed literally.
+"""
+
+import itertools
+
+import pytest
+
+from repro.instance import Fact, Instance
+from repro.terms import Const, Null
+
+
+I0 = Instance.parse("P(0, 1), P(1, 0)")
+
+X_CHOICES = [Const(0), Const(1), Null("X")]
+Y_CHOICES = [Const(0), Const(1), Null("Y")]
+
+
+def candidate_witnesses():
+    """The minimal candidate witness solutions of the proof's analysis."""
+    for x, y in itertools.product(X_CHOICES, Y_CHOICES):
+        yield Instance(
+            [
+                Fact("Q", (Const(0), x)),
+                Fact("Q", (x, Const(1))),
+                Fact("Q", (Const(1), y)),
+                Fact("Q", (y, Const(0))),
+            ]
+        )
+
+
+def distinguishing_pool(candidate: Instance):
+    """Sources I' that might separate Sol(I) from the candidate's sources."""
+    pool = [
+        Instance.parse("P(0, 0)"),
+        Instance.parse("P(1, 1)"),
+        I0.union(Instance.parse("P(0, 0)")),
+        I0.union(Instance.parse("P(1, 1)")),
+    ]
+    nulls = sorted(candidate.nulls)
+    if len(nulls) >= 2:
+        pool.append(I0.union(Instance([Fact("P", (nulls[0], nulls[1]))])))
+    for null in nulls:
+        pool.append(I0.union(Instance([Fact("P", (null, null))])))
+    return pool
+
+
+def solution_not_contained(path2, iprime: Instance) -> bool:
+    """Soundly establish Sol(I0) ⊄ Sol(I'): exhibit J'' ∈ Sol(I0) \\ Sol(I').
+
+    The canonical universal solution of I0 (with nulls fresh w.r.t. I')
+    is always in Sol(I0); if it is not in Sol(I'), containment fails.
+    """
+    j_witness = path2.chase(I0).freshen_nulls(prefix="FRESH")
+    assert path2.satisfies(I0, j_witness)
+    return not path2.satisfies(iprime, j_witness)
+
+
+class TestProposition42:
+    def test_candidates_are_solutions_for_i0(self, path2):
+        for candidate in candidate_witnesses():
+            assert path2.satisfies(I0, candidate)
+
+    def test_every_candidate_witness_is_distinguished(self, path2):
+        """The heart of the proposition: no candidate survives."""
+        for candidate in candidate_witnesses():
+            separated = False
+            for iprime in distinguishing_pool(candidate):
+                if path2.satisfies(iprime, candidate) and solution_not_contained(
+                    path2, iprime
+                ):
+                    separated = True
+                    break
+            assert separated, f"candidate {candidate} was not distinguished"
+
+    def test_case_1_x_equals_y(self, path2):
+        """Case (1) of the proof: X = Y, separated by I' = {P(0, 0)}."""
+        candidate = Instance.parse("Q(0, X), Q(X, 1), Q(1, X), Q(X, 0)")
+        iprime = Instance.parse("P(0, 0)")
+        assert path2.satisfies(iprime, candidate)
+        assert solution_not_contained(path2, iprime)
+
+    def test_case_3_x0_y1(self, path2):
+        """Case (3): X = 0 and Y = 1."""
+        candidate = Instance.parse("Q(0, 0), Q(0, 1), Q(1, 1), Q(1, 0)")
+        iprime = Instance.parse("P(0, 0)")
+        assert path2.satisfies(iprime, candidate)
+        assert solution_not_contained(path2, iprime)
+
+    def test_chase_itself_distinguished_via_its_own_nulls(self, path2):
+        """Case (2) with two fresh nulls — the canonical solution itself.
+
+        The separating source re-uses the candidate's nulls: I0 + P(X, Y)
+        is satisfied by the candidate (via the 1-path) but not by a
+        fresh-null copy of the canonical solution.
+        """
+        candidate = Instance.parse("Q(0, X), Q(X, 1), Q(1, Y), Q(Y, 0)")
+        iprime = I0.union(Instance.parse("P(X, Y)"))
+        assert path2.satisfies(iprime, candidate)
+        assert solution_not_contained(path2, iprime)
+
+    def test_ground_framework_unaffected(self, path2):
+        """On *ground* sources the chase is a fine witness: no ground I'
+
+        from the pool separates it (consistent with [APR'08]'s positive
+        result for ground sources).
+        """
+        chased = path2.chase(I0)
+        for iprime in (
+            Instance.parse("P(0, 0)"),
+            Instance.parse("P(1, 1)"),
+            I0.union(Instance.parse("P(0, 0)")),
+        ):
+            # Either the chase is not a solution for I', or containment holds.
+            if path2.satisfies(iprime, chased):
+                assert not solution_not_contained(path2, iprime)

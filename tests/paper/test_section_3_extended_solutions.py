@@ -1,0 +1,96 @@
+"""EX-3.3 / EX-3.4 / EX-3.11 — extended solutions and their properties.
+
+* Example 3.3: U = {Q(a,b), R(b,c)} is an extended solution — but not a
+  solution — for V = {P(a,b,Z), P(X,b,c)} w.r.t. the decomposition
+  mapping, witnessed by U' = {Q(a,b), Q(X,b), R(b,c), R(b,Z)}.
+* Proposition 3.4: on ground sources, extended solutions = solutions.
+* Proposition 3.11: chase_M(I) is an extended universal solution, also
+  for sources with nulls.
+"""
+
+import itertools
+
+from repro.homs.search import is_homomorphic
+from repro.instance import Instance
+from repro.mappings.extension import (
+    in_extension,
+    is_extended_solution,
+    is_extended_universal_solution,
+)
+
+
+V = Instance.parse("P(a, b, Z), P(X, b, c)")
+U = Instance.parse("Q(a, b), R(b, c)")
+U_PRIME = Instance.parse("Q(a, b), Q(X, b), R(b, c), R(b, Z)")
+
+
+class TestExample33:
+    def test_u_is_not_a_solution_for_v(self, decomposition):
+        assert not decomposition.satisfies(V, U)
+
+    def test_paper_witness_chain(self, decomposition):
+        """(V, U') ∈ M and U' → U, the paper's first argument."""
+        assert decomposition.satisfies(V, U_PRIME)
+        assert is_homomorphic(U_PRIME, U)
+
+    def test_u_is_extended_solution_for_v(self, decomposition):
+        assert is_extended_solution(decomposition, V, U)
+
+    def test_second_argument_v_to_i(self, decomposition, ground_pabc):
+        """V → I and U ∈ Sol(I) — the paper's alternative argument."""
+        assert is_homomorphic(V, ground_pabc)
+        assert decomposition.satisfies(ground_pabc, U)
+
+
+class TestProposition34:
+    def test_ground_sources_extended_equals_plain(self, decomposition):
+        """eSol_M(I) = Sol_M(I) for ground I, probed over a target pool."""
+        source = Instance.parse("P(a, b, c)")
+        target_pool = [
+            Instance.parse(s)
+            for s in (
+                "",
+                "Q(a, b)",
+                "Q(a, b), R(b, c)",
+                "Q(a, b), R(b, c), Q(z, z)",
+                "Q(X, b), R(b, c)",
+                "Q(a, b), R(b, Y)",
+                "Q(a, X), R(X, c)",
+            )
+        ]
+        for target in target_pool:
+            assert decomposition.satisfies(source, target) == is_extended_solution(
+                decomposition, source, target
+            )
+
+    def test_divergence_requires_null_source(self, decomposition):
+        """With nulls in the source the two notions genuinely differ."""
+        assert not decomposition.satisfies(V, U)
+        assert is_extended_solution(decomposition, V, U)
+
+
+class TestProposition311:
+    def test_chase_is_extended_universal_even_with_null_source(self, decomposition):
+        chased = decomposition.chase(V)
+        assert is_extended_universal_solution(decomposition, V, chased)
+
+    def test_chase_maps_into_every_extended_solution(self, decomposition):
+        chased = decomposition.chase(V)
+        # Probe extended solutions: the chase of hom-smaller sources, and
+        # ground completions.
+        candidates = [
+            U,
+            U_PRIME,
+            Instance.parse("Q(a, b), R(b, c), Q(m, b), R(b, m)"),
+        ]
+        for candidate in candidates:
+            if in_extension(decomposition, V, candidate):
+                assert is_homomorphic(chased, candidate)
+
+    def test_chase_universal_for_path2_null_source(self, path2):
+        source = Instance.parse("P(W, Z)")
+        chased = path2.chase(source)
+        ground_solution = Instance.parse("Q(m, n), Q(n, p)")
+        # chase(source) = {Q(W,Y), Q(Y,Z)} maps into any shape that the
+        # source could exchange into.
+        assert is_homomorphic(chased, ground_solution)

@@ -1,0 +1,118 @@
+"""EX-5.1 / EX-5.2 — the language of maximum extended recoveries.
+
+* Theorem 5.1: the quasi-inverse algorithm for full tgds returns a
+  maximum extended recovery given by disjunctive tgds with inequalities.
+  Verified through the Theorem 6.2 characterization (universal-faithful)
+  and the Theorem 4.13 characterization (composition = →_M).
+* Theorem 5.2: for M = {P(x,y) -> P'(x,y), T(x) -> P'(x,x)} both
+  disjunction and inequalities are necessary: no disjunction-free and no
+  inequality-free reverse can be a maximum extended recovery.  We verify
+  the *necessity* by refuting the natural candidates in each weaker
+  language, and the *sufficiency* by validating Σ*.
+"""
+
+import itertools
+
+from repro.instance import Instance
+from repro.inverses.faithful import is_universal_faithful
+from repro.inverses.quasi_inverse import maximum_extended_recovery_for_full_tgds
+from repro.inverses.recovery import is_maximum_extended_recovery
+from repro.logic.dependencies import DisjunctiveTgd
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.workloads.scenarios import PAPER_SCENARIOS
+
+
+FULL_TGD_SCENARIOS = [
+    name
+    for name, sc in sorted(PAPER_SCENARIOS.items())
+    if sc.mapping.is_full() and sc.mapping.is_plain_tgds()
+]
+
+PROBES_5_2 = [
+    Instance.parse(s)
+    for s in ("", "P(a, b)", "P(a, a)", "T(a)", "P(N1, N2)", "P(a, b), T(c)", "T(N)")
+]
+
+
+class TestTheorem51:
+    def test_output_language(self, self_join_target):
+        """The algorithm stays within disjunctive tgds with inequalities."""
+        rev = maximum_extended_recovery_for_full_tgds(self_join_target)
+        assert not rev.uses_constant_guard()
+        for dep in rev.dependencies:
+            # Only target-premise, source-conclusion dependencies.
+            assert dep.premise_relations() <= set(self_join_target.target.names)
+
+    def test_outputs_are_maximum_extended_recoveries(self):
+        for name in FULL_TGD_SCENARIOS:
+            mapping = PAPER_SCENARIOS[name].mapping
+            rev = maximum_extended_recovery_for_full_tgds(mapping)
+            verdict = is_universal_faithful(mapping, rev)
+            assert verdict.holds, f"{name}: {verdict.counterexample}"
+
+    def test_output_composition_characterization(self, union_mapping):
+        rev = maximum_extended_recovery_for_full_tgds(union_mapping)
+        probes = [Instance.parse(s) for s in ("", "P(0)", "Q(0)", "P(0), Q(1)")]
+        verdict = is_maximum_extended_recovery(union_mapping, rev, instances=probes)
+        assert verdict.holds
+
+
+class TestTheorem52Sufficiency:
+    def test_sigma_star_is_maximum_extended_recovery(
+        self, self_join_target, self_join_reverse
+    ):
+        verdict = is_maximum_extended_recovery(
+            self_join_target, self_join_reverse, instances=PROBES_5_2
+        )
+        assert verdict.holds, str(verdict.counterexample)
+
+    def test_sigma_star_matches_paper_text(self, self_join_reverse):
+        texts = {str(d) for d in self_join_reverse.dependencies}
+        assert texts == {
+            "P'(x, y) & x != y -> P(x, y)",
+            "P'(x, x) -> T(x) | P(x, x)",
+        }
+
+
+class TestTheorem52Necessity:
+    def test_no_disjunction_candidates_fail(self, self_join_target):
+        """Part (2): natural disjunction-free reverses are not maximum
+        extended recoveries (checked via universal-faithfulness)."""
+        candidates = [
+            "P'(x, y) & x != y -> P(x, y)\nP'(x, x) -> P(x, x)",
+            "P'(x, y) & x != y -> P(x, y)\nP'(x, x) -> T(x)",
+            "P'(x, y) -> P(x, y)",
+            "P'(x, x) -> T(x)\nP'(x, y) & x != y -> P(x, y)\nP'(x, x) -> P(x, x)",
+        ]
+        for text in candidates:
+            reverse = SchemaMapping.from_text(text)
+            assert not reverse.is_disjunctive()
+            verdict = is_universal_faithful(
+                self_join_target, reverse, instances=PROBES_5_2
+            )
+            assert not verdict.holds, f"disjunction-free {text!r} slipped through"
+
+    def test_no_inequality_candidates_fail(self, self_join_target):
+        """Part (3): inequality-free candidates are not maximum extended
+        recoveries either."""
+        candidates = [
+            "P'(x, y) -> P(x, y)\nP'(x, x) -> T(x) | P(x, x)",
+            "P'(x, y) -> P(x, y) | T(x)",
+            "P'(x, y) -> P(x, y)",
+            "P'(x, x) -> T(x) | P(x, x)",
+        ]
+        for text in candidates:
+            reverse = SchemaMapping.from_text(text)
+            assert not reverse.uses_inequality()
+            verdict = is_universal_faithful(
+                self_join_target, reverse, instances=PROBES_5_2
+            )
+            assert not verdict.holds, f"inequality-free {text!r} slipped through"
+
+    def test_counterexamples_verify(self, self_join_target):
+        reverse = SchemaMapping.from_text("P'(x, y) -> P(x, y)")
+        verdict = is_universal_faithful(
+            self_join_target, reverse, instances=PROBES_5_2
+        )
+        assert not verdict.holds
+        assert verdict.counterexample.verify()

@@ -1,0 +1,64 @@
+"""EX-6.1 — Section 6.1's unnumbered observations about Definition 6.1.
+
+The paper notes, after Definition 6.1:
+
+* if M' has no disjunctions, ``chase_M'(chase_M(I))`` is a *single*
+  instance V that exports the same information as I, and V is universal
+  w.r.t. the instances I' with ``I →_M I'``;
+* if M is extended invertible and M' is universal-faithful s-t tgds
+  (no disjunction), then M' is a chase-inverse of M.
+
+Both observations, machine-checked on path2 (extended invertible, with
+its tgd reverse).
+"""
+
+from repro.homs.search import is_homomorphic
+from repro.instance import Instance
+from repro.inverses.extended_inverse import is_chase_inverse, round_trip
+from repro.inverses.faithful import universal_faithful_report
+from repro.inverses.recovery import in_arrow_m
+
+
+SOURCES = [
+    Instance.parse(s)
+    for s in ("P(a, b)", "P(a, a)", "P(a, b), P(b, c)", "P(W, b)")
+]
+
+IPRIME_PROBES = [
+    Instance.parse(s)
+    for s in (
+        "P(a, b)",
+        "P(a, b), P(c, d)",
+        "P(a, b), P(b, c)",
+        "P(a, a)",
+        "P(b, a)",
+        "P(X, Y)",
+    )
+]
+
+
+def test_single_instance_exports_same_information(path2, path2_reverse):
+    """V = chase_M'(chase_M(I)) satisfies V →_M I and I →_M V."""
+    for source in SOURCES:
+        recovered = round_trip(path2, path2_reverse, source)
+        assert in_arrow_m(path2, recovered, source), source
+        assert in_arrow_m(path2, source, recovered), source
+
+
+def test_v_universal_for_dominating_sources(path2, path2_reverse):
+    """V → I' for every probe I' with I →_M I'."""
+    for source in SOURCES:
+        recovered = round_trip(path2, path2_reverse, source)
+        for iprime in IPRIME_PROBES:
+            if in_arrow_m(path2, source, iprime):
+                assert is_homomorphic(recovered, iprime), (source, iprime)
+
+
+def test_universal_faithful_nondisjunctive_is_chase_inverse(path2, path2_reverse):
+    """Ext-invertible M + universal-faithful tgd M' ⇒ chase-inverse."""
+    for source in SOURCES:
+        report = universal_faithful_report(
+            path2, path2_reverse, source, iprime_family=IPRIME_PROBES
+        )
+        assert report.ok, source
+    assert is_chase_inverse(path2, path2_reverse).holds

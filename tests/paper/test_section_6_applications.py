@@ -1,0 +1,185 @@
+"""EX-6.2 / EX-6.4 / EX-6.5 / EX-6.7 / EX-6.8 — Section 6's applications.
+
+* Theorem 6.2: maximum extended recovery ⟺ universal-faithful.
+* Theorem 6.4: extended inverse ⇒ reverse certain answers = q(I)↓,
+  and an extended recovery with that property is an extended inverse.
+* Theorem 6.5: reverse certain answers via the disjunctive reverse chase.
+* Example 6.7 / Theorem 6.8: copy is strictly less lossy than the
+  component-split mapping; procedural criterion via reverse chases.
+"""
+
+import itertools
+
+from repro.instance import Instance
+from repro.inverses.faithful import is_universal_faithful
+from repro.inverses.information_loss import (
+    is_less_lossy,
+    less_lossy_via_reverse_chases,
+    strictness_witness,
+)
+from repro.inverses.quasi_inverse import maximum_extended_recovery_for_full_tgds
+from repro.inverses.recovery import in_arrow_m, is_maximum_extended_recovery
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.parsing.parser import parse_query
+from repro.reverse.query_answering import reverse_certain_answers
+from repro.terms import Const
+from repro.workloads.scenarios import get_scenario
+
+
+class TestTheorem62:
+    def test_equivalence_on_candidate_pool(self, union_mapping):
+        """max extended recovery ⟺ universal-faithful, over a pool of
+
+        correct and incorrect reverse mappings for the union mapping.
+        """
+        probes = [Instance.parse(s) for s in ("", "P(0)", "Q(0)", "P(0), Q(1)")]
+        candidates = [
+            "R(x) -> P(x) | Q(x)",   # correct
+            "R(x) -> Q(x) | P(x)",   # correct, reordered
+            "R(x) -> P(x)",          # drops the Q explanation
+            "R(x) -> P(x) & Q(x)",   # over-strong
+        ]
+        for text in candidates:
+            reverse = SchemaMapping.from_text(text)
+            faithful = is_universal_faithful(
+                union_mapping, reverse, instances=probes
+            ).holds
+            maximum = is_maximum_extended_recovery(
+                union_mapping, reverse, instances=probes
+            ).holds
+            assert faithful == maximum, text
+
+    def test_equivalence_for_theorem_5_2_mapping(
+        self, self_join_target, self_join_reverse
+    ):
+        probes = [
+            Instance.parse(s) for s in ("", "P(a, b)", "P(a, a)", "T(a)", "P(N1, N2)")
+        ]
+        assert is_universal_faithful(
+            self_join_target, self_join_reverse, instances=probes
+        ).holds
+        assert is_maximum_extended_recovery(
+            self_join_target, self_join_reverse, instances=probes
+        ).holds
+
+
+class TestTheorem64:
+    QUERIES = [
+        "q(x, y) :- P(x, y)",
+        "q(x) :- P(x, y)",
+        "q(y) :- P(x, y)",
+        "q(x) :- P(x, x)",
+        "q(x, z) :- P(x, y) & P(y, z)",
+    ]
+    SOURCES = ["P(a, b)", "P(a, b), P(b, c)", "P(W, c), P(a, W)", "P(a, a)"]
+
+    def test_part1_extended_inverse_gives_q_downarrow(self, path2, path2_reverse):
+        for query_text, source_text in itertools.product(self.QUERIES, self.SOURCES):
+            query = parse_query(query_text)
+            source = Instance.parse(source_text)
+            answers = reverse_certain_answers(path2, path2_reverse, query, source)
+            assert answers == query.evaluate_null_free(source), (
+                query_text,
+                source_text,
+            )
+
+    def test_part2_contrapositive_non_inverse_misses_answers(self, union_mapping):
+        """A maximum extended recovery of a NON-extended-invertible mapping
+
+        cannot achieve q(I)↓ on every query/instance (else it would be an
+        extended inverse) — exhibit the failing point for the union map.
+        """
+        rev = maximum_extended_recovery_for_full_tgds(union_mapping)
+        query = parse_query("q(x) :- P(x)")
+        source = Instance.parse("P(0)")
+        answers = reverse_certain_answers(union_mapping, rev, query, source)
+        assert answers != query.evaluate_null_free(source)
+        assert answers == frozenset()
+
+
+class TestTheorem65:
+    def test_certain_answers_via_branches(self, self_join_target, self_join_reverse):
+        source = Instance.parse("P(1, 2), T(3)")
+        q_p = parse_query("q(x, y) :- P(x, y)")
+        assert reverse_certain_answers(
+            self_join_target, self_join_reverse, q_p, source
+        ) == {(Const(1), Const(2))}
+        # T(3) exchanges to P'(3,3) which P(3,3) also explains: uncertain.
+        q_t = parse_query("q(x) :- T(x)")
+        assert (
+            reverse_certain_answers(self_join_target, self_join_reverse, q_t, source)
+            == frozenset()
+        )
+
+    def test_union_mapping_uncertainty(self, union_mapping):
+        rev = maximum_extended_recovery_for_full_tgds(union_mapping)
+        source = Instance.parse("P(0), Q(1)")
+        for query_text in ("q(x) :- P(x)", "q(x) :- Q(x)"):
+            answers = reverse_certain_answers(
+                union_mapping, rev, parse_query(query_text), source
+            )
+            assert answers == frozenset()
+
+    def test_copy_mapping_full_certainty(self):
+        copy = get_scenario("copy")
+        rev = maximum_extended_recovery_for_full_tgds(copy.mapping)
+        source = Instance.parse("P(a, b), P(c, c)")
+        query = parse_query("q(x, y) :- P(x, y)")
+        answers = reverse_certain_answers(copy.mapping, rev, query, source)
+        assert answers == query.evaluate_null_free(source)
+
+
+class TestExample67:
+    def setup_method(self):
+        self.copy = get_scenario("copy").mapping
+        self.split = get_scenario("component_split").mapping
+        self.instances = [
+            Instance.parse(s)
+            for s in ("P(1, 0)", "P(1, 1), P(0, 0)", "P(0, 1)", "P(a, b), P(b, a)")
+        ]
+        self.pairs = list(itertools.product(self.instances, repeat=2))
+
+    def test_m1_less_lossy_than_m2(self):
+        assert is_less_lossy(self.copy, self.split, self.pairs).holds
+
+    def test_strictness_at_papers_pair(self):
+        left = Instance.parse("P(1, 0)")
+        right = Instance.parse("P(1, 1), P(0, 0)")
+        assert in_arrow_m(self.split, left, right)
+        assert not in_arrow_m(self.copy, left, right)
+        assert strictness_witness(self.copy, self.split, self.pairs) is not None
+
+    def test_m1_lossless(self):
+        from repro.homs.search import is_homomorphic
+
+        for left, right in self.pairs:
+            assert in_arrow_m(self.copy, left, right) == is_homomorphic(left, right)
+
+
+class TestTheorem68:
+    def test_procedural_criterion(self):
+        """The shared reverse P'(x,y) -> P(x,y) is a maximum extended
+
+        recovery of both M1 and M2 (discussion after Theorem 6.8); the
+        branchwise domination criterion confirms →_{M1} ⊆ →_{M2}.
+        """
+        copy = get_scenario("copy").mapping
+        split = get_scenario("component_split").mapping
+        shared = SchemaMapping.from_text("P'(x, y) -> P(x, y)")
+        instances = [
+            Instance.parse(s) for s in ("P(1, 0)", "P(a, b), P(b, c)", "P(X, b)")
+        ]
+        verdict = less_lossy_via_reverse_chases(
+            copy, shared, split, shared, instances=instances
+        )
+        assert verdict.holds, str(verdict.counterexample)
+
+    def test_reverse_direction_fails_procedurally(self):
+        copy = get_scenario("copy").mapping
+        split = get_scenario("component_split").mapping
+        shared = SchemaMapping.from_text("P'(x, y) -> P(x, y)")
+        instances = [Instance.parse("P(1, 0)"), Instance.parse("P(1, 1), P(0, 0)")]
+        verdict = less_lossy_via_reverse_chases(
+            split, shared, copy, shared, instances=instances
+        )
+        assert not verdict.holds

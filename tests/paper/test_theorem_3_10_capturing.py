@@ -1,0 +1,91 @@
+"""EX-3.10 — Theorem 3.10: capturing functions and the induced inverse.
+
+(1) M extended-invertible ⟺ (2) a capturing function exists; moreover
+``M' = {(J, I) | J = F(I)}`` built from a capturing function F is an
+extended inverse of M.  With F = chase (Theorem 3.13's canonical
+choice), ``e(M')`` membership is decided by ``J → chase_M(I)``, and the
+extended-inverse equation ``e(M) ∘ e(M') = e(Id)`` becomes the
+pointwise identity ``→_M = →`` — which is exactly Corollary 4.15's
+criterion, so the two theorems are tested against each other here.
+"""
+
+import itertools
+
+from repro.homs.search import is_homomorphic
+from repro.instance import Instance
+from repro.inverses.extended_inverse import captures, is_extended_invertible
+from repro.inverses.recovery import (
+    in_arrow_m,
+    in_canonical_recovery_extension,
+)
+
+
+PROBES = [
+    Instance.parse(s)
+    for s in (
+        "",
+        "P(a, b)",
+        "P(a, a)",
+        "P(b, a)",
+        "P(X, b)",
+        "P(X, Y)",
+        "P(a, b), P(b, c)",
+        "P(a, b), P(X, b)",
+    )
+]
+
+
+class TestCapturingFunctionExistence:
+    def test_chase_captures_everywhere_for_path2(self, path2):
+        """(1) ⇒ (2): for the extended-invertible path2, the chase is a
+
+        capturing function on every probe."""
+        assert is_extended_invertible(path2).holds
+        for probe in PROBES:
+            verdict = captures(path2, path2.chase(probe), probe)
+            assert verdict.holds, f"chase fails to capture {probe}"
+
+    def test_no_capturing_function_for_union(self, union_mapping):
+        """(2) ⇒ (1) contrapositive: the union mapping has instances no
+
+        target can capture — in particular, the chase fails."""
+        assert not is_extended_invertible(union_mapping).holds
+        probe = Instance.parse("P(0)")
+        assert not captures(union_mapping, union_mapping.chase(probe), probe).holds
+
+    def test_capture_determines_source_up_to_equivalence(self, path2):
+        """If J captures both I1 and I2 they are hom-equivalent — probed
+
+        by checking that capture fails whenever sources are inequivalent."""
+        for left, right in itertools.permutations(PROBES, 2):
+            if is_homomorphic(left, right) and is_homomorphic(right, left):
+                continue
+            chased = path2.chase(left)
+            # chased captures left; it must NOT capture an inequivalent right.
+            verdict = captures(path2, chased, right, candidates=[left])
+            assert not verdict.holds, (left, right)
+
+
+class TestInducedExtendedInverse:
+    def test_extended_inverse_equation_pointwise(self, path2):
+        """e(M) ∘ e(M') = e(Id) for M' induced by the chase capturing
+
+        function: pointwise this is →_M = →, checked on all probe pairs."""
+        for left, right in itertools.product(PROBES, repeat=2):
+            # (left, right) ∈ e(M) ∘ e(M') ⟺ (chase(left), right) ∈ e(M')
+            # ⟺ chase(left) → chase(right) ⟺ left →_M right.
+            composed = in_canonical_recovery_extension(
+                path2, path2.chase(left), right
+            )
+            assert composed == in_arrow_m(path2, left, right)
+            assert composed == is_homomorphic(left, right)
+
+    def test_equation_fails_for_non_invertible(self, union_mapping):
+        """For the union mapping the same construction is NOT an extended
+
+        inverse: →_M strictly exceeds → at the paper's witness pair."""
+        left, right = Instance.parse("P(0)"), Instance.parse("Q(0)")
+        assert in_canonical_recovery_extension(
+            union_mapping, union_mapping.chase(left), right
+        )
+        assert not is_homomorphic(left, right)

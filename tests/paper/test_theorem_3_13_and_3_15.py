@@ -1,0 +1,85 @@
+"""EX-3.14 / EX-3.15 — extended invertibility and its separations.
+
+* Example 3.14: the union mapping fails the homomorphism property at
+  I1 = {P(0)}, I2 = {Q(0)}.
+* Theorem 3.13: extended invertibility ⟺ homomorphism property ⟺ the
+  chase is a capturing function.
+* Theorem 3.15:
+  (1) extended invertible ⇒ invertible;
+  (2) the double-null mapping is invertible but not extended invertible
+      (witnesses {P(n1)} vs {Q(n2)});
+  (3) path2 has an extended inverse that is not an inverse, and an
+      inverse that is not an extended inverse.
+"""
+
+from repro.homs.search import is_homomorphic
+from repro.instance import Instance
+from repro.inverses.extended_inverse import (
+    captures,
+    homomorphism_property_counterexample,
+    is_chase_inverse,
+    is_extended_invertible,
+)
+from repro.inverses.ground import is_invertible
+from repro.workloads.scenarios import PATH2_CONSTANT_REVERSE, get_scenario
+
+
+class TestExample314:
+    def test_union_mapping_fails_homomorphism_property(self, union_mapping):
+        i1, i2 = Instance.parse("P(0)"), Instance.parse("Q(0)")
+        chased1, chased2 = union_mapping.chase(i1), union_mapping.chase(i2)
+        assert is_homomorphic(chased1, chased2)
+        assert not is_homomorphic(i1, i2)
+
+    def test_checker_finds_a_counterexample(self, union_mapping):
+        cx = homomorphism_property_counterexample(union_mapping)
+        assert cx is not None and cx.verify()
+
+    def test_hence_not_extended_invertible(self, union_mapping):
+        assert not is_extended_invertible(union_mapping).holds
+
+
+class TestTheorem313:
+    def test_chase_captures_for_extended_invertible(self, path2):
+        """(1) ⟺ (3): chase is a capturing function when ext-invertible."""
+        for text in ("P(a, b)", "P(a, a)", "P(W, Z)", "P(a, b), P(b, c)"):
+            inst = Instance.parse(text)
+            verdict = captures(path2, path2.chase(inst), inst)
+            assert verdict.holds, f"chase fails to capture {inst}"
+
+    def test_chase_fails_to_capture_for_lossy(self, union_mapping):
+        inst = Instance.parse("P(0)")
+        assert not captures(union_mapping, union_mapping.chase(inst), inst).holds
+
+
+class TestTheorem315:
+    def test_part1_extended_invertible_implies_invertible(self, scenario):
+        """On the catalogue: no scenario is ext-invertible but not invertible."""
+        ext = is_extended_invertible(scenario.mapping).holds
+        ground = is_invertible(scenario.mapping).holds
+        assert not (ext and not ground)
+
+    def test_part2_separation(self):
+        double_null = get_scenario("double_null")
+        assert is_invertible(double_null.mapping).holds
+        verdict = is_extended_invertible(double_null.mapping)
+        assert not verdict.holds
+        # The paper's witnesses: all-null singleton premises.
+        i1, i2 = Instance.parse("P(N1)"), Instance.parse("Q(N2)")
+        m = double_null.mapping
+        assert is_homomorphic(m.chase(i1), m.chase(i2))
+        assert not is_homomorphic(i1, i2)
+
+    def test_part3a_extended_inverse_not_an_inverse(self, path2, path2_reverse):
+        """M' is an extended inverse (chase-inverse) of path2; the paper
+
+        shows no tgd-without-Constant inverse exists, so M' cannot be an
+        inverse — here we verify the chase-inverse half machine-checkably.
+        """
+        assert is_chase_inverse(path2, path2_reverse).holds
+
+    def test_part3b_inverse_not_an_extended_inverse(self, path2):
+        """M'' (Constant-guarded) is an inverse but not a chase-inverse."""
+        verdict = is_chase_inverse(path2, PATH2_CONSTANT_REVERSE)
+        assert not verdict.holds
+        assert verdict.counterexample.verify()

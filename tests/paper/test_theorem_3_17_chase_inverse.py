@@ -1,0 +1,87 @@
+"""EX-3.17 / EX-3.18 / EX-3.19 — chase-inverses.
+
+* Theorem 3.17: for tgd mappings, extended inverse ⟺ chase-inverse.
+* Example 3.18: Q(x,z) ∧ Q(z,y) → P(x,y) is a chase-inverse of path2;
+  the paper's proof shows I ⊆ V and V → I — both checked literally.
+* Example 3.19: the Constant-guarded inverse is NOT a chase-inverse,
+  failing on I = {P(W, Z)} where the reverse chase returns ∅.
+"""
+
+from repro.homs.search import is_hom_equivalent, is_homomorphic
+from repro.instance import Instance
+from repro.inverses.extended_inverse import is_chase_inverse, round_trip
+from repro.workloads.scenarios import PATH2_CONSTANT_REVERSE
+
+
+class TestExample318:
+    def test_round_trip_contains_source(self, path2, path2_reverse):
+        """I ⊆ V: every original fact is literally recovered."""
+        for text in ("P(a, b)", "P(a, b), P(b, c)", "P(a, a)", "P(a, b), P(c, d)"):
+            inst = Instance.parse(text)
+            recovered = round_trip(path2, path2_reverse, inst)
+            assert inst <= recovered
+
+    def test_round_trip_maps_back(self, path2, path2_reverse):
+        """V → I: the extra joined-null facts fold back onto I."""
+        for text in ("P(a, b)", "P(a, b), P(b, c)", "P(a, b), P(b, a)"):
+            inst = Instance.parse(text)
+            recovered = round_trip(path2, path2_reverse, inst)
+            assert is_homomorphic(recovered, inst)
+
+    def test_extra_facts_have_papers_shape(self, path2, path2_reverse):
+        """Extra facts are P(Z_ab, Z_bc) joins of adjacent chase nulls."""
+        inst = Instance.parse("P(a, b), P(b, c)")
+        recovered = round_trip(path2, path2_reverse, inst)
+        extra = recovered.difference(inst)
+        for f in extra:
+            assert all(v.is_null for v in f.values)
+
+    def test_chase_inverse_verdict(self, path2, path2_reverse):
+        assert is_chase_inverse(path2, path2_reverse).holds
+
+    def test_works_on_null_sources(self, path2, path2_reverse):
+        inst = Instance.parse("P(W, Z), P(a, W)")
+        recovered = round_trip(path2, path2_reverse, inst)
+        assert is_hom_equivalent(inst, recovered)
+
+
+class TestExample319:
+    def test_constant_guarded_reverse_empty_on_null_source(self, path2):
+        source = Instance.parse("P(W, Z)")
+        chased = path2.chase(source)
+        assert not chased.constants  # all values are nulls
+        recovered = PATH2_CONSTANT_REVERSE.chase(chased)
+        assert recovered.is_empty()
+
+    def test_hence_not_hom_equivalent(self, path2):
+        source = Instance.parse("P(W, Z)")
+        recovered = round_trip(path2, PATH2_CONSTANT_REVERSE, source)
+        assert not is_hom_equivalent(source, recovered)
+
+    def test_guarded_reverse_fine_on_ground_sources(self, path2):
+        """On ground sources M'' behaves: the mismatch is null-specific."""
+        source = Instance.parse("P(a, b)")
+        recovered = round_trip(path2, PATH2_CONSTANT_REVERSE, source)
+        assert is_hom_equivalent(source, recovered)
+
+
+class TestTheorem317Agreement:
+    def test_chase_inverse_iff_extended_inverse_behaviour(self, path2, path2_reverse):
+        """Operational agreement: the chase-inverse also certifies the
+
+        extended-inverse equation e(M) ∘ e(M') ⊇/⊆ e(Id) pointwise.
+        """
+        from repro.mappings.composition import in_extended_composition
+        from repro.mappings.identity import extended_identity_contains
+
+        probes = [
+            (Instance.parse("P(a, b)"), Instance.parse("P(a, b)")),
+            (Instance.parse("P(a, b)"), Instance.parse("P(a, b), P(c, d)")),
+            (Instance.parse("P(X, b)"), Instance.parse("P(a, b)")),
+            (Instance.parse("P(a, b)"), Instance.parse("P(b, a)")),
+            (Instance.parse("P(a, a)"), Instance.parse("P(b, b)")),
+        ]
+        for left, right in probes:
+            assert in_extended_composition(
+                path2, path2_reverse, left, right
+            ) == extended_identity_contains(left, right)

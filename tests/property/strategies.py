@@ -1,0 +1,51 @@
+"""Hypothesis strategies for instances, values, and small mappings."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.instance import Fact, Instance
+from repro.terms import Const, Null
+
+
+CONSTANTS = [Const(c) for c in ("a", "b", "c", "d")]
+NULLS = [Null(n) for n in ("X", "Y", "Z", "W")]
+
+
+def values(allow_nulls: bool = True):
+    pool = CONSTANTS + (NULLS if allow_nulls else [])
+    return st.sampled_from(pool)
+
+
+def facts(
+    relations: dict[str, int] | None = None, allow_nulls: bool = True
+) -> st.SearchStrategy[Fact]:
+    rels = relations or {"P": 2, "Q": 1, "R": 2}
+
+    @st.composite
+    def build(draw):
+        name = draw(st.sampled_from(sorted(rels)))
+        vals = tuple(draw(values(allow_nulls)) for _ in range(rels[name]))
+        return Fact(name, vals)
+
+    return build()
+
+
+def instances(
+    relations: dict[str, int] | None = None,
+    max_size: int = 5,
+    allow_nulls: bool = True,
+) -> st.SearchStrategy[Instance]:
+    return st.lists(
+        facts(relations, allow_nulls), min_size=0, max_size=max_size
+    ).map(Instance)
+
+
+def nonempty_instances(
+    relations: dict[str, int] | None = None,
+    max_size: int = 5,
+    allow_nulls: bool = True,
+) -> st.SearchStrategy[Instance]:
+    return st.lists(
+        facts(relations, allow_nulls), min_size=1, max_size=max_size
+    ).map(Instance)

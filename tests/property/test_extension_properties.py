@@ -1,0 +1,69 @@
+"""Property-based tests: e(M), →_M, and recovery invariants."""
+
+from hypothesis import given, settings
+
+from repro.homs.search import is_homomorphic
+from repro.inverses.recovery import in_arrow_m, in_canonical_recovery_extension
+from repro.mappings.extension import in_extension
+from repro.workloads.scenarios import PAPER_SCENARIOS
+
+from .strategies import instances
+
+
+PATH2 = PAPER_SCENARIOS["path2"].mapping
+UNION = PAPER_SCENARIOS["union"].mapping
+P2 = {"P": 2}
+P1Q1 = {"P": 1, "Q": 1}
+
+
+@given(instances(P2, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_arrow_m_reflexive(inst):
+    assert in_arrow_m(PATH2, inst, inst)
+
+
+@given(instances(P2, max_size=2), instances(P2, max_size=2), instances(P2, max_size=2))
+@settings(max_examples=30, deadline=None)
+def test_arrow_m_transitive(a, b, c):
+    if in_arrow_m(PATH2, a, b) and in_arrow_m(PATH2, b, c):
+        assert in_arrow_m(PATH2, a, c)
+
+
+@given(instances(P1Q1, max_size=3), instances(P1Q1, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_hom_contained_in_arrow_m(left, right):
+    """e(Id) ⊆ →_M (Proposition 4.11's easy half), for the union map."""
+    if is_homomorphic(left, right):
+        assert in_arrow_m(UNION, left, right)
+
+
+@given(instances(P2, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_chase_in_extension(inst):
+    """(I, chase(I)) ∈ e(M) always."""
+    assert in_extension(PATH2, inst, PATH2.chase(inst))
+
+
+@given(instances(P2, max_size=3), instances(P2, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_extension_left_hom_closure(left, right):
+    """left' → left and (left, J) ∈ e(M) imply (left', J) ∈ e(M)."""
+    target = PATH2.chase(right)
+    if is_homomorphic(left, right):
+        assert in_extension(PATH2, left, target)
+
+
+@given(instances(P2, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_canonical_recovery_contains_chase_pairs(inst):
+    """(chase(I), I) ∈ e(M*) — Theorem 4.10's recovery half."""
+    assert in_canonical_recovery_extension(PATH2, PATH2.chase(inst), inst)
+
+
+@given(instances(P2, max_size=3), instances(P2, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_canonical_recovery_extension_is_arrow_m_transport(left, right):
+    """(chase(I1), I2) ∈ e(M*) ⟺ I1 →_M I2 (Lemma 4.12 pointwise)."""
+    assert in_canonical_recovery_extension(
+        PATH2, PATH2.chase(left), right
+    ) == in_arrow_m(PATH2, left, right)

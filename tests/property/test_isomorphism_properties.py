@@ -1,0 +1,51 @@
+"""Property-based tests: isomorphism laws and core canonicity."""
+
+from hypothesis import given, settings
+
+from repro.homs.core import core
+from repro.homs.isomorphism import is_isomorphic
+from repro.homs.search import is_hom_equivalent
+from repro.instance import Instance
+from repro.terms import Null
+
+from .strategies import instances
+
+
+SMALL = {"P": 2, "Q": 1}
+
+
+@given(instances(SMALL, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_iso_reflexive(inst):
+    assert is_isomorphic(inst, inst)
+
+
+@given(instances(SMALL, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_iso_invariant_under_null_renaming(inst):
+    renamed = inst.freshen_nulls(prefix="RN")
+    assert is_isomorphic(inst, renamed)
+    assert is_isomorphic(renamed, inst)  # symmetry on a concrete pair
+
+
+@given(instances(SMALL, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_iso_implies_hom_equivalence(inst):
+    other = inst.freshen_nulls(prefix="EQ")
+    if is_isomorphic(inst, other):
+        assert is_hom_equivalent(inst, other)
+
+
+@given(instances(SMALL, max_size=3), instances(SMALL, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_cores_of_hom_equivalent_instances_are_isomorphic(left, right):
+    """The canonical-form theorem behind `canonically_equivalent`."""
+    if is_hom_equivalent(left, right):
+        assert is_isomorphic(core(left), core(right))
+
+
+@given(instances(SMALL, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_padding_with_fresh_copy_preserves_core_class(inst):
+    padded = inst.union(inst.freshen_nulls(prefix="PAD"))
+    assert is_isomorphic(core(inst), core(padded))

@@ -1,0 +1,69 @@
+"""Property-based tests: parser/printer round trips for dependencies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Atom
+from repro.logic.dependencies import DisjunctiveTgd, Tgd
+from repro.logic.guards import Inequality
+from repro.parsing.parser import parse_dependency
+from repro.terms import Const, Var
+
+
+VARIABLES = [Var(n) for n in ("x", "y", "z", "w")]
+RELATIONS = {"P": 2, "Q": 1, "R": 3}
+
+
+@st.composite
+def atoms(draw, relations=None):
+    rels = relations or RELATIONS
+    name = draw(st.sampled_from(sorted(rels)))
+    terms = tuple(
+        draw(st.sampled_from(VARIABLES + [Const(1), Const(2)]))
+        for _ in range(rels[name])
+    )
+    return Atom(name, terms)
+
+
+@st.composite
+def tgds(draw):
+    premise = tuple(draw(st.lists(atoms(), min_size=1, max_size=3)))
+    premise_vars = sorted(
+        {v for a in premise for v in a.variables()}, key=lambda v: v.name
+    )
+    conclusion = tuple(draw(st.lists(atoms({"S": 2, "T": 1}), min_size=1, max_size=2)))
+    guards = ()
+    if len(premise_vars) >= 2 and draw(st.booleans()):
+        guards = (Inequality(premise_vars[0], premise_vars[1]),)
+    return Tgd(premise, conclusion, guards)
+
+
+@st.composite
+def disjunctive_tgds(draw):
+    premise = tuple(draw(st.lists(atoms(), min_size=1, max_size=2)))
+    disjuncts = tuple(
+        tuple(draw(st.lists(atoms({"S": 2, "T": 1}), min_size=1, max_size=2)))
+        for _ in range(draw(st.integers(min_value=2, max_value=3)))
+    )
+    return DisjunctiveTgd(premise, disjuncts)
+
+
+@given(tgds())
+@settings(max_examples=80, deadline=None)
+def test_tgd_print_parse_round_trip(tgd):
+    assert parse_dependency(str(tgd)) == tgd
+
+
+@given(disjunctive_tgds())
+@settings(max_examples=60, deadline=None)
+def test_disjunctive_print_parse_round_trip(dtgd):
+    assert parse_dependency(str(dtgd)) == dtgd
+
+
+@given(tgds())
+@settings(max_examples=40, deadline=None)
+def test_printed_form_is_stable(tgd):
+    """Printing is idempotent through a parse cycle."""
+    once = str(parse_dependency(str(tgd)))
+    twice = str(parse_dependency(once))
+    assert once == twice

@@ -1,0 +1,114 @@
+"""Property-based tests: CQ evaluation, containment, and implication.
+
+Evaluation is validated against a brute-force nested-loop oracle;
+containment against its semantic meaning on random instances;
+implication against chase-semantic containment of the chased outputs.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.homs.search import is_homomorphic
+from repro.instance import Instance
+from repro.logic.containment import contained_in, minimize_query
+from repro.logic.implication import implies
+from repro.logic.queries import ConjunctiveQuery
+from repro.parsing.parser import parse_dependency, parse_query
+from repro.terms import Var
+
+from .strategies import instances
+
+
+E2 = {"E": 2}
+
+
+QUERIES = [
+    parse_query("q(x) :- E(x, y)"),
+    parse_query("q(x) :- E(x, x)"),
+    parse_query("q(x, z) :- E(x, y) & E(y, z)"),
+    parse_query("q(x) :- E(x, y) & E(y, x)"),
+    parse_query("q(x, y) :- E(x, y)"),
+]
+
+
+def brute_force_evaluate(query: ConjunctiveQuery, instance: Instance):
+    """Nested-loop oracle: try every assignment of body variables."""
+    variables = sorted(
+        {v for atom in query.body for v in atom.variables()}, key=lambda v: v.name
+    )
+    domain = sorted(instance.active_domain, key=lambda v: str(v))
+    answers = set()
+    for combo in itertools.product(domain, repeat=len(variables)):
+        binding = dict(zip(variables, combo))
+        if all(atom.instantiate(binding) in instance.facts for atom in query.body):
+            answers.add(tuple(binding[v] for v in query.head))
+    return frozenset(answers)
+
+
+@given(instances(E2, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_evaluation_matches_oracle(inst):
+    for query in QUERIES:
+        assert query.evaluate(inst) == brute_force_evaluate(query, inst)
+
+
+@given(instances(E2, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_containment_sound_on_instances(inst):
+    """contained_in(q1, q2) implies q1's answers ⊆ q2's on every instance."""
+    for first, second in itertools.permutations(QUERIES, 2):
+        if len(first.head) != len(second.head):
+            continue
+        if contained_in(first, second):
+            assert first.evaluate(inst) <= second.evaluate(inst), (first, second)
+
+
+@given(instances(E2, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_minimization_preserves_answers(inst):
+    for query in QUERIES:
+        minimized = minimize_query(query)
+        assert minimized.evaluate(inst) == query.evaluate(inst)
+
+
+DEP_SETS = [
+    [parse_dependency("E(x, y) -> F(x, y)")],
+    [parse_dependency("E(x, y) -> F(y, x)")],
+    [parse_dependency("E(x, y) -> EXISTS z . F(x, z)")],
+    [parse_dependency("E(x, y) -> F(x, y)"), parse_dependency("E(x, y) -> F(y, x)")],
+]
+
+CANDIDATES = [
+    parse_dependency("E(x, y) -> F(x, y)"),
+    parse_dependency("E(x, x) -> F(x, x)"),
+    parse_dependency("E(x, y) -> EXISTS z . F(x, z)"),
+]
+
+
+@given(instances(E2, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_implication_sound_on_chases(inst):
+    """If Σ implies σ, then chase(I, Σ) satisfies σ for every I."""
+    from repro.chase.standard import chase
+    from repro.logic.matching import match_atoms
+
+    for sigma in DEP_SETS:
+        chased = chase(inst, sigma).instance
+        for candidate in CANDIDATES:
+            if implies(sigma, candidate):
+                for binding in match_atoms(
+                    candidate.premise, chased, candidate.guards
+                ):
+                    seed = {
+                        v: binding[v]
+                        for v in candidate.frontier
+                    }
+                    assert (
+                        next(
+                            match_atoms(candidate.conclusion, chased, initial=seed),
+                            None,
+                        )
+                        is not None
+                    ), (sigma, candidate, inst)

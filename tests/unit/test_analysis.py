@@ -1,0 +1,77 @@
+"""Unit tests for the mapping analysis report."""
+
+import pytest
+
+from repro.analysis.report import analyze_mapping
+from repro.instance import Instance
+from repro.mappings.schema_mapping import SchemaMapping
+
+
+class TestAnalyzeMapping:
+    def test_full_tgd_report_complete(self, self_join_target):
+        report = analyze_mapping(self_join_target)
+        assert report.language == "full s-t tgds"
+        assert not report.invertible.holds
+        assert not report.extended_invertible.holds
+        assert report.recovery is not None
+        assert report.loss is not None and report.loss.lost > 0
+        assert report.probe is not None
+        assert report.probe_branches is not None
+
+    def test_lossless_mapping_report(self):
+        copy = SchemaMapping.from_text("P(x, y) -> P'(x, y)")
+        report = analyze_mapping(copy)
+        assert report.invertible.holds
+        assert report.extended_invertible.holds
+        assert report.loss.is_lossless_on_sample
+        assert report.probe_hom_equivalent
+
+    def test_existential_mapping_skips_recovery(self, path2):
+        report = analyze_mapping(path2)
+        assert report.recovery is None
+        assert "Theorem 4.10" in report.recovery_note
+        assert report.extended_invertible.holds
+
+    def test_custom_probe(self):
+        copy = SchemaMapping.from_text("P(x, y) -> P'(x, y)")
+        probe = Instance.parse("P(1, 2), P(3, 3)")
+        report = analyze_mapping(copy, probe=probe)
+        assert report.probe == probe
+        assert report.probe_hom_equivalent
+
+    def test_render_mentions_key_facts(self, self_join_target):
+        text = analyze_mapping(self_join_target).render()
+        assert "full s-t tgds" in text
+        assert "counterexample" in text
+        assert "P'(v0, v1) & v0 != v1 -> P(v0, v1)" in text
+        assert "round-trip probe" in text
+
+    def test_rejects_guarded_mapping(self):
+        guarded = SchemaMapping.from_text("P(x, y) & x != y -> Q(x)")
+        with pytest.raises(ValueError):
+            analyze_mapping(guarded)
+
+
+class TestReportCli:
+    def test_report_command(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "report",
+            "--mapping", "P(x) -> R(x); Q(x) -> R(x)",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "extended invertible:   False" in out
+
+    def test_report_with_probe(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "report",
+            "--mapping", "P(x, y) -> P'(x, y)",
+            "--probe", "P(7, 8)",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "P(7, 8)" in out

@@ -1,0 +1,145 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestChaseCommand:
+    def test_inline_mapping(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "chase",
+            "--mapping", "P(x, y, z) -> Q(x, y) & R(y, z)",
+            "--instance", "P(a, b, c)",
+        )
+        assert code == 0
+        assert "Q(a, b)" in out and "R(b, c)" in out
+
+    def test_mapping_from_file(self, capsys, tmp_path):
+        path = tmp_path / "deps.txt"
+        path.write_text("P(x) -> Q(x)\n")
+        code, out, _ = run_cli(
+            capsys, "chase", "--mapping", str(path), "--instance", "P(a)"
+        )
+        assert code == 0
+        assert "Q(a)" in out
+
+    def test_oblivious_variant(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "chase",
+            "--mapping", "P(x) -> EXISTS z . Q(x, z)",
+            "--instance", "P(a), Q(a, b)",
+            "--variant", "oblivious",
+        )
+        assert code == 0
+
+
+class TestReverseCommand:
+    def test_tgd_reverse(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "reverse",
+            "--mapping", "Q(x, z) & Q(z, y) -> P(x, y)",
+            "--instance", "Q(a, m), Q(m, b)",
+        )
+        assert code == 0
+        assert "P(a, b)" in out
+
+    def test_disjunctive_reverse_lists_branches(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "reverse",
+            "--mapping", "P'(x, x) -> T(x) | P(x, x)",
+            "--instance", "P'(a, a)",
+        )
+        assert code == 0
+        assert "[0]" in out and "[1]" in out
+
+
+class TestAuditCommand:
+    def test_extended_invertible_mapping_exit_zero(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "audit", "--mapping", "P(x, y) -> P'(x, y)"
+        )
+        assert code == 0
+        assert "True" in out
+
+    def test_lossy_mapping_exit_one_with_counterexample(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "audit", "--mapping", "P(x) -> R(x); Q(x) -> R(x)"
+        )
+        assert code == 1
+        assert "counterexample" in out
+
+    def test_reverse_verification(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "audit",
+            "--mapping", "P(x, y) -> EXISTS z . Q(x, z) & Q(z, y)",
+            "--reverse", "Q(x, z) & Q(z, y) -> P(x, y)",
+        )
+        assert code == 0
+        assert "chase-inverse:          True" in out
+
+
+class TestRecoverCommand:
+    def test_theorem_5_2_output(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "recover",
+            "--mapping", "P(x, y) -> P'(x, y); T(x) -> P'(x, x)",
+        )
+        assert code == 0
+        assert "P'(v0, v1) & v0 != v1 -> P(v0, v1)" in out
+        assert "P'(v0, v0) -> P(v0, v0) | T(v0)" in out
+
+    def test_non_full_rejected(self, capsys):
+        code, out, err = run_cli(
+            capsys, "recover", "--mapping", "P(x) -> Q(x, z)"
+        )
+        assert code == 2
+        assert "error" in err
+
+
+class TestAnswerCommand:
+    def test_with_computed_recovery(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "answer",
+            "--mapping", "P(x, y) -> P'(x, y); T(x) -> P'(x, x)",
+            "--instance", "P(1, 2), T(3)",
+            "--query", "q(x, y) :- P(x, y)",
+        )
+        assert code == 0
+        assert "(1, 2)" in out
+
+    def test_no_certain_answers_message(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "answer",
+            "--mapping", "P(x) -> R(x); Q(x) -> R(x)",
+            "--instance", "P(0)",
+            "--query", "q(x) :- P(x)",
+        )
+        assert code == 0
+        assert "no certain answers" in out
+
+    def test_explicit_recovery(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "answer",
+            "--mapping", "P(x, y) -> EXISTS z . Q(x, z) & Q(z, y)",
+            "--recovery", "Q(x, z) & Q(z, y) -> P(x, y)",
+            "--instance", "P(a, b)",
+            "--query", "q(x, y) :- P(x, y)",
+        )
+        assert code == 0
+        assert "(a, b)" in out

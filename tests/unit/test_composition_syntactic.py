@@ -1,0 +1,119 @@
+"""Unit tests for syntactic composition of tgd mappings."""
+
+import pytest
+
+from repro.homs.search import is_hom_equivalent
+from repro.instance import Instance
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.mappings.syntactic_composition import NotComposable, compose
+from repro.workloads.generators import random_instance
+
+
+def assert_composition_correct(first, second, sources):
+    """chase_{12∘23}(I) must match chase_23(chase_12(I)) up to hom-equiv."""
+    composed = compose(first, second)
+    for source in sources:
+        direct = composed.chase(source)
+        staged = second.chase(first.chase(source))
+        assert is_hom_equivalent(direct, staged), (source, direct, staged)
+
+
+class TestCompose:
+    def test_copy_chain(self):
+        first = SchemaMapping.from_text("A(x, y) -> B(x, y)")
+        second = SchemaMapping.from_text("B(x, y) -> C(x, y)")
+        composed = compose(first, second)
+        assert {str(d) for d in composed.dependencies} == {"A(x, y) -> C(x, y)"}
+
+    def test_unfolding_join(self):
+        first = SchemaMapping.from_text("A(x, y) -> B(x, y)")
+        second = SchemaMapping.from_text("B(x, z) & B(z, y) -> C(x, y)")
+        composed = compose(first, second)
+        assert {str(d) for d in composed.dependencies} == {
+            "A(x, y) & A(y, z) -> C(x, z)"
+        }
+
+    def test_multiple_producers_cross_product(self):
+        first = SchemaMapping.from_text("A1(x) -> B(x)\nA2(x) -> B(x)")
+        second = SchemaMapping.from_text("B(x) & B(y) -> C(x, y)")
+        composed = compose(first, second)
+        assert len(composed.dependencies) == 4  # producer choices 2x2
+
+    def test_existentials_on_right_preserved(self):
+        first = SchemaMapping.from_text("A(x, y) -> B(x, y)")
+        second = SchemaMapping.from_text("B(x, y) -> EXISTS w . C(x, w)")
+        composed = compose(first, second)
+        dep = composed.dependencies[0]
+        assert dep.existential_variables
+
+    def test_constant_clash_dropped(self):
+        first = SchemaMapping.from_text("A(x) -> B(x, 1)")
+        second = SchemaMapping.from_text("B(x, 2) -> C(x)")
+        with pytest.raises(NotComposable):
+            # All unfoldings clash on 1 vs 2 -> empty composition.
+            compose(first, second)
+
+    def test_diagonal_producer_forces_identification(self):
+        first = SchemaMapping.from_text("A(x) -> B(x, x)")
+        second = SchemaMapping.from_text("B(x, y) -> C(x, y)")
+        composed = compose(first, second)
+        assert {str(d) for d in composed.dependencies} == {"A(x) -> C(x, x)"}
+
+    def test_unproducible_premise_dropped(self):
+        first = SchemaMapping.from_text("A(x) -> B(x)")
+        second = SchemaMapping.from_text(
+            "B(x) -> C(x)", source=SchemaMapping.from_text("B(x) -> C(x)").source
+        )
+        # Add a dependency over a relation B2 the left never produces.
+        from repro.schema import Schema
+
+        second_with_extra = SchemaMapping.from_text(
+            "B(x) -> C(x)\nB2(x) -> C(x)",
+            source=Schema([("B", 1), ("B2", 1)]),
+        )
+        with pytest.raises(NotComposable):
+            compose(first, second_with_extra)
+
+
+class TestComposeValidation:
+    def test_left_must_be_full(self):
+        first = SchemaMapping.from_text("A(x) -> B(x, z)")
+        second = SchemaMapping.from_text("B(x, y) -> C(x)")
+        with pytest.raises(NotComposable):
+            compose(first, second)
+
+    def test_right_must_be_plain(self):
+        first = SchemaMapping.from_text("A(x) -> B(x)")
+        second = SchemaMapping.from_text("B(x) -> C(x) | D(x)")
+        with pytest.raises(NotComposable):
+            compose(first, second)
+
+    def test_middle_schema_mismatch(self):
+        first = SchemaMapping.from_text("A(x) -> B(x)")
+        second = SchemaMapping.from_text("Z(x) -> C(x)")
+        with pytest.raises(NotComposable):
+            compose(first, second)
+
+
+class TestComposeSemantics:
+    SOURCES = [
+        Instance.parse(s)
+        for s in ("", "A(a, b)", "A(a, b), A(b, c)", "A(X, b)", "A(a, a)")
+    ]
+
+    def test_join_composition_semantics(self):
+        first = SchemaMapping.from_text("A(x, y) -> B(x, y)")
+        second = SchemaMapping.from_text("B(x, z) & B(z, y) -> C(x, y)")
+        assert_composition_correct(first, second, self.SOURCES)
+
+    def test_existential_composition_semantics(self):
+        first = SchemaMapping.from_text("A(x, y) -> B(x, y) & B(y, x)")
+        second = SchemaMapping.from_text("B(x, y) -> EXISTS w . C(x, w)")
+        assert_composition_correct(first, second, self.SOURCES)
+
+    def test_random_ground_sources(self):
+        first = SchemaMapping.from_text("A(x, y) -> B(y, x)")
+        second = SchemaMapping.from_text("B(x, y) -> C(x) & D(y)")
+        schema = first.source
+        sources = [random_instance(schema, 5, seed=s, value_pool=4) for s in range(4)]
+        assert_composition_correct(first, second, sources)

@@ -1,0 +1,131 @@
+"""Unit tests for CQ containment/minimization and tgd normalization."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.logic.containment import (
+    contained_in,
+    equivalent_queries,
+    minimize_query,
+)
+from repro.logic.normalization import (
+    dedup_modulo_renaming,
+    normalize,
+    split_full_conclusions,
+)
+from repro.parsing.parser import parse_dependency as d
+from repro.parsing.parser import parse_query as q
+
+
+class TestContainment:
+    def test_self_containment(self):
+        query = q("q(x) :- P(x, y)")
+        assert contained_in(query, query)
+
+    def test_longer_join_contained_in_shorter(self):
+        path2 = q("q(x, z) :- P(x, y) & P(y, z)")
+        anywhere = q("q(x, z) :- P(x, w) & P(u, z)")
+        assert contained_in(path2, anywhere)
+        assert not contained_in(anywhere, path2)
+
+    def test_diagonal_contained_in_generic(self):
+        diagonal = q("q(x) :- P(x, x)")
+        generic = q("q(x) :- P(x, y)")
+        assert contained_in(diagonal, generic)
+        assert not contained_in(generic, diagonal)
+
+    def test_incomparable(self):
+        p_query = q("q(x) :- P(x)")
+        r_query = q("q(x) :- R(x)")
+        assert not contained_in(p_query, r_query)
+        assert not contained_in(r_query, p_query)
+
+    def test_head_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            contained_in(q("q(x) :- P(x)"), q("q(x, y) :- P(x) & P(y)"))
+
+    def test_equivalence_modulo_redundant_atom(self):
+        lean = q("q(x) :- P(x, y)")
+        padded = q("q(x) :- P(x, y) & P(x, z)")
+        assert equivalent_queries(lean, padded)
+
+    def test_containment_agrees_with_evaluation(self):
+        """Spot-check the semantic meaning on concrete instances."""
+        smaller = q("q(x) :- P(x, x)")
+        larger = q("q(x) :- P(x, y)")
+        for text in ("P(a, a), P(b, c)", "P(a, b)", ""):
+            inst = Instance.parse(text)
+            assert smaller.evaluate(inst) <= larger.evaluate(inst)
+
+
+class TestMinimizeQuery:
+    def test_drops_redundant_atom(self):
+        padded = q("q(x) :- P(x, y) & P(x, z)")
+        minimized = minimize_query(padded)
+        assert len(minimized.body) == 1
+        assert equivalent_queries(padded, minimized)
+
+    def test_keeps_necessary_join(self):
+        path2 = q("q(x, z) :- P(x, y) & P(y, z)")
+        assert len(minimize_query(path2).body) == 2
+
+    def test_never_unsafe(self):
+        query = q("q(x, y) :- P(x, y) & P(x, x)")
+        minimized = minimize_query(query)
+        head_vars = set(minimized.head)
+        body_vars = {v for atom in minimized.body for v in atom.variables()}
+        assert head_vars <= body_vars
+
+    def test_classic_triangle_fold(self):
+        # q() :- E(x,y) & E(y,z) & E(x,x): the self-loop absorbs the rest.
+        query = q("q() :- E(x, y) & E(y, z) & E(x, x)")
+        minimized = minimize_query(query)
+        assert len(minimized.body) == 1
+        assert equivalent_queries(query, minimized)
+
+
+class TestSplitConclusions:
+    def test_full_tgd_splits(self):
+        deps = split_full_conclusions([d("P(x, y) -> Q(x) & R(y)")])
+        assert {str(t) for t in deps} == {"P(x, y) -> Q(x)", "P(x, y) -> R(y)"}
+
+    def test_existential_not_split(self):
+        tgd = d("P(x) -> EXISTS z . Q(x, z) & R(z)")
+        assert split_full_conclusions([tgd]) == [tgd]
+
+    def test_split_preserves_semantics(self):
+        from repro.homs.search import is_hom_equivalent
+        from repro.mappings.schema_mapping import SchemaMapping
+
+        original = SchemaMapping.from_text("P(x, y) -> Q(x) & R(y)")
+        split = SchemaMapping(split_full_conclusions(list(original.dependencies)))
+        for text in ("P(a, b)", "P(a, a), P(b, c)"):
+            inst = Instance.parse(text)
+            assert original.chase(inst) == split.chase(inst)
+
+
+class TestDedupAndNormalize:
+    def test_dedup_modulo_renaming(self):
+        deps = [d("P(x) -> Q(x)"), d("P(y) -> Q(y)"), d("P(x) -> Q(x)")]
+        assert len(dedup_modulo_renaming(deps)) == 1
+
+    def test_distinct_structure_kept(self):
+        deps = [d("P(x, y) -> Q(x)"), d("P(x, x) -> Q(x)")]
+        assert len(dedup_modulo_renaming(deps)) == 2
+
+    def test_normalize_pipeline(self):
+        deps = [
+            d("P(x, y) -> Q(x) & R(y)"),
+            d("P(u, v) -> Q(u)"),       # duplicate after splitting
+            d("P(x, x) -> Q(x)"),       # implied specialization
+        ]
+        normalized = normalize(deps)
+        assert {str(t) for t in normalized} == {
+            "P(x, y) -> Q(x)",
+            "P(x, y) -> R(y)",
+        }
+
+    def test_normalize_skips_prune_for_guarded(self):
+        deps = [d("P(x, y) & x != y -> Q(x)"), d("P(x, y) -> Q(x)")]
+        normalized = normalize(deps)
+        assert len(normalized) == 2  # pruning skipped, both kept

@@ -1,0 +1,147 @@
+"""Unit tests for the schema-evolution workload primitives."""
+
+import pytest
+
+from repro.homs.search import is_hom_equivalent, is_homomorphic
+from repro.instance import Instance
+from repro.reverse.pipeline import EvolutionPipeline
+from repro.workloads.evolution import (
+    add_column,
+    denormalize_join,
+    drop_column,
+    horizontal_merge,
+    rename_relation,
+    vertical_partition,
+)
+
+
+class TestRename:
+    def test_round_trip_exact(self):
+        hop = rename_relation("Old", "New", 2)
+        source = Instance.parse("Old(a, b), Old(c, d)")
+        target = hop.forward.chase(source)
+        assert target == Instance.parse("New(a, b), New(c, d)")
+        assert hop.reverse.chase(target) == source
+
+
+class TestAddColumn:
+    def test_forward_adds_null(self):
+        hop = add_column("R", "R2", 2)
+        target = hop.forward.chase(Instance.parse("R(a, b)"))
+        assert len(target) == 1
+        row = next(iter(target.tuples("R2")))
+        assert len(row) == 3 and row[2].is_null
+
+    def test_round_trip_lossless(self):
+        hop = add_column("R", "R2", 2)
+        source = Instance.parse("R(a, b), R(c, d)")
+        recovered = hop.reverse.chase(hop.forward.chase(source))
+        assert recovered == source
+
+
+class TestDropColumn:
+    def test_projection(self):
+        hop = drop_column("R", "R2", 3, position=1)
+        target = hop.forward.chase(Instance.parse("R(a, b, c)"))
+        assert target == Instance.parse("R2(a, c)")
+
+    def test_round_trip_lossy(self):
+        hop = drop_column("R", "R2", 3, position=1)
+        source = Instance.parse("R(a, b, c)")
+        recovered = hop.reverse.chase(hop.forward.chase(source))
+        assert is_homomorphic(recovered, source)
+        assert not is_homomorphic(source, recovered)
+
+    def test_position_validated(self):
+        with pytest.raises(ValueError):
+            drop_column("R", "R2", 3, position=3)
+
+
+class TestVerticalPartition:
+    def test_matches_example_1_1(self):
+        hop = vertical_partition("P", "Q", "R", 3, split=1)
+        target = hop.forward.chase(Instance.parse("P(a, b, c)"))
+        assert target == Instance.parse("Q(a, b), R(b, c)")
+
+    def test_reverse_matches_example_1_1(self):
+        hop = vertical_partition("P", "Q", "R", 3, split=1)
+        recovered = hop.reverse.chase(Instance.parse("Q(a, b), R(b, c)"))
+        assert is_homomorphic(recovered, Instance.parse("P(a, b, c)"))
+
+    def test_split_validated(self):
+        with pytest.raises(ValueError):
+            vertical_partition("P", "Q", "R", 3, split=2)
+
+
+class TestHorizontalMerge:
+    def test_union_semantics(self):
+        hop = horizontal_merge(["A", "B"], "M", 1)
+        target = hop.forward.chase(Instance.parse("A(a), B(b)"))
+        assert target == Instance.parse("M(a), M(b)")
+
+    def test_needs_two_parts(self):
+        with pytest.raises(ValueError):
+            horizontal_merge(["A"], "M", 1)
+
+    def test_everywhere_reverse_is_not_a_recovery(self):
+        """The practical tgd fallback over-recovers: it is NOT a recovery
+
+        (the disjunctive quasi-inverse output is the maximum extended
+        recovery instead — verified side by side).
+        """
+        from repro.inverses.quasi_inverse import (
+            maximum_extended_recovery_for_full_tgds,
+        )
+        from repro.inverses.recovery import is_extended_recovery
+
+        hop = horizontal_merge(["A", "B"], "M", 1)
+        verdict = is_extended_recovery(hop.forward, hop.reverse)
+        assert not verdict.holds
+        disjunctive = maximum_extended_recovery_for_full_tgds(hop.forward)
+        assert is_extended_recovery(hop.forward, disjunctive).holds
+
+    def test_everywhere_reverse_round_trip_covers_source(self):
+        hop = horizontal_merge(["A", "B"], "M", 1)
+        source = Instance.parse("A(a), B(b)")
+        recovered = hop.reverse.chase(hop.forward.chase(source))
+        assert source <= recovered  # covers, with extra invented facts
+
+
+class TestDenormalizeJoin:
+    def test_join_shape(self):
+        hop = denormalize_join("L", "R", "M", 2, 2)
+        source = Instance.parse("L(a, k), R(k, z)")
+        assert hop.forward.chase(source) == Instance.parse("M(a, k, z)")
+
+    def test_dangling_tuples_dropped(self):
+        hop = denormalize_join("L", "R", "M", 2, 2)
+        source = Instance.parse("L(a, k), R(other, z)")
+        assert hop.forward.chase(source).is_empty()
+
+    def test_round_trip_on_joined_data(self):
+        hop = denormalize_join("L", "R", "M", 2, 2)
+        source = Instance.parse("L(a, k), R(k, z), L(b, k)")
+        recovered = hop.reverse.chase(hop.forward.chase(source))
+        assert is_hom_equivalent(recovered, source)
+
+
+class TestComposedEvolutions:
+    def test_rename_then_partition_pipeline(self):
+        pipeline = EvolutionPipeline(
+            [
+                rename_relation("Orders", "P", 3),
+                vertical_partition("P", "Q", "R", 3, split=1),
+            ]
+        )
+        source = Instance.parse("Orders(alice, book, monday)")
+        final = pipeline.final(source)
+        assert final == Instance.parse("Q(alice, book), R(book, monday)")
+        recovered = pipeline.round_trip(source)
+        assert is_homomorphic(recovered, source)
+
+    def test_collapse_rename_chain(self):
+        pipeline = EvolutionPipeline(
+            [rename_relation("A", "B", 2), rename_relation("B", "C", 2)]
+        )
+        composed = pipeline.collapse()
+        assert {str(d) for d in composed.dependencies} == {"A(x, y) -> C(x, y)"}

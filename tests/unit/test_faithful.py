@@ -1,0 +1,143 @@
+"""Unit tests for universal-faithfulness (Definition 6.1, Theorem 6.2)."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.inverses.faithful import is_universal_faithful, universal_faithful_report
+from repro.inverses.quasi_inverse import maximum_extended_recovery_for_full_tgds
+from repro.mappings.schema_mapping import SchemaMapping
+
+
+class TestReport:
+    def test_conditions_hold_for_sigma_star(self, self_join_target, self_join_reverse):
+        report = universal_faithful_report(
+            self_join_target, self_join_reverse, Instance.parse("P(1, 2), T(3)")
+        )
+        assert report.ok
+        assert report.branches
+
+    def test_null_source_needs_quotient_branches(
+        self, self_join_target, self_join_reverse
+    ):
+        """The motivating case for quotient branching: I = {P(n1, n2)}.
+
+        Condition (3) with I' = {T(c)} requires a T-branch, which only the
+        n1 = n2 quotient world produces.
+        """
+        report = universal_faithful_report(
+            self_join_target,
+            self_join_reverse,
+            Instance.parse("P(N1, N2)"),
+            iprime_family=[Instance.parse("T(c)"), Instance.parse("P(c, c)")],
+        )
+        assert report.ok
+        assert any(branch.tuples("T") for branch in report.branches)
+
+    def test_condition1_failure_detected(self, self_join_target):
+        # A reverse that invents facts not implied by the target.
+        overeager = SchemaMapping.from_text("P'(x, y) -> P(y, x)")
+        report = universal_faithful_report(
+            self_join_target, overeager, Instance.parse("P(1, 2)")
+        )
+        assert not report.condition1
+
+    def test_condition3_failure_reports_violator(self, self_join_target):
+        # Missing the T-disjunct: the diagonal target cannot reach {T(a)}.
+        partial = SchemaMapping.from_text(
+            "P'(x, y) & x != y -> P(x, y)\nP'(x, x) -> P(x, x)"
+        )
+        report = universal_faithful_report(
+            self_join_target,
+            partial,
+            Instance.parse("T(a)"),
+            iprime_family=[Instance.parse("T(a)")],
+        )
+        assert not report.condition3
+        assert report.condition3_violator is not None
+
+
+class TestExactInformationBranch:
+    def test_exists_for_sigma_star(self, self_join_target, self_join_reverse):
+        from repro.inverses.faithful import exact_information_branch
+        from repro.inverses.recovery import in_arrow_m
+
+        for text in ("P(1, 2), T(3)", "P(3, 3)", "T(a)", "P(N1, N2)"):
+            source = Instance.parse(text)
+            branch = exact_information_branch(
+                self_join_target, self_join_reverse, source
+            )
+            assert branch is not None, text
+            assert in_arrow_m(self_join_target, branch, source)
+            assert in_arrow_m(self_join_target, source, branch)
+
+    def test_none_for_non_maximum_reverse(self, self_join_target):
+        from repro.inverses.faithful import exact_information_branch
+
+        partial = SchemaMapping.from_text("P'(x, y) & x != y -> P(x, y)")
+        # On a diagonal source the partial reverse recovers nothing that
+        # exports P'(a, a).
+        assert (
+            exact_information_branch(
+                self_join_target, partial, Instance.parse("T(a)")
+            )
+            is None
+        )
+
+    def test_ground_recovery_for_algorithm_output(self, union_mapping):
+        from repro.inverses.faithful import exact_information_branch
+        from repro.inverses.quasi_inverse import (
+            maximum_extended_recovery_for_full_tgds,
+        )
+
+        recovery = maximum_extended_recovery_for_full_tgds(union_mapping)
+        source = Instance.parse("P(0), Q(1)")
+        branch = exact_information_branch(union_mapping, recovery, source)
+        assert branch is not None
+        # The exact branch here is one of the P/Q attributions matching
+        # the source's own chase image.
+        assert union_mapping.chase(branch) == union_mapping.chase(source)
+
+
+class TestVerdict:
+    def test_sigma_star_universal_faithful(self, self_join_target, self_join_reverse):
+        verdict = is_universal_faithful(self_join_target, self_join_reverse)
+        assert verdict.holds, str(verdict.counterexample)
+
+    def test_missing_disjunct_fails(self, self_join_target):
+        partial = SchemaMapping.from_text(
+            "P'(x, y) & x != y -> P(x, y)\nP'(x, x) -> P(x, x)"
+        )
+        verdict = is_universal_faithful(self_join_target, partial)
+        assert not verdict.holds
+        assert verdict.counterexample.verify()
+
+    def test_missing_inequality_fails(self, self_join_target):
+        # Dropping the guard makes the generic pattern fire on diagonals
+        # too; chasing P'(a,a) then forces P(a,a) even for T-sources,
+        # breaking condition 1 or 3.
+        unguarded = SchemaMapping.from_text(
+            "P'(x, y) -> P(x, y)\nP'(x, x) -> T(x) | P(x, x)"
+        )
+        verdict = is_universal_faithful(self_join_target, unguarded)
+        assert not verdict.holds
+
+    def test_theorem_6_2_agreement(self, union_mapping):
+        """Maximum extended recovery ⟺ universal-faithful, on the union map."""
+        from repro.inverses.recovery import is_maximum_extended_recovery
+
+        good = SchemaMapping.from_text("R(x) -> P(x) | Q(x)")
+        bad = SchemaMapping.from_text("R(x) -> P(x)")
+        family = [Instance.parse(s) for s in ("", "P(0)", "Q(0)", "P(0), Q(1)")]
+        for reverse, expected in ((good, True), (bad, False)):
+            faithful = is_universal_faithful(
+                union_mapping, reverse, instances=family
+            ).holds
+            maximum = is_maximum_extended_recovery(
+                union_mapping, reverse, instances=family
+            ).holds
+            assert faithful == maximum == expected
+
+    def test_algorithm_outputs_pass(self, decomposition):
+        rev = maximum_extended_recovery_for_full_tgds(decomposition)
+        verdict = is_universal_faithful(decomposition, rev)
+        assert verdict.holds, str(verdict.counterexample)

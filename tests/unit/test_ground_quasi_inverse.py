@@ -1,0 +1,144 @@
+"""Unit tests for the classical quasi-inverse machinery (FKPT'08)."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.inverses.ground_quasi_inverse import (
+    in_relaxed_identity,
+    is_quasi_inverse,
+    saturate,
+    sol_equivalent,
+)
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.workloads.scenarios import get_scenario
+
+
+@pytest.fixture(scope="module")
+def decomposition():
+    return get_scenario("decomposition")
+
+
+class TestSolEquivalent:
+    def test_reflexive(self, decomposition):
+        inst = Instance.parse("P(a, b, c)")
+        assert sol_equivalent(decomposition.mapping, inst, inst)
+
+    def test_cross_product_completion_equivalent(self, decomposition):
+        """{P(a,b,d), P(e,b,c)} and its cross completion share solutions."""
+        left = Instance.parse("P(a, b, d), P(e, b, c)")
+        right = Instance.parse("P(a, b, d), P(e, b, c), P(a, b, c), P(e, b, d)")
+        assert sol_equivalent(decomposition.mapping, left, right)
+
+    def test_distinct_projections_not_equivalent(self, decomposition):
+        assert not sol_equivalent(
+            decomposition.mapping,
+            Instance.parse("P(a, b, c)"),
+            Instance.parse("P(a, b, d)"),
+        )
+
+    def test_union_mapping_confuses_p_and_q(self, union_mapping):
+        assert sol_equivalent(
+            union_mapping, Instance.parse("P(0)"), Instance.parse("Q(0)")
+        )
+
+    def test_rejects_null_instances(self, decomposition):
+        with pytest.raises(ValueError):
+            sol_equivalent(
+                decomposition.mapping,
+                Instance.parse("P(X, b, c)"),
+                Instance.parse("P(a, b, c)"),
+            )
+
+
+class TestSaturate:
+    def test_decomposition_saturation_is_cross_product(self, decomposition):
+        inst = Instance.parse("P(a, b, d), P(e, b, c)")
+        saturated = saturate(
+            decomposition.mapping, inst, pool_from=Instance.parse("P(a, b, c)")
+        )
+        assert Instance.parse(
+            "P(a, b, d), P(e, b, c), P(a, b, c), P(e, b, d)"
+        ) <= saturated
+
+    def test_saturation_preserves_solution_set(self, decomposition):
+        inst = Instance.parse("P(a, b, c), P(a, b, d)")
+        saturated = saturate(decomposition.mapping, inst)
+        assert sol_equivalent(decomposition.mapping, inst, saturated)
+
+    def test_copy_mapping_saturation_is_identity(self):
+        copy = get_scenario("copy").mapping
+        inst = Instance.parse("P(a, b)")
+        assert saturate(copy, inst) == inst
+
+    def test_pool_guard(self, decomposition):
+        big = Instance.parse(
+            ", ".join(f"P(a{i}, b{i}, c{i})" for i in range(10))
+        )
+        with pytest.raises(ValueError):
+            saturate(decomposition.mapping, big, max_pool=100)
+
+
+class TestRelaxedIdentity:
+    def test_plain_subset(self, decomposition):
+        assert in_relaxed_identity(
+            decomposition.mapping,
+            Instance.parse("P(a, b, c)"),
+            Instance.parse("P(a, b, c), P(d, e, f)"),
+        )
+
+    def test_the_motivating_pair(self, decomposition):
+        """(I1, I2) with I1 ⊄ I2 but I1 ⊆ saturate(I2) — the pair that
+
+        makes the decomposition reverse a QUASI-inverse though not an
+        inverse."""
+        left = Instance.parse("P(a, b, c)")
+        right = Instance.parse("P(a, b, d), P(e, b, c)")
+        assert not left <= right
+        assert in_relaxed_identity(decomposition.mapping, left, right)
+
+    def test_unrelated_pair_rejected(self, decomposition):
+        assert not in_relaxed_identity(
+            decomposition.mapping,
+            Instance.parse("P(a, b, c)"),
+            Instance.parse("P(x, y, z)"),
+        )
+
+
+class TestIsQuasiInverse:
+    FAMILY = [
+        Instance.parse(s)
+        for s in (
+            "",
+            "P(a, b, c)",
+            "P(a, b, c), P(d, b, e)",
+            "P(a, b, c), P(a, b, d)",
+        )
+    ]
+
+    def test_example_1_1_claim(self, decomposition):
+        """The paper: Σ' is a quasi-inverse of the decomposition mapping."""
+        verdict = is_quasi_inverse(
+            decomposition.mapping, decomposition.reverse, instances=self.FAMILY
+        )
+        assert verdict.holds, str(verdict.counterexample)
+
+    def test_exact_inverse_is_quasi_inverse(self):
+        copy = get_scenario("copy")
+        family = [Instance.parse(s) for s in ("", "P(a, b)", "P(a, b), P(c, d)")]
+        assert is_quasi_inverse(copy.mapping, copy.reverse, instances=family).holds
+
+    def test_wrong_reverse_refuted(self):
+        copy = get_scenario("copy").mapping
+        bad = SchemaMapping.from_text("P'(x, y) -> P(y, x)")
+        family = [Instance.parse(s) for s in ("", "P(a, b)")]
+        verdict = is_quasi_inverse(copy, bad, instances=family)
+        assert not verdict.holds
+        assert verdict.counterexample.verify()
+
+    def test_forgetful_reverse_refuted(self, decomposition):
+        # A reverse that drops the R-side entirely under-recovers.
+        partial = SchemaMapping.from_text("Q(x, y) -> EXISTS z . P(x, y, z)")
+        verdict = is_quasi_inverse(
+            decomposition.mapping, partial, instances=self.FAMILY
+        )
+        assert not verdict.holds

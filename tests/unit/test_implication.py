@@ -1,0 +1,82 @@
+"""Unit tests for dependency implication, equivalence, and pruning."""
+
+import pytest
+
+from repro.logic.implication import equivalent, implies, prune_redundant
+from repro.parsing.parser import parse_dependency as d
+
+
+class TestImplies:
+    def test_self_implication(self):
+        tgd = d("P(x, y) -> Q(x, y)")
+        assert implies([tgd], tgd)
+
+    def test_specialization_implied(self):
+        assert implies([d("P(x, y) -> Q(x, y)")], d("P(x, x) -> Q(x, x)"))
+
+    def test_swap_not_implied(self):
+        assert not implies([d("P(x, y) -> Q(x, y)")], d("P(x, y) -> Q(y, x)"))
+
+    def test_existential_renaming_implied(self):
+        assert implies(
+            [d("P(x) -> EXISTS z . Q(x, z)")], d("P(x) -> EXISTS w . Q(x, w)")
+        )
+
+    def test_existential_weaker_than_full(self):
+        assert implies([d("P(x) -> Q(x, x)")], d("P(x) -> EXISTS z . Q(x, z)"))
+        assert not implies([d("P(x) -> EXISTS z . Q(x, z)")], d("P(x) -> Q(x, x)"))
+
+    def test_transitive_chain(self):
+        sigma = [d("A(x) -> B(x)"), d("B(x) -> C(x)")]
+        assert implies(sigma, d("A(x) -> C(x)"))
+
+    def test_wider_premise_implied(self):
+        assert implies([d("P(x, y) -> Q(x)")], d("P(x, y) & R(y) -> Q(x)"))
+
+    def test_guarded_candidate_frozen_with_distinct_nulls(self):
+        # P(x,y) & x != y -> Q(x, y) is implied by the unguarded version.
+        assert implies([d("P(x, y) -> Q(x, y)")], d("P(x, y) & x != y -> Q(x, y)"))
+
+    def test_rejects_disjunctive_implying_set(self):
+        with pytest.raises(TypeError):
+            implies([d("R(x) -> P(x) | Q(x)")], d("R(x) -> P(x)"))
+
+    def test_rejects_constant_guard_candidate(self):
+        with pytest.raises(TypeError):
+            implies([d("P(x) -> Q(x)")], d("P(x) & Constant(x) -> Q(x)"))
+
+
+class TestEquivalent:
+    def test_reordered_sets(self):
+        left = [d("A(x) -> B(x)"), d("C(x) -> D(x)")]
+        right = [d("C(x) -> D(x)"), d("A(x) -> B(x)")]
+        assert equivalent(left, right)
+
+    def test_redundant_member_preserves_equivalence(self):
+        base = [d("A(x) -> B(x)"), d("B(x) -> C(x)")]
+        padded = base + [d("A(x) -> C(x)")]
+        assert equivalent(base, padded)
+
+    def test_inequivalent_sets(self):
+        assert not equivalent([d("A(x) -> B(x)")], [d("B(x) -> A(x)")])
+
+
+class TestPruneRedundant:
+    def test_drops_transitive_consequence(self):
+        deps = [d("A(x) -> B(x)"), d("B(x) -> C(x)"), d("A(x) -> C(x)")]
+        pruned = prune_redundant(deps)
+        assert len(pruned) == 2
+        assert equivalent(deps, pruned)
+
+    def test_keeps_independent(self):
+        deps = [d("A(x) -> B(x)"), d("C(x) -> D(x)")]
+        assert prune_redundant(deps) == deps
+
+    def test_drops_specializations(self):
+        deps = [d("P(x, y) -> Q(x, y)"), d("P(x, x) -> Q(x, x)")]
+        pruned = prune_redundant(deps)
+        assert pruned == [d("P(x, x) -> Q(x, x)"), ] or len(pruned) == 1
+
+    def test_duplicate_collapse(self):
+        deps = [d("A(x) -> B(x)"), d("A(y) -> B(y)")]
+        assert len(prune_redundant(deps)) == 1

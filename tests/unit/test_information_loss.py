@@ -1,0 +1,129 @@
+"""Unit tests for information loss and the less-lossy comparison."""
+
+import itertools
+
+import pytest
+
+from repro.instance import Instance
+from repro.inverses.information_loss import (
+    ground_information_loss_pairs,
+    information_loss_pairs,
+    is_less_lossy,
+    less_lossy_via_reverse_chases,
+    sample_information_loss,
+    strictness_witness,
+)
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.workloads.scenarios import get_scenario
+
+
+@pytest.fixture(scope="module")
+def copy_mapping():
+    return get_scenario("copy").mapping
+
+
+@pytest.fixture(scope="module")
+def split_mapping():
+    return get_scenario("component_split").mapping
+
+
+def example_6_7_pairs():
+    instances = [
+        Instance.parse("P(1, 0)"),
+        Instance.parse("P(1, 1), P(0, 0)"),
+        Instance.parse("P(0, 1)"),
+        Instance.parse("P(1, 0), P(0, 1)"),
+    ]
+    return list(itertools.product(instances, repeat=2))
+
+
+class TestInformationLossPairs:
+    def test_copy_mapping_lossless(self, copy_mapping):
+        assert information_loss_pairs(copy_mapping, example_6_7_pairs()) == []
+
+    def test_copy_lossless_on_canonical_family(self, copy_mapping):
+        assert information_loss_pairs(copy_mapping) == []
+
+    def test_split_mapping_lossy_at_papers_pair(self, split_mapping):
+        lost = information_loss_pairs(split_mapping, example_6_7_pairs())
+        assert (
+            Instance.parse("P(1, 0)"),
+            Instance.parse("P(1, 1), P(0, 0)"),
+        ) in lost
+
+    def test_union_mapping_lossy(self, union_mapping):
+        pairs = [(Instance.parse("P(0)"), Instance.parse("Q(0)"))]
+        assert information_loss_pairs(union_mapping, pairs) == pairs
+
+
+class TestGroundLoss:
+    def test_projection_ground_loss(self):
+        m = get_scenario("projection").mapping
+        pairs = [
+            (Instance.parse("P(a, b)"), Instance.parse("P(a, c)")),
+            (Instance.parse("P(a, b)"), Instance.parse("P(a, b)")),
+        ]
+        lost = ground_information_loss_pairs(m, pairs)
+        assert lost == [pairs[0]]
+
+    def test_rejects_null_pairs(self, copy_mapping):
+        with pytest.raises(ValueError):
+            ground_information_loss_pairs(
+                copy_mapping, [(Instance.parse("P(X, b)"), Instance.parse("P(a, b)"))]
+            )
+
+
+class TestLossReport:
+    def test_counts(self, split_mapping):
+        report = sample_information_loss(split_mapping, example_6_7_pairs())
+        assert report.pairs_tested == 16
+        assert report.in_arrow_m >= report.in_hom
+        assert report.lost == report.in_arrow_m - report.in_hom
+
+    def test_lossless_sample(self, copy_mapping):
+        report = sample_information_loss(copy_mapping, example_6_7_pairs())
+        assert report.is_lossless_on_sample
+        assert report.loss_rate == 0.0
+
+    def test_empty_sample(self, copy_mapping):
+        report = sample_information_loss(copy_mapping, [])
+        assert report.loss_rate == 0.0
+
+
+class TestLessLossy:
+    def test_example_6_7_copy_less_lossy_than_split(
+        self, copy_mapping, split_mapping
+    ):
+        verdict = is_less_lossy(copy_mapping, split_mapping, example_6_7_pairs())
+        assert verdict.holds
+
+    def test_strictness_witness_is_papers(self, copy_mapping, split_mapping):
+        witness = strictness_witness(copy_mapping, split_mapping, example_6_7_pairs())
+        assert witness == (
+            Instance.parse("P(1, 0)"),
+            Instance.parse("P(1, 1), P(0, 0)"),
+        )
+
+    def test_reverse_direction_fails(self, copy_mapping, split_mapping):
+        verdict = is_less_lossy(split_mapping, copy_mapping, example_6_7_pairs())
+        assert not verdict.holds
+        assert verdict.counterexample.verify()
+
+    def test_canonical_pairs_default(self, copy_mapping, split_mapping):
+        assert is_less_lossy(copy_mapping, split_mapping).holds
+
+    def test_theorem_6_8_procedural(self, copy_mapping, split_mapping):
+        shared_reverse = SchemaMapping.from_text("P'(x, y) -> P(x, y)")
+        instances = [
+            Instance.parse("P(1, 0)"),
+            Instance.parse("P(a, b), P(b, c)"),
+            Instance.parse("P(X, b)"),
+        ]
+        verdict = less_lossy_via_reverse_chases(
+            copy_mapping,
+            shared_reverse,
+            split_mapping,
+            shared_reverse,
+            instances=instances,
+        )
+        assert verdict.holds, str(verdict.counterexample)

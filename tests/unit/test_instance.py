@@ -1,0 +1,250 @@
+"""Unit tests for facts and instances."""
+
+import pytest
+
+from repro.instance import Fact, Instance, InstanceBuilder, fact
+from repro.schema import Schema
+from repro.terms import Const, Null, Var
+
+
+class TestFact:
+    def test_construction(self):
+        f = Fact("P", (Const("a"), Null("X")))
+        assert f.relation == "P"
+        assert f.arity == 2
+
+    def test_rejects_vars(self):
+        with pytest.raises(TypeError):
+            Fact("P", (Var("x"),))
+
+    def test_is_ground(self):
+        assert Fact("P", (Const("a"),)).is_ground()
+        assert not Fact("P", (Null("X"),)).is_ground()
+
+    def test_nulls_iteration(self):
+        f = Fact("P", (Null("X"), Const("a"), Null("X")))
+        assert list(f.nulls()) == [Null("X"), Null("X")]
+
+    def test_substitute(self):
+        f = Fact("P", (Null("X"), Const("a")))
+        g = f.substitute({Null("X"): Const("b")})
+        assert g == Fact("P", (Const("b"), Const("a")))
+
+    def test_substitute_identity_outside_domain(self):
+        f = Fact("P", (Null("X"),))
+        assert f.substitute({Null("Y"): Const("b")}) == f
+
+    def test_str(self):
+        assert str(Fact("P", (Const("a"), Null("X")))) == "P(a, _X)"
+
+    def test_helper_constructor_token_convention(self):
+        f = fact("P", "a", "X", 3)
+        assert f == Fact("P", (Const("a"), Null("X"), Const(3)))
+
+    def test_helper_rejects_junk(self):
+        with pytest.raises(TypeError):
+            fact("P", object())
+
+
+class TestInstanceConstruction:
+    def test_deduplicates(self):
+        inst = Instance([fact("P", "a"), fact("P", "a")])
+        assert len(inst) == 1
+
+    def test_schema_validation_unknown_relation(self):
+        with pytest.raises(ValueError):
+            Instance([fact("P", "a")], schema=Schema([("Q", 1)]))
+
+    def test_schema_validation_arity(self):
+        with pytest.raises(ValueError):
+            Instance([fact("P", "a", "b")], schema=Schema([("P", 1)]))
+
+    def test_rejects_non_fact(self):
+        with pytest.raises(TypeError):
+            Instance(["P(a)"])
+
+    def test_parse_round_trip(self):
+        inst = Instance.parse("P(a, X), Q(b, 1)")
+        assert fact("P", "a", "X") in inst
+        assert fact("Q", "b", 1) in inst
+
+    def test_parse_empty(self):
+        assert Instance.parse("").is_empty()
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(ValueError):
+            Instance.parse("P(a")
+
+    def test_of(self):
+        inst = Instance.of(fact("P", "a"))
+        assert len(inst) == 1
+
+
+class TestInstanceProtocol:
+    def test_equality_is_set_equality(self):
+        a = Instance.parse("P(a), Q(b)")
+        b = Instance.parse("Q(b), P(a)")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_subset(self):
+        small = Instance.parse("P(a)")
+        big = Instance.parse("P(a), Q(b)")
+        assert small <= big
+        assert not big <= small
+
+    def test_contains(self):
+        assert fact("P", "a") in Instance.parse("P(a)")
+
+    def test_iteration_deterministic(self):
+        inst = Instance.parse("P(b), P(a), P(X)")
+        assert [str(f) for f in inst] == ["P(a)", "P(b)", "P(_X)"]
+
+    def test_str_empty(self):
+        assert str(Instance()) == "{}"
+
+
+class TestInstanceInspection:
+    def test_active_domain(self):
+        inst = Instance.parse("P(a, X)")
+        assert inst.active_domain == {Const("a"), Null("X")}
+
+    def test_nulls_and_constants(self):
+        inst = Instance.parse("P(a, X), Q(Y)")
+        assert inst.nulls == {Null("X"), Null("Y")}
+        assert inst.constants == {Const("a")}
+
+    def test_is_ground(self):
+        assert Instance.parse("P(a, b)").is_ground()
+        assert not Instance.parse("P(a, X)").is_ground()
+
+    def test_tuples(self):
+        inst = Instance.parse("P(a), P(b)")
+        assert len(inst.tuples("P")) == 2
+        assert inst.tuples("Q") == frozenset()
+
+    def test_schema_inference(self):
+        schema = Instance.parse("P(a, b), Q(c)").schema()
+        assert schema.arity("P") == 2
+        assert schema.arity("Q") == 1
+
+    def test_schema_inference_conflict(self):
+        inst = Instance([fact("P", "a"), fact("P", "a", "b")])
+        with pytest.raises(ValueError):
+            inst.schema()
+
+
+class TestInstanceAlgebra:
+    def test_union(self):
+        u = Instance.parse("P(a)").union(Instance.parse("Q(b)"))
+        assert len(u) == 2
+
+    def test_difference(self):
+        d = Instance.parse("P(a), Q(b)").difference(Instance.parse("Q(b)"))
+        assert d == Instance.parse("P(a)")
+
+    def test_restrict(self):
+        r = Instance.parse("P(a), Q(b)").restrict(["P"])
+        assert r == Instance.parse("P(a)")
+
+    def test_substitute_collapses_facts(self):
+        inst = Instance.parse("P(X), P(Y)")
+        merged = inst.substitute({Null("X"): Null("Y")})
+        assert len(merged) == 1
+
+    def test_substitute_constants_fixed_by_caller_convention(self):
+        inst = Instance.parse("P(X, a)")
+        out = inst.substitute({Null("X"): Const("a")})
+        assert out == Instance.parse("P(a, a)")
+
+    def test_rename_nulls_apart(self):
+        left = Instance.parse("P(X)")
+        right = Instance.parse("Q(X)")
+        renamed = left.rename_nulls_apart(right)
+        assert not renamed.nulls & right.nulls
+        assert len(renamed) == 1
+
+    def test_rename_nulls_apart_noop_when_disjoint(self):
+        left = Instance.parse("P(X)")
+        right = Instance.parse("Q(Y)")
+        assert left.rename_nulls_apart(right) is left
+
+    def test_freshen_nulls(self):
+        inst = Instance.parse("P(X, Y)")
+        fresh = inst.freshen_nulls()
+        assert len(fresh.nulls) == 2
+        assert not fresh.nulls & inst.nulls
+
+    def test_map_values(self):
+        inst = Instance.parse("P(a)")
+        out = inst.map_values(lambda v: Const("z"))
+        assert out == Instance.parse("P(z)")
+
+
+class TestPositionIndex:
+    def test_lookup_by_constant(self):
+        inst = Instance.parse("P(a, b), P(a, c), P(d, b)")
+        hits = inst.tuples_at("P", 0, Const("a"))
+        assert len(hits) == 2
+        assert all(values[0] == Const("a") for values in hits)
+
+    def test_lookup_by_null(self):
+        inst = Instance.parse("P(X, b), P(a, b)")
+        hits = inst.tuples_at("P", 0, Null("X"))
+        assert len(hits) == 1
+
+    def test_missing_value_empty(self):
+        inst = Instance.parse("P(a)")
+        assert inst.tuples_at("P", 0, Const("zzz")) == ()
+
+    def test_missing_relation_empty(self):
+        assert Instance.parse("P(a)").tuples_at("Q", 0, Const("a")) == ()
+
+    def test_index_consistent_with_scan(self):
+        inst = Instance.parse("P(a, b), P(b, a), P(a, a), Q(a)")
+        for position in (0, 1):
+            for value in inst.active_domain:
+                indexed = set(inst.tuples_at("P", position, value))
+                scanned = {
+                    values
+                    for values in inst.tuples("P")
+                    if values[position] == value
+                }
+                assert indexed == scanned
+
+    def test_index_does_not_change_equality_or_hash(self):
+        left = Instance.parse("P(a, b)")
+        right = Instance.parse("P(a, b)")
+        left.tuples_at("P", 0, Const("a"))  # force index build on one side
+        assert left == right
+        assert hash(left) == hash(right)
+
+
+class TestInstanceBuilder:
+    def test_add_reports_novelty(self):
+        builder = InstanceBuilder()
+        assert builder.add(fact("P", "a"))
+        assert not builder.add(fact("P", "a"))
+
+    def test_add_all_counts(self):
+        builder = InstanceBuilder()
+        added = builder.add_all([fact("P", "a"), fact("P", "a"), fact("Q", "b")])
+        assert added == 2
+
+    def test_base_instance(self):
+        builder = InstanceBuilder(Instance.parse("P(a)"))
+        assert fact("P", "a") in builder
+        assert len(builder) == 1
+
+    def test_snapshot_is_independent(self):
+        builder = InstanceBuilder()
+        builder.add(fact("P", "a"))
+        snap = builder.snapshot()
+        builder.add(fact("Q", "b"))
+        assert len(snap) == 1
+
+    def test_values_tracked(self):
+        builder = InstanceBuilder()
+        builder.add(fact("P", "a", "X"))
+        assert Const("a") in builder.values
+        assert Null("X") in builder.values

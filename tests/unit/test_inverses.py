@@ -1,0 +1,158 @@
+"""Unit tests for the extended-inverse layer and verdict types."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.inverses.extended_inverse import (
+    canonical_source_instances,
+    captures,
+    homomorphism_property_counterexample,
+    is_chase_inverse,
+    is_extended_invertible,
+    round_trip,
+)
+from repro.inverses.ground import is_ground_recovery, is_invertible
+from repro.inverses.verdicts import CheckVerdict, Counterexample
+from repro.mappings.schema_mapping import SchemaMapping
+
+
+class TestVerdicts:
+    def test_failing_verdict_needs_counterexample(self):
+        with pytest.raises(ValueError):
+            CheckVerdict(holds=False, tested=1)
+
+    def test_bool_protocol(self):
+        assert CheckVerdict(holds=True, tested=3)
+        cx = Counterexample("boom", (Instance(),), lambda: True)
+        assert not CheckVerdict(holds=False, tested=3, counterexample=cx)
+
+    def test_counterexample_verify(self):
+        cx = Counterexample("boom", (Instance(),), lambda: 1 + 1 == 2)
+        assert cx.verify()
+
+    def test_str_renderings(self):
+        good = CheckVerdict(holds=True, tested=7)
+        assert "7" in str(good)
+        cx = Counterexample("bad pair", (Instance.parse("P(a)"),))
+        bad = CheckVerdict(holds=False, tested=2, counterexample=cx)
+        assert "bad pair" in str(bad)
+
+
+class TestCanonicalFamily:
+    def test_contains_empty_instance(self, path2):
+        family = canonical_source_instances(path2)
+        assert Instance() in family
+
+    def test_contains_all_const_and_all_null(self, path2):
+        family = canonical_source_instances(path2)
+        assert Instance.parse("P(c0, c1)") in family
+        assert Instance.parse("P(X0, X1)") in family
+
+    def test_contains_identified_patterns(self, path2):
+        family = canonical_source_instances(path2)
+        assert Instance.parse("P(c0, c0)") in family
+
+    def test_no_duplicates(self, path2):
+        family = canonical_source_instances(path2)
+        assert len(family) == len(set(family))
+
+    def test_extra_appended(self, path2):
+        probe = Instance.parse("P(zz, ww)")
+        family = canonical_source_instances(path2, extra=(probe,))
+        assert probe in family
+
+    def test_pairs_union_for_multi_tgd_mappings(self, union_mapping):
+        family = canonical_source_instances(union_mapping)
+        assert Instance.parse("P(c0), Q(c0)") in family
+
+    def test_crossed_copies_present(self, decomposition):
+        family = canonical_source_instances(decomposition)
+        # The Example 1.1 refutation shape.
+        assert Instance.parse("P(f0, c1, c2), P(c0, c1, f2)") in family
+
+
+class TestHomomorphismProperty:
+    def test_union_counterexample_is_papers(self, union_mapping):
+        cx = homomorphism_property_counterexample(union_mapping)
+        assert cx is not None
+        assert cx.verify()
+
+    def test_extended_invertible_copy(self):
+        m = SchemaMapping.from_text("P(x, y) -> P'(x, y)")
+        assert is_extended_invertible(m).holds
+
+    def test_verdict_counts_pairs(self, path2):
+        verdict = is_extended_invertible(path2)
+        assert verdict.holds
+        assert verdict.tested > 0
+
+    def test_explicit_family(self, union_mapping):
+        family = [Instance.parse("P(0)"), Instance.parse("Q(0)")]
+        verdict = is_extended_invertible(union_mapping, instances=family)
+        assert not verdict.holds
+        assert set(verdict.counterexample.witnesses) == set(family)
+
+
+class TestChaseInverse:
+    def test_path2_join_back(self, path2, path2_reverse):
+        assert is_chase_inverse(path2, path2_reverse).holds
+
+    def test_round_trip_contains_source(self, path2, path2_reverse):
+        inst = Instance.parse("P(a, b), P(b, b)")
+        recovered = round_trip(path2, path2_reverse, inst)
+        assert inst <= recovered  # Example 3.18: I ⊆ V
+
+    def test_wrong_reverse_fails(self, path2):
+        wrong = SchemaMapping.from_text("Q(x, z) -> P(x, x)")
+        verdict = is_chase_inverse(path2, wrong)
+        assert not verdict.holds
+        assert verdict.counterexample.verify()
+
+    def test_decomposition_reverse_not_chase_inverse(
+        self, decomposition, decomposition_reverse
+    ):
+        # The natural reverse of Example 1.1 only recovers V ≺ I.
+        verdict = is_chase_inverse(decomposition, decomposition_reverse)
+        assert not verdict.holds
+
+
+class TestCaptures:
+    def test_chase_captures_for_extended_invertible(self, path2):
+        inst = Instance.parse("P(a, b)")
+        assert captures(path2, path2.chase(inst), inst).holds
+
+    def test_capture_fails_for_lossy_mapping(self, union_mapping):
+        inst = Instance.parse("P(0)")
+        verdict = captures(union_mapping, union_mapping.chase(inst), inst)
+        assert not verdict.holds  # {Q(0)} also explains R(0)
+
+    def test_capture_condition_a(self, path2):
+        inst = Instance.parse("P(a, b)")
+        not_solution = Instance.parse("Q(b, a)")
+        verdict = captures(path2, not_solution, inst)
+        assert not verdict.holds
+        assert "condition (a)" in verdict.counterexample.description
+
+
+class TestGroundFramework:
+    def test_invertibility_matches_paper(self, scenario):
+        if scenario.invertible is None:
+            pytest.skip("paper makes no invertibility claim")
+        assert is_invertible(scenario.mapping).holds == scenario.invertible
+
+    def test_double_null_separation(self):
+        """Theorem 3.15(2): invertible but not extended-invertible."""
+        m = SchemaMapping.from_text(
+            "P(x) -> EXISTS y . R(x, y)\nQ(y) -> EXISTS x . R(x, y)"
+        )
+        assert is_invertible(m).holds
+        verdict = is_extended_invertible(m)
+        assert not verdict.holds
+        # The counterexample instances must be non-ground (the separation
+        # only exists because of nulls).
+        assert any(not w.is_ground() for w in verdict.counterexample.witnesses)
+
+    def test_ground_recovery_of_paper_reverses(self, scenario):
+        if scenario.reverse is None:
+            pytest.skip("no reverse mapping catalogued")
+        assert is_ground_recovery(scenario.mapping, scenario.reverse).holds

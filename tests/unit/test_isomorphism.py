@@ -1,0 +1,95 @@
+"""Unit tests for instance isomorphism and core-based comparison."""
+
+import pytest
+
+from repro.homs.core import core
+from repro.homs.isomorphism import (
+    canonically_equivalent,
+    find_isomorphism,
+    is_isomorphic,
+    isomorphisms,
+)
+from repro.homs.search import is_hom_equivalent
+from repro.instance import Instance
+
+
+class TestIsIsomorphic:
+    def test_null_renaming(self):
+        assert is_isomorphic(Instance.parse("P(X, a)"), Instance.parse("P(Y, a)"))
+
+    def test_constants_must_match(self):
+        assert not is_isomorphic(Instance.parse("P(a)"), Instance.parse("P(b)"))
+
+    def test_null_cannot_map_to_constant(self):
+        assert not is_isomorphic(Instance.parse("P(X)"), Instance.parse("P(a)"))
+
+    def test_fact_counts_must_match(self):
+        assert not is_isomorphic(
+            Instance.parse("P(X), P(Y)"), Instance.parse("P(X)")
+        )
+
+    def test_structure_preserved(self):
+        left = Instance.parse("E(X, Y), E(Y, X)")
+        right = Instance.parse("E(A, B), E(B, A)")
+        assert is_isomorphic(left, right)
+
+    def test_structure_difference_detected(self):
+        left = Instance.parse("E(X, Y), E(Y, X)")
+        right = Instance.parse("E(A, B), E(A, B)")  # one fact after dedup
+        assert not is_isomorphic(left, right)
+
+    def test_self_loop_vs_edge(self):
+        assert not is_isomorphic(
+            Instance.parse("E(X, X)"), Instance.parse("E(X, Y)")
+        )
+
+    def test_empty_instances(self):
+        assert is_isomorphic(Instance(), Instance())
+
+    def test_isomorphic_implies_hom_equivalent(self):
+        left = Instance.parse("P(X, a), Q(X)")
+        right = Instance.parse("P(Z, a), Q(Z)")
+        assert is_isomorphic(left, right)
+        assert is_hom_equivalent(left, right)
+
+    def test_hom_equivalent_not_isomorphic(self):
+        left = Instance.parse("P(a, X)")
+        right = Instance.parse("P(a, X), P(a, Y)")
+        assert is_hom_equivalent(left, right)
+        assert not is_isomorphic(left, right)
+
+
+class TestFindIsomorphism:
+    def test_mapping_is_bijection(self):
+        left = Instance.parse("P(X, Y)")
+        right = Instance.parse("P(A, B)")
+        iso = find_isomorphism(left, right)
+        assert iso is not None
+        assert left.substitute(dict(iso)) == right
+        assert len(set(iso.values())) == len(iso)
+
+    def test_enumerates_automorphisms(self):
+        square = Instance.parse("E(A, B), E(B, A)")
+        autos = list(isomorphisms(square, square))
+        assert len(autos) == 2  # identity and the swap
+
+
+class TestCanonicallyEquivalent:
+    def test_agrees_with_hom_equivalence(self):
+        pairs = [
+            ("P(a, X)", "P(a, Y), P(a, Z)"),
+            ("P(a, b)", "P(a, b)"),
+            ("P(a, b)", "P(b, a)"),
+            ("Q(X), Q(Y)", "Q(Z)"),
+            ("P(X, Y), P(Y, X)", "P(A, B), P(B, A)"),
+        ]
+        for left_text, right_text in pairs:
+            left, right = Instance.parse(left_text), Instance.parse(right_text)
+            assert canonically_equivalent(left, right) == is_hom_equivalent(
+                left, right
+            ), (left_text, right_text)
+
+    def test_cores_of_equivalent_instances_isomorphic(self):
+        left = Instance.parse("P(a, X), P(a, b)")
+        right = Instance.parse("P(a, b), P(a, Y), P(a, Z)")
+        assert is_isomorphic(core(left), core(right))

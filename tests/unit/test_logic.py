@@ -1,0 +1,246 @@
+"""Unit tests for atoms, guards, dependencies, and matching."""
+
+import pytest
+
+from repro.instance import Fact, Instance, fact
+from repro.logic.atoms import Atom, atom
+from repro.logic.dependencies import DisjunctiveTgd, Tgd, iter_disjunctive
+from repro.logic.guards import ConstantGuard, Inequality
+from repro.logic.matching import has_match, match_atoms
+from repro.terms import Const, Null, Var
+
+
+class TestAtom:
+    def test_construction(self):
+        a = atom("P", "x", "y")
+        assert a.relation == "P"
+        assert a.terms == (Var("x"), Var("y"))
+
+    def test_constants_via_int(self):
+        a = atom("P", "x", 1)
+        assert a.terms[1] == Const(1)
+
+    def test_rejects_nulls(self):
+        with pytest.raises(TypeError):
+            Atom("P", (Null("X"),))
+
+    def test_variables_with_repetition(self):
+        a = atom("P", "x", "x", "y")
+        assert list(a.variables()) == [Var("x"), Var("x"), Var("y")]
+
+    def test_instantiate(self):
+        a = atom("P", "x", 1)
+        f = a.instantiate({Var("x"): Const("a")})
+        assert f == fact("P", "a", 1)
+
+    def test_instantiate_missing_binding(self):
+        with pytest.raises(KeyError):
+            atom("P", "x").instantiate({})
+
+    def test_substitute_terms(self):
+        a = atom("P", "x", "y")
+        b = a.substitute_terms({Var("y"): Var("x")})
+        assert b == atom("P", "x", "x")
+
+    def test_str(self):
+        assert str(atom("P", "x", 1)) == "P(x, 1)"
+
+
+class TestGuards:
+    def test_inequality_holds_on_distinct_values(self):
+        guard = Inequality(Var("x"), Var("y"))
+        assert guard.holds({Var("x"): Const("a"), Var("y"): Const("b")})
+        assert not guard.holds({Var("x"): Const("a"), Var("y"): Const("a")})
+
+    def test_inequality_distinct_nulls_hold_syntactically(self):
+        guard = Inequality(Var("x"), Var("y"))
+        assert guard.holds({Var("x"): Null("N1"), Var("y"): Null("N2")})
+
+    def test_inequality_null_vs_const_holds(self):
+        guard = Inequality(Var("x"), Var("y"))
+        assert guard.holds({Var("x"): Null("N"), Var("y"): Const("a")})
+
+    def test_inequality_with_constant_endpoint(self):
+        guard = Inequality(Var("x"), Const("a"))
+        assert not guard.holds({Var("x"): Const("a")})
+        assert guard.holds({Var("x"): Const("b")})
+
+    def test_inequality_trivially_false(self):
+        assert Inequality(Var("x"), Var("x")).is_trivially_false()
+        assert not Inequality(Var("x"), Var("y")).is_trivially_false()
+
+    def test_inequality_missing_binding_raises(self):
+        with pytest.raises(KeyError):
+            Inequality(Var("x"), Var("y")).holds({Var("x"): Const("a")})
+
+    def test_constant_guard(self):
+        guard = ConstantGuard(Var("x"))
+        assert guard.holds({Var("x"): Const("a")})
+        assert not guard.holds({Var("x"): Null("N")})
+
+    def test_constant_guard_on_literal(self):
+        assert ConstantGuard(Const("a")).holds({})
+
+    def test_guard_substitution(self):
+        guard = Inequality(Var("x"), Var("y")).substitute_terms({Var("y"): Var("x")})
+        assert guard.is_trivially_false()
+
+
+class TestTgd:
+    def test_classification(self):
+        full = Tgd((atom("P", "x", "y"),), (atom("Q", "x"),))
+        assert full.is_full()
+        assert full.is_plain()
+        assert full.existential_variables == frozenset()
+
+    def test_existentials(self):
+        tgd = Tgd((atom("P", "x"),), (atom("Q", "x", "z"),))
+        assert not tgd.is_full()
+        assert tgd.existential_variables == {Var("z")}
+        assert tgd.frontier == {Var("x")}
+
+    def test_needs_conclusion(self):
+        with pytest.raises(ValueError):
+            Tgd((atom("P", "x"),), ())
+
+    def test_needs_premise(self):
+        with pytest.raises(ValueError):
+            Tgd((), (atom("Q", "x"),))
+
+    def test_guard_safety(self):
+        with pytest.raises(ValueError):
+            Tgd(
+                (atom("P", "x"),),
+                (atom("Q", "x"),),
+                (Inequality(Var("x"), Var("zz")),),
+            )
+
+    def test_relations(self):
+        tgd = Tgd((atom("P", "x"),), (atom("Q", "x"), atom("R", "x")))
+        assert tgd.premise_relations() == {"P"}
+        assert tgd.conclusion_relations() == {"Q", "R"}
+
+    def test_str_shows_exists(self):
+        tgd = Tgd((atom("P", "x"),), (atom("Q", "x", "z"),))
+        assert "EXISTS z" in str(tgd)
+
+    def test_to_disjunctive_round_trip(self):
+        tgd = Tgd((atom("P", "x"),), (atom("Q", "x"),))
+        assert tgd.to_disjunctive().as_tgd() == tgd
+
+    def test_substitute_terms(self):
+        tgd = Tgd((atom("P", "x", "y"),), (atom("Q", "x", "y"),))
+        out = tgd.substitute_terms({Var("y"): Var("x")})
+        assert out.premise == (atom("P", "x", "x"),)
+
+
+class TestDisjunctiveTgd:
+    def test_construction(self):
+        dt = DisjunctiveTgd(
+            (atom("R", "x"),), ((atom("P", "x"),), (atom("Q", "x"),))
+        )
+        assert dt.is_disjunctive()
+        assert dt.is_full()
+
+    def test_rejects_empty_disjunction(self):
+        with pytest.raises(ValueError):
+            DisjunctiveTgd((atom("R", "x"),), ())
+
+    def test_rejects_empty_disjunct(self):
+        with pytest.raises(ValueError):
+            DisjunctiveTgd((atom("R", "x"),), ((),))
+
+    def test_per_disjunct_existentials(self):
+        dt = DisjunctiveTgd(
+            (atom("R", "x"),),
+            ((atom("P", "x", "z"),), (atom("Q", "x"),)),
+        )
+        assert dt.existential_variables(0) == {Var("z")}
+        assert dt.existential_variables(1) == frozenset()
+        assert not dt.is_full()
+
+    def test_as_tgd_rejects_true_disjunction(self):
+        dt = DisjunctiveTgd(
+            (atom("R", "x"),), ((atom("P", "x"),), (atom("Q", "x"),))
+        )
+        with pytest.raises(ValueError):
+            dt.as_tgd()
+
+    def test_iter_disjunctive_normalizes(self):
+        tgd = Tgd((atom("P", "x"),), (atom("Q", "x"),))
+        dt = DisjunctiveTgd((atom("R", "x"),), ((atom("P", "x"),),))
+        out = list(iter_disjunctive([tgd, dt]))
+        assert all(isinstance(d, DisjunctiveTgd) for d in out)
+
+    def test_str(self):
+        dt = DisjunctiveTgd(
+            (atom("R", "x"),),
+            ((atom("P", "x"),), (atom("Q", "x"),)),
+            (Inequality(Var("x"), Const(0)),),
+        )
+        text = str(dt)
+        assert "|" in text and "!=" in text
+
+
+class TestMatching:
+    def test_single_atom(self):
+        inst = Instance.parse("P(a, b), P(b, c)")
+        bindings = list(match_atoms([atom("P", "x", "y")], inst))
+        assert len(bindings) == 2
+
+    def test_join(self):
+        inst = Instance.parse("P(a, b), P(b, c), P(c, d)")
+        bindings = list(match_atoms([atom("P", "x", "y"), atom("P", "y", "z")], inst))
+        pairs = {(b[Var("x")], b[Var("z")]) for b in bindings}
+        assert pairs == {(Const("a"), Const("c")), (Const("b"), Const("d"))}
+
+    def test_repeated_variable(self):
+        inst = Instance.parse("P(a, a), P(a, b)")
+        bindings = list(match_atoms([atom("P", "x", "x")], inst))
+        assert len(bindings) == 1
+
+    def test_constant_in_atom(self):
+        inst = Instance.parse("P(a, b), P(c, b)")
+        bindings = list(match_atoms([Atom("P", (Const("a"), Var("y")))], inst))
+        assert len(bindings) == 1
+
+    def test_matches_nulls_as_values(self):
+        inst = Instance.parse("P(X, b)")
+        bindings = list(match_atoms([atom("P", "x", "y")], inst))
+        assert bindings[0][Var("x")] == Null("X")
+
+    def test_initial_binding_constrains(self):
+        inst = Instance.parse("P(a, b), P(c, d)")
+        bindings = list(
+            match_atoms([atom("P", "x", "y")], inst, initial={Var("x"): Const("c")})
+        )
+        assert len(bindings) == 1
+        assert bindings[0][Var("y")] == Const("d")
+
+    def test_guards_filter(self):
+        inst = Instance.parse("P(a, a), P(a, b)")
+        bindings = list(
+            match_atoms(
+                [atom("P", "x", "y")], inst, guards=[Inequality(Var("x"), Var("y"))]
+            )
+        )
+        assert len(bindings) == 1
+
+    def test_constant_guard_filters_nulls(self):
+        inst = Instance.parse("P(a), P(X)")
+        bindings = list(
+            match_atoms([atom("P", "x")], inst, guards=[ConstantGuard(Var("x"))])
+        )
+        assert len(bindings) == 1
+
+    def test_no_atoms_yields_initial(self):
+        bindings = list(match_atoms([], Instance(), initial={Var("x"): Const("a")}))
+        assert bindings == [{Var("x"): Const("a")}]
+
+    def test_has_match(self):
+        inst = Instance.parse("P(a)")
+        assert has_match([atom("P", "x")], inst)
+        assert not has_match([atom("Q", "x")], inst)
+
+    def test_empty_relation_no_bindings(self):
+        assert list(match_atoms([atom("P", "x")], Instance())) == []

@@ -1,0 +1,147 @@
+"""Unit tests for e(M), extended solutions, identity, and composition."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.mappings.composition import (
+    in_canonical_recovery_extension,
+    in_extended_composition,
+    right_composition_relation,
+)
+from repro.mappings.extension import (
+    extended_universal_solution,
+    in_extension,
+    in_extension_reverse,
+    is_extended_solution,
+    is_extended_universal_solution,
+)
+from repro.mappings.identity import extended_identity_contains, identity_contains
+from repro.mappings.schema_mapping import SchemaMapping
+
+
+class TestExtension:
+    def test_chase_is_extended_solution(self, decomposition, ground_pabc):
+        u = decomposition.chase(ground_pabc)
+        assert is_extended_solution(decomposition, ground_pabc, u)
+
+    def test_example_3_3_extended_solution(self, decomposition):
+        v = Instance.parse("P(a, b, Z), P(X, b, c)")
+        u = Instance.parse("Q(a, b), R(b, c)")
+        assert not decomposition.satisfies(v, u)
+        assert is_extended_solution(decomposition, v, u)
+
+    def test_extension_rejects_unrelated(self, decomposition, ground_pabc):
+        u = Instance.parse("Q(z, z)")
+        assert not in_extension(decomposition, ground_pabc, u)
+
+    def test_extension_closed_under_right_hom(self, decomposition):
+        inst = Instance.parse("P(a, b, X)")
+        u = decomposition.chase(inst)
+        bigger = u.union(Instance.parse("Q(extra, extra)"))
+        assert in_extension(decomposition, inst, bigger)
+
+    def test_disjunctive_forward_rejected(self):
+        m = SchemaMapping.from_text("R(x) -> P(x) | Q(x)")
+        with pytest.raises(ValueError):
+            in_extension(m, Instance.parse("R(a)"), Instance.parse("P(a)"))
+
+    def test_extended_universal_solution_is_chase(self, path2):
+        inst = Instance.parse("P(a, b)")
+        assert extended_universal_solution(path2, inst) == path2.chase(inst)
+
+    def test_is_extended_universal_solution(self, path2):
+        inst = Instance.parse("P(a, b)")
+        chased = path2.chase(inst)
+        assert is_extended_universal_solution(path2, inst, chased)
+        renamed = chased.freshen_nulls()
+        assert is_extended_universal_solution(path2, inst, renamed)
+        # A non-universal extended solution: ground completion.
+        grounded = Instance.parse("Q(a, m), Q(m, b)")
+        assert not is_extended_universal_solution(path2, inst, grounded)
+
+
+class TestExtensionReverse:
+    def test_tgd_reverse(self, path2, path2_reverse):
+        target = Instance.parse("Q(a, m), Q(m, b)")
+        assert in_extension_reverse(path2_reverse, target, Instance.parse("P(a, b)"))
+        assert not in_extension_reverse(
+            path2_reverse, target, Instance.parse("P(b, a)")
+        )
+
+    def test_disjunctive_reverse(self, self_join_reverse):
+        target = Instance.parse("P'(a, a)")
+        # Some branch (T(a) or P(a,a)) must map into the candidate source.
+        assert in_extension_reverse(self_join_reverse, target, Instance.parse("T(a)"))
+        assert in_extension_reverse(
+            self_join_reverse, target, Instance.parse("P(a, a)")
+        )
+        assert not in_extension_reverse(
+            self_join_reverse, target, Instance.parse("P(a, b)")
+        )
+
+
+class TestIdentity:
+    def test_ground_identity_is_subset(self):
+        small = Instance.parse("P(a)")
+        big = Instance.parse("P(a), P(b)")
+        assert identity_contains(small, big)
+        assert not identity_contains(big, small)
+
+    def test_ground_identity_undefined_on_nulls(self):
+        with pytest.raises(ValueError):
+            identity_contains(Instance.parse("P(X)"), Instance.parse("P(X)"))
+
+    def test_extended_identity_is_hom(self):
+        assert extended_identity_contains(
+            Instance.parse("P(X)"), Instance.parse("P(a)")
+        )
+        assert not extended_identity_contains(
+            Instance.parse("P(a)"), Instance.parse("P(b)")
+        )
+
+    def test_identities_coincide_on_ground(self):
+        small = Instance.parse("P(a)")
+        big = Instance.parse("P(a), Q(b)")
+        assert identity_contains(small, big) == extended_identity_contains(small, big)
+        assert identity_contains(big, small) == extended_identity_contains(big, small)
+
+
+class TestComposition:
+    def test_round_trip_pair_in_composition(self, path2, path2_reverse):
+        inst = Instance.parse("P(a, b)")
+        assert in_extended_composition(path2, path2_reverse, inst, inst)
+
+    def test_composition_respects_information(self, path2, path2_reverse):
+        left = Instance.parse("P(a, b)")
+        right = Instance.parse("P(b, a)")
+        assert not in_extended_composition(path2, path2_reverse, left, right)
+
+    def test_disjunctive_right(self, self_join_target, self_join_reverse):
+        inst = Instance.parse("T(a)")
+        assert in_extended_composition(
+            self_join_target, self_join_reverse, inst, inst
+        )
+
+    def test_forward_must_be_nondisjunctive(self, self_join_reverse):
+        m = SchemaMapping.from_text("R(x) -> P(x) | Q(x)")
+        with pytest.raises(ValueError):
+            in_extended_composition(
+                m, self_join_reverse, Instance.parse("R(a)"), Instance.parse("P(a)")
+            )
+
+    def test_relation_factory(self, path2, path2_reverse):
+        member = right_composition_relation(path2, path2_reverse)
+        inst = Instance.parse("P(a, b)")
+        assert member(inst, inst)
+
+    def test_canonical_recovery_extension(self, path2):
+        inst = Instance.parse("P(a, b)")
+        chased = path2.chase(inst)
+        assert in_canonical_recovery_extension(path2, chased, inst)
+        # Any hom-smaller target also belongs.
+        assert in_canonical_recovery_extension(
+            path2, Instance.parse("Q(a, W)"), inst
+        )
+        assert not in_canonical_recovery_extension(
+            path2, Instance.parse("Q(b, a)"), inst
+        )

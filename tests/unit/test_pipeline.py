@@ -1,0 +1,190 @@
+"""Unit tests for multi-hop evolution pipelines."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.mappings.syntactic_composition import NotComposable
+from repro.reverse.pipeline import EvolutionPipeline, Hop
+
+
+def _hop(forward_text, reverse_text=None, label=""):
+    return Hop(
+        forward=SchemaMapping.from_text(forward_text),
+        reverse=SchemaMapping.from_text(reverse_text) if reverse_text else None,
+        label=label,
+    )
+
+
+@pytest.fixture
+def two_hop():
+    return EvolutionPipeline(
+        [
+            _hop("A(x, y) -> B(x, y)", "B(x, y) -> A(x, y)", "v1->v2"),
+            _hop("B(x, y) -> C(y, x)", "C(y, x) -> B(x, y)", "v2->v3"),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_needs_hops(self):
+        with pytest.raises(ValueError):
+            EvolutionPipeline([])
+
+    def test_schema_chaining_validated(self):
+        with pytest.raises(ValueError):
+            EvolutionPipeline(
+                [_hop("A(x) -> B(x)"), _hop("Z(x) -> C(x)")]
+            )
+
+    def test_len(self, two_hop):
+        assert len(two_hop) == 2
+
+
+class TestForward:
+    def test_generations(self, two_hop):
+        source = Instance.parse("A(a, b)")
+        generations = two_hop.run_forward(source)
+        assert generations[0] == source
+        assert generations[1] == Instance.parse("B(a, b)")
+        assert generations[2] == Instance.parse("C(b, a)")
+
+    def test_final(self, two_hop):
+        assert two_hop.final(Instance.parse("A(a, b)")) == Instance.parse("C(b, a)")
+
+    def test_nulls_flow_between_hops(self):
+        pipeline = EvolutionPipeline(
+            [
+                _hop("A(x) -> EXISTS y . B(x, y)"),
+                _hop("B(x, y) -> C(y)"),
+            ]
+        )
+        final = pipeline.final(Instance.parse("A(a)"))
+        assert len(final) == 1
+        assert not final.is_ground()
+
+
+class TestReverse:
+    def test_round_trip_lossless_chain(self, two_hop):
+        source = Instance.parse("A(a, b), A(c, d)")
+        assert two_hop.round_trip(source) == source
+        assert two_hop.recovery_is_complete(source)
+
+    def test_reverse_requires_reverse_mappings(self):
+        pipeline = EvolutionPipeline([_hop("A(x) -> B(x)")])
+        with pytest.raises(ValueError):
+            pipeline.run_reverse(Instance.parse("B(a)"))
+
+    def test_reverse_from_intermediate_hop(self, two_hop):
+        middle = Instance.parse("B(a, b)")
+        recovered = two_hop.run_reverse(middle, from_hop=1)
+        assert recovered[-1] == Instance.parse("A(a, b)")
+
+    def test_soundness_of_lossy_chain(self):
+        pipeline = EvolutionPipeline(
+            [
+                _hop(
+                    "Emp(n, d) -> EXISTS m . Dept(d, m) & Works(n, d)",
+                    "Works(n, d) -> Emp(n, d)",
+                ),
+                _hop(
+                    "Works(n, d) -> Staff(n)\nDept(d, m) -> Mgr(m, d)",
+                    "Staff(n) -> EXISTS d . Works(n, d)\nMgr(m, d) -> Dept(d, m)",
+                ),
+            ]
+        )
+        source = Instance.parse("Emp(alice, sales), Emp(bob, eng)")
+        assert pipeline.recovery_is_sound(source)
+        assert not pipeline.recovery_is_complete(source)  # dept forgotten
+
+    def test_disjunctive_reverse_rejected(self):
+        pipeline = EvolutionPipeline(
+            [_hop("A(x) -> B(x)", "B(x) -> A(x) | A2(x)")]
+        )
+        with pytest.raises(ValueError):
+            pipeline.run_reverse(Instance.parse("B(a)"))
+
+
+class TestBranchingReverse:
+    def test_disjunctive_hop_branches(self):
+        pipeline = EvolutionPipeline(
+            [
+                _hop(
+                    "A(x) -> B(x)\nA2(x) -> B(x)",
+                    "B(x) -> A(x) | A2(x)",
+                    "merge",
+                )
+            ]
+        )
+        candidates = pipeline.run_reverse_branching(Instance.parse("B(a)"))
+        assert set(candidates) == {Instance.parse("A(a)"), Instance.parse("A2(a)")}
+
+    def test_mixed_chain(self):
+        from repro.schema import Schema
+
+        # Hop 1 declares the full middle schema (it produces only A, but
+        # A2 legitimately exists at that generation).
+        hop1 = Hop(
+            forward=SchemaMapping.from_text(
+                "S(x) -> A(x)", target=Schema([("A", 1), ("A2", 1)])
+            ),
+            reverse=SchemaMapping.from_text("A(x) -> S(x)"),
+            label="rename",
+        )
+        pipeline = EvolutionPipeline(
+            [
+                hop1,
+                _hop(
+                    "A(x) -> B(x)\nA2(x) -> B(x)",
+                    "B(x) -> A(x) | A2(x)",
+                    "merge",
+                ),
+            ]
+        )
+        target = pipeline.final(Instance.parse("S(a)"))
+        candidates = pipeline.run_reverse_branching(target)
+        # One branch recovers the true generation 0.
+        assert Instance.parse("S(a)") in candidates
+
+    def test_candidate_cap(self):
+        pipeline = EvolutionPipeline(
+            [
+                _hop(
+                    "A(x) -> B(x)\nA2(x) -> B(x)",
+                    "B(x) -> A(x) | A2(x)",
+                    "merge",
+                )
+            ]
+        )
+        big = Instance.parse(", ".join(f"B(v{i})" for i in range(8)))
+        with pytest.raises(RuntimeError):
+            pipeline.run_reverse_branching(big, max_candidates=16)
+
+    def test_missing_reverse_raises(self):
+        pipeline = EvolutionPipeline([_hop("A(x) -> B(x)")])
+        with pytest.raises(ValueError):
+            pipeline.run_reverse_branching(Instance.parse("B(a)"))
+
+
+class TestCollapse:
+    def test_collapse_full_chain(self, two_hop):
+        composed = two_hop.collapse()
+        assert {str(d) for d in composed.dependencies} == {"A(x, y) -> C(y, x)"}
+
+    def test_collapsed_equals_staged(self, two_hop):
+        source = Instance.parse("A(a, b), A(b, b)")
+        assert two_hop.collapse().chase(source) == two_hop.final(source)
+
+    def test_collapse_rejects_existential_middle(self):
+        pipeline = EvolutionPipeline(
+            [_hop("A(x) -> EXISTS y . B(x, y)"), _hop("B(x, y) -> C(x)")]
+        )
+        with pytest.raises(NotComposable):
+            pipeline.collapse()
+
+    def test_collapse_last_hop_existentials_ok(self):
+        pipeline = EvolutionPipeline(
+            [_hop("A(x) -> B(x)"), _hop("B(x) -> EXISTS w . C(x, w)")]
+        )
+        composed = pipeline.collapse()
+        assert not composed.is_full()

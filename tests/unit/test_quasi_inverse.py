@@ -1,0 +1,131 @@
+"""Unit tests for the quasi-inverse algorithm for full tgds."""
+
+import pytest
+
+from repro.inverses.quasi_inverse import (
+    NotFullTgds,
+    maximum_extended_recovery_for_full_tgds,
+    output_statistics,
+)
+from repro.logic.dependencies import DisjunctiveTgd, Tgd
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.parsing.parser import parse_dependency
+
+
+def dep_strings(mapping):
+    return {str(d) for d in mapping.dependencies}
+
+
+class TestValidation:
+    def test_rejects_existentials(self):
+        m = SchemaMapping.from_text("P(x) -> Q(x, z)")
+        with pytest.raises(NotFullTgds):
+            maximum_extended_recovery_for_full_tgds(m)
+
+    def test_rejects_disjunctive_input(self):
+        m = SchemaMapping.from_text("R(x) -> P(x) | Q(x)")
+        with pytest.raises(NotFullTgds):
+            maximum_extended_recovery_for_full_tgds(m)
+
+    def test_rejects_constants_in_conclusion(self):
+        m = SchemaMapping.from_text("P(x) -> Q(x, 1)")
+        with pytest.raises(NotFullTgds):
+            maximum_extended_recovery_for_full_tgds(m)
+
+    def test_rejects_guarded_premise(self):
+        m = SchemaMapping.from_text("P(x, y) & x != y -> Q(x, y)")
+        with pytest.raises(NotFullTgds):
+            maximum_extended_recovery_for_full_tgds(m)
+
+
+class TestPaperOutputs:
+    def test_theorem_5_2_sigma_star(self, self_join_target):
+        rev = maximum_extended_recovery_for_full_tgds(self_join_target)
+        assert dep_strings(rev) == {
+            "P'(v0, v1) & v0 != v1 -> P(v0, v1)",
+            "P'(v0, v0) -> P(v0, v0) | T(v0)",
+        }
+
+    def test_union_mapping(self, union_mapping):
+        rev = maximum_extended_recovery_for_full_tgds(union_mapping)
+        assert dep_strings(rev) == {"R(v0) -> P(v0) | Q(v0)"}
+
+    def test_copy_mapping_split_by_equality_type(self):
+        m = SchemaMapping.from_text("P(x, y) -> P'(x, y)")
+        rev = maximum_extended_recovery_for_full_tgds(m)
+        assert dep_strings(rev) == {
+            "P'(v0, v1) & v0 != v1 -> P(v0, v1)",
+            "P'(v0, v0) -> P(v0, v0)",
+        }
+
+    def test_projection_gets_existential(self):
+        m = SchemaMapping.from_text("P(x, y) -> Q(x)")
+        rev = maximum_extended_recovery_for_full_tgds(m)
+        assert dep_strings(rev) == {"Q(v0) -> EXISTS w0 . P(v0, w0)"}
+
+    def test_decomposition_per_atom(self, decomposition):
+        rev = maximum_extended_recovery_for_full_tgds(decomposition)
+        # Q and R patterns in both equality types; rejoins with existentials.
+        texts = dep_strings(rev)
+        assert "Q(v0, v1) & v0 != v1 -> EXISTS w0 . P(v0, v1, w0)" in texts
+        assert "R(v0, v1) & v0 != v1 -> EXISTS w0 . P(w0, v0, v1)" in texts
+
+
+class TestStructure:
+    def test_reverse_schemas_swap(self, self_join_target):
+        rev = maximum_extended_recovery_for_full_tgds(self_join_target)
+        assert rev.source == self_join_target.target
+        assert rev.target == self_join_target.source
+
+    def test_unproducible_pattern_omitted(self):
+        # T is in the target schema but never produced with distinct args.
+        m = SchemaMapping.from_text("P(x) -> Q(x, x)")
+        rev = maximum_extended_recovery_for_full_tgds(m)
+        assert dep_strings(rev) == {"Q(v0, v0) -> P(v0)"}
+
+    def test_duplicate_producers_deduplicated(self):
+        m = SchemaMapping.from_text("P(x) -> Q(x)\nP(y) -> Q(y)")
+        rev = maximum_extended_recovery_for_full_tgds(m)
+        assert dep_strings(rev) == {"Q(v0) -> P(v0)"}
+
+    def test_multi_atom_premise_kept_whole(self):
+        m = SchemaMapping.from_text("A(x) & B(x, y) -> C(y)")
+        rev = maximum_extended_recovery_for_full_tgds(m)
+        assert dep_strings(rev) == {"C(v0) -> EXISTS w0 . A(w0) & B(w0, v0)"}
+
+    def test_arity_three_has_five_equality_types(self):
+        m = SchemaMapping.from_text("P(x, y, z) -> Q(x, y, z)")
+        rev = maximum_extended_recovery_for_full_tgds(m)
+        assert len(rev.dependencies) == 5  # Bell(3)
+
+    def test_output_statistics(self, self_join_target):
+        rev = maximum_extended_recovery_for_full_tgds(self_join_target)
+        stats = output_statistics(rev)
+        assert stats == {"dependencies": 2, "disjuncts": 3, "inequalities": 1}
+
+
+class TestSemantics:
+    def test_outputs_are_universal_faithful(self, union_mapping, self_join_target):
+        from repro.inverses.faithful import is_universal_faithful
+
+        for mapping in (union_mapping, self_join_target):
+            rev = maximum_extended_recovery_for_full_tgds(mapping)
+            verdict = is_universal_faithful(mapping, rev)
+            assert verdict.holds, str(verdict.counterexample)
+
+    def test_output_is_extended_recovery(self, decomposition):
+        from repro.inverses.recovery import is_extended_recovery
+
+        rev = maximum_extended_recovery_for_full_tgds(decomposition)
+        verdict = is_extended_recovery(decomposition, rev)
+        assert verdict.holds, str(verdict.counterexample)
+
+    def test_output_for_extended_invertible_acts_as_inverse(self):
+        # copy mapping: reverse chase recovers the source exactly.
+        from repro.instance import Instance
+
+        m = SchemaMapping.from_text("P(x, y) -> P'(x, y)")
+        rev = maximum_extended_recovery_for_full_tgds(m)
+        inst = Instance.parse("P(a, b), P(c, c)")
+        branches = rev.reverse_chase(m.chase(inst))
+        assert branches == [inst]

@@ -1,0 +1,87 @@
+"""Unit tests for conjunctive queries and certain-answer combinators."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.logic.atoms import atom
+from repro.logic.queries import ConjunctiveQuery, certain_answers_over_set
+from repro.terms import Const, Null, Var
+
+
+def q(head, body_text):
+    """Tiny helper: build a query from head names and parsed body atoms."""
+    from repro.parsing.parser import parse_query
+
+    head_str = ", ".join(head)
+    return parse_query(f"q({head_str}) :- {body_text}")
+
+
+class TestConjunctiveQuery:
+    def test_build_and_str(self):
+        query = ConjunctiveQuery.build(["x"], [atom("P", "x", "y")])
+        assert "q(x)" in str(query)
+
+    def test_needs_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery((Var("x"),), ())
+
+    def test_head_vars_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery.build(["z"], [atom("P", "x")])
+
+    def test_evaluate(self):
+        query = q(["x"], "P(x, y)")
+        inst = Instance.parse("P(a, b), P(c, d)")
+        assert query.evaluate(inst) == {(Const("a"),), (Const("c"),)}
+
+    def test_evaluate_join(self):
+        query = q(["x", "z"], "P(x, y) & P(y, z)")
+        inst = Instance.parse("P(a, b), P(b, c)")
+        assert query.evaluate(inst) == {(Const("a"), Const("c"))}
+
+    def test_evaluate_returns_nulls(self):
+        query = q(["x"], "P(x)")
+        inst = Instance.parse("P(X)")
+        assert query.evaluate(inst) == {(Null("X"),)}
+
+    def test_evaluate_null_free_discards(self):
+        query = q(["x"], "P(x)")
+        inst = Instance.parse("P(X), P(a)")
+        assert query.evaluate_null_free(inst) == {(Const("a"),)}
+
+    def test_boolean_query(self):
+        query = ConjunctiveQuery.build([], [atom("P", "x")])
+        assert query.is_boolean
+        assert query.holds_in(Instance.parse("P(a)"))
+        assert not query.holds_in(Instance())
+
+    def test_boolean_evaluate_yields_empty_tuple(self):
+        query = ConjunctiveQuery.build([], [atom("P", "x")])
+        assert query.evaluate(Instance.parse("P(a)")) == {()}
+
+
+class TestCertainAnswersOverSet:
+    def test_intersection(self):
+        query = q(["x"], "P(x)")
+        answers = certain_answers_over_set(
+            query, [Instance.parse("P(a), P(b)"), Instance.parse("P(a), P(c)")]
+        )
+        assert answers == {(Const("a"),)}
+
+    def test_null_rows_dropped_after_intersection(self):
+        query = q(["x"], "P(x)")
+        answers = certain_answers_over_set(
+            query, [Instance.parse("P(X), P(a)"), Instance.parse("P(X), P(a)")]
+        )
+        assert answers == {(Const("a"),)}
+
+    def test_empty_collection_is_empty(self):
+        query = q(["x"], "P(x)")
+        assert certain_answers_over_set(query, []) == frozenset()
+
+    def test_short_circuits_on_empty_intersection(self):
+        query = q(["x"], "P(x)")
+        answers = certain_answers_over_set(
+            query, [Instance.parse("P(a)"), Instance.parse("P(b)")]
+        )
+        assert answers == frozenset()

@@ -1,0 +1,119 @@
+"""Unit tests for extended recoveries and →_M."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.inverses.recovery import (
+    canonical_recovery_member,
+    composition_equals_arrow_m,
+    in_arrow_m,
+    in_arrow_m_ground,
+    in_canonical_recovery_extension,
+    is_extended_recovery,
+    is_maximum_extended_recovery,
+)
+from repro.mappings.schema_mapping import SchemaMapping
+
+
+class TestArrowM:
+    def test_reflexive(self, path2):
+        inst = Instance.parse("P(a, b)")
+        assert in_arrow_m(path2, inst, inst)
+
+    def test_hom_implies_arrow_m(self, decomposition):
+        left = Instance.parse("P(X, b, c)")
+        right = Instance.parse("P(a, b, c)")
+        assert in_arrow_m(decomposition, left, right)
+
+    def test_union_mapping_identifies_p_and_q(self, union_mapping):
+        # The hallmark of the union mapping's information loss.
+        assert in_arrow_m(union_mapping, Instance.parse("P(0)"), Instance.parse("Q(0)"))
+        assert in_arrow_m(union_mapping, Instance.parse("Q(0)"), Instance.parse("P(0)"))
+
+    def test_copy_mapping_arrow_m_is_hom(self):
+        m = SchemaMapping.from_text("P(x, y) -> P'(x, y)")
+        left = Instance.parse("P(1, 0)")
+        right = Instance.parse("P(1, 1), P(0, 0)")
+        assert not in_arrow_m(m, left, right)
+
+    def test_component_split_example_6_7(self):
+        m = SchemaMapping.from_text(
+            "P(x, y) -> EXISTS z . P'(x, z)\nP(x, y) -> EXISTS u . P'(u, y)"
+        )
+        left = Instance.parse("P(1, 0)")
+        right = Instance.parse("P(1, 1), P(0, 0)")
+        assert in_arrow_m(m, left, right)
+
+    def test_ground_variant_rejects_nulls(self, path2):
+        with pytest.raises(ValueError):
+            in_arrow_m_ground(path2, Instance.parse("P(X, b)"), Instance.parse("P(a, b)"))
+
+    def test_ground_variant(self, path2):
+        assert in_arrow_m_ground(
+            path2, Instance.parse("P(a, b)"), Instance.parse("P(a, b), P(c, d)")
+        )
+
+
+class TestCanonicalRecovery:
+    def test_member_is_exact_chase(self, path2):
+        inst = Instance.parse("P(a, b)")
+        assert canonical_recovery_member(path2, path2.chase(inst), inst)
+        assert not canonical_recovery_member(path2, Instance.parse("Q(a, b)"), inst)
+
+    def test_extension_membership(self, path2):
+        inst = Instance.parse("P(a, b)")
+        assert in_canonical_recovery_extension(path2, Instance.parse("Q(a, X)"), inst)
+        assert not in_canonical_recovery_extension(
+            path2, Instance.parse("Q(c, X)"), inst
+        )
+
+
+class TestExtendedRecovery:
+    def test_paper_reverses_are_extended_recoveries(self, scenario):
+        if scenario.reverse is None or scenario.reverse.uses_constant_guard():
+            pytest.skip("no plain reverse catalogued")
+        verdict = is_extended_recovery(scenario.mapping, scenario.reverse)
+        assert verdict.holds, str(verdict.counterexample)
+
+    def test_non_recovery_detected(self, path2):
+        # A reverse that forgets everything cannot return (I, I).
+        wrong = SchemaMapping.from_text("Q(x, y) -> P(x, x)")
+        verdict = is_extended_recovery(path2, wrong)
+        assert not verdict.holds
+        assert verdict.counterexample.verify()
+
+
+class TestMaximumExtendedRecovery:
+    def test_theorem_5_2_sigma_star(self, self_join_target, self_join_reverse):
+        family = [
+            Instance.parse(s)
+            for s in ("", "P(a, b)", "P(a, a)", "T(a)", "P(a, b), T(c)", "P(N1, N2)")
+        ]
+        verdict = is_maximum_extended_recovery(
+            self_join_target, self_join_reverse, instances=family
+        )
+        assert verdict.holds, str(verdict.counterexample)
+
+    def test_union_disjunctive_recovery(self, union_mapping):
+        rev = SchemaMapping.from_text("R(x) -> P(x) | Q(x)")
+        family = [Instance.parse(s) for s in ("", "P(0)", "Q(0)", "P(0), Q(1)")]
+        verdict = is_maximum_extended_recovery(union_mapping, rev, instances=family)
+        assert verdict.holds, str(verdict.counterexample)
+
+    def test_non_maximum_recovery_rejected(self, union_mapping):
+        # Always answering both P and Q is a recovery but not maximum:
+        # it relates pairs outside →_M ... actually it relates *fewer*
+        # pairs? Use the over-strong reverse: R(x) -> P(x) & Q(x).
+        rev = SchemaMapping.from_text("R(x) -> P(x) & Q(x)")
+        family = [Instance.parse(s) for s in ("P(0)", "Q(0)", "P(0), Q(0)")]
+        verdict = is_maximum_extended_recovery(union_mapping, rev, instances=family)
+        assert not verdict.holds
+
+    def test_composition_equals_arrow_m_pointwise(self, path2, path2_reverse):
+        pairs = [
+            (Instance.parse("P(a, b)"), Instance.parse("P(a, b)")),
+            (Instance.parse("P(a, b)"), Instance.parse("P(b, a)")),
+            (Instance.parse("P(X, b)"), Instance.parse("P(a, b)")),
+        ]
+        verdict = composition_equals_arrow_m(path2, path2_reverse, pairs)
+        assert verdict.holds, str(verdict.counterexample)

@@ -1,0 +1,160 @@
+"""Unit tests for the reverse-exchange pipeline and reverse query answering."""
+
+import pytest
+
+from repro.homs.search import is_hom_equivalent
+from repro.instance import Instance
+from repro.inverses.quasi_inverse import maximum_extended_recovery_for_full_tgds
+from repro.mappings.schema_mapping import SchemaMapping
+from repro.parsing.parser import parse_query
+from repro.reverse.exchange import (
+    forward_exchange,
+    recovery_quality,
+    reverse_exchange,
+    round_trip,
+)
+from repro.reverse.query_answering import (
+    brute_force_certain_answers,
+    certain_answers,
+    enumerate_instances,
+    reverse_certain_answers,
+    reverse_certain_answers_from_target,
+)
+from repro.schema import Schema
+from repro.terms import Const
+
+
+class TestForwardExchange:
+    def test_is_chase(self, decomposition, ground_pabc):
+        assert forward_exchange(decomposition, ground_pabc) == decomposition.chase(
+            ground_pabc
+        )
+
+
+class TestReverseExchange:
+    def test_tgd_reverse_single_candidate(self, path2, path2_reverse):
+        result = round_trip(path2, path2_reverse, Instance.parse("P(a, b)"))
+        assert len(result.candidates) == 1
+        assert result.unique == Instance.parse("P(a, b)")
+
+    def test_core_compacts_candidates(self, path2, path2_reverse):
+        inst = Instance.parse("P(a, b), P(b, c)")
+        with_core = round_trip(path2, path2_reverse, inst)
+        assert is_hom_equivalent(with_core.unique, inst)
+        no_core = reverse_exchange(
+            path2_reverse, forward_exchange(path2, inst), take_core=False
+        )
+        assert len(with_core.unique) <= len(no_core.candidates[0])
+
+    def test_disjunctive_reverse_branches(self, self_join_target, self_join_reverse):
+        result = round_trip(self_join_target, self_join_reverse, Instance.parse("T(a)"))
+        assert len(result.candidates) >= 2
+        with pytest.raises(ValueError):
+            result.unique
+
+    def test_empty_target(self, path2_reverse):
+        result = reverse_exchange(path2_reverse, Instance())
+        assert result.candidates == (Instance(),)
+
+    def test_example_1_1_round_trip(self, decomposition, decomposition_reverse):
+        result = round_trip(
+            decomposition, decomposition_reverse, Instance.parse("P(a, b, c)")
+        )
+        recovered = result.unique
+        # V = {P(a,b,Z), P(X,b,c)} modulo null naming and core folding.
+        assert recovered.tuples("P")
+        assert Instance.parse("P(a, b, c)") not in (recovered,)
+
+
+class TestRecoveryQuality:
+    def test_perfect_recovery(self, path2, path2_reverse):
+        quality = recovery_quality(path2, path2_reverse, Instance.parse("P(a, b)"))
+        assert quality.hom_equivalent
+        assert quality.fact_recall == 1.0
+        assert quality.candidates == 1
+
+    def test_lossy_recovery(self, decomposition, decomposition_reverse):
+        quality = recovery_quality(
+            decomposition, decomposition_reverse, Instance.parse("P(a, b, c)")
+        )
+        assert not quality.hom_equivalent
+        assert quality.fact_recall == 0.0  # nulls replace the joined fact
+
+    def test_empty_source(self, path2, path2_reverse):
+        quality = recovery_quality(path2, path2_reverse, Instance())
+        assert quality.hom_equivalent
+        assert quality.fact_recall == 1.0
+
+
+class TestCertainAnswers:
+    def test_forward_certain_answers(self, path2):
+        q = parse_query("q(x, y) :- Q(x, z) & Q(z, y)")
+        answers = certain_answers(path2, q, Instance.parse("P(a, b)"))
+        assert answers == {(Const("a"), Const("b"))}
+
+    def test_forward_nulls_discarded(self, path2):
+        q = parse_query("q(x, z) :- Q(x, z)")
+        answers = certain_answers(path2, q, Instance.parse("P(a, b)"))
+        assert answers == frozenset()  # the middle element is a null
+
+
+class TestReverseCertainAnswers:
+    def test_extended_inverse_gives_q_of_i(self, path2, path2_reverse):
+        """Theorem 6.4(1) on a concrete query and instance."""
+        q = parse_query("q(x, y) :- P(x, y)")
+        inst = Instance.parse("P(a, b), P(W, c)")
+        answers = reverse_certain_answers(path2, path2_reverse, q, inst)
+        assert answers == q.evaluate_null_free(inst)
+
+    def test_theorem_6_5_disjunctive(self, self_join_target, self_join_reverse):
+        q = parse_query("q(x) :- P'(x, x)")
+        # Source query over... source relations:
+        q = parse_query("q(x) :- P(x, y)")
+        inst = Instance.parse("P(1, 2), T(3)")
+        answers = reverse_certain_answers(
+            self_join_target, self_join_reverse, q, inst
+        )
+        assert answers == {(Const(1),)}
+
+    def test_diagonal_fact_is_uncertain(self, self_join_target, self_join_reverse):
+        # P(3,3) exchanges to P'(3,3), which T(3) explains equally well,
+        # so no P-tuple is certain.
+        q = parse_query("q(x) :- P(x, y)")
+        answers = reverse_certain_answers(
+            self_join_target, self_join_reverse, q, Instance.parse("P(3, 3)")
+        )
+        assert answers == frozenset()
+
+    def test_from_target_entry_point(self, self_join_target, self_join_reverse):
+        q = parse_query("q(x) :- T(x)")
+        target = self_join_target.chase(Instance.parse("P(1, 2)"))
+        answers = reverse_certain_answers_from_target(self_join_reverse, q, target)
+        assert answers == frozenset()
+
+    def test_algorithmic_recovery_end_to_end(self, union_mapping):
+        rev = maximum_extended_recovery_for_full_tgds(union_mapping)
+        q = parse_query("q(x) :- P(x)")
+        answers = reverse_certain_answers(
+            union_mapping, rev, q, Instance.parse("P(0), Q(1)")
+        )
+        # R(0) could have come from Q(0), so P(0) is not certain.
+        assert answers == frozenset()
+
+
+class TestBruteForceOracle:
+    def test_enumerate_instances_counts(self):
+        schema = Schema([("P", 1)])
+        values = [Const(0), Const(1)]
+        instances = enumerate_instances(schema, values, max_facts=2)
+        # {} + 2 singletons + 1 two-fact instance.
+        assert len(instances) == 4
+
+    def test_oracle_matches_direct_intersection(self):
+        schema = Schema([("P", 1)])
+        values = [Const(0), Const(1)]
+        pool = enumerate_instances(schema, values, max_facts=2)
+        q = parse_query("q(x) :- P(x)")
+        answers = brute_force_certain_answers(
+            q, lambda inst: Instance.parse("P(0)") <= inst, pool
+        )
+        assert answers == {(Const(0),)}

@@ -1,0 +1,81 @@
+"""Unit tests for schemas and relation symbols."""
+
+import pytest
+
+from repro.schema import RelationSymbol, Schema
+
+
+class TestRelationSymbol:
+    def test_basic(self):
+        rel = RelationSymbol("P", 3)
+        assert rel.name == "P"
+        assert rel.arity == 3
+        assert str(rel) == "P/3"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            RelationSymbol("", 1)
+
+    def test_rejects_negative_arity(self):
+        with pytest.raises(ValueError):
+            RelationSymbol("P", -1)
+
+    def test_zero_arity_allowed(self):
+        assert RelationSymbol("Flag", 0).arity == 0
+
+
+class TestSchema:
+    def test_from_tuples(self):
+        schema = Schema([("P", 2), ("Q", 1)])
+        assert "P" in schema
+        assert schema.arity("P") == 2
+        assert schema.arity("Q") == 1
+
+    def test_from_arities(self):
+        schema = Schema.from_arities({"R": 3})
+        assert schema["R"] == RelationSymbol("R", 3)
+
+    def test_conflicting_arities_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([("P", 2), ("P", 3)])
+
+    def test_duplicate_consistent_ok(self):
+        schema = Schema([("P", 2), ("P", 2)])
+        assert len(schema) == 1
+
+    def test_unknown_relation_keyerror(self):
+        schema = Schema([("P", 2)])
+        with pytest.raises(KeyError):
+            schema["Q"]
+
+    def test_equality_and_hash(self):
+        a = Schema([("P", 2), ("Q", 1)])
+        b = Schema([("Q", 1), ("P", 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_names_sorted(self):
+        schema = Schema([("Z", 1), ("A", 1)])
+        assert schema.names == ("A", "Z")
+
+    def test_union(self):
+        a = Schema([("P", 2)])
+        b = Schema([("Q", 1)])
+        assert set(a.union(b).names) == {"P", "Q"}
+
+    def test_union_conflict_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([("P", 2)]).union(Schema([("P", 1)]))
+
+    def test_disjoint(self):
+        assert Schema([("P", 2)]).disjoint_with(Schema([("Q", 1)]))
+        assert not Schema([("P", 2)]).disjoint_with(Schema([("P", 2)]))
+
+    def test_replica(self):
+        replica = Schema([("P", 2)]).replica()
+        assert "P^" in replica
+        assert replica.arity("P^") == 2
+
+    def test_iteration(self):
+        schema = Schema([("P", 2), ("Q", 1)])
+        assert [rel.name for rel in schema] == ["P", "Q"]

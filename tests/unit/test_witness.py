@@ -1,0 +1,93 @@
+"""Unit tests for witness solutions (the Proposition 4.2 machinery)."""
+
+import pytest
+
+from repro.instance import Instance
+from repro.inverses.witness import (
+    is_witness_solution,
+    solution_probes,
+    solutions_contained,
+    witness_adversaries_for,
+)
+
+
+class TestSolutionProbes:
+    def test_probes_are_solutions(self, path2):
+        source = Instance.parse("P(a, b)")
+        for probe in solution_probes(path2, source):
+            assert path2.satisfies(source, probe)
+
+    def test_probes_include_canonical(self, path2):
+        source = Instance.parse("P(a, b)")
+        probes = solution_probes(path2, source)
+        assert len(probes) >= 1
+        assert all(probe.tuples("Q") for probe in probes)
+
+
+class TestSolutionsContained:
+    def test_reflexive(self, path2):
+        inst = Instance.parse("P(a, b)")
+        assert solutions_contained(path2, inst, inst)
+
+    def test_superset_source_contains(self, path2):
+        smaller = Instance.parse("P(a, b)")
+        bigger = Instance.parse("P(a, b), P(c, d)")
+        # Sol(bigger) ⊆ Sol(smaller): more facts, more obligations —
+        # the inner argument is the instance with FEWER solutions.
+        assert solutions_contained(path2, bigger, smaller)
+        assert not solutions_contained(path2, smaller, bigger)
+
+    def test_refutes_incomparable(self, path2):
+        left = Instance.parse("P(a, b)")
+        right = Instance.parse("P(b, a)")
+        assert not solutions_contained(path2, left, right)
+
+
+class TestIsWitnessSolution:
+    I0 = Instance.parse("P(0, 1), P(1, 0)")
+
+    def test_non_solution_rejected(self, path2):
+        verdict = is_witness_solution(
+            path2, self.I0, Instance.parse("Q(9, 9)"), [self.I0]
+        )
+        assert not verdict.holds
+        assert "not even a solution" in verdict.counterexample.description
+
+    def test_diagonal_completion_refuted(self, path2):
+        """Case (1) of Proposition 4.2's analysis via the public API."""
+        candidate = Instance.parse("Q(0, X), Q(X, 1), Q(1, X), Q(X, 0)")
+        adversaries = witness_adversaries_for(self.I0)
+        verdict = is_witness_solution(path2, self.I0, candidate, adversaries)
+        assert not verdict.holds
+        assert verdict.counterexample.verify()
+
+    def test_canonical_refuted_via_null_adversary(self, path2):
+        """Case (2): even the canonical solution fails, separated by an
+
+        adversary that mentions the candidate's own nulls.
+        """
+        candidate = path2.chase(self.I0)
+        nulls = sorted(candidate.nulls)
+        from repro.instance import Fact
+
+        adversary = self.I0.union(Instance([Fact("P", (nulls[0], nulls[1]))]))
+        verdict = is_witness_solution(path2, self.I0, candidate, [adversary])
+        assert not verdict.holds
+
+    def test_ground_framework_witness_survives_ground_adversaries(self, path2):
+        """Restricted to ground adversaries the canonical solution IS a
+
+        witness — the contrast Proposition 4.2 draws with [APR'08].
+        """
+        candidate = path2.chase(self.I0)
+        ground_adversaries = [
+            Instance.parse(s)
+            for s in (
+                "P(0, 1), P(1, 0)",
+                "P(0, 0)",
+                "P(1, 1)",
+                "P(0, 1), P(1, 0), P(0, 0)",
+            )
+        ]
+        verdict = is_witness_solution(path2, self.I0, candidate, ground_adversaries)
+        assert verdict.holds

@@ -1,0 +1,151 @@
+"""Unit tests for the workload scenarios and generators."""
+
+import random
+
+import pytest
+
+from repro.instance import Instance
+from repro.schema import Schema
+from repro.workloads.generators import (
+    chain_decomposition_mapping,
+    chain_join_reverse,
+    ground_pairs,
+    random_full_tgd_mapping,
+    random_instance,
+    random_source_instances,
+)
+from repro.workloads.scenarios import PAPER_SCENARIOS, get_scenario
+
+
+class TestScenarios:
+    def test_catalogue_nonempty(self):
+        assert len(PAPER_SCENARIOS) >= 8
+
+    def test_lookup(self):
+        assert get_scenario("path2").mapping.is_plain_tgds()
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            get_scenario("nope")
+
+    def test_every_scenario_mapping_chases(self, scenario):
+        # Each catalogued mapping must chase its own canonical premise.
+        from repro.chase.standard import chase_atoms_canonical
+
+        for dep in scenario.mapping.dependencies:
+            inst = chase_atoms_canonical(dep.premise)
+            out = scenario.mapping.chase(inst)
+            assert out is not None
+
+    def test_reverse_schemas_align(self, scenario):
+        if scenario.reverse is None:
+            pytest.skip("no reverse")
+        for name in scenario.reverse.source.names:
+            assert name in scenario.mapping.target
+
+
+class TestRandomInstance:
+    def test_size(self):
+        schema = Schema([("P", 2), ("Q", 1)])
+        inst = random_instance(schema, 20, seed=1)
+        # Duplicates may collapse, but most facts survive.
+        assert 10 <= len(inst) <= 20
+
+    def test_reproducible(self):
+        schema = Schema([("P", 2)])
+        assert random_instance(schema, 10, seed=7) == random_instance(
+            schema, 10, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        schema = Schema([("P", 3)])
+        assert random_instance(schema, 10, seed=1) != random_instance(
+            schema, 10, seed=2
+        )
+
+    def test_null_ratio_zero_is_ground(self):
+        schema = Schema([("P", 2)])
+        assert random_instance(schema, 10, seed=3, null_ratio=0.0).is_ground()
+
+    def test_null_ratio_one_all_nulls(self):
+        schema = Schema([("P", 2)])
+        inst = random_instance(schema, 10, seed=3, null_ratio=1.0)
+        assert not inst.constants
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            random_instance(Schema([("P", 1)]), 1, null_ratio=1.5)
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            random_instance(Schema(), 1)
+
+    def test_batch(self):
+        schema = Schema([("P", 2)])
+        batch = random_source_instances(schema, 5, 4, seed=9)
+        assert len(batch) == 5
+        assert len(set(batch)) > 1
+
+
+class TestRandomMapping:
+    def test_is_full_plain(self):
+        m = random_full_tgd_mapping(seed=4)
+        assert m.is_full()
+        assert m.is_plain_tgds()
+
+    def test_reproducible(self):
+        assert random_full_tgd_mapping(seed=5) == random_full_tgd_mapping(seed=5)
+
+    def test_quasi_inverse_algorithm_accepts(self):
+        from repro.inverses.quasi_inverse import (
+            maximum_extended_recovery_for_full_tgds,
+        )
+
+        for seed in range(5):
+            m = random_full_tgd_mapping(seed=seed, max_arity=2)
+            rev = maximum_extended_recovery_for_full_tgds(m)
+            assert rev.dependencies
+
+    def test_rng_instance_accepted(self):
+        rng = random.Random(0)
+        m1 = random_full_tgd_mapping(seed=rng)
+        m2 = random_full_tgd_mapping(seed=rng)
+        assert m1 != m2  # the stream advances
+
+
+class TestChainFamilies:
+    def test_chain_generalizes_example_1_1(self):
+        m = chain_decomposition_mapping(2)
+        out = m.chase(Instance.parse("P(a, b, c)"))
+        assert out == Instance.parse("R0(a, b), R1(b, c)")
+
+    def test_chain_reverse_shape(self):
+        rev = chain_join_reverse(2)
+        assert len(rev.dependencies) == 2
+        for dep in rev.dependencies:
+            assert dep.conclusion_relations() == {"P"}
+
+    def test_chain_round_trip_hom_smaller(self):
+        from repro.homs.search import is_homomorphic
+
+        m = chain_decomposition_mapping(3)
+        rev = chain_join_reverse(3)
+        inst = Instance.parse("P(a, b, c, d)")
+        recovered = rev.chase(m.chase(inst))
+        assert is_homomorphic(recovered, inst)
+        assert not is_homomorphic(inst, recovered)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            chain_decomposition_mapping(0)
+        with pytest.raises(ValueError):
+            chain_join_reverse(0)
+
+
+class TestGroundPairs:
+    def test_shape(self):
+        schema = Schema([("P", 2)])
+        pairs = ground_pairs(schema, 4, 3, seed=11)
+        assert len(pairs) == 4
+        for left, right in pairs:
+            assert left.is_ground() and right.is_ground()
