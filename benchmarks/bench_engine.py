@@ -1,0 +1,167 @@
+"""SB-9 — ExchangeEngine: cold vs. warm cache, serial vs. batched chase.
+
+Two claims measured here (the engine PR's acceptance bar):
+
+* **warm >= 5x cold** — a repeated chase served from the
+  content-addressed cache beats recomputation by far more than 5x;
+* **chase_many(jobs=4) beats the serial uncached loop** on the
+  workload-generator batch.  Production batches repeat work (the same
+  exchange replayed across reverse runs — the Auge provenance-reuse
+  motivation), modeled here by duplicating the unique sources; the
+  engine wins through content-addressed dedup plus, on multi-core
+  hosts, executor fan-out.  Results are verified fact-for-fact
+  identical to the serial/uncached path before any number is reported.
+
+Runs two ways: under pytest-benchmark like every other SB module, and
+as a plain script (``python benchmarks/bench_engine.py``) for the CI
+smoke run, where it prints the speedups and exits nonzero if either
+claim fails.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script mode without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import ExchangeEngine
+from repro.workloads.generators import random_source_instances
+from repro.workloads.scenarios import get_scenario
+
+try:
+    from .conftest import record_metric
+except ImportError:  # script mode
+    def record_metric(benchmark, **metrics):
+        for key, value in metrics.items():
+            benchmark.extra_info[key] = value
+
+
+SIZE = 120
+UNIQUE = 6
+REPEATS = 4  # each unique source appears this many times in the batch
+
+
+def _workload():
+    mapping = get_scenario("path2").mapping
+    unique = random_source_instances(
+        mapping.source, UNIQUE, SIZE, seed=11, null_ratio=0.2, value_pool=SIZE
+    )
+    # Interleave duplicates deterministically: u0 u1 ... u5 u0 u1 ...
+    batch = [unique[i % UNIQUE] for i in range(UNIQUE * REPEATS)]
+    return mapping, unique, batch
+
+
+def _serial_uncached(mapping, batch):
+    engine = ExchangeEngine(enable_cache=False)
+    return [engine.chase(mapping, inst) for inst in batch]
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_chase_cold_cache(benchmark):
+    """Every iteration sees an empty cache — the baseline."""
+    mapping, unique, _ = _workload()
+    source = unique[0]
+
+    def cold():
+        engine = ExchangeEngine()
+        return engine.chase(mapping, source)
+
+    result = benchmark(cold)
+    record_metric(benchmark, size=len(source), generated=len(result))
+
+
+def test_chase_warm_cache(benchmark):
+    """Every iteration after the first is a cache hit."""
+    mapping, unique, _ = _workload()
+    source = unique[0]
+    engine = ExchangeEngine()
+    engine.chase(mapping, source)
+    result = benchmark(engine.chase, mapping, source)
+    record_metric(
+        benchmark, size=len(source), hits=engine.stats()["chase"]["hits"]
+    )
+
+
+def test_chase_many_serial_uncached(benchmark):
+    mapping, _, batch = _workload()
+    results = benchmark(_serial_uncached, mapping, batch)
+    record_metric(benchmark, batch=len(batch), generated=len(results[0]))
+
+
+def test_chase_many_engine_jobs4(benchmark):
+    mapping, _, batch = _workload()
+
+    def batched():
+        engine = ExchangeEngine()
+        return engine.chase_many(mapping, batch, jobs=4)
+
+    results = benchmark(batched)
+    record_metric(benchmark, batch=len(batch), unique=UNIQUE)
+    assert [r.instance for r in results] == _serial_uncached(mapping, batch)
+
+
+# ----------------------------------------------------------------------
+# Script mode (CI smoke run)
+# ----------------------------------------------------------------------
+
+
+def _time(fn, repeat=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> int:
+    mapping, unique, batch = _workload()
+    source = unique[0]
+
+    # -- cold vs. warm ------------------------------------------------
+    def cold():
+        return ExchangeEngine().chase(mapping, source)
+
+    warm_engine = ExchangeEngine()
+    warm_engine.chase(mapping, source)
+
+    cold_t, cold_result = _time(cold)
+    warm_t, warm_result = _time(lambda: warm_engine.chase(mapping, source))
+    assert warm_result == cold_result, "cache hit diverged from recompute"
+    warm_speedup = cold_t / warm_t if warm_t else float("inf")
+    print(f"cold chase         : {cold_t * 1e3:9.3f} ms  ({SIZE} facts)")
+    print(f"warm chase (cached): {warm_t * 1e3:9.3f} ms  "
+          f"speedup {warm_speedup:8.1f}x")
+
+    # -- serial uncached vs. chase_many(jobs=4) -----------------------
+    serial_t, serial_results = _time(
+        lambda: _serial_uncached(mapping, batch), repeat=2
+    )
+
+    def batched():
+        return ExchangeEngine().chase_many(mapping, batch, jobs=4)
+
+    batch_t, batch_results = _time(batched, repeat=2)
+    identical = [r.instance for r in batch_results] == serial_results
+    batch_speedup = serial_t / batch_t if batch_t else float("inf")
+    print(f"serial uncached    : {serial_t * 1e3:9.3f} ms  "
+          f"({len(batch)} instances, {UNIQUE} unique)")
+    print(f"chase_many(jobs=4) : {batch_t * 1e3:9.3f} ms  "
+          f"speedup {batch_speedup:8.1f}x  identical={identical}")
+
+    ok = warm_speedup >= 5.0 and batch_t < serial_t and identical
+    print(f"acceptance: warm>=5x {warm_speedup >= 5.0}, "
+          f"batch beats serial {batch_t < serial_t}, identical {identical}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,13 +8,17 @@ answering, and information-loss comparison of schema mappings.
 
 Quickstart::
 
-    from repro import SchemaMapping, Instance
+    from repro import ExchangeEngine, SchemaMapping, Instance
 
+    engine = ExchangeEngine()
     M = SchemaMapping.from_text("P(x, y, z) -> Q(x, y) & R(y, z)")
     I = Instance.parse("P(a, b, c)")
-    U = M.chase(I)                      # {Q(a, b), R(b, c)}
+    U = engine.chase(M, I)              # {Q(a, b), R(b, c)}
+    engine.chase(M, I)                  # cache hit — identical result
 
-See ``examples/quickstart.py`` for the full Example 1.1 round trip.
+The classic ``M.chase(I)`` still works and delegates to a module-level
+default engine.  See ``examples/quickstart.py`` for the full Example 1.1
+round trip and ``docs/USAGE.md`` §9 for the engine API.
 """
 
 from .terms import Const, Null, NullFactory, Var
@@ -39,6 +43,15 @@ from .chase.disjunctive import (
     reverse_disjunctive_chase,
 )
 from .mappings.schema_mapping import SchemaMapping
+from .engine import (
+    AuditReport,
+    ExchangeEngine,
+    ExchangeResult,
+    OperationStats,
+    ReverseResult,
+    get_default_engine,
+    set_default_engine,
+)
 from .mappings.extension import (
     extended_universal_solution,
     in_extension,
@@ -82,6 +95,13 @@ __all__ = [
     "minimize_branches",
     "reverse_disjunctive_chase",
     "SchemaMapping",
+    "AuditReport",
+    "ExchangeEngine",
+    "ExchangeResult",
+    "OperationStats",
+    "ReverseResult",
+    "get_default_engine",
+    "set_default_engine",
     "extended_universal_solution",
     "in_extension",
     "in_extension_reverse",

@@ -12,6 +12,12 @@ Usage (after ``pip install -e .``)::
 ``--mapping``/``--recovery`` accept a file path or an inline dependency
 string (semicolon-separated).  Instances use the token convention
 (lowercase/number = constant, Uppercase = null).
+
+The engine-backed commands (``chase``, ``reverse``, ``audit``,
+``answer``) share three flags: ``--jobs N`` fans batches out over N
+workers (``--instance`` is repeatable — each occurrence is one batch
+item), ``--no-cache`` disables the content-addressed caches, and
+``--stats`` prints the engine's hit/miss/wall-time table to stderr.
 """
 
 from __future__ import annotations
@@ -19,19 +25,16 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Optional
+from typing import List, Optional
 
+from .engine import ExchangeEngine
 from .instance import Instance
-from .inverses.extended_inverse import is_chase_inverse, is_extended_invertible
-from .inverses.ground import is_invertible
 from .inverses.quasi_inverse import (
     NotFullTgds,
     maximum_extended_recovery_for_full_tgds,
 )
 from .mappings.schema_mapping import SchemaMapping
 from .parsing.parser import parse_query
-from .reverse.exchange import reverse_exchange
-from .reverse.query_answering import reverse_certain_answers
 
 
 def _load_mapping(spec: str) -> SchemaMapping:
@@ -43,41 +46,82 @@ def _load_mapping(spec: str) -> SchemaMapping:
     return SchemaMapping.from_text(text)
 
 
+def _make_engine(args: argparse.Namespace) -> ExchangeEngine:
+    return ExchangeEngine(
+        enable_cache=not getattr(args, "no_cache", False),
+        jobs=getattr(args, "jobs", None),
+    )
+
+
+def _finish(engine: ExchangeEngine, args: argparse.Namespace, code: int) -> int:
+    if getattr(args, "stats", False):
+        print(engine.render_stats(), file=sys.stderr)
+    return code
+
+
+def _parse_instances(args: argparse.Namespace) -> List[Instance]:
+    return [Instance.parse(text) for text in args.instance]
+
+
 def _cmd_chase(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
-    source = Instance.parse(args.instance)
-    result = mapping.chase(source, variant=args.variant)
-    print(result)
-    return 0
+    sources = _parse_instances(args)
+    if len(sources) == 1:
+        print(engine.chase(mapping, sources[0], variant=args.variant))
+    else:
+        results = engine.chase_many(
+            mapping, sources, jobs=args.jobs, variant=args.variant
+        )
+        for index, result in enumerate(results):
+            print(f"[{index}] {result.instance}")
+    return _finish(engine, args, 0)
+
+
+def _print_candidates(result, prefix: str = "") -> None:
+    if len(result.candidates) == 1:
+        print(f"{prefix}{result.candidates[0]}")
+    else:
+        for index, candidate in enumerate(result.candidates):
+            print(f"{prefix}[{index}] {candidate}")
 
 
 def _cmd_reverse(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
-    target = Instance.parse(args.instance)
-    result = reverse_exchange(mapping, target, max_nulls=args.max_nulls)
-    if len(result.candidates) == 1:
-        print(result.candidates[0])
+    targets = _parse_instances(args)
+    if len(targets) == 1:
+        result = engine.reverse(
+            mapping, targets[0], max_nulls=args.max_nulls, take_core=True
+        )
+        _print_candidates(result)
     else:
-        for index, candidate in enumerate(result.candidates):
-            print(f"[{index}] {candidate}")
-    return 0
+        results = engine.reverse_many(
+            mapping,
+            targets,
+            jobs=args.jobs,
+            max_nulls=args.max_nulls,
+            take_core=True,
+        )
+        for index, result in enumerate(results):
+            _print_candidates(result, prefix=f"[{index}] ")
+    return _finish(engine, args, 0)
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
-    invertible = is_invertible(mapping)
-    extended = is_extended_invertible(mapping)
-    print(f"invertible (ground subset property): {invertible.holds}")
-    print(f"extended invertible (hom property):  {extended.holds}")
-    if not extended.holds:
-        print(f"  counterexample: {extended.counterexample}")
-    if args.reverse:
-        reverse = _load_mapping(args.reverse)
-        verdict = is_chase_inverse(mapping, reverse)
-        print(f"reverse is a chase-inverse:          {verdict.holds}")
-        if not verdict.holds:
-            print(f"  counterexample: {verdict.counterexample}")
-    return 0 if extended.holds else 1
+    reverse = _load_mapping(args.reverse) if args.reverse else None
+    report = engine.audit(mapping, reverse=reverse)
+    print(f"invertible (ground subset property): {report.invertible.holds}")
+    print(f"extended invertible (hom property):  {report.extended_invertible.holds}")
+    if not report.extended_invertible.holds:
+        print(f"  counterexample: {report.extended_invertible.counterexample}")
+    if report.chase_inverse is not None:
+        print(f"reverse is a chase-inverse:          {report.chase_inverse.holds}")
+        if not report.chase_inverse.holds:
+            print(f"  counterexample: {report.chase_inverse.counterexample}")
+    return _finish(engine, args, 0 if report.extended_invertible.holds else 1)
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -93,22 +137,23 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 
 def _cmd_answer(args: argparse.Namespace) -> int:
+    engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
     recovery = (
         _load_mapping(args.recovery)
         if args.recovery
         else maximum_extended_recovery_for_full_tgds(mapping)
     )
-    source = Instance.parse(args.instance)
     query = parse_query(args.query)
-    answers = reverse_certain_answers(
-        mapping, recovery, query, source, max_nulls=args.max_nulls
-    )
-    for row in sorted(answers, key=str):
-        print("(" + ", ".join(str(v) for v in row) + ")")
-    if not answers:
-        print("-- no certain answers --")
-    return 0
+    for source in _parse_instances(args):
+        answers = engine.answer(
+            mapping, recovery, query, source, max_nulls=args.max_nulls
+        )
+        for row in sorted(answers, key=str):
+            print("(" + ", ".join(str(v) for v in row) + ")")
+        if not answers:
+            print("-- no certain answers --")
+    return _finish(engine, args, 0)
 
 
 def _cmd_compose(args: argparse.Namespace) -> int:
@@ -142,21 +187,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    chase = sub.add_parser("chase", help="forward data exchange (the chase)")
+    engine_flags = argparse.ArgumentParser(add_help=False)
+    engine_flags.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for batch operations (repeat --instance to batch)")
+    engine_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the engine's content-addressed caches")
+    engine_flags.add_argument(
+        "--stats", action="store_true",
+        help="print engine cache/time stats to stderr")
+
+    chase = sub.add_parser("chase", parents=[engine_flags],
+                           help="forward data exchange (the chase)")
     chase.add_argument("--mapping", required=True)
-    chase.add_argument("--instance", required=True)
+    chase.add_argument("--instance", required=True, action="append",
+                       help="source instance; repeatable for a batch")
     chase.add_argument("--variant", choices=["restricted", "oblivious"],
                        default="restricted")
     chase.set_defaults(func=_cmd_chase)
 
-    reverse = sub.add_parser("reverse", help="reverse data exchange")
+    reverse = sub.add_parser("reverse", parents=[engine_flags],
+                             help="reverse data exchange")
     reverse.add_argument("--mapping", required=True,
                          help="the REVERSE mapping (target -> source)")
-    reverse.add_argument("--instance", required=True)
+    reverse.add_argument("--instance", required=True, action="append",
+                         help="target instance; repeatable for a batch")
     reverse.add_argument("--max-nulls", type=int, default=8)
     reverse.set_defaults(func=_cmd_reverse)
 
-    audit = sub.add_parser("audit", help="invertibility audit")
+    audit = sub.add_parser("audit", parents=[engine_flags],
+                           help="invertibility audit")
     audit.add_argument("--mapping", required=True)
     audit.add_argument("--reverse", help="candidate chase-inverse to verify")
     audit.set_defaults(func=_cmd_audit)
@@ -167,11 +228,13 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--mapping", required=True)
     recover.set_defaults(func=_cmd_recover)
 
-    answer = sub.add_parser("answer", help="reverse certain answers")
+    answer = sub.add_parser("answer", parents=[engine_flags],
+                            help="reverse certain answers")
     answer.add_argument("--mapping", required=True)
     answer.add_argument("--recovery",
                         help="reverse mapping; computed when omitted")
-    answer.add_argument("--instance", required=True)
+    answer.add_argument("--instance", required=True, action="append",
+                        help="source instance; repeatable for a batch")
     answer.add_argument("--query", required=True)
     answer.add_argument("--max-nulls", type=int, default=8)
     answer.set_defaults(func=_cmd_answer)

@@ -1,0 +1,86 @@
+"""Size-bounded LRU caches with hit/miss/eviction accounting.
+
+The engine keeps one cache per operation family (chase results,
+disjunctive branch sets, homomorphism verdicts, cores, ...), each keyed
+by content digests, so the caches survive any amount of object churn:
+two structurally identical instances built independently share entries.
+
+A cache of ``maxsize`` 0 is a valid always-miss cache — that is how
+``--no-cache`` is implemented, keeping the engine code branch-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache: lifetime hits, misses, and evictions."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """A thread-safe least-recently-used cache over hashable keys."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """Look up *key*; returns ``(hit, value)`` and counts the lookup."""
+        with self._lock:
+            if self.maxsize and key in self._data:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                return True, self._data[key]
+            self.stats.misses += 1
+            return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert *key*, evicting least-recently-used entries past capacity."""
+        if not self.maxsize:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        """Drop every entry; lifetime counters are kept."""
+        with self._lock:
+            self._data.clear()

@@ -1,0 +1,612 @@
+"""The :class:`ExchangeEngine` — a cached, parallel exchange session.
+
+Every free-function entry point in the library recomputes from scratch;
+the engine is the stateful counterpart that amortizes work across
+calls.  It holds content-addressed caches — keyed by ``(mapping digest,
+instance digest, options)`` — for chase results, disjunctive-chase
+branch sets, homomorphism-existence verdicts, cores, audits, and
+reverse certain answers, with size-bounded LRU eviction; and it fans
+batch operations out over ``concurrent.futures`` (processes for large
+instances, threads or a serial loop below the size threshold).
+
+Because the chase, the disjunctive chase, and ``core`` are
+deterministic, caching is semantically transparent: a cache hit returns
+exactly the instance the computation would have produced, down to null
+names.  The caches are therefore safe to leave on everywhere, and the
+module-level default engine (:func:`repro.engine.get_default_engine`)
+is wired behind ``SchemaMapping.chase``/``reverse_chase`` so existing
+call sites gain caching without changing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from threading import Lock
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..chase.disjunctive import reverse_disjunctive_chase
+from ..chase.standard import ChaseResult, chase
+from ..instance import Instance
+from ..mappings.schema_mapping import SchemaMapping
+from .cache import LRUCache
+from .parallel import chase_task, make_executor, reverse_task, run_batch
+from .results import (
+    AuditReport,
+    CacheProvenance,
+    ExchangeResult,
+    OperationStats,
+    ReverseResult,
+)
+
+_OPS = ("chase", "reverse", "hom", "core", "audit", "answer")
+
+
+@dataclass
+class _OpCounters:
+    """Per-operation work accounting (compute time only, not hits)."""
+
+    calls: int = 0
+    wall_time: float = 0.0
+    steps: int = 0
+    rounds: int = 0
+    branches: int = 0
+
+
+class ExchangeEngine:
+    """A session object for exchange operations with caching and fan-out.
+
+    Parameters
+    ----------
+    cache_size:
+        Max entries *per operation cache* (LRU eviction past it).
+    enable_cache:
+        ``False`` degrades every cache to always-miss (``--no-cache``).
+    jobs:
+        Default worker count for ``chase_many``/``reverse_many`` when
+        the call does not pass its own.
+    process_threshold:
+        Batches whose largest instance has at least this many facts use
+        a process pool; smaller batches use threads or the serial loop.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 512,
+        enable_cache: bool = True,
+        jobs: Optional[int] = None,
+        process_threshold: int = 200,
+    ) -> None:
+        size = cache_size if enable_cache else 0
+        self._caches: Dict[str, LRUCache] = {op: LRUCache(size) for op in _OPS}
+        self._ops: Dict[str, _OpCounters] = {op: _OpCounters() for op in _OPS}
+        self._ops_lock = Lock()
+        self.jobs = jobs
+        self.process_threshold = process_threshold
+        self._clock = time.perf_counter
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        op: str,
+        wall_time: float = 0.0,
+        steps: int = 0,
+        rounds: int = 0,
+        branches: int = 0,
+        calls: int = 1,
+    ) -> None:
+        with self._ops_lock:
+            counters = self._ops[op]
+            counters.calls += calls
+            counters.wall_time += wall_time
+            counters.steps += steps
+            counters.rounds += rounds
+            counters.branches += branches
+
+    @staticmethod
+    def _key_id(key: tuple) -> str:
+        """A compact human-readable rendering of a cache key."""
+        return ":".join(
+            part[:12] if isinstance(part, str) and len(part) > 12 else str(part)
+            for part in key
+        )
+
+    # ------------------------------------------------------------------
+    # Forward exchange
+    # ------------------------------------------------------------------
+
+    def exchange(
+        self, mapping: SchemaMapping, source: Instance, variant: str = "restricted"
+    ) -> ExchangeResult:
+        """``chase_M(I)`` as a normalized :class:`ExchangeResult`."""
+        key = ("chase", mapping.digest(), source.digest(), variant)
+        hit, entry = self._caches["chase"].get(key)
+        elapsed = 0.0
+        if not hit:
+            start = self._clock()
+            result = chase(source, mapping.dependencies, variant=variant)
+            restricted = result.restricted_to(mapping.target.names)
+            elapsed = self._clock() - start
+            entry = (result, restricted)
+            self._caches["chase"].put(key, entry)
+            self._record(
+                "chase", wall_time=elapsed, steps=result.steps, rounds=result.rounds
+            )
+        else:
+            self._record("chase", calls=1)
+        result, restricted = entry
+        return ExchangeResult(
+            instance=restricted,
+            full=result.instance,
+            generated=frozenset(result.generated),
+            stats=OperationStats(elapsed, result.steps, result.rounds),
+            provenance=CacheProvenance(self._key_id(key), hit),
+        )
+
+    def chase(
+        self, mapping: SchemaMapping, source: Instance, variant: str = "restricted"
+    ) -> Instance:
+        """The target restriction of the chased instance (facade shape)."""
+        return self.exchange(mapping, source, variant=variant).instance
+
+    def chase_result(
+        self, mapping: SchemaMapping, source: Instance, variant: str = "restricted"
+    ) -> ChaseResult:
+        """Deprecated alias shape: the legacy :class:`ChaseResult`."""
+        return self.exchange(mapping, source, variant=variant).to_chase_result()
+
+    def chase_many(
+        self,
+        mapping: SchemaMapping,
+        instances: Iterable[Instance],
+        jobs: Optional[int] = None,
+        variant: str = "restricted",
+    ) -> List[ExchangeResult]:
+        """Chase a batch of source instances, deduplicated and fanned out.
+
+        Content-addressed dedup runs first — structurally identical
+        instances (and anything already cached) are chased once — then
+        the remaining unique work goes to a process pool, thread pool,
+        or serial loop per the size policy.  Results come back in input
+        order and are fact-for-fact identical to the serial path.
+        """
+        instances = list(instances)
+        workers = jobs if jobs is not None else (self.jobs or 1)
+        mapping_digest = mapping.digest()
+        keys = [
+            ("chase", mapping_digest, inst.digest(), variant) for inst in instances
+        ]
+        resolved: Dict[tuple, Tuple[tuple, bool]] = {}
+        pending: Dict[tuple, Instance] = {}
+        for key, inst in zip(keys, instances):
+            if key in resolved or key in pending:
+                continue
+            hit, entry = self._caches["chase"].get(key)
+            if hit:
+                resolved[key] = (entry, True)
+                self._record("chase", calls=1)
+            else:
+                pending[key] = inst
+        if pending:
+            todo = list(pending.items())
+            executor = make_executor(
+                workers,
+                len(todo),
+                max(len(inst) for inst in pending.values()),
+                self.process_threshold,
+            )
+            start = self._clock()
+            results = run_batch(
+                [(mapping, inst, variant) for _, inst in todo], chase_task, executor
+            )
+            elapsed = self._clock() - start
+            for (key, _), result in zip(todo, results):
+                restricted = result.restricted_to(mapping.target.names)
+                entry = (result, restricted)
+                self._caches["chase"].put(key, entry)
+                resolved[key] = (entry, False)
+                self._record(
+                    "chase", steps=result.steps, rounds=result.rounds, calls=1
+                )
+            self._record("chase", wall_time=elapsed, calls=0)
+        out: List[ExchangeResult] = []
+        for key in keys:
+            (result, restricted), hit = resolved[key]
+            out.append(
+                ExchangeResult(
+                    instance=restricted,
+                    full=result.instance,
+                    generated=frozenset(result.generated),
+                    stats=OperationStats(0.0, result.steps, result.rounds),
+                    provenance=CacheProvenance(self._key_id(key), hit),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Reverse exchange
+    # ------------------------------------------------------------------
+
+    def _reverse_branches(
+        self,
+        mapping: SchemaMapping,
+        target: Instance,
+        max_nulls: int,
+        minimize: bool,
+        max_branches: int,
+    ) -> Tuple[bool, tuple, Tuple[Instance, ...]]:
+        """The cached disjunctive-chase branch set of one target."""
+        key = (
+            "reverse",
+            mapping.digest(),
+            target.digest(),
+            max_nulls,
+            minimize,
+            max_branches,
+        )
+        hit, candidates = self._caches["reverse"].get(key)
+        if not hit:
+            start = self._clock()
+            candidates = tuple(
+                reverse_disjunctive_chase(
+                    target,
+                    mapping.dependencies,
+                    result_relations=mapping.target.names,
+                    max_nulls=max_nulls,
+                    minimize=minimize,
+                    max_branches=max_branches,
+                )
+            )
+            elapsed = self._clock() - start
+            self._caches["reverse"].put(key, candidates)
+            self._record(
+                "reverse", wall_time=elapsed, branches=len(candidates)
+            )
+        else:
+            self._record("reverse", calls=1)
+        return hit, key, candidates
+
+    def reverse(
+        self,
+        reverse_mapping: SchemaMapping,
+        target: Instance,
+        max_nulls: int = 8,
+        minimize: bool = True,
+        max_branches: int = 10_000,
+        take_core: bool = False,
+    ) -> ReverseResult:
+        """Materialize candidate source instances from a target instance.
+
+        Plain-tgd reverse mappings use the (cached) standard chase — one
+        candidate; disjunctive ones use the (cached) quotient-branching
+        reverse chase.  With *take_core* every candidate is folded to
+        its core through the core cache.
+        """
+        if reverse_mapping.is_disjunctive() or reverse_mapping.uses_inequality():
+            hit, key, candidates = self._reverse_branches(
+                reverse_mapping, target, max_nulls, minimize, max_branches
+            )
+        else:
+            forward = self.exchange(reverse_mapping, target)
+            hit, key, candidates = (
+                forward.cached,
+                ("chase", reverse_mapping.digest(), target.digest(), "restricted"),
+                (forward.instance,),
+            )
+        if not candidates:
+            candidates = (Instance(),)
+        if take_core:
+            candidates = tuple(self.core(candidate) for candidate in candidates)
+        return ReverseResult(
+            candidates=candidates,
+            canonical=candidates[0],
+            stats=OperationStats(branches=len(candidates)),
+            provenance=CacheProvenance(self._key_id(key), hit),
+        )
+
+    def reverse_chase(
+        self,
+        mapping: SchemaMapping,
+        target: Instance,
+        max_nulls: int = 8,
+        minimize: bool = True,
+        max_branches: int = 10_000,
+    ) -> List[Instance]:
+        """Deprecated alias shape: the raw branch list of the disjunctive
+        chase, exactly as ``SchemaMapping.reverse_chase`` returned it."""
+        _, _, candidates = self._reverse_branches(
+            mapping, target, max_nulls, minimize, max_branches
+        )
+        return list(candidates)
+
+    def reverse_many(
+        self,
+        reverse_mapping: SchemaMapping,
+        targets: Iterable[Instance],
+        jobs: Optional[int] = None,
+        max_nulls: int = 8,
+        minimize: bool = True,
+        max_branches: int = 10_000,
+        take_core: bool = False,
+    ) -> List[ReverseResult]:
+        """Reverse a batch of target instances (dedup + fan-out).
+
+        Plain-tgd reverse mappings route through :meth:`chase_many`, so
+        the chase cache stays coherent with the serial path; disjunctive
+        ones dedupe on the reverse cache and fan the quotient-branching
+        chase out per unique target.
+        """
+        targets = list(targets)
+        workers = jobs if jobs is not None else (self.jobs or 1)
+        disjunctive = (
+            reverse_mapping.is_disjunctive() or reverse_mapping.uses_inequality()
+        )
+        if not disjunctive:
+            forward = self.chase_many(
+                reverse_mapping, targets, jobs=workers
+            )
+            results = []
+            for item in forward:
+                candidates: Tuple[Instance, ...] = (item.instance,)
+                if take_core:
+                    candidates = tuple(self.core(c) for c in candidates)
+                results.append(
+                    ReverseResult(
+                        candidates=candidates,
+                        canonical=candidates[0],
+                        stats=OperationStats(branches=1),
+                        provenance=item.provenance,
+                    )
+                )
+            return results
+        mapping_digest = reverse_mapping.digest()
+        keys = [
+            ("reverse", mapping_digest, t.digest(), max_nulls, minimize, max_branches)
+            for t in targets
+        ]
+        resolved: Dict[tuple, Tuple[Tuple[Instance, ...], bool]] = {}
+        pending: Dict[tuple, Instance] = {}
+        for key, target in zip(keys, targets):
+            if key in resolved or key in pending:
+                continue
+            hit, candidates = self._caches["reverse"].get(key)
+            if hit:
+                resolved[key] = (candidates, True)
+                self._record("reverse", calls=1)
+            else:
+                pending[key] = target
+        if pending:
+            todo = list(pending.items())
+            executor = make_executor(
+                workers,
+                len(todo),
+                max(len(t) for t in pending.values()),
+                self.process_threshold,
+            )
+            start = self._clock()
+            branch_sets = run_batch(
+                [
+                    (reverse_mapping, t, max_nulls, minimize, max_branches)
+                    for _, t in todo
+                ],
+                reverse_task,
+                executor,
+            )
+            elapsed = self._clock() - start
+            for (key, _), branches in zip(todo, branch_sets):
+                candidates = tuple(branches)
+                self._caches["reverse"].put(key, candidates)
+                resolved[key] = (candidates, False)
+                self._record("reverse", branches=len(candidates), calls=1)
+            self._record("reverse", wall_time=elapsed, calls=0)
+        results = []
+        for key in keys:
+            candidates, hit = resolved[key]
+            if not candidates:
+                candidates = (Instance(),)
+            if take_core:
+                candidates = tuple(self.core(c) for c in candidates)
+            results.append(
+                ReverseResult(
+                    candidates=candidates,
+                    canonical=candidates[0],
+                    stats=OperationStats(branches=len(candidates)),
+                    provenance=CacheProvenance(self._key_id(key), hit),
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Homomorphisms and cores
+    # ------------------------------------------------------------------
+
+    def is_homomorphic(self, left: Instance, right: Instance) -> bool:
+        """Cached homomorphism-existence verdict ``left → right``."""
+        key = (left.digest(), right.digest())
+        hit, verdict = self._caches["hom"].get(key)
+        if not hit:
+            from ..homs.search import is_homomorphic
+
+            start = self._clock()
+            verdict = is_homomorphic(left, right)
+            self._caches["hom"].put(key, verdict)
+            self._record("hom", wall_time=self._clock() - start)
+        else:
+            self._record("hom", calls=1)
+        return verdict
+
+    def is_hom_equivalent(self, left: Instance, right: Instance) -> bool:
+        """Cached homomorphic equivalence (both directions)."""
+        return self.is_homomorphic(left, right) and self.is_homomorphic(right, left)
+
+    def core(self, instance: Instance) -> Instance:
+        """The cached core of *instance*."""
+        key = (instance.digest(),)
+        hit, folded = self._caches["core"].get(key)
+        if not hit:
+            from ..homs.core import core
+
+            start = self._clock()
+            folded = core(instance)
+            self._caches["core"].put(key, folded)
+            self._record("core", wall_time=self._clock() - start)
+        else:
+            self._record("core", calls=1)
+        return folded
+
+    # ------------------------------------------------------------------
+    # Audits and reverse query answering
+    # ------------------------------------------------------------------
+
+    def audit(
+        self, mapping: SchemaMapping, reverse: Optional[SchemaMapping] = None
+    ) -> AuditReport:
+        """Invertibility audit: ground invertibility, extended
+        invertibility, and (when a candidate is given) the chase-inverse
+        check — all cached by mapping digest."""
+        key = (
+            "audit",
+            mapping.digest(),
+            reverse.digest() if reverse is not None else "",
+        )
+        hit, entry = self._caches["audit"].get(key)
+        if not hit:
+            from ..inverses.extended_inverse import (
+                is_chase_inverse,
+                is_extended_invertible,
+            )
+            from ..inverses.ground import is_invertible
+
+            start = self._clock()
+            entry = (
+                is_invertible(mapping),
+                is_extended_invertible(mapping),
+                is_chase_inverse(mapping, reverse) if reverse is not None else None,
+            )
+            self._caches["audit"].put(key, entry)
+            self._record("audit", wall_time=self._clock() - start)
+        else:
+            self._record("audit", calls=1)
+        invertible, extended, chase_inverse = entry
+        return AuditReport(
+            invertible=invertible,
+            extended_invertible=extended,
+            chase_inverse=chase_inverse,
+            provenance=CacheProvenance(self._key_id(key), hit),
+        )
+
+    def answer(
+        self,
+        mapping: SchemaMapping,
+        recovery: SchemaMapping,
+        query,
+        source: Instance,
+        max_nulls: int = 8,
+    ) -> FrozenSet[Tuple]:
+        """Reverse certain answers (Theorem 6.5) through the caches.
+
+        The forward chase and the reverse branch set both come from the
+        engine's caches, so repeated queries over the same exchange pay
+        only the final intersection; the answer set itself is cached on
+        top of that.
+        """
+        key = (
+            "answer",
+            mapping.digest(),
+            recovery.digest(),
+            str(query),
+            source.digest(),
+            max_nulls,
+        )
+        hit, answers = self._caches["answer"].get(key)
+        if not hit:
+            from ..logic.queries import certain_answers_over_set
+
+            start = self._clock()
+            target = self.chase(mapping, source)
+            branches = self.reverse(
+                recovery, target, max_nulls=max_nulls
+            ).candidates
+            answers = certain_answers_over_set(query, branches)
+            self._caches["answer"].put(key, answers)
+            self._record("answer", wall_time=self._clock() - start)
+        else:
+            self._record("answer", calls=1)
+        return answers
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-operation counters: cache hits/misses/evictions, live
+        entries, compute wall time, and chase work (steps, rounds,
+        branches), plus a ``totals`` roll-up."""
+        report: Dict[str, Dict[str, float]] = {}
+        totals = {
+            "calls": 0,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "wall_time": 0.0,
+        }
+        for op in _OPS:
+            cache = self._caches[op]
+            counters = self._ops[op]
+            row = {
+                "calls": counters.calls,
+                **cache.stats.as_dict(),
+                "entries": len(cache),
+                "wall_time": round(counters.wall_time, 6),
+                "steps": counters.steps,
+                "rounds": counters.rounds,
+                "branches": counters.branches,
+            }
+            report[op] = row
+            totals["calls"] += counters.calls
+            totals["hits"] += cache.stats.hits
+            totals["misses"] += cache.stats.misses
+            totals["evictions"] += cache.stats.evictions
+            totals["wall_time"] = round(totals["wall_time"] + counters.wall_time, 6)
+        report["totals"] = totals
+        return report
+
+    def render_stats(self) -> str:
+        """The stats table as printable text (the CLI's ``--stats``)."""
+        report = self.stats()
+        lines = ["engine stats:"]
+        header = (
+            f"  {'op':<8} {'calls':>6} {'hits':>6} {'misses':>7} "
+            f"{'evict':>6} {'entries':>8} {'wall(s)':>10} {'steps':>7} {'branches':>9}"
+        )
+        lines.append(header)
+        for op in _OPS:
+            row = report[op]
+            lines.append(
+                f"  {op:<8} {row['calls']:>6} {row['hits']:>6} {row['misses']:>7} "
+                f"{row['evictions']:>6} {row['entries']:>8} {row['wall_time']:>10.4f} "
+                f"{row['steps']:>7} {row['branches']:>9}"
+            )
+        totals = report["totals"]
+        lines.append(
+            f"  {'total':<8} {totals['calls']:>6} {totals['hits']:>6} "
+            f"{totals['misses']:>7} {totals['evictions']:>6} {'':>8} "
+            f"{totals['wall_time']:>10.4f}"
+        )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        """Empty every cache (lifetime counters are kept)."""
+        for cache in self._caches.values():
+            cache.clear()

@@ -1,0 +1,73 @@
+"""Executor selection and picklable task functions for batch fan-out.
+
+``chase_many``/``reverse_many`` fan unique work items out over
+``concurrent.futures``.  The policy, per the engine design:
+
+* **serial** when there is one job, one item, or one CPU — no pool can
+  beat the plain loop there, and the batch path still wins through
+  content-addressed dedup;
+* **threads** for batches of small instances — task setup dominates, so
+  the cheap pool is right even though the chase holds the GIL;
+* **processes** for batches with large instances (``process_threshold``
+  facts or more) — the chase is CPU-bound, instances and mappings are
+  picklable, and fork-based workers amortize the serialization cost.
+
+Task functions live at module scope so they pickle by reference."""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..chase.disjunctive import reverse_disjunctive_chase
+from ..chase.standard import ChaseResult, chase
+from ..instance import Instance
+from ..mappings.schema_mapping import SchemaMapping
+
+
+def chase_task(payload: Tuple[SchemaMapping, Instance, str]) -> ChaseResult:
+    """Chase one instance (runs inside a worker; must stay picklable)."""
+    mapping, instance, variant = payload
+    return chase(instance, mapping.dependencies, variant=variant)
+
+
+def reverse_task(
+    payload: Tuple[SchemaMapping, Instance, int, bool, int]
+) -> List[Instance]:
+    """Reverse-chase one target instance inside a worker."""
+    mapping, target, max_nulls, minimize, max_branches = payload
+    if mapping.is_disjunctive() or mapping.uses_inequality():
+        return reverse_disjunctive_chase(
+            target,
+            mapping.dependencies,
+            result_relations=mapping.target.names,
+            max_nulls=max_nulls,
+            minimize=minimize,
+            max_branches=max_branches,
+        )
+    result = chase(target, mapping.dependencies)
+    return [result.restricted_to(mapping.target.names)]
+
+
+def make_executor(
+    jobs: int, items: int, largest: int, process_threshold: int
+) -> Optional[Executor]:
+    """Pick an executor for a batch, or ``None`` for the serial loop."""
+    workers = min(jobs, items)
+    if workers <= 1 or (os.cpu_count() or 1) <= 1:
+        return None
+    if largest >= process_threshold:
+        try:
+            return ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError):  # pragma: no cover - sandboxed hosts
+            pass
+    return ThreadPoolExecutor(max_workers=workers)
+
+
+def run_batch(tasks: Sequence, fn, executor: Optional[Executor]) -> list:
+    """Run *fn* over *tasks*, preserving order; serial when no executor."""
+    if executor is None:
+        return [fn(task) for task in tasks]
+    with executor:
+        return list(executor.map(fn, tasks))

@@ -1,0 +1,137 @@
+"""Typed result objects for the engine's public API.
+
+Historically the exchange entry points returned three different shapes:
+``SchemaMapping.chase`` a bare :class:`~repro.instance.Instance`,
+``chase_result`` a :class:`~repro.chase.standard.ChaseResult`, and
+``reverse_chase`` a ``List[Instance]``.  The engine normalizes them:
+
+* :class:`ExchangeResult` — forward exchange: the target restriction,
+  the full chased instance, chase work counters, and cache provenance;
+* :class:`ReverseResult` — reverse exchange: the candidate source
+  instances (one for tgd reverses, a branch set for disjunctive ones),
+  plus the same stats/provenance envelope.
+
+The old entry points survive as thin deprecated aliases that unwrap
+these objects, so no call site breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..chase.standard import ChaseResult
+from ..instance import Instance
+from ..inverses.verdicts import CheckVerdict
+
+
+@dataclass(frozen=True)
+class OperationStats:
+    """Work done to produce one result.
+
+    ``wall_time`` is the compute time in seconds (near zero on a cache
+    hit); ``steps``/``rounds`` are chase trigger firings and fixpoint
+    rounds (0 where not applicable); ``branches`` is the disjunctive
+    branch count explored on reverse operations.
+    """
+
+    wall_time: float = 0.0
+    steps: int = 0
+    rounds: int = 0
+    branches: int = 0
+
+
+@dataclass(frozen=True)
+class CacheProvenance:
+    """Where a result came from: its content-addressed key and whether
+    the engine served it from cache (``hit``) or computed it fresh."""
+
+    key: str = ""
+    hit: bool = False
+
+
+@dataclass(frozen=True)
+class ExchangeResult:
+    """Outcome of a forward exchange ``chase_M(I)``.
+
+    ``instance`` is the target-schema restriction (what ``chase``
+    returned historically); ``full`` the whole chased instance (source
+    facts included, what ``chase_result().instance`` returned).
+    """
+
+    instance: Instance
+    full: Instance
+    generated: frozenset = frozenset()
+    stats: OperationStats = field(default_factory=OperationStats)
+    provenance: CacheProvenance = field(default_factory=CacheProvenance)
+
+    @property
+    def cached(self) -> bool:
+        return self.provenance.hit
+
+    @property
+    def steps(self) -> int:
+        return self.stats.steps
+
+    @property
+    def rounds(self) -> int:
+        return self.stats.rounds
+
+    def to_chase_result(self) -> ChaseResult:
+        """The legacy :class:`ChaseResult` shape (deprecated callers)."""
+        return ChaseResult(
+            instance=self.full,
+            generated=self.generated,
+            steps=self.stats.steps,
+            rounds=self.stats.rounds,
+        )
+
+
+@dataclass(frozen=True)
+class ReverseResult:
+    """Outcome of a reverse exchange.
+
+    ``candidates`` holds the recovered source instances (a single
+    element for tgd reverse mappings, a hom-minimal antichain for
+    disjunctive maximum extended recoveries).  ``canonical`` is the
+    first candidate — a compact representative for reporting.
+    """
+
+    candidates: Tuple[Instance, ...]
+    canonical: Instance
+    stats: OperationStats = field(default_factory=OperationStats)
+    provenance: CacheProvenance = field(default_factory=CacheProvenance)
+
+    @property
+    def cached(self) -> bool:
+        return self.provenance.hit
+
+    @property
+    def instances(self) -> Tuple[Instance, ...]:
+        """Alias of ``candidates`` (the normalized plural accessor)."""
+        return self.candidates
+
+    @property
+    def unique(self) -> Instance:
+        """The single candidate; raises when the result branched."""
+        if len(self.candidates) != 1:
+            raise ValueError(
+                f"reverse exchange produced {len(self.candidates)} candidates; "
+                "use .candidates for disjunctive recoveries"
+            )
+        return self.candidates[0]
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Invertibility audit of one mapping (plus an optional candidate
+    reverse), as produced by :meth:`ExchangeEngine.audit`."""
+
+    invertible: CheckVerdict
+    extended_invertible: CheckVerdict
+    chase_inverse: Optional[CheckVerdict] = None
+    provenance: CacheProvenance = field(default_factory=CacheProvenance)
+
+    @property
+    def cached(self) -> bool:
+        return self.provenance.hit

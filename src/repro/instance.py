@@ -13,6 +13,7 @@ operation (union, substitution, restriction) returns a fresh instance.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -98,6 +99,15 @@ def fact(relation: str, *tokens: object) -> Fact:
     return Fact(relation, tuple(values))
 
 
+def _digest_value(value: Value) -> bytes:
+    """Type-tagged serialization of one value for :meth:`Instance.digest`."""
+    if isinstance(value, Const):
+        payload = value.value
+        tag = b"ci:" if isinstance(payload, int) else b"cs:"
+        return tag + str(payload).encode("utf-8") + b";"
+    return b"n:" + value.name.encode("utf-8") + b";"
+
+
 class Instance:
     """An immutable finite relational instance.
 
@@ -108,7 +118,15 @@ class Instance:
     :mod:`repro.homs`).
     """
 
-    __slots__ = ("_relations", "_facts", "_hash", "_adom", "_nulls", "_index")
+    __slots__ = (
+        "_relations",
+        "_facts",
+        "_hash",
+        "_adom",
+        "_nulls",
+        "_index",
+        "_digest",
+    )
 
     def __init__(self, facts: Iterable[Fact] = (), schema: Optional[Schema] = None) -> None:
         relations: Dict[str, set] = {}
@@ -143,6 +161,7 @@ class Instance:
         self._adom: FrozenSet[Value] = frozenset(adom)
         self._nulls: FrozenSet[Null] = frozenset(nulls)
         self._index: Optional[Dict[str, dict]] = None
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -225,6 +244,26 @@ class Instance:
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """A stable content digest of the fact set (hex SHA-256).
+
+        Two instances have equal digests exactly when they are equal as
+        fact sets (up to hash collision): facts are serialized in sorted
+        order with type-tagged values, so ``Const(3)``, ``Const("3")``,
+        and ``Null("3")`` all digest differently.  The engine's
+        content-addressed caches key on this.
+        """
+        if self._digest is None:
+            h = hashlib.sha256()
+            for f in sorted(self._facts, key=Fact.sort_key):
+                h.update(f.relation.encode("utf-8"))
+                h.update(b"(")
+                for v in f.values:
+                    h.update(_digest_value(v))
+                h.update(b")")
+            self._digest = h.hexdigest()
+        return self._digest
 
     @property
     def facts(self) -> FrozenSet[Fact]:

@@ -9,10 +9,10 @@ source schema is simply a mapping whose source is that target schema.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..chase.disjunctive import reverse_disjunctive_chase
-from ..chase.standard import ChaseResult, chase
+from ..chase.standard import ChaseResult
 from ..instance import Instance
 from ..logic.atoms import Atom
 from ..logic.dependencies import Dependency, DisjunctiveTgd, Tgd, iter_disjunctive
@@ -85,6 +85,29 @@ class SchemaMapping:
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
+
+    def digest(self) -> str:
+        """A stable structural digest of ``(S, T, Σ)`` (hex SHA-256).
+
+        Serializes the dependency list in declaration order plus both
+        schemas' name/arity signatures.  Mappings with equal digests are
+        structurally identical, so the digest is a sound cache key for
+        anything computed from the mapping alone (engine caches, audit
+        verdicts, compiled plans).
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is None:
+            h = hashlib.sha256()
+            for dep in self._dependencies:
+                h.update(str(dep).encode("utf-8"))
+                h.update(b"\n")
+            for schema in (self._source, self._target):
+                h.update(b"|")
+                for name in sorted(schema.names):
+                    h.update(f"{name}/{schema.arity(name)};".encode("utf-8"))
+            cached = h.hexdigest()
+            self._digest = cached
+        return cached
 
     @property
     def dependencies(self) -> Tuple[Dependency, ...]:
@@ -178,6 +201,49 @@ class SchemaMapping:
     # ------------------------------------------------------------------
     # Data exchange
     # ------------------------------------------------------------------
+    #
+    # These methods delegate to the module-level default ExchangeEngine
+    # (lazily imported to keep the layering acyclic), so every existing
+    # call site gains content-addressed caching transparently.  The
+    # chase is deterministic, hence a cache hit is indistinguishable
+    # from a recomputation — down to null names.
+
+    def exchange(self, source_instance: Instance, variant: str = "restricted"):
+        """``chase_M(I)`` as a normalized ``ExchangeResult``.
+
+        The recommended entry point: carries the target restriction,
+        the full chased instance, chase work counters, and cache
+        provenance.  ``chase``/``chase_result`` are its thin deprecated
+        aliases.
+        """
+        from ..engine import get_default_engine
+
+        return get_default_engine().exchange(self, source_instance, variant=variant)
+
+    def reverse(
+        self,
+        target_instance: Instance,
+        max_nulls: int = 8,
+        minimize: bool = True,
+        max_branches: int = 10_000,
+        take_core: bool = False,
+    ):
+        """Reverse exchange as a normalized ``ReverseResult``.
+
+        Dispatches on this mapping's shape: plain tgds chase (one
+        candidate), disjunctive tgds branch (a candidate set).
+        ``reverse_chase`` is its thin deprecated alias.
+        """
+        from ..engine import get_default_engine
+
+        return get_default_engine().reverse(
+            self,
+            target_instance,
+            max_nulls=max_nulls,
+            minimize=minimize,
+            max_branches=max_branches,
+            take_core=take_core,
+        )
 
     def chase(
         self, source_instance: Instance, variant: str = "restricted"
@@ -186,16 +252,24 @@ class SchemaMapping:
 
         Returns the target-schema restriction of the chased instance.
         Requires Σ to consist of plain or guarded tgds (no disjunction).
+        Deprecated alias of ``exchange(...).instance``.
         """
-        return self.chase_result(source_instance, variant=variant).restricted_to(
-            self._target.names
-        )
+        from ..engine import get_default_engine
+
+        return get_default_engine().chase(self, source_instance, variant=variant)
 
     def chase_result(
         self, source_instance: Instance, variant: str = "restricted"
     ) -> ChaseResult:
-        """Full chase outcome, including step/round counts (for benchmarks)."""
-        return chase(source_instance, self._dependencies, variant=variant)
+        """Full chase outcome, including step/round counts (for benchmarks).
+
+        Deprecated alias of ``exchange(...).to_chase_result()``.
+        """
+        from ..engine import get_default_engine
+
+        return get_default_engine().chase_result(
+            self, source_instance, variant=variant
+        )
 
     def reverse_chase(
         self,
@@ -209,12 +283,15 @@ class SchemaMapping:
 
         For a reverse mapping ``M' = (T, S, Σ')`` this returns the set
         ``chase_{M'}(J)`` of Definition 6.1 — the candidate recovered
-        source instances.
+        source instances.  Deprecated alias of ``reverse(...)``; unlike
+        ``reverse`` it always runs the disjunctive chase, even for
+        plain-tgd mappings (quotient branching over the input's nulls).
         """
-        return reverse_disjunctive_chase(
+        from ..engine import get_default_engine
+
+        return get_default_engine().reverse_chase(
+            self,
             target_instance,
-            self._dependencies,
-            result_relations=self._target.names,
             max_nulls=max_nulls,
             minimize=minimize,
             max_branches=max_branches,

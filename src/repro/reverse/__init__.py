@@ -1,6 +1,14 @@
 """Reverse data exchange and reverse query answering (Section 6)."""
 
-from .exchange import ExchangeResult, forward_exchange, reverse_exchange, round_trip
+from .exchange import (
+    ExchangeResult,
+    RecoveryQuality,
+    ReverseResult,
+    forward_exchange,
+    recovery_quality,
+    reverse_exchange,
+    round_trip,
+)
 from .pipeline import EvolutionPipeline, Hop
 from .query_answering import (
     brute_force_certain_answers,
@@ -12,7 +20,10 @@ __all__ = [
     "EvolutionPipeline",
     "Hop",
     "ExchangeResult",
+    "RecoveryQuality",
+    "ReverseResult",
     "forward_exchange",
+    "recovery_quality",
     "reverse_exchange",
     "round_trip",
     "brute_force_certain_answers",

@@ -16,50 +16,45 @@ Two regimes:
   exactly the original's information (Definition 6.1's guarantees).
 
 :func:`reverse_exchange` dispatches on the reverse mapping's shape and
-returns a uniform :class:`ExchangeResult`.
+returns a uniform :class:`~repro.engine.results.ReverseResult`.  Both
+free functions route through the default :class:`repro.ExchangeEngine`
+(or an explicitly passed one), so repeated exchanges hit the
+content-addressed caches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
-from ..homs.core import core
+from ..engine.results import ReverseResult
 from ..homs.search import is_hom_equivalent
 from ..instance import Instance
 from ..mappings.schema_mapping import SchemaMapping
 
-
-@dataclass(frozen=True)
-class ExchangeResult:
-    """Outcome of a reverse exchange.
-
-    ``candidates`` holds the recovered source instances (a single element
-    for tgd reverse mappings).  ``canonical`` is the core of the first
-    candidate — a compact representative for reporting.
-    """
-
-    candidates: Tuple[Instance, ...]
-    canonical: Instance
-
-    @property
-    def unique(self) -> Instance:
-        """The single candidate; raises when the result branched."""
-        if len(self.candidates) != 1:
-            raise ValueError(
-                f"reverse exchange produced {len(self.candidates)} candidates; "
-                "use .candidates for disjunctive recoveries"
-            )
-        return self.candidates[0]
+# Deprecated alias: the reverse exchange outcome used to be called
+# ExchangeResult here; that name now denotes the *forward* result type
+# (repro.ExchangeResult).  Old imports keep working.
+ExchangeResult = ReverseResult
 
 
-def forward_exchange(mapping: SchemaMapping, source: Instance) -> Instance:
+def _engine(engine=None):
+    if engine is not None:
+        return engine
+    from ..engine import get_default_engine
+
+    return get_default_engine()
+
+
+def forward_exchange(
+    mapping: SchemaMapping, source: Instance, engine=None
+) -> Instance:
     """Materialize the canonical universal solution ``chase_M(I)``.
 
     By Proposition 3.11 this is also an extended universal solution, even
     when the source contains nulls.
     """
-    return mapping.chase(source)
+    return _engine(engine).chase(mapping, source)
 
 
 def reverse_exchange(
@@ -67,7 +62,8 @@ def reverse_exchange(
     target: Instance,
     max_nulls: int = 8,
     take_core: bool = True,
-) -> ExchangeResult:
+    engine=None,
+) -> ReverseResult:
     """Materialize candidate source instances from a target instance.
 
     Plain-tgd reverse mappings use the standard chase (one candidate);
@@ -75,17 +71,9 @@ def reverse_exchange(
     hom-minimal antichain of candidates).  With *take_core* candidates are
     replaced by their cores — same information, smaller instances.
     """
-    if reverse_mapping.is_disjunctive() or reverse_mapping.uses_inequality():
-        candidates = tuple(
-            reverse_mapping.reverse_chase(target, max_nulls=max_nulls)
-        )
-    else:
-        candidates = (reverse_mapping.chase(target),)
-    if not candidates:
-        candidates = (Instance(),)
-    if take_core:
-        candidates = tuple(core(candidate) for candidate in candidates)
-    return ExchangeResult(candidates=candidates, canonical=candidates[0])
+    return _engine(engine).reverse(
+        reverse_mapping, target, max_nulls=max_nulls, take_core=take_core
+    )
 
 
 def round_trip(
@@ -94,13 +82,16 @@ def round_trip(
     source: Instance,
     max_nulls: int = 8,
     take_core: bool = True,
-) -> ExchangeResult:
+    engine=None,
+) -> ReverseResult:
     """Forward exchange followed by reverse exchange."""
+    eng = _engine(engine)
     return reverse_exchange(
         reverse_mapping,
-        forward_exchange(mapping, source),
+        forward_exchange(mapping, source, engine=eng),
         max_nulls=max_nulls,
         take_core=take_core,
+        engine=eng,
     )
 
 
@@ -124,6 +115,7 @@ def recovery_quality(
     reverse_mapping: SchemaMapping,
     source: Instance,
     max_nulls: int = 8,
+    engine=None,
 ) -> RecoveryQuality:
     """Measure round-trip recovery quality for one source instance.
 
@@ -132,7 +124,12 @@ def recovery_quality(
     changes, while the fold search is exponential on null-rich joins.
     """
     result = round_trip(
-        mapping, reverse_mapping, source, max_nulls=max_nulls, take_core=False
+        mapping,
+        reverse_mapping,
+        source,
+        max_nulls=max_nulls,
+        take_core=False,
+        engine=engine,
     )
     hom_equivalent = any(
         is_hom_equivalent(source, candidate) for candidate in result.candidates

@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..homs.core import core
 from ..homs.search import is_homomorphic
 from ..instance import Instance
 from ..mappings.schema_mapping import SchemaMapping
@@ -35,11 +34,18 @@ class EvolutionPipeline:
 
     Adjacent hops must agree on the middle schema (every source relation
     of hop *i+1* must exist in hop *i*'s target).
+
+    An optional :class:`~repro.engine.ExchangeEngine` backs every chase
+    and core fold; when omitted the module-level default engine is used,
+    so repeated runs (and the forward legs shared by ``run_forward``,
+    ``round_trip``, and the recovery checks) reuse intermediate results
+    instead of re-chasing each generation.
     """
 
-    def __init__(self, hops: Sequence[Hop]) -> None:
+    def __init__(self, hops: Sequence[Hop], engine=None) -> None:
         if not hops:
             raise ValueError("a pipeline needs at least one hop")
+        self._engine = engine
         self._hops: Tuple[Hop, ...] = tuple(hops)
         for left, right in zip(self._hops, self._hops[1:]):
             missing = set(right.forward.source.names) - set(
@@ -55,6 +61,15 @@ class EvolutionPipeline:
     def hops(self) -> Tuple[Hop, ...]:
         return self._hops
 
+    @property
+    def engine(self):
+        """The engine backing this pipeline's chases and core folds."""
+        if self._engine is not None:
+            return self._engine
+        from ..engine import get_default_engine
+
+        return get_default_engine()
+
     def __len__(self) -> int:
         return len(self._hops)
 
@@ -67,10 +82,11 @@ class EvolutionPipeline:
 
         Returns ``[I, chase_1(I), chase_2(chase_1(I)), ...]``.
         """
+        engine = self.engine
         generations = [source]
         current = source
         for hop in self._hops:
-            current = hop.forward.chase(current)
+            current = engine.chase(hop.forward, current)
             generations.append(current)
         return generations
 
@@ -91,6 +107,7 @@ class EvolutionPipeline:
         Returns the recovered generations, newest first; entry *k* is the
         recovered generation ``from_hop - k``.
         """
+        engine = self.engine
         end = len(self._hops) if from_hop is None else from_hop
         recovered = [target]
         current = target
@@ -104,9 +121,9 @@ class EvolutionPipeline:
                     "run_reverse supports tgd reverses; use the hop's "
                     "reverse_chase directly for disjunctive recoveries"
                 )
-            current = hop.reverse.chase(current)
+            current = engine.chase(hop.reverse, current)
             if take_core:
-                current = core(current)
+                current = engine.core(current)
             recovered.append(current)
         return recovered
 
@@ -128,7 +145,8 @@ class EvolutionPipeline:
         (loudly).  Returns the candidate generation-0 instances.
         """
         from ..homs.search import is_hom_equivalent
-        from .exchange import reverse_exchange
+
+        engine = self.engine
 
         def dedup(pool: List[Instance]) -> List[Instance]:
             kept: List[Instance] = []
@@ -145,10 +163,9 @@ class EvolutionPipeline:
                     f"hop {hop.label or '?'} has no reverse mapping catalogued"
                 )
             next_candidates: List[Instance] = []
-            for candidate in candidates:
-                result = reverse_exchange(
-                    hop.reverse, candidate, max_nulls=max_nulls, take_core=False
-                )
+            for result in engine.reverse_many(
+                hop.reverse, candidates, max_nulls=max_nulls, take_core=False
+            ):
                 next_candidates.extend(result.candidates)
             candidates = dedup(next_candidates)
             if len(candidates) > max_candidates:
