@@ -1,0 +1,185 @@
+"""SB-10 — tracing overhead guard: the disabled tracer stays ≤2%.
+
+The observability subsystem promises near-zero overhead when no tracer
+is installed: instrumentation fetches the ambient tracer once per
+operation and guards inner-loop emission with ``if tracer is None``.
+This module enforces the budget by racing the instrumented
+:func:`repro.chase.standard.chase` (with tracing off) against an
+**uninstrumented reference copy** of the seed chase loop kept below —
+the pre-observability code path, byte-for-byte in behavior.
+
+Runs two ways, like ``bench_engine.py``: under pytest-benchmark with
+the other SB modules, and as a plain script for the CI bench smoke
+(``python benchmarks/bench_tracing_overhead.py``), where it prints the
+timings and exits nonzero when the overhead exceeds the tolerance
+(``REPRO_TRACE_OVERHEAD_TOLERANCE``, default 1.02; CI hosts are noisy,
+so the script interleaves min-of-N rounds before comparing).
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script mode without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chase.standard import ChaseNonTermination, chase
+from repro.instance import InstanceBuilder
+from repro.logic.matching import match_atoms
+from repro.obs import Tracer, current_tracer, tracing
+from repro.terms import NullFactory
+from repro.workloads.generators import random_instance
+from repro.workloads.scenarios import get_scenario
+
+try:
+    from .conftest import record_metric
+except ImportError:  # script mode
+    def record_metric(benchmark, **metrics):
+        for key, value in metrics.items():
+            benchmark.extra_info[key] = value
+
+
+SIZE = 200
+ROUNDS = 7  # interleaved min-of-N rounds in script mode
+CHASES_PER_ROUND = 3
+
+
+# ----------------------------------------------------------------------
+# Uninstrumented reference: the seed chase loop, before observability.
+# Kept verbatim (minus the tracer plumbing) as the overhead baseline —
+# do not "simplify" it, the comparison is only fair while the algorithm
+# matches src/repro/chase/standard.py exactly.
+# ----------------------------------------------------------------------
+
+
+def _reference_fire(tgd, binding, builder, factory):
+    full = dict(binding)
+    for var in sorted(tgd.existential_variables):
+        full[var] = factory.fresh()
+    return builder.add_all(atom.instantiate(full) for atom in tgd.conclusion)
+
+
+def _conclusion_satisfied(tgd, binding, store):
+    seed = {v: binding[v] for v in tgd.premise_variables & tgd.conclusion_variables}
+    return next(match_atoms(tgd.conclusion, store, initial=seed), None) is not None
+
+
+def reference_chase(instance, dependencies, max_rounds=64, null_prefix="N"):
+    tgds = list(dependencies)
+    builder = InstanceBuilder(instance)
+    factory = NullFactory.avoiding(instance.active_domain, prefix=null_prefix)
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ChaseNonTermination(
+                f"chase did not terminate within {max_rounds} rounds"
+            )
+        current = builder.snapshot()
+        progressed = False
+        for tgd in tgds:
+            for binding in match_atoms(tgd.premise, current, tgd.guards):
+                if _conclusion_satisfied(tgd, binding, builder):
+                    continue
+                _reference_fire(tgd, binding, builder, factory)
+                progressed = True
+        if not progressed:
+            break
+    return builder.snapshot()
+
+
+def _workload():
+    mapping = get_scenario("path2").mapping
+    source = random_instance(
+        mapping.source, SIZE, seed=SIZE, null_ratio=0.2, value_pool=SIZE
+    )
+    return mapping, source
+
+
+def _check_equivalence(mapping, source):
+    """The reference must agree with the real chase, or the race is moot."""
+    assert current_tracer() is None, "overhead baseline needs tracing off"
+    real = chase(source, mapping.dependencies).instance
+    ref = reference_chase(source, mapping.dependencies)
+    assert ref == real, "reference chase diverged from the instrumented one"
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_chase_instrumented_disabled(benchmark):
+    """The instrumented chase with no tracer installed (the 2% side)."""
+    mapping, source = _workload()
+    result = benchmark(chase, source, mapping.dependencies)
+    record_metric(benchmark, size=SIZE, steps=result.steps)
+
+
+def test_chase_uninstrumented_reference(benchmark):
+    """The pre-observability reference loop (the baseline side)."""
+    mapping, source = _workload()
+    benchmark(reference_chase, source, mapping.dependencies)
+    record_metric(benchmark, size=SIZE)
+
+
+def test_chase_tracer_enabled(benchmark):
+    """For scale: the fully-traced chase (events + provenance)."""
+    mapping, source = _workload()
+
+    def traced():
+        return chase(source, mapping.dependencies, tracer=Tracer())
+
+    result = benchmark(traced)
+    record_metric(benchmark, size=SIZE, steps=result.steps)
+
+
+# ----------------------------------------------------------------------
+# Script mode: the CI guard
+# ----------------------------------------------------------------------
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    for _ in range(CHASES_PER_ROUND):
+        fn()
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    tolerance = float(os.environ.get("REPRO_TRACE_OVERHEAD_TOLERANCE", "1.02"))
+    mapping, source = _workload()
+    _check_equivalence(mapping, source)
+
+    instrumented = lambda: chase(source, mapping.dependencies)  # noqa: E731
+    reference = lambda: reference_chase(source, mapping.dependencies)  # noqa: E731
+
+    # Warm-up, then interleave rounds so drift hits both sides equally;
+    # min-of-N is the standard noise-robust estimator here.
+    _time_once(instrumented), _time_once(reference)
+    instr_times, ref_times = [], []
+    for _ in range(ROUNDS):
+        ref_times.append(_time_once(reference))
+        instr_times.append(_time_once(instrumented))
+    instr, ref = min(instr_times), min(ref_times)
+    ratio = instr / ref if ref else float("inf")
+
+    with tracing() as tracer:
+        traced = _time_once(instrumented)
+    events = len(tracer.events)
+
+    print(f"reference chase (uninstrumented): {ref * 1e3:9.3f} ms")
+    print(f"instrumented, tracing disabled  : {instr * 1e3:9.3f} ms  "
+          f"ratio {ratio:6.4f}")
+    print(f"instrumented, tracing enabled   : {traced * 1e3:9.3f} ms  "
+          f"({events} events)")
+    ok = ratio <= tolerance
+    print(f"acceptance: disabled/reference {ratio:.4f} <= {tolerance} -> {ok}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

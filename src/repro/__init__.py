@@ -60,6 +60,16 @@ from .mappings.extension import (
 )
 from .mappings.identity import extended_identity_contains, identity_contains
 from .mappings.composition import in_extended_composition
+from .obs import (
+    MetricsRegistry,
+    ProvenanceGraph,
+    Tracer,
+    current_tracer,
+    render_derivation,
+    set_tracer,
+    tracing,
+    write_trace_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -109,5 +119,13 @@ __all__ = [
     "extended_identity_contains",
     "identity_contains",
     "in_extended_composition",
+    "MetricsRegistry",
+    "ProvenanceGraph",
+    "Tracer",
+    "current_tracer",
+    "render_derivation",
+    "set_tracer",
+    "tracing",
+    "write_trace_jsonl",
     "__version__",
 ]

@@ -21,13 +21,21 @@ tests verify it on the paper's own mappings.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..homs.quotient import enumerate_quotients
 from ..homs.search import is_homomorphic
 from ..instance import Instance, InstanceBuilder
 from ..logic.dependencies import Dependency, DisjunctiveTgd, iter_disjunctive
 from ..logic.matching import match_atoms
+from ..obs.events import (
+    BranchClosed,
+    BranchOpened,
+    NullMinted,
+    TriggerFired,
+    freeze_binding,
+)
+from ..obs.tracer import Tracer, current_tracer, maybe_span
 from ..terms import NullFactory
 from .standard import ChaseNonTermination
 
@@ -54,6 +62,8 @@ def disjunctive_chase(
     max_rounds: int = 32,
     max_branches: int = 10_000,
     null_prefix: str = "D",
+    tracer: Optional[Tracer] = None,
+    branch_root: str = "b",
 ) -> List[Instance]:
     """Chase *instance* with disjunctive tgds; return the branch instances.
 
@@ -62,52 +72,134 @@ def disjunctive_chase(
     Branches are *full* instances (input facts plus generated facts);
     callers typically restrict to the source schema afterwards.
 
+    With a *tracer*, the branch genealogy is emitted as
+    ``BranchOpened``/``BranchClosed`` events (*branch_root* names the
+    root; children append ``.<disjunct index>``), and every disjunct
+    firing carries its branch id, so the provenance graph can replay
+    each finished branch exactly.
+
     Raises :class:`ChaseNonTermination` when a branch exceeds *max_rounds*
     rounds, and :class:`RuntimeError` when the frontier exceeds
     *max_branches* worlds.
     """
     dtgds: List[DisjunctiveTgd] = list(iter_disjunctive(dependencies))
+    if tracer is None:
+        tracer = current_tracer()
 
     finished: List[Instance] = []
-    frontier: List[Tuple[Instance, int]] = [(instance, 0)]
+    frontier: List[Tuple[Instance, int, str]] = [(instance, 0, branch_root)]
     seen: Set[Instance] = set()
+    if tracer is not None:
+        tracer.emit(BranchOpened(branch=branch_root))
 
-    while frontier:
-        if len(frontier) + len(finished) > max_branches:
-            raise RuntimeError(
-                f"disjunctive chase exceeded max_branches={max_branches}"
-            )
-        current, rounds = frontier.pop()
-        if rounds > max_rounds:
-            raise ChaseNonTermination(
-                f"disjunctive chase branch exceeded {max_rounds} rounds"
-            )
-        trigger = _find_trigger(dtgds, current)
-        if trigger is None:
-            if current not in seen:
-                seen.add(current)
-                finished.append(current)
-            continue
-        dtgd, binding = trigger
-        factory = NullFactory.avoiding(current.active_domain, prefix=null_prefix)
-        for disjunct_index, disjunct in enumerate(dtgd.disjuncts):
-            full = dict(binding)
-            for var in sorted(dtgd.existential_variables(disjunct_index)):
-                full[var] = factory.fresh()
-            builder = InstanceBuilder(current)
-            builder.add_all(atom.instantiate(full) for atom in disjunct)
-            child = builder.snapshot()
-            if child not in seen:
-                frontier.append((child, rounds + 1))
+    with maybe_span(tracer, "disjunctive_chase", input_facts=len(instance)):
+        while frontier:
+            if len(frontier) + len(finished) > max_branches:
+                raise RuntimeError(
+                    f"disjunctive chase exceeded max_branches={max_branches}"
+                )
+            current, rounds, branch = frontier.pop()
+            if rounds > max_rounds:
+                if tracer is not None:
+                    tracer.emit(
+                        BranchClosed(
+                            branch=branch, reason="nonterminating", facts=len(current)
+                        )
+                    )
+                    tracer.metrics.inc("chase.nontermination")
+                raise ChaseNonTermination(
+                    f"disjunctive chase branch exceeded {max_rounds} rounds"
+                )
+            trigger = _find_trigger(dtgds, current)
+            if trigger is None:
+                if current not in seen:
+                    seen.add(current)
+                    finished.append(current)
+                    if tracer is not None:
+                        tracer.emit(
+                            BranchClosed(
+                                branch=branch, reason="finished", facts=len(current)
+                            )
+                        )
+                elif tracer is not None:
+                    tracer.emit(
+                        BranchClosed(
+                            branch=branch, reason="duplicate", facts=len(current)
+                        )
+                    )
+                continue
+            dtgd_index, dtgd, binding = trigger
+            factory = NullFactory.avoiding(current.active_domain, prefix=null_prefix)
+            for disjunct_index, disjunct in enumerate(dtgd.disjuncts):
+                full = dict(binding)
+                minted = []
+                for var in sorted(dtgd.existential_variables(disjunct_index)):
+                    fresh = factory.fresh()
+                    full[var] = fresh
+                    minted.append((var.name, fresh))
+                builder = InstanceBuilder(current)
+                child_branch = f"{branch}.{disjunct_index}"
+                if tracer is None:
+                    builder.add_all(atom.instantiate(full) for atom in disjunct)
+                else:
+                    added = []
+                    for atom in disjunct:
+                        f = atom.instantiate(full)
+                        if builder.add(f):
+                            added.append(f)
+                    tgd_text = str(dtgd)
+                    tracer.emit(
+                        BranchOpened(
+                            branch=child_branch,
+                            parent=branch,
+                            disjunct_index=disjunct_index,
+                            round=rounds + 1,
+                        )
+                    )
+                    for var_name, fresh in minted:
+                        tracer.emit(
+                            NullMinted(
+                                null=fresh,
+                                var=var_name,
+                                tgd=tgd_text,
+                                tgd_index=dtgd_index,
+                                round=rounds + 1,
+                                branch=child_branch,
+                            )
+                        )
+                    tracer.emit(
+                        TriggerFired(
+                            tgd=tgd_text,
+                            tgd_index=dtgd_index,
+                            round=rounds + 1,
+                            binding=freeze_binding(binding),
+                            added=tuple(added),
+                            premises=tuple(
+                                a.instantiate(binding) for a in dtgd.premise
+                            ),
+                            minted=tuple(minted),
+                            branch=child_branch,
+                            disjunct_index=disjunct_index,
+                        )
+                    )
+                child = builder.snapshot()
+                if child not in seen:
+                    frontier.append((child, rounds + 1, child_branch))
+                elif tracer is not None:
+                    tracer.emit(
+                        BranchClosed(
+                            branch=child_branch, reason="duplicate", facts=len(child)
+                        )
+                    )
     return finished
 
 
 def _find_trigger(dtgds: List[DisjunctiveTgd], instance: Instance):
     """Find one unsatisfied trigger, deterministically (first in order)."""
-    for dtgd in dtgds:
+    for dtgd_index, dtgd in enumerate(dtgds):
         for binding in match_atoms(dtgd.premise, instance, dtgd.guards):
             if not _trigger_satisfied(dtgd, binding, instance):
-                return dtgd, binding
+                return dtgd_index, dtgd, binding
     return None
 
 
@@ -140,6 +232,7 @@ def reverse_disjunctive_chase(
     max_rounds: int = 32,
     max_branches: int = 10_000,
     minimize: bool = True,
+    tracer: Optional[Tracer] = None,
 ) -> List[Instance]:
     """Reverse data exchange: chase a target instance back to source worlds.
 
@@ -148,16 +241,25 @@ def reverse_disjunctive_chase(
     *result_relations* is given, each branch is restricted to those
     relations (the source schema); otherwise branches keep all facts.
 
+    With a *tracer*, each quotient world becomes a branch-genealogy root
+    named ``q<index>`` and the per-world chases trace under it.
+
     Returns a hom-minimal antichain of branch instances unless
     ``minimize=False`` (the raw set is exponentially redundant).
     """
+    if tracer is None:
+        tracer = current_tracer()
     collected: List[Instance] = []
-    for quotient in enumerate_quotients(target_instance, max_nulls=max_nulls):
+    for quotient_index, quotient in enumerate(
+        enumerate_quotients(target_instance, max_nulls=max_nulls)
+    ):
         for branch in disjunctive_chase(
             quotient.instance,
             dependencies,
             max_rounds=max_rounds,
             max_branches=max_branches,
+            tracer=tracer,
+            branch_root=f"q{quotient_index}",
         ):
             if result_relations is not None:
                 branch = branch.restrict(result_relations)

@@ -26,12 +26,14 @@ non-termination into :class:`ChaseNonTermination`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..instance import Instance, InstanceBuilder
 from ..logic.atoms import Atom
 from ..logic.dependencies import Dependency, Tgd
 from ..logic.matching import match_atoms
+from ..obs.events import NullMinted, TriggerFired, freeze_binding
+from ..obs.tracer import Tracer, current_tracer, maybe_span
 from ..terms import NullFactory, Value, Var
 
 
@@ -79,12 +81,49 @@ def _fire(
     binding: Dict[Var, Value],
     builder: InstanceBuilder,
     factory: NullFactory,
+    tracer: Optional[Tracer] = None,
+    tgd_index: int = -1,
+    round_number: int = 0,
 ) -> int:
     """Add the conclusion facts for one trigger; return how many were new."""
     full = dict(binding)
+    if tracer is None:
+        for var in sorted(tgd.existential_variables):
+            full[var] = factory.fresh()
+        return builder.add_all(atom.instantiate(full) for atom in tgd.conclusion)
+    minted = []
     for var in sorted(tgd.existential_variables):
-        full[var] = factory.fresh()
-    return builder.add_all(atom.instantiate(full) for atom in tgd.conclusion)
+        fresh = factory.fresh()
+        full[var] = fresh
+        minted.append((var.name, fresh))
+    added = []
+    for atom in tgd.conclusion:
+        f = atom.instantiate(full)
+        if builder.add(f):
+            added.append(f)
+    tgd_text = str(tgd)
+    for var_name, fresh in minted:
+        tracer.emit(
+            NullMinted(
+                null=fresh,
+                var=var_name,
+                tgd=tgd_text,
+                tgd_index=tgd_index,
+                round=round_number,
+            )
+        )
+    tracer.emit(
+        TriggerFired(
+            tgd=tgd_text,
+            tgd_index=tgd_index,
+            round=round_number,
+            binding=freeze_binding(binding),
+            added=tuple(added),
+            premises=tuple(a.instantiate(binding) for a in tgd.premise),
+            minted=tuple(minted),
+        )
+    )
+    return len(added)
 
 
 def chase(
@@ -93,12 +132,19 @@ def chase(
     variant: str = "restricted",
     max_rounds: int = 64,
     null_prefix: str = "N",
+    tracer: Optional[Tracer] = None,
 ) -> ChaseResult:
     """Chase *instance* with plain tgds; returns the full chased instance.
 
     Dependencies must be plain or guarded :class:`Tgd`s (disjunctive tgds
     need :func:`repro.chase.disjunctive.disjunctive_chase`).  Guards on
     premises are honored during matching.
+
+    With a *tracer* (explicit, or the ambient one from
+    :func:`repro.obs.tracing`) every trigger firing and minted null is
+    emitted as a typed event and recorded in the tracer's provenance
+    graph; tracing never changes the chase result.  On non-termination
+    the events emitted so far stay on the tracer (a partial trace).
 
     Raises :class:`ChaseNonTermination` after *max_rounds* fixpoint rounds;
     for source-to-target tgds one round always suffices.
@@ -113,6 +159,8 @@ def chase(
         tgds.append(dep)
     if variant not in ("restricted", "oblivious"):
         raise ValueError(f"unknown chase variant {variant!r}")
+    if tracer is None:
+        tracer = current_tracer()
 
     builder = InstanceBuilder(instance)
     factory = NullFactory.avoiding(instance.active_domain, prefix=null_prefix)
@@ -120,35 +168,38 @@ def chase(
     steps = 0
     rounds = 0
 
-    while True:
-        rounds += 1
-        if rounds > max_rounds:
-            raise ChaseNonTermination(
-                f"chase did not terminate within {max_rounds} rounds"
-            )
-        current = builder.snapshot()
-        progressed = False
-        for tgd_index, tgd in enumerate(tgds):
-            for binding in match_atoms(tgd.premise, current, tgd.guards):
-                if variant == "oblivious":
-                    key = (tgd_index, tuple(sorted(binding.items())))
-                    if key in fired:
-                        continue
-                    fired.add(key)
-                    _fire(tgd, binding, builder, factory)
-                    steps += 1
-                    progressed = True
-                else:
-                    # Restricted: check satisfaction against the *live*
-                    # builder state so one round does not add duplicate
-                    # witnesses for overlapping triggers.
-                    if _conclusion_satisfied(tgd, binding, builder):
-                        continue
-                    _fire(tgd, binding, builder, factory)
-                    steps += 1
-                    progressed = True
-        if not progressed:
-            break
+    with maybe_span(tracer, "chase", variant=variant, input_facts=len(instance)):
+        while True:
+            rounds += 1
+            if rounds > max_rounds:
+                if tracer is not None:
+                    tracer.metrics.inc("chase.nontermination")
+                raise ChaseNonTermination(
+                    f"chase did not terminate within {max_rounds} rounds"
+                )
+            current = builder.snapshot()
+            progressed = False
+            for tgd_index, tgd in enumerate(tgds):
+                for binding in match_atoms(tgd.premise, current, tgd.guards):
+                    if variant == "oblivious":
+                        key = (tgd_index, tuple(sorted(binding.items())))
+                        if key in fired:
+                            continue
+                        fired.add(key)
+                        _fire(tgd, binding, builder, factory, tracer, tgd_index, rounds)
+                        steps += 1
+                        progressed = True
+                    else:
+                        # Restricted: check satisfaction against the *live*
+                        # builder state so one round does not add duplicate
+                        # witnesses for overlapping triggers.
+                        if _conclusion_satisfied(tgd, binding, builder):
+                            continue
+                        _fire(tgd, binding, builder, factory, tracer, tgd_index, rounds)
+                        steps += 1
+                        progressed = True
+            if not progressed:
+                break
 
     final = builder.snapshot()
     return ChaseResult(

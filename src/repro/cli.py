@@ -14,10 +14,17 @@ string (semicolon-separated).  Instances use the token convention
 (lowercase/number = constant, Uppercase = null).
 
 The engine-backed commands (``chase``, ``reverse``, ``audit``,
-``answer``) share three flags: ``--jobs N`` fans batches out over N
+``answer``) share four flags: ``--jobs N`` fans batches out over N
 workers (``--instance`` is repeatable — each occurrence is one batch
-item), ``--no-cache`` disables the content-addressed caches, and
-``--stats`` prints the engine's hit/miss/wall-time table to stderr.
+item), ``--no-cache`` disables the content-addressed caches,
+``--stats`` prints the engine's hit/miss/wall-time table to stderr,
+and ``--trace out.jsonl`` records the run under a tracer and writes
+the event/span log as JSONL (flushed even when the chase aborts with
+non-termination — exit code 3 — so the partial trace is inspectable).
+
+``repro explain`` chases an instance under a provenance-recording
+tracer and prints the derivation tree of each requested fact (or of
+every generated fact when ``--fact`` is omitted).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import os
 import sys
 from typing import List, Optional
 
+from .chase.standard import ChaseNonTermination
 from .engine import ExchangeEngine
 from .instance import Instance
 from .inverses.quasi_inverse import (
@@ -34,6 +42,7 @@ from .inverses.quasi_inverse import (
     maximum_extended_recovery_for_full_tgds,
 )
 from .mappings.schema_mapping import SchemaMapping
+from .obs import Tracer, render_derivation, write_trace_jsonl
 from .parsing.parser import parse_query
 
 
@@ -47,16 +56,30 @@ def _load_mapping(spec: str) -> SchemaMapping:
 
 
 def _make_engine(args: argparse.Namespace) -> ExchangeEngine:
+    tracer = Tracer() if getattr(args, "trace", None) else None
     return ExchangeEngine(
         enable_cache=not getattr(args, "no_cache", False),
         jobs=getattr(args, "jobs", None),
+        tracer=tracer,
     )
 
 
 def _finish(engine: ExchangeEngine, args: argparse.Namespace, code: int) -> int:
+    trace_path = getattr(args, "trace", None)
+    if trace_path and engine.tracer is not None:
+        count = write_trace_jsonl(engine.tracer, trace_path)
+        print(f"trace: {count} lines -> {trace_path}", file=sys.stderr)
     if getattr(args, "stats", False):
         print(engine.render_stats(), file=sys.stderr)
     return code
+
+
+def _nonterminating(
+    engine: ExchangeEngine, args: argparse.Namespace, exc: ChaseNonTermination
+) -> int:
+    """Report a diverging chase; the partial trace still flushes."""
+    print(f"error: chase did not terminate: {exc}", file=sys.stderr)
+    return _finish(engine, args, 3)
 
 
 def _parse_instances(args: argparse.Namespace) -> List[Instance]:
@@ -67,14 +90,17 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
     sources = _parse_instances(args)
-    if len(sources) == 1:
-        print(engine.chase(mapping, sources[0], variant=args.variant))
-    else:
-        results = engine.chase_many(
-            mapping, sources, jobs=args.jobs, variant=args.variant
-        )
-        for index, result in enumerate(results):
-            print(f"[{index}] {result.instance}")
+    try:
+        if len(sources) == 1:
+            print(engine.chase(mapping, sources[0], variant=args.variant))
+        else:
+            results = engine.chase_many(
+                mapping, sources, jobs=args.jobs, variant=args.variant
+            )
+            for index, result in enumerate(results):
+                print(f"[{index}] {result.instance}")
+    except ChaseNonTermination as exc:
+        return _nonterminating(engine, args, exc)
     return _finish(engine, args, 0)
 
 
@@ -90,21 +116,24 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
     targets = _parse_instances(args)
-    if len(targets) == 1:
-        result = engine.reverse(
-            mapping, targets[0], max_nulls=args.max_nulls, take_core=True
-        )
-        _print_candidates(result)
-    else:
-        results = engine.reverse_many(
-            mapping,
-            targets,
-            jobs=args.jobs,
-            max_nulls=args.max_nulls,
-            take_core=True,
-        )
-        for index, result in enumerate(results):
-            _print_candidates(result, prefix=f"[{index}] ")
+    try:
+        if len(targets) == 1:
+            result = engine.reverse(
+                mapping, targets[0], max_nulls=args.max_nulls, take_core=True
+            )
+            _print_candidates(result)
+        else:
+            results = engine.reverse_many(
+                mapping,
+                targets,
+                jobs=args.jobs,
+                max_nulls=args.max_nulls,
+                take_core=True,
+            )
+            for index, result in enumerate(results):
+                _print_candidates(result, prefix=f"[{index}] ")
+    except ChaseNonTermination as exc:
+        return _nonterminating(engine, args, exc)
     return _finish(engine, args, 0)
 
 
@@ -156,6 +185,41 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     return _finish(engine, args, 0)
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    engine = ExchangeEngine(
+        enable_cache=not getattr(args, "no_cache", False),
+        tracer=Tracer(),
+    )
+    mapping = _load_mapping(args.mapping)
+    source = Instance.parse(args.instance)
+    try:
+        result = engine.exchange(mapping, source, variant=args.variant)
+    except ChaseNonTermination as exc:
+        return _nonterminating(engine, args, exc)
+    graph = engine.tracer.provenance
+    if args.fact:
+        facts = [
+            f
+            for text in args.fact
+            for f in sorted(Instance.parse(text).facts, key=lambda f: f.sort_key())
+        ]
+    else:
+        facts = sorted(result.generated, key=lambda f: f.sort_key())
+    if not facts:
+        print("-- no generated facts: the instance already satisfies the mapping --")
+        return _finish(engine, args, 0)
+    code = 0
+    for index, f in enumerate(facts):
+        if index:
+            print()
+        try:
+            print(render_derivation(graph, f, source=source))
+        except KeyError:
+            print(f"error: no derivation recorded for {f}", file=sys.stderr)
+            code = 2
+    return _finish(engine, args, code)
+
+
 def _cmd_compose(args: argparse.Namespace) -> int:
     from .mappings.syntactic_composition import NotComposable, compose
 
@@ -197,6 +261,10 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flags.add_argument(
         "--stats", action="store_true",
         help="print engine cache/time stats to stderr")
+    engine_flags.add_argument(
+        "--trace", metavar="PATH",
+        help="record the run under a tracer and write JSONL to PATH "
+             "(flushed even on non-termination)")
 
     chase = sub.add_parser("chase", parents=[engine_flags],
                            help="forward data exchange (the chase)")
@@ -238,6 +306,20 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--query", required=True)
     answer.add_argument("--max-nulls", type=int, default=8)
     answer.set_defaults(func=_cmd_answer)
+
+    explain = sub.add_parser(
+        "explain", parents=[engine_flags],
+        help="why-provenance: print the derivation tree of chased facts"
+    )
+    explain.add_argument("--mapping", required=True)
+    explain.add_argument("--instance", required=True,
+                         help="source instance to chase")
+    explain.add_argument("--fact", action="append",
+                         help="fact to explain, e.g. \"Q(a, N1)\"; repeatable; "
+                              "every generated fact when omitted")
+    explain.add_argument("--variant", choices=["restricted", "oblivious"],
+                         default="restricted")
+    explain.set_defaults(func=_cmd_explain)
 
     compose_cmd = sub.add_parser(
         "compose", help="syntactically compose two tgd mappings"

@@ -37,8 +37,17 @@ from ..chase.disjunctive import reverse_disjunctive_chase
 from ..chase.standard import ChaseResult, chase
 from ..instance import Instance
 from ..mappings.schema_mapping import SchemaMapping
+from ..obs.events import CacheHit, CacheMiss
+from ..obs.tracer import Tracer, current_tracer, maybe_span
 from .cache import LRUCache
-from .parallel import chase_task, make_executor, reverse_task, run_batch
+from .parallel import (
+    chase_task,
+    chase_task_traced,
+    make_executor,
+    reverse_task,
+    reverse_task_traced,
+    run_batch,
+)
 from .results import (
     AuditReport,
     CacheProvenance,
@@ -76,6 +85,13 @@ class ExchangeEngine:
     process_threshold:
         Batches whose largest instance has at least this many facts use
         a process pool; smaller batches use threads or the serial loop.
+    tracer:
+        An :class:`repro.obs.Tracer` to receive cache hit/miss events,
+        spans, and chase provenance.  When ``None`` (the default) the
+        ambient tracer (:func:`repro.obs.current_tracer`) is consulted
+        per call, so ``with tracing(): engine.chase(...)`` also works.
+        Batch operations run each worker under a private tracer and
+        merge the per-worker traces on join.
     """
 
     def __init__(
@@ -84,6 +100,7 @@ class ExchangeEngine:
         enable_cache: bool = True,
         jobs: Optional[int] = None,
         process_threshold: int = 200,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         size = cache_size if enable_cache else 0
         self._caches: Dict[str, LRUCache] = {op: LRUCache(size) for op in _OPS}
@@ -91,7 +108,24 @@ class ExchangeEngine:
         self._ops_lock = Lock()
         self.jobs = jobs
         self.process_threshold = process_threshold
+        self.tracer = tracer
         self._clock = time.perf_counter
+
+    def _tracer(self) -> Optional[Tracer]:
+        """The effective tracer for this call (own, else ambient)."""
+        if self.tracer is not None:
+            return self.tracer if self.tracer.enabled else None
+        return current_tracer()
+
+    @staticmethod
+    def _cache_event(
+        tracer: Optional[Tracer], op: str, key: tuple, hit: bool
+    ) -> None:
+        if tracer is not None:
+            key_id = ExchangeEngine._key_id(key)
+            tracer.emit(
+                CacheHit(op=op, key=key_id) if hit else CacheMiss(op=op, key=key_id)
+            )
 
     # ------------------------------------------------------------------
     # Accounting
@@ -131,11 +165,16 @@ class ExchangeEngine:
     ) -> ExchangeResult:
         """``chase_M(I)`` as a normalized :class:`ExchangeResult`."""
         key = ("chase", mapping.digest(), source.digest(), variant)
+        tracer = self._tracer()
         hit, entry = self._caches["chase"].get(key)
+        self._cache_event(tracer, "chase", key, hit)
         elapsed = 0.0
         if not hit:
             start = self._clock()
-            result = chase(source, mapping.dependencies, variant=variant)
+            with maybe_span(tracer, "engine.chase", key=self._key_id(key)):
+                result = chase(
+                    source, mapping.dependencies, variant=variant, tracer=tracer
+                )
             restricted = result.restricted_to(mapping.target.names)
             elapsed = self._clock() - start
             entry = (result, restricted)
@@ -183,6 +222,7 @@ class ExchangeEngine:
         """
         instances = list(instances)
         workers = jobs if jobs is not None else (self.jobs or 1)
+        tracer = self._tracer()
         mapping_digest = mapping.digest()
         keys = [
             ("chase", mapping_digest, inst.digest(), variant) for inst in instances
@@ -193,6 +233,7 @@ class ExchangeEngine:
             if key in resolved or key in pending:
                 continue
             hit, entry = self._caches["chase"].get(key)
+            self._cache_event(tracer, "chase", key, hit)
             if hit:
                 resolved[key] = (entry, True)
                 self._record("chase", calls=1)
@@ -207,9 +248,23 @@ class ExchangeEngine:
                 self.process_threshold,
             )
             start = self._clock()
-            results = run_batch(
-                [(mapping, inst, variant) for _, inst in todo], chase_task, executor
-            )
+            with maybe_span(tracer, "engine.chase_many", items=len(todo)):
+                if tracer is not None:
+                    traced = run_batch(
+                        [(mapping, inst, variant) for _, inst in todo],
+                        chase_task_traced,
+                        executor,
+                    )
+                    results = []
+                    for result, state in traced:
+                        tracer.absorb(state)
+                        results.append(result)
+                else:
+                    results = run_batch(
+                        [(mapping, inst, variant) for _, inst in todo],
+                        chase_task,
+                        executor,
+                    )
             elapsed = self._clock() - start
             for (key, _), result in zip(todo, results):
                 restricted = result.restricted_to(mapping.target.names)
@@ -255,19 +310,23 @@ class ExchangeEngine:
             minimize,
             max_branches,
         )
+        tracer = self._tracer()
         hit, candidates = self._caches["reverse"].get(key)
+        self._cache_event(tracer, "reverse", key, hit)
         if not hit:
             start = self._clock()
-            candidates = tuple(
-                reverse_disjunctive_chase(
-                    target,
-                    mapping.dependencies,
-                    result_relations=mapping.target.names,
-                    max_nulls=max_nulls,
-                    minimize=minimize,
-                    max_branches=max_branches,
+            with maybe_span(tracer, "engine.reverse", key=self._key_id(key)):
+                candidates = tuple(
+                    reverse_disjunctive_chase(
+                        target,
+                        mapping.dependencies,
+                        result_relations=mapping.target.names,
+                        max_nulls=max_nulls,
+                        minimize=minimize,
+                        max_branches=max_branches,
+                        tracer=tracer,
+                    )
                 )
-            )
             elapsed = self._clock() - start
             self._caches["reverse"].put(key, candidates)
             self._record(
@@ -349,6 +408,7 @@ class ExchangeEngine:
         """
         targets = list(targets)
         workers = jobs if jobs is not None else (self.jobs or 1)
+        tracer = self._tracer()
         disjunctive = (
             reverse_mapping.is_disjunctive() or reverse_mapping.uses_inequality()
         )
@@ -381,6 +441,7 @@ class ExchangeEngine:
             if key in resolved or key in pending:
                 continue
             hit, candidates = self._caches["reverse"].get(key)
+            self._cache_event(tracer, "reverse", key, hit)
             if hit:
                 resolved[key] = (candidates, True)
                 self._record("reverse", calls=1)
@@ -395,14 +456,19 @@ class ExchangeEngine:
                 self.process_threshold,
             )
             start = self._clock()
-            branch_sets = run_batch(
-                [
-                    (reverse_mapping, t, max_nulls, minimize, max_branches)
-                    for _, t in todo
-                ],
-                reverse_task,
-                executor,
-            )
+            payloads = [
+                (reverse_mapping, t, max_nulls, minimize, max_branches)
+                for _, t in todo
+            ]
+            with maybe_span(tracer, "engine.reverse_many", items=len(todo)):
+                if tracer is not None:
+                    traced = run_batch(payloads, reverse_task_traced, executor)
+                    branch_sets = []
+                    for branches, state in traced:
+                        tracer.absorb(state)
+                        branch_sets.append(branches)
+                else:
+                    branch_sets = run_batch(payloads, reverse_task, executor)
             elapsed = self._clock() - start
             for (key, _), branches in zip(todo, branch_sets):
                 candidates = tuple(branches)
@@ -434,12 +500,15 @@ class ExchangeEngine:
     def is_homomorphic(self, left: Instance, right: Instance) -> bool:
         """Cached homomorphism-existence verdict ``left → right``."""
         key = (left.digest(), right.digest())
+        tracer = self._tracer()
         hit, verdict = self._caches["hom"].get(key)
+        self._cache_event(tracer, "hom", key, hit)
         if not hit:
             from ..homs.search import is_homomorphic
 
             start = self._clock()
-            verdict = is_homomorphic(left, right)
+            with maybe_span(tracer, "engine.hom"):
+                verdict = is_homomorphic(left, right)
             self._caches["hom"].put(key, verdict)
             self._record("hom", wall_time=self._clock() - start)
         else:
@@ -453,12 +522,15 @@ class ExchangeEngine:
     def core(self, instance: Instance) -> Instance:
         """The cached core of *instance*."""
         key = (instance.digest(),)
+        tracer = self._tracer()
         hit, folded = self._caches["core"].get(key)
+        self._cache_event(tracer, "core", key, hit)
         if not hit:
             from ..homs.core import core
 
             start = self._clock()
-            folded = core(instance)
+            with maybe_span(tracer, "engine.core"):
+                folded = core(instance)
             self._caches["core"].put(key, folded)
             self._record("core", wall_time=self._clock() - start)
         else:
@@ -480,7 +552,9 @@ class ExchangeEngine:
             mapping.digest(),
             reverse.digest() if reverse is not None else "",
         )
+        tracer = self._tracer()
         hit, entry = self._caches["audit"].get(key)
+        self._cache_event(tracer, "audit", key, hit)
         if not hit:
             from ..inverses.extended_inverse import (
                 is_chase_inverse,
@@ -489,11 +563,14 @@ class ExchangeEngine:
             from ..inverses.ground import is_invertible
 
             start = self._clock()
-            entry = (
-                is_invertible(mapping),
-                is_extended_invertible(mapping),
-                is_chase_inverse(mapping, reverse) if reverse is not None else None,
-            )
+            with maybe_span(tracer, "engine.audit"):
+                entry = (
+                    is_invertible(mapping),
+                    is_extended_invertible(mapping),
+                    is_chase_inverse(mapping, reverse)
+                    if reverse is not None
+                    else None,
+                )
             self._caches["audit"].put(key, entry)
             self._record("audit", wall_time=self._clock() - start)
         else:
@@ -529,16 +606,19 @@ class ExchangeEngine:
             source.digest(),
             max_nulls,
         )
+        tracer = self._tracer()
         hit, answers = self._caches["answer"].get(key)
+        self._cache_event(tracer, "answer", key, hit)
         if not hit:
             from ..logic.queries import certain_answers_over_set
 
             start = self._clock()
-            target = self.chase(mapping, source)
-            branches = self.reverse(
-                recovery, target, max_nulls=max_nulls
-            ).candidates
-            answers = certain_answers_over_set(query, branches)
+            with maybe_span(tracer, "engine.answer"):
+                target = self.chase(mapping, source)
+                branches = self.reverse(
+                    recovery, target, max_nulls=max_nulls
+                ).candidates
+                answers = certain_answers_over_set(query, branches)
             self._caches["answer"].put(key, answers)
             self._record("answer", wall_time=self._clock() - start)
         else:
@@ -552,7 +632,11 @@ class ExchangeEngine:
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Per-operation counters: cache hits/misses/evictions, live
         entries, compute wall time, and chase work (steps, rounds,
-        branches), plus a ``totals`` roll-up."""
+        branches), plus a ``totals`` roll-up.
+
+        When a tracer is attached (or ambient), its metrics registry is
+        merged in under the ``"tracer"`` key — event counts by kind and
+        span duration histograms alongside the cache counters."""
         report: Dict[str, Dict[str, float]] = {}
         totals = {
             "calls": 0,
@@ -560,6 +644,9 @@ class ExchangeEngine:
             "misses": 0,
             "evictions": 0,
             "wall_time": 0.0,
+            "steps": 0,
+            "rounds": 0,
+            "branches": 0,
         }
         for op in _OPS:
             cache = self._caches[op]
@@ -579,31 +666,69 @@ class ExchangeEngine:
             totals["misses"] += cache.stats.misses
             totals["evictions"] += cache.stats.evictions
             totals["wall_time"] = round(totals["wall_time"] + counters.wall_time, 6)
+            totals["steps"] += counters.steps
+            totals["rounds"] += counters.rounds
+            totals["branches"] += counters.branches
         report["totals"] = totals
+        tracer = self._tracer()
+        if tracer is not None:
+            report["tracer"] = tracer.metrics.as_dict()
         return report
 
+    @staticmethod
+    def _hit_rate(hits: float, calls: float) -> str:
+        """Hit percentage as text; ``-`` for ops never called (no 0/0)."""
+        if calls <= 0:
+            return "-"
+        return f"{100.0 * hits / calls:.0f}%"
+
+    @staticmethod
+    def _ms_per_call(wall_time: float, misses: float) -> str:
+        """Mean compute ms per miss; ``-`` when nothing was computed."""
+        if misses <= 0:
+            return "-"
+        return f"{1000.0 * wall_time / misses:.2f}"
+
     def render_stats(self) -> str:
-        """The stats table as printable text (the CLI's ``--stats``)."""
+        """The stats table as printable text (the CLI's ``--stats``).
+
+        Derived columns (hit rate, mean compute ms per miss) render as
+        ``-`` for operations with zero recorded calls rather than
+        dividing by zero, and the totals row carries every column so
+        the table stays aligned whatever subset of ops actually ran.
+        """
         report = self.stats()
         lines = ["engine stats:"]
         header = (
-            f"  {'op':<8} {'calls':>6} {'hits':>6} {'misses':>7} "
-            f"{'evict':>6} {'entries':>8} {'wall(s)':>10} {'steps':>7} {'branches':>9}"
+            f"  {'op':<8} {'calls':>6} {'hits':>6} {'misses':>7} {'hit%':>6} "
+            f"{'evict':>6} {'entries':>8} {'wall(s)':>10} {'ms/call':>8} "
+            f"{'steps':>7} {'branches':>9}"
         )
         lines.append(header)
-        for op in _OPS:
+        for op in (*_OPS, "totals"):
             row = report[op]
+            label = "total" if op == "totals" else op
+            entries = "" if op == "totals" else f"{row['entries']:>8}"
             lines.append(
-                f"  {op:<8} {row['calls']:>6} {row['hits']:>6} {row['misses']:>7} "
-                f"{row['evictions']:>6} {row['entries']:>8} {row['wall_time']:>10.4f} "
+                f"  {label:<8} {row['calls']:>6} {row['hits']:>6} "
+                f"{row['misses']:>7} "
+                f"{self._hit_rate(row['hits'], row['calls']):>6} "
+                f"{row['evictions']:>6} {entries:>8} {row['wall_time']:>10.4f} "
+                f"{self._ms_per_call(row['wall_time'], row['misses']):>8} "
                 f"{row['steps']:>7} {row['branches']:>9}"
             )
-        totals = report["totals"]
-        lines.append(
-            f"  {'total':<8} {totals['calls']:>6} {totals['hits']:>6} "
-            f"{totals['misses']:>7} {totals['evictions']:>6} {'':>8} "
-            f"{totals['wall_time']:>10.4f}"
-        )
+        tracer_metrics = report.get("tracer")
+        if tracer_metrics and (
+            tracer_metrics["counters"] or tracer_metrics["histograms"]
+        ):
+            lines.append("  tracer:")
+            for name, value in tracer_metrics["counters"].items():
+                lines.append(f"    {name:<30} {value}")
+            for name, hist in tracer_metrics["histograms"].items():
+                lines.append(
+                    f"    {name:<30} n={hist['count']} "
+                    f"mean={hist['mean'] * 1000:.3f}ms"
+                )
         return "\n".join(lines)
 
     def clear(self) -> None:

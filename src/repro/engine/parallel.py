@@ -24,12 +24,29 @@ from ..chase.disjunctive import reverse_disjunctive_chase
 from ..chase.standard import ChaseResult, chase
 from ..instance import Instance
 from ..mappings.schema_mapping import SchemaMapping
+from ..obs.tracer import Tracer, TraceState
 
 
 def chase_task(payload: Tuple[SchemaMapping, Instance, str]) -> ChaseResult:
     """Chase one instance (runs inside a worker; must stay picklable)."""
     mapping, instance, variant = payload
     return chase(instance, mapping.dependencies, variant=variant)
+
+
+def chase_task_traced(
+    payload: Tuple[SchemaMapping, Instance, str]
+) -> Tuple[ChaseResult, TraceState]:
+    """Chase one instance under a private tracer; ship the trace back.
+
+    Worker processes cannot share the parent's tracer, so each traced
+    task records into a fresh local tracer and returns its picklable
+    :class:`TraceState`; the engine absorbs the states on join.  The
+    same shape runs in thread-pool and serial batches for uniformity.
+    """
+    mapping, instance, variant = payload
+    local = Tracer()
+    result = chase(instance, mapping.dependencies, variant=variant, tracer=local)
+    return result, local.export_state()
 
 
 def reverse_task(
@@ -48,6 +65,29 @@ def reverse_task(
         )
     result = chase(target, mapping.dependencies)
     return [result.restricted_to(mapping.target.names)]
+
+
+def reverse_task_traced(
+    payload: Tuple[SchemaMapping, Instance, int, bool, int]
+) -> Tuple[List[Instance], TraceState]:
+    """Traced counterpart of :func:`reverse_task` (see
+    :func:`chase_task_traced` for the per-worker tracer protocol)."""
+    mapping, target, max_nulls, minimize, max_branches = payload
+    local = Tracer()
+    if mapping.is_disjunctive() or mapping.uses_inequality():
+        branches = reverse_disjunctive_chase(
+            target,
+            mapping.dependencies,
+            result_relations=mapping.target.names,
+            max_nulls=max_nulls,
+            minimize=minimize,
+            max_branches=max_branches,
+            tracer=local,
+        )
+    else:
+        result = chase(target, mapping.dependencies, tracer=local)
+        branches = [result.restricted_to(mapping.target.names)]
+    return branches, local.export_state()
 
 
 def make_executor(

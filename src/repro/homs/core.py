@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..instance import Instance
+from ..obs.tracer import current_tracer, maybe_span
 from ..terms import Null, Value
 from .search import find_homomorphism
 
@@ -30,14 +31,19 @@ def core(instance: Instance) -> Instance:
     Ground instances are their own cores.  The result is a subinstance of
     the input (we retract rather than rename).
     """
+    tracer = current_tracer()
     current = instance
-    while True:
-        if current.is_ground():
-            return current
-        shrunk = _shrink_once(current)
-        if shrunk is None:
-            return current
-        current = shrunk
+    with maybe_span(tracer, "core", input_facts=len(instance)):
+        while True:
+            if current.is_ground():
+                break
+            shrunk = _shrink_once(current)
+            if shrunk is None:
+                break
+            if tracer is not None:
+                tracer.metrics.inc("core.folds")
+            current = shrunk
+    return current
 
 
 def _shrink_once(instance: Instance) -> Instance | None:

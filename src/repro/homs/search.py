@@ -16,6 +16,8 @@ from __future__ import annotations
 from typing import Dict, Iterator, Mapping, Optional
 
 from ..instance import Fact, Instance
+from ..obs.events import HomBacktrack
+from ..obs.tracer import current_tracer
 from ..terms import Const, Null, Value
 
 
@@ -71,6 +73,9 @@ def homomorphisms(
     else:
         raise ValueError(f"unknown ordering {ordering!r}")
     assignment: Dict[Null, Value] = dict(seed) if seed else {}
+    tracer = current_tracer()
+    tracing = tracer is not None
+    rejected = [0]
 
     def candidates(f: Fact):
         """Index-backed candidate tuples: probe the smallest bucket among
@@ -97,13 +102,34 @@ def homomorphisms(
         for values in candidates(f):
             delta = _extend(f.values, values, assignment)
             if delta is None:
+                if tracing:
+                    rejected[0] += 1
                 continue
             assignment.update(delta)
             yield from search(index + 1)
             for null in delta:
                 del assignment[null]
 
-    yield from search(0)
+    if not tracing:
+        yield from search(0)
+        return
+    # Traced: summarize the whole search as one HomBacktrack event, also
+    # when the caller abandons the generator after the first solution
+    # (the ``finally`` runs on generator close).
+    found = False
+    try:
+        for h in search(0):
+            found = True
+            yield h
+    finally:
+        tracer.emit(
+            HomBacktrack(
+                backtracks=rejected[0],
+                found=found,
+                source_size=len(source),
+                target_size=len(target),
+            )
+        )
 
 
 def find_homomorphism(

@@ -1,0 +1,102 @@
+"""Observability & provenance: tracing, metrics, and why-provenance.
+
+The subsystem has three layers:
+
+1. an **event bus** — :class:`Tracer` with typed events
+   (:class:`TriggerFired`, :class:`NullMinted`, :class:`BranchOpened` /
+   :class:`BranchClosed`, :class:`HomBacktrack`, :class:`CacheHit` /
+   :class:`CacheMiss`) and nested :class:`~repro.obs.tracer.Span`
+   timing, near-zero overhead when no tracer is installed;
+2. a **provenance graph** — :class:`ProvenanceGraph` with
+   ``why(fact)`` / ``lineage(null)`` / ``derivation_tree(fact)``
+   queries and exact chase replay (``replay`` / ``check_replay``);
+3. **sinks** — :class:`MetricsRegistry` (counters + duration
+   histograms), the JSONL exporter (:func:`write_trace_jsonl`), and
+   the human renderers (:func:`render_span_tree`,
+   :func:`render_derivation`).
+
+Typical use::
+
+    from repro import Instance, SchemaMapping, chase
+    from repro.obs import tracing
+
+    M = SchemaMapping.from_text("P(x, y, z) -> Q(x, y) & R(y, z)")
+    with tracing() as tracer:
+        result = chase(Instance.parse("P(a, b, c)"), M.dependencies)
+    graph = tracer.provenance
+    graph.why(next(iter(result.generated)))      # the minting firing
+    graph.check_replay(Instance.parse("P(a, b, c)"), result.instance)
+
+The instrumented call sites live in ``chase/``, ``homs/``, and
+``engine/``; the CLI surfaces everything via ``--trace out.jsonl`` and
+``repro explain``.
+"""
+
+from .events import (
+    Binding,
+    BranchClosed,
+    BranchOpened,
+    CacheHit,
+    CacheMiss,
+    HomBacktrack,
+    NullMinted,
+    TraceEvent,
+    TriggerFired,
+    event_to_dict,
+    freeze_binding,
+)
+from .export import (
+    render_derivation,
+    render_span_tree,
+    trace_lines,
+    write_trace_jsonl,
+)
+from .metrics import Histogram, MetricsRegistry
+from .provenance import (
+    BranchNode,
+    Derivation,
+    DerivationNode,
+    NullBirth,
+    ProvenanceGraph,
+)
+from .tracer import (
+    Span,
+    Tracer,
+    TraceState,
+    current_tracer,
+    maybe_span,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "Binding",
+    "BranchClosed",
+    "BranchNode",
+    "BranchOpened",
+    "CacheHit",
+    "CacheMiss",
+    "Derivation",
+    "DerivationNode",
+    "Histogram",
+    "HomBacktrack",
+    "MetricsRegistry",
+    "NullBirth",
+    "NullMinted",
+    "ProvenanceGraph",
+    "Span",
+    "TraceEvent",
+    "TraceState",
+    "Tracer",
+    "TriggerFired",
+    "current_tracer",
+    "event_to_dict",
+    "freeze_binding",
+    "maybe_span",
+    "render_derivation",
+    "render_span_tree",
+    "set_tracer",
+    "trace_lines",
+    "tracing",
+    "write_trace_jsonl",
+]

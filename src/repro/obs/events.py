@@ -1,0 +1,166 @@
+"""Typed trace events emitted by the instrumented execution stack.
+
+Every event is an immutable, picklable dataclass with a ``kind`` tag and
+a :func:`event_to_dict` JSON projection, so the same objects serve three
+consumers: the in-memory event bus (:mod:`repro.obs.tracer`), the
+provenance graph (:mod:`repro.obs.provenance`), and the JSONL exporter
+(:mod:`repro.obs.export`).  Worker processes ship event lists back to
+the parent verbatim, which is why values stay as real :class:`Fact` /
+:class:`Null` objects rather than strings — stringification happens only
+at export time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Mapping, Optional, Tuple, Union
+
+from ..instance import Fact
+from ..terms import Null, Value, Var
+
+#: A premise binding frozen into a sortable, hashable shape:
+#: ``((variable name, value), ...)`` sorted by variable name.
+Binding = Tuple[Tuple[str, Value], ...]
+
+
+def freeze_binding(binding: Mapping[Var, Value]) -> Binding:
+    """Freeze a ``{Var: Value}`` match into a canonical tuple form."""
+    return tuple(sorted((var.name, value) for var, value in binding.items()))
+
+
+@dataclass(frozen=True)
+class TriggerFired:
+    """One chase trigger fired: a tgd, a premise binding, the outcome.
+
+    ``added`` holds the facts that were actually new (conclusion facts
+    already present are not repeated); ``premises`` the instantiated
+    premise atoms (the *why* of the firing); ``minted`` the fresh nulls
+    created for existential variables, as ``(variable name, null)``
+    pairs.  ``branch`` is ``None`` for the standard chase and the branch
+    id for the disjunctive chase.
+    """
+
+    kind: ClassVar[str] = "trigger_fired"
+
+    tgd: str
+    tgd_index: int
+    round: int
+    binding: Binding
+    added: Tuple[Fact, ...]
+    premises: Tuple[Fact, ...]
+    minted: Tuple[Tuple[str, Null], ...] = ()
+    branch: Optional[str] = None
+    disjunct_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class NullMinted:
+    """A fresh labeled null was created for an existential variable."""
+
+    kind: ClassVar[str] = "null_minted"
+
+    null: Null
+    var: str
+    tgd: str
+    tgd_index: int
+    round: int
+    branch: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BranchOpened:
+    """The disjunctive chase opened a branch (one disjunct of a firing).
+
+    Roots (the input instance, or one quotient world of it) have
+    ``parent is None`` and ``disjunct_index is None``.
+    """
+
+    kind: ClassVar[str] = "branch_opened"
+
+    branch: str
+    parent: Optional[str] = None
+    disjunct_index: Optional[int] = None
+    round: int = 0
+
+
+@dataclass(frozen=True)
+class BranchClosed:
+    """A disjunctive-chase branch stopped being explored.
+
+    ``reason`` is one of ``"finished"`` (no unsatisfied trigger — the
+    branch is a result), ``"duplicate"`` (its instance equals an already
+    finished one), or ``"nonterminating"`` (round budget exhausted)."""
+
+    kind: ClassVar[str] = "branch_closed"
+
+    branch: str
+    reason: str
+    facts: int = 0
+
+
+@dataclass(frozen=True)
+class HomBacktrack:
+    """Summary of one homomorphism search's backtracking effort.
+
+    Emitted once per :func:`repro.homs.search.homomorphisms` run (also
+    when the caller abandons the generator early); ``backtracks`` counts
+    the candidate extensions rejected during the search."""
+
+    kind: ClassVar[str] = "hom_backtrack"
+
+    backtracks: int
+    found: bool
+    source_size: int
+    target_size: int
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """An engine cache served a result without recomputation."""
+
+    kind: ClassVar[str] = "cache_hit"
+
+    op: str
+    key: str
+
+
+@dataclass(frozen=True)
+class CacheMiss:
+    """An engine cache lookup missed; the result was computed fresh."""
+
+    kind: ClassVar[str] = "cache_miss"
+
+    op: str
+    key: str
+
+
+TraceEvent = Union[
+    TriggerFired,
+    NullMinted,
+    BranchOpened,
+    BranchClosed,
+    HomBacktrack,
+    CacheHit,
+    CacheMiss,
+]
+
+
+def _jsonify(value: object) -> object:
+    """Project one event field value onto JSON-safe primitives."""
+    if isinstance(value, Fact):
+        return str(value)
+    if isinstance(value, Null):
+        return str(value)
+    if isinstance(value, tuple):
+        return [_jsonify(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+def event_to_dict(event: TraceEvent) -> dict:
+    """The JSON-safe dictionary form of an event (for the JSONL sink)."""
+    out = {"kind": event.kind}
+    for f in fields(event):
+        out[f.name] = _jsonify(getattr(event, f.name))
+    return out

@@ -1,0 +1,148 @@
+"""Trace sinks and human-readable surfacing.
+
+Three renderers over one tracer:
+
+* :func:`write_trace_jsonl` — the machine sink: one JSON object per
+  line (events in emission order, then spans), consumed by the CLI's
+  ``--trace out.jsonl`` and uploaded as a CI artifact on test failure;
+* :func:`render_span_tree` — the wall-time view: the span hierarchy
+  with durations, for "where does the time go inside this run";
+* :func:`render_derivation` — the provenance view: a fact's derivation
+  tree down to input facts, for ``repro explain``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Union
+
+from ..instance import Fact, Instance
+from .events import event_to_dict
+from .provenance import DerivationNode, ProvenanceGraph
+from .tracer import Span, Tracer, TraceState
+
+
+def trace_lines(source: Union[Tracer, TraceState]) -> List[dict]:
+    """The JSON-safe line objects of a trace (events, then spans)."""
+    lines: List[dict] = []
+    for seq, event in enumerate(source.events):
+        record = event_to_dict(event)
+        record["seq"] = seq
+        lines.append(record)
+    for span in source.spans:
+        lines.append(
+            {
+                "kind": "span",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "attrs": {k: str(v) for k, v in span.attrs.items()},
+                "duration": round(span.duration, 9),
+            }
+        )
+    return lines
+
+
+def write_trace_jsonl(source: Union[Tracer, TraceState], path: str) -> int:
+    """Write the trace to *path* as JSONL; returns the line count.
+
+    Always writes what has been recorded so far, so a chase aborted by
+    :class:`~repro.chase.standard.ChaseNonTermination` still flushes a
+    usable partial trace.
+    """
+    lines = trace_lines(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in lines:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(lines)
+
+
+def render_span_tree(tracer: Union[Tracer, TraceState]) -> str:
+    """The span hierarchy as indented text with durations."""
+    spans = list(tracer.spans)
+    if not spans:
+        return "(no spans recorded)"
+    children: dict = {}
+    roots: List[Span] = []
+    for span in spans:
+        if span.parent_id is None:
+            roots.append(span)
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = ""
+        if span.attrs:
+            inner = ", ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+            attrs = f"  [{inner}]"
+        lines.append(
+            f"{'  ' * depth}{span.name:<24} {span.duration * 1000:>9.3f} ms{attrs}"
+        )
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def _render_node(
+    node: DerivationNode,
+    source: Optional[Instance],
+    lines: List[str],
+    prefix: str,
+    is_last: bool,
+    is_root: bool,
+) -> None:
+    connector = "" if is_root else ("└─ " if is_last else "├─ ")
+    origin = ""
+    if node.is_input:
+        origin = "  [input]" if source is None or node.fact in source.facts else ""
+    lines.append(f"{prefix}{connector}{node.fact}{origin}")
+    if node.derivation is None:
+        return
+    d = node.derivation
+    child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+    where = f"round {d.round}"
+    if d.branch is not None:
+        where += f", branch {d.branch}"
+    lines.append(f"{child_prefix}│  via tgd[{d.tgd_index}]: {d.tgd}  ({where})")
+    if d.binding:
+        bound = ", ".join(f"{name}={value}" for name, value in d.binding)
+        lines.append(f"{child_prefix}│  binding: {bound}")
+    for var, null in d.minted:
+        lines.append(f"{child_prefix}│  minted: {null} ← {var}")
+    if not node.children:
+        return
+    for index, child in enumerate(node.children):
+        _render_node(
+            child,
+            source,
+            lines,
+            child_prefix,
+            index == len(node.children) - 1,
+            False,
+        )
+
+
+def render_derivation(
+    graph: ProvenanceGraph,
+    f: Fact,
+    source: Optional[Instance] = None,
+    branch: Optional[str] = None,
+) -> str:
+    """The derivation tree of *f* as printable text.
+
+    Input facts render as ``[input]`` leaves (when *source* is given,
+    only facts actually present in it get the tag; an underived fact
+    outside the source renders bare).  Raises ``KeyError`` when *f* is
+    neither derived nor an input fact.
+    """
+    derivation = graph.why(f, branch=branch)
+    if derivation is None and (source is None or f not in source.facts):
+        raise KeyError(f"no derivation recorded for fact {f}")
+    tree = graph.derivation_tree(f, branch=branch)
+    lines: List[str] = []
+    _render_node(tree, source, lines, "", True, True)
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Counters and duration histograms for the observability subsystem.
+
+A :class:`MetricsRegistry` is a flat namespace of named counters and
+named histograms.  The tracer feeds it automatically (event counts,
+span durations) and instrumentation points may record domain metrics
+directly.  Registries from worker processes merge losslessly into the
+parent's (:meth:`MetricsRegistry.merge`), which is what makes
+``chase_many``/``reverse_many`` traces additive across the process
+pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class Histogram:
+    """A streaming summary of observed values (count/sum/min/max).
+
+    Deliberately bucket-free: the consumers here want totals and means
+    (e.g. mean span duration), and bucket-free summaries merge exactly
+    across workers with no binning-choice coupling.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def as_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "mean": round(self.mean, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+        }
+
+
+class MetricsRegistry:
+    """Named counters + named histograms, mergeable across workers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- reading --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    # -- merging --------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's measurements into this one."""
+        for name, amount in other._counters.items():
+            self.inc(name, amount)
+        for name, hist in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram()
+            mine.merge(hist)
+
+    def merge_payload(self, payload: dict) -> None:
+        """Merge an :meth:`export_payload` snapshot (cross-process form)."""
+        for name, amount in payload.get("counters", {}).items():
+            self.inc(name, amount)
+        for name, data in payload.get("histograms", {}).items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = Histogram()
+            mine.merge(
+                Histogram(
+                    count=data["count"],
+                    total=data["total"],
+                    min=data["min"] if data["count"] else float("inf"),
+                    max=data["max"] if data["count"] else float("-inf"),
+                )
+            )
+
+    def export_payload(self) -> dict:
+        """A picklable/JSON-safe snapshot that round-trips via
+        :meth:`merge_payload` (raw totals, no rounding)."""
+        return {
+            "counters": dict(self._counters),
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                }
+                for name, h in self._histograms.items()
+            },
+        }
+
+    def render(self) -> str:
+        """A compact human-readable dump (the CLI's stats footer)."""
+        lines = []
+        for name, value in sorted(self._counters.items()):
+            lines.append(f"  {name:<32} {value}")
+        for name, hist in sorted(self._histograms.items()):
+            lines.append(
+                f"  {name:<32} n={hist.count} total={hist.total:.4f}s "
+                f"mean={hist.mean * 1000:.3f}ms"
+            )
+        return "\n".join(lines)

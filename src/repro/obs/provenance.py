@@ -1,0 +1,274 @@
+"""Why-provenance for the chase and the disjunctive chase.
+
+A :class:`ProvenanceGraph` consumes the typed trace events of
+:mod:`repro.obs.events` and organizes them into queryable structure:
+
+* for every **generated fact** — the tgd that produced it, the premise
+  binding, the fixpoint round, and (disjunctive chase) the branch
+  (:meth:`why` / :meth:`derivations` / :meth:`derivation_tree`);
+* for every **fresh null** — which tgd firing minted it and for which
+  existential variable (:meth:`lineage`);
+* for the disjunctive chase — the **branch genealogy** (which firing
+  opened which branch, and why each branch closed).
+
+Because the graph records the exact facts each firing added, a chase is
+*replayable*: :meth:`replay` folds the firing log over the input
+instance and must reproduce the chased instance fact-for-fact
+(:meth:`check_replay`), which the test suite verifies for every paper
+scenario.  This is the structure that Auge's provenance-enhanced
+inversion work shows makes reverse exchange debuggable: ``why`` answers
+"where did this fact come from", ``lineage`` answers "what does this
+null stand in for".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..instance import Fact, Instance
+from ..terms import Null
+from .events import (
+    Binding,
+    BranchClosed,
+    BranchOpened,
+    NullMinted,
+    TraceEvent,
+    TriggerFired,
+)
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One way a fact arose: a tgd firing and its premise support."""
+
+    fact: Fact
+    tgd: str
+    tgd_index: int
+    round: int
+    binding: Binding
+    premises: Tuple[Fact, ...]
+    minted: Tuple[Tuple[str, Null], ...] = ()
+    branch: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class NullBirth:
+    """The minting record of one fresh null."""
+
+    null: Null
+    var: str
+    tgd: str
+    tgd_index: int
+    round: int
+    branch: Optional[str] = None
+
+
+@dataclass
+class BranchNode:
+    """One branch of the disjunctive chase in the genealogy tree."""
+
+    branch: str
+    parent: Optional[str] = None
+    disjunct_index: Optional[int] = None
+    added: List[Fact] = field(default_factory=list)
+    closed: Optional[str] = None
+
+
+@dataclass
+class DerivationNode:
+    """A node of a derivation tree: a fact, how it arose, its support.
+
+    ``derivation`` is ``None`` for input facts (leaves); ``children``
+    are the derivation trees of the premise facts.
+    """
+
+    fact: Fact
+    derivation: Optional[Derivation]
+    children: List["DerivationNode"] = field(default_factory=list)
+
+    @property
+    def is_input(self) -> bool:
+        return self.derivation is None
+
+
+class ProvenanceGraph:
+    """Queryable why-provenance assembled from trace events."""
+
+    def __init__(self) -> None:
+        self._firings: List[TriggerFired] = []
+        self._derivations: Dict[Fact, List[Derivation]] = {}
+        self._births: Dict[Null, NullBirth] = {}
+        self._branches: Dict[str, BranchNode] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, event: TraceEvent) -> None:
+        """Fold one trace event into the graph (unknown kinds ignored)."""
+        if isinstance(event, TriggerFired):
+            self._firings.append(event)
+            for f in event.added:
+                self._derivations.setdefault(f, []).append(
+                    Derivation(
+                        fact=f,
+                        tgd=event.tgd,
+                        tgd_index=event.tgd_index,
+                        round=event.round,
+                        binding=event.binding,
+                        premises=event.premises,
+                        minted=event.minted,
+                        branch=event.branch,
+                    )
+                )
+            if event.branch is not None:
+                node = self._branches.get(event.branch)
+                if node is None:
+                    node = self._branches[event.branch] = BranchNode(event.branch)
+                node.added.extend(event.added)
+        elif isinstance(event, NullMinted):
+            self._births.setdefault(
+                event.null,
+                NullBirth(
+                    null=event.null,
+                    var=event.var,
+                    tgd=event.tgd,
+                    tgd_index=event.tgd_index,
+                    round=event.round,
+                    branch=event.branch,
+                ),
+            )
+        elif isinstance(event, BranchOpened):
+            node = self._branches.get(event.branch)
+            if node is None:
+                node = self._branches[event.branch] = BranchNode(event.branch)
+            node.parent = event.parent
+            node.disjunct_index = event.disjunct_index
+        elif isinstance(event, BranchClosed):
+            node = self._branches.get(event.branch)
+            if node is None:
+                node = self._branches[event.branch] = BranchNode(event.branch)
+            node.closed = event.reason
+
+    @classmethod
+    def from_events(cls, events) -> "ProvenanceGraph":
+        """Rebuild a graph from a recorded event stream."""
+        graph = cls()
+        for event in events:
+            graph.record(event)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def why(self, f: Fact, branch: Optional[str] = None) -> Optional[Derivation]:
+        """The first recorded derivation of *f* (``None`` if underived).
+
+        With *branch*, prefers a derivation recorded on that branch or
+        one of its ancestors; falls back to the first derivation.
+        """
+        options = self._derivations.get(f)
+        if not options:
+            return None
+        if branch is not None:
+            lineage_ids = set(self._ancestry(branch))
+            for d in options:
+                if d.branch in lineage_ids:
+                    return d
+        return options[0]
+
+    def derivations(self, f: Fact) -> Tuple[Derivation, ...]:
+        """Every recorded derivation of *f* across all branches."""
+        return tuple(self._derivations.get(f, ()))
+
+    def lineage(self, null: Null) -> Optional[NullBirth]:
+        """The minting record of *null* (``None`` for input nulls)."""
+        return self._births.get(null)
+
+    def derived_facts(self) -> Iterator[Fact]:
+        """Every fact with at least one derivation."""
+        return iter(self._derivations)
+
+    def minted_nulls(self) -> Iterator[Null]:
+        """Every null with a minting record."""
+        return iter(self._births)
+
+    @property
+    def firings(self) -> Tuple[TriggerFired, ...]:
+        """The trigger-firing log in emission order."""
+        return tuple(self._firings)
+
+    @property
+    def branches(self) -> Dict[str, BranchNode]:
+        """The branch genealogy (empty for the standard chase)."""
+        return dict(self._branches)
+
+    def derivation_tree(
+        self, f: Fact, branch: Optional[str] = None
+    ) -> DerivationNode:
+        """The full derivation tree of *f* down to input facts.
+
+        Premise facts that are themselves generated expand recursively;
+        already-expanded facts re-appear as leaves (with their
+        derivation attached) so shared sub-derivations do not blow the
+        tree up exponentially.
+        """
+        expanded: set = set()
+
+        def build(g: Fact) -> DerivationNode:
+            d = self.why(g, branch=branch)
+            node = DerivationNode(fact=g, derivation=d)
+            if d is not None and g not in expanded:
+                expanded.add(g)
+                node.children = [build(p) for p in d.premises]
+            return node
+
+        return build(f)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def replay(self, source: Instance) -> Instance:
+        """Re-apply the standard-chase firing log to *source*.
+
+        Folds every recorded (branch-free) firing's added facts over the
+        input; by construction this must equal the chased instance."""
+        facts = set(source.facts)
+        for firing in self._firings:
+            if firing.branch is None:
+                facts.update(firing.added)
+        return Instance(facts)
+
+    def check_replay(self, source: Instance, result: Instance) -> bool:
+        """Does replaying the provenance reproduce *result* exactly?"""
+        return self.replay(source) == result
+
+    def _ancestry(self, branch: str) -> Iterator[str]:
+        """Yield *branch* and its ancestors up to the root."""
+        current: Optional[str] = branch
+        while current is not None:
+            yield current
+            node = self._branches.get(current)
+            current = node.parent if node is not None else None
+
+    def replay_branch(self, branch: str, source: Instance) -> Instance:
+        """Reconstruct one disjunctive-chase branch instance from *source*."""
+        facts = set(source.facts)
+        for ancestor in self._ancestry(branch):
+            node = self._branches.get(ancestor)
+            if node is not None:
+                facts.update(node.added)
+        return Instance(facts)
+
+    def finished_branches(self) -> List[str]:
+        """Branch ids that closed as results, in genealogy order."""
+        return [
+            name for name, node in self._branches.items() if node.closed == "finished"
+        ]
+
+    def replay_branches(self, source: Instance) -> List[Instance]:
+        """Reconstruct every finished branch instance from *source*."""
+        return [self.replay_branch(b, source) for b in self.finished_branches()]

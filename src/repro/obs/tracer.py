@@ -1,0 +1,234 @@
+"""The event bus: tracer, spans, and the ambient current tracer.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  Instrumentation points fetch
+   the ambient tracer once per operation (:func:`current_tracer`, a
+   plain module-global read) and guard every inner-loop emission with
+   ``if tracer is not None``.  With no tracer installed — the default —
+   the instrumented code paths differ from uninstrumented ones by a
+   handful of ``None`` checks; ``benchmarks/bench_tracing_overhead.py``
+   enforces the ≤2% budget against an uninstrumented reference chase.
+2. **Mergeable across workers.**  A tracer snapshots to a picklable
+   :class:`TraceState`; the engine's batch paths run each worker under
+   a private tracer and :meth:`Tracer.absorb` the states on join, so a
+   fanned-out ``chase_many`` produces one coherent trace.
+3. **One object, three sinks.**  Emitted events land in the event list
+   (for the JSONL exporter), the metrics registry (event counters +
+   span-duration histograms), and the provenance graph — all owned by
+   the tracer, no global registries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .events import TraceEvent
+from .metrics import MetricsRegistry
+from .provenance import ProvenanceGraph
+
+
+@dataclass
+class Span:
+    """A named, timed section of work with parent linkage."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+    start: float = 0.0
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+@dataclass
+class TraceState:
+    """A picklable snapshot of a tracer, for cross-process merging."""
+
+    events: Tuple[TraceEvent, ...]
+    spans: Tuple[Span, ...]
+    metrics: dict
+
+
+class Tracer:
+    """The observability session object: event bus + spans + sinks.
+
+    ``enabled=False`` degrades every method to a cheap no-op (for
+    keeping one code path while toggling collection); ``provenance=False``
+    skips the provenance graph (events and metrics only).
+    Thread-safe: the engine's thread-pool fan-out and instrumented
+    library code may emit concurrently.
+    """
+
+    def __init__(self, enabled: bool = True, provenance: bool = True) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self.spans: List[Span] = []
+        self.metrics = MetricsRegistry()
+        self._provenance: Optional[ProvenanceGraph] = (
+            ProvenanceGraph() if provenance else None
+        )
+        self._lock = threading.RLock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._clock = time.perf_counter
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one typed event into all three sinks."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.events.append(event)
+            self.metrics.inc(f"events.{event.kind}")
+            if self._provenance is not None:
+                self._provenance.record(event)
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a timed span; nests via a per-thread span stack."""
+        if not self.enabled:
+            yield None
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        with self._lock:
+            span = Span(
+                name=name,
+                span_id=next(self._ids),
+                parent_id=stack[-1].span_id if stack else None,
+                attrs=dict(attrs),
+            )
+            self.spans.append(span)
+        stack.append(span)
+        span.start = self._clock()
+        try:
+            yield span
+        finally:
+            span.end = self._clock()
+            stack.pop()
+            with self._lock:
+                self.metrics.observe(f"span.{name}", span.duration)
+
+    # ------------------------------------------------------------------
+    # Sinks and lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def provenance(self) -> Optional[ProvenanceGraph]:
+        """The provenance graph built from the emitted events."""
+        return self._provenance
+
+    def export_state(self) -> TraceState:
+        """Snapshot everything into a picklable :class:`TraceState`."""
+        with self._lock:
+            return TraceState(
+                events=tuple(self.events),
+                spans=tuple(self.spans),
+                metrics=self.metrics.export_payload(),
+            )
+
+    def absorb(self, state: TraceState) -> None:
+        """Merge a worker's :class:`TraceState` into this tracer.
+
+        Events re-feed the provenance graph; span ids are re-based so
+        merged span trees stay internally consistent."""
+        if not self.enabled:
+            return
+        with self._lock:
+            base = 0
+            for span in state.spans:
+                base = max(base, span.span_id)
+            offset = next(self._ids)
+            for _ in range(base):
+                next(self._ids)
+            for span in state.spans:
+                self.spans.append(
+                    Span(
+                        name=span.name,
+                        span_id=span.span_id + offset,
+                        parent_id=(
+                            span.parent_id + offset
+                            if span.parent_id is not None
+                            else None
+                        ),
+                        attrs=dict(span.attrs),
+                        start=span.start,
+                        end=span.end,
+                    )
+                )
+            self.metrics.merge_payload(state.metrics)
+            for event in state.events:
+                self.events.append(event)
+                if self._provenance is not None:
+                    self._provenance.record(event)
+
+    def clear(self) -> None:
+        """Drop all recorded events, spans, metrics, and provenance."""
+        with self._lock:
+            self.events.clear()
+            self.spans.clear()
+            self.metrics = MetricsRegistry()
+            if self._provenance is not None:
+                self._provenance = ProvenanceGraph()
+
+
+# ----------------------------------------------------------------------
+# The ambient (module-level) tracer
+# ----------------------------------------------------------------------
+
+_current: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The ambient tracer, or ``None`` when tracing is off (the default).
+
+    Instrumentation points call this once per operation and keep the
+    result in a local — the disabled-path cost is one global read."""
+    tracer = _current
+    if tracer is not None and not tracer.enabled:
+        return None
+    return tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install *tracer* as the ambient tracer; returns the previous one."""
+    global _current
+    previous = _current
+    _current = tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None):
+    """Scope an ambient tracer: ``with tracing() as t: ... t.events``."""
+    if tracer is None:
+        tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def maybe_span(tracer: Optional[Tracer], name: str, **attrs):
+    """``tracer.span(...)`` when tracing, a no-op context otherwise."""
+    if tracer is None or not tracer.enabled:
+        yield None
+        return
+    with tracer.span(name, **attrs) as span:
+        yield span

@@ -1,7 +1,6 @@
 """Reverse data exchange and reverse query answering (Section 6)."""
 
 from .exchange import (
-    ExchangeResult,
     RecoveryQuality,
     ReverseResult,
     forward_exchange,
@@ -9,6 +8,11 @@ from .exchange import (
     reverse_exchange,
     round_trip,
 )
+
+# Deprecated compatibility alias, bound here without touching the
+# warn-once module attribute (repro.reverse.exchange.ExchangeResult),
+# so merely importing this package stays silent.
+ExchangeResult = ReverseResult
 from .pipeline import EvolutionPipeline, Hop
 from .query_answering import (
     brute_force_certain_answers,

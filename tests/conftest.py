@@ -1,11 +1,61 @@
-"""Shared fixtures: the paper's scenarios and common instances."""
+"""Shared fixtures: the paper's scenarios and common instances.
+
+When ``REPRO_TRACE_DIR`` is set (CI sets it on the tier-1 run), every
+test executes under a fresh ambient tracer and failing tests dump
+their trace as ``<dir>/<nodeid>.jsonl`` — uploaded as a CI artifact so
+a red test comes with its chase/provenance event log attached.  Tests
+that assert the *absence* of an ambient tracer opt out with the
+``no_ambient_trace`` marker.
+"""
 
 from __future__ import annotations
+
+import os
+import re
 
 import pytest
 
 from repro import Instance, SchemaMapping
 from repro.workloads.scenarios import PAPER_SCENARIOS, get_scenario
+
+TRACE_DIR = os.environ.get("REPRO_TRACE_DIR")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_ambient_trace: do not install the REPRO_TRACE_DIR ambient tracer "
+        "for this test (it asserts on the ambient-tracer state itself)",
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        item._repro_call_report = report
+
+
+@pytest.fixture(autouse=TRACE_DIR is not None)
+def _trace_on_failure(request):
+    """Trace every test; flush the JSONL only when the test fails."""
+    if TRACE_DIR is None or request.node.get_closest_marker("no_ambient_trace"):
+        yield
+        return
+    from repro.obs import Tracer, set_tracer, write_trace_jsonl
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield
+    finally:
+        set_tracer(previous)
+    report = getattr(request.node, "_repro_call_report", None)
+    if report is not None and report.failed:
+        os.makedirs(TRACE_DIR, exist_ok=True)
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+        write_trace_jsonl(tracer, os.path.join(TRACE_DIR, f"{safe}.jsonl"))
 
 
 @pytest.fixture(scope="session")

@@ -143,3 +143,125 @@ class TestAnswerCommand:
         )
         assert code == 0
         assert "(a, b)" in out
+
+
+class TestTraceFlag:
+    def test_chase_writes_jsonl_trace(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        code, out, err = run_cli(
+            capsys,
+            "chase",
+            "--mapping", "P(x, y, z) -> Q(x, y) & R(y, z)",
+            "--instance", "P(a, b, c)",
+            "--trace", str(trace_path),
+        )
+        assert code == 0
+        assert "trace:" in err and str(trace_path) in err
+        lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        kinds = {l["kind"] for l in lines}
+        assert "trigger_fired" in kinds and "span" in kinds
+
+    def test_stats_include_tracer_footer_when_tracing(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys,
+            "chase",
+            "--mapping", "P(x) -> Q(x)",
+            "--instance", "P(a)",
+            "--trace", str(tmp_path / "t.jsonl"),
+            "--stats",
+        )
+        assert code == 0
+        assert "tracer:" in err
+        assert "events.trigger_fired" in err
+
+    def test_batch_chase_trace_covers_all_items(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "batch.jsonl"
+        code, _, _ = run_cli(
+            capsys,
+            "chase",
+            "--mapping", "P(x) -> Q(x)",
+            "--instance", "P(a)",
+            "--instance", "P(b)",
+            "--jobs", "2",
+            "--trace", str(trace_path),
+        )
+        assert code == 0
+        lines = [json.loads(l) for l in trace_path.read_text().splitlines()]
+        fired = [l for l in lines if l["kind"] == "trigger_fired"]
+        assert len(fired) == 2
+
+
+class TestExplainCommand:
+    MAPPING = "P(x, y) -> Q(x, y); Q(x, y) -> S(x)"
+
+    def test_explains_all_generated_facts_by_default(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "explain",
+            "--mapping", self.MAPPING,
+            "--instance", "P(a, b)",
+        )
+        assert code == 0
+        assert "S(a)" in out and "Q(a, b)" in out
+        assert "[input]" in out
+        assert "via tgd[" in out
+
+    def test_explains_named_fact(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "explain",
+            "--mapping", self.MAPPING,
+            "--instance", "P(a, b)",
+            "--fact", "S(a)",
+        )
+        assert code == 0
+        assert out.count("via tgd[") >= 2, "tree expands to the premise firing"
+        assert "P(a, b)" in out
+
+    def test_unknown_fact_exit_2(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "explain",
+            "--mapping", self.MAPPING,
+            "--instance", "P(a, b)",
+            "--fact", "S(zzz)",
+        )
+        assert code == 2
+        assert "no derivation recorded" in err
+
+    def test_saturated_instance_message(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "explain",
+            "--mapping", "P(x) -> Q(x)",
+            "--instance", "P(a), Q(a)",
+        )
+        assert code == 0
+        assert "no generated facts" in out
+
+    def test_explain_with_trace_file(self, capsys, tmp_path):
+        trace_path = tmp_path / "explain.jsonl"
+        code, _, err = run_cli(
+            capsys,
+            "explain",
+            "--mapping", self.MAPPING,
+            "--instance", "P(a, b)",
+            "--trace", str(trace_path),
+        )
+        assert code == 0
+        assert trace_path.exists()
+        assert "trace:" in err
+
+    def test_nonterminating_mapping_exit_3(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "explain",
+            "--mapping", "P(x, y) -> EXISTS z . P(y, z)",
+            "--instance", "P(a, b)",
+        )
+        assert code == 3
+        assert "did not terminate" in err

@@ -1,0 +1,206 @@
+"""Unit tests for the provenance graph: why, lineage, branches, replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Instance, SchemaMapping, chase
+from repro.chase.disjunctive import disjunctive_chase, reverse_disjunctive_chase
+from repro.obs import ProvenanceGraph, Tracer, render_derivation, tracing
+
+DECOMP = SchemaMapping.from_text("P(x, y, z) -> Q(x, y) & R(y, z)")
+PABC = Instance.parse("P(a, b, c)")
+
+
+def traced_chase(instance, mapping, **kwargs):
+    tracer = Tracer()
+    result = chase(instance, mapping.dependencies, tracer=tracer, **kwargs)
+    return result, tracer
+
+
+class TestWhy:
+    def test_generated_fact_has_derivation(self):
+        result, tracer = traced_chase(PABC, DECOMP)
+        graph = tracer.provenance
+        for f in result.generated:
+            d = graph.why(f)
+            assert d is not None
+            assert d.tgd == "P(x, y, z) -> Q(x, y) & R(y, z)"
+            assert d.round == 1
+            assert d.premises == (next(iter(PABC.facts)),)
+            assert {k: str(v) for k, v in d.binding} == {
+                "x": "a",
+                "y": "b",
+                "z": "c",
+            }
+
+    def test_input_fact_has_no_derivation(self):
+        _, tracer = traced_chase(PABC, DECOMP)
+        assert tracer.provenance.why(next(iter(PABC.facts))) is None
+
+    def test_derived_facts_enumerates_exactly_the_generated(self):
+        result, tracer = traced_chase(PABC, DECOMP)
+        assert set(tracer.provenance.derived_facts()) == set(result.generated)
+
+    def test_multi_round_derivation_chain(self):
+        mapping = SchemaMapping.from_text("P(x, y) -> Q(x, y)\nQ(x, y) -> S(x)")
+        result, tracer = traced_chase(Instance.parse("P(a, b)"), mapping)
+        graph = tracer.provenance
+        s_fact = next(f for f in result.generated if f.relation == "S")
+        d = graph.why(s_fact)
+        assert d.tgd_index == 1
+        (premise,) = d.premises
+        assert premise.relation == "Q"
+        assert graph.why(premise) is not None, "premise is itself derived"
+
+
+class TestLineage:
+    def test_minted_null_birth(self):
+        mapping = SchemaMapping.from_text("P(x) -> EXISTS z . Q(x, z)")
+        result, tracer = traced_chase(Instance.parse("P(a)"), mapping)
+        graph = tracer.provenance
+        (null,) = result.instance.nulls
+        birth = graph.lineage(null)
+        assert birth is not None
+        assert birth.var == "z"
+        assert birth.round == 1
+        assert list(graph.minted_nulls()) == [null]
+
+    def test_input_null_has_no_birth(self):
+        result, tracer = traced_chase(Instance.parse("P(a, Y, c)"), DECOMP)
+        (input_null,) = Instance.parse("P(a, Y, c)").nulls
+        assert tracer.provenance.lineage(input_null) is None
+
+
+class TestReplay:
+    def test_replay_reproduces_chase(self):
+        result, tracer = traced_chase(PABC, DECOMP)
+        graph = tracer.provenance
+        assert graph.replay(PABC) == result.instance
+        assert graph.check_replay(PABC, result.instance)
+
+    def test_replay_detects_mismatch(self):
+        result, tracer = traced_chase(PABC, DECOMP)
+        assert not tracer.provenance.check_replay(Instance(), result.instance)
+
+    def test_oblivious_variant_replays_too(self):
+        result, tracer = traced_chase(PABC, DECOMP, variant="oblivious")
+        assert tracer.provenance.check_replay(PABC, result.instance)
+
+    def test_from_events_rebuild(self):
+        result, tracer = traced_chase(PABC, DECOMP)
+        rebuilt = ProvenanceGraph.from_events(tracer.events)
+        assert rebuilt.check_replay(PABC, result.instance)
+
+
+class TestDisjunctiveBranches:
+    MAPPING = SchemaMapping.from_text("P'(x, x) -> T(x) | P(x, x)")
+
+    def test_branch_genealogy(self):
+        tracer = Tracer()
+        instance = Instance.parse("P'(a, a)")
+        finished = disjunctive_chase(
+            instance, self.MAPPING.dependencies, tracer=tracer
+        )
+        graph = tracer.provenance
+        branches = graph.branches
+        assert "b" in branches
+        children = {k for k in branches if branches[k].parent == "b"}
+        assert children == {"b.0", "b.1"}
+        assert len(graph.finished_branches()) == len(finished) == 2
+
+    def test_branch_replay_reconstructs_each_world(self):
+        tracer = Tracer()
+        instance = Instance.parse("P'(a, a)")
+        finished = disjunctive_chase(
+            instance, self.MAPPING.dependencies, tracer=tracer
+        )
+        graph = tracer.provenance
+        replayed = graph.replay_branches(instance)
+        assert sorted(map(str, replayed)) == sorted(map(str, finished))
+
+    def test_branch_scoped_why(self):
+        tracer = Tracer()
+        instance = Instance.parse("P'(a, a)")
+        disjunctive_chase(instance, self.MAPPING.dependencies, tracer=tracer)
+        graph = tracer.provenance
+        t_fact = next(iter(Instance.parse("T(a)").facts))
+        d = graph.why(t_fact, branch="b.0")
+        assert d is not None and d.branch == "b.0"
+
+    def test_duplicate_branches_are_closed_as_duplicates(self):
+        mapping = SchemaMapping.from_text("P'(x, y) -> P(x, y) | P(x, y)")
+        tracer = Tracer()
+        finished = disjunctive_chase(
+            Instance.parse("P'(a, b)"), mapping.dependencies, tracer=tracer
+        )
+        assert len(finished) == 1
+        reasons = [n.closed for n in tracer.provenance.branches.values()]
+        assert "duplicate" in reasons
+
+    def test_reverse_chase_roots_per_quotient(self):
+        mapping = SchemaMapping.from_text("Q(x, y) -> EXISTS z . P(x, y, z)")
+        target = Instance.parse("Q(a, X)")
+        tracer = Tracer()
+        reverse_disjunctive_chase(
+            target,
+            mapping.dependencies,
+            result_relations=["P"],
+            tracer=tracer,
+        )
+        roots = {
+            name
+            for name, node in tracer.provenance.branches.items()
+            if node.parent is None
+        }
+        assert roots and all(r.startswith("q") for r in roots)
+
+
+class TestDerivationTree:
+    def test_tree_reaches_input_leaves(self):
+        mapping = SchemaMapping.from_text("P(x, y) -> Q(x, y)\nQ(x, y) -> S(x)")
+        source = Instance.parse("P(a, b)")
+        result, tracer = traced_chase(source, mapping)
+        graph = tracer.provenance
+        s_fact = next(f for f in result.generated if f.relation == "S")
+        tree = graph.derivation_tree(s_fact)
+        assert tree.fact == s_fact and not tree.is_input
+        (q_node,) = tree.children
+        assert q_node.fact.relation == "Q"
+        (p_node,) = q_node.children
+        assert p_node.is_input
+
+    def test_render_derivation(self):
+        mapping = SchemaMapping.from_text("P(x, y) -> Q(x, y)\nQ(x, y) -> S(x)")
+        source = Instance.parse("P(a, b)")
+        result, tracer = traced_chase(source, mapping)
+        s_fact = next(f for f in result.generated if f.relation == "S")
+        text = render_derivation(tracer.provenance, s_fact, source=source)
+        assert "S(a)" in text
+        assert "[input]" in text
+        assert "via tgd[1]" in text
+
+    def test_render_derivation_unknown_fact_raises(self):
+        _, tracer = traced_chase(PABC, DECOMP)
+        stranger = next(iter(Instance.parse("Z(q)").facts))
+        with pytest.raises(KeyError):
+            render_derivation(tracer.provenance, stranger, source=PABC)
+
+    def test_render_derivation_of_input_fact(self):
+        _, tracer = traced_chase(PABC, DECOMP)
+        input_fact = next(iter(PABC.facts))
+        text = render_derivation(tracer.provenance, input_fact, source=PABC)
+        assert "[input]" in text
+
+
+class TestProvenanceToggle:
+    def test_provenance_false_skips_graph(self):
+        tracer = Tracer(provenance=False)
+        chase(PABC, DECOMP.dependencies, tracer=tracer)
+        assert tracer.provenance is None
+        assert tracer.events, "events still record without provenance"
+
+    def test_ambient_tracing_builds_provenance(self):
+        with tracing() as tracer:
+            result = chase(PABC, DECOMP.dependencies)
+        assert tracer.provenance.check_replay(PABC, result.instance)
