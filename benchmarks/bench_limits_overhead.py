@@ -1,0 +1,139 @@
+"""SB-11 — governance overhead guard: budget checks stay cheap.
+
+The resource-governance layer promises that *governed* runs pay only a
+few comparisons per chase round/firing, and that the common limit kinds
+cost the same.  This module races three configurations of the same
+chase workload:
+
+* ``ungoverned`` — the legacy default budget (a rounds cap only);
+* ``counters``   — ``Limits(max_rounds, max_facts, max_nulls)``:
+  pure-integer gauge checks, no clock;
+* ``deadline``   — a generous deadline: adds one monotonic-clock read
+  per firing (the priciest check we do).
+
+Runs two ways like the other SB modules: under pytest-benchmark, and
+as a plain script for the CI bench smoke
+(``python benchmarks/bench_limits_overhead.py``), where it prints the
+timings and exits nonzero when governed/ungoverned exceeds the
+tolerance (``REPRO_LIMITS_OVERHEAD_TOLERANCE``, default 1.10).
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script mode without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chase.standard import chase
+from repro.limits import Limits
+from repro.workloads.generators import random_instance
+from repro.workloads.scenarios import get_scenario
+
+try:
+    from .conftest import record_metric
+except ImportError:  # script mode
+    def record_metric(benchmark, **metrics):
+        for key, value in metrics.items():
+            benchmark.extra_info[key] = value
+
+
+SIZE = 200
+ROUNDS = 7  # interleaved min-of-N rounds in script mode
+CHASES_PER_ROUND = 3
+
+COUNTERS = Limits(max_rounds=64, max_facts=1_000_000, max_nulls=1_000_000)
+DEADLINE = Limits(max_rounds=64, deadline=3600.0)
+
+
+def _workload():
+    mapping = get_scenario("path2").mapping
+    source = random_instance(
+        mapping.source, SIZE, seed=SIZE, null_ratio=0.2, value_pool=SIZE
+    )
+    return mapping, source
+
+
+def _check_equivalence(mapping, source):
+    """Governance must not change the answer, only meter it."""
+    plain = chase(source, mapping.dependencies)
+    counted = chase(source, mapping.dependencies, limits=COUNTERS)
+    timed = chase(source, mapping.dependencies, limits=DEADLINE)
+    assert counted.completed and timed.completed
+    assert counted.instance == plain.instance == timed.instance
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_chase_ungoverned(benchmark):
+    """The legacy default budget (baseline side)."""
+    mapping, source = _workload()
+    result = benchmark(chase, source, mapping.dependencies)
+    record_metric(benchmark, size=SIZE, steps=result.steps)
+
+
+def test_chase_counter_limits(benchmark):
+    """Integer gauge checks only (facts + nulls + rounds)."""
+    mapping, source = _workload()
+    result = benchmark(chase, source, mapping.dependencies, limits=COUNTERS)
+    record_metric(benchmark, size=SIZE, steps=result.steps)
+
+
+def test_chase_deadline_limit(benchmark):
+    """One clock read per firing on top of the gauges."""
+    mapping, source = _workload()
+    result = benchmark(chase, source, mapping.dependencies, limits=DEADLINE)
+    record_metric(benchmark, size=SIZE, steps=result.steps)
+
+
+# ----------------------------------------------------------------------
+# Script mode: the CI guard
+# ----------------------------------------------------------------------
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    for _ in range(CHASES_PER_ROUND):
+        fn()
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    tolerance = float(os.environ.get("REPRO_LIMITS_OVERHEAD_TOLERANCE", "1.10"))
+    mapping, source = _workload()
+    _check_equivalence(mapping, source)
+
+    plain = lambda: chase(source, mapping.dependencies)  # noqa: E731
+    counted = lambda: chase(source, mapping.dependencies, limits=COUNTERS)  # noqa: E731
+    timed = lambda: chase(source, mapping.dependencies, limits=DEADLINE)  # noqa: E731
+
+    # Warm-up, then interleave rounds so drift hits all sides equally.
+    _time_once(plain), _time_once(counted), _time_once(timed)
+    base_times, count_times, clock_times = [], [], []
+    for _ in range(ROUNDS):
+        base_times.append(_time_once(plain))
+        count_times.append(_time_once(counted))
+        clock_times.append(_time_once(timed))
+    base = min(base_times)
+    count_ratio = min(count_times) / base if base else float("inf")
+    clock_ratio = min(clock_times) / base if base else float("inf")
+
+    print(f"ungoverned chase                : {base * 1e3:9.3f} ms")
+    print(f"counter limits (facts/nulls)    : {min(count_times) * 1e3:9.3f} ms  "
+          f"ratio {count_ratio:6.4f}")
+    print(f"deadline limit (clock reads)    : {min(clock_times) * 1e3:9.3f} ms  "
+          f"ratio {clock_ratio:6.4f}")
+    worst = max(count_ratio, clock_ratio)
+    ok = worst <= tolerance
+    print(f"acceptance: governed/ungoverned {worst:.4f} <= {tolerance} -> {ok}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

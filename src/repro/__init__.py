@@ -19,8 +19,30 @@ Quickstart::
 The classic ``M.chase(I)`` still works and delegates to a module-level
 default engine.  See ``examples/quickstart.py`` for the full Example 1.1
 round trip and ``docs/USAGE.md`` §9 for the engine API.
+
+Resource governance: every chase/engine entry point accepts
+``limits=Limits(deadline=0.5, max_facts=10_000, ...)``; on exhaustion
+the result comes back partial and tagged (``result.exhausted``) rather
+than raising.  Errors derive from :class:`repro.errors.ReproError`.
+See ``docs/ROBUSTNESS.md``.
 """
 
+from .errors import (
+    BatchItemError,
+    BudgetExhausted,
+    Cancelled,
+    FaultInjected,
+    ReproError,
+)
+from .limits import (
+    Budget,
+    CancelToken,
+    Exhausted,
+    FaultPlan,
+    Limits,
+    budget_scope,
+    inject_faults,
+)
 from .terms import Const, Null, NullFactory, Var
 from .schema import RelationSymbol, Schema
 from .instance import Fact, Instance, fact
@@ -74,6 +96,18 @@ from .obs import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ReproError",
+    "BudgetExhausted",
+    "Cancelled",
+    "FaultInjected",
+    "BatchItemError",
+    "Budget",
+    "CancelToken",
+    "Exhausted",
+    "FaultPlan",
+    "Limits",
+    "budget_scope",
+    "inject_faults",
     "Const",
     "Null",
     "NullFactory",

@@ -17,15 +17,28 @@ each world, where matching is syntactic and an inequality between distinct
 values holds.  DESIGN.md (substitution table) explains why this is exactly
 the completion needed for the paper's Theorems 6.2 and 6.5 to hold; the
 tests verify it on the paper's own mappings.
+
+Resource governance matters most here: branching is worst-case
+exponential in both directions (frontier width and per-branch depth),
+and the quotient pre-pass multiplies everything by a Bell number.  Both
+entry points take a :class:`repro.limits.Limits` (or a shared
+:class:`~repro.limits.Budget`); in ``on_exhausted="partial"`` mode an
+exhausted chase stops cleanly and returns the branches explored so far
+(unfinished frontier worlds included, each closed with a
+``BranchClosed(reason="exhausted")`` event) as a :class:`Branches` list
+tagged with the :class:`~repro.limits.Exhausted` diagnosis.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..deprecation import warn_deprecated_kwarg
+from ..errors import BudgetExhausted, ChaseNonTermination
 from ..homs.quotient import enumerate_quotients
 from ..homs.search import is_homomorphic
 from ..instance import Instance, InstanceBuilder
+from ..limits import Budget, Exhausted, Limits
 from ..logic.dependencies import Dependency, DisjunctiveTgd, iter_disjunctive
 from ..logic.matching import match_atoms
 from ..obs.events import (
@@ -37,7 +50,36 @@ from ..obs.events import (
 )
 from ..obs.tracer import Tracer, current_tracer, maybe_span
 from ..terms import NullFactory
-from .standard import ChaseNonTermination
+from .standard import report_exhaustion, resolve_budget
+
+#: Per-branch rounds guard when neither rounds nor deadline is bounded.
+DEFAULT_MAX_ROUNDS = 32
+
+#: Frontier-width guard when neither branches nor deadline is bounded.
+DEFAULT_MAX_BRANCHES = 10_000
+
+#: The pre-``Limits`` behavior of both entry points.
+_LEGACY_LIMITS = Limits(
+    max_rounds=DEFAULT_MAX_ROUNDS,
+    max_branches=DEFAULT_MAX_BRANCHES,
+    on_exhausted="raise",
+)
+
+
+class Branches(List[Instance]):
+    """The result of a disjunctive chase: a list of branch instances.
+
+    Behaves exactly like the plain ``List[Instance]`` it used to be
+    (equality, iteration, indexing), with one addition: ``exhausted``
+    carries the :class:`repro.limits.Exhausted` diagnosis when the run
+    was truncated by its budget (``None`` for a complete enumeration).
+    """
+
+    exhausted: Optional[Exhausted] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.exhausted is None
 
 
 def _trigger_satisfied(
@@ -56,15 +98,24 @@ def _trigger_satisfied(
     return False
 
 
+def _guard(bound: Optional[int], deadline: Optional[float], default: int):
+    """A fallback bound: applied only when nothing else limits the run."""
+    if bound is not None:
+        return bound
+    return default if deadline is None else None
+
+
 def disjunctive_chase(
     instance: Instance,
     dependencies: Sequence[Dependency],
-    max_rounds: int = 32,
-    max_branches: int = 10_000,
+    max_rounds: Optional[int] = None,
+    max_branches: Optional[int] = None,
     null_prefix: str = "D",
     tracer: Optional[Tracer] = None,
     branch_root: str = "b",
-) -> List[Instance]:
+    limits: Optional[Limits] = None,
+    budget: Optional[Budget] = None,
+) -> Branches:
     """Chase *instance* with disjunctive tgds; return the branch instances.
 
     Plain tgds are accepted too (treated as one-disjunct disjunctions).
@@ -78,38 +129,110 @@ def disjunctive_chase(
     firing carries its branch id, so the provenance graph can replay
     each finished branch exactly.
 
-    Raises :class:`ChaseNonTermination` when a branch exceeds *max_rounds*
-    rounds, and :class:`RuntimeError` when the frontier exceeds
-    *max_branches* worlds.
+    Resource governance: pass ``limits`` / ``budget`` as for
+    :func:`repro.chase.standard.chase`; the ``max_rounds`` and
+    ``max_branches`` keywords are deprecated aliases for
+    ``Limits(..., on_exhausted="raise")``.  In the legacy raise mode a
+    branch exceeding the round bound raises
+    :class:`ChaseNonTermination` and frontier explosion raises
+    :class:`repro.errors.BudgetExhausted` (a ``RuntimeError``); in
+    partial mode the chase stops and returns the worlds explored so far,
+    tagged via ``Branches.exhausted``.
     """
     dtgds: List[DisjunctiveTgd] = list(iter_disjunctive(dependencies))
+    if max_rounds is not None or max_branches is not None:
+        if max_rounds is not None:
+            warn_deprecated_kwarg(
+                "repro.disjunctive_chase", "max_rounds", "limits=Limits(...)"
+            )
+        if max_branches is not None:
+            warn_deprecated_kwarg(
+                "repro.disjunctive_chase", "max_branches", "limits=Limits(...)"
+            )
+        if limits is None and budget is None:
+            limits = Limits(
+                max_rounds=(
+                    max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
+                ),
+                max_branches=(
+                    max_branches
+                    if max_branches is not None
+                    else DEFAULT_MAX_BRANCHES
+                ),
+                on_exhausted="raise",
+            )
     if tracer is None:
         tracer = current_tracer()
+    budget = resolve_budget(limits, budget, _LEGACY_LIMITS)
+    lim = budget.limits
+    guard_rounds = _guard(lim.max_rounds, lim.deadline, DEFAULT_MAX_ROUNDS)
+    guard_branches = _guard(lim.max_branches, lim.deadline, DEFAULT_MAX_BRANCHES)
 
-    finished: List[Instance] = []
+    finished = Branches()
     frontier: List[Tuple[Instance, int, str]] = [(instance, 0, branch_root)]
     seen: Set[Instance] = set()
     if tracer is not None:
         tracer.emit(BranchOpened(branch=branch_root))
 
+    def flush_exhausted(pending: List[Tuple[Instance, int, str]]) -> None:
+        """Partial mode: unfinished worlds become results, tagged closed."""
+        for inst, _rounds, br in pending:
+            if inst not in seen:
+                seen.add(inst)
+                finished.append(inst)
+            if tracer is not None:
+                tracer.emit(
+                    BranchClosed(branch=br, reason="exhausted", facts=len(inst))
+                )
+
     with maybe_span(tracer, "disjunctive_chase", input_facts=len(instance)):
         while frontier:
-            if len(frontier) + len(finished) > max_branches:
-                raise RuntimeError(
-                    f"disjunctive chase exceeded max_branches={max_branches}"
+            width = len(frontier) + len(finished)
+            exhausted = budget.checkpoint("disjunctive_chase")
+            if (
+                exhausted is None
+                and guard_branches is not None
+                and width > guard_branches
+            ):
+                exhausted = budget.mark(
+                    "branches", "disjunctive_chase", guard_branches, width
                 )
+            if exhausted is not None:
+                report_exhaustion(tracer, exhausted)
+                if lim.raises:
+                    if exhausted.resource == "branches":
+                        raise BudgetExhausted(
+                            "disjunctive chase exceeded "
+                            f"max_branches={guard_branches}",
+                            diagnosis=exhausted,
+                        )
+                    budget.raise_exhausted()
+                flush_exhausted(frontier)
+                finished.exhausted = exhausted
+                return finished
             current, rounds, branch = frontier.pop()
-            if rounds > max_rounds:
+            if guard_rounds is not None and rounds > guard_rounds:
+                exhausted = budget.mark(
+                    "rounds", "disjunctive_chase", guard_rounds, rounds
+                )
                 if tracer is not None:
                     tracer.emit(
                         BranchClosed(
-                            branch=branch, reason="nonterminating", facts=len(current)
+                            branch=branch,
+                            reason="nonterminating",
+                            facts=len(current),
                         )
                     )
-                    tracer.metrics.inc("chase.nontermination")
-                raise ChaseNonTermination(
-                    f"disjunctive chase branch exceeded {max_rounds} rounds"
-                )
+                report_exhaustion(tracer, exhausted)
+                if lim.raises:
+                    raise ChaseNonTermination(
+                        f"disjunctive chase branch exceeded {guard_rounds} rounds",
+                        diagnosis=exhausted,
+                    )
+                flush_exhausted([(current, rounds, branch)])
+                flush_exhausted(frontier)
+                finished.exhausted = exhausted
+                return finished
             trigger = _find_trigger(dtgds, current)
             if trigger is None:
                 if current not in seen:
@@ -183,6 +306,7 @@ def disjunctive_chase(
                         )
                     )
                 child = builder.snapshot()
+                budget.charge("disjunctive_chase", facts=len(child))
                 if child not in seen:
                     frontier.append((child, rounds + 1, child_branch))
                 elif tracer is not None:
@@ -229,11 +353,13 @@ def reverse_disjunctive_chase(
     dependencies: Sequence[Dependency],
     result_relations: Sequence[str] | None = None,
     max_nulls: int = 8,
-    max_rounds: int = 32,
-    max_branches: int = 10_000,
+    max_rounds: Optional[int] = None,
+    max_branches: Optional[int] = None,
     minimize: bool = True,
     tracer: Optional[Tracer] = None,
-) -> List[Instance]:
+    limits: Optional[Limits] = None,
+    budget: Optional[Budget] = None,
+) -> Branches:
     """Reverse data exchange: chase a target instance back to source worlds.
 
     Branches first over the quotients of *target_instance* (worlds of null
@@ -244,26 +370,66 @@ def reverse_disjunctive_chase(
     With a *tracer*, each quotient world becomes a branch-genealogy root
     named ``q<index>`` and the per-world chases trace under it.
 
+    One :class:`~repro.limits.Budget` (built from *limits*, or passed in
+    directly) spans the whole composite — quotient enumeration and every
+    per-world chase — so a deadline governs the operation end to end.
+    ``max_rounds`` / ``max_branches`` are deprecated aliases (note that
+    ``max_nulls`` is *not* a limit: it bounds the quotient enumeration
+    and is part of the operation's semantics).
+
     Returns a hom-minimal antichain of branch instances unless
     ``minimize=False`` (the raw set is exponentially redundant).
     """
+    if max_rounds is not None or max_branches is not None:
+        if max_rounds is not None:
+            warn_deprecated_kwarg(
+                "repro.reverse_disjunctive_chase", "max_rounds", "limits=Limits(...)"
+            )
+        if max_branches is not None:
+            warn_deprecated_kwarg(
+                "repro.reverse_disjunctive_chase",
+                "max_branches",
+                "limits=Limits(...)",
+            )
+        if limits is None and budget is None:
+            limits = Limits(
+                max_rounds=(
+                    max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
+                ),
+                max_branches=(
+                    max_branches
+                    if max_branches is not None
+                    else DEFAULT_MAX_BRANCHES
+                ),
+                on_exhausted="raise",
+            )
     if tracer is None:
         tracer = current_tracer()
+    budget = resolve_budget(limits, budget, _LEGACY_LIMITS)
     collected: List[Instance] = []
+    exhausted: Optional[Exhausted] = None
     for quotient_index, quotient in enumerate(
         enumerate_quotients(target_instance, max_nulls=max_nulls)
     ):
-        for branch in disjunctive_chase(
+        branches = disjunctive_chase(
             quotient.instance,
             dependencies,
-            max_rounds=max_rounds,
-            max_branches=max_branches,
             tracer=tracer,
             branch_root=f"q{quotient_index}",
-        ):
+            budget=budget,
+        )
+        for branch in branches:
             if result_relations is not None:
                 branch = branch.restrict(result_relations)
             collected.append(branch)
+        if branches.exhausted is not None:
+            exhausted = branches.exhausted
+            break
     if minimize:
-        return minimize_branches(collected)
-    return sorted(set(collected), key=lambda inst: (len(inst), str(inst)))
+        result = Branches(minimize_branches(collected))
+    else:
+        result = Branches(
+            sorted(set(collected), key=lambda inst: (len(inst), str(inst)))
+        )
+    result.exhausted = exhausted
+    return result

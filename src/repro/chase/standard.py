@@ -19,8 +19,17 @@ Two variants are provided (design decision D1 in DESIGN.md):
   result is hom-equivalent to the restricted result.
 
 Both run to a fixpoint in rounds, so they also work when conclusions feed
-premises (not the s-t case); a ``max_rounds`` guard turns potential
-non-termination into :class:`ChaseNonTermination`.
+premises (not the s-t case).  Resource governance goes through
+:class:`repro.limits.Limits`: the chase checks a cooperative
+:class:`~repro.limits.Budget` (wall-clock deadline, fixpoint rounds,
+total facts, minted nulls, cancellation) inside the fixpoint loop, and
+on exhaustion either raises (``on_exhausted="raise"``, the historical
+behavior) or returns the work done so far as a *partial result* tagged
+with an :class:`~repro.limits.Exhausted` diagnosis.  Because the chase
+is deterministic and truncation only drops a suffix of the firing
+sequence, a partial instance is always a sound sub-instance of the full
+chase result.  With no limits configured a default 64-round
+non-termination guard applies (raising :class:`ChaseNonTermination`).
 """
 
 from __future__ import annotations
@@ -28,17 +37,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..deprecation import warn_deprecated_kwarg
+from ..errors import ChaseNonTermination
 from ..instance import Instance, InstanceBuilder
+from ..limits import Budget, Exhausted, Limits, current_budget
 from ..logic.atoms import Atom
 from ..logic.dependencies import Dependency, Tgd
 from ..logic.matching import match_atoms
-from ..obs.events import NullMinted, TriggerFired, freeze_binding
+from ..obs.events import NullMinted, TriggerFired, exhaustion_event, freeze_binding
 from ..obs.tracer import Tracer, current_tracer, maybe_span
 from ..terms import NullFactory, Value, Var
 
+__all__ = [
+    "ChaseNonTermination",
+    "ChaseResult",
+    "chase",
+    "chase_atoms_canonical",
+]
 
-class ChaseNonTermination(RuntimeError):
-    """The chase exceeded its round budget without reaching a fixpoint."""
+#: Rounds guard applied when the caller sets neither rounds nor deadline
+#: (non-termination must stay an error, never a hang).
+DEFAULT_MAX_ROUNDS = 64
+
+#: The pre-``Limits`` behavior: 64 rounds, raise on exhaustion.
+_LEGACY_LIMITS = Limits(max_rounds=DEFAULT_MAX_ROUNDS, on_exhausted="raise")
 
 
 @dataclass(frozen=True)
@@ -48,12 +70,23 @@ class ChaseResult:
     ``instance`` is the full chased instance (input plus generated facts);
     ``generated`` the facts added by the chase; ``steps`` the number of
     trigger firings; ``rounds`` the number of fixpoint rounds used.
+
+    ``exhausted`` is ``None`` for a completed fixpoint; on a
+    budget-limited run it carries the :class:`repro.limits.Exhausted`
+    diagnosis and ``instance`` is the sound partial result (a
+    sub-instance of what the unlimited chase would produce).
     """
 
     instance: Instance
     generated: FrozenSet
     steps: int
     rounds: int
+    exhausted: Optional[Exhausted] = None
+
+    @property
+    def completed(self) -> bool:
+        """True when the chase reached its fixpoint within budget."""
+        return self.exhausted is None
 
     def restricted_to(self, relations: Sequence[str]) -> Instance:
         """The chased instance projected onto the given relation names."""
@@ -126,13 +159,57 @@ def _fire(
     return len(added)
 
 
+def resolve_budget(
+    limits: Optional[Limits],
+    budget: Optional[Budget],
+    legacy: Limits,
+    fallback_rounds: Optional[int] = None,
+) -> Budget:
+    """The effective budget for one chase call.
+
+    Priority: an explicit *budget* (shared accounting, honored as-is) >
+    explicit *limits* > the thread's ambient budget > *legacy* defaults.
+    A fresh budget built from limits that bound neither rounds nor time
+    gets *fallback_rounds* imposed so unbounded recursion stays an error
+    rather than a hang.
+    """
+    if budget is not None:
+        return budget
+    if limits is None:
+        ambient = current_budget()
+        if ambient is not None:
+            return ambient
+        return Budget(legacy)
+    if (
+        fallback_rounds is not None
+        and limits.max_rounds is None
+        and limits.deadline is None
+    ):
+        limits = limits.replace(max_rounds=fallback_rounds)
+    return Budget(limits)
+
+
+def report_exhaustion(
+    tracer: Optional[Tracer], diagnosis: Exhausted
+) -> None:
+    """Emit the exhaustion event and counters onto the tracer."""
+    if tracer is None:
+        return
+    tracer.emit(exhaustion_event(diagnosis))
+    tracer.metrics.inc(f"budget.exhausted.{diagnosis.resource}")
+    if diagnosis.resource == "rounds":
+        tracer.metrics.inc("chase.nontermination")
+
+
 def chase(
     instance: Instance,
     dependencies: Sequence[Dependency],
     variant: str = "restricted",
-    max_rounds: int = 64,
+    max_rounds: Optional[int] = None,
     null_prefix: str = "N",
     tracer: Optional[Tracer] = None,
+    limits: Optional[Limits] = None,
+    budget: Optional[Budget] = None,
 ) -> ChaseResult:
     """Chase *instance* with plain tgds; returns the full chased instance.
 
@@ -140,14 +217,24 @@ def chase(
     need :func:`repro.chase.disjunctive.disjunctive_chase`).  Guards on
     premises are honored during matching.
 
+    Resource governance: pass ``limits`` (a :class:`repro.limits.Limits`)
+    to bound wall-clock time, rounds, facts, or minted nulls; with
+    ``on_exhausted="partial"`` (the ``Limits`` default) exhaustion
+    returns the tagged partial result instead of raising.  A shared
+    ``budget`` (:class:`repro.limits.Budget`) may be passed instead for
+    composite operations; otherwise the thread's ambient budget
+    (:func:`repro.limits.budget_scope`) applies.  The ``max_rounds``
+    keyword is a deprecated alias of ``Limits(max_rounds=...,
+    on_exhausted="raise")``.
+
     With a *tracer* (explicit, or the ambient one from
     :func:`repro.obs.tracing`) every trigger firing and minted null is
     emitted as a typed event and recorded in the tracer's provenance
     graph; tracing never changes the chase result.  On non-termination
     the events emitted so far stay on the tracer (a partial trace).
 
-    Raises :class:`ChaseNonTermination` after *max_rounds* fixpoint rounds;
-    for source-to-target tgds one round always suffices.
+    With no limits at all, raises :class:`ChaseNonTermination` after 64
+    fixpoint rounds; for source-to-target tgds one round always suffices.
     """
     tgds: List[Tgd] = []
     for dep in dependencies:
@@ -159,47 +246,63 @@ def chase(
         tgds.append(dep)
     if variant not in ("restricted", "oblivious"):
         raise ValueError(f"unknown chase variant {variant!r}")
+    if max_rounds is not None:
+        warn_deprecated_kwarg("repro.chase", "max_rounds", "limits=Limits(...)")
+        if limits is None and budget is None:
+            limits = Limits(max_rounds=max_rounds, on_exhausted="raise")
     if tracer is None:
         tracer = current_tracer()
+    budget = resolve_budget(
+        limits, budget, _LEGACY_LIMITS, fallback_rounds=DEFAULT_MAX_ROUNDS
+    )
 
     builder = InstanceBuilder(instance)
     factory = NullFactory.avoiding(instance.active_domain, prefix=null_prefix)
     fired: Set[Tuple[int, Tuple[Tuple[Var, Value], ...]]] = set()
     steps = 0
     rounds = 0
+    minted_total = 0
+    exhausted: Optional[Exhausted] = None
 
     with maybe_span(tracer, "chase", variant=variant, input_facts=len(instance)):
-        while True:
+        while exhausted is None:
             rounds += 1
-            if rounds > max_rounds:
-                if tracer is not None:
-                    tracer.metrics.inc("chase.nontermination")
-                raise ChaseNonTermination(
-                    f"chase did not terminate within {max_rounds} rounds"
-                )
+            exhausted = budget.start_round("chase")
+            if exhausted is not None:
+                rounds -= 1  # the exhausted round never ran
+                break
             current = builder.snapshot()
             progressed = False
             for tgd_index, tgd in enumerate(tgds):
+                if exhausted is not None:
+                    break
                 for binding in match_atoms(tgd.premise, current, tgd.guards):
                     if variant == "oblivious":
                         key = (tgd_index, tuple(sorted(binding.items())))
                         if key in fired:
                             continue
                         fired.add(key)
-                        _fire(tgd, binding, builder, factory, tracer, tgd_index, rounds)
-                        steps += 1
-                        progressed = True
                     else:
                         # Restricted: check satisfaction against the *live*
                         # builder state so one round does not add duplicate
                         # witnesses for overlapping triggers.
                         if _conclusion_satisfied(tgd, binding, builder):
                             continue
-                        _fire(tgd, binding, builder, factory, tracer, tgd_index, rounds)
-                        steps += 1
-                        progressed = True
-            if not progressed:
+                    _fire(tgd, binding, builder, factory, tracer, tgd_index, rounds)
+                    steps += 1
+                    progressed = True
+                    minted_total += len(tgd.existential_variables)
+                    exhausted = budget.charge(
+                        "chase", facts=len(builder), nulls=minted_total
+                    )
+                    if exhausted is not None:
+                        break
+            if not progressed and exhausted is None:
                 break
+        if exhausted is not None:
+            report_exhaustion(tracer, exhausted)
+            if budget.limits.raises:
+                budget.raise_exhausted()
 
     final = builder.snapshot()
     return ChaseResult(
@@ -207,6 +310,7 @@ def chase(
         generated=final.facts - instance.facts,
         steps=steps,
         rounds=rounds,
+        exhausted=exhausted,
     )
 
 

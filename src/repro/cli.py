@@ -22,6 +22,14 @@ and ``--trace out.jsonl`` records the run under a tracer and writes
 the event/span log as JSONL (flushed even when the chase aborts with
 non-termination — exit code 3 — so the partial trace is inspectable).
 
+Resource governance (see ``docs/ROBUSTNESS.md``): ``--deadline S``,
+``--max-rounds N``, ``--max-facts N``, and ``--max-branches N`` bound
+the run; when any is set the chase degrades gracefully — a truncated
+result prints normally with a ``partial:`` note on stderr (exit 0)
+instead of aborting.  Batches add ``--on-error skip`` (failed items
+report per-item on stderr and the rest complete; exit 5 when any item
+failed) and ``--retries N`` for transiently failing items.
+
 ``repro explain`` chases an instance under a provenance-recording
 tracer and prints the derivation tree of each requested fact (or of
 every generated fact when ``--fact`` is omitted).
@@ -36,11 +44,13 @@ from typing import List, Optional
 
 from .chase.standard import ChaseNonTermination
 from .engine import ExchangeEngine
+from .errors import BatchItemError
 from .instance import Instance
 from .inverses.quasi_inverse import (
     NotFullTgds,
     maximum_extended_recovery_for_full_tgds,
 )
+from .limits import Limits
 from .mappings.schema_mapping import SchemaMapping
 from .obs import Tracer, render_derivation, write_trace_jsonl
 from .parsing.parser import parse_query
@@ -55,13 +65,38 @@ def _load_mapping(spec: str) -> SchemaMapping:
     return SchemaMapping.from_text(text)
 
 
+def _limits_from_args(args: argparse.Namespace) -> Optional[Limits]:
+    """A ``Limits`` from the governance flags, or ``None`` when none set.
+
+    CLI-built limits use ``on_exhausted="partial"``: the whole point of
+    bounding a command-line run is getting the partial result back.
+    """
+    values = {
+        name: getattr(args, name, None)
+        for name in ("deadline", "max_rounds", "max_facts", "max_branches")
+    }
+    if all(value is None for value in values.values()):
+        return None
+    return Limits(**values)
+
+
 def _make_engine(args: argparse.Namespace) -> ExchangeEngine:
     tracer = Tracer() if getattr(args, "trace", None) else None
     return ExchangeEngine(
         enable_cache=not getattr(args, "no_cache", False),
         jobs=getattr(args, "jobs", None),
         tracer=tracer,
+        limits=_limits_from_args(args),
+        retries=getattr(args, "retries", None) or 0,
+        on_error=getattr(args, "on_error", None) or "raise",
     )
+
+
+def _note_partial(result, index: Optional[int] = None) -> None:
+    """Report a budget-truncated result on stderr (the result printed)."""
+    if result.exhausted is not None:
+        prefix = "" if index is None else f"[{index}] "
+        print(f"{prefix}partial: {result.exhausted.describe()}", file=sys.stderr)
 
 
 def _finish(engine: ExchangeEngine, args: argparse.Namespace, code: int) -> int:
@@ -90,18 +125,26 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
     sources = _parse_instances(args)
+    failures = 0
     try:
         if len(sources) == 1:
-            print(engine.chase(mapping, sources[0], variant=args.variant))
+            result = engine.exchange(mapping, sources[0], variant=args.variant)
+            print(result.instance)
+            _note_partial(result)
         else:
             results = engine.chase_many(
                 mapping, sources, jobs=args.jobs, variant=args.variant
             )
             for index, result in enumerate(results):
+                if isinstance(result, BatchItemError):
+                    failures += 1
+                    print(f"[{index}] error: {result}", file=sys.stderr)
+                    continue
                 print(f"[{index}] {result.instance}")
+                _note_partial(result, index)
     except ChaseNonTermination as exc:
         return _nonterminating(engine, args, exc)
-    return _finish(engine, args, 0)
+    return _finish(engine, args, 5 if failures else 0)
 
 
 def _print_candidates(result, prefix: str = "") -> None:
@@ -116,12 +159,14 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
     targets = _parse_instances(args)
+    failures = 0
     try:
         if len(targets) == 1:
             result = engine.reverse(
                 mapping, targets[0], max_nulls=args.max_nulls, take_core=True
             )
             _print_candidates(result)
+            _note_partial(result)
         else:
             results = engine.reverse_many(
                 mapping,
@@ -131,10 +176,15 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
                 take_core=True,
             )
             for index, result in enumerate(results):
+                if isinstance(result, BatchItemError):
+                    failures += 1
+                    print(f"[{index}] error: {result}", file=sys.stderr)
+                    continue
                 _print_candidates(result, prefix=f"[{index}] ")
+                _note_partial(result, index)
     except ChaseNonTermination as exc:
         return _nonterminating(engine, args, exc)
-    return _finish(engine, args, 0)
+    return _finish(engine, args, 5 if failures else 0)
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -265,6 +315,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="record the run under a tracer and write JSONL to PATH "
              "(flushed even on non-termination)")
+    engine_flags.add_argument(
+        "--deadline", type=float, metavar="SECONDS",
+        help="wall-clock budget; on exhaustion the partial result prints "
+             "with a 'partial:' note on stderr")
+    engine_flags.add_argument(
+        "--max-rounds", type=int, metavar="N",
+        help="bound chase fixpoint rounds (per branch for disjunctive)")
+    engine_flags.add_argument(
+        "--max-facts", type=int, metavar="N",
+        help="bound total facts in the chased instance")
+    engine_flags.add_argument(
+        "--max-branches", type=int, metavar="N",
+        help="bound live branches of the disjunctive chase")
+    engine_flags.add_argument(
+        "--on-error", choices=["raise", "skip"], default=None,
+        help="batch item failure policy: raise (default) aborts, skip "
+             "reports failed items on stderr and exits 5")
+    engine_flags.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry transiently failing batch items up to N times")
 
     chase = sub.add_parser("chase", parents=[engine_flags],
                            help="forward data exchange (the chase)")

@@ -35,18 +35,27 @@ from typing import (
 
 from ..chase.disjunctive import reverse_disjunctive_chase
 from ..chase.standard import ChaseResult, chase
+from ..errors import BatchItemError
 from ..instance import Instance
+from ..limits import (
+    Exhausted,
+    FaultPlan,
+    Limits,
+    current_fault_plan,
+    resolve_limits,
+)
 from ..mappings.schema_mapping import SchemaMapping
 from ..obs.events import CacheHit, CacheMiss
 from ..obs.tracer import Tracer, current_tracer, maybe_span
 from .cache import LRUCache
 from .parallel import (
+    ItemOutcome,
     chase_task,
     chase_task_traced,
     make_executor,
     reverse_task,
     reverse_task_traced,
-    run_batch,
+    run_batch_isolated,
 )
 from .results import (
     AuditReport,
@@ -58,6 +67,12 @@ from .results import (
 
 _OPS = ("chase", "reverse", "hom", "core", "audit", "answer")
 
+_ON_ERROR = ("raise", "skip")
+
+#: The disjunctive reverse chase's historical guards, as a ``Limits``
+#: base layer (per-call/engine limits are merged on top of it).
+_LEGACY_REVERSE = Limits(max_rounds=32, on_exhausted="raise")
+
 
 @dataclass
 class _OpCounters:
@@ -68,6 +83,7 @@ class _OpCounters:
     steps: int = 0
     rounds: int = 0
     branches: int = 0
+    errors: int = 0
 
 
 class ExchangeEngine:
@@ -92,6 +108,23 @@ class ExchangeEngine:
         per call, so ``with tracing(): engine.chase(...)`` also works.
         Batch operations run each worker under a private tracer and
         merge the per-worker traces on join.
+    limits:
+        Engine-level default :class:`repro.limits.Limits`; per-call
+        ``limits`` merge on top of it (:func:`repro.limits.resolve_limits`).
+        ``None`` (the default) keeps the historical unlimited/raise
+        behavior.  Results truncated by a budget are tagged
+        (``result.exhausted``) and never cached — the caches hold only
+        completed, limit-independent results.
+    retries:
+        Default retry budget for batch items that fail *transiently*
+        (injected crash faults, broken pools, OS-level errors).  Budget
+        exhaustion is never retried.
+    on_error:
+        Default per-item failure policy for ``chase_many`` /
+        ``reverse_many``: ``"raise"`` (historical — the first failure
+        propagates) or ``"skip"`` (each failed item resolves to a
+        :class:`repro.errors.BatchItemError` in its input position and
+        the rest of the batch completes).
     """
 
     def __init__(
@@ -101,7 +134,16 @@ class ExchangeEngine:
         jobs: Optional[int] = None,
         process_threshold: int = 200,
         tracer: Optional[Tracer] = None,
+        limits: Optional[Limits] = None,
+        retries: int = 0,
+        on_error: str = "raise",
     ) -> None:
+        if on_error not in _ON_ERROR:
+            raise ValueError(
+                f"on_error must be one of {_ON_ERROR}, got {on_error!r}"
+            )
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries!r}")
         size = cache_size if enable_cache else 0
         self._caches: Dict[str, LRUCache] = {op: LRUCache(size) for op in _OPS}
         self._ops: Dict[str, _OpCounters] = {op: _OpCounters() for op in _OPS}
@@ -109,6 +151,9 @@ class ExchangeEngine:
         self.jobs = jobs
         self.process_threshold = process_threshold
         self.tracer = tracer
+        self.limits = limits
+        self.retries = retries
+        self.on_error = on_error
         self._clock = time.perf_counter
 
     def _tracer(self) -> Optional[Tracer]:
@@ -139,6 +184,7 @@ class ExchangeEngine:
         rounds: int = 0,
         branches: int = 0,
         calls: int = 1,
+        errors: int = 0,
     ) -> None:
         with self._ops_lock:
             counters = self._ops[op]
@@ -147,6 +193,7 @@ class ExchangeEngine:
             counters.steps += steps
             counters.rounds += rounds
             counters.branches += branches
+            counters.errors += errors
 
     @staticmethod
     def _key_id(key: tuple) -> str:
@@ -161,9 +208,21 @@ class ExchangeEngine:
     # ------------------------------------------------------------------
 
     def exchange(
-        self, mapping: SchemaMapping, source: Instance, variant: str = "restricted"
+        self,
+        mapping: SchemaMapping,
+        source: Instance,
+        variant: str = "restricted",
+        limits: Optional[Limits] = None,
     ) -> ExchangeResult:
-        """``chase_M(I)`` as a normalized :class:`ExchangeResult`."""
+        """``chase_M(I)`` as a normalized :class:`ExchangeResult`.
+
+        *limits* merges over the engine's default limits.  The cache key
+        deliberately excludes limits: a chase that *completes* under a
+        budget is identical to the unlimited chase (determinism), so a
+        cached completed result is correct for every budget; partial
+        (exhausted) results are returned tagged but never cached.
+        """
+        effective = resolve_limits(limits, self.limits)
         key = ("chase", mapping.digest(), source.digest(), variant)
         tracer = self._tracer()
         hit, entry = self._caches["chase"].get(key)
@@ -173,12 +232,17 @@ class ExchangeEngine:
             start = self._clock()
             with maybe_span(tracer, "engine.chase", key=self._key_id(key)):
                 result = chase(
-                    source, mapping.dependencies, variant=variant, tracer=tracer
+                    source,
+                    mapping.dependencies,
+                    variant=variant,
+                    tracer=tracer,
+                    limits=effective,
                 )
             restricted = result.restricted_to(mapping.target.names)
             elapsed = self._clock() - start
             entry = (result, restricted)
-            self._caches["chase"].put(key, entry)
+            if result.exhausted is None:
+                self._caches["chase"].put(key, entry)
             self._record(
                 "chase", wall_time=elapsed, steps=result.steps, rounds=result.rounds
             )
@@ -191,19 +255,46 @@ class ExchangeEngine:
             generated=frozenset(result.generated),
             stats=OperationStats(elapsed, result.steps, result.rounds),
             provenance=CacheProvenance(self._key_id(key), hit),
+            exhausted=result.exhausted,
         )
 
     def chase(
-        self, mapping: SchemaMapping, source: Instance, variant: str = "restricted"
+        self,
+        mapping: SchemaMapping,
+        source: Instance,
+        variant: str = "restricted",
+        limits: Optional[Limits] = None,
     ) -> Instance:
         """The target restriction of the chased instance (facade shape)."""
-        return self.exchange(mapping, source, variant=variant).instance
+        return self.exchange(mapping, source, variant=variant, limits=limits).instance
 
     def chase_result(
-        self, mapping: SchemaMapping, source: Instance, variant: str = "restricted"
+        self,
+        mapping: SchemaMapping,
+        source: Instance,
+        variant: str = "restricted",
+        limits: Optional[Limits] = None,
     ) -> ChaseResult:
         """Deprecated alias shape: the legacy :class:`ChaseResult`."""
-        return self.exchange(mapping, source, variant=variant).to_chase_result()
+        return self.exchange(
+            mapping, source, variant=variant, limits=limits
+        ).to_chase_result()
+
+    def _batch_policy(
+        self,
+        on_error: Optional[str],
+        retries: Optional[int],
+        faults: Optional[FaultPlan],
+    ) -> Tuple[str, int, Optional[FaultPlan]]:
+        """Resolve per-call batch knobs over the engine defaults."""
+        policy = on_error if on_error is not None else self.on_error
+        if policy not in _ON_ERROR:
+            raise ValueError(
+                f"on_error must be one of {_ON_ERROR}, got {policy!r}"
+            )
+        budget = retries if retries is not None else self.retries
+        plan = faults if faults is not None else current_fault_plan()
+        return policy, budget, plan
 
     def chase_many(
         self,
@@ -211,7 +302,11 @@ class ExchangeEngine:
         instances: Iterable[Instance],
         jobs: Optional[int] = None,
         variant: str = "restricted",
-    ) -> List[ExchangeResult]:
+        limits: Optional[Limits] = None,
+        on_error: Optional[str] = None,
+        retries: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> List[object]:
         """Chase a batch of source instances, deduplicated and fanned out.
 
         Content-addressed dedup runs first — structurally identical
@@ -219,17 +314,33 @@ class ExchangeEngine:
         the remaining unique work goes to a process pool, thread pool,
         or serial loop per the size policy.  Results come back in input
         order and are fact-for-fact identical to the serial path.
+
+        Items are **fault isolated**: one item failing does not abandon
+        the batch.  Under ``on_error="skip"`` each failed item resolves
+        to a :class:`repro.errors.BatchItemError` in its input position
+        (so the list mixes :class:`ExchangeResult` and error objects);
+        under ``"raise"`` (the historical default) the remaining items
+        still complete and cache, then the first failure propagates.
+        Transient failures retry up to *retries* extra attempts.  A
+        deadline in *limits* bounds the whole batch: unfinished items
+        come back as deadline-exhausted errors, finished ones survive.
+        *faults* (default: the ambient :func:`repro.limits.inject_faults`
+        plan) injects deterministic failures by batch index for tests —
+        deduplicated items take the fault of their first occurrence.
         """
         instances = list(instances)
         workers = jobs if jobs is not None else (self.jobs or 1)
+        policy, retry_budget, plan = self._batch_policy(on_error, retries, faults)
+        effective = resolve_limits(limits, self.limits)
         tracer = self._tracer()
         mapping_digest = mapping.digest()
         keys = [
             ("chase", mapping_digest, inst.digest(), variant) for inst in instances
         ]
         resolved: Dict[tuple, Tuple[tuple, bool]] = {}
-        pending: Dict[tuple, Instance] = {}
-        for key, inst in zip(keys, instances):
+        failed: Dict[tuple, ItemOutcome] = {}
+        pending: Dict[tuple, Tuple[Instance, int]] = {}
+        for index, (key, inst) in enumerate(zip(keys, instances)):
             if key in resolved or key in pending:
                 continue
             hit, entry = self._caches["chase"].get(key)
@@ -238,45 +349,73 @@ class ExchangeEngine:
                 resolved[key] = (entry, True)
                 self._record("chase", calls=1)
             else:
-                pending[key] = inst
+                pending[key] = (inst, index)
         if pending:
             todo = list(pending.items())
             executor = make_executor(
                 workers,
                 len(todo),
-                max(len(inst) for inst in pending.values()),
+                max(len(inst) for inst, _ in pending.values()),
                 self.process_threshold,
             )
+            payloads = [
+                (
+                    mapping,
+                    inst,
+                    variant,
+                    effective,
+                    plan.for_item(first) if plan else None,
+                    1,
+                )
+                for _, (inst, first) in todo
+            ]
+            fn = chase_task_traced if tracer is not None else chase_task
             start = self._clock()
             with maybe_span(tracer, "engine.chase_many", items=len(todo)):
-                if tracer is not None:
-                    traced = run_batch(
-                        [(mapping, inst, variant) for _, inst in todo],
-                        chase_task_traced,
-                        executor,
-                    )
-                    results = []
-                    for result, state in traced:
-                        tracer.absorb(state)
-                        results.append(result)
-                else:
-                    results = run_batch(
-                        [(mapping, inst, variant) for _, inst in todo],
-                        chase_task,
-                        executor,
-                    )
+                outcomes = run_batch_isolated(
+                    payloads,
+                    fn,
+                    executor,
+                    retries=retry_budget,
+                    deadline=effective.deadline if effective else None,
+                )
             elapsed = self._clock() - start
-            for (key, _), result in zip(todo, results):
+            for (key, _), outcome in zip(todo, outcomes):
+                if not outcome.ok:
+                    failed[key] = outcome
+                    self._record("chase", calls=1, errors=1)
+                    continue
+                if tracer is not None:
+                    result, state = outcome.value
+                    tracer.absorb(state)
+                else:
+                    result = outcome.value
                 restricted = result.restricted_to(mapping.target.names)
                 entry = (result, restricted)
-                self._caches["chase"].put(key, entry)
+                if result.exhausted is None:
+                    self._caches["chase"].put(key, entry)
                 resolved[key] = (entry, False)
                 self._record(
                     "chase", steps=result.steps, rounds=result.rounds, calls=1
                 )
             self._record("chase", wall_time=elapsed, calls=0)
-        out: List[ExchangeResult] = []
-        for key in keys:
+            if failed and policy == "raise":
+                for key in keys:
+                    if key in failed:
+                        raise failed[key].error
+        out: List[object] = []
+        for index, key in enumerate(keys):
+            if key in failed:
+                outcome = failed[key]
+                out.append(
+                    BatchItemError(
+                        index=index,
+                        op="chase",
+                        error=outcome.error,
+                        attempts=max(outcome.attempts, 1),
+                    )
+                )
+                continue
             (result, restricted), hit = resolved[key]
             out.append(
                 ExchangeResult(
@@ -285,6 +424,7 @@ class ExchangeEngine:
                     generated=frozenset(result.generated),
                     stats=OperationStats(0.0, result.steps, result.rounds),
                     provenance=CacheProvenance(self._key_id(key), hit),
+                    exhausted=result.exhausted,
                 )
             )
         return out
@@ -293,6 +433,15 @@ class ExchangeEngine:
     # Reverse exchange
     # ------------------------------------------------------------------
 
+    def _reverse_limits(
+        self, max_branches: int, limits: Optional[Limits]
+    ) -> Limits:
+        """The disjunctive reverse chase's effective limits: the legacy
+        guards (32 rounds/branch, *max_branches* worlds, raise) as the
+        base, engine-level and per-call limits layered on top."""
+        base = _LEGACY_REVERSE.replace(max_branches=max_branches)
+        return base.merge(resolve_limits(limits, self.limits))
+
     def _reverse_branches(
         self,
         mapping: SchemaMapping,
@@ -300,7 +449,8 @@ class ExchangeEngine:
         max_nulls: int,
         minimize: bool,
         max_branches: int,
-    ) -> Tuple[bool, tuple, Tuple[Instance, ...]]:
+        limits: Optional[Limits] = None,
+    ) -> Tuple[bool, tuple, Tuple[Instance, ...], Optional[Exhausted]]:
         """The cached disjunctive-chase branch set of one target."""
         key = (
             "reverse",
@@ -313,28 +463,30 @@ class ExchangeEngine:
         tracer = self._tracer()
         hit, candidates = self._caches["reverse"].get(key)
         self._cache_event(tracer, "reverse", key, hit)
+        exhausted: Optional[Exhausted] = None
         if not hit:
             start = self._clock()
             with maybe_span(tracer, "engine.reverse", key=self._key_id(key)):
-                candidates = tuple(
-                    reverse_disjunctive_chase(
-                        target,
-                        mapping.dependencies,
-                        result_relations=mapping.target.names,
-                        max_nulls=max_nulls,
-                        minimize=minimize,
-                        max_branches=max_branches,
-                        tracer=tracer,
-                    )
+                branches = reverse_disjunctive_chase(
+                    target,
+                    mapping.dependencies,
+                    result_relations=mapping.target.names,
+                    max_nulls=max_nulls,
+                    minimize=minimize,
+                    limits=self._reverse_limits(max_branches, limits),
+                    tracer=tracer,
                 )
+            candidates = tuple(branches)
+            exhausted = branches.exhausted
             elapsed = self._clock() - start
-            self._caches["reverse"].put(key, candidates)
+            if exhausted is None:
+                self._caches["reverse"].put(key, candidates)
             self._record(
                 "reverse", wall_time=elapsed, branches=len(candidates)
             )
         else:
             self._record("reverse", calls=1)
-        return hit, key, candidates
+        return hit, key, candidates, exhausted
 
     def reverse(
         self,
@@ -344,24 +496,28 @@ class ExchangeEngine:
         minimize: bool = True,
         max_branches: int = 10_000,
         take_core: bool = False,
+        limits: Optional[Limits] = None,
     ) -> ReverseResult:
         """Materialize candidate source instances from a target instance.
 
         Plain-tgd reverse mappings use the (cached) standard chase — one
         candidate; disjunctive ones use the (cached) quotient-branching
         reverse chase.  With *take_core* every candidate is folded to
-        its core through the core cache.
+        its core through the core cache.  *limits* governs the run as in
+        :meth:`exchange`; a truncated branch enumeration comes back
+        tagged (``result.exhausted``) and uncached.
         """
         if reverse_mapping.is_disjunctive() or reverse_mapping.uses_inequality():
-            hit, key, candidates = self._reverse_branches(
-                reverse_mapping, target, max_nulls, minimize, max_branches
+            hit, key, candidates, exhausted = self._reverse_branches(
+                reverse_mapping, target, max_nulls, minimize, max_branches, limits
             )
         else:
-            forward = self.exchange(reverse_mapping, target)
-            hit, key, candidates = (
+            forward = self.exchange(reverse_mapping, target, limits=limits)
+            hit, key, candidates, exhausted = (
                 forward.cached,
                 ("chase", reverse_mapping.digest(), target.digest(), "restricted"),
                 (forward.instance,),
+                forward.exhausted,
             )
         if not candidates:
             candidates = (Instance(),)
@@ -372,6 +528,7 @@ class ExchangeEngine:
             canonical=candidates[0],
             stats=OperationStats(branches=len(candidates)),
             provenance=CacheProvenance(self._key_id(key), hit),
+            exhausted=exhausted,
         )
 
     def reverse_chase(
@@ -381,11 +538,12 @@ class ExchangeEngine:
         max_nulls: int = 8,
         minimize: bool = True,
         max_branches: int = 10_000,
+        limits: Optional[Limits] = None,
     ) -> List[Instance]:
         """Deprecated alias shape: the raw branch list of the disjunctive
         chase, exactly as ``SchemaMapping.reverse_chase`` returned it."""
-        _, _, candidates = self._reverse_branches(
-            mapping, target, max_nulls, minimize, max_branches
+        _, _, candidates, _ = self._reverse_branches(
+            mapping, target, max_nulls, minimize, max_branches, limits
         )
         return list(candidates)
 
@@ -398,26 +556,51 @@ class ExchangeEngine:
         minimize: bool = True,
         max_branches: int = 10_000,
         take_core: bool = False,
-    ) -> List[ReverseResult]:
+        limits: Optional[Limits] = None,
+        on_error: Optional[str] = None,
+        retries: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> List[object]:
         """Reverse a batch of target instances (dedup + fan-out).
 
         Plain-tgd reverse mappings route through :meth:`chase_many`, so
         the chase cache stays coherent with the serial path; disjunctive
         ones dedupe on the reverse cache and fan the quotient-branching
-        chase out per unique target.
+        chase out per unique target.  Fault isolation, retries, the
+        batch deadline, and fault injection behave exactly as in
+        :meth:`chase_many` (under ``on_error="skip"`` failed items
+        resolve to :class:`repro.errors.BatchItemError`, ``op="reverse"``).
         """
         targets = list(targets)
         workers = jobs if jobs is not None else (self.jobs or 1)
+        policy, retry_budget, plan = self._batch_policy(on_error, retries, faults)
         tracer = self._tracer()
         disjunctive = (
             reverse_mapping.is_disjunctive() or reverse_mapping.uses_inequality()
         )
         if not disjunctive:
             forward = self.chase_many(
-                reverse_mapping, targets, jobs=workers
+                reverse_mapping,
+                targets,
+                jobs=workers,
+                limits=limits,
+                on_error=policy,
+                retries=retry_budget,
+                faults=plan,
             )
-            results = []
-            for item in forward:
+            results: List[object] = []
+            for index, item in enumerate(forward):
+                if isinstance(item, BatchItemError):
+                    results.append(
+                        BatchItemError(
+                            index=index,
+                            op="reverse",
+                            error=item.error,
+                            attempts=item.attempts,
+                            diagnosis=item.diagnosis,
+                        )
+                    )
+                    continue
                 candidates: Tuple[Instance, ...] = (item.instance,)
                 if take_core:
                     candidates = tuple(self.core(c) for c in candidates)
@@ -427,58 +610,95 @@ class ExchangeEngine:
                         canonical=candidates[0],
                         stats=OperationStats(branches=1),
                         provenance=item.provenance,
+                        exhausted=item.exhausted,
                     )
                 )
             return results
+        task_limits = self._reverse_limits(max_branches, limits)
         mapping_digest = reverse_mapping.digest()
         keys = [
             ("reverse", mapping_digest, t.digest(), max_nulls, minimize, max_branches)
             for t in targets
         ]
-        resolved: Dict[tuple, Tuple[Tuple[Instance, ...], bool]] = {}
-        pending: Dict[tuple, Instance] = {}
-        for key, target in zip(keys, targets):
+        resolved: Dict[tuple, Tuple[Tuple[Instance, ...], bool, Optional[Exhausted]]] = {}
+        failed: Dict[tuple, ItemOutcome] = {}
+        pending: Dict[tuple, Tuple[Instance, int]] = {}
+        for index, (key, target) in enumerate(zip(keys, targets)):
             if key in resolved or key in pending:
                 continue
             hit, candidates = self._caches["reverse"].get(key)
             self._cache_event(tracer, "reverse", key, hit)
             if hit:
-                resolved[key] = (candidates, True)
+                resolved[key] = (candidates, True, None)
                 self._record("reverse", calls=1)
             else:
-                pending[key] = target
+                pending[key] = (target, index)
         if pending:
             todo = list(pending.items())
             executor = make_executor(
                 workers,
                 len(todo),
-                max(len(t) for t in pending.values()),
+                max(len(t) for t, _ in pending.values()),
                 self.process_threshold,
             )
-            start = self._clock()
             payloads = [
-                (reverse_mapping, t, max_nulls, minimize, max_branches)
-                for _, t in todo
+                (
+                    reverse_mapping,
+                    t,
+                    max_nulls,
+                    minimize,
+                    task_limits,
+                    plan.for_item(first) if plan else None,
+                    1,
+                )
+                for _, (t, first) in todo
             ]
+            fn = reverse_task_traced if tracer is not None else reverse_task
+            start = self._clock()
             with maybe_span(tracer, "engine.reverse_many", items=len(todo)):
-                if tracer is not None:
-                    traced = run_batch(payloads, reverse_task_traced, executor)
-                    branch_sets = []
-                    for branches, state in traced:
-                        tracer.absorb(state)
-                        branch_sets.append(branches)
-                else:
-                    branch_sets = run_batch(payloads, reverse_task, executor)
+                outcomes = run_batch_isolated(
+                    payloads,
+                    fn,
+                    executor,
+                    retries=retry_budget,
+                    deadline=task_limits.deadline,
+                )
             elapsed = self._clock() - start
-            for (key, _), branches in zip(todo, branch_sets):
+            for (key, _), outcome in zip(todo, outcomes):
+                if not outcome.ok:
+                    failed[key] = outcome
+                    self._record("reverse", calls=1, errors=1)
+                    continue
+                if tracer is not None:
+                    branches, state = outcome.value
+                    tracer.absorb(state)
+                else:
+                    branches = outcome.value
                 candidates = tuple(branches)
-                self._caches["reverse"].put(key, candidates)
-                resolved[key] = (candidates, False)
+                exhausted = getattr(branches, "exhausted", None)
+                if exhausted is None:
+                    self._caches["reverse"].put(key, candidates)
+                resolved[key] = (candidates, False, exhausted)
                 self._record("reverse", branches=len(candidates), calls=1)
             self._record("reverse", wall_time=elapsed, calls=0)
+            if failed and policy == "raise":
+                for key in keys:
+                    if key in failed:
+                        raise failed[key].error
         results = []
-        for key in keys:
-            candidates, hit = resolved[key]
+        for index, key in enumerate(keys):
+            if key in failed:
+                outcome = failed[key]
+                results.append(
+                    BatchItemError(
+                        index=index,
+                        op="reverse",
+                        error=outcome.error,
+                        attempts=max(outcome.attempts, 1),
+                    )
+                )
+                continue
+            candidates, hit, exhausted = resolved[key]
             if not candidates:
                 candidates = (Instance(),)
             if take_core:
@@ -489,6 +709,7 @@ class ExchangeEngine:
                     canonical=candidates[0],
                     stats=OperationStats(branches=len(candidates)),
                     provenance=CacheProvenance(self._key_id(key), hit),
+                    exhausted=exhausted,
                 )
             )
         return results
@@ -647,6 +868,7 @@ class ExchangeEngine:
             "steps": 0,
             "rounds": 0,
             "branches": 0,
+            "errors": 0,
         }
         for op in _OPS:
             cache = self._caches[op]
@@ -659,6 +881,7 @@ class ExchangeEngine:
                 "steps": counters.steps,
                 "rounds": counters.rounds,
                 "branches": counters.branches,
+                "errors": counters.errors,
             }
             report[op] = row
             totals["calls"] += counters.calls
@@ -669,6 +892,7 @@ class ExchangeEngine:
             totals["steps"] += counters.steps
             totals["rounds"] += counters.rounds
             totals["branches"] += counters.branches
+            totals["errors"] += counters.errors
         report["totals"] = totals
         tracer = self._tracer()
         if tracer is not None:
@@ -702,7 +926,7 @@ class ExchangeEngine:
         header = (
             f"  {'op':<8} {'calls':>6} {'hits':>6} {'misses':>7} {'hit%':>6} "
             f"{'evict':>6} {'entries':>8} {'wall(s)':>10} {'ms/call':>8} "
-            f"{'steps':>7} {'branches':>9}"
+            f"{'steps':>7} {'branches':>9} {'errors':>7}"
         )
         lines.append(header)
         for op in (*_OPS, "totals"):
@@ -715,7 +939,7 @@ class ExchangeEngine:
                 f"{self._hit_rate(row['hits'], row['calls']):>6} "
                 f"{row['evictions']:>6} {entries:>8} {row['wall_time']:>10.4f} "
                 f"{self._ms_per_call(row['wall_time'], row['misses']):>8} "
-                f"{row['steps']:>7} {row['branches']:>9}"
+                f"{row['steps']:>7} {row['branches']:>9} {row['errors']:>7}"
             )
         tracer_metrics = report.get("tracer")
         if tracer_metrics and (

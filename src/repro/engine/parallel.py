@@ -1,4 +1,4 @@
-"""Executor selection and picklable task functions for batch fan-out.
+"""Executor selection, fault-isolated batch running, and task functions.
 
 ``chase_many``/``reverse_many`` fan unique work items out over
 ``concurrent.futures``.  The policy, per the engine design:
@@ -12,29 +12,95 @@
   facts or more) — the chase is CPU-bound, instances and mappings are
   picklable, and fork-based workers amortize the serialization cost.
 
-Task functions live at module scope so they pickle by reference."""
+Batch execution is **fault isolated**: one item crashing (a worker
+exception, a broken pool, an injected fault) no longer takes the whole
+batch down.  :func:`run_batch_isolated` returns one
+:class:`ItemOutcome` per payload — either a value or the exception that
+killed the item — retries *transient* failures up to a retry budget,
+and enforces an executor-level deadline by cancelling whatever has not
+finished when time runs out.
+
+Task functions live at module scope so they pickle by reference.  Every
+payload ends with ``(..., limits, fault, attempt)``: ``limits`` is the
+per-item :class:`repro.limits.Limits` (or ``None`` for legacy
+behavior), ``fault`` the per-item :class:`repro.limits.Fault` from a
+test/CI fault plan (or ``None``), and ``attempt`` the 1-based attempt
+number — the retry loop resubmits the same payload with only the last
+element bumped."""
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import List, Optional, Sequence, Tuple
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
 
-from ..chase.disjunctive import reverse_disjunctive_chase
+from ..chase.disjunctive import Branches, reverse_disjunctive_chase
 from ..chase.standard import ChaseResult, chase
+from ..errors import BudgetExhausted, FaultInjected
 from ..instance import Instance
+from ..limits import Exhausted, Fault, Limits, trip
 from ..mappings.schema_mapping import SchemaMapping
 from ..obs.tracer import Tracer, TraceState
 
+try:  # BrokenExecutor is 3.8+; keep the guard cheap and explicit
+    from concurrent.futures import BrokenExecutor
+except ImportError:  # pragma: no cover - ancient pythons only
+    BrokenExecutor = OSError  # type: ignore[assignment,misc]
 
-def chase_task(payload: Tuple[SchemaMapping, Instance, str]) -> ChaseResult:
+#: Failures worth retrying: injected crash faults (deterministically
+#: transient by construction) and infrastructure-level breakage.  A
+#: :class:`BudgetExhausted` is *not* transient — retrying an exhausted
+#: budget would just exhaust it again.
+_TRANSIENT = (FaultInjected, BrokenExecutor, OSError, ConnectionError)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Would a retry plausibly succeed?"""
+    return isinstance(error, _TRANSIENT) and not isinstance(error, BudgetExhausted)
+
+
+@dataclass
+class ItemOutcome:
+    """One batch item's fate: a value or the exception that ended it."""
+
+    value: Any = None
+    error: Optional[BaseException] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _deadline_exhausted(attempts: int) -> ItemOutcome:
+    """The outcome recorded for items still unfinished at the deadline."""
+    diagnosis = Exhausted(
+        resource="deadline", where="engine.batch", used="batch deadline passed"
+    )
+    return ItemOutcome(
+        error=BudgetExhausted(diagnosis=diagnosis), attempts=attempts
+    )
+
+
+def chase_task(
+    payload: Tuple[SchemaMapping, Instance, str, Optional[Limits], Optional[Fault], int]
+) -> ChaseResult:
     """Chase one instance (runs inside a worker; must stay picklable)."""
-    mapping, instance, variant = payload
-    return chase(instance, mapping.dependencies, variant=variant)
+    mapping, instance, variant, limits, fault, attempt = payload
+    trip(fault, attempt)
+    return chase(instance, mapping.dependencies, variant=variant, limits=limits)
 
 
 def chase_task_traced(
-    payload: Tuple[SchemaMapping, Instance, str]
+    payload: Tuple[SchemaMapping, Instance, str, Optional[Limits], Optional[Fault], int]
 ) -> Tuple[ChaseResult, TraceState]:
     """Chase one instance under a private tracer; ship the trace back.
 
@@ -43,17 +109,21 @@ def chase_task_traced(
     :class:`TraceState`; the engine absorbs the states on join.  The
     same shape runs in thread-pool and serial batches for uniformity.
     """
-    mapping, instance, variant = payload
+    mapping, instance, variant, limits, fault, attempt = payload
+    trip(fault, attempt)
     local = Tracer()
-    result = chase(instance, mapping.dependencies, variant=variant, tracer=local)
+    result = chase(
+        instance, mapping.dependencies, variant=variant, tracer=local, limits=limits
+    )
     return result, local.export_state()
 
 
 def reverse_task(
-    payload: Tuple[SchemaMapping, Instance, int, bool, int]
-) -> List[Instance]:
+    payload: Tuple[SchemaMapping, Instance, int, bool, Optional[Limits], Optional[Fault], int]
+) -> Branches:
     """Reverse-chase one target instance inside a worker."""
-    mapping, target, max_nulls, minimize, max_branches = payload
+    mapping, target, max_nulls, minimize, limits, fault, attempt = payload
+    trip(fault, attempt)
     if mapping.is_disjunctive() or mapping.uses_inequality():
         return reverse_disjunctive_chase(
             target,
@@ -61,18 +131,21 @@ def reverse_task(
             result_relations=mapping.target.names,
             max_nulls=max_nulls,
             minimize=minimize,
-            max_branches=max_branches,
+            limits=limits,
         )
-    result = chase(target, mapping.dependencies)
-    return [result.restricted_to(mapping.target.names)]
+    result = chase(target, mapping.dependencies, limits=limits)
+    branches = Branches([result.restricted_to(mapping.target.names)])
+    branches.exhausted = result.exhausted
+    return branches
 
 
 def reverse_task_traced(
-    payload: Tuple[SchemaMapping, Instance, int, bool, int]
-) -> Tuple[List[Instance], TraceState]:
+    payload: Tuple[SchemaMapping, Instance, int, bool, Optional[Limits], Optional[Fault], int]
+) -> Tuple[Branches, TraceState]:
     """Traced counterpart of :func:`reverse_task` (see
     :func:`chase_task_traced` for the per-worker tracer protocol)."""
-    mapping, target, max_nulls, minimize, max_branches = payload
+    mapping, target, max_nulls, minimize, limits, fault, attempt = payload
+    trip(fault, attempt)
     local = Tracer()
     if mapping.is_disjunctive() or mapping.uses_inequality():
         branches = reverse_disjunctive_chase(
@@ -81,12 +154,13 @@ def reverse_task_traced(
             result_relations=mapping.target.names,
             max_nulls=max_nulls,
             minimize=minimize,
-            max_branches=max_branches,
+            limits=limits,
             tracer=local,
         )
     else:
-        result = chase(target, mapping.dependencies, tracer=local)
-        branches = [result.restricted_to(mapping.target.names)]
+        result = chase(target, mapping.dependencies, tracer=local, limits=limits)
+        branches = Branches([result.restricted_to(mapping.target.names)])
+        branches.exhausted = result.exhausted
     return branches, local.export_state()
 
 
@@ -106,8 +180,114 @@ def make_executor(
 
 
 def run_batch(tasks: Sequence, fn, executor: Optional[Executor]) -> list:
-    """Run *fn* over *tasks*, preserving order; serial when no executor."""
+    """Run *fn* over *tasks*, preserving order; serial when no executor.
+
+    The legacy all-or-nothing runner: the first exception propagates and
+    abandons the batch.  Kept for callers that want exactly that
+    (``on_error="raise"`` with no retries); everything else goes through
+    :func:`run_batch_isolated`.
+    """
     if executor is None:
         return [fn(task) for task in tasks]
     with executor:
         return list(executor.map(fn, tasks))
+
+
+def run_batch_isolated(
+    payloads: Sequence[tuple],
+    fn,
+    executor: Optional[Executor],
+    retries: int = 0,
+    deadline: Optional[float] = None,
+    clock=time.monotonic,
+) -> List[ItemOutcome]:
+    """Run *fn* over *payloads* with per-item fault isolation.
+
+    Returns one :class:`ItemOutcome` per payload, in payload order; no
+    item's failure affects any other item.  Transient failures (see
+    :func:`is_transient`) are retried up to *retries* extra attempts,
+    resubmitting the payload with its trailing attempt counter bumped.
+    *deadline* is a wall-clock duration (seconds) for the whole batch:
+    items unfinished when it passes are cancelled (or, if already
+    running, left to stop cooperatively via the deadline inside their
+    own ``Limits``) and reported as deadline-exhausted outcomes.
+    """
+    deadline_at = None if deadline is None else clock() + deadline
+
+    def expired() -> bool:
+        return deadline_at is not None and clock() >= deadline_at
+
+    outcomes: List[ItemOutcome] = [ItemOutcome(attempts=0) for _ in payloads]
+
+    if executor is None:
+        for index, payload in enumerate(payloads):
+            attempt = 1
+            while True:
+                if expired():
+                    outcomes[index] = _deadline_exhausted(attempt - 1)
+                    break
+                try:
+                    outcomes[index] = ItemOutcome(
+                        value=fn(payload), attempts=attempt
+                    )
+                    break
+                except Exception as error:
+                    if is_transient(error) and attempt <= retries and not expired():
+                        attempt += 1
+                        payload = payload[:-1] + (attempt,)
+                        continue
+                    outcomes[index] = ItemOutcome(error=error, attempts=attempt)
+                    break
+        return outcomes
+
+    with executor:
+        info: dict = {}
+        pending = set()
+        for index, payload in enumerate(payloads):
+            try:
+                future = executor.submit(fn, payload)
+            except Exception as error:  # pragma: no cover - broken pool
+                outcomes[index] = ItemOutcome(error=error, attempts=1)
+                continue
+            info[future] = (index, 1, payload)
+            pending.add(future)
+        while pending:
+            timeout = (
+                None if deadline_at is None else max(0.0, deadline_at - clock())
+            )
+            done, pending = wait(
+                pending, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Deadline passed with work still outstanding: cancel what
+                # has not started; running items stop cooperatively via
+                # the deadline in their own Limits (if any).
+                for future in pending:
+                    future.cancel()
+                    index, attempts, _payload = info[future]
+                    outcomes[index] = _deadline_exhausted(attempts)
+                executor.shutdown(wait=False, cancel_futures=True)
+                break
+            for future in done:
+                index, attempts, payload = info.pop(future)
+                try:
+                    outcomes[index] = ItemOutcome(
+                        value=future.result(), attempts=attempts
+                    )
+                    continue
+                except Exception as error:
+                    caught = error
+                if is_transient(caught) and attempts <= retries and not expired():
+                    retry_payload = payload[:-1] + (attempts + 1,)
+                    try:
+                        future = executor.submit(fn, retry_payload)
+                    except Exception:  # pragma: no cover - broken pool
+                        outcomes[index] = ItemOutcome(
+                            error=caught, attempts=attempts
+                        )
+                        continue
+                    info[future] = (index, attempts + 1, retry_payload)
+                    pending.add(future)
+                else:
+                    outcomes[index] = ItemOutcome(error=caught, attempts=attempts)
+    return outcomes

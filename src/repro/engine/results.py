@@ -23,6 +23,7 @@ from typing import Optional, Tuple
 from ..chase.standard import ChaseResult
 from ..instance import Instance
 from ..inverses.verdicts import CheckVerdict
+from ..limits import Exhausted
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,11 @@ class ExchangeResult:
     ``instance`` is the target-schema restriction (what ``chase``
     returned historically); ``full`` the whole chased instance (source
     facts included, what ``chase_result().instance`` returned).
+
+    ``exhausted`` is ``None`` for a completed chase; on a budget-limited
+    run it carries the :class:`repro.limits.Exhausted` diagnosis and the
+    instances are sound partial results (never served from or stored in
+    the cache).
     """
 
     instance: Instance
@@ -64,10 +70,16 @@ class ExchangeResult:
     generated: frozenset = frozenset()
     stats: OperationStats = field(default_factory=OperationStats)
     provenance: CacheProvenance = field(default_factory=CacheProvenance)
+    exhausted: Optional[Exhausted] = None
 
     @property
     def cached(self) -> bool:
         return self.provenance.hit
+
+    @property
+    def completed(self) -> bool:
+        """True when the chase reached its fixpoint within budget."""
+        return self.exhausted is None
 
     @property
     def steps(self) -> int:
@@ -84,6 +96,7 @@ class ExchangeResult:
             generated=self.generated,
             steps=self.stats.steps,
             rounds=self.stats.rounds,
+            exhausted=self.exhausted,
         )
 
 
@@ -101,10 +114,16 @@ class ReverseResult:
     canonical: Instance
     stats: OperationStats = field(default_factory=OperationStats)
     provenance: CacheProvenance = field(default_factory=CacheProvenance)
+    exhausted: Optional[Exhausted] = None
 
     @property
     def cached(self) -> bool:
         return self.provenance.hit
+
+    @property
+    def completed(self) -> bool:
+        """True when the branch enumeration finished within budget."""
+        return self.exhausted is None
 
     @property
     def instances(self) -> Tuple[Instance, ...]:

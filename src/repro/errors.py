@@ -1,0 +1,133 @@
+"""The ``repro`` exception hierarchy.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so ``except ReproError`` is the one catch-all a
+service loop needs.  The stable, supported import paths are::
+
+    from repro.errors import (
+        ReproError,            # root of the hierarchy
+        BudgetExhausted,       # a resource budget ran out (carries a diagnosis)
+        Cancelled,             # a CancelToken fired
+        ChaseNonTermination,   # round budget exhausted in "raise" mode
+        BatchItemError,        # one item of an engine batch failed
+        FaultInjected,         # a deterministic test fault tripped
+    )
+
+(the same names are re-exported from the top-level ``repro`` package).
+
+Design notes:
+
+* :class:`BudgetExhausted` subclasses :class:`RuntimeError` because the
+  pre-hierarchy guards (``max_rounds``/``max_branches``) raised
+  ``RuntimeError`` subclasses; existing ``except RuntimeError`` call
+  sites keep working.
+* :class:`ChaseNonTermination` subclasses :class:`BudgetExhausted`:
+  non-termination *is* exhaustion of the round budget.  Its historical
+  import path ``repro.chase.standard.ChaseNonTermination`` remains
+  valid (the chase module re-exports it).
+* Errors that wrap a budget diagnosis expose it as ``.diagnosis`` — an
+  :class:`repro.limits.Exhausted` value naming the resource, where it
+  ran out, and how far the computation got.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class BudgetExhausted(ReproError, RuntimeError):
+    """A resource budget (deadline, rounds, facts, nulls, branches) ran out.
+
+    Raised only when the governing :class:`repro.limits.Limits` says
+    ``on_exhausted="raise"``; in ``"partial"`` mode the chase returns a
+    tagged partial result instead.  ``diagnosis`` (when present) is the
+    :class:`repro.limits.Exhausted` record of what ran out and where.
+    """
+
+    def __init__(self, message: str = "", diagnosis=None) -> None:
+        if not message and diagnosis is not None:
+            message = diagnosis.describe()
+        super().__init__(message)
+        self.diagnosis = diagnosis
+
+
+class Cancelled(BudgetExhausted):
+    """A :class:`repro.limits.CancelToken` was cancelled mid-operation."""
+
+
+class ChaseNonTermination(BudgetExhausted):
+    """The chase exceeded its round budget without reaching a fixpoint."""
+
+
+class FaultInjected(ReproError):
+    """A deterministic fault from a :class:`repro.limits.FaultPlan` tripped.
+
+    Simulates a transient worker crash: the engine's retry policy treats
+    it as retryable, so a fault with ``times=1`` and ``retries>=1``
+    succeeds on the second attempt.
+    """
+
+    def __init__(self, message: str = "injected fault", item: int = -1) -> None:
+        super().__init__(message)
+        self.item = item
+
+
+class BatchItemError(ReproError):
+    """One item of an engine batch failed; the rest of the batch survived.
+
+    Appears *in the result list* of ``chase_many``/``reverse_many`` when
+    ``on_error="skip"``: each failed item resolves to one of these in
+    its input position instead of poisoning the whole batch.
+
+    Attributes
+    ----------
+    index:
+        The item's position in the input batch.
+    op:
+        The engine operation (``"chase"`` or ``"reverse"``).
+    kind:
+        Class name of the underlying exception.
+    error:
+        The underlying exception object.
+    attempts:
+        How many attempts were made (> 1 when a retry policy re-ran it).
+    diagnosis:
+        The :class:`repro.limits.Exhausted` record when the failure was
+        a budget exhaustion, else ``None``.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        op: str,
+        error: BaseException,
+        attempts: int = 1,
+        diagnosis=None,
+    ) -> None:
+        super().__init__(
+            f"{op} batch item {index} failed after {attempts} "
+            f"attempt{'s' if attempts != 1 else ''}: "
+            f"{type(error).__name__}: {error}"
+        )
+        self.index = index
+        self.op = op
+        self.error = error
+        self.kind = type(error).__name__
+        self.attempts = attempts
+        self.diagnosis = diagnosis if diagnosis is not None else getattr(
+            error, "diagnosis", None
+        )
+
+
+__all__ = [
+    "ReproError",
+    "BudgetExhausted",
+    "Cancelled",
+    "ChaseNonTermination",
+    "FaultInjected",
+    "BatchItemError",
+]

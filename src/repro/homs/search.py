@@ -16,9 +16,16 @@ from __future__ import annotations
 from typing import Dict, Iterator, Mapping, Optional
 
 from ..instance import Fact, Instance
+from ..limits import Budget, current_budget
 from ..obs.events import HomBacktrack
 from ..obs.tracer import current_tracer
 from ..terms import Const, Null, Value
+
+#: Candidate extensions between cooperative budget checkpoints.  The
+#: search has no partial-result semantics (half a homomorphism is
+#: nothing), so exhaustion always raises; checking every extension would
+#: put a clock read in the innermost loop, so we amortize.
+_CHECK_EVERY = 256
 
 
 def _fact_order(source: Instance, target: Instance) -> list:
@@ -55,6 +62,7 @@ def homomorphisms(
     target: Instance,
     seed: Optional[Mapping[Null, Value]] = None,
     ordering: str = "constrained",
+    budget: Optional[Budget] = None,
 ) -> Iterator[Dict[Null, Value]]:
     """Yield every homomorphism from *source* to *target*.
 
@@ -65,6 +73,12 @@ def homomorphisms(
     *ordering* selects the fact-processing order: ``"constrained"``
     (default) sorts most-constrained-first; ``"naive"`` takes an arbitrary
     deterministic order — kept for the D3 ablation benchmark, not for use.
+
+    The search honors a cooperative *budget* (explicit, or this thread's
+    ambient :func:`repro.limits.budget_scope`): every few hundred
+    candidate extensions it checks cancellation and the deadline, and on
+    exhaustion raises the budget's typed error — there is no partial
+    homomorphism to return.  Without a budget the check costs nothing.
     """
     if ordering == "constrained":
         ordered = _fact_order(source, target)
@@ -75,6 +89,10 @@ def homomorphisms(
     assignment: Dict[Null, Value] = dict(seed) if seed else {}
     tracer = current_tracer()
     tracing = tracer is not None
+    if budget is None:
+        budget = current_budget()
+    governed = budget is not None
+    probes = [0]
     rejected = [0]
 
     def candidates(f: Fact):
@@ -100,6 +118,11 @@ def homomorphisms(
             return
         f = ordered[index]
         for values in candidates(f):
+            if governed:
+                probes[0] += 1
+                if probes[0] % _CHECK_EVERY == 0:
+                    if budget.checkpoint("hom_search") is not None:
+                        budget.raise_exhausted()
             delta = _extend(f.values, values, assignment)
             if delta is None:
                 if tracing:

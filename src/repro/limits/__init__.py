@@ -1,0 +1,47 @@
+"""Resource governance: limits, budgets, cancellation, fault injection.
+
+The package behind graceful degradation (see ``docs/ROBUSTNESS.md``)::
+
+    from repro import Limits, chase
+
+    result = chase(instance, deps, limits=Limits(deadline=0.5, max_facts=10_000))
+    if result.exhausted:                 # a sound partial result
+        print(result.exhausted.describe())
+
+* :class:`Limits` — declarative bounds (deadline, rounds, facts, minted
+  nulls, disjunctive branches) accepted uniformly by the chase kernels,
+  the :class:`repro.ExchangeEngine`, and the CLI.
+* :class:`Budget` / :class:`CancelToken` — the live cooperative
+  accounting checked inside the fixpoint loops and the hom search.
+* :class:`Exhausted` — the diagnosis tagged onto partial results.
+* :class:`FaultPlan` / :func:`inject_faults` — deterministic fault
+  injection for the engine's batch paths (tests and CI).
+"""
+
+from .budget import Budget, CancelToken, budget_scope, current_budget, set_budget
+from .config import Exhausted, Limits, resolve_limits
+from .faults import (
+    Fault,
+    FaultPlan,
+    current_fault_plan,
+    inject_faults,
+    set_fault_plan,
+    trip,
+)
+
+__all__ = [
+    "Budget",
+    "CancelToken",
+    "Exhausted",
+    "Fault",
+    "FaultPlan",
+    "Limits",
+    "budget_scope",
+    "current_budget",
+    "current_fault_plan",
+    "inject_faults",
+    "resolve_limits",
+    "set_budget",
+    "set_fault_plan",
+    "trip",
+]

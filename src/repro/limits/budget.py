@@ -1,0 +1,242 @@
+"""Live budget accounting and cooperative cancellation.
+
+A :class:`Budget` is the mutable runtime counterpart of an immutable
+:class:`~repro.limits.config.Limits`: created when an operation starts,
+charged from inside the fixpoint loops (standard chase, disjunctive
+chase, homomorphism backtracking), and consulted cheaply — each check
+is a handful of comparisons, plus one monotonic-clock read when a
+deadline is set.  The default code path (no limits configured) never
+constructs a budget at all, so unlimited runs pay nothing.
+
+A :class:`CancelToken` adds external, thread-safe cancellation: any
+thread may call ``token.cancel()`` and every budget holding the token
+reports exhaustion at its next cooperative checkpoint.
+
+The *ambient budget* mirrors the ambient tracer pattern but is
+**thread-local**: ``with budget_scope(budget): ...`` makes nested
+library calls on the same thread (e.g. the hom searches inside
+``minimize_branches``) respect an enclosing deadline without threading
+a parameter through every signature.  Pool workers are unaffected —
+each worker builds its own budget from the ``Limits`` in its payload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Optional
+
+from ..errors import BudgetExhausted, Cancelled, ChaseNonTermination
+from .config import Exhausted, Limits
+
+
+class CancelToken:
+    """A thread-safe, one-way cancellation flag.
+
+    ``cancel()`` may be called from any thread (a signal handler, a
+    watchdog, a request-scoped reaper); budgets holding the token pick
+    the cancellation up at their next cooperative checkpoint.
+    """
+
+    __slots__ = ("_event", "reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self.reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        state = f"cancelled: {self.reason}" if self.cancelled else "live"
+        return f"CancelToken({state})"
+
+
+class Budget:
+    """Mutable accounting for one operation under a :class:`Limits`.
+
+    The chase calls :meth:`start_round` at the top of every fixpoint
+    round and :meth:`charge` after every firing; the hom search calls
+    :meth:`checkpoint` every few hundred candidate extensions.  Each
+    returns ``None`` while within budget, or an :class:`Exhausted`
+    diagnosis the moment a bound is crossed (also remembered as
+    ``self.exhausted`` — a budget stays exhausted).
+
+    A budget may be *shared* across sub-operations (the quotient worlds
+    of a reverse chase, every item of an engine batch) so one deadline
+    governs the whole composite.
+    """
+
+    __slots__ = (
+        "limits",
+        "token",
+        "rounds",
+        "steps",
+        "exhausted",
+        "_deadline_at",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        limits: Optional[Limits] = None,
+        token: Optional[CancelToken] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.limits = limits if limits is not None else Limits()
+        self.token = token
+        self.rounds = 0
+        self.steps = 0
+        self.exhausted: Optional[Exhausted] = None
+        self._clock = clock
+        self._deadline_at = (
+            clock() + self.limits.deadline
+            if self.limits.deadline is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Checks (each returns None while within budget)
+    # ------------------------------------------------------------------
+
+    def mark(self, resource: str, where: str, limit, used) -> Exhausted:
+        """Record an exhaustion detected by the caller (first mark wins).
+
+        The chase kernels use this for bounds they track themselves
+        (per-branch rounds, frontier size); once marked, every later
+        check reports the same diagnosis."""
+        if self.exhausted is None:
+            self.exhausted = Exhausted(
+                resource=resource,
+                where=where,
+                limit=limit,
+                used=used,
+                rounds=self.rounds,
+                steps=self.steps,
+            )
+        return self.exhausted
+
+    def checkpoint(self, where: str) -> Optional[Exhausted]:
+        """The cheap cooperative check: cancellation and deadline only."""
+        if self.exhausted is not None:
+            return self.exhausted
+        if self.token is not None and self.token.cancelled:
+            return self.mark("cancelled", where, None, self.token.reason)
+        if self._deadline_at is not None and self._clock() > self._deadline_at:
+            return self.mark(
+                "deadline", where, self.limits.deadline, "deadline passed"
+            )
+        return None
+
+    def start_round(self, where: str) -> Optional[Exhausted]:
+        """Charge one fixpoint round; check rounds, deadline, cancel.
+
+        Mirrors the historical guard: a chase may *use* ``max_rounds``
+        rounds; starting round ``max_rounds + 1`` exhausts.
+        """
+        self.rounds += 1
+        ex = self.checkpoint(where)
+        if ex is not None:
+            return ex
+        max_rounds = self.limits.max_rounds
+        if max_rounds is not None and self.rounds > max_rounds:
+            return self.mark("rounds", where, max_rounds, self.rounds)
+        return None
+
+    def charge(
+        self,
+        where: str,
+        facts: Optional[int] = None,
+        nulls: Optional[int] = None,
+        branches: Optional[int] = None,
+    ) -> Optional[Exhausted]:
+        """Check current resource gauges against their bounds.
+
+        Gauges are absolute ("the instance now has N facts"), not
+        deltas, so the caller never double-counts.  One chase step may
+        overshoot a bound by the facts of a single conclusion — the
+        check is cooperative, not preemptive.
+        """
+        self.steps += 1
+        if self.exhausted is not None:
+            return self.exhausted
+        limits = self.limits
+        if facts is not None and limits.max_facts is not None:
+            if facts > limits.max_facts:
+                return self.mark("facts", where, limits.max_facts, facts)
+        if nulls is not None and limits.max_nulls is not None:
+            if nulls > limits.max_nulls:
+                return self.mark("nulls", where, limits.max_nulls, nulls)
+        if branches is not None and limits.max_branches is not None:
+            if branches > limits.max_branches:
+                return self.mark("branches", where, limits.max_branches, branches)
+        # Deadline/cancel piggyback on the per-step charge so runaway
+        # single rounds (one round can fire thousands of triggers) still
+        # observe the clock.
+        return self.checkpoint(where)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when no deadline)."""
+        if self._deadline_at is None:
+            return None
+        return max(0.0, self._deadline_at - self._clock())
+
+    def raise_exhausted(self) -> None:
+        """Raise the typed error for the recorded diagnosis."""
+        ex = self.exhausted
+        if ex is None:  # pragma: no cover - defensive
+            raise BudgetExhausted("budget not exhausted")
+        if ex.resource == "cancelled":
+            raise Cancelled(diagnosis=ex)
+        if ex.resource == "rounds":
+            raise ChaseNonTermination(
+                f"{ex.where} did not terminate within {ex.limit} rounds",
+                diagnosis=ex,
+            )
+        raise BudgetExhausted(diagnosis=ex)
+
+
+# ----------------------------------------------------------------------
+# The ambient (thread-local) budget
+# ----------------------------------------------------------------------
+
+_ambient = threading.local()
+
+
+def current_budget() -> Optional[Budget]:
+    """This thread's ambient budget, or ``None`` (the default)."""
+    return getattr(_ambient, "budget", None)
+
+
+def set_budget(budget: Optional[Budget]) -> Optional[Budget]:
+    """Install *budget* as this thread's ambient budget; returns the
+    previous one."""
+    previous = getattr(_ambient, "budget", None)
+    _ambient.budget = budget
+    return previous
+
+
+@contextmanager
+def budget_scope(budget):
+    """Scope an ambient budget over nested library calls on this thread.
+
+    Accepts a :class:`Budget` or, as a convenience, a bare
+    :class:`Limits` (a fresh budget is built from it).
+    """
+    if isinstance(budget, Limits):
+        budget = Budget(budget)
+    previous = set_budget(budget)
+    try:
+        yield budget
+    finally:
+        set_budget(previous)

@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence
 
 from ..chase.standard import chase
 from ..instance import Instance
+from ..limits import Limits
 from ..logic.matching import match_atoms
 from ..terms import Null, Value, Var
 from .dependencies import Dependency, Tgd
@@ -57,7 +58,8 @@ def implies(dependencies: Sequence[Dependency], candidate: Tgd,
     if candidate.uses_constant_guard():
         raise TypeError("Constant guards cannot be frozen faithfully")
     frozen, binding = _freeze_premise(candidate)
-    chased = chase(frozen, dependencies, max_rounds=max_rounds).instance
+    limits = Limits(max_rounds=max_rounds, on_exhausted="raise")
+    chased = chase(frozen, dependencies, limits=limits).instance
     seed = {v: binding[v] for v in candidate.frontier}
     return next(match_atoms(candidate.conclusion, chased, initial=seed), None) is not None
 

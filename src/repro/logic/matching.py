@@ -22,16 +22,42 @@ from .guards import Guard
 
 
 def _candidate_count(atom: Atom, instance: Instance, binding: Mapping[Var, Value]) -> int:
-    """Cheap upper bound on how many facts could match *atom* now."""
+    """Cheap upper bound on how many facts could match *atom* now.
+
+    Mirrors :func:`_candidates`: a partially bound atom will only probe
+    the smallest position-index bucket among its bound positions, so
+    that bucket size — not the full relation size — is the real cost.
+    Counting the full relation here made the most-constrained-first
+    ordering prefer fully-bound atoms over tightly-indexed ones and
+    scan whole relations for nothing on skewed instances.
+    """
     tuples = instance.tuples(atom.relation)
     if not tuples:
         return 0
-    bound = sum(
-        1 for t in atom.terms if isinstance(t, Const) or (isinstance(t, Var) and t in binding)
-    )
+    lookup = getattr(instance, "tuples_at", None)
+    best: Optional[int] = None
+    bound = 0
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Const):
+            value: Optional[Value] = term
+        elif isinstance(term, Var):
+            value = binding.get(term)
+        else:  # pragma: no cover - terms are Const/Var by construction
+            value = None
+        if value is None:
+            continue
+        bound += 1
+        if lookup is not None:
+            size = len(lookup(atom.relation, position, value))
+            if best is None or size < best:
+                best = size
+                if best == 0:
+                    return 0
     # Fully-bound atoms are membership tests (0 or 1 candidates).
     if bound == atom.arity:
-        return 1
+        return 1 if best is None else min(1, best)
+    if best is not None:
+        return best
     return len(tuples)
 
 

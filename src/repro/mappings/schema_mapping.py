@@ -208,17 +208,22 @@ class SchemaMapping:
     # chase is deterministic, hence a cache hit is indistinguishable
     # from a recomputation — down to null names.
 
-    def exchange(self, source_instance: Instance, variant: str = "restricted"):
+    def exchange(
+        self, source_instance: Instance, variant: str = "restricted", limits=None
+    ):
         """``chase_M(I)`` as a normalized ``ExchangeResult``.
 
         The recommended entry point: carries the target restriction,
         the full chased instance, chase work counters, and cache
         provenance.  ``chase``/``chase_result`` are its thin deprecated
-        aliases.
+        aliases.  ``limits`` is an optional :class:`repro.limits.Limits`
+        governing the chase (partial, tagged results on exhaustion).
         """
         from ..engine import get_default_engine
 
-        return get_default_engine().exchange(self, source_instance, variant=variant)
+        return get_default_engine().exchange(
+            self, source_instance, variant=variant, limits=limits
+        )
 
     def reverse(
         self,
@@ -227,6 +232,7 @@ class SchemaMapping:
         minimize: bool = True,
         max_branches: int = 10_000,
         take_core: bool = False,
+        limits=None,
     ):
         """Reverse exchange as a normalized ``ReverseResult``.
 
@@ -243,10 +249,11 @@ class SchemaMapping:
             minimize=minimize,
             max_branches=max_branches,
             take_core=take_core,
+            limits=limits,
         )
 
     def chase(
-        self, source_instance: Instance, variant: str = "restricted"
+        self, source_instance: Instance, variant: str = "restricted", limits=None
     ) -> Instance:
         """``chase_M(I)`` — the canonical (extended) universal solution.
 
@@ -256,10 +263,12 @@ class SchemaMapping:
         """
         from ..engine import get_default_engine
 
-        return get_default_engine().chase(self, source_instance, variant=variant)
+        return get_default_engine().chase(
+            self, source_instance, variant=variant, limits=limits
+        )
 
     def chase_result(
-        self, source_instance: Instance, variant: str = "restricted"
+        self, source_instance: Instance, variant: str = "restricted", limits=None
     ) -> ChaseResult:
         """Full chase outcome, including step/round counts (for benchmarks).
 
@@ -268,7 +277,7 @@ class SchemaMapping:
         from ..engine import get_default_engine
 
         return get_default_engine().chase_result(
-            self, source_instance, variant=variant
+            self, source_instance, variant=variant, limits=limits
         )
 
     def reverse_chase(
@@ -277,6 +286,7 @@ class SchemaMapping:
         max_nulls: int = 8,
         minimize: bool = True,
         max_branches: int = 10_000,
+        limits=None,
     ) -> List[Instance]:
         """Disjunctive chase of a target instance, restricted to this
         mapping's *target* schema... i.e., to the conclusion side.
@@ -295,4 +305,5 @@ class SchemaMapping:
             max_nulls=max_nulls,
             minimize=minimize,
             max_branches=max_branches,
+            limits=limits,
         )

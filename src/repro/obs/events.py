@@ -89,7 +89,10 @@ class BranchClosed:
 
     ``reason`` is one of ``"finished"`` (no unsatisfied trigger — the
     branch is a result), ``"duplicate"`` (its instance equals an already
-    finished one), or ``"nonterminating"`` (round budget exhausted)."""
+    finished one), ``"nonterminating"`` (per-branch round bound hit), or
+    ``"exhausted"`` (the run's budget ran out while this world was still
+    on the frontier; its current facts are returned as a partial
+    result)."""
 
     kind: ClassVar[str] = "branch_closed"
 
@@ -112,6 +115,28 @@ class HomBacktrack:
     found: bool
     source_size: int
     target_size: int
+
+
+@dataclass(frozen=True)
+class ResourceExhausted:
+    """A resource budget ran out inside a governed operation.
+
+    Emitted once per exhaustion, in both ``on_exhausted`` modes: in
+    ``"partial"`` mode it marks where the returned result was truncated;
+    in ``"raise"`` mode it lands on the tracer just before the typed
+    error propagates (so partial traces carry the diagnosis too).
+    ``resource`` matches :class:`repro.limits.Exhausted`'s vocabulary
+    (``deadline``/``rounds``/``facts``/``nulls``/``branches``/
+    ``cancelled``/``injected``)."""
+
+    kind: ClassVar[str] = "resource_exhausted"
+
+    resource: str
+    where: str
+    limit: Optional[object] = None
+    used: Optional[object] = None
+    rounds: int = 0
+    steps: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,9 +165,22 @@ TraceEvent = Union[
     BranchOpened,
     BranchClosed,
     HomBacktrack,
+    ResourceExhausted,
     CacheHit,
     CacheMiss,
 ]
+
+
+def exhaustion_event(diagnosis) -> ResourceExhausted:
+    """Project a :class:`repro.limits.Exhausted` diagnosis onto an event."""
+    return ResourceExhausted(
+        resource=diagnosis.resource,
+        where=diagnosis.where,
+        limit=diagnosis.limit,
+        used=diagnosis.used,
+        rounds=diagnosis.rounds,
+        steps=diagnosis.steps,
+    )
 
 
 def _jsonify(value: object) -> object:

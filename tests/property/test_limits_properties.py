@@ -1,0 +1,73 @@
+"""Property-based tests: partial chase results are sound sub-instances.
+
+The governance contract (docs/ROBUSTNESS.md): the chase fires triggers
+in a deterministic order, so a budget that truncates the run drops a
+*suffix* of firings — the partial instance is literally a subset of the
+unlimited result, null names included, and its generated set likewise.
+Budgets change *how much* of the answer you get, never *which* answer.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Limits, chase
+from repro.instance import Instance
+from repro.workloads.scenarios import PAPER_SCENARIOS
+
+from .strategies import instances
+
+DECOMPOSITION = PAPER_SCENARIOS["decomposition"].mapping
+PATH2 = PAPER_SCENARIOS["path2"].mapping
+
+P3 = {"P": 3}
+P2 = {"P": 2}
+
+
+@given(instances(P3, max_size=5), st.integers(min_value=1, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_budget_limited_chase_is_subset_of_full(inst, rounds):
+    partial = chase(
+        inst, DECOMPOSITION.dependencies, limits=Limits(max_rounds=rounds)
+    )
+    full = chase(inst, DECOMPOSITION.dependencies, limits=Limits(max_rounds=64))
+    assert full.completed
+    assert set(partial.instance.facts) <= set(full.instance.facts)
+    assert partial.generated <= full.generated
+    # And when the budget sufficed, the results agree exactly.
+    if partial.completed:
+        assert set(partial.instance.facts) == set(full.instance.facts)
+
+
+@given(instances(P2, max_size=5), st.integers(min_value=1, max_value=500))
+@settings(max_examples=50, deadline=None)
+def test_fact_limited_chase_is_subset_of_full(inst, max_facts):
+    partial = chase(
+        inst, PATH2.dependencies, limits=Limits(max_facts=max_facts)
+    )
+    full = chase(inst, PATH2.dependencies, limits=Limits(max_rounds=64))
+    assert set(partial.instance.facts) <= set(full.instance.facts)
+    if partial.exhausted is not None:
+        assert partial.exhausted.resource == "facts"
+
+
+@given(instances(P3, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_partial_never_invents_facts(inst):
+    """An already-expired deadline returns the input, nothing else."""
+    result = chase(inst, DECOMPOSITION.dependencies, limits=Limits(deadline=0.0))
+    assert set(result.instance.facts) == set(inst.facts)
+    assert result.generated == frozenset()
+    assert result.rounds == 0
+
+
+@given(instances(P3, max_size=4), st.integers(min_value=1, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_partial_rounds_monotone(inst, rounds):
+    """More budget never loses facts: chase@r ⊆ chase@(r+1)."""
+    smaller = chase(
+        inst, DECOMPOSITION.dependencies, limits=Limits(max_rounds=rounds)
+    )
+    larger = chase(
+        inst, DECOMPOSITION.dependencies, limits=Limits(max_rounds=rounds + 1)
+    )
+    assert set(smaller.instance.facts) <= set(larger.instance.facts)

@@ -265,3 +265,96 @@ class TestExplainCommand:
         )
         assert code == 3
         assert "did not terminate" in err
+
+
+class TestGovernanceFlags:
+    RECURSIVE = "P(x, y) -> EXISTS z . P(y, z)"
+
+    def test_max_rounds_partial_exit_zero(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "chase",
+            "--mapping", self.RECURSIVE,
+            "--instance", "P(a, b)",
+            "--max-rounds", "3",
+        )
+        assert code == 0
+        assert "P(" in out
+        assert "partial:" in err and "rounds" in err
+
+    def test_no_limits_still_exit_3(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "chase",
+            "--mapping", self.RECURSIVE,
+            "--instance", "P(a, b)",
+        )
+        assert code == 3
+        assert "did not terminate" in err
+
+    def test_deadline_partial(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "chase",
+            "--mapping", self.RECURSIVE,
+            "--instance", "P(a, b)",
+            "--deadline", "0",
+        )
+        assert code == 0
+        assert "partial:" in err and "deadline" in err
+
+    def test_batch_fault_isolation_exit_5(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@1")
+        code, out, err = run_cli(
+            capsys,
+            "chase",
+            "--mapping", "P(x, y) -> Q(x, y)",
+            "--instance", "P(a, b)",
+            "--instance", "P(c, d)",
+            "--instance", "P(e, f)",
+            "--on-error", "skip",
+        )
+        assert code == 5
+        assert "[0]" in out and "Q(a, b)" in out and "Q(e, f)" in out
+        assert "[1] error:" in err and "FaultInjected" in err
+
+    def test_batch_retries_recover(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@1")
+        code, out, err = run_cli(
+            capsys,
+            "chase",
+            "--mapping", "P(x, y) -> Q(x, y)",
+            "--instance", "P(a, b)",
+            "--instance", "P(c, d)",
+            "--on-error", "skip",
+            "--retries", "1",
+        )
+        assert code == 0
+        assert "[1]" in out and "Q(c, d)" in out
+        assert "error:" not in err
+
+    def test_reverse_batch_fault_isolation(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "crash@0")
+        code, out, err = run_cli(
+            capsys,
+            "reverse",
+            "--mapping", "Q(x, y) -> P(x, y)",
+            "--instance", "Q(a, b)",
+            "--instance", "Q(c, d)",
+            "--on-error", "skip",
+        )
+        assert code == 5
+        assert "[0] error:" in err
+        assert "[1]" in out and "P(c, d)" in out
+
+    def test_max_branches_partial_reverse(self, capsys):
+        code, out, err = run_cli(
+            capsys,
+            "reverse",
+            "--mapping",
+            "T(x) -> A(x) | B(x); T(x) -> C(x) | D(x); T(x) -> E(x) | F(x)",
+            "--instance", "T(a)",
+            "--max-branches", "3",
+        )
+        assert code == 0
+        assert "partial:" in err and "branches" in err

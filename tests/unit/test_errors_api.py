@@ -1,0 +1,94 @@
+"""The ``repro.errors`` hierarchy and its public re-exports.
+
+Back-compat is load-bearing here: ``ChaseNonTermination`` predates the
+hierarchy as a bare ``RuntimeError`` subclass, so the new base classes
+are spliced *underneath* it — every historical ``except RuntimeError``
+site keeps catching it, while new code can catch ``ReproError`` or
+``BudgetExhausted`` uniformly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    BatchItemError,
+    BudgetExhausted,
+    Cancelled,
+    ChaseNonTermination,
+    FaultInjected,
+    ReproError,
+)
+from repro.limits import Exhausted
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            BudgetExhausted,
+            Cancelled,
+            ChaseNonTermination,
+            FaultInjected,
+            BatchItemError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_budget_exhausted_is_runtime_error(self):
+        # Legacy guard sites catch RuntimeError; keep them working.
+        assert issubclass(BudgetExhausted, RuntimeError)
+        assert issubclass(ChaseNonTermination, BudgetExhausted)
+        assert issubclass(Cancelled, BudgetExhausted)
+
+    def test_fault_injected_is_not_a_budget_error(self):
+        assert not issubclass(FaultInjected, BudgetExhausted)
+
+    def test_catching_repro_error_catches_chase_nontermination(self):
+        with pytest.raises(ReproError):
+            raise ChaseNonTermination("chase did not terminate within 5 rounds")
+
+
+class TestDiagnosisPayloads:
+    def test_budget_exhausted_default_message_from_diagnosis(self):
+        diagnosis = Exhausted(resource="facts", where="chase", limit=10, used=11)
+        err = BudgetExhausted(diagnosis=diagnosis)
+        assert err.diagnosis is diagnosis
+        assert "facts" in str(err)
+
+    def test_batch_item_error_pulls_diagnosis_from_cause(self):
+        diagnosis = Exhausted(resource="deadline", where="engine.batch")
+        cause = BudgetExhausted(diagnosis=diagnosis)
+        err = BatchItemError(index=0, op="chase", error=cause)
+        assert err.diagnosis is diagnosis
+
+    def test_singular_attempt_message(self):
+        err = BatchItemError(index=1, op="reverse", error=ValueError("x"))
+        assert "1 attempt:" in str(err)
+
+
+class TestPublicReexports:
+    NAMES = (
+        "ReproError",
+        "BudgetExhausted",
+        "Cancelled",
+        "FaultInjected",
+        "BatchItemError",
+        "ChaseNonTermination",
+        "Budget",
+        "CancelToken",
+        "Exhausted",
+        "FaultPlan",
+        "Limits",
+        "budget_scope",
+        "inject_faults",
+    )
+
+    def test_top_level_exports(self):
+        for name in self.NAMES:
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+
+    def test_top_level_identity(self):
+        # The re-exports are the same objects, not shadow copies.
+        assert repro.BudgetExhausted is BudgetExhausted
+        assert repro.ChaseNonTermination is ChaseNonTermination
