@@ -1,0 +1,159 @@
+"""Telemetry overhead guard: sinks/registry/progress off stays ≤2%.
+
+PR 4's promise extends PR 2's: with no telemetry sink, no run registry,
+and no progress reporter configured (the default), the instrumented
+chase pays only ``is None`` guards — one pair of attribute checks per
+engine operation plus a slot read per budget checkpoint.  This module
+enforces the budget the same way ``bench_tracing_overhead.py`` does:
+racing the instrumented chase (telemetry off) against that module's
+**uninstrumented reference loop**, interleaved min-of-N.
+
+Runs two ways: under pytest-benchmark with the other SB modules, and
+as a plain script for CI (``python benchmarks/bench_sink_overhead.py``)
+which exits nonzero when the ratio exceeds the tolerance
+(``REPRO_SINK_OVERHEAD_TOLERANCE``, default 1.02).
+"""
+
+import os
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script mode without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chase.standard import chase
+from repro.engine import ExchangeEngine
+from repro.obs import JsonlSink, OpenMetricsSink, ProgressReporter, progress_scope
+
+try:
+    from .bench_tracing_overhead import _check_equivalence, _workload, reference_chase
+    from .conftest import record_metric
+except ImportError:  # script mode
+    from bench_tracing_overhead import (  # noqa: F401
+        _check_equivalence,
+        _workload,
+        reference_chase,
+    )
+
+    def record_metric(benchmark, **metrics):
+        for key, value in metrics.items():
+            benchmark.extra_info[key] = value
+
+
+# More, shorter interleaved rounds than the tracing guard: min-of-N
+# over single chases rides out scheduler/throttling bursts better than
+# min over triples when the host is noisy.
+ROUNDS = 15
+CHASES_PER_ROUND = 1
+
+
+def _engine(**kwargs):
+    """A cache-free engine so every benchmarked call computes."""
+    return ExchangeEngine(enable_cache=False, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_engine_telemetry_disabled(benchmark):
+    """The engine's exchange with no sink/registry (the guarded side)."""
+    mapping, source = _workload()
+    engine = _engine()
+    result = benchmark(engine.exchange, mapping, source)
+    record_metric(benchmark, facts=len(result.instance))
+
+
+def test_engine_jsonl_sink(benchmark):
+    """For scale: every operation appended to a JSONL ops log."""
+    mapping, source = _workload()
+    with tempfile.TemporaryDirectory() as tmp:
+        engine = _engine(sink=JsonlSink(os.path.join(tmp, "ops.jsonl")))
+        benchmark(engine.exchange, mapping, source)
+        record_metric(benchmark, records=engine.sink.records)
+
+
+def test_engine_openmetrics_sink(benchmark):
+    """For scale: aggregation + periodic OpenMetrics rewrite."""
+    mapping, source = _workload()
+    with tempfile.TemporaryDirectory() as tmp:
+        sink = OpenMetricsSink(os.path.join(tmp, "m.prom"), write_every=100)
+        engine = _engine(sink=sink)
+        benchmark(engine.exchange, mapping, source)
+        record_metric(benchmark, records=sink.records)
+
+
+def test_chase_progress_reporter(benchmark):
+    """For scale: the silent progress reporter fed from every budget
+    checkpoint (stream=None isolates the heartbeat cost from I/O)."""
+    mapping, source = _workload()
+
+    def with_progress():
+        with progress_scope(ProgressReporter(stream=None)):
+            return chase(source, mapping.dependencies)
+
+    result = benchmark(with_progress)
+    record_metric(benchmark, steps=result.steps)
+
+
+# ----------------------------------------------------------------------
+# Script mode: the CI guard
+# ----------------------------------------------------------------------
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    for _ in range(CHASES_PER_ROUND):
+        fn()
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    tolerance = float(os.environ.get("REPRO_SINK_OVERHEAD_TOLERANCE", "1.02"))
+    mapping, source = _workload()
+    _check_equivalence(mapping, source)
+
+    quiet = lambda: chase(source, mapping.dependencies)  # noqa: E731
+    reference = lambda: reference_chase(source, mapping.dependencies)  # noqa: E731
+
+    _time_once(quiet), _time_once(reference)  # warm-up
+    # Adjacent (reference, instrumented) measurements share whatever
+    # load burst hits the host, so the median of per-pair ratios cancels
+    # drift that min-of-N per side cannot: a systematic overhead shows
+    # up in every pair, noise only in some.
+    quiet_times, ref_times, ratios = [], [], []
+    for _ in range(ROUNDS):
+        ref_once = _time_once(reference)
+        quiet_once = _time_once(quiet)
+        ref_times.append(ref_once)
+        quiet_times.append(quiet_once)
+        ratios.append(quiet_once / ref_once if ref_once else float("inf"))
+    quiet_min, ref_min = min(quiet_times), min(ref_times)
+    ratio = statistics.median(ratios)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        engine = _engine(
+            sink=OpenMetricsSink(os.path.join(tmp, "m.prom"), write_every=100)
+        )
+        sink_time = _time_once(lambda: engine.exchange(mapping, source))
+        with progress_scope(ProgressReporter(stream=None)):
+            progress_time = _time_once(quiet)
+
+    print(f"reference chase (uninstrumented): {ref_min * 1e3:9.3f} ms")
+    print(f"instrumented, telemetry off     : {quiet_min * 1e3:9.3f} ms  "
+          f"ratio {ratio:6.4f}")
+    print(f"engine + OpenMetrics sink       : {sink_time * 1e3:9.3f} ms")
+    print(f"chase + silent progress reporter: {progress_time * 1e3:9.3f} ms")
+    ok = ratio <= tolerance
+    print(f"acceptance: off/reference {ratio:.4f} <= {tolerance} -> {ok}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

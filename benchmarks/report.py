@@ -10,6 +10,15 @@ Groups benchmark entries by module (one module per experiment id, see
 DESIGN.md §3) and prints one table per experiment with the mean timing
 and every recorded ``extra_info`` metric — the same rows EXPERIMENTS.md
 reports, so the document can be refreshed after any change.
+
+Registry mode::
+
+    python benchmarks/report.py --registry .repro_runs/runs.db [--factor 2.0]
+
+Instead of a benchmark JSON, reads the persistent run registry and
+prints one :meth:`RunRegistry.compare_to_baseline` verdict per recent
+run — wall time vs the median of its comparable history for the same
+(op, mapping).  Exits 1 when any run regressed, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -17,6 +26,7 @@ from __future__ import annotations
 import json
 import sys
 from collections import defaultdict
+from pathlib import Path
 from typing import Dict, List
 
 
@@ -71,11 +81,49 @@ def render(groups: Dict[str, List[dict]]) -> str:
     return "\n".join(lines)
 
 
+def report_registry(db_path: str, factor: float = 2.0, limit: int = 20) -> int:
+    """Baseline verdicts for the most recent registry rows; 1 on regression."""
+    try:
+        from repro.obs import RunRegistry
+    except ImportError:  # script mode without PYTHONPATH
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.obs import RunRegistry
+
+    if not Path(db_path).exists():
+        print(f"error: no run registry at {db_path}", file=sys.stderr)
+        return 2
+    registry = RunRegistry(db_path)
+    rows = registry.list_runs(limit=limit)
+    if not rows:
+        print(f"run registry {db_path} is empty")
+        return 0
+    regressions = 0
+    for row in rows:
+        verdict = registry.compare_to_baseline(row.id, factor=factor)
+        print(verdict.render())
+        if verdict.regressed:
+            regressions += 1
+    print(
+        f"{len(rows)} runs checked against factor x{factor:.2f}: "
+        f"{regressions} regressed"
+    )
+    return 1 if regressions else 0
+
+
 def main(argv: List[str]) -> int:
-    if len(argv) != 2:
+    args = argv[1:]
+    if args and args[0] == "--registry":
+        if len(args) < 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        factor = 2.0
+        if "--factor" in args:
+            factor = float(args[args.index("--factor") + 1])
+        return report_registry(args[1], factor=factor)
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    print(render(load(argv[1])))
+    print(render(load(args[0])))
     return 0
 
 

@@ -41,6 +41,7 @@ from .limits import (
     FaultPlan,
     Limits,
     budget_scope,
+    cancel_scope,
     inject_faults,
 )
 from .terms import Const, Null, NullFactory, Var
@@ -83,10 +84,17 @@ from .mappings.extension import (
 from .mappings.identity import extended_identity_contains, identity_contains
 from .mappings.composition import in_extended_composition
 from .obs import (
+    JsonlSink,
     MetricsRegistry,
+    MultiSink,
+    OpRecord,
+    OpenMetricsSink,
+    ProgressReporter,
     ProvenanceGraph,
+    RunRegistry,
     Tracer,
     current_tracer,
+    progress_scope,
     render_derivation,
     set_tracer,
     tracing,
@@ -107,6 +115,7 @@ __all__ = [
     "FaultPlan",
     "Limits",
     "budget_scope",
+    "cancel_scope",
     "inject_faults",
     "Const",
     "Null",
@@ -153,10 +162,17 @@ __all__ = [
     "extended_identity_contains",
     "identity_contains",
     "in_extended_composition",
+    "JsonlSink",
     "MetricsRegistry",
+    "MultiSink",
+    "OpRecord",
+    "OpenMetricsSink",
+    "ProgressReporter",
     "ProvenanceGraph",
+    "RunRegistry",
     "Tracer",
     "current_tracer",
+    "progress_scope",
     "render_derivation",
     "set_tracer",
     "tracing",

@@ -30,30 +30,63 @@ instead of aborting.  Batches add ``--on-error skip`` (failed items
 report per-item on stderr and the rest complete; exit 5 when any item
 failed) and ``--retries N`` for transiently failing items.
 
+Telemetry (see ``docs/OBSERVABILITY.md``): ``--metrics-out m.prom``
+(env ``REPRO_METRICS_OUT``) writes an OpenMetrics text file of per-op
+counters and wall-time histograms, ``--ops-log ops.jsonl`` appends one
+JSON line per engine operation, and ``--progress`` turns the budget
+checkpoints into a live stderr ticker.  Every engine operation is also
+recorded into the persistent run registry (SQLite, default
+``.repro_runs/runs.db``; override with ``--registry PATH`` or
+``REPRO_RUNS_DB``, disable with ``--no-registry`` or
+``REPRO_RUNS_DB=off``), browsable via ``repro runs list|show|diff|gc``.
+
+Ctrl-C cancels cooperatively: the first SIGINT flips the ambient
+:class:`repro.limits.CancelToken`, the chase stops at its next
+checkpoint, partial output / trace / registry rows flush, and the exit
+code is 130.  A second SIGINT falls back to the ordinary
+``KeyboardInterrupt``.
+
 ``repro explain`` chases an instance under a provenance-recording
 tracer and prints the derivation tree of each requested fact (or of
-every generated fact when ``--fact`` is omitted).
+every generated fact when ``--fact`` is omitted), plus a budget
+summary when the run was truncated.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 from typing import List, Optional
 
 from .chase.standard import ChaseNonTermination
 from .engine import ExchangeEngine
-from .errors import BatchItemError
+from .errors import BatchItemError, Cancelled
 from .instance import Instance
 from .inverses.quasi_inverse import (
     NotFullTgds,
     maximum_extended_recovery_for_full_tgds,
 )
-from .limits import Limits
+from .limits import CancelToken, Limits, cancel_scope
 from .mappings.schema_mapping import SchemaMapping
-from .obs import Tracer, render_derivation, write_trace_jsonl
+from .obs import (
+    DEFAULT_DB_PATH,
+    JsonlSink,
+    MultiSink,
+    OpenMetricsSink,
+    ProgressReporter,
+    RunRegistry,
+    Tracer,
+    progress_scope,
+    render_budget_summary,
+    render_derivation,
+    write_trace_jsonl,
+)
 from .parsing.parser import parse_query
+
+#: ``REPRO_RUNS_DB`` values that disable the registry outright.
+_REGISTRY_OFF = ("", "off", "0", "none", "disabled")
 
 
 def _load_mapping(spec: str) -> SchemaMapping:
@@ -80,8 +113,46 @@ def _limits_from_args(args: argparse.Namespace) -> Optional[Limits]:
     return Limits(**values)
 
 
-def _make_engine(args: argparse.Namespace) -> ExchangeEngine:
-    tracer = Tracer() if getattr(args, "trace", None) else None
+def _registry_path(args: argparse.Namespace) -> Optional[str]:
+    """Where the run registry lives for this invocation, or ``None``.
+
+    Resolution: ``--no-registry`` wins, then an explicit ``--registry``
+    path, then ``REPRO_RUNS_DB`` (whose *off* values disable), then the
+    default ``.repro_runs/runs.db`` — the registry is on by default so
+    every engine-backed command leaves a history row.
+    """
+    if getattr(args, "no_registry", False):
+        return None
+    explicit = getattr(args, "registry", None)
+    if explicit is not None:
+        return explicit
+    env = os.environ.get("REPRO_RUNS_DB")
+    if env is not None:
+        if env.strip().lower() in _REGISTRY_OFF:
+            return None
+        return env
+    return DEFAULT_DB_PATH
+
+
+def _telemetry_sink(args: argparse.Namespace):
+    """The engine sink for this invocation (``None``, one, or a fan-out)."""
+    sinks = []
+    if getattr(args, "ops_log", None):
+        sinks.append(JsonlSink(args.ops_log))
+    if getattr(args, "metrics_out", None):
+        sinks.append(OpenMetricsSink(args.metrics_out))
+    if not sinks:
+        return None
+    return sinks[0] if len(sinks) == 1 else MultiSink(sinks)
+
+
+def _make_engine(
+    args: argparse.Namespace, force_tracer: bool = False
+) -> ExchangeEngine:
+    tracer = (
+        Tracer() if (force_tracer or getattr(args, "trace", None)) else None
+    )
+    registry_path = _registry_path(args)
     return ExchangeEngine(
         enable_cache=not getattr(args, "no_cache", False),
         jobs=getattr(args, "jobs", None),
@@ -89,6 +160,8 @@ def _make_engine(args: argparse.Namespace) -> ExchangeEngine:
         limits=_limits_from_args(args),
         retries=getattr(args, "retries", None) or 0,
         on_error=getattr(args, "on_error", None) or "raise",
+        sink=_telemetry_sink(args),
+        registry=RunRegistry(registry_path) if registry_path else None,
     )
 
 
@@ -104,6 +177,9 @@ def _finish(engine: ExchangeEngine, args: argparse.Namespace, code: int) -> int:
     if trace_path and engine.tracer is not None:
         count = write_trace_jsonl(engine.tracer, trace_path)
         print(f"trace: {count} lines -> {trace_path}", file=sys.stderr)
+    engine.close_telemetry()
+    if getattr(args, "metrics_out", None):
+        print(f"metrics: -> {args.metrics_out}", file=sys.stderr)
     if getattr(args, "stats", False):
         print(engine.render_stats(), file=sys.stderr)
     return code
@@ -115,6 +191,16 @@ def _nonterminating(
     """Report a diverging chase; the partial trace still flushes."""
     print(f"error: chase did not terminate: {exc}", file=sys.stderr)
     return _finish(engine, args, 3)
+
+
+def _cancelled(
+    engine: ExchangeEngine, args: argparse.Namespace, exc: Cancelled
+) -> int:
+    """Report a cooperative cancellation (Ctrl-C); trace, metrics, and
+    registry rows still flush, and the exit code is the conventional
+    128 + SIGINT."""
+    print(f"cancelled: {exc}", file=sys.stderr)
+    return _finish(engine, args, 130)
 
 
 def _parse_instances(args: argparse.Namespace) -> List[Instance]:
@@ -142,6 +228,8 @@ def _cmd_chase(args: argparse.Namespace) -> int:
                     continue
                 print(f"[{index}] {result.instance}")
                 _note_partial(result, index)
+    except Cancelled as exc:
+        return _cancelled(engine, args, exc)
     except ChaseNonTermination as exc:
         return _nonterminating(engine, args, exc)
     return _finish(engine, args, 5 if failures else 0)
@@ -182,6 +270,8 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
                     continue
                 _print_candidates(result, prefix=f"[{index}] ")
                 _note_partial(result, index)
+    except Cancelled as exc:
+        return _cancelled(engine, args, exc)
     except ChaseNonTermination as exc:
         return _nonterminating(engine, args, exc)
     return _finish(engine, args, 5 if failures else 0)
@@ -191,7 +281,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
     reverse = _load_mapping(args.reverse) if args.reverse else None
-    report = engine.audit(mapping, reverse=reverse)
+    try:
+        report = engine.audit(mapping, reverse=reverse)
+    except Cancelled as exc:
+        return _cancelled(engine, args, exc)
     print(f"invertible (ground subset property): {report.invertible.holds}")
     print(f"extended invertible (hom property):  {report.extended_invertible.holds}")
     if not report.extended_invertible.holds:
@@ -224,26 +317,36 @@ def _cmd_answer(args: argparse.Namespace) -> int:
         else maximum_extended_recovery_for_full_tgds(mapping)
     )
     query = parse_query(args.query)
-    for source in _parse_instances(args):
-        answers = engine.answer(
-            mapping, recovery, query, source, max_nulls=args.max_nulls
-        )
-        for row in sorted(answers, key=str):
-            print("(" + ", ".join(str(v) for v in row) + ")")
-        if not answers:
-            print("-- no certain answers --")
+    try:
+        for source in _parse_instances(args):
+            answers = engine.answer(
+                mapping, recovery, query, source, max_nulls=args.max_nulls
+            )
+            for row in sorted(answers, key=str):
+                print("(" + ", ".join(str(v) for v in row) + ")")
+            if not answers:
+                print("-- no certain answers --")
+    except Cancelled as exc:
+        return _cancelled(engine, args, exc)
     return _finish(engine, args, 0)
 
 
+def _explain_budget_note(engine: ExchangeEngine, result) -> None:
+    """Print the budget summary when the explained chase was truncated."""
+    if result.exhausted is None:
+        return
+    print()
+    print(render_budget_summary(engine.tracer))
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
-    engine = ExchangeEngine(
-        enable_cache=not getattr(args, "no_cache", False),
-        tracer=Tracer(),
-    )
+    engine = _make_engine(args, force_tracer=True)
     mapping = _load_mapping(args.mapping)
     source = Instance.parse(args.instance)
     try:
         result = engine.exchange(mapping, source, variant=args.variant)
+    except Cancelled as exc:
+        return _cancelled(engine, args, exc)
     except ChaseNonTermination as exc:
         return _nonterminating(engine, args, exc)
     graph = engine.tracer.provenance
@@ -257,6 +360,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         facts = sorted(result.generated, key=lambda f: f.sort_key())
     if not facts:
         print("-- no generated facts: the instance already satisfies the mapping --")
+        _explain_budget_note(engine, result)
         return _finish(engine, args, 0)
     code = 0
     for index, f in enumerate(facts):
@@ -267,6 +371,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         except KeyError:
             print(f"error: no derivation recorded for {f}", file=sys.stderr)
             code = 2
+    _explain_budget_note(engine, result)
     return _finish(engine, args, code)
 
 
@@ -291,6 +396,107 @@ def _cmd_report(args: argparse.Namespace) -> int:
     mapping = _load_mapping(args.mapping)
     probe = Instance.parse(args.probe) if args.probe else None
     print(analyze_mapping(mapping, probe=probe).render())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro runs — browsing the persistent run registry
+# ----------------------------------------------------------------------
+
+
+def _runs_registry(args: argparse.Namespace) -> Optional[RunRegistry]:
+    """Open the registry for a ``runs`` subcommand, or complain.
+
+    ``--db`` wins, then ``REPRO_RUNS_DB`` (off-values fall through to
+    the default path — the user is explicitly *asking* for history, so
+    an env var that merely disabled recording does not hide it).
+    """
+    path = getattr(args, "db", None)
+    if not path:
+        env = os.environ.get("REPRO_RUNS_DB", "").strip()
+        path = env if env.lower() not in _REGISTRY_OFF else DEFAULT_DB_PATH
+    if not os.path.exists(path):
+        print(f"error: no run registry at {path}", file=sys.stderr)
+        return None
+    return RunRegistry(path)
+
+
+def _run_status(row) -> str:
+    if row.error is not None:
+        return f"error:{row.error}"
+    if row.exhausted is not None:
+        return f"partial:{row.exhausted}"
+    return "hit" if row.cache_hit else "ok"
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    import time as _time
+
+    registry = _runs_registry(args)
+    if registry is None:
+        return 2
+    rows = registry.list_runs(limit=args.limit, op=args.op)
+    if not rows:
+        print("-- no recorded runs --")
+        return 0
+    print(
+        f"{'id':>5}  {'when':<19} {'op':<8} {'wall(s)':>10} "
+        f"{'status':<18} mapping"
+    )
+    for row in rows:
+        when = _time.strftime(
+            "%Y-%m-%d %H:%M:%S", _time.localtime(row.ts)
+        )
+        print(
+            f"{row.id:>5}  {when:<19} {row.op:<8} {row.wall_time:>10.6f} "
+            f"{_run_status(row):<18} {row.mapping_digest[:12]}"
+        )
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    import time as _time
+
+    registry = _runs_registry(args)
+    if registry is None:
+        return 2
+    try:
+        row = registry.get(args.id)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    when = _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(row.ts))
+    print(f"run {row.id} ({row.op}) at {when}")
+    print(f"  mapping:  {row.mapping_digest or '-'}")
+    print(f"  instance: {row.instance_digest or '-'}")
+    print(f"  wall time: {row.wall_time:.6f}s  cache hit: {row.cache_hit}")
+    print(
+        f"  rounds={row.rounds} steps={row.steps} facts={row.facts} "
+        f"nulls={row.nulls} branches={row.branches}"
+    )
+    print(f"  exhausted: {row.exhausted or '-'}  error: {row.error or '-'}")
+    print(registry.compare_to_baseline(row.id, factor=args.factor).render())
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    registry = _runs_registry(args)
+    if registry is None:
+        return 2
+    try:
+        print(registry.diff(args.first, args.second).render())
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    registry = _runs_registry(args)
+    if registry is None:
+        return 2
+    deleted = registry.gc(keep=args.keep)
+    print(f"deleted {deleted} rows, kept {len(registry)}")
     return 0
 
 
@@ -335,6 +541,25 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flags.add_argument(
         "--retries", type=int, default=None, metavar="N",
         help="retry transiently failing batch items up to N times")
+    engine_flags.add_argument(
+        "--metrics-out", metavar="PATH",
+        default=os.environ.get("REPRO_METRICS_OUT") or None,
+        help="write an OpenMetrics/Prometheus text file of per-op "
+             "counters and wall-time histograms (env: REPRO_METRICS_OUT)")
+    engine_flags.add_argument(
+        "--ops-log", metavar="PATH",
+        help="append one JSON line per engine operation to PATH")
+    engine_flags.add_argument(
+        "--progress", action="store_true",
+        help="live stderr ticker fed from the budget checkpoints")
+    engine_flags.add_argument(
+        "--registry", metavar="PATH", nargs="?", const=DEFAULT_DB_PATH,
+        default=None,
+        help="run-registry database recording this invocation "
+             f"(default: $REPRO_RUNS_DB or {DEFAULT_DB_PATH})")
+    engine_flags.add_argument(
+        "--no-registry", action="store_true",
+        help="do not record this invocation in the run registry")
 
     chase = sub.add_parser("chase", parents=[engine_flags],
                            help="forward data exchange (the chase)")
@@ -408,13 +633,88 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--mapping", required=True)
     report.add_argument("--probe", help="probe instance for the round trip")
     report.set_defaults(func=_cmd_report)
+
+    runs = sub.add_parser(
+        "runs", help="browse the persistent run registry"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    db_flag = argparse.ArgumentParser(add_help=False)
+    db_flag.add_argument(
+        "--db", metavar="PATH",
+        help=f"registry database (default: $REPRO_RUNS_DB or {DEFAULT_DB_PATH})")
+    runs_list = runs_sub.add_parser(
+        "list", parents=[db_flag], help="recent runs, newest first")
+    runs_list.add_argument("--limit", type=int, default=20)
+    runs_list.add_argument("--op", help="filter by operation kind")
+    runs_list.set_defaults(func=_cmd_runs_list)
+    runs_show = runs_sub.add_parser(
+        "show", parents=[db_flag],
+        help="one run in full, with its baseline-regression verdict")
+    runs_show.add_argument("id", type=int)
+    runs_show.add_argument(
+        "--factor", type=float, default=2.0,
+        help="regression threshold over the baseline median wall time")
+    runs_show.set_defaults(func=_cmd_runs_show)
+    runs_diff = runs_sub.add_parser(
+        "diff", parents=[db_flag],
+        help="wall-time and counter deltas between two runs")
+    runs_diff.add_argument("first", type=int)
+    runs_diff.add_argument("second", type=int)
+    runs_diff.set_defaults(func=_cmd_runs_diff)
+    runs_gc = runs_sub.add_parser(
+        "gc", parents=[db_flag], help="prune all but the newest rows")
+    runs_gc.add_argument("--keep", type=int, default=1000)
+    runs_gc.set_defaults(func=_cmd_runs_gc)
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    token = CancelToken()
+
+    def _on_sigint(signum, frame):
+        if token.cancelled:  # second Ctrl-C: the ordinary abort
+            raise KeyboardInterrupt
+        token.cancel("SIGINT")
+        print(
+            "interrupt: stopping at the next checkpoint"
+            " (Ctrl-C again to abort hard)",
+            file=sys.stderr,
+        )
+
+    previous_handler = None
+    installed = False
+    try:
+        previous_handler = signal.signal(signal.SIGINT, _on_sigint)
+        installed = True
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    reporter = (
+        ProgressReporter(stream=sys.stderr)
+        if getattr(args, "progress", False)
+        else None
+    )
+    try:
+        with cancel_scope(token):
+            if reporter is not None:
+                with progress_scope(reporter):
+                    code = args.func(args)
+            else:
+                code = args.func(args)
+    except Cancelled as exc:
+        # Backstop for cancellations surfacing outside a command's own
+        # handler (telemetry has already flushed what it could).
+        print(f"cancelled: {exc}", file=sys.stderr)
+        return 130
+    finally:
+        if reporter is not None:
+            reporter.finish()
+        if installed:
+            signal.signal(signal.SIGINT, previous_handler)
+    if token.cancelled:
+        return 130
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

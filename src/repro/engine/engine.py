@@ -46,6 +46,8 @@ from ..limits import (
 )
 from ..mappings.schema_mapping import SchemaMapping
 from ..obs.events import CacheHit, CacheMiss
+from ..obs.registry import RunRegistry
+from ..obs.sinks import OpRecord, OpenMetricsSink, TelemetrySink
 from ..obs.tracer import Tracer, current_tracer, maybe_span
 from .cache import LRUCache
 from .parallel import (
@@ -76,7 +78,12 @@ _LEGACY_REVERSE = Limits(max_rounds=32, on_exhausted="raise")
 
 @dataclass
 class _OpCounters:
-    """Per-operation work accounting (compute time only, not hits)."""
+    """Per-operation work accounting (compute time only, not hits).
+
+    ``error_wall_time`` attributes the wall clock burned by *failed*
+    items (all their attempts) separately from ``wall_time``, so a
+    batch where half the items crashed still shows where the time went.
+    """
 
     calls: int = 0
     wall_time: float = 0.0
@@ -84,6 +91,12 @@ class _OpCounters:
     rounds: int = 0
     branches: int = 0
     errors: int = 0
+    error_wall_time: float = 0.0
+
+
+def _exhausted_tag(exhausted: Optional[Exhausted]) -> Optional[str]:
+    """The registry/sink vocabulary for a diagnosis: its resource name."""
+    return None if exhausted is None else exhausted.resource
 
 
 class ExchangeEngine:
@@ -125,6 +138,17 @@ class ExchangeEngine:
         propagates) or ``"skip"`` (each failed item resolves to a
         :class:`repro.errors.BatchItemError` in its input position and
         the rest of the batch completes).
+    sink:
+        A :class:`repro.obs.TelemetrySink` (JSONL, OpenMetrics, or a
+        :class:`repro.obs.MultiSink` fan-out) that receives one
+        :class:`repro.obs.OpRecord` per operation — including per-item
+        records for batch operations, and error records for failed
+        compute.  ``None`` (the default) keeps the telemetry path at a
+        pair of attribute reads per op.
+    registry:
+        A :class:`repro.obs.RunRegistry` — the persistent SQLite run
+        history — that receives the same per-op records.  Sink and
+        registry are independent: either, both, or neither.
     """
 
     def __init__(
@@ -137,6 +161,8 @@ class ExchangeEngine:
         limits: Optional[Limits] = None,
         retries: int = 0,
         on_error: str = "raise",
+        sink: Optional[TelemetrySink] = None,
+        registry: Optional[RunRegistry] = None,
     ) -> None:
         if on_error not in _ON_ERROR:
             raise ValueError(
@@ -154,6 +180,8 @@ class ExchangeEngine:
         self.limits = limits
         self.retries = retries
         self.on_error = on_error
+        self.sink = sink
+        self.registry = registry
         self._clock = time.perf_counter
 
     def _tracer(self) -> Optional[Tracer]:
@@ -185,6 +213,7 @@ class ExchangeEngine:
         branches: int = 0,
         calls: int = 1,
         errors: int = 0,
+        error_wall_time: float = 0.0,
     ) -> None:
         with self._ops_lock:
             counters = self._ops[op]
@@ -194,6 +223,35 @@ class ExchangeEngine:
             counters.rounds += rounds
             counters.branches += branches
             counters.errors += errors
+            counters.error_wall_time += error_wall_time
+
+    @property
+    def _telemetry(self) -> bool:
+        """Is any sink or registry configured?  (The off-path guard.)"""
+        return self.sink is not None or self.registry is not None
+
+    def _emit(self, record: OpRecord) -> None:
+        """Flush one operation record to the sink and the registry."""
+        if self.sink is not None:
+            self.sink.record(record)
+        if self.registry is not None:
+            self.registry.record(record)
+
+    def close_telemetry(self) -> None:
+        """Flush and close the configured sink and registry (idempotent).
+
+        An :class:`repro.obs.OpenMetricsSink` absorbs the effective
+        tracer's metrics registry first, so span-duration histograms
+        and event counters land in the same exposition file as the
+        per-op counters.
+        """
+        tracer = self._tracer()
+        if tracer is not None and isinstance(self.sink, OpenMetricsSink):
+            self.sink.extra = tracer.metrics
+        if self.sink is not None:
+            self.sink.close()
+        if self.registry is not None:
+            self.registry.close()
 
     @staticmethod
     def _key_id(key: tuple) -> str:
@@ -230,14 +288,34 @@ class ExchangeEngine:
         elapsed = 0.0
         if not hit:
             start = self._clock()
-            with maybe_span(tracer, "engine.chase", key=self._key_id(key)):
-                result = chase(
-                    source,
-                    mapping.dependencies,
-                    variant=variant,
-                    tracer=tracer,
-                    limits=effective,
+            try:
+                with maybe_span(tracer, "engine.chase", key=self._key_id(key)):
+                    result = chase(
+                        source,
+                        mapping.dependencies,
+                        variant=variant,
+                        tracer=tracer,
+                        limits=effective,
+                    )
+            except Exception as error:
+                elapsed = self._clock() - start
+                self._record(
+                    "chase", calls=1, errors=1, error_wall_time=elapsed
                 )
+                if self._telemetry:
+                    self._emit(
+                        OpRecord(
+                            op="chase",
+                            mapping_digest=key[1],
+                            instance_digest=key[2],
+                            wall_time=elapsed,
+                            error=type(error).__name__,
+                            exhausted=_exhausted_tag(
+                                getattr(error, "diagnosis", None)
+                            ),
+                        )
+                    )
+                raise
             restricted = result.restricted_to(mapping.target.names)
             elapsed = self._clock() - start
             entry = (result, restricted)
@@ -249,6 +327,21 @@ class ExchangeEngine:
         else:
             self._record("chase", calls=1)
         result, restricted = entry
+        if self._telemetry:
+            self._emit(
+                OpRecord(
+                    op="chase",
+                    mapping_digest=key[1],
+                    instance_digest=key[2],
+                    wall_time=elapsed,
+                    cache_hit=hit,
+                    rounds=result.rounds,
+                    steps=result.steps,
+                    facts=len(result.instance),
+                    nulls=len(result.instance.nulls),
+                    exhausted=_exhausted_tag(result.exhausted),
+                )
+            )
         return ExchangeResult(
             instance=restricted,
             full=result.instance,
@@ -380,10 +473,30 @@ class ExchangeEngine:
                     deadline=effective.deadline if effective else None,
                 )
             elapsed = self._clock() - start
-            for (key, _), outcome in zip(todo, outcomes):
+            for (key, (_inst, first)), outcome in zip(todo, outcomes):
                 if not outcome.ok:
                     failed[key] = outcome
-                    self._record("chase", calls=1, errors=1)
+                    self._record(
+                        "chase",
+                        calls=1,
+                        errors=1,
+                        error_wall_time=outcome.elapsed,
+                    )
+                    if self._telemetry:
+                        self._emit(
+                            OpRecord(
+                                op="chase",
+                                mapping_digest=key[1],
+                                instance_digest=key[2],
+                                wall_time=outcome.elapsed,
+                                error=type(outcome.error).__name__,
+                                exhausted=_exhausted_tag(
+                                    getattr(outcome.error, "diagnosis", None)
+                                ),
+                                batch_index=first,
+                                attempts=max(outcome.attempts, 1),
+                            )
+                        )
                     continue
                 if tracer is not None:
                     result, state = outcome.value
@@ -398,6 +511,22 @@ class ExchangeEngine:
                 self._record(
                     "chase", steps=result.steps, rounds=result.rounds, calls=1
                 )
+                if self._telemetry:
+                    self._emit(
+                        OpRecord(
+                            op="chase",
+                            mapping_digest=key[1],
+                            instance_digest=key[2],
+                            wall_time=outcome.elapsed,
+                            rounds=result.rounds,
+                            steps=result.steps,
+                            facts=len(result.instance),
+                            nulls=len(result.instance.nulls),
+                            exhausted=_exhausted_tag(result.exhausted),
+                            batch_index=first,
+                            attempts=outcome.attempts,
+                        )
+                    )
             self._record("chase", wall_time=elapsed, calls=0)
             if failed and policy == "raise":
                 for key in keys:
@@ -413,6 +542,7 @@ class ExchangeEngine:
                         op="chase",
                         error=outcome.error,
                         attempts=max(outcome.attempts, 1),
+                        elapsed=outcome.elapsed,
                     )
                 )
                 continue
@@ -464,18 +594,39 @@ class ExchangeEngine:
         hit, candidates = self._caches["reverse"].get(key)
         self._cache_event(tracer, "reverse", key, hit)
         exhausted: Optional[Exhausted] = None
+        elapsed = 0.0
         if not hit:
             start = self._clock()
-            with maybe_span(tracer, "engine.reverse", key=self._key_id(key)):
-                branches = reverse_disjunctive_chase(
-                    target,
-                    mapping.dependencies,
-                    result_relations=mapping.target.names,
-                    max_nulls=max_nulls,
-                    minimize=minimize,
-                    limits=self._reverse_limits(max_branches, limits),
-                    tracer=tracer,
+            try:
+                with maybe_span(tracer, "engine.reverse", key=self._key_id(key)):
+                    branches = reverse_disjunctive_chase(
+                        target,
+                        mapping.dependencies,
+                        result_relations=mapping.target.names,
+                        max_nulls=max_nulls,
+                        minimize=minimize,
+                        limits=self._reverse_limits(max_branches, limits),
+                        tracer=tracer,
+                    )
+            except Exception as error:
+                elapsed = self._clock() - start
+                self._record(
+                    "reverse", calls=1, errors=1, error_wall_time=elapsed
                 )
+                if self._telemetry:
+                    self._emit(
+                        OpRecord(
+                            op="reverse",
+                            mapping_digest=key[1],
+                            instance_digest=key[2],
+                            wall_time=elapsed,
+                            error=type(error).__name__,
+                            exhausted=_exhausted_tag(
+                                getattr(error, "diagnosis", None)
+                            ),
+                        )
+                    )
+                raise
             candidates = tuple(branches)
             exhausted = branches.exhausted
             elapsed = self._clock() - start
@@ -486,6 +637,18 @@ class ExchangeEngine:
             )
         else:
             self._record("reverse", calls=1)
+        if self._telemetry:
+            self._emit(
+                OpRecord(
+                    op="reverse",
+                    mapping_digest=key[1],
+                    instance_digest=key[2],
+                    wall_time=elapsed,
+                    cache_hit=hit,
+                    branches=len(candidates),
+                    exhausted=_exhausted_tag(exhausted),
+                )
+            )
         return hit, key, candidates, exhausted
 
     def reverse(
@@ -598,6 +761,7 @@ class ExchangeEngine:
                             error=item.error,
                             attempts=item.attempts,
                             diagnosis=item.diagnosis,
+                            elapsed=item.elapsed,
                         )
                     )
                     continue
@@ -664,10 +828,30 @@ class ExchangeEngine:
                     deadline=task_limits.deadline,
                 )
             elapsed = self._clock() - start
-            for (key, _), outcome in zip(todo, outcomes):
+            for (key, (_target, first)), outcome in zip(todo, outcomes):
                 if not outcome.ok:
                     failed[key] = outcome
-                    self._record("reverse", calls=1, errors=1)
+                    self._record(
+                        "reverse",
+                        calls=1,
+                        errors=1,
+                        error_wall_time=outcome.elapsed,
+                    )
+                    if self._telemetry:
+                        self._emit(
+                            OpRecord(
+                                op="reverse",
+                                mapping_digest=key[1],
+                                instance_digest=key[2],
+                                wall_time=outcome.elapsed,
+                                error=type(outcome.error).__name__,
+                                exhausted=_exhausted_tag(
+                                    getattr(outcome.error, "diagnosis", None)
+                                ),
+                                batch_index=first,
+                                attempts=max(outcome.attempts, 1),
+                            )
+                        )
                     continue
                 if tracer is not None:
                     branches, state = outcome.value
@@ -680,6 +864,19 @@ class ExchangeEngine:
                     self._caches["reverse"].put(key, candidates)
                 resolved[key] = (candidates, False, exhausted)
                 self._record("reverse", branches=len(candidates), calls=1)
+                if self._telemetry:
+                    self._emit(
+                        OpRecord(
+                            op="reverse",
+                            mapping_digest=key[1],
+                            instance_digest=key[2],
+                            wall_time=outcome.elapsed,
+                            branches=len(candidates),
+                            exhausted=_exhausted_tag(exhausted),
+                            batch_index=first,
+                            attempts=outcome.attempts,
+                        )
+                    )
             self._record("reverse", wall_time=elapsed, calls=0)
             if failed and policy == "raise":
                 for key in keys:
@@ -695,6 +892,7 @@ class ExchangeEngine:
                         op="reverse",
                         error=outcome.error,
                         attempts=max(outcome.attempts, 1),
+                        elapsed=outcome.elapsed,
                     )
                 )
                 continue
@@ -724,16 +922,27 @@ class ExchangeEngine:
         tracer = self._tracer()
         hit, verdict = self._caches["hom"].get(key)
         self._cache_event(tracer, "hom", key, hit)
+        elapsed = 0.0
         if not hit:
             from ..homs.search import is_homomorphic
 
             start = self._clock()
             with maybe_span(tracer, "engine.hom"):
                 verdict = is_homomorphic(left, right)
+            elapsed = self._clock() - start
             self._caches["hom"].put(key, verdict)
-            self._record("hom", wall_time=self._clock() - start)
+            self._record("hom", wall_time=elapsed)
         else:
             self._record("hom", calls=1)
+        if self._telemetry:
+            self._emit(
+                OpRecord(
+                    op="hom",
+                    instance_digest=key[0],
+                    wall_time=elapsed,
+                    cache_hit=hit,
+                )
+            )
         return verdict
 
     def is_hom_equivalent(self, left: Instance, right: Instance) -> bool:
@@ -746,16 +955,29 @@ class ExchangeEngine:
         tracer = self._tracer()
         hit, folded = self._caches["core"].get(key)
         self._cache_event(tracer, "core", key, hit)
+        elapsed = 0.0
         if not hit:
             from ..homs.core import core
 
             start = self._clock()
             with maybe_span(tracer, "engine.core"):
                 folded = core(instance)
+            elapsed = self._clock() - start
             self._caches["core"].put(key, folded)
-            self._record("core", wall_time=self._clock() - start)
+            self._record("core", wall_time=elapsed)
         else:
             self._record("core", calls=1)
+        if self._telemetry:
+            self._emit(
+                OpRecord(
+                    op="core",
+                    instance_digest=key[0],
+                    wall_time=elapsed,
+                    cache_hit=hit,
+                    facts=len(folded),
+                    nulls=len(folded.nulls),
+                )
+            )
         return folded
 
     # ------------------------------------------------------------------
@@ -776,6 +998,7 @@ class ExchangeEngine:
         tracer = self._tracer()
         hit, entry = self._caches["audit"].get(key)
         self._cache_event(tracer, "audit", key, hit)
+        elapsed = 0.0
         if not hit:
             from ..inverses.extended_inverse import (
                 is_chase_inverse,
@@ -792,10 +1015,20 @@ class ExchangeEngine:
                     if reverse is not None
                     else None,
                 )
+            elapsed = self._clock() - start
             self._caches["audit"].put(key, entry)
-            self._record("audit", wall_time=self._clock() - start)
+            self._record("audit", wall_time=elapsed)
         else:
             self._record("audit", calls=1)
+        if self._telemetry:
+            self._emit(
+                OpRecord(
+                    op="audit",
+                    mapping_digest=key[1],
+                    wall_time=elapsed,
+                    cache_hit=hit,
+                )
+            )
         invertible, extended, chase_inverse = entry
         return AuditReport(
             invertible=invertible,
@@ -830,6 +1063,7 @@ class ExchangeEngine:
         tracer = self._tracer()
         hit, answers = self._caches["answer"].get(key)
         self._cache_event(tracer, "answer", key, hit)
+        elapsed = 0.0
         if not hit:
             from ..logic.queries import certain_answers_over_set
 
@@ -840,10 +1074,21 @@ class ExchangeEngine:
                     recovery, target, max_nulls=max_nulls
                 ).candidates
                 answers = certain_answers_over_set(query, branches)
+            elapsed = self._clock() - start
             self._caches["answer"].put(key, answers)
-            self._record("answer", wall_time=self._clock() - start)
+            self._record("answer", wall_time=elapsed)
         else:
             self._record("answer", calls=1)
+        if self._telemetry:
+            self._emit(
+                OpRecord(
+                    op="answer",
+                    mapping_digest=key[1],
+                    instance_digest=key[4],
+                    wall_time=elapsed,
+                    cache_hit=hit,
+                )
+            )
         return answers
 
     # ------------------------------------------------------------------
@@ -869,6 +1114,7 @@ class ExchangeEngine:
             "rounds": 0,
             "branches": 0,
             "errors": 0,
+            "error_wall_time": 0.0,
         }
         for op in _OPS:
             cache = self._caches[op]
@@ -882,6 +1128,7 @@ class ExchangeEngine:
                 "rounds": counters.rounds,
                 "branches": counters.branches,
                 "errors": counters.errors,
+                "error_wall_time": round(counters.error_wall_time, 6),
             }
             report[op] = row
             totals["calls"] += counters.calls
@@ -893,6 +1140,9 @@ class ExchangeEngine:
             totals["rounds"] += counters.rounds
             totals["branches"] += counters.branches
             totals["errors"] += counters.errors
+            totals["error_wall_time"] = round(
+                totals["error_wall_time"] + counters.error_wall_time, 6
+            )
         report["totals"] = totals
         tracer = self._tracer()
         if tracer is not None:

@@ -69,25 +69,51 @@ def is_transient(error: BaseException) -> bool:
 
 @dataclass
 class ItemOutcome:
-    """One batch item's fate: a value or the exception that ended it."""
+    """One batch item's fate: a value or the exception that ended it.
+
+    ``elapsed`` is the item's wall time across *all* its attempts
+    (first submission to final resolution), so failed items get their
+    cost attributed in ``engine.stats()`` just like successful ones.
+    """
 
     value: Any = None
     error: Optional[BaseException] = None
     attempts: int = 1
+    elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
 
-def _deadline_exhausted(attempts: int) -> ItemOutcome:
+def _deadline_exhausted(attempts: int, elapsed: float = 0.0) -> ItemOutcome:
     """The outcome recorded for items still unfinished at the deadline."""
     diagnosis = Exhausted(
         resource="deadline", where="engine.batch", used="batch deadline passed"
     )
     return ItemOutcome(
-        error=BudgetExhausted(diagnosis=diagnosis), attempts=attempts
+        error=BudgetExhausted(diagnosis=diagnosis),
+        attempts=attempts,
+        elapsed=elapsed,
     )
+
+
+def _rebudgeted(payload: tuple, elapsed: float) -> tuple:
+    """Carry an item's spent time into its retry payload.
+
+    A retried item continues the *same* per-item budget rather than
+    restarting its deadline from zero: ``limits`` sits at
+    ``payload[-3]`` (the payload-shape contract above), and the retry
+    ships a replacement whose deadline is the original minus the wall
+    time already burned, floored at zero so a hopeless retry still
+    resolves promptly as deadline-exhausted instead of running another
+    full deadline's worth of work.
+    """
+    limits = payload[-3] if len(payload) >= 3 else None
+    if not isinstance(limits, Limits) or limits.deadline is None:
+        return payload
+    remaining = max(0.0, limits.deadline - elapsed)
+    return payload[:-3] + (limits.replace(deadline=remaining),) + payload[-2:]
 
 
 def chase_task(
@@ -222,32 +248,43 @@ def run_batch_isolated(
     if executor is None:
         for index, payload in enumerate(payloads):
             attempt = 1
+            started = clock()
             while True:
                 if expired():
-                    outcomes[index] = _deadline_exhausted(attempt - 1)
+                    outcomes[index] = _deadline_exhausted(
+                        attempt - 1, elapsed=clock() - started
+                    )
                     break
                 try:
+                    value = fn(payload)
                     outcomes[index] = ItemOutcome(
-                        value=fn(payload), attempts=attempt
+                        value=value, attempts=attempt, elapsed=clock() - started
                     )
                     break
                 except Exception as error:
                     if is_transient(error) and attempt <= retries and not expired():
                         attempt += 1
+                        payload = _rebudgeted(payload, clock() - started)
                         payload = payload[:-1] + (attempt,)
                         continue
-                    outcomes[index] = ItemOutcome(error=error, attempts=attempt)
+                    outcomes[index] = ItemOutcome(
+                        error=error, attempts=attempt, elapsed=clock() - started
+                    )
                     break
         return outcomes
 
     with executor:
         info: dict = {}
         pending = set()
+        started: dict = {}
         for index, payload in enumerate(payloads):
+            started[index] = clock()
             try:
                 future = executor.submit(fn, payload)
             except Exception as error:  # pragma: no cover - broken pool
-                outcomes[index] = ItemOutcome(error=error, attempts=1)
+                outcomes[index] = ItemOutcome(
+                    error=error, attempts=1, elapsed=clock() - started[index]
+                )
                 continue
             info[future] = (index, 1, payload)
             pending.add(future)
@@ -265,29 +302,35 @@ def run_batch_isolated(
                 for future in pending:
                     future.cancel()
                     index, attempts, _payload = info[future]
-                    outcomes[index] = _deadline_exhausted(attempts)
+                    outcomes[index] = _deadline_exhausted(
+                        attempts, elapsed=clock() - started[index]
+                    )
                 executor.shutdown(wait=False, cancel_futures=True)
                 break
             for future in done:
                 index, attempts, payload = info.pop(future)
+                elapsed = clock() - started[index]
                 try:
                     outcomes[index] = ItemOutcome(
-                        value=future.result(), attempts=attempts
+                        value=future.result(), attempts=attempts, elapsed=elapsed
                     )
                     continue
                 except Exception as error:
                     caught = error
                 if is_transient(caught) and attempts <= retries and not expired():
-                    retry_payload = payload[:-1] + (attempts + 1,)
+                    retry_payload = _rebudgeted(payload, elapsed)
+                    retry_payload = retry_payload[:-1] + (attempts + 1,)
                     try:
                         future = executor.submit(fn, retry_payload)
                     except Exception:  # pragma: no cover - broken pool
                         outcomes[index] = ItemOutcome(
-                            error=caught, attempts=attempts
+                            error=caught, attempts=attempts, elapsed=elapsed
                         )
                         continue
                     info[future] = (index, attempts + 1, retry_payload)
                     pending.add(future)
                 else:
-                    outcomes[index] = ItemOutcome(error=caught, attempts=attempts)
+                    outcomes[index] = ItemOutcome(
+                        error=caught, attempts=attempts, elapsed=elapsed
+                    )
     return outcomes

@@ -95,6 +95,9 @@ class BatchItemError(ReproError):
         The underlying exception object.
     attempts:
         How many attempts were made (> 1 when a retry policy re-ran it).
+    elapsed:
+        Wall-clock seconds the item consumed across all its attempts
+        (``0.0`` when the runner could not measure it).
     diagnosis:
         The :class:`repro.limits.Exhausted` record when the failure was
         a budget exhaustion, else ``None``.
@@ -107,6 +110,7 @@ class BatchItemError(ReproError):
         error: BaseException,
         attempts: int = 1,
         diagnosis=None,
+        elapsed: float = 0.0,
     ) -> None:
         super().__init__(
             f"{op} batch item {index} failed after {attempts} "
@@ -118,6 +122,7 @@ class BatchItemError(ReproError):
         self.error = error
         self.kind = type(error).__name__
         self.attempts = attempts
+        self.elapsed = elapsed
         self.diagnosis = diagnosis if diagnosis is not None else getattr(
             error, "diagnosis", None
         )

@@ -18,7 +18,16 @@ The package behind graceful degradation (see ``docs/ROBUSTNESS.md``)::
   injection for the engine's batch paths (tests and CI).
 """
 
-from .budget import Budget, CancelToken, budget_scope, current_budget, set_budget
+from .budget import (
+    Budget,
+    CancelToken,
+    budget_scope,
+    cancel_scope,
+    current_budget,
+    current_cancel_token,
+    set_budget,
+    set_cancel_token,
+)
 from .config import Exhausted, Limits, resolve_limits
 from .faults import (
     Fault,
@@ -37,8 +46,11 @@ __all__ = [
     "FaultPlan",
     "Limits",
     "budget_scope",
+    "cancel_scope",
     "current_budget",
+    "current_cancel_token",
     "current_fault_plan",
+    "set_cancel_token",
     "inject_faults",
     "resolve_limits",
     "set_budget",

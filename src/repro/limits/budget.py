@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from typing import Optional
 
 from ..errors import BudgetExhausted, Cancelled, ChaseNonTermination
+from ..obs.progress import current_reporter
 from .config import Exhausted, Limits
 
 
@@ -58,6 +59,44 @@ class CancelToken:
         return f"CancelToken({state})"
 
 
+# ----------------------------------------------------------------------
+# The ambient (process-wide) cancellation token
+# ----------------------------------------------------------------------
+#
+# A SIGINT handler runs on the main thread but must reach budgets on
+# every thread, so unlike the ambient *budget* below the ambient token
+# is a plain module global: freshly constructed budgets adopt it (see
+# ``Budget.__init__``) and a single ``token.cancel()`` stops them all
+# at their next cooperative checkpoint.
+
+_ambient_token: Optional[CancelToken] = None
+
+
+def current_cancel_token() -> Optional[CancelToken]:
+    """The process-wide cancellation token, or ``None`` (the default)."""
+    return _ambient_token
+
+
+def set_cancel_token(token: Optional[CancelToken]) -> Optional[CancelToken]:
+    """Install *token* as the ambient token; returns the previous one."""
+    global _ambient_token
+    previous = _ambient_token
+    _ambient_token = token
+    return previous
+
+
+@contextmanager
+def cancel_scope(token: Optional[CancelToken] = None):
+    """Scope an ambient token: ``with cancel_scope() as tok: ...``."""
+    if token is None:
+        token = CancelToken()
+    previous = set_cancel_token(token)
+    try:
+        yield token
+    finally:
+        set_cancel_token(previous)
+
+
 class Budget:
     """Mutable accounting for one operation under a :class:`Limits`.
 
@@ -76,6 +115,7 @@ class Budget:
     __slots__ = (
         "limits",
         "token",
+        "reporter",
         "rounds",
         "steps",
         "exhausted",
@@ -88,9 +128,14 @@ class Budget:
         limits: Optional[Limits] = None,
         token: Optional[CancelToken] = None,
         clock=time.monotonic,
+        reporter=None,
     ) -> None:
         self.limits = limits if limits is not None else Limits()
-        self.token = token
+        # Fresh budgets inherit the process-wide cancellation token and
+        # progress reporter (one global read each) unless given their
+        # own; both default to None, keeping checkpoints at slot reads.
+        self.token = token if token is not None else current_cancel_token()
+        self.reporter = reporter if reporter is not None else current_reporter()
         self.rounds = 0
         self.steps = 0
         self.exhausted: Optional[Exhausted] = None
@@ -124,6 +169,8 @@ class Budget:
 
     def checkpoint(self, where: str) -> Optional[Exhausted]:
         """The cheap cooperative check: cancellation and deadline only."""
+        if self.reporter is not None:
+            self.reporter.heartbeat(where, self.rounds, self.steps)
         if self.exhausted is not None:
             return self.exhausted
         if self.token is not None and self.token.cancelled:
@@ -164,6 +211,11 @@ class Budget:
         check is cooperative, not preemptive.
         """
         self.steps += 1
+        if self.reporter is not None:
+            self.reporter.heartbeat(
+                where, self.rounds, self.steps,
+                facts=facts, nulls=nulls, branches=branches,
+            )
         if self.exhausted is not None:
             return self.exhausted
         limits = self.limits

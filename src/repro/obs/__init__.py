@@ -46,18 +46,46 @@ from .events import (
     freeze_binding,
 )
 from .export import (
+    render_budget_summary,
     render_derivation,
     render_span_tree,
     trace_lines,
     write_trace_jsonl,
 )
-from .metrics import Histogram, MetricsRegistry
+from .metrics import (
+    BucketedHistogram,
+    Histogram,
+    LOG_BUCKET_BOUNDS,
+    MetricsRegistry,
+    openmetrics_name,
+)
+from .progress import (
+    ProgressReporter,
+    current_reporter,
+    progress_scope,
+    set_reporter,
+)
 from .provenance import (
     BranchNode,
     Derivation,
     DerivationNode,
     NullBirth,
     ProvenanceGraph,
+)
+from .registry import (
+    BaselineComparison,
+    DEFAULT_DB_PATH,
+    RunDiff,
+    RunRegistry,
+    RunRow,
+    registry_from_env,
+)
+from .sinks import (
+    JsonlSink,
+    MultiSink,
+    OpRecord,
+    OpenMetricsSink,
+    TelemetrySink,
 )
 from .tracer import (
     Span,
@@ -70,31 +98,50 @@ from .tracer import (
 )
 
 __all__ = [
+    "BaselineComparison",
     "Binding",
     "BranchClosed",
     "BranchNode",
     "BranchOpened",
+    "BucketedHistogram",
     "CacheHit",
     "CacheMiss",
+    "DEFAULT_DB_PATH",
     "Derivation",
     "DerivationNode",
     "Histogram",
     "HomBacktrack",
+    "JsonlSink",
+    "LOG_BUCKET_BOUNDS",
     "MetricsRegistry",
+    "MultiSink",
     "NullBirth",
     "NullMinted",
+    "OpRecord",
+    "OpenMetricsSink",
+    "ProgressReporter",
     "ProvenanceGraph",
+    "RunDiff",
+    "RunRegistry",
+    "RunRow",
     "Span",
+    "TelemetrySink",
     "TraceEvent",
     "TraceState",
     "Tracer",
     "TriggerFired",
+    "current_reporter",
     "current_tracer",
     "event_to_dict",
     "freeze_binding",
     "maybe_span",
+    "openmetrics_name",
+    "progress_scope",
+    "registry_from_env",
+    "render_budget_summary",
     "render_derivation",
     "render_span_tree",
+    "set_reporter",
     "set_tracer",
     "trace_lines",
     "tracing",

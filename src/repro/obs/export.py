@@ -17,7 +17,7 @@ import json
 from typing import List, Optional, Union
 
 from ..instance import Fact, Instance
-from .events import event_to_dict
+from .events import ResourceExhausted, event_to_dict
 from .provenance import DerivationNode, ProvenanceGraph
 from .tracer import Span, Tracer, TraceState
 
@@ -55,6 +55,32 @@ def write_trace_jsonl(source: Union[Tracer, TraceState], path: str) -> int:
         for record in lines:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
     return len(lines)
+
+
+def render_budget_summary(source: Union[Tracer, TraceState]) -> str:
+    """The budget view of a trace: which limits tripped, and where.
+
+    Scans the recorded events for :class:`~repro.obs.events.
+    ResourceExhausted` and renders one line per exhaustion — the limit
+    that tripped plus the rounds/steps counters at the moment the
+    operation stopped.  ``repro explain`` prints this alongside the
+    derivation trees, and ``repro runs show`` uses the same vocabulary
+    for its ``exhausted`` column.
+    """
+    lines: List[str] = []
+    for event in source.events:
+        if not isinstance(event, ResourceExhausted):
+            continue
+        bound = "" if event.limit is None else f" (limit {event.limit})"
+        used = "" if event.used is None else f" at {event.used}"
+        lines.append(
+            f"budget: {event.where}: {event.resource} exhausted"
+            f"{used}{bound} — stopped after {event.rounds} rounds, "
+            f"{event.steps} steps"
+        )
+    if not lines:
+        return "(no budget exhaustion recorded)"
+    return "\n".join(lines)
 
 
 def render_span_tree(tracer: Union[Tracer, TraceState]) -> str:

@@ -11,8 +11,10 @@ pool.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+import re
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -60,12 +62,85 @@ class Histogram:
         }
 
 
+#: Fixed logarithmic bucket upper bounds (seconds): 1 µs to 100 s with a
+#: half-decade (~3.16×) step.  Fixed at module level so every worker bins
+#: identically — the precondition for exact cross-process merging.
+LOG_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    10.0 ** (exponent / 2.0) for exponent in range(-12, 5)
+)
+
+
+@dataclass
+class BucketedHistogram:
+    """A histogram over the fixed logarithmic buckets above.
+
+    Unlike the bucket-free :class:`Histogram`, this one keeps a count
+    per bucket so it can render the cumulative ``le`` series that the
+    OpenMetrics/Prometheus exposition format requires.  Because the
+    bucket bounds are a module-level constant (never data-dependent),
+    two bucketed histograms built in different processes merge
+    *exactly*: the merge is element-wise integer addition, independent
+    of observation order or interleaving.
+    """
+
+    counts: List[int] = field(
+        default_factory=lambda: [0] * (len(LOG_BUCKET_BOUNDS) + 1)
+    )
+    total: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(LOG_BUCKET_BOUNDS, value)] += 1
+        self.total += value
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def merge(self, other: "BucketedHistogram") -> None:
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper bound, cumulative count)`` pairs, ``+Inf`` last."""
+        running = 0
+        series: List[Tuple[float, int]] = []
+        for bound, count in zip(LOG_BUCKET_BOUNDS, self.counts):
+            running += count
+            series.append((bound, running))
+        series.append((float("inf"), running + self.counts[-1]))
+        return series
+
+    def as_dict(self) -> dict:
+        return {"counts": list(self.counts), "total": self.total}
+
+
+_METRIC_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def openmetrics_name(name: str, prefix: str = "repro_") -> str:
+    """A raw metric name sanitized to the OpenMetrics charset."""
+    cleaned = _METRIC_NAME.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _format_float(value: float) -> str:
+    """A float rendered without exponent noise (OpenMetrics-friendly)."""
+    if value == float("inf"):
+        return "+Inf"
+    text = repr(round(value, 9))
+    return text
+
+
 class MetricsRegistry:
     """Named counters + named histograms, mergeable across workers."""
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._bucketed: Dict[str, BucketedHistogram] = {}
 
     # -- recording ------------------------------------------------------
 
@@ -77,6 +152,10 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[name] = Histogram()
         hist.observe(value)
+        bucketed = self._bucketed.get(name)
+        if bucketed is None:
+            bucketed = self._bucketed[name] = BucketedHistogram()
+        bucketed.observe(value)
 
     # -- reading --------------------------------------------------------
 
@@ -85,6 +164,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Optional[Histogram]:
         return self._histograms.get(name)
+
+    def bucketed(self, name: str) -> Optional[BucketedHistogram]:
+        return self._bucketed.get(name)
 
     @property
     def counters(self) -> Dict[str, int]:
@@ -114,6 +196,11 @@ class MetricsRegistry:
             if mine is None:
                 mine = self._histograms[name] = Histogram()
             mine.merge(hist)
+        for name, bucketed in other._bucketed.items():
+            target = self._bucketed.get(name)
+            if target is None:
+                target = self._bucketed[name] = BucketedHistogram()
+            target.merge(bucketed)
 
     def merge_payload(self, payload: dict) -> None:
         """Merge an :meth:`export_payload` snapshot (cross-process form)."""
@@ -131,6 +218,15 @@ class MetricsRegistry:
                     max=data["max"] if data["count"] else float("-inf"),
                 )
             )
+        for name, data in payload.get("bucketed", {}).items():
+            target = self._bucketed.get(name)
+            if target is None:
+                target = self._bucketed[name] = BucketedHistogram()
+            target.merge(
+                BucketedHistogram(
+                    counts=list(data["counts"]), total=data["total"]
+                )
+            )
 
     def export_payload(self) -> dict:
         """A picklable/JSON-safe snapshot that round-trips via
@@ -146,7 +242,43 @@ class MetricsRegistry:
                 }
                 for name, h in self._histograms.items()
             },
+            "bucketed": {
+                name: b.as_dict() for name, b in self._bucketed.items()
+            },
         }
+
+    # -- exposition -----------------------------------------------------
+
+    def to_openmetrics(self, prefix: str = "repro_") -> str:
+        """The registry in OpenMetrics text exposition format.
+
+        Counters render as ``<name>_total`` counter families; observed
+        series render as histogram families with the fixed-log-bucket
+        cumulative ``le`` series plus ``_count``/``_sum``, so standard
+        Prometheus tooling can compute quantiles.  The output ends with
+        the mandatory ``# EOF`` terminator.
+        """
+        lines: List[str] = []
+        for name, value in sorted(self._counters.items()):
+            metric = openmetrics_name(name, prefix)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"# HELP {metric} repro counter {name}")
+            lines.append(f"{metric}_total {value}")
+        for name in sorted(self._bucketed):
+            bucketed = self._bucketed[name]
+            metric = openmetrics_name(name, prefix)
+            lines.append(f"# TYPE {metric} histogram")
+            lines.append(f"# UNIT {metric} seconds")
+            lines.append(f"# HELP {metric} repro histogram {name}")
+            for bound, cumulative in bucketed.cumulative():
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_float(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f"{metric}_count {bucketed.count}")
+            lines.append(f"{metric}_sum {_format_float(bucketed.total)}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
     def render(self) -> str:
         """A compact human-readable dump (the CLI's stats footer)."""

@@ -1,0 +1,187 @@
+"""Live progress reporting for long-running governed operations.
+
+A multi-minute disjunctive chase is a black box until it returns.  The
+:class:`ProgressReporter` turns the cooperative :class:`repro.limits.
+Budget` checkpoints the chase already executes — every fixpoint round,
+every charge after a firing — into a throttled heartbeat stream,
+surfaced by the CLI's ``--progress`` flag as a stderr ticker::
+
+    progress: chase round 12 steps=8412 facts=20310 elapsed=3.4s
+
+Design constraints mirror the tracer's:
+
+* **Near-zero overhead when off.**  With no reporter installed (the
+  default) a budget checkpoint pays exactly one ``is None`` slot read.
+  ``benchmarks/bench_sink_overhead.py`` holds the ≤2% line.
+* **Throttled when on.**  Heartbeats arrive per chase *step*; the
+  reporter keeps the latest gauges and writes at most one line per
+  ``interval`` seconds (monotonic clock), so a hot loop cannot flood
+  stderr.
+* **Ambient, like the tracer.**  ``with progress_scope(reporter): ...``
+  installs a process-wide reporter that freshly created budgets pick
+  up; thread-pool workers share it, process-pool workers (fresh module
+  state) simply run silent.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional, TextIO
+
+
+class ProgressReporter:
+    """Collects heartbeat gauges and renders a throttled stderr ticker.
+
+    ``stream=None`` keeps the reporter silent (gauges still accumulate
+    — useful for tests and for embedding).  On a TTY the ticker
+    redraws one line with ``\\r``; otherwise each report is a plain
+    newline-terminated line.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        interval: float = 0.2,
+        clock=time.monotonic,
+        label: str = "progress",
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        self.stream = stream
+        self.interval = interval
+        self.label = label
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self._next_at = float("-inf")
+        self._where = ""
+        self._rounds = 0
+        self._steps = 0
+        self._gauges: Dict[str, int] = {}
+        self.ticks = 0
+        self._line_open = False
+
+    # -- fed from Budget checkpoint sites ------------------------------
+
+    def heartbeat(
+        self,
+        where: str,
+        rounds: int,
+        steps: int,
+        facts: Optional[int] = None,
+        nulls: Optional[int] = None,
+        branches: Optional[int] = None,
+    ) -> None:
+        """One cooperative checkpoint fired; maybe emit a ticker line."""
+        now = self._clock()
+        if self._started_at is None:
+            self._started_at = now
+        self._where = where
+        self._rounds = rounds
+        self._steps = steps
+        if facts is not None:
+            self._gauges["facts"] = facts
+        if nulls is not None:
+            self._gauges["nulls"] = nulls
+        if branches is not None:
+            self._gauges["branches"] = branches
+        if now < self._next_at:
+            return
+        self._next_at = now + self.interval
+        self.ticks += 1
+        self._write(self.render(now))
+
+    @property
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self._clock() - self._started_at
+
+    def render(self, now: Optional[float] = None) -> str:
+        """The current ticker line (without the trailing newline)."""
+        if now is None:
+            now = self._clock()
+        elapsed = 0.0 if self._started_at is None else now - self._started_at
+        parts = [
+            f"{self.label}: {self._where}",
+            f"round {self._rounds}",
+            f"steps={self._steps}",
+        ]
+        for name in ("facts", "nulls", "branches"):
+            if name in self._gauges:
+                parts.append(f"{name}={self._gauges[name]}")
+        parts.append(f"elapsed={elapsed:.1f}s")
+        return " ".join(parts)
+
+    # -- output --------------------------------------------------------
+
+    def _write(self, line: str) -> None:
+        stream = self.stream
+        if stream is None:
+            return
+        if getattr(stream, "isatty", lambda: False)():
+            stream.write("\r\x1b[2K" + line)
+        else:
+            stream.write(line + "\n")
+        stream.flush()
+        self._line_open = True
+
+    def finish(self, note: str = "") -> None:
+        """Terminate the ticker: final line (when anything ran) + *note*."""
+        if self.stream is None or not self._line_open:
+            return
+        final = self.render()
+        if note:
+            final += f"  [{note}]"
+        if getattr(self.stream, "isatty", lambda: False)():
+            self.stream.write("\r\x1b[2K" + final + "\n")
+        else:
+            self.stream.write(final + "\n")
+        self.stream.flush()
+        self._line_open = False
+
+
+# ----------------------------------------------------------------------
+# The ambient (process-wide) reporter
+# ----------------------------------------------------------------------
+
+_current: Optional[ProgressReporter] = None
+
+
+def current_reporter() -> Optional[ProgressReporter]:
+    """The ambient reporter, or ``None`` (the default).
+
+    Read once per :class:`repro.limits.Budget` construction — the
+    disabled-path cost at the checkpoints themselves is a slot read."""
+    return _current
+
+
+def set_reporter(
+    reporter: Optional[ProgressReporter],
+) -> Optional[ProgressReporter]:
+    """Install *reporter* as the ambient one; returns the previous."""
+    global _current
+    previous = _current
+    _current = reporter
+    return previous
+
+
+@contextmanager
+def progress_scope(reporter: Optional[ProgressReporter] = None):
+    """Scope an ambient reporter: ``with progress_scope(r): ...``."""
+    if reporter is None:
+        reporter = ProgressReporter(stream=sys.stderr)
+    previous = set_reporter(reporter)
+    try:
+        yield reporter
+    finally:
+        set_reporter(previous)
+
+
+__all__ = [
+    "ProgressReporter",
+    "current_reporter",
+    "progress_scope",
+    "set_reporter",
+]

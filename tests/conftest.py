@@ -58,6 +58,19 @@ def _trace_on_failure(request):
         write_trace_jsonl(tracer, os.path.join(TRACE_DIR, f"{safe}.jsonl"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path, monkeypatch):
+    """Point the CLI's default run registry at a per-test database.
+
+    The registry is on by default for engine-backed CLI commands, so
+    without this every CLI test would write history into the repo's
+    ``.repro_runs/runs.db``.  Tests that care about registry contents
+    pass their own ``--registry``/``--db`` paths and are unaffected.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DB", str(tmp_path / "runs.db"))
+    yield
+
+
 @pytest.fixture(scope="session")
 def decomposition() -> SchemaMapping:
     """Example 1.1's mapping: P(x,y,z) -> Q(x,y) & R(y,z)."""

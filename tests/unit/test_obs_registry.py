@@ -1,0 +1,206 @@
+"""Unit tests for the persistent SQLite run registry."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    OpRecord,
+    RunRegistry,
+    TelemetrySink,
+    registry_from_env,
+)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return RunRegistry(str(tmp_path / "runs.db"))
+
+
+def _chase(wall_time=0.1, **overrides):
+    defaults = dict(
+        op="chase",
+        mapping_digest="m" * 16,
+        instance_digest="i" * 16,
+        wall_time=wall_time,
+        rounds=2,
+        steps=7,
+        facts=12,
+        nulls=3,
+    )
+    defaults.update(overrides)
+    return OpRecord(**defaults)
+
+
+class TestRecordAndRead:
+    def test_record_returns_increasing_ids(self, registry):
+        first = registry.record(_chase())
+        second = registry.record(_chase())
+        assert second > first
+        assert len(registry) == 2
+
+    def test_get_round_trips_every_field(self, registry):
+        run_id = registry.record(
+            _chase(cache_hit=True, exhausted="deadline", error="Cancelled")
+        )
+        row = registry.get(run_id)
+        assert row.op == "chase"
+        assert row.mapping_digest == "m" * 16
+        assert row.wall_time == pytest.approx(0.1)
+        assert row.cache_hit is True
+        assert (row.rounds, row.steps, row.facts, row.nulls) == (2, 7, 12, 3)
+        assert row.exhausted == "deadline"
+        assert row.error == "Cancelled"
+        assert not row.ok and not row.completed
+
+    def test_completed_semantics(self, registry):
+        clean = registry.get(registry.record(_chase()))
+        partial = registry.get(registry.record(_chase(exhausted="rounds")))
+        assert clean.ok and clean.completed
+        assert partial.ok and not partial.completed
+
+    def test_get_unknown_id_raises_keyerror(self, registry):
+        with pytest.raises(KeyError, match="no run with id 99"):
+            registry.get(99)
+
+    def test_metrics_json_round_trip(self, registry):
+        metrics = MetricsRegistry()
+        metrics.inc("events.TriggerFired", 4)
+        metrics.observe("span.chase", 0.25)
+        run_id = registry.record(_chase(), metrics=metrics.as_dict())
+        row = registry.get(run_id)
+        assert row.metrics["counters"]["events.TriggerFired"] == 4
+        assert row.metrics["histograms"]["span.chase"]["count"] == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        path = str(tmp_path / "runs.db")
+        RunRegistry(path).record(_chase())
+        assert len(RunRegistry(path)) == 1
+
+    def test_usable_as_engine_sink(self, registry):
+        assert isinstance(registry, TelemetrySink)
+        registry.record(OpRecord(op="audit"))
+        registry.close()  # no-op, must not raise
+        assert len(registry) == 1
+
+
+class TestListRuns:
+    def test_newest_first_and_limit(self, registry):
+        ids = [registry.record(_chase(wall_time=i / 10)) for i in range(5)]
+        rows = registry.list_runs(limit=3)
+        assert [row.id for row in rows] == ids[:1:-1]
+
+    def test_filters(self, registry):
+        registry.record(_chase())
+        registry.record(OpRecord(op="core", instance_digest="x"))
+        registry.record(_chase(mapping_digest="other"))
+        assert {row.op for row in registry.list_runs(op="core")} == {"core"}
+        by_mapping = registry.list_runs(mapping_digest="m" * 16)
+        assert len(by_mapping) == 1
+        assert by_mapping[0].mapping_digest == "m" * 16
+
+
+class TestDiff:
+    def test_wall_time_delta_and_counters(self, registry):
+        a = registry.record(_chase(wall_time=0.1, steps=7))
+        b = registry.record(_chase(wall_time=0.3, steps=10))
+        diff = registry.diff(a, b)
+        assert diff.wall_time_delta == pytest.approx(0.2)
+        assert diff.wall_time_ratio == pytest.approx(3.0)
+        assert diff.counter_deltas()["steps"] == 3
+        text = diff.render()
+        assert f"runs {a} -> {b} (chase)" in text
+        assert "wall time:" in text and "(x3.00)" in text
+
+    def test_render_warns_on_mapping_mismatch(self, registry):
+        a = registry.record(_chase())
+        b = registry.record(_chase(mapping_digest="other"))
+        assert "different mappings" in registry.diff(a, b).render()
+
+    def test_zero_baseline_ratio(self, registry):
+        a = registry.record(_chase(wall_time=0.0))
+        b = registry.record(_chase(wall_time=0.5))
+        assert registry.diff(a, b).wall_time_ratio == float("inf")
+
+
+class TestGc:
+    def test_keeps_newest(self, registry):
+        ids = [registry.record(_chase()) for _ in range(6)]
+        deleted = registry.gc(keep=2)
+        assert deleted == 4
+        assert [row.id for row in registry.list_runs()] == ids[:3:-1]
+
+    def test_rejects_negative_keep(self, registry):
+        with pytest.raises(ValueError):
+            registry.gc(keep=-1)
+
+
+class TestCompareToBaseline:
+    def seed_baseline(self, registry, times=(0.1, 0.12, 0.11)):
+        for wall_time in times:
+            registry.record(_chase(wall_time=wall_time))
+
+    def test_regression_flagged(self, registry):
+        self.seed_baseline(registry)
+        slow = registry.record(_chase(wall_time=0.5))
+        verdict = registry.compare_to_baseline(slow)
+        assert verdict.regressed
+        assert verdict.median == pytest.approx(0.11)
+        assert verdict.samples == 3
+        assert "REGRESSED" in verdict.render()
+
+    def test_high_factor_passes(self, registry):
+        self.seed_baseline(registry)
+        slow = registry.record(_chase(wall_time=0.5))
+        verdict = registry.compare_to_baseline(slow, factor=10.0)
+        assert not verdict.regressed
+        assert verdict.render().endswith("-> ok")
+
+    def test_too_few_samples_never_regresses(self, registry):
+        registry.record(_chase(wall_time=0.1))
+        slow = registry.record(_chase(wall_time=99.0))
+        verdict = registry.compare_to_baseline(slow)
+        assert not verdict.regressed
+        assert verdict.median is None
+        assert "no baseline" in verdict.render()
+
+    def test_incomparable_rows_excluded_from_baseline(self, registry):
+        # Cache hits, errors, exhausted runs, and other mappings must not
+        # pollute the baseline.
+        registry.record(_chase(wall_time=0.001, cache_hit=True))
+        registry.record(_chase(wall_time=0.001, error="ValueError"))
+        registry.record(_chase(wall_time=0.001, exhausted="deadline"))
+        registry.record(_chase(wall_time=0.001, mapping_digest="other"))
+        self.seed_baseline(registry)
+        slow = registry.record(_chase(wall_time=0.5))
+        verdict = registry.compare_to_baseline(slow)
+        assert verdict.samples == 3
+        assert verdict.median == pytest.approx(0.11)
+
+    def test_partial_run_itself_never_regresses(self, registry):
+        self.seed_baseline(registry)
+        slow = registry.record(_chase(wall_time=9.0, exhausted="deadline"))
+        assert not registry.compare_to_baseline(slow).regressed
+
+    def test_rejects_nonpositive_factor(self, registry):
+        run_id = registry.record(_chase())
+        with pytest.raises(ValueError):
+            registry.compare_to_baseline(run_id, factor=0.0)
+
+
+class TestRegistryFromEnv:
+    def test_unset_means_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUNS_DB", raising=False)
+        assert registry_from_env() is None
+
+    @pytest.mark.parametrize("value", ["", "off", "0", "none", "DISABLED"])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_RUNS_DB", value)
+        assert registry_from_env() is None
+
+    def test_path_opens_registry(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "env.db")
+        monkeypatch.setenv("REPRO_RUNS_DB", path)
+        registry = registry_from_env()
+        assert registry is not None and registry.path == path
+        registry.record(_chase())
+        assert len(registry) == 1

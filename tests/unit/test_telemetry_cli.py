@@ -1,0 +1,303 @@
+"""CLI round-trip tests for the telemetry pipeline.
+
+Covers the engine flags (``--metrics-out``, ``--ops-log``,
+``--registry``, ``--no-registry``, ``--progress``), the ``repro runs``
+subcommands, cooperative SIGINT cancellation, and the budget note in
+``repro explain``.
+"""
+
+import json
+import signal
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.obs import RunRegistry
+
+from .test_obs_sinks import parse_openmetrics
+
+MAPPING = "P(x, y, z) -> Q(x, y) & R(y, z)"
+INSTANCE = "P(a, b, c)"
+#: A mapping whose chase never terminates on its own — the SIGINT tests
+#: interrupt it mid-flight.
+RECURSIVE = "A(x) -> E(x, y) & A(y)"
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def chase_args(*extra):
+    return ("chase", "--mapping", MAPPING, "--instance", INSTANCE) + extra
+
+
+class TestMetricsOut:
+    def test_writes_valid_openmetrics(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, out, err = run_cli(
+            capsys, *chase_args("--metrics-out", str(path))
+        )
+        assert code == 0
+        assert "Q(a, b)" in out
+        assert f"metrics: -> {path}" in err
+        families = parse_openmetrics(path.read_text())
+        assert families["repro_ops_chase"]["samples"][0][2] == "1"
+
+    def test_env_variable_default(self, capsys, tmp_path, monkeypatch):
+        path = tmp_path / "env.prom"
+        monkeypatch.setenv("REPRO_METRICS_OUT", str(path))
+        code, _, _ = run_cli(capsys, *chase_args())
+        assert code == 0
+        assert path.read_text().endswith("# EOF\n")
+
+    def test_tracer_spans_exported_alongside_ops(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        trace = tmp_path / "trace.jsonl"
+        code, _, _ = run_cli(
+            capsys,
+            *chase_args("--trace", str(trace), "--metrics-out", str(path)),
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "repro_ops_chase_total 1" in text
+        assert "repro_span_chase" in text
+
+
+class TestOpsLog:
+    def test_jsonl_one_line_per_op(self, capsys, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        code, _, _ = run_cli(capsys, *chase_args("--ops-log", str(path)))
+        assert code == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["op"] == "chase"
+        assert records[0]["cache_hit"] is False
+        assert records[0]["facts"] > 0
+
+    def test_combined_with_metrics_out(self, capsys, tmp_path):
+        ops = tmp_path / "ops.jsonl"
+        prom = tmp_path / "m.prom"
+        code, _, _ = run_cli(
+            capsys,
+            *chase_args("--ops-log", str(ops), "--metrics-out", str(prom)),
+        )
+        assert code == 0
+        assert ops.exists() and prom.read_text().endswith("# EOF\n")
+
+
+class TestRegistryFlags:
+    def test_chase_records_run_by_default(self, capsys, tmp_path, monkeypatch):
+        # The conftest fixture points REPRO_RUNS_DB at tmp_path/runs.db.
+        code, _, _ = run_cli(capsys, *chase_args())
+        assert code == 0
+        rows = RunRegistry(str(tmp_path / "runs.db")).list_runs()
+        assert [row.op for row in rows] == ["chase"]
+        assert rows[0].completed
+
+    def test_explicit_registry_path(self, capsys, tmp_path):
+        db = tmp_path / "explicit.db"
+        code, _, _ = run_cli(capsys, *chase_args("--registry", str(db)))
+        assert code == 0
+        assert len(RunRegistry(str(db))) == 1
+
+    def test_no_registry_disables_recording(self, capsys, tmp_path):
+        code, _, _ = run_cli(capsys, *chase_args("--no-registry"))
+        assert code == 0
+        assert not (tmp_path / "runs.db").exists()
+
+    def test_env_off_value_disables(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DB", "off")
+        code, _, _ = run_cli(capsys, *chase_args())
+        assert code == 0
+        assert not (tmp_path / "runs.db").exists()
+
+
+class TestRunsSubcommands:
+    def seed(self, capsys, db, runs=2):
+        for _ in range(runs):
+            code, _, _ = run_cli(
+                capsys, *chase_args("--registry", str(db), "--no-cache")
+            )
+            assert code == 0
+
+    def test_list_renders_table(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        self.seed(capsys, db)
+        code, out, _ = run_cli(capsys, "runs", "list", "--db", str(db))
+        assert code == 0
+        lines = out.splitlines()
+        assert lines[0].split() == ["id", "when", "op", "wall(s)", "status", "mapping"]
+        assert len(lines) == 3
+        assert "chase" in lines[1] and "ok" in lines[1]
+
+    def test_list_respects_limit_and_op_filter(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        self.seed(capsys, db, runs=3)
+        code, out, _ = run_cli(
+            capsys, "runs", "list", "--db", str(db), "--limit", "1"
+        )
+        assert code == 0
+        assert len(out.splitlines()) == 2
+        code, out, _ = run_cli(
+            capsys, "runs", "list", "--db", str(db), "--op", "audit"
+        )
+        assert code == 0
+        assert len(out.splitlines()) == 1  # header only
+
+    def test_show_includes_baseline_verdict(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        self.seed(capsys, db, runs=4)
+        last = RunRegistry(str(db)).list_runs(limit=1)[0]
+        code, out, _ = run_cli(
+            capsys, "runs", "show", str(last.id), "--db", str(db)
+        )
+        assert code == 0
+        assert f"run {last.id}" in out
+        assert "wall time:" in out
+        assert "-> ok" in out or "REGRESSED" in out
+
+    def test_diff_reports_wall_time_delta(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        self.seed(capsys, db)
+        ids = sorted(row.id for row in RunRegistry(str(db)).list_runs())
+        code, out, _ = run_cli(
+            capsys, "runs", "diff", str(ids[0]), str(ids[1]), "--db", str(db)
+        )
+        assert code == 0
+        assert f"runs {ids[0]} -> {ids[1]} (chase)" in out
+        assert "wall time:" in out and "delta" in out
+
+    def test_diff_unknown_id_is_usage_error(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        self.seed(capsys, db, runs=1)
+        code, _, err = run_cli(
+            capsys, "runs", "diff", "1", "999", "--db", str(db)
+        )
+        assert code == 2
+        assert "error" in err
+
+    def test_gc_reports_deleted_and_kept(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        self.seed(capsys, db, runs=3)
+        code, out, _ = run_cli(
+            capsys, "runs", "gc", "--keep", "1", "--db", str(db)
+        )
+        assert code == 0
+        assert "deleted 2 rows, kept 1" in out
+        assert len(RunRegistry(str(db))) == 1
+
+    def test_missing_db_is_usage_error(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "runs", "list", "--db", str(tmp_path / "absent.db")
+        )
+        assert code == 2
+        assert "no run registry" in err
+
+
+class TestProgressFlag:
+    def test_progress_ticker_on_stderr(self, capsys):
+        code, out, err = run_cli(capsys, *chase_args("--progress"))
+        assert code == 0
+        assert "Q(a, b)" in out
+        assert "progress:" in err
+        assert "elapsed=" in err
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "raise_signal"), reason="needs signal.raise_signal"
+)
+class TestSigintCancellation:
+    def sigint_soon(self, delay=0.3):
+        timer = threading.Timer(
+            delay, lambda: signal.raise_signal(signal.SIGINT)
+        )
+        timer.daemon = True
+        timer.start()
+        return timer
+
+    def test_chase_partial_dump_and_exit_130(self, capsys, tmp_path):
+        # CLI-built limits always use on_exhausted="partial", so the
+        # interrupted chase prints its partial instance before exit 130.
+        db = tmp_path / "sigint.db"
+        timer = self.sigint_soon()
+        try:
+            code, out, err = run_cli(
+                capsys,
+                "chase",
+                "--mapping", RECURSIVE,
+                "--instance", "A(a)",
+                "--max-rounds", "1000000",
+                "--registry", str(db),
+            )
+        finally:
+            timer.cancel()
+        assert code == 130
+        assert "interrupt: stopping at the next checkpoint" in err
+        assert "A(a)" in out  # the partial instance still prints
+        rows = RunRegistry(str(db)).list_runs()
+        assert rows and rows[0].exhausted == "cancelled"
+
+
+class TestRaiseModeCancellation:
+    """Without limit flags the legacy budget raises on cancellation.
+
+    A pre-cancelled token makes the path deterministic — no signal
+    timing involved: the first chase checkpoint raises ``Cancelled``,
+    the command handler flushes telemetry and exits 130.
+    """
+
+    def test_cancelled_exits_130_with_flush(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.limits import CancelToken
+
+        class PreCancelled(CancelToken):
+            def __init__(self):
+                super().__init__()
+                self.cancel("SIGINT")
+
+        monkeypatch.setattr("repro.cli.CancelToken", PreCancelled)
+        db = tmp_path / "sigint.db"
+        prom = tmp_path / "m.prom"
+        code, _, err = run_cli(
+            capsys,
+            "chase",
+            "--mapping", RECURSIVE,
+            "--instance", "A(a)",
+            "--registry", str(db),
+            "--metrics-out", str(prom),
+        )
+        assert code == 130
+        assert "cancelled" in err
+        assert prom.read_text().endswith("# EOF\n")
+        rows = RunRegistry(str(db)).list_runs()
+        assert rows and rows[0].error == "Cancelled"
+        assert rows[0].exhausted == "cancelled"
+
+
+class TestExplainBudgetNote:
+    def test_exhausted_chase_explains_budget(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "explain",
+            "--mapping", RECURSIVE,
+            "--instance", "A(a)",
+            "--max-rounds", "3",
+        )
+        assert code == 0
+        assert "budget:" in out
+        assert "rounds exhausted" in out
+
+    def test_completed_chase_has_no_budget_note(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "explain",
+            "--mapping", MAPPING,
+            "--instance", INSTANCE,
+            "--fact", "Q(a, b)",
+        )
+        assert code == 0
+        assert "budget:" not in out
