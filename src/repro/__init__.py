@@ -33,6 +33,7 @@ from .errors import (
     Cancelled,
     FaultInjected,
     ReproError,
+    WorkerKilled,
 )
 from .limits import (
     Budget,
@@ -109,6 +110,7 @@ __all__ = [
     "Cancelled",
     "FaultInjected",
     "BatchItemError",
+    "WorkerKilled",
     "Budget",
     "CancelToken",
     "Exhausted",

@@ -30,6 +30,15 @@ instead of aborting.  Batches add ``--on-error skip`` (failed items
 report per-item on stderr and the rest complete; exit 5 when any item
 failed) and ``--retries N`` for transiently failing items.
 
+Worker supervision (see ``docs/ARCHITECTURE.md`` §5): ``--grace S``
+together with ``--deadline`` arms the hard-kill watchdog for batch
+runs — each item runs in its own heartbeat-watched worker process, and
+a worker silent for more than the grace period past its deadline is
+terminated and its item failed as *killed* (or retried under
+``--retries``).  Kills are noted on stderr and, when any item ends
+killed, the exit code is 7 (taking precedence over the generic batch
+failure code 5).
+
 Telemetry (see ``docs/OBSERVABILITY.md``): ``--metrics-out m.prom``
 (env ``REPRO_METRICS_OUT``) writes an OpenMetrics text file of per-op
 counters and wall-time histograms, ``--ops-log ops.jsonl`` appends one
@@ -106,7 +115,7 @@ def _limits_from_args(args: argparse.Namespace) -> Optional[Limits]:
     """
     values = {
         name: getattr(args, name, None)
-        for name in ("deadline", "max_rounds", "max_facts", "max_branches")
+        for name in ("deadline", "max_rounds", "max_facts", "max_branches", "grace")
     }
     if all(value is None for value in values.values()):
         return None
@@ -172,6 +181,31 @@ def _note_partial(result, index: Optional[int] = None) -> None:
         print(f"{prefix}partial: {result.exhausted.describe()}", file=sys.stderr)
 
 
+def _note_batch_error(result: BatchItemError, index: int) -> bool:
+    """Report one failed batch item on stderr; True when it was killed.
+
+    Killed items (the supervisor terminated a hung worker,
+    ``kind="killed"``) get their own note so a wedged batch is
+    distinguishable from ordinary per-item failures in logs.
+    """
+    if result.kind == "killed":
+        print(f"[{index}] killed: {result.error}", file=sys.stderr)
+        return True
+    print(f"[{index}] error: {result}", file=sys.stderr)
+    return False
+
+
+def _batch_exit_code(failures: int, kills: int) -> int:
+    """Exit code for a finished batch: 7 over 5 over 0.
+
+    7 — at least one item ended *killed* (hung worker, hard
+    terminated); 5 — items failed but none were killed; 0 — clean.
+    """
+    if kills:
+        return 7
+    return 5 if failures else 0
+
+
 def _finish(engine: ExchangeEngine, args: argparse.Namespace, code: int) -> int:
     trace_path = getattr(args, "trace", None)
     if trace_path and engine.tracer is not None:
@@ -211,7 +245,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
     sources = _parse_instances(args)
-    failures = 0
+    failures = kills = 0
     try:
         if len(sources) == 1:
             result = engine.exchange(mapping, sources[0], variant=args.variant)
@@ -224,7 +258,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
             for index, result in enumerate(results):
                 if isinstance(result, BatchItemError):
                     failures += 1
-                    print(f"[{index}] error: {result}", file=sys.stderr)
+                    kills += _note_batch_error(result, index)
                     continue
                 print(f"[{index}] {result.instance}")
                 _note_partial(result, index)
@@ -232,7 +266,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         return _cancelled(engine, args, exc)
     except ChaseNonTermination as exc:
         return _nonterminating(engine, args, exc)
-    return _finish(engine, args, 5 if failures else 0)
+    return _finish(engine, args, _batch_exit_code(failures, kills))
 
 
 def _print_candidates(result, prefix: str = "") -> None:
@@ -247,7 +281,7 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
     engine = _make_engine(args)
     mapping = _load_mapping(args.mapping)
     targets = _parse_instances(args)
-    failures = 0
+    failures = kills = 0
     try:
         if len(targets) == 1:
             result = engine.reverse(
@@ -266,7 +300,7 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
             for index, result in enumerate(results):
                 if isinstance(result, BatchItemError):
                     failures += 1
-                    print(f"[{index}] error: {result}", file=sys.stderr)
+                    kills += _note_batch_error(result, index)
                     continue
                 _print_candidates(result, prefix=f"[{index}] ")
                 _note_partial(result, index)
@@ -274,7 +308,7 @@ def _cmd_reverse(args: argparse.Namespace) -> int:
         return _cancelled(engine, args, exc)
     except ChaseNonTermination as exc:
         return _nonterminating(engine, args, exc)
-    return _finish(engine, args, 5 if failures else 0)
+    return _finish(engine, args, _batch_exit_code(failures, kills))
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
@@ -422,6 +456,9 @@ def _runs_registry(args: argparse.Namespace) -> Optional[RunRegistry]:
 
 
 def _run_status(row) -> str:
+    """One-word status column for a registry row (``runs list``)."""
+    if row.error == "WorkerKilled":
+        return "killed"
     if row.error is not None:
         return f"error:{row.error}"
     if row.exhausted is not None:
@@ -534,6 +571,11 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flags.add_argument(
         "--max-branches", type=int, metavar="N",
         help="bound live branches of the disjunctive chase")
+    engine_flags.add_argument(
+        "--grace", type=float, metavar="SECONDS",
+        help="with --deadline: hard-kill a batch worker whose heartbeat "
+             "stays silent this long past its deadline (exit 7 when an "
+             "item ends killed)")
     engine_flags.add_argument(
         "--on-error", choices=["raise", "skip"], default=None,
         help="batch item failure policy: raise (default) aborts, skip "

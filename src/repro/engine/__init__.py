@@ -24,6 +24,7 @@ from typing import Optional
 
 from .cache import CacheStats, LRUCache
 from .engine import ExchangeEngine
+from .supervisor import run_batch_supervised, supervision_available
 from .results import (
     AuditReport,
     CacheProvenance,
@@ -70,5 +71,7 @@ __all__ = [
     "OperationStats",
     "ReverseResult",
     "get_default_engine",
+    "run_batch_supervised",
     "set_default_engine",
+    "supervision_available",
 ]

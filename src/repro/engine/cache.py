@@ -46,6 +46,7 @@ class LRUCache:
     """A thread-safe least-recently-used cache over hashable keys."""
 
     def __init__(self, maxsize: int = 256) -> None:
+        """An empty cache holding at most *maxsize* entries (0 disables)."""
         if maxsize < 0:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.maxsize = maxsize

@@ -35,7 +35,7 @@ from typing import (
 
 from ..chase.disjunctive import reverse_disjunctive_chase
 from ..chase.standard import ChaseResult, chase
-from ..errors import BatchItemError
+from ..errors import BatchItemError, WorkerKilled
 from ..instance import Instance
 from ..limits import (
     Exhausted,
@@ -46,6 +46,7 @@ from ..limits import (
 )
 from ..mappings.schema_mapping import SchemaMapping
 from ..obs.events import CacheHit, CacheMiss
+from ..obs.events import WorkerKilled as WorkerKilledEvent
 from ..obs.registry import RunRegistry
 from ..obs.sinks import OpRecord, OpenMetricsSink, TelemetrySink
 from ..obs.tracer import Tracer, current_tracer, maybe_span
@@ -59,6 +60,7 @@ from .parallel import (
     reverse_task_traced,
     run_batch_isolated,
 )
+from .supervisor import run_batch_supervised, supervision_available
 from .results import (
     AuditReport,
     CacheProvenance,
@@ -83,6 +85,9 @@ class _OpCounters:
     ``error_wall_time`` attributes the wall clock burned by *failed*
     items (all their attempts) separately from ``wall_time``, so a
     batch where half the items crashed still shows where the time went.
+    ``kills`` counts hung pool workers the supervisor had to terminate
+    (see :mod:`repro.engine.supervisor`) — including kills on attempts
+    that later retried successfully.
     """
 
     calls: int = 0
@@ -92,6 +97,7 @@ class _OpCounters:
     branches: int = 0
     errors: int = 0
     error_wall_time: float = 0.0
+    kills: int = 0
 
 
 def _exhausted_tag(exhausted: Optional[Exhausted]) -> Optional[str]:
@@ -214,6 +220,7 @@ class ExchangeEngine:
         calls: int = 1,
         errors: int = 0,
         error_wall_time: float = 0.0,
+        kills: int = 0,
     ) -> None:
         with self._ops_lock:
             counters = self._ops[op]
@@ -224,6 +231,7 @@ class ExchangeEngine:
             counters.branches += branches
             counters.errors += errors
             counters.error_wall_time += error_wall_time
+            counters.kills += kills
 
     @property
     def _telemetry(self) -> bool:
@@ -389,6 +397,83 @@ class ExchangeEngine:
         plan = faults if faults is not None else current_fault_plan()
         return policy, budget, plan
 
+    def _run_batch(
+        self,
+        payloads: Sequence[tuple],
+        fn,
+        workers: int,
+        largest: int,
+        retries: int,
+        effective: Optional[Limits],
+    ) -> List[ItemOutcome]:
+        """Dispatch one batch of payloads to the right runner.
+
+        **Supervised** (hard-kill) execution runs when the effective
+        limits arm it — both ``grace`` and ``deadline`` set — and the
+        host can spawn processes: each item gets its own watched worker
+        process, and a worker whose heartbeat goes silent past the
+        grace period is terminated and respawned
+        (:mod:`repro.engine.supervisor`).  Supervision always uses
+        processes, even for batches the size policy would keep on
+        threads or the serial loop — threads cannot be killed.
+
+        The supervised batch deadline is ``deadline + (1 + retries) *
+        grace``: the extra grace periods are the supervisor's own
+        escalation overhead (detecting the stall, terminating the
+        worker, giving each permitted retry its turn), not time the
+        items get to spend.  Without the headroom a kill — which by
+        construction lands *after* the cooperative deadline — would
+        always find the batch already stopped and the documented
+        retry-with-remaining-deadline path could never run.
+
+        Everything else goes through the cooperative
+        :func:`make_executor` policy and
+        :func:`run_batch_isolated`.
+        """
+        if (
+            effective is not None
+            and effective.grace is not None
+            and effective.deadline is not None
+            and supervision_available()
+        ):
+            return run_batch_supervised(
+                payloads,
+                fn,
+                workers=max(1, workers),
+                retries=retries,
+                deadline=effective.deadline
+                + (1 + retries) * effective.grace,
+                grace=effective.grace,
+            )
+        executor = make_executor(
+            workers, len(payloads), largest, self.process_threshold
+        )
+        return run_batch_isolated(
+            payloads,
+            fn,
+            executor,
+            retries=retries,
+            deadline=effective.deadline if effective is not None else None,
+        )
+
+    def _note_kills(
+        self, tracer: Optional[Tracer], op: str, outcome: ItemOutcome, index: int
+    ) -> None:
+        """Account one batch item's worker kills (stats + trace event)."""
+        if not outcome.kills:
+            return
+        self._record(op, calls=0, kills=outcome.kills)
+        if tracer is not None:
+            tracer.emit(
+                WorkerKilledEvent(
+                    op=op,
+                    batch_index=index,
+                    kills=outcome.kills,
+                    pid=getattr(outcome.error, "pid", None),
+                    final=not outcome.ok,
+                )
+            )
+
     def chase_many(
         self,
         mapping: SchemaMapping,
@@ -445,12 +530,6 @@ class ExchangeEngine:
                 pending[key] = (inst, index)
         if pending:
             todo = list(pending.items())
-            executor = make_executor(
-                workers,
-                len(todo),
-                max(len(inst) for inst, _ in pending.values()),
-                self.process_threshold,
-            )
             payloads = [
                 (
                     mapping,
@@ -465,15 +544,17 @@ class ExchangeEngine:
             fn = chase_task_traced if tracer is not None else chase_task
             start = self._clock()
             with maybe_span(tracer, "engine.chase_many", items=len(todo)):
-                outcomes = run_batch_isolated(
+                outcomes = self._run_batch(
                     payloads,
                     fn,
-                    executor,
-                    retries=retry_budget,
-                    deadline=effective.deadline if effective else None,
+                    workers,
+                    max(len(inst) for inst, _ in pending.values()),
+                    retry_budget,
+                    effective,
                 )
             elapsed = self._clock() - start
             for (key, (_inst, first)), outcome in zip(todo, outcomes):
+                self._note_kills(tracer, "chase", outcome, first)
                 if not outcome.ok:
                     failed[key] = outcome
                     self._record(
@@ -495,6 +576,7 @@ class ExchangeEngine:
                                 ),
                                 batch_index=first,
                                 attempts=max(outcome.attempts, 1),
+                                kills=outcome.kills,
                             )
                         )
                     continue
@@ -525,6 +607,7 @@ class ExchangeEngine:
                             exhausted=_exhausted_tag(result.exhausted),
                             batch_index=first,
                             attempts=outcome.attempts,
+                            kills=outcome.kills,
                         )
                     )
             self._record("chase", wall_time=elapsed, calls=0)
@@ -543,6 +626,9 @@ class ExchangeEngine:
                         error=outcome.error,
                         attempts=max(outcome.attempts, 1),
                         elapsed=outcome.elapsed,
+                        kind="killed"
+                        if isinstance(outcome.error, WorkerKilled)
+                        else None,
                     )
                 )
                 continue
@@ -762,6 +848,7 @@ class ExchangeEngine:
                             attempts=item.attempts,
                             diagnosis=item.diagnosis,
                             elapsed=item.elapsed,
+                            kind=item.kind,
                         )
                     )
                     continue
@@ -799,12 +886,6 @@ class ExchangeEngine:
                 pending[key] = (target, index)
         if pending:
             todo = list(pending.items())
-            executor = make_executor(
-                workers,
-                len(todo),
-                max(len(t) for t, _ in pending.values()),
-                self.process_threshold,
-            )
             payloads = [
                 (
                     reverse_mapping,
@@ -820,15 +901,17 @@ class ExchangeEngine:
             fn = reverse_task_traced if tracer is not None else reverse_task
             start = self._clock()
             with maybe_span(tracer, "engine.reverse_many", items=len(todo)):
-                outcomes = run_batch_isolated(
+                outcomes = self._run_batch(
                     payloads,
                     fn,
-                    executor,
-                    retries=retry_budget,
-                    deadline=task_limits.deadline,
+                    workers,
+                    max(len(t) for t, _ in pending.values()),
+                    retry_budget,
+                    task_limits,
                 )
             elapsed = self._clock() - start
             for (key, (_target, first)), outcome in zip(todo, outcomes):
+                self._note_kills(tracer, "reverse", outcome, first)
                 if not outcome.ok:
                     failed[key] = outcome
                     self._record(
@@ -850,6 +933,7 @@ class ExchangeEngine:
                                 ),
                                 batch_index=first,
                                 attempts=max(outcome.attempts, 1),
+                                kills=outcome.kills,
                             )
                         )
                     continue
@@ -875,6 +959,7 @@ class ExchangeEngine:
                             exhausted=_exhausted_tag(exhausted),
                             batch_index=first,
                             attempts=outcome.attempts,
+                            kills=outcome.kills,
                         )
                     )
             self._record("reverse", wall_time=elapsed, calls=0)
@@ -893,6 +978,9 @@ class ExchangeEngine:
                         error=outcome.error,
                         attempts=max(outcome.attempts, 1),
                         elapsed=outcome.elapsed,
+                        kind="killed"
+                        if isinstance(outcome.error, WorkerKilled)
+                        else None,
                     )
                 )
                 continue
@@ -1115,6 +1203,7 @@ class ExchangeEngine:
             "branches": 0,
             "errors": 0,
             "error_wall_time": 0.0,
+            "kills": 0,
         }
         for op in _OPS:
             cache = self._caches[op]
@@ -1129,6 +1218,7 @@ class ExchangeEngine:
                 "branches": counters.branches,
                 "errors": counters.errors,
                 "error_wall_time": round(counters.error_wall_time, 6),
+                "kills": counters.kills,
             }
             report[op] = row
             totals["calls"] += counters.calls
@@ -1143,6 +1233,7 @@ class ExchangeEngine:
             totals["error_wall_time"] = round(
                 totals["error_wall_time"] + counters.error_wall_time, 6
             )
+            totals["kills"] += counters.kills
         report["totals"] = totals
         tracer = self._tracer()
         if tracer is not None:
@@ -1176,7 +1267,7 @@ class ExchangeEngine:
         header = (
             f"  {'op':<8} {'calls':>6} {'hits':>6} {'misses':>7} {'hit%':>6} "
             f"{'evict':>6} {'entries':>8} {'wall(s)':>10} {'ms/call':>8} "
-            f"{'steps':>7} {'branches':>9} {'errors':>7}"
+            f"{'steps':>7} {'branches':>9} {'errors':>7} {'kills':>6}"
         )
         lines.append(header)
         for op in (*_OPS, "totals"):
@@ -1189,7 +1280,8 @@ class ExchangeEngine:
                 f"{self._hit_rate(row['hits'], row['calls']):>6} "
                 f"{row['evictions']:>6} {entries:>8} {row['wall_time']:>10.4f} "
                 f"{self._ms_per_call(row['wall_time'], row['misses']):>8} "
-                f"{row['steps']:>7} {row['branches']:>9} {row['errors']:>7}"
+                f"{row['steps']:>7} {row['branches']:>9} {row['errors']:>7} "
+                f"{row['kills']:>6}"
             )
         tracer_metrics = report.get("tracer")
         if tracer_metrics and (

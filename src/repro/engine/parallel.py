@@ -74,12 +74,16 @@ class ItemOutcome:
     ``elapsed`` is the item's wall time across *all* its attempts
     (first submission to final resolution), so failed items get their
     cost attributed in ``engine.stats()`` just like successful ones.
+    ``kills`` counts hard terminations the item's workers needed — it
+    stays 0 on this cooperative pool and is populated only by the
+    supervised runner (:mod:`repro.engine.supervisor`).
     """
 
     value: Any = None
     error: Optional[BaseException] = None
     attempts: int = 1
     elapsed: float = 0.0
+    kills: int = 0
 
     @property
     def ok(self) -> bool:

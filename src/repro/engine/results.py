@@ -74,6 +74,7 @@ class ExchangeResult:
 
     @property
     def cached(self) -> bool:
+        """True when this result was served from the engine cache."""
         return self.provenance.hit
 
     @property
@@ -83,10 +84,12 @@ class ExchangeResult:
 
     @property
     def steps(self) -> int:
+        """Chase steps performed to produce the result."""
         return self.stats.steps
 
     @property
     def rounds(self) -> int:
+        """Chase rounds performed to produce the result."""
         return self.stats.rounds
 
     def to_chase_result(self) -> ChaseResult:
@@ -118,6 +121,7 @@ class ReverseResult:
 
     @property
     def cached(self) -> bool:
+        """True when this result was served from the engine cache."""
         return self.provenance.hit
 
     @property
@@ -153,4 +157,5 @@ class AuditReport:
 
     @property
     def cached(self) -> bool:
+        """True when this result was served from the engine cache."""
         return self.provenance.hit

@@ -1,0 +1,601 @@
+"""The worker supervisor: heartbeat-watched, hard-kill process pools.
+
+``run_batch_isolated`` (:mod:`repro.engine.parallel`) contains item
+failures and enforces deadlines *cooperatively*: a worker that honors
+its budget checkpoints stops itself, and a worker that crashes reports
+an error.  What it cannot handle is a worker that does **neither** — a
+pathological chase wedged inside hom search, a deadlocked native call —
+which hangs the whole batch forever.  This module is the escalation
+path, modeled on the supervision patterns of production serving stacks
+(bound each scenario's runtime; kill and respawn stragglers instead of
+awaiting them):
+
+* every worker runs as its **own supervised process** holding a shared
+  heartbeat cell; the ambient progress-reporter hook inside the worker
+  turns each cooperative :class:`repro.limits.Budget` checkpoint into a
+  heartbeat (item id + live budget gauges), so the supervisor sees not
+  just *that* the worker is alive but *where* it is;
+* the supervisor polls result pipes and heartbeats; an item past its
+  cooperative deadline first receives a **cooperative cancel** (a
+  shared lock-free flag bridged to the worker's ambient
+  :class:`repro.limits.CancelToken`);
+* a worker whose heartbeat then stays stale for more than
+  ``Limits.grace`` seconds is **terminated** (``SIGTERM``, escalating
+  to ``SIGKILL``) and its slot **respawned** — the in-flight item is
+  re-queued when retries remain (resuming with its remaining deadline
+  via :func:`repro.engine.parallel._rebudgeted`) or failed as a
+  :class:`repro.errors.WorkerKilled`, which the engine surfaces as a
+  typed ``BatchItemError(kind="killed")``;
+* the rest of the batch keeps running throughout: process-per-item
+  leases mean a kill can never poison a shared pool queue, so
+  "respawn" is simply starting the next lease in the freed slot.
+
+Heartbeats extend a worker's life: the hard-kill instant for an item is
+``max(deadline passed, last heartbeat) + grace``, so a worker that is
+still cooperating (checkpointing while it unwinds a partial result) is
+given time, while one that has gone silent is killed within
+``deadline + grace`` of its start — the bound the CI smoke test
+asserts.
+
+SIGINT cooperates with supervision: the ambient
+:class:`repro.limits.CancelToken` is polled every supervisor tick; on
+cancellation every live worker gets the cooperative cancel immediately,
+stragglers are killed after one grace period, finished results are
+kept, and unfinished items resolve as ``Cancelled`` — so Ctrl-C during
+a kill escalation still produces the partial dump and exit code 130.
+
+Killed items are never cached (they produce no result) and never
+poison telemetry: the engine records one error ``OpRecord`` per killed
+item and counts kills in ``stats()``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import Cancelled, WorkerKilled
+from ..limits import Exhausted, Limits
+from ..limits.budget import current_cancel_token, set_cancel_token, CancelToken
+from ..obs.progress import set_reporter
+from .parallel import ItemOutcome, _rebudgeted, is_transient
+
+#: How often the supervisor wakes to poll pipes, heartbeats, and the
+#: ambient cancel token (seconds).  Kills therefore land within one
+#: tick of their due time — negligible against any realistic grace.
+SUPERVISOR_TICK = 0.05
+
+#: Gauge slots in the shared heartbeat cell, in order.
+_GAUGES = ("rounds", "steps", "facts", "nulls", "branches")
+
+
+class HeartbeatCell:
+    """One item's shared-memory heartbeat: a timestamp plus gauges.
+
+    The worker side writes (monotonic timestamp, rounds, steps, facts,
+    nulls, branches) on every budget checkpoint; the supervisor side
+    reads them.  The cell is a **lock-free** ``RawArray``, deliberately:
+    any cross-process lock here can be orphaned — a worker terminated
+    (or exiting) mid-critical-section leaves the lock held forever and
+    the supervisor's next read deadlocks.  Aligned 8-byte loads and
+    stores are atomic on every platform CPython runs on, so the worst
+    a lockless reader can see is a one-tick-stale gauge, never a hang.
+    Created from the same multiprocessing context as the worker process
+    so it travels by inheritance (fork) or pickling (spawn).
+    """
+
+    def __init__(self, ctx) -> None:
+        """A fresh cell in *ctx*'s shared memory, beating 'now'."""
+        self._cells = ctx.RawArray("d", 1 + len(_GAUGES))
+        self._cells[0] = time.monotonic()
+
+    def beat(self, **gauges: int) -> None:
+        """Record one heartbeat (worker side).
+
+        Gauges land before the timestamp so a reader that observes a
+        fresh beat never pairs it with older gauges.
+        """
+        for slot, name in enumerate(_GAUGES, start=1):
+            value = gauges.get(name)
+            if value is not None:
+                self._cells[slot] = float(value)
+        self._cells[0] = time.monotonic()
+
+    @property
+    def last_beat(self) -> float:
+        """Monotonic timestamp of the latest heartbeat (supervisor side)."""
+        return self._cells[0]
+
+    def gauges(self) -> Dict[str, int]:
+        """The latest budget gauges shipped by the worker."""
+        return {
+            name: int(self._cells[slot])
+            for slot, name in enumerate(_GAUGES, start=1)
+        }
+
+
+class _HeartbeatReporter:
+    """A progress-reporter shim installed inside the worker process.
+
+    Budgets adopt the ambient reporter at construction
+    (:func:`repro.obs.progress.current_reporter`), so every cooperative
+    checkpoint the chase/hom kernels already execute pumps the shared
+    heartbeat cell — no kernel changes needed for supervision.
+    """
+
+    def __init__(self, cell: HeartbeatCell) -> None:
+        self._cell = cell
+
+    def heartbeat(
+        self,
+        where: str,
+        rounds: int,
+        steps: int,
+        facts: Optional[int] = None,
+        nulls: Optional[int] = None,
+        branches: Optional[int] = None,
+    ) -> None:
+        """The :class:`repro.obs.ProgressReporter` duck-type hook."""
+        self._cell.beat(
+            rounds=rounds, steps=steps, facts=facts, nulls=nulls,
+            branches=branches,
+        )
+
+
+def _bridge_cancel(flag, token: CancelToken, poll: float = 0.05) -> None:
+    """Daemon-thread body: mirror the shared cancel *flag* into *token*.
+
+    The supervisor's cooperative-cancel signal is a lock-free shared
+    byte (``RawValue``), not a ``multiprocessing.Event``: an Event's
+    internal lock can be orphaned by a worker that exits while its
+    watcher thread is inside ``Event.wait`` — after which the
+    supervisor's ``set()`` blocks forever.  A raw byte has no lock to
+    orphan; budgets check a thread-backed :class:`CancelToken`, and
+    this watcher is the bridge, running inside the worker process.
+    """
+    while not token.cancelled:
+        if flag.value:
+            token.cancel("supervisor")
+            return
+        time.sleep(poll)
+
+
+def _worker_main(fn, payload, cell: HeartbeatCell, cancel_flag, conn) -> None:
+    """Entry point of one supervised worker process.
+
+    Installs the heartbeat reporter and the bridged cancel token as
+    this process's ambient telemetry, runs the task, and ships exactly
+    one ``(status, value)`` message back over the pipe.  Runs at module
+    scope so it pickles by reference under spawn-based contexts.
+    """
+    cell.beat()
+    token = CancelToken()
+    set_cancel_token(token)
+    set_reporter(_HeartbeatReporter(cell))
+    watcher = threading.Thread(
+        target=_bridge_cancel, args=(cancel_flag, token), daemon=True
+    )
+    watcher.start()
+    try:
+        value = fn(payload)
+    except BaseException as error:  # ship the failure, whatever it is
+        message = ("error", error)
+    else:
+        message = ("ok", value)
+    try:
+        conn.send(message)
+    except Exception:
+        # Unpicklable value/error (or a vanished parent): degrade to a
+        # picklable description so the item fails loudly, not silently.
+        try:
+            conn.send(
+                ("error", RuntimeError(f"worker result unpicklable: {message[1]!r}"))
+            )
+        except Exception:  # pragma: no cover - parent is gone
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Lease:
+    """Supervisor-side record of one running worker attempt."""
+
+    index: int
+    attempt: int
+    payload: tuple
+    process: Any
+    conn: Any
+    cell: HeartbeatCell
+    cancel_flag: Any
+    started: float
+    soft_at: Optional[float]  # cooperative-cancel instant (deadline)
+    soft_sent: bool = False
+    gauges: Dict[str, int] = field(default_factory=dict)
+
+
+def _item_deadline(payload: tuple) -> Optional[float]:
+    """The per-item cooperative deadline riding in the payload, if any."""
+    limits = payload[-3] if len(payload) >= 3 else None
+    if isinstance(limits, Limits):
+        return limits.deadline
+    return None
+
+
+def _killed_error(lease: _Lease, grace: float, now: float) -> WorkerKilled:
+    """The typed error for a lease the supervisor had to terminate."""
+    stale = now - max(lease.cell.last_beat, lease.started)
+    diagnosis = Exhausted(
+        resource="killed",
+        where="engine.supervisor",
+        limit=grace,
+        used=f"heartbeat stale {stale:.2f}s past deadline",
+        rounds=lease.gauges.get("rounds", 0),
+        steps=lease.gauges.get("steps", 0),
+    )
+    return WorkerKilled(
+        item=lease.index, pid=lease.process.pid, diagnosis=diagnosis
+    )
+
+
+def _cancelled_error(where: str = "engine.supervisor") -> Cancelled:
+    """The typed error for items abandoned by a batch-wide cancellation."""
+    return Cancelled(
+        diagnosis=Exhausted(resource="cancelled", where=where, used="SIGINT")
+    )
+
+
+def _terminate(process, patience: float = 0.5) -> None:
+    """SIGTERM the worker, escalating to SIGKILL if it lingers."""
+    process.terminate()
+    process.join(patience)
+    if process.is_alive():  # pragma: no cover - SIGTERM blocked
+        process.kill()
+        process.join(patience)
+
+
+class BatchSupervisor:
+    """Runs one batch of payloads under heartbeat-based supervision.
+
+    One instance per ``run_batch_supervised`` call; the class exists to
+    keep the escalation state machine readable (queue, leases, kill
+    bookkeeping) rather than to be reused.
+    """
+
+    def __init__(
+        self,
+        payloads: Sequence[tuple],
+        fn: Callable[[tuple], Any],
+        workers: int,
+        retries: int,
+        deadline: Optional[float],
+        grace: float,
+        clock: Callable[[], float],
+        context,
+    ) -> None:
+        self.fn = fn
+        self.workers = max(1, workers)
+        self.retries = max(0, retries)
+        self.grace = grace
+        self.clock = clock
+        self.ctx = context
+        self.payloads: List[tuple] = list(payloads)
+        self.outcomes: List[ItemOutcome] = [
+            ItemOutcome(attempts=0) for _ in payloads
+        ]
+        self.queue: List[int] = list(range(len(self.payloads)))
+        self.leases: Dict[int, _Lease] = {}
+        self.attempts = [0] * len(self.payloads)
+        self.kills = [0] * len(self.payloads)
+        self.first_started: Dict[int, float] = {}
+        self.deadline_at = (
+            None if deadline is None else self.clock() + deadline
+        )
+        self.cancelled_at: Optional[float] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def run(self) -> List[ItemOutcome]:
+        """Drive the batch to completion; one outcome per payload."""
+        try:
+            while self.queue or self.leases:
+                self._maybe_cancel()
+                self._fill_slots()
+                self._poll_results()
+                self._escalate()
+                self._drain_if_stopped()
+        finally:
+            for lease in self.leases.values():  # pragma: no cover - defense
+                _terminate(lease.process)
+        return self.outcomes
+
+    def _spawn(self, index: int) -> None:
+        """Start (or respawn) one worker process for item *index*."""
+        payload = self.payloads[index]
+        self.attempts[index] += 1
+        cell = HeartbeatCell(self.ctx)
+        # Lock-free cancel signal — see _bridge_cancel for why not Event.
+        cancel_flag = self.ctx.RawValue("b", 0)
+        parent_conn, child_conn = self.ctx.Pipe(duplex=False)
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(self.fn, payload, cell, cancel_flag, child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        now = self.clock()
+        self.first_started.setdefault(index, now)
+        item_deadline = _item_deadline(payload)
+        self.leases[index] = _Lease(
+            index=index,
+            attempt=self.attempts[index],
+            payload=payload,
+            process=process,
+            conn=parent_conn,
+            cell=cell,
+            cancel_flag=cancel_flag,
+            started=now,
+            soft_at=None if item_deadline is None else now + item_deadline,
+        )
+
+    def _fill_slots(self) -> None:
+        while (
+            self.queue
+            and len(self.leases) < self.workers
+            and not self._stopped()
+        ):
+            self._spawn(self.queue.pop(0))
+
+    # -- result collection ----------------------------------------------
+
+    def _poll_results(self) -> None:
+        """Wait one tick for pipes; resolve every readable lease."""
+        conns = [lease.conn for lease in self.leases.values()]
+        if not conns:
+            return
+        ready = multiprocessing.connection.wait(conns, timeout=SUPERVISOR_TICK)
+        if not ready:
+            return
+        by_conn = {lease.conn: lease for lease in self.leases.values()}
+        for conn in ready:
+            self._resolve(by_conn[conn])
+
+    def _resolve(self, lease: _Lease) -> None:
+        """One lease's pipe is readable: a result, an error, or EOF."""
+        index = lease.index
+        try:
+            status, value = lease.conn.recv()
+        except (EOFError, OSError):
+            # The worker died without shipping a result (hard crash,
+            # unpicklable payload under spawn, OOM kill).  Infra-level
+            # breakage: transient, retryable.
+            status, value = "error", OSError(
+                f"worker pid {lease.process.pid} exited without a result"
+            )
+        self._close(lease)
+        elapsed = self.clock() - self.first_started[index]
+        if status == "ok":
+            self.outcomes[index] = ItemOutcome(
+                value=value,
+                attempts=lease.attempt,
+                elapsed=elapsed,
+                kills=self.kills[index],
+            )
+            return
+        self._fail_or_retry(index, lease, value, elapsed)
+
+    def _fail_or_retry(
+        self, index: int, lease: _Lease, error: BaseException, elapsed: float
+    ) -> None:
+        retryable = is_transient(error) or isinstance(error, WorkerKilled)
+        if retryable and lease.attempt <= self.retries and not self._stopped():
+            payload = _rebudgeted(self.payloads[index], elapsed)
+            self.payloads[index] = payload[:-1] + (lease.attempt + 1,)
+            self.queue.append(index)
+            return
+        self.outcomes[index] = ItemOutcome(
+            error=error,
+            attempts=lease.attempt,
+            elapsed=elapsed,
+            kills=self.kills[index],
+        )
+
+    def _close(self, lease: _Lease) -> None:
+        """Retire a finished lease: reap the process, free the slot."""
+        del self.leases[lease.index]
+        try:
+            lease.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        lease.process.join(0.5)
+        if lease.process.is_alive():  # pragma: no cover - slow unwind
+            _terminate(lease.process)
+
+    # -- escalation ------------------------------------------------------
+
+    def _escalate(self) -> None:
+        """Cooperative cancel at the deadline; hard kill past grace."""
+        now = self.clock()
+        batch_expired = self.deadline_at is not None and now >= self.deadline_at
+        for lease in list(self.leases.values()):
+            soft_due = (
+                (lease.soft_at is not None and now >= lease.soft_at)
+                or batch_expired
+                or self.cancelled_at is not None
+            )
+            if soft_due and not lease.soft_sent:
+                lease.cancel_flag.value = 1
+                lease.soft_sent = True
+            if not soft_due:
+                continue
+            # The worker earns grace by heartbeating: kill only once it
+            # has been silent for a full grace period after the soft
+            # signal (or after its own deadline, whichever is later).
+            soft_since = min(
+                t for t in (
+                    lease.soft_at,
+                    self.deadline_at,
+                    self.cancelled_at,
+                ) if t is not None
+            )
+            quiet_since = max(lease.cell.last_beat, soft_since)
+            if now - quiet_since >= self.grace:
+                self._kill(lease, now)
+
+    def _kill(self, lease: _Lease, now: float) -> None:
+        """Terminate one hung worker and requeue or fail its item."""
+        index = lease.index
+        lease.gauges = lease.cell.gauges()
+        _terminate(lease.process)
+        self.kills[index] += 1
+        del self.leases[index]
+        try:
+            lease.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        elapsed = now - self.first_started[index]
+        error: BaseException
+        if self.cancelled_at is not None:
+            error = _cancelled_error()
+        else:
+            error = _killed_error(lease, self.grace, now)
+        self._fail_or_retry(index, lease, error, elapsed)
+
+    # -- batch-wide stop conditions --------------------------------------
+
+    def _maybe_cancel(self) -> None:
+        """Adopt an ambient cancellation (SIGINT) the moment it fires."""
+        if self.cancelled_at is not None:
+            return
+        token = current_cancel_token()
+        if token is not None and token.cancelled:
+            self.cancelled_at = self.clock()
+
+    def _stopped(self) -> bool:
+        """No new work may start: batch deadline passed or cancelled."""
+        if self.cancelled_at is not None:
+            return True
+        return self.deadline_at is not None and self.clock() >= self.deadline_at
+
+    def _drain_if_stopped(self) -> None:
+        """Fail queued (never-started) items once the batch is stopped."""
+        if not self._stopped() or not self.queue:
+            return
+        for index in self.queue:
+            if self.cancelled_at is not None:
+                error: BaseException = _cancelled_error()
+            else:
+                error = _deadline_error()
+            self.outcomes[index] = ItemOutcome(
+                error=error,
+                attempts=max(self.attempts[index], 1),
+                elapsed=(
+                    self.clock() - self.first_started[index]
+                    if index in self.first_started
+                    else 0.0
+                ),
+                kills=self.kills[index],
+            )
+        self.queue.clear()
+
+
+def _deadline_error():
+    """A batch-deadline exhaustion, matching ``run_batch_isolated``'s."""
+    from ..errors import BudgetExhausted
+
+    return BudgetExhausted(
+        diagnosis=Exhausted(
+            resource="deadline", where="engine.batch", used="batch deadline passed"
+        )
+    )
+
+
+def run_batch_supervised(
+    payloads: Sequence[tuple],
+    fn: Callable[[tuple], Any],
+    workers: int = 1,
+    retries: int = 0,
+    deadline: Optional[float] = None,
+    grace: float = 1.0,
+    clock: Callable[[], float] = time.monotonic,
+    context=None,
+) -> List[ItemOutcome]:
+    """Run *fn* over *payloads* in supervised worker processes.
+
+    The hard-kill counterpart of
+    :func:`repro.engine.parallel.run_batch_isolated`: same payload
+    contract (``(..., limits, fault, attempt)``), same ordered
+    :class:`ItemOutcome` list, same transient-retry and batch-deadline
+    semantics — plus heartbeat supervision.  A worker silent for more
+    than *grace* seconds past its cooperative deadline is terminated
+    and its slot respawned; the item retries (with its remaining
+    deadline) while attempts remain, then fails as
+    :class:`repro.errors.WorkerKilled`.  ``ItemOutcome.kills`` counts
+    the terminations each item needed.
+
+    Parameters
+    ----------
+    payloads:
+        One task payload per batch item, ending with
+        ``(limits, fault, attempt)`` as in :mod:`repro.engine.parallel`.
+    fn:
+        Module-level task function (must pickle by reference).
+    workers:
+        Max concurrently running worker processes (≥ 1).
+    retries:
+        Extra attempts for transiently failing *or killed* items.
+    deadline:
+        Wall-clock bound for the whole batch, seconds.
+    grace:
+        Heartbeat staleness past the deadline that triggers the kill.
+    clock:
+        Monotonic time source (overridable for tests).
+    context:
+        A ``multiprocessing`` context; default
+        :func:`multiprocessing.get_context`.
+    """
+    if not payloads:
+        return []
+    ctx = context if context is not None else multiprocessing.get_context()
+    supervisor = BatchSupervisor(
+        payloads=payloads,
+        fn=fn,
+        workers=workers,
+        retries=retries,
+        deadline=deadline,
+        grace=grace,
+        clock=clock,
+        context=ctx,
+    )
+    return supervisor.run()
+
+
+def supervision_available() -> bool:
+    """Can this host run supervised pools at all?
+
+    Needs working ``multiprocessing`` process spawning; sandboxed hosts
+    without ``/dev/shm`` or fork permission fall back to the
+    cooperative-only pool.
+    """
+    if os.environ.get("REPRO_NO_SUPERVISOR", "").strip() in ("1", "true", "yes"):
+        return False
+    try:
+        multiprocessing.get_context()
+        return True
+    except Exception:  # pragma: no cover - exotic hosts
+        return False
+
+
+__all__ = [
+    "BatchSupervisor",
+    "HeartbeatCell",
+    "SUPERVISOR_TICK",
+    "run_batch_supervised",
+    "supervision_available",
+]

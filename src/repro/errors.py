@@ -11,6 +11,7 @@ service loop needs.  The stable, supported import paths are::
         ChaseNonTermination,   # round budget exhausted in "raise" mode
         BatchItemError,        # one item of an engine batch failed
         FaultInjected,         # a deterministic test fault tripped
+        WorkerKilled,          # the supervisor hard-killed a hung worker
     )
 
 (the same names are re-exported from the top-level ``repro`` package).
@@ -49,6 +50,7 @@ class BudgetExhausted(ReproError, RuntimeError):
     """
 
     def __init__(self, message: str = "", diagnosis=None) -> None:
+        """Describe the exhaustion; *diagnosis* supplies the message."""
         if not message and diagnosis is not None:
             message = diagnosis.describe()
         super().__init__(message)
@@ -72,8 +74,47 @@ class FaultInjected(ReproError):
     """
 
     def __init__(self, message: str = "injected fault", item: int = -1) -> None:
+        """Tag the injected failure with the batch *item* it hit."""
         super().__init__(message)
         self.item = item
+
+
+class WorkerKilled(ReproError):
+    """A supervised pool worker was hard-killed after going silent.
+
+    Raised (as a batch item's error) by the worker supervisor
+    (:mod:`repro.engine.supervisor`) when a worker's heartbeat stayed
+    stale for more than ``Limits.grace`` seconds past its cooperative
+    deadline and escalation — cooperative cancel, then
+    ``Process.terminate()`` — had to end it.  Treated as *transient* by
+    the retry policy: a retried item is respawned in a fresh worker
+    with the remaining deadline.
+
+    Attributes
+    ----------
+    item:
+        The batch index of the killed item (``-1`` when unknown).
+    pid:
+        OS process id of the terminated worker (``None`` when it never
+        started).
+    diagnosis:
+        The :class:`repro.limits.Exhausted` record (``resource=
+        "killed"``) describing how long the heartbeat had been stale.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        item: int = -1,
+        pid: Optional[int] = None,
+        diagnosis=None,
+    ) -> None:
+        if not message and diagnosis is not None:
+            message = diagnosis.describe()
+        super().__init__(message or "supervised worker hard-killed")
+        self.item = item
+        self.pid = pid
+        self.diagnosis = diagnosis
 
 
 class BatchItemError(ReproError):
@@ -90,7 +131,9 @@ class BatchItemError(ReproError):
     op:
         The engine operation (``"chase"`` or ``"reverse"``).
     kind:
-        Class name of the underlying exception.
+        Failure kind: the class name of the underlying exception, or
+        the explicit override passed by the runner (the supervisor
+        reports hard-killed items as ``kind="killed"``).
     error:
         The underlying exception object.
     attempts:
@@ -111,6 +154,7 @@ class BatchItemError(ReproError):
         attempts: int = 1,
         diagnosis=None,
         elapsed: float = 0.0,
+        kind: Optional[str] = None,
     ) -> None:
         super().__init__(
             f"{op} batch item {index} failed after {attempts} "
@@ -120,7 +164,7 @@ class BatchItemError(ReproError):
         self.index = index
         self.op = op
         self.error = error
-        self.kind = type(error).__name__
+        self.kind = kind if kind is not None else type(error).__name__
         self.attempts = attempts
         self.elapsed = elapsed
         self.diagnosis = diagnosis if diagnosis is not None else getattr(
@@ -134,5 +178,6 @@ __all__ = [
     "Cancelled",
     "ChaseNonTermination",
     "FaultInjected",
+    "WorkerKilled",
     "BatchItemError",
 ]

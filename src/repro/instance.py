@@ -55,6 +55,7 @@ class Fact:
 
     @property
     def arity(self) -> int:
+        """Number of positions in the fact."""
         return len(self.values)
 
     def nulls(self) -> Iterator[Null]:
@@ -64,6 +65,7 @@ class Fact:
                 yield v
 
     def is_ground(self) -> bool:
+        """True when every position holds a constant (no nulls)."""
         return all(isinstance(v, Const) for v in self.values)
 
     def substitute(self, mapping: Mapping[Value, Value]) -> "Fact":
@@ -129,6 +131,7 @@ class Instance:
     )
 
     def __init__(self, facts: Iterable[Fact] = (), schema: Optional[Schema] = None) -> None:
+        """Build from *facts*; a *schema* adds arity validation."""
         relations: Dict[str, set] = {}
         all_facts = []
         for f in facts:
@@ -267,10 +270,12 @@ class Instance:
 
     @property
     def facts(self) -> FrozenSet[Fact]:
+        """Every fact in the instance, as an immutable set."""
         return self._facts
 
     @property
     def relation_names(self) -> Tuple[str, ...]:
+        """Sorted names of the relations with at least one fact."""
         return tuple(sorted(self._relations))
 
     def tuples(self, relation: str) -> FrozenSet[Tuple[Value, ...]]:
@@ -321,6 +326,7 @@ class Instance:
         return not self._nulls
 
     def is_empty(self) -> bool:
+        """True when the instance holds no facts at all."""
         return not self._facts
 
     # ------------------------------------------------------------------
@@ -328,9 +334,11 @@ class Instance:
     # ------------------------------------------------------------------
 
     def union(self, other: "Instance") -> "Instance":
+        """A new instance holding the facts of both."""
         return Instance(list(self._facts) + list(other._facts))
 
     def difference(self, other: "Instance") -> "Instance":
+        """A new instance with *other*'s facts removed."""
         return Instance(self._facts - other._facts)
 
     def restrict(self, relations: Iterable[str]) -> "Instance":
@@ -390,6 +398,7 @@ class InstanceBuilder:
     """
 
     def __init__(self, base: Optional[Instance] = None) -> None:
+        """Start empty, or pre-seeded with *base*'s facts and domain."""
         self._facts: set[Fact] = set(base.facts) if base is not None else set()
         self._values: set[Value] = set(base.active_domain) if base is not None else set()
         self._relations: Dict[str, set] = {}
@@ -422,6 +431,7 @@ class InstanceBuilder:
 
     @property
     def values(self) -> set:
+        """The active domain accumulated so far (mutable view)."""
         return self._values
 
     def snapshot(self) -> Instance:

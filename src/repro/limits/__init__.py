@@ -32,6 +32,7 @@ from .config import Exhausted, Limits, resolve_limits
 from .faults import (
     Fault,
     FaultPlan,
+    HANG_BACKSTOP,
     current_fault_plan,
     inject_faults,
     set_fault_plan,
@@ -44,6 +45,7 @@ __all__ = [
     "Exhausted",
     "Fault",
     "FaultPlan",
+    "HANG_BACKSTOP",
     "Limits",
     "budget_scope",
     "cancel_scope",

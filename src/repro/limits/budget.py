@@ -43,6 +43,7 @@ class CancelToken:
     __slots__ = ("_event", "reason")
 
     def __init__(self) -> None:
+        """A fresh, uncancelled token."""
         self._event = threading.Event()
         self.reason: Optional[str] = None
 

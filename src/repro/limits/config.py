@@ -72,6 +72,15 @@ class Limits:
     chase), total facts in the (per-branch) instance, minted nulls, and
     live disjunctive branches.
 
+    ``grace`` arms **hard-kill supervision** for the engine's batch
+    process pools: a pool worker whose heartbeat goes stale for more
+    than *grace* seconds past its cooperative ``deadline`` is
+    terminated and the pool respawned (see
+    :mod:`repro.engine.supervisor` and ``docs/ARCHITECTURE.md``).
+    Grace only takes effect together with a deadline — without one
+    there is no point in time after which a silent worker is
+    provably hung.
+
     Hashable and picklable by construction, so a ``Limits`` can ride in
     cache keys and cross process boundaries.
     """
@@ -81,6 +90,7 @@ class Limits:
     max_facts: Optional[int] = None
     max_nulls: Optional[int] = None
     max_branches: Optional[int] = None
+    grace: Optional[float] = None
     on_exhausted: str = "partial"
 
     def __post_init__(self) -> None:
@@ -95,10 +105,16 @@ class Limits:
                 raise ValueError(f"{name} must be positive, got {value!r}")
         if self.deadline is not None and self.deadline < 0:
             raise ValueError(f"deadline must be >= 0, got {self.deadline!r}")
+        if self.grace is not None and self.grace < 0:
+            raise ValueError(f"grace must be >= 0, got {self.grace!r}")
 
     @property
     def unlimited(self) -> bool:
-        """True when no bound is set at all."""
+        """True when no bound is set at all.
+
+        ``grace`` is deliberately ignored here: it arms supervision of
+        pool workers but bounds nothing about the computation itself.
+        """
         return (
             self.deadline is None
             and self.max_rounds is None
@@ -126,6 +142,7 @@ class Limits:
             max_facts=override.max_facts if override.max_facts is not None else self.max_facts,
             max_nulls=override.max_nulls if override.max_nulls is not None else self.max_nulls,
             max_branches=override.max_branches if override.max_branches is not None else self.max_branches,
+            grace=override.grace if override.grace is not None else self.grace,
             on_exhausted=override.on_exhausted,
         )
 
@@ -138,6 +155,8 @@ class Limits:
             value = getattr(self, name)
             if value is not None:
                 parts.append(f"{name}={value}")
+        if self.grace is not None:
+            parts.append(f"grace={self.grace}s")
         bounds = ", ".join(parts) if parts else "unlimited"
         return f"Limits({bounds}, on_exhausted={self.on_exhausted})"
 

@@ -9,7 +9,13 @@ to trip inside the worker:
 * ``slow``  — sleep for a fixed duration before computing (exercises
   deadlines);
 * ``exhaust`` — raise :class:`repro.errors.BudgetExhausted` with an
-  ``"injected"`` diagnosis (simulates a budget blowout).
+  ``"injected"`` diagnosis (simulates a budget blowout);
+* ``hang`` — spin in a sleep loop that never runs a cooperative
+  checkpoint and ignores cancellation (simulates a deadlocked native
+  call or a pathological chase; only the worker supervisor's hard-kill
+  escalation can end it).  The loop is bounded by ``seconds`` (default
+  :data:`HANG_BACKSTOP`) so an unsupervised run cannot wedge CI
+  forever.
 
 Plans are plain frozen dataclasses, so they pickle into process-pool
 workers unchanged and the same plan produces the same failures every
@@ -29,6 +35,8 @@ Spec syntax (semicolon-separated)::
     crash@<item>:<times>    crash the first <times> attempts
     slow@<item>=<seconds>   sleep before computing
     exhaust@<item>          fail with an injected budget exhaustion
+    hang@<item>             hang without checkpointing (backstop-bounded)
+    hang@<item>=<seconds>   hang for at most <seconds>
 """
 
 from __future__ import annotations
@@ -42,14 +50,20 @@ from typing import Optional, Tuple
 from ..errors import BudgetExhausted, FaultInjected
 from .config import Exhausted
 
-_KINDS = ("crash", "slow", "exhaust")
+_KINDS = ("crash", "slow", "exhaust", "hang")
+
+#: How long a ``hang`` fault spins when no explicit duration is given.
+#: A safety net, not a semantic bound: supervised runs kill the hung
+#: worker long before this; the backstop only protects *unsupervised*
+#: test runs from wedging past their harness timeout.
+HANG_BACKSTOP = 60.0
 
 
 @dataclass(frozen=True)
 class Fault:
     """One fault rule: what to do to which batch item, how many times."""
 
-    kind: str  # "crash" | "slow" | "exhaust"
+    kind: str  # "crash" | "slow" | "exhaust" | "hang"
     item: int
     times: int = 1
     seconds: float = 0.0
@@ -99,6 +113,14 @@ class FaultPlan:
                 if not sep:
                     raise ValueError(f"slow fault needs '=<seconds>': {piece!r}")
                 seconds = float(value)
+            elif kind == "hang":
+                item_text, sep, value = rest.partition("=")
+                if sep:
+                    seconds = float(value)
+                else:
+                    item_text, sep, value = rest.partition(":")
+                    if sep:
+                        times = int(value)
             else:
                 item_text, sep, value = rest.partition(":")
                 if sep:
@@ -130,9 +152,9 @@ class FaultPlan:
 def trip(fault: Optional[Fault], attempt: int = 1) -> None:
     """Apply *fault* inside a worker for the given attempt number.
 
-    ``crash``/``exhaust`` rules trip while ``attempt <= times`` and are
-    silent afterwards (so retries can succeed); ``slow`` sleeps on every
-    attempt.  ``fault=None`` is a no-op — tasks call this
+    ``crash``/``exhaust``/``hang`` rules trip while ``attempt <= times``
+    and are silent afterwards (so retries can succeed); ``slow`` sleeps
+    on every attempt.  ``fault=None`` is a no-op — tasks call this
     unconditionally.
     """
     if fault is None:
@@ -141,6 +163,14 @@ def trip(fault: Optional[Fault], attempt: int = 1) -> None:
         time.sleep(fault.seconds)
         return
     if attempt > fault.times:
+        return
+    if fault.kind == "hang":
+        # The point is NOT to checkpoint: no budget, no cancellation
+        # check, no heartbeat — just a blind sleep loop, exactly what a
+        # deadlocked native call looks like to the supervisor.
+        stop = time.monotonic() + (fault.seconds or HANG_BACKSTOP)
+        while time.monotonic() < stop:
+            time.sleep(0.02)
         return
     if fault.kind == "crash":
         raise FaultInjected(

@@ -78,10 +78,12 @@ class Tgd:
 
     @property
     def premise_variables(self) -> FrozenSet[Var]:
+        """All variables occurring in the premise (the ``x``)."""
         return _atom_variables(self.premise)
 
     @property
     def conclusion_variables(self) -> FrozenSet[Var]:
+        """All variables occurring in the conclusion."""
         return _atom_variables(self.conclusion)
 
     @property
@@ -99,9 +101,11 @@ class Tgd:
         return not self.existential_variables
 
     def uses_constant_guard(self) -> bool:
+        """True when any guard is a constant-membership test ``C(x)``."""
         return any(isinstance(g, ConstantGuard) for g in self.guards)
 
     def uses_inequality(self) -> bool:
+        """True when any guard is an inequality ``x != y``."""
         return any(isinstance(g, Inequality) for g in self.guards)
 
     def is_plain(self) -> bool:
@@ -111,9 +115,11 @@ class Tgd:
     # -- structure ------------------------------------------------------
 
     def premise_relations(self) -> FrozenSet[str]:
+        """Relation names mentioned on the premise side."""
         return frozenset(a.relation for a in self.premise)
 
     def conclusion_relations(self) -> FrozenSet[str]:
+        """Relation names mentioned on the conclusion side."""
         return frozenset(a.relation for a in self.conclusion)
 
     def substitute_terms(self, mapping: Mapping[Var, Term]) -> "Tgd":
@@ -130,6 +136,7 @@ class Tgd:
         )
 
     def to_disjunctive(self) -> "DisjunctiveTgd":
+        """This tgd as a one-disjunct disjunctive tgd."""
         return DisjunctiveTgd(self.premise, (self.conclusion,), self.guards)
 
     def __str__(self) -> str:
@@ -175,6 +182,7 @@ class DisjunctiveTgd:
 
     @property
     def premise_variables(self) -> FrozenSet[Var]:
+        """All variables occurring in the premise (the ``x``)."""
         return _atom_variables(self.premise)
 
     def existential_variables(self, disjunct_index: int) -> FrozenSet[Var]:
@@ -182,12 +190,15 @@ class DisjunctiveTgd:
         return _atom_variables(self.disjuncts[disjunct_index]) - self.premise_variables
 
     def is_full(self) -> bool:
+        """True when no disjunct quantifies existentially."""
         return all(not self.existential_variables(i) for i in range(len(self.disjuncts)))
 
     def uses_constant_guard(self) -> bool:
+        """True when any guard is a constant-membership test ``C(x)``."""
         return any(isinstance(g, ConstantGuard) for g in self.guards)
 
     def uses_inequality(self) -> bool:
+        """True when any guard is an inequality ``x != y``."""
         return any(isinstance(g, Inequality) for g in self.guards)
 
     def is_disjunctive(self) -> bool:
@@ -195,9 +206,11 @@ class DisjunctiveTgd:
         return len(self.disjuncts) > 1
 
     def premise_relations(self) -> FrozenSet[str]:
+        """Relation names mentioned on the premise side."""
         return frozenset(a.relation for a in self.premise)
 
     def conclusion_relations(self) -> FrozenSet[str]:
+        """Relation names mentioned across all disjuncts."""
         return frozenset(a.relation for d in self.disjuncts for a in d)
 
     def as_tgd(self) -> Tgd:
@@ -207,6 +220,7 @@ class DisjunctiveTgd:
         return Tgd(self.premise, self.disjuncts[0], self.guards)
 
     def substitute_terms(self, mapping: Mapping[Var, Term]) -> "DisjunctiveTgd":
+        """Apply a variable-to-term substitution everywhere (guards too)."""
         return DisjunctiveTgd(
             tuple(a.substitute_terms(mapping) for a in self.premise),
             tuple(

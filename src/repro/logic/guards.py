@@ -47,6 +47,7 @@ class Inequality:
         return _resolve(self.left, binding) != _resolve(self.right, binding)
 
     def substitute_terms(self, mapping: Mapping[Var, Term]) -> "Inequality":
+        """Substitute into both sides (either may become a constant)."""
         left = mapping.get(self.left, self.left) if isinstance(self.left, Var) else self.left
         right = (
             mapping.get(self.right, self.right) if isinstance(self.right, Var) else self.right
@@ -72,13 +73,16 @@ class ConstantGuard:
             raise TypeError("Constant() argument must be a term (Var/Const)")
 
     def holds(self, binding: Mapping[Var, Value]) -> bool:
+        """True when the bound value is a constant (not a null)."""
         return isinstance(_resolve(self.term, binding), Const)
 
     def substitute_terms(self, mapping: Mapping[Var, Term]) -> "ConstantGuard":
+        """Substitute into the guarded term."""
         term = mapping.get(self.term, self.term) if isinstance(self.term, Var) else self.term
         return ConstantGuard(term)
 
     def is_trivially_false(self) -> bool:
+        """Constant guards are satisfiable for some binding: never false."""
         return False
 
     def __str__(self) -> str:

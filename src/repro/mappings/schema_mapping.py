@@ -42,6 +42,7 @@ class SchemaMapping:
         source: Optional[Schema] = None,
         target: Optional[Schema] = None,
     ) -> None:
+        """Build from *dependencies*; schemas are inferred when omitted."""
         self._dependencies: Tuple[Dependency, ...] = tuple(dependencies)
         premise_atoms = [
             a for dep in self._dependencies for a in dep.premise
@@ -111,14 +112,17 @@ class SchemaMapping:
 
     @property
     def dependencies(self) -> Tuple[Dependency, ...]:
+        """The mapping's dependencies, in declaration order."""
         return self._dependencies
 
     @property
     def source(self) -> Schema:
+        """The source schema (inferred from premises when not given)."""
         return self._source
 
     @property
     def target(self) -> Schema:
+        """The target schema (inferred from conclusions when not given)."""
         return self._target
 
     def is_plain_tgds(self) -> bool:
@@ -141,9 +145,11 @@ class SchemaMapping:
         )
 
     def uses_constant_guard(self) -> bool:
+        """True when any dependency carries a constant guard."""
         return any(d.uses_constant_guard() for d in self._dependencies)
 
     def uses_inequality(self) -> bool:
+        """True when any dependency carries an inequality guard."""
         return any(d.uses_inequality() for d in self._dependencies)
 
     def __repr__(self) -> str:

@@ -42,6 +42,7 @@ from .events import (
     NullMinted,
     TraceEvent,
     TriggerFired,
+    WorkerKilled,
     event_to_dict,
     freeze_binding,
 )
@@ -130,6 +131,7 @@ __all__ = [
     "TraceState",
     "Tracer",
     "TriggerFired",
+    "WorkerKilled",
     "current_reporter",
     "current_tracer",
     "event_to_dict",

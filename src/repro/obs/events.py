@@ -140,6 +140,27 @@ class ResourceExhausted:
 
 
 @dataclass(frozen=True)
+class WorkerKilled:
+    """The supervisor hard-killed a hung pool worker.
+
+    Emitted by the engine once per terminated worker attempt when a
+    batch runs under supervision (``Limits.grace`` armed): the worker's
+    heartbeat stayed stale past the grace period and escalation ended
+    it (see :mod:`repro.engine.supervisor`).  ``kills`` is the item's
+    cumulative kill count so far (> 1 when retries were also killed);
+    ``final`` says whether the item was given up on (``True``) or
+    re-queued for another attempt."""
+
+    kind: ClassVar[str] = "worker_killed"
+
+    op: str
+    batch_index: int
+    kills: int = 1
+    pid: Optional[int] = None
+    final: bool = True
+
+
+@dataclass(frozen=True)
 class CacheHit:
     """An engine cache served a result without recomputation."""
 
@@ -166,6 +187,7 @@ TraceEvent = Union[
     BranchClosed,
     HomBacktrack,
     ResourceExhausted,
+    WorkerKilled,
     CacheHit,
     CacheMiss,
 ]

@@ -32,6 +32,7 @@ class Histogram:
     max: float = float("-inf")
 
     def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
         self.count += 1
         self.total += value
         if value < self.min:
@@ -41,9 +42,11 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def merge(self, other: "Histogram") -> None:
+        """Fold another summary in (exact, order-independent)."""
         self.count += other.count
         self.total += other.total
         if other.count:
@@ -51,6 +54,7 @@ class Histogram:
             self.max = max(self.max, other.max)
 
     def as_dict(self) -> Dict[str, float]:
+        """The summary as a JSON-ready dict (values rounded)."""
         if not self.count:
             return {"count": 0, "total": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
         return {
@@ -89,14 +93,17 @@ class BucketedHistogram:
     total: float = 0.0
 
     def observe(self, value: float) -> None:
+        """Bin one observation and add it to the running sum."""
         self.counts[bisect_left(LOG_BUCKET_BOUNDS, value)] += 1
         self.total += value
 
     @property
     def count(self) -> int:
+        """Total number of observations across all buckets."""
         return sum(self.counts)
 
     def merge(self, other: "BucketedHistogram") -> None:
+        """Element-wise bucket addition (exact across processes)."""
         for index, count in enumerate(other.counts):
             self.counts[index] += count
         self.total += other.total
@@ -112,6 +119,7 @@ class BucketedHistogram:
         return series
 
     def as_dict(self) -> dict:
+        """Raw bucket counts + sum, the cross-process payload form."""
         return {"counts": list(self.counts), "total": self.total}
 
 
@@ -138,6 +146,7 @@ class MetricsRegistry:
     """Named counters + named histograms, mergeable across workers."""
 
     def __init__(self) -> None:
+        """Start empty; counters and histograms appear on first use."""
         self._counters: Dict[str, int] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._bucketed: Dict[str, BucketedHistogram] = {}
@@ -145,9 +154,11 @@ class MetricsRegistry:
     # -- recording ------------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* (created at zero on first use)."""
         self._counters[name] = self._counters.get(name, 0) + amount
 
     def observe(self, name: str, value: float) -> None:
+        """Record one duration under *name* (summary + log buckets)."""
         hist = self._histograms.get(name)
         if hist is None:
             hist = self._histograms[name] = Histogram()
@@ -160,23 +171,29 @@ class MetricsRegistry:
     # -- reading --------------------------------------------------------
 
     def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
         return self._counters.get(name, 0)
 
     def histogram(self, name: str) -> Optional[Histogram]:
+        """The bucket-free summary for *name*, if anything was observed."""
         return self._histograms.get(name)
 
     def bucketed(self, name: str) -> Optional[BucketedHistogram]:
+        """The log-bucketed series for *name*, if anything was observed."""
         return self._bucketed.get(name)
 
     @property
     def counters(self) -> Dict[str, int]:
+        """A snapshot copy of every counter."""
         return dict(self._counters)
 
     @property
     def histograms(self) -> Dict[str, Histogram]:
+        """A snapshot copy of every bucket-free summary."""
         return dict(self._histograms)
 
     def as_dict(self) -> dict:
+        """Sorted, rounded dict form (the JSON/debug rendering)."""
         return {
             "counters": dict(sorted(self._counters.items())),
             "histograms": {

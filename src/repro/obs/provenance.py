@@ -96,6 +96,7 @@ class ProvenanceGraph:
     """Queryable why-provenance assembled from trace events."""
 
     def __init__(self) -> None:
+        """An empty graph; the tracer feeds it event by event."""
         self._firings: List[TriggerFired] = []
         self._derivations: Dict[Fact, List[Derivation]] = {}
         self._births: Dict[Null, NullBirth] = {}

@@ -9,9 +9,13 @@ payload — recorded into a single-file SQLite database (default
 
 * ``repro runs list|show|diff|gc`` — the CLI surface;
 * :meth:`RunRegistry.compare_to_baseline` — the regression check: flag
-  a run whose wall time exceeds the registry median for the same
-  (op, mapping digest) by a configurable factor.  ``benchmarks/
-  report.py --registry`` and the CI telemetry smoke job consume it.
+  a run whose wall time exceeds the registry median for its baseline
+  group by a configurable factor.  The group is *(op, mapping digest,
+  instance digest)* — the full content address of the work — falling
+  back to the blended *(op, mapping digest)* median when the exact
+  group has too few prior samples (see ``docs/OBSERVABILITY.md`` §7).
+  ``benchmarks/report.py --registry`` and the CI telemetry smoke job
+  consume it.
 
 The registry implements the :class:`repro.obs.sinks.TelemetrySink`
 protocol, so the engine treats it as one more sink.  Writes open a
@@ -52,6 +56,8 @@ CREATE TABLE IF NOT EXISTS runs (
     metrics TEXT
 );
 CREATE INDEX IF NOT EXISTS runs_op_mapping ON runs (op, mapping_digest);
+CREATE INDEX IF NOT EXISTS runs_op_mapping_instance
+    ON runs (op, mapping_digest, instance_digest);
 """
 
 _COLUMNS = (
@@ -83,10 +89,12 @@ class RunRow:
 
     @property
     def ok(self) -> bool:
+        """True when the run raised no error (it may be partial)."""
         return self.error is None
 
     @property
     def completed(self) -> bool:
+        """True for a clean, non-partial run: no error, no exhaustion."""
         return self.error is None and self.exhausted is None
 
 
@@ -99,21 +107,25 @@ class RunDiff:
 
     @property
     def wall_time_delta(self) -> float:
+        """Seconds gained (negative) or lost (positive) from a to b."""
         return self.b.wall_time - self.a.wall_time
 
     @property
     def wall_time_ratio(self) -> float:
+        """``b/a`` wall-time ratio (inf when a recorded zero time)."""
         if self.a.wall_time <= 0.0:
             return float("inf") if self.b.wall_time > 0.0 else 1.0
         return self.b.wall_time / self.a.wall_time
 
     def counter_deltas(self) -> dict:
+        """Per-counter ``b - a`` differences for the work counters."""
         return {
             name: getattr(self.b, name) - getattr(self.a, name)
             for name in ("rounds", "steps", "facts", "nulls", "branches")
         }
 
     def render(self) -> str:
+        """A multi-line human-readable comparison (the CLI's ``runs diff``)."""
         lines = [
             f"runs {self.a.id} -> {self.b.id} ({self.a.op})",
             (
@@ -136,7 +148,14 @@ class RunDiff:
 
 @dataclass(frozen=True)
 class BaselineComparison:
-    """Verdict of :meth:`RunRegistry.compare_to_baseline` for one run."""
+    """Verdict of :meth:`RunRegistry.compare_to_baseline` for one run.
+
+    ``scope`` records which baseline group produced the median:
+    ``"exact"`` (same op + mapping digest + instance digest — the run's
+    full content address), ``"blended"`` (same op + mapping digest, any
+    instance — the fallback when the exact group is too thin), or
+    ``"none"`` (no baseline at all; ``median`` is ``None``).
+    """
 
     run_id: int
     op: str
@@ -145,14 +164,17 @@ class BaselineComparison:
     samples: int
     factor: float
     regressed: bool
+    scope: str = "none"
 
     @property
     def ratio(self) -> Optional[float]:
+        """Run wall time over the baseline median (``None`` if no baseline)."""
         if self.median is None or self.median <= 0.0:
             return None
         return self.wall_time / self.median
 
     def render(self) -> str:
+        """One-line verdict for CLI/CI output."""
         if self.median is None:
             return (
                 f"run {self.run_id} ({self.op}): no baseline "
@@ -161,7 +183,7 @@ class BaselineComparison:
         verdict = "REGRESSED" if self.regressed else "ok"
         return (
             f"run {self.run_id} ({self.op}): {self.wall_time:.6f}s vs "
-            f"median {self.median:.6f}s over {self.samples} runs "
+            f"{self.scope} median {self.median:.6f}s over {self.samples} runs "
             f"(x{self.ratio:.2f}, threshold x{self.factor:.2f}) -> {verdict}"
         )
 
@@ -174,6 +196,7 @@ class RunRegistry:
     """
 
     def __init__(self, path: str = DEFAULT_DB_PATH) -> None:
+        """Open (or create) the SQLite registry at *path*."""
         self.path = path
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
@@ -255,6 +278,7 @@ class RunRegistry:
         return [self._row(values) for values in rows]
 
     def get(self, run_id: int) -> RunRow:
+        """The stored row for *run_id*; raises ``KeyError`` if absent."""
         with self._connect() as connection:
             values = connection.execute(
                 f"SELECT {', '.join(_COLUMNS)} FROM runs WHERE id = ?",
@@ -265,6 +289,7 @@ class RunRegistry:
         return self._row(values)
 
     def diff(self, first_id: int, second_id: int) -> RunDiff:
+        """A :class:`RunDiff` comparing two stored runs."""
         return RunDiff(a=self.get(first_id), b=self.get(second_id))
 
     def gc(self, keep: int = 1000) -> int:
@@ -288,33 +313,55 @@ class RunRegistry:
 
     # -- the regression check ------------------------------------------
 
-    def baseline_wall_times(self, run: RunRow) -> List[float]:
-        """Comparable prior samples: same op and mapping digest,
-        completed (no error, no exhaustion), computed (no cache hit),
-        recorded before *run*."""
+    def baseline_wall_times(
+        self, run: RunRow, instance_digest: Optional[str] = None
+    ) -> List[float]:
+        """Comparable prior samples for *run*'s baseline group.
+
+        Samples are completed (no error, no exhaustion), computed (no
+        cache hit), recorded before *run*, and match its op and mapping
+        digest.  With *instance_digest* (the exact scope) they must
+        also match it — the default (``None``) keeps the historical
+        blended scope of all instances under the mapping."""
+        query = (
+            "SELECT wall_time FROM runs WHERE op = ? AND"
+            " mapping_digest = ? AND error IS NULL AND"
+            " exhausted IS NULL AND cache_hit = 0 AND id < ?"
+        )
+        params: list = [run.op, run.mapping_digest, run.id]
+        if instance_digest is not None:
+            query += " AND instance_digest = ?"
+            params.append(instance_digest)
         with self._connect() as connection:
-            rows = connection.execute(
-                "SELECT wall_time FROM runs WHERE op = ? AND"
-                " mapping_digest = ? AND error IS NULL AND"
-                " exhausted IS NULL AND cache_hit = 0 AND id < ?",
-                (run.op, run.mapping_digest, run.id),
-            ).fetchall()
+            rows = connection.execute(query, params).fetchall()
         return [wall_time for (wall_time,) in rows]
 
     def compare_to_baseline(
         self, run_id: int, factor: float = 2.0, min_samples: int = 3
     ) -> BaselineComparison:
         """Flag *run_id* when its wall time exceeds the median of its
-        comparable history by more than *factor*.
+        baseline group by more than *factor*.
 
-        With fewer than *min_samples* comparable prior runs there is no
-        baseline and the verdict is ``regressed=False`` (``median`` is
-        ``None``) — a fresh registry never cries wolf.
+        The baseline group is the run's full content address — *(op,
+        mapping digest, instance digest)* — so a large instance's run is
+        never judged against the medians of small ones chased under the
+        same mapping.  When the exact group has fewer than *min_samples*
+        prior runs, the check falls back to the blended *(op, mapping
+        digest)* group (``scope="blended"``); with too few samples there
+        as well there is no baseline and the verdict is
+        ``regressed=False`` (``median`` is ``None``, ``scope="none"``) —
+        a fresh registry never cries wolf.
         """
         if factor <= 0:
             raise ValueError(f"factor must be positive, got {factor}")
         run = self.get(run_id)
-        samples = self.baseline_wall_times(run)
+        scope = "exact"
+        samples = self.baseline_wall_times(
+            run, instance_digest=run.instance_digest
+        )
+        if len(samples) < min_samples:
+            scope = "blended"
+            samples = self.baseline_wall_times(run)
         if len(samples) < min_samples:
             return BaselineComparison(
                 run_id=run.id,
@@ -324,6 +371,7 @@ class RunRegistry:
                 samples=len(samples),
                 factor=factor,
                 regressed=False,
+                scope="none",
             )
         median = statistics.median(samples)
         regressed = run.wall_time > factor * median and run.completed
@@ -335,6 +383,7 @@ class RunRegistry:
             samples=len(samples),
             factor=factor,
             regressed=regressed,
+            scope=scope,
         )
 
 

@@ -51,7 +51,9 @@ class OpRecord:
     ``"rounds"``, …; ``None`` for completed runs); ``error`` the
     exception class name for failed items; ``batch_index`` the item's
     position when the operation ran inside ``chase_many`` /
-    ``reverse_many``.
+    ``reverse_many``; ``kills`` how many hung workers the supervisor
+    had to terminate while running the item (0 outside supervised
+    batches).
     """
 
     op: str
@@ -68,9 +70,11 @@ class OpRecord:
     error: Optional[str] = None
     batch_index: Optional[int] = None
     attempts: int = 1
+    kills: int = 0
     ts: float = field(default_factory=time.time)
 
     def as_dict(self) -> dict:
+        """The record as a plain dict (the JSONL line payload)."""
         return asdict(self)
 
 
@@ -79,9 +83,11 @@ class TelemetrySink(Protocol):
     """What the engine needs from a sink: record operations, close."""
 
     def record(self, record: OpRecord) -> None:  # pragma: no cover
+        """Accept one finished-operation record."""
         ...
 
     def close(self) -> None:  # pragma: no cover
+        """Flush and release any held resources (idempotent)."""
         ...
 
 
@@ -93,6 +99,7 @@ class JsonlSink:
     """
 
     def __init__(self, path: str) -> None:
+        """Open (append mode) the log at *path*, creating parents."""
         self.path = path
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
@@ -100,6 +107,7 @@ class JsonlSink:
         self.records = 0
 
     def record(self, record: OpRecord) -> None:
+        """Append one record as a sorted-key JSON line and flush."""
         if self._handle is None:
             return
         self._handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
@@ -107,6 +115,7 @@ class JsonlSink:
         self.records += 1
 
     def close(self) -> None:
+        """Close the file handle; later records are ignored."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -127,19 +136,41 @@ class OpenMetricsSink:
     it.  ``extra`` (when given) is merged into the output at write time
     — the CLI passes the engine tracer's registry through it so span
     histograms are exported alongside operation counters.
+
+    Two independent throttles bound the rewrite cost for hot batch
+    loops (scrapers poll on the order of seconds, so sub-second file
+    freshness buys nothing):
+
+    * ``write_every=N`` flushes at most every *N*-th record;
+    * ``min_interval`` (seconds) skips a due flush when the file was
+      rewritten more recently than that — so ``write_every=1`` stays
+      safe to configure even under thousands of records per second.
+
+    Whatever the throttles suppressed, ``close()`` always performs one
+    final unconditional write: the file on disk reflects every record
+    once the sink is closed.
     """
 
-    def __init__(self, path: str, write_every: int = 1) -> None:
+    def __init__(
+        self, path: str, write_every: int = 1, min_interval: float = 0.0
+    ) -> None:
+        """Aggregate into *path*; see the class docstring for throttles."""
+        if min_interval < 0:
+            raise ValueError(f"min_interval must be >= 0, got {min_interval}")
         self.path = path
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         self.registry = MetricsRegistry()
         self.extra: Optional[MetricsRegistry] = None
         self.write_every = max(1, write_every)
+        self.min_interval = min_interval
         self.records = 0
+        self.writes = 0
+        self._last_write = float("-inf")
         self._closed = False
 
     def record(self, record: OpRecord) -> None:
+        """Fold one record into the registry; flush when due."""
         if self._closed:
             return
         registry = self.registry
@@ -150,16 +181,19 @@ class OpenMetricsSink:
             registry.inc(f"ops.{record.op}.errors")
         if record.exhausted is not None:
             registry.inc(f"ops.{record.op}.exhausted")
-        for counter in ("rounds", "steps", "facts", "nulls", "branches"):
+        for counter in ("rounds", "steps", "facts", "nulls", "branches", "kills"):
             amount = getattr(record, counter)
             if amount:
                 registry.inc(f"ops.{record.op}.{counter}", amount)
         registry.observe(f"op.{record.op}.wall_time", record.wall_time)
         self.records += 1
         if self.records % self.write_every == 0:
-            self.write()
+            now = time.monotonic()
+            if now - self._last_write >= self.min_interval:
+                self.write()
 
     def render(self) -> str:
+        """The current exposition text (own registry merged with extra)."""
         if self.extra is None:
             return self.registry.to_openmetrics()
         merged = MetricsRegistry()
@@ -168,7 +202,7 @@ class OpenMetricsSink:
         return merged.to_openmetrics()
 
     def write(self) -> None:
-        """Atomically rewrite the exposition file."""
+        """Atomically rewrite the exposition file (throttles not applied)."""
         directory = os.path.dirname(os.path.abspath(self.path))
         descriptor, temp_path = tempfile.mkstemp(
             prefix=".om-", dir=directory, text=True
@@ -183,8 +217,11 @@ class OpenMetricsSink:
             except OSError:
                 pass
             raise
+        self.writes += 1
+        self._last_write = time.monotonic()
 
     def close(self) -> None:
+        """One final unconditional write, then ignore further records."""
         if not self._closed:
             self.write()
             self._closed = True
@@ -198,9 +235,11 @@ class MultiSink:
     """
 
     def __init__(self, sinks: Sequence[TelemetrySink]) -> None:
+        """Wrap *sinks*; order defines record delivery order."""
         self.sinks: List[TelemetrySink] = list(sinks)
 
     def record(self, record: OpRecord) -> None:
+        """Offer the record to every child; re-raise the first error."""
         first_error: Optional[BaseException] = None
         for sink in self.sinks:
             try:
@@ -212,6 +251,7 @@ class MultiSink:
             raise first_error
 
     def close(self) -> None:
+        """Close every child; re-raise the first error afterwards."""
         first_error: Optional[BaseException] = None
         for sink in self.sinks:
             try:

@@ -70,6 +70,7 @@ class Tracer:
     """
 
     def __init__(self, enabled: bool = True, provenance: bool = True) -> None:
+        """An empty tracer; *provenance* also builds the derivation graph."""
         self.enabled = enabled
         self.events: List[TraceEvent] = []
         self.spans: List[Span] = []

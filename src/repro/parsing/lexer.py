@@ -26,6 +26,8 @@ from typing import Iterator, List
 
 @dataclass(frozen=True)
 class Token:
+    """One lexeme: its kind tag, raw text, and source offset."""
+
     kind: str
     text: str
     position: int
@@ -86,31 +88,37 @@ class TokenStream:
     """A cursor over a token list with one-token lookahead."""
 
     def __init__(self, tokens: List[Token]) -> None:
+        """Wrap a token list ending in the EOF sentinel."""
         self._tokens = tokens
         self._index = 0
 
     def peek(self) -> Token:
+        """The next token, without consuming it."""
         return self._tokens[self._index]
 
     def next(self) -> Token:
+        """Consume and return the next token (EOF is sticky)."""
         tok = self._tokens[self._index]
         if tok.kind != "EOF":
             self._index += 1
         return tok
 
     def expect(self, kind: str) -> Token:
+        """Consume a token of *kind* or raise :class:`LexError`."""
         tok = self.peek()
         if tok.kind != kind:
             raise LexError(f"expected {kind}, found {tok}")
         return self.next()
 
     def accept(self, kind: str) -> bool:
+        """Consume the next token if it is of *kind*; report whether."""
         if self.peek().kind == kind:
             self.next()
             return True
         return False
 
     def at(self, *kinds: str) -> bool:
+        """True when the next token is one of *kinds*."""
         return self.peek().kind in kinds
 
     def __iter__(self) -> Iterator[Token]:

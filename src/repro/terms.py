@@ -44,10 +44,12 @@ class Const:
 
     @property
     def is_null(self) -> bool:
+        """Constants are never nulls."""
         return False
 
     @property
     def is_const(self) -> bool:
+        """Constants are, well, constants."""
         return True
 
 
@@ -71,10 +73,12 @@ class Null:
 
     @property
     def is_null(self) -> bool:
+        """Nulls are nulls (labelled, from the chase)."""
         return True
 
     @property
     def is_const(self) -> bool:
+        """Nulls are never constants."""
         return False
 
 
@@ -118,6 +122,7 @@ class NullFactory:
     """
 
     def __init__(self, prefix: str = "N", start: int = 0) -> None:
+        """Mint nulls named ``<prefix><counter>`` starting at *start*."""
         self._prefix = prefix
         self._counter = itertools.count(start)
         self._taken: set[str] = set()

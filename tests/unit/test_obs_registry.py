@@ -187,6 +187,56 @@ class TestCompareToBaseline:
             registry.compare_to_baseline(run_id, factor=0.0)
 
 
+class TestBaselineScope:
+    """Baselines group on (op, mapping, instance); blended is a fallback.
+
+    One mapping chased over instances of wildly different sizes used to
+    blend into a single baseline, so a slow-but-normal big instance
+    read as a regression against the small instances' median.  The
+    exact scope compares same-instance history only; blended keeps the
+    old behavior when no same-instance history exists.
+    """
+
+    def test_exact_scope_preferred(self, registry):
+        # small-instance history that would dominate a blended median
+        for wall_time in (0.001, 0.001, 0.001):
+            registry.record(_chase(wall_time=wall_time, instance_digest="small"))
+        # same-instance history for the big instance
+        for wall_time in (0.5, 0.52, 0.51):
+            registry.record(_chase(wall_time=wall_time, instance_digest="big"))
+        run = registry.record(_chase(wall_time=0.55, instance_digest="big"))
+        verdict = registry.compare_to_baseline(run)
+        assert verdict.scope == "exact"
+        assert verdict.median == pytest.approx(0.51)
+        assert not verdict.regressed
+        assert "exact median" in verdict.render()
+
+    def test_blended_fallback_when_instance_unseen(self, registry):
+        for wall_time in (0.1, 0.12, 0.11):
+            registry.record(_chase(wall_time=wall_time, instance_digest="a"))
+        run = registry.record(_chase(wall_time=0.115, instance_digest="new"))
+        verdict = registry.compare_to_baseline(run)
+        assert verdict.scope == "blended"
+        assert verdict.median == pytest.approx(0.11)
+        assert "blended median" in verdict.render()
+
+    def test_exact_scope_avoids_false_regression(self, registry):
+        # the failure mode the fix exists for: a big instance judged
+        # against small-instance history
+        for wall_time in (0.001, 0.001, 0.001):
+            registry.record(_chase(wall_time=wall_time, instance_digest="small"))
+        for wall_time in (0.5, 0.52, 0.51):
+            registry.record(_chase(wall_time=wall_time, instance_digest="big"))
+        run = registry.record(_chase(wall_time=0.55, instance_digest="big"))
+        assert not registry.compare_to_baseline(run).regressed
+
+    def test_no_history_scope_none(self, registry):
+        run = registry.record(_chase())
+        verdict = registry.compare_to_baseline(run)
+        assert verdict.scope == "none"
+        assert verdict.median is None
+
+
 class TestRegistryFromEnv:
     def test_unset_means_disabled(self, monkeypatch):
         monkeypatch.delenv("REPRO_RUNS_DB", raising=False)

@@ -1,0 +1,335 @@
+"""Worker supervision: heartbeat watchdog, hard-kill escalation, respawn.
+
+The headline acceptance scenario: a batch with one hang-injected worker
+(a worker that never runs a cooperative checkpoint) is terminated
+within ``deadline + grace``, the pool respawns, the rest of the batch
+completes, and the killed item comes back as a typed
+``BatchItemError(kind="killed")`` with the kill recorded in
+``engine.stats()``, the telemetry sinks, and the run registry.  Also
+covers the ``hang`` fault-plan syntax, retry semantics for killed items
+(remaining deadline, not a fresh one), cache hygiene (killed items are
+never cached), and SIGINT during a kill escalation (exit 130 with a
+partial dump).
+
+Every hang here is bounded twice: explicitly via the fault's
+``seconds`` and structurally by the supervisor's kill — no test can
+wedge an unsupervised run (pytest-timeout is not installed locally).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import (
+    BatchItemError,
+    ExchangeEngine,
+    FaultPlan,
+    Instance,
+    Limits,
+    SchemaMapping,
+    WorkerKilled,
+    inject_faults,
+)
+from repro.engine.supervisor import (
+    run_batch_supervised,
+    supervision_available,
+)
+from repro.limits import Fault, trip
+from repro.limits.faults import HANG_BACKSTOP
+from repro.obs import JsonlSink, RunRegistry, tracing
+
+MAPPING = SchemaMapping.from_text("P(x, y, z) -> Q(x, y) & R(y, z)")
+#: A chase that never reaches a fixpoint on its own — used to exercise
+#: cooperative (checkpointing) workers under supervision.
+RECURSIVE = SchemaMapping.from_text("A(x) -> E(x, y) & A(y)")
+
+pytestmark = pytest.mark.skipif(
+    not supervision_available(), reason="multiprocessing unavailable"
+)
+
+
+def _instances(n=8):
+    # Distinct instances so batch dedup cannot collapse items.
+    return [Instance.parse(f"P(a{i}, b{i}, c{i})") for i in range(n)]
+
+
+# -- module-scope task functions (must pickle by reference) -------------
+
+
+def _echo_task(payload):
+    value, limits, fault, attempt = payload
+    trip(fault, attempt)
+    return value * 2
+
+
+def _deadline_probe_task(payload):
+    """Hang on the first attempt; afterwards report the deadline received."""
+    _value, limits, fault, attempt = payload
+    trip(fault, attempt)
+    return limits.deadline
+
+
+def _sudden_death_task(payload):
+    """Die without shipping a result on attempt 1 (a real worker crash)."""
+    value, _limits, _fault, attempt = payload
+    if attempt == 1:
+        os._exit(1)
+    return value
+
+
+class TestHangFaultPlan:
+    def test_parse_hang_spec(self):
+        plan = FaultPlan.parse("hang@3;hang@5=2.5;hang@7:2")
+        assert plan.for_item(3).kind == "hang"
+        assert plan.for_item(3).seconds == 0.0  # backstop applies at trip()
+        assert plan.for_item(5).seconds == pytest.approx(2.5)
+        assert plan.for_item(7).times == 2
+        assert HANG_BACKSTOP > 0
+
+    def test_hang_trip_is_bounded_and_attempt_scoped(self):
+        fault = Fault(kind="hang", item=0, times=1, seconds=0.05)
+        start = time.monotonic()
+        trip(fault, attempt=1)
+        assert 0.04 <= time.monotonic() - start < 2.0
+        start = time.monotonic()
+        trip(fault, attempt=2)  # past `times`: no hang at all
+        assert time.monotonic() - start < 0.05
+
+
+class TestRunBatchSupervised:
+    def test_hung_worker_killed_exactly_once(self):
+        limits = Limits(deadline=0.4, grace=0.3)
+        payloads = [
+            (i, limits, Fault("hang", 3, seconds=30.0) if i == 3 else None, 1)
+            for i in range(8)
+        ]
+        start = time.monotonic()
+        outcomes = run_batch_supervised(
+            payloads, _echo_task, workers=4, grace=0.3
+        )
+        elapsed = time.monotonic() - start
+        killed = outcomes[3]
+        assert isinstance(killed.error, WorkerKilled)
+        assert killed.kills == 1
+        assert killed.error.diagnosis.resource == "killed"
+        for i in (0, 1, 2, 4, 5, 6, 7):
+            assert outcomes[i].ok and outcomes[i].value == i * 2
+            assert outcomes[i].kills == 0
+        # terminated within deadline + grace (+ scheduling slack), not
+        # after the 30-second hang
+        assert elapsed < 4.0
+
+    def test_respawned_slot_finishes_remaining_items(self):
+        # 6 items through 2 workers with the very first item hung: the
+        # freed slot must keep draining the queue after the kill.
+        limits = Limits(deadline=1.2, grace=0.3)
+        payloads = [
+            (i, limits, Fault("hang", 0, seconds=30.0) if i == 0 else None, 1)
+            for i in range(6)
+        ]
+        outcomes = run_batch_supervised(
+            payloads, _echo_task, workers=2, grace=0.3
+        )
+        assert isinstance(outcomes[0].error, WorkerKilled)
+        assert all(outcomes[i].ok for i in range(1, 6))
+
+    def test_retry_of_killed_item_gets_remaining_deadline(self):
+        # The first attempt burns the whole deadline before the kill
+        # lands, so the retry ships with the floored remainder (0.0) —
+        # never a fresh full deadline.
+        original = 0.5
+        limits = Limits(deadline=original, grace=0.3)
+        payloads = [(0, limits, Fault("hang", 0, times=1, seconds=30.0), 1)]
+        outcomes = run_batch_supervised(
+            payloads, _deadline_probe_task, workers=1, retries=1, grace=0.3
+        )
+        assert outcomes[0].ok
+        assert outcomes[0].attempts == 2
+        assert outcomes[0].kills == 1
+        assert 0.0 <= outcomes[0].value < original
+
+    def test_worker_death_without_result_is_retried(self):
+        limits = Limits(deadline=2.0, grace=0.5)
+        payloads = [(7, limits, None, 1)]
+        outcomes = run_batch_supervised(
+            payloads, _sudden_death_task, workers=1, retries=1, grace=0.5
+        )
+        assert outcomes[0].ok and outcomes[0].value == 7
+        assert outcomes[0].attempts == 2
+        assert outcomes[0].kills == 0  # it died by itself; no kill
+
+    def test_empty_batch(self):
+        assert run_batch_supervised([], _echo_task, grace=0.1) == []
+
+
+class TestEngineSupervision:
+    def _engine(self, **kw):
+        return ExchangeEngine(on_error="skip", **kw)
+
+    def test_killed_item_is_typed_batch_error(self):
+        engine = self._engine()
+        with inject_faults(FaultPlan.parse("hang@3=30")):
+            results = engine.chase_many(
+                MAPPING,
+                _instances(8),
+                jobs=4,
+                limits=Limits(deadline=0.5, grace=0.4),
+            )
+        killed = results[3]
+        assert isinstance(killed, BatchItemError)
+        assert killed.kind == "killed"
+        assert isinstance(killed.error, WorkerKilled)
+        assert killed.attempts == 1
+        survivors = [r for i, r in enumerate(results) if i != 3]
+        assert all(not isinstance(r, BatchItemError) for r in survivors)
+        stats = engine.stats()
+        assert stats["chase"]["kills"] == 1
+        assert stats["chase"]["errors"] == 1
+        assert stats["totals"]["kills"] == 1
+        assert "kills" in engine.render_stats()
+
+    def test_killed_item_never_cached(self):
+        engine = self._engine()
+        instances = _instances(6)
+        with inject_faults(FaultPlan.parse("hang@2=30")):
+            first = engine.chase_many(
+                MAPPING, instances, jobs=3,
+                limits=Limits(deadline=0.5, grace=0.4),
+            )
+        assert isinstance(first[2], BatchItemError)
+        # Second run, no fault: the killed item recomputes (cache miss),
+        # its former neighbors come back as hits.
+        second = engine.chase_many(
+            MAPPING, instances, jobs=3,
+            limits=Limits(deadline=2.0, grace=0.5),
+        )
+        assert all(not isinstance(r, BatchItemError) for r in second)
+        assert second[2].cached is False
+        assert second[0].cached is True
+
+    def test_cooperative_worker_is_never_killed(self):
+        # A worker that checkpoints (and so heartbeats) earns its grace:
+        # a diverging chase under a deadline stops cooperatively with a
+        # partial result — zero kills.
+        engine = self._engine()
+        results = engine.chase_many(
+            RECURSIVE,
+            [Instance.parse("A(a)"), Instance.parse("A(b)")],
+            jobs=2,
+            limits=Limits(deadline=0.3, grace=5.0, max_rounds=10_000_000),
+        )
+        assert all(not isinstance(r, BatchItemError) for r in results)
+        assert all(r.exhausted is not None for r in results)
+        assert engine.stats()["chase"]["kills"] == 0
+
+    def test_retried_kill_recovers_and_counts(self):
+        # hang only the first attempt: the retry (fresh worker, remaining
+        # deadline) succeeds, and the kill still shows up in stats.
+        engine = self._engine(retries=1)
+        with inject_faults(FaultPlan.parse("hang@1:1")):
+            results = engine.chase_many(
+                MAPPING,
+                _instances(4),
+                jobs=2,
+                limits=Limits(deadline=0.5, grace=0.4),
+            )
+        assert all(not isinstance(r, BatchItemError) for r in results)
+        assert engine.stats()["chase"]["kills"] == 1
+        assert engine.stats()["chase"]["errors"] == 0
+
+    def test_reverse_many_supervised_kill(self):
+        reverse = SchemaMapping.from_text("Q(x, y) -> P(x, y)")
+        targets = [Instance.parse(f"Q(a{i}, b{i})") for i in range(4)]
+        engine = self._engine()
+        with inject_faults(FaultPlan.parse("hang@1=30")):
+            results = engine.reverse_many(
+                reverse, targets, jobs=2,
+                limits=Limits(deadline=0.5, grace=0.4),
+            )
+        killed = results[1]
+        assert isinstance(killed, BatchItemError)
+        assert killed.op == "reverse"
+        assert killed.kind == "killed"
+        assert engine.stats()["chase"]["kills"] == 1  # routed via chase_many
+
+    def test_sink_and_registry_record_the_kill(self, tmp_path):
+        ops = tmp_path / "ops.jsonl"
+        db = tmp_path / "runs.db"
+        engine = ExchangeEngine(
+            on_error="skip",
+            sink=JsonlSink(str(ops)),
+            registry=RunRegistry(str(db)),
+        )
+        with inject_faults(FaultPlan.parse("hang@1=30")):
+            engine.chase_many(
+                MAPPING, _instances(3), jobs=3,
+                limits=Limits(deadline=0.5, grace=0.4),
+            )
+        engine.close_telemetry()
+        records = [json.loads(line) for line in ops.read_text().splitlines()]
+        killed = [r for r in records if r["error"] == "WorkerKilled"]
+        assert len(killed) == 1
+        assert killed[0]["kills"] == 1
+        rows = RunRegistry(str(db)).list_runs(op="chase")
+        assert any(row.error == "WorkerKilled" for row in rows)
+
+    def test_tracer_receives_worker_killed_event(self):
+        engine = self._engine()
+        with tracing() as tracer:
+            with inject_faults(FaultPlan.parse("hang@1=30")):
+                engine.chase_many(
+                    MAPPING, _instances(3), jobs=3,
+                    limits=Limits(deadline=0.5, grace=0.4),
+                )
+        events = [e for e in tracer.events if e.kind == "worker_killed"]
+        assert len(events) == 1
+        assert events[0].op == "chase"
+        assert events[0].batch_index == 1
+        assert events[0].kills == 1
+        assert events[0].final is True
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "raise_signal"), reason="needs signal.raise_signal"
+)
+class TestSigintDuringEscalation:
+    def test_exits_130_with_partial_dump(self, capsys, tmp_path, monkeypatch):
+        # SIGINT lands while the hung worker is still being escalated:
+        # finished items must still print, the straggler is killed, and
+        # the exit code is the conventional 130.
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_FAULTS", "hang@1=30")
+        timer = threading.Timer(
+            0.7, lambda: signal.raise_signal(signal.SIGINT)
+        )
+        timer.daemon = True
+        timer.start()
+        try:
+            code = main([
+                "chase",
+                "--mapping", "P(x, y, z) -> Q(x, y) & R(y, z)",
+                "--instance", "P(a0, b0, c0)",
+                "--instance", "P(a1, b1, c1)",
+                "--instance", "P(a2, b2, c2)",
+                "--instance", "P(a3, b3, c3)",
+                "--jobs", "4",
+                "--deadline", "5",
+                "--grace", "0.5",
+                "--on-error", "skip",
+                "--registry", str(tmp_path / "sigint.db"),
+            ])
+        finally:
+            timer.cancel()
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "interrupt: stopping at the next checkpoint" in captured.err
+        # the three healthy items finished long before the SIGINT
+        assert "Q(a0, b0)" in captured.out
+        assert "Q(a2, b2)" in captured.out

@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Docstring coverage gate for the public API (AST-based, stdlib-only).
+
+Walks every module under a package root and counts docstrings on the
+*public* surface: the module itself, public classes, and public
+functions / methods (names not starting with ``_``, plus ``__init__``
+when the enclosing class is public — its signature is the constructor
+contract).  Nested ``def``s are implementation detail and are skipped.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro --fail-under 90
+    python tools/check_docstrings.py src/repro --list-missing
+
+Exit codes: 0 coverage >= threshold, 1 below threshold, 2 usage error.
+
+This replaces an ``interrogate`` dependency: CI images here only carry
+the baked-in toolchain, so the gate has to be stdlib-only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class FileReport:
+    """Coverage tally for one module file."""
+
+    path: Path
+    total: int = 0
+    documented: int = 0
+    missing: List[str] = field(default_factory=list)
+
+    def note(self, qualname: str, has_doc: bool) -> None:
+        self.total += 1
+        if has_doc:
+            self.documented += 1
+        else:
+            self.missing.append(qualname)
+
+
+def _is_public(name: str, *, in_public_class: bool = False) -> bool:
+    if name == "__init__":
+        return in_public_class
+    return not name.startswith("_")
+
+
+def _walk_scope(
+    body: List[ast.stmt], prefix: str, in_public_class: bool
+) -> Iterator[Tuple[str, bool, ast.AST]]:
+    """Yield ``(qualname, has_docstring, node)`` for public defs in *body*."""
+    for node in body:
+        if isinstance(node, _FuncDef):
+            if not _is_public(node.name, in_public_class=in_public_class):
+                continue
+            yield (
+                f"{prefix}{node.name}",
+                ast.get_docstring(node) is not None,
+                node,
+            )
+            # nested defs are private by construction: don't recurse
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            yield (
+                f"{prefix}{node.name}",
+                ast.get_docstring(node) is not None,
+                node,
+            )
+            yield from _walk_scope(
+                node.body, f"{prefix}{node.name}.", in_public_class=True
+            )
+
+
+def inspect_file(path: Path) -> FileReport:
+    """Parse one module and tally its public docstring coverage."""
+    report = FileReport(path=path)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    report.note("<module>", ast.get_docstring(tree) is not None)
+    for qualname, has_doc, _node in _walk_scope(
+        tree.body, "", in_public_class=False
+    ):
+        report.note(qualname, has_doc)
+    return report
+
+
+def iter_module_files(root: Path) -> Iterator[Path]:
+    """Every ``.py`` file under *root*, stable order, caches excluded."""
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", type=Path, help="package root, e.g. src/repro")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=90.0,
+        metavar="PERCENT",
+        help="minimum acceptable coverage (default: 90)",
+    )
+    parser.add_argument(
+        "--list-missing",
+        action="store_true",
+        help="print every undocumented public object",
+    )
+    args = parser.parse_args(argv)
+    if not args.root.is_dir():
+        print(f"error: {args.root} is not a directory", file=sys.stderr)
+        return 2
+
+    reports = [inspect_file(path) for path in iter_module_files(args.root)]
+    total = sum(r.total for r in reports)
+    documented = sum(r.documented for r in reports)
+    if total == 0:
+        print(f"error: no python modules under {args.root}", file=sys.stderr)
+        return 2
+    coverage = 100.0 * documented / total
+
+    width = max(len(str(r.path)) for r in reports)
+    for report in reports:
+        pct = (
+            100.0 * report.documented / report.total if report.total else 100.0
+        )
+        flag = "" if not report.missing else f"  missing {len(report.missing)}"
+        print(
+            f"{str(report.path):<{width}}  "
+            f"{report.documented:>3}/{report.total:<3} {pct:6.1f}%{flag}"
+        )
+        if args.list_missing:
+            for qualname in report.missing:
+                print(f"{'':<{width}}    - {qualname}")
+    print(
+        f"\ntotal: {documented}/{total} public objects documented "
+        f"({coverage:.1f}%, gate {args.fail_under:.0f}%)"
+    )
+    if coverage < args.fail_under:
+        print(
+            f"FAIL: docstring coverage {coverage:.1f}% "
+            f"< {args.fail_under:.1f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

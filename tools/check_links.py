@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Markdown link checker for the docs tree (stdlib-only).
+
+Validates every inline ``[text](target)`` link in the given markdown
+files:
+
+* **relative paths** must resolve to an existing file or directory
+  (relative to the file containing the link);
+* **anchors** (``#section``, alone or after a path) must match a
+  heading in the target document, using GitHub's slug rules
+  (lowercase, spaces to hyphens, punctuation stripped);
+* ``http(s)://`` and ``mailto:`` targets are skipped — CI must not
+  depend on the network.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+
+Exit codes: 0 all links resolve, 1 broken links found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Set
+
+#: Inline links; images share the syntax (the leading ``!`` is ignored).
+_LINK = re.compile(r"\[(?:[^\]\[]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """The GitHub anchor slug for a heading line.
+
+    Lowercase, markup stripped, spaces become hyphens, and everything
+    that is not a word character or hyphen is dropped (underscores
+    survive).  Matches GitHub's rendering closely enough for our docs.
+    """
+    text = re.sub(r"[`*_]{1,3}([^`*_]*)[`*_]{1,3}", r"\1", heading)
+    text = _LINK.sub(lambda m: m.group(0)[1:].split("]")[0], text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path: Path) -> Set[str]:
+    """All heading anchors a markdown file exposes (with dedup suffixes)."""
+    seen: Counter = Counter()
+    anchors: Set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        anchors.add(slug if not seen[slug] else f"{slug}-{seen[slug]}")
+        seen[slug] += 1
+    return anchors
+
+
+def iter_links(path: Path) -> List[str]:
+    """Every inline link target in *path*, code fences excluded."""
+    targets: List[str] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        targets.extend(match.group(1) for match in _LINK.finditer(line))
+    return targets
+
+
+def check_file(path: Path, anchor_cache: Dict[Path, Set[str]]) -> List[str]:
+    """All broken-link complaints for one markdown file."""
+    problems: List[str] = []
+    for target in iter_links(path):
+        if target.startswith(_SKIP_SCHEMES):
+            continue
+        base, _, anchor = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken path {target!r}")
+                continue
+        else:
+            resolved = path.resolve()
+        if not anchor:
+            continue
+        if resolved.is_dir() or resolved.suffix.lower() != ".md":
+            continue  # anchors into non-markdown targets: not checkable
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = collect_anchors(resolved)
+        if anchor.lower() not in anchor_cache[resolved]:
+            problems.append(f"{path}: missing anchor {target!r}")
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    files = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not files:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    missing = [path for path in files if not path.is_file()]
+    if missing:
+        for path in missing:
+            print(f"error: no such file {path}", file=sys.stderr)
+        return 2
+    anchor_cache: Dict[Path, Set[str]] = {}
+    problems: List[str] = []
+    checked = 0
+    for path in files:
+        links = iter_links(path)
+        checked += len(links)
+        problems.extend(check_file(path, anchor_cache))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"{len(files)} files, {checked} links checked, "
+        f"{len(problems)} broken"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
