@@ -1,0 +1,243 @@
+"""SB-10 — store backends: SQL-compiled chase vs. tuple-at-a-time.
+
+The pluggable-store PR's acceptance bar, measured on the path and
+decomposition workload families:
+
+* **10x scale within the memory budget** — the SQL-compiled chase
+  (``sql_chase`` into an on-disk :class:`SqliteStore`) completes a
+  workload **10x larger** than the in-memory tuple-chase baseline with
+  a *smaller* Python-heap peak (tracemalloc) than the baseline needed
+  at 1x.  The facts live in SQLite, not the heap; the compiled
+  ``INSERT ... SELECT`` plans never materialize triggers in Python.
+* **Identical results where promised** — before any number is
+  reported, the SQL chase output at 1x is verified fact-for-fact equal
+  to the tuple chase on the full-tgd decomposition family and
+  cardinality-equal on the existential path family.
+
+Runs two ways: under pytest-benchmark like every other SB module, and
+as a plain script (``python benchmarks/bench_store.py``) for the CI
+smoke run, where it prints the scale table, registers the measurements
+in the run registry (``$REPRO_RUNS_DB``), and exits nonzero if the
+acceptance claim fails.
+"""
+
+import os
+import sys
+import tempfile
+import time
+import tracemalloc
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script mode without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chase.standard import chase
+from repro.obs.registry import RunRegistry
+from repro.obs.sinks import OpRecord
+from repro.store import SqliteStore, sql_chase
+from repro.workloads.generators import (
+    chain_decomposition_mapping,
+    random_instance,
+)
+from repro.workloads.scenarios import get_scenario
+
+try:
+    from .conftest import record_metric
+except ImportError:  # script mode
+    def record_metric(benchmark, **metrics):
+        for key, value in metrics.items():
+            benchmark.extra_info[key] = value
+
+
+BASE_SIZE = 1500
+SCALE = 10
+
+FAMILIES = {
+    "decomposition": chain_decomposition_mapping(3),
+    "path": get_scenario("path2").mapping,
+}
+
+
+def _source(family: str, size: int):
+    mapping = FAMILIES[family]
+    return random_instance(
+        mapping.source, size, seed=23, null_ratio=0.1, value_pool=size
+    )
+
+
+def _load_store(path: str, instance) -> SqliteStore:
+    store = SqliteStore(path, fresh=True)
+    store.add_all(instance.facts)
+    return store
+
+
+def _traced(fn):
+    """Run *fn*, returning (wall seconds, Python-heap peak bytes, result)."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return elapsed, peak, result
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_tuple_chase_decomposition(benchmark):
+    mapping = FAMILIES["decomposition"]
+    source = _source("decomposition", BASE_SIZE)
+    result = benchmark(chase, source, mapping.dependencies)
+    record_metric(benchmark, size=BASE_SIZE, facts=len(result.instance))
+
+
+def test_sql_chase_decomposition(benchmark):
+    mapping = FAMILIES["decomposition"]
+    source = _source("decomposition", BASE_SIZE)
+
+    def run():
+        store = SqliteStore(":memory:")
+        store.add_all(source.facts)
+        return sql_chase(store, mapping.dependencies)
+
+    result = benchmark(run)
+    record_metric(
+        benchmark, size=BASE_SIZE, compiled=result.compiled,
+        generated=result.generated_count,
+    )
+
+
+def test_tuple_chase_path(benchmark):
+    mapping = FAMILIES["path"]
+    source = _source("path", BASE_SIZE)
+    result = benchmark(chase, source, mapping.dependencies)
+    record_metric(benchmark, size=BASE_SIZE, facts=len(result.instance))
+
+
+def test_sql_chase_path(benchmark):
+    mapping = FAMILIES["path"]
+    source = _source("path", BASE_SIZE)
+
+    def run():
+        store = SqliteStore(":memory:")
+        store.add_all(source.facts)
+        return sql_chase(store, mapping.dependencies)
+
+    result = benchmark(run)
+    record_metric(
+        benchmark, size=BASE_SIZE, compiled=result.compiled,
+        generated=result.generated_count,
+    )
+
+
+# ----------------------------------------------------------------------
+# Script mode (CI smoke run)
+# ----------------------------------------------------------------------
+
+
+def _verify(family: str, tmpdir: str) -> bool:
+    """SQL chase matches the tuple chase at small scale."""
+    mapping = FAMILIES[family]
+    source = _source(family, 200)
+    reference = chase(source, mapping.dependencies).instance
+    store = _load_store(os.path.join(tmpdir, f"verify-{family}.db"), source)
+    result = sql_chase(store, mapping.dependencies)
+    got = result.instance
+    full = all(not d.existential_variables for d in mapping.dependencies)
+    ok = (
+        got.facts == reference.facts
+        if full
+        else len(got) == len(reference)
+    )
+    store.close()
+    return ok
+
+
+def _registry(path=None):
+    path = path or os.environ.get("REPRO_RUNS_DB")
+    return RunRegistry(path) if path else RunRegistry()
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--registry", metavar="DB", default=None,
+        help="run-registry database to record results in "
+        "(default: $REPRO_RUNS_DB or the user registry)",
+    )
+    opts = parser.parse_args(argv)
+
+    ok = True
+    registry = _registry(opts.registry)
+    with tempfile.TemporaryDirectory(prefix="bench_store") as tmpdir:
+        for family, mapping in FAMILIES.items():
+            if not _verify(family, tmpdir):
+                print(f"{family}: VERIFY FAILED — sql chase diverged")
+                ok = False
+                continue
+
+            # 1x in-memory tuple-chase baseline.
+            base_source = _source(family, BASE_SIZE)
+            base_t, base_peak, base_result = _traced(
+                lambda: chase(base_source, mapping.dependencies)
+            )
+            base_facts = len(base_result.instance)
+
+            # 10x through the SQL-compiled chase, facts on disk.
+            big_source = _source(family, BASE_SIZE * SCALE)
+            store = _load_store(
+                os.path.join(tmpdir, f"bench-{family}.db"), big_source
+            )
+            del big_source
+            sql_t, sql_peak, sql_result = _traced(
+                lambda: sql_chase(store, mapping.dependencies)
+            )
+            sql_facts = len(store)
+            within_budget = sql_peak <= base_peak
+            completed = sql_result.completed
+            ok = ok and within_budget and completed
+
+            print(
+                f"{family:14s} tuple 1x : {base_t * 1e3:9.1f} ms  "
+                f"peak {base_peak / 1e6:7.2f} MB  facts {base_facts}"
+            )
+            print(
+                f"{family:14s} sql  {SCALE}x : {sql_t * 1e3:9.1f} ms  "
+                f"peak {sql_peak / 1e6:7.2f} MB  facts {sql_facts}  "
+                f"within-budget={within_budget} completed={completed}"
+            )
+
+            registry.record(
+                OpRecord(
+                    op="bench_store",
+                    mapping_digest=mapping.digest(),
+                    wall_time=sql_t,
+                    rounds=sql_result.rounds,
+                    steps=sql_result.steps,
+                    facts=sql_facts,
+                ),
+                metrics={
+                    "family": family,
+                    "scale": SCALE,
+                    "base_size": BASE_SIZE,
+                    "base_wall_time": base_t,
+                    "base_peak_bytes": base_peak,
+                    "sql_peak_bytes": sql_peak,
+                    "within_budget": within_budget,
+                },
+            )
+            store.close()
+    registry.close()
+    print(f"acceptance: sql chase at {SCALE}x within 1x memory budget — {ok}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,6 +84,13 @@ from .mappings.extension import (
 )
 from .mappings.identity import extended_identity_contains, identity_contains
 from .mappings.composition import in_extended_composition
+from .store import (
+    InstanceStore,
+    MemoryStore,
+    SqliteStore,
+    StoreError,
+    open_store,
+)
 from .obs import (
     JsonlSink,
     MetricsRegistry,
@@ -164,6 +171,11 @@ __all__ = [
     "extended_identity_contains",
     "identity_contains",
     "in_extended_composition",
+    "InstanceStore",
+    "MemoryStore",
+    "SqliteStore",
+    "StoreError",
+    "open_store",
     "JsonlSink",
     "MetricsRegistry",
     "MultiSink",

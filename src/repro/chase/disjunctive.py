@@ -171,6 +171,16 @@ def disjunctive_chase(
     finished = Branches()
     frontier: List[Tuple[Instance, int, str]] = [(instance, 0, branch_root)]
     seen: Set[Instance] = set()
+    # Branch lifecycle also feeds the progress ticker's per-branch
+    # breakdown.  getattr-guarded: the supervisor installs a heartbeat
+    # shim in workers that only duck-types heartbeat().
+    _branch_note = getattr(budget.reporter, "branch_event", None)
+
+    def note_branch(kind: str, reason: Optional[str] = None) -> None:
+        if _branch_note is not None:
+            _branch_note(kind, reason)
+
+    note_branch("opened")
     if tracer is not None:
         tracer.emit(BranchOpened(branch=branch_root))
 
@@ -180,6 +190,7 @@ def disjunctive_chase(
             if inst not in seen:
                 seen.add(inst)
                 finished.append(inst)
+            note_branch("closed", "exhausted")
             if tracer is not None:
                 tracer.emit(
                     BranchClosed(branch=br, reason="exhausted", facts=len(inst))
@@ -215,6 +226,7 @@ def disjunctive_chase(
                 exhausted = budget.mark(
                     "rounds", "disjunctive_chase", guard_rounds, rounds
                 )
+                note_branch("closed", "nonterminating")
                 if tracer is not None:
                     tracer.emit(
                         BranchClosed(
@@ -229,7 +241,17 @@ def disjunctive_chase(
                         f"disjunctive chase branch exceeded {guard_rounds} rounds",
                         diagnosis=exhausted,
                     )
-                flush_exhausted([(current, rounds, branch)])
+                # The diverging world still flushes as a partial result,
+                # but its branch was already noted closed above.
+                if current not in seen:
+                    seen.add(current)
+                    finished.append(current)
+                if tracer is not None:
+                    tracer.emit(
+                        BranchClosed(
+                            branch=branch, reason="exhausted", facts=len(current)
+                        )
+                    )
                 flush_exhausted(frontier)
                 finished.exhausted = exhausted
                 return finished
@@ -238,20 +260,24 @@ def disjunctive_chase(
                 if current not in seen:
                     seen.add(current)
                     finished.append(current)
+                    note_branch("closed", "finished")
                     if tracer is not None:
                         tracer.emit(
                             BranchClosed(
                                 branch=branch, reason="finished", facts=len(current)
                             )
                         )
-                elif tracer is not None:
-                    tracer.emit(
-                        BranchClosed(
-                            branch=branch, reason="duplicate", facts=len(current)
+                else:
+                    note_branch("closed", "duplicate")
+                    if tracer is not None:
+                        tracer.emit(
+                            BranchClosed(
+                                branch=branch, reason="duplicate", facts=len(current)
+                            )
                         )
-                    )
                 continue
             dtgd_index, dtgd, binding = trigger
+            note_branch("forked")
             factory = NullFactory.avoiding(current.active_domain, prefix=null_prefix)
             for disjunct_index, disjunct in enumerate(dtgd.disjuncts):
                 full = dict(binding)
@@ -262,6 +288,7 @@ def disjunctive_chase(
                     minted.append((var.name, fresh))
                 builder = InstanceBuilder(current)
                 child_branch = f"{branch}.{disjunct_index}"
+                note_branch("opened")
                 if tracer is None:
                     builder.add_all(atom.instantiate(full) for atom in disjunct)
                 else:
@@ -309,12 +336,16 @@ def disjunctive_chase(
                 budget.charge("disjunctive_chase", facts=len(child))
                 if child not in seen:
                     frontier.append((child, rounds + 1, child_branch))
-                elif tracer is not None:
-                    tracer.emit(
-                        BranchClosed(
-                            branch=child_branch, reason="duplicate", facts=len(child)
+                else:
+                    note_branch("closed", "duplicate")
+                    if tracer is not None:
+                        tracer.emit(
+                            BranchClosed(
+                                branch=child_branch,
+                                reason="duplicate",
+                                facts=len(child),
+                            )
                         )
-                    )
     return finished
 
 

@@ -93,6 +93,7 @@ from .obs import (
     write_trace_jsonl,
 )
 from .parsing.parser import parse_query
+from .store import open_store
 
 #: ``REPRO_RUNS_DB`` values that disable the registry outright.
 _REGISTRY_OFF = ("", "off", "0", "none", "disabled")
@@ -171,6 +172,8 @@ def _make_engine(
         on_error=getattr(args, "on_error", None) or "raise",
         sink=_telemetry_sink(args),
         registry=RunRegistry(registry_path) if registry_path else None,
+        store=getattr(args, "store", None) or "memory",
+        sql_chase=getattr(args, "sql_chase", False),
     )
 
 
@@ -238,7 +241,28 @@ def _cancelled(
 
 
 def _parse_instances(args: argparse.Namespace) -> List[Instance]:
-    return [Instance.parse(text) for text in args.instance]
+    """Parse ``--instance`` texts onto the selected store backend.
+
+    With ``--store sqlite[...]`` each parsed instance is rehydrated
+    into a SQLite store and handed back behind the ``Instance`` facade,
+    so every downstream code path (chase, reverse, audit, batches) runs
+    against the pluggable backend unchanged.  Path-based specs get a
+    ``.{i}`` suffix per extra instance so batch inputs never share a
+    database file.
+    """
+    spec = getattr(args, "store", None) or "memory"
+    parsed = [Instance.parse(text) for text in args.instance]
+    if spec == "memory":
+        return parsed
+    loaded = []
+    for index, inst in enumerate(parsed):
+        item_spec = spec
+        if index and spec.startswith("sqlite:") and len(spec) > len("sqlite:"):
+            item_spec = f"{spec}.{index}"
+        store = open_store(item_spec, fresh=True)
+        store.add_all(inst.facts)
+        loaded.append(Instance(store=store))
+    return loaded
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
@@ -602,6 +626,16 @@ def build_parser() -> argparse.ArgumentParser:
     engine_flags.add_argument(
         "--no-registry", action="store_true",
         help="do not record this invocation in the run registry")
+    engine_flags.add_argument(
+        "--store", metavar="SPEC", default="memory",
+        help="instance backend: memory (default), sqlite (in-memory "
+             "database), or sqlite:PATH; parsed instances load onto "
+             "this backend and the SQL chase uses it as scratch space")
+    engine_flags.add_argument(
+        "--sql-chase", action="store_true",
+        help="compile non-disjunctive restricted chases to SQL plans "
+             "run inside a SQLite store (dependencies outside the "
+             "fragment fall back to tuple-at-a-time per round)")
 
     chase = sub.add_parser("chase", parents=[engine_flags],
                            help="forward data exchange (the chase)")

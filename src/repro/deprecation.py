@@ -27,6 +27,25 @@ def warn_deprecated_kwarg(func: str, name: str, replacement: str) -> None:
     )
 
 
+def warn_deprecated_attr(owner: str, name: str, replacement: str) -> None:
+    """Emit a warn-once ``DeprecationWarning`` for a legacy attribute.
+
+    The store refactor renamed the instance internals (``_facts`` and
+    friends) that external code occasionally poked; the shim properties
+    route through here so each (owner, attribute) pair warns once.
+    """
+    key = (owner, name)
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(
+        f"{owner}.{name} is deprecated since the pluggable-store "
+        f"refactor; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def reset_warned() -> None:
     """Forget warn-once state (test isolation only)."""
     _warned.clear()

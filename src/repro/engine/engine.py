@@ -44,12 +44,14 @@ from ..limits import (
     current_fault_plan,
     resolve_limits,
 )
+from ..logic.dependencies import Tgd
 from ..mappings.schema_mapping import SchemaMapping
 from ..obs.events import CacheHit, CacheMiss
 from ..obs.events import WorkerKilled as WorkerKilledEvent
 from ..obs.registry import RunRegistry
 from ..obs.sinks import OpRecord, OpenMetricsSink, TelemetrySink
 from ..obs.tracer import Tracer, current_tracer, maybe_span
+from ..store import SqliteStore, open_store
 from .cache import LRUCache
 from .parallel import (
     ItemOutcome,
@@ -155,6 +157,21 @@ class ExchangeEngine:
         A :class:`repro.obs.RunRegistry` — the persistent SQLite run
         history — that receives the same per-op records.  Sink and
         registry are independent: either, both, or neither.
+    store:
+        Backend spec for the SQL-chase working store (the CLI's
+        ``--store`` values): ``"memory"`` (default; the SQL chase, when
+        enabled, still runs in an in-memory SQLite database),
+        ``"sqlite"``, or ``"sqlite:<path>"`` to spill the chase to
+        disk.  A path-based store is scratch space: it is recreated
+        (``fresh=True``) for every operation that uses it.
+    sql_chase:
+        ``True`` switches :meth:`exchange` to the set-at-a-time SQL
+        plan compiler (:func:`repro.store.sql_chase`) whenever the
+        mapping is non-disjunctive and the variant is ``restricted``;
+        dependencies outside the compilable fragment fall back to
+        tuple-at-a-time per round.  Results are hom-equivalent to the
+        in-memory chase (identical for full tgds), so SQL-chased
+        results are cached under a distinct key tag.
     """
 
     def __init__(
@@ -169,6 +186,8 @@ class ExchangeEngine:
         on_error: str = "raise",
         sink: Optional[TelemetrySink] = None,
         registry: Optional[RunRegistry] = None,
+        store: str = "memory",
+        sql_chase: bool = False,
     ) -> None:
         if on_error not in _ON_ERROR:
             raise ValueError(
@@ -176,6 +195,11 @@ class ExchangeEngine:
             )
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries!r}")
+        if store != "memory" and not store.startswith("sqlite"):
+            raise ValueError(
+                f"unknown store spec {store!r}; expected 'memory', "
+                "'sqlite', or 'sqlite:<path>'"
+            )
         size = cache_size if enable_cache else 0
         self._caches: Dict[str, LRUCache] = {op: LRUCache(size) for op in _OPS}
         self._ops: Dict[str, _OpCounters] = {op: _OpCounters() for op in _OPS}
@@ -188,6 +212,8 @@ class ExchangeEngine:
         self.on_error = on_error
         self.sink = sink
         self.registry = registry
+        self.store_spec = store
+        self.sql_chase = sql_chase
         self._clock = time.perf_counter
 
     def _tracer(self) -> Optional[Tracer]:
@@ -287,9 +313,23 @@ class ExchangeEngine:
         budget is identical to the unlimited chase (determinism), so a
         cached completed result is correct for every budget; partial
         (exhausted) results are returned tagged but never cached.
+
+        With ``sql_chase=True`` on the engine, non-disjunctive
+        restricted chases compile to SQL plans executed in a SQLite
+        store (see :mod:`repro.store.sqlplan`); null *names* may then
+        differ from the tuple-at-a-time result, so those entries cache
+        under a ``"sql"``-tagged key and never alias tuple-chase
+        results.
         """
         effective = resolve_limits(limits, self.limits)
+        use_sql = (
+            self.sql_chase
+            and variant == "restricted"
+            and all(isinstance(dep, Tgd) for dep in mapping.dependencies)
+        )
         key = ("chase", mapping.digest(), source.digest(), variant)
+        if use_sql:
+            key = key + ("sql",)
         tracer = self._tracer()
         hit, entry = self._caches["chase"].get(key)
         self._cache_event(tracer, "chase", key, hit)
@@ -298,13 +338,18 @@ class ExchangeEngine:
             start = self._clock()
             try:
                 with maybe_span(tracer, "engine.chase", key=self._key_id(key)):
-                    result = chase(
-                        source,
-                        mapping.dependencies,
-                        variant=variant,
-                        tracer=tracer,
-                        limits=effective,
-                    )
+                    if use_sql:
+                        result = self._sql_chase_result(
+                            mapping, source, tracer, effective
+                        )
+                    else:
+                        result = chase(
+                            source,
+                            mapping.dependencies,
+                            variant=variant,
+                            tracer=tracer,
+                            limits=effective,
+                        )
             except Exception as error:
                 elapsed = self._clock() - start
                 self._record(
@@ -357,6 +402,45 @@ class ExchangeEngine:
             stats=OperationStats(elapsed, result.steps, result.rounds),
             provenance=CacheProvenance(self._key_id(key), hit),
             exhausted=result.exhausted,
+        )
+
+    def _sql_chase_result(
+        self,
+        mapping: SchemaMapping,
+        source: Instance,
+        tracer: Optional[Tracer],
+        effective: Limits,
+    ) -> ChaseResult:
+        """Run the set-at-a-time SQL chase and adapt it to a ChaseResult.
+
+        The working store is scratch state: a ``memory`` engine spec
+        still chases inside an in-memory SQLite database (the compiler
+        needs SQL), and path-based specs get a ``.chase`` scratch
+        suffix recreated fresh per operation — the input instances may
+        live at the spec path itself, and ``fresh=True`` drops tables.
+        """
+        from ..store.sqlplan import sql_chase
+
+        spec = self.store_spec
+        path = spec[len("sqlite:"):] if spec.startswith("sqlite:") else ""
+        if path:
+            store = open_store(f"sqlite:{path}.chase", fresh=True)
+        else:
+            store = SqliteStore(":memory:")
+        store.add_all(source.facts)
+        sqlres = sql_chase(
+            store,
+            mapping.dependencies,
+            tracer=tracer,
+            limits=effective,
+        )
+        full = sqlres.instance
+        return ChaseResult(
+            instance=full,
+            generated=frozenset(full.facts - source.facts),
+            steps=sqlres.steps,
+            rounds=sqlres.rounds,
+            exhausted=sqlres.exhausted,
         )
 
     def chase(

@@ -6,15 +6,22 @@ exchange setting, *source* instances here may contain nulls — that is the
 whole point of the paper — so a single representation serves both sides of
 a schema mapping.
 
-``Instance`` is immutable and hashable: the chase and the disjunctive chase
-build new instances through :class:`InstanceBuilder`, and every set-like
-operation (union, substitution, restriction) returns a fresh instance.
+``Instance`` is immutable and hashable, and since the store refactor it
+is a thin **facade over an** :class:`~repro.store.InstanceStore`: the
+default backend is :class:`~repro.store.MemoryStore` (the historical
+in-heap representation, behavior-identical), and
+:class:`~repro.store.SqliteStore` keeps large instances out of the
+Python heap.  The chase and the disjunctive chase build new instances
+through :class:`InstanceBuilder`, and every set-like operation (union,
+substitution, restriction) returns a fresh in-memory instance.
+
+``Fact``/``fact`` and the digest serialization live in
+:mod:`repro.facts` (shared with the store backends) and are re-exported
+here for compatibility.
 """
 
 from __future__ import annotations
 
-import hashlib
-from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
@@ -26,145 +33,64 @@ from typing import (
     Tuple,
 )
 
+from .deprecation import warn_deprecated_attr
+from .facts import Fact, _digest_value, fact  # noqa: F401  (re-exports)
 from .schema import Schema
+from .store.base import InstanceStore
+from .store.memory import MemoryStore
 from .terms import (
     Const,
     Null,
     NullFactory,
     Value,
-    is_value,
-    value_from_token,
-    value_sort_key,
 )
 
-
-@dataclass(frozen=True, order=True)
-class Fact:
-    """A single fact ``R(v1, ..., vn)`` with values in ``Const ∪ Null``."""
-
-    relation: str
-    values: Tuple[Value, ...]
-
-    def __post_init__(self) -> None:
-        for v in self.values:
-            if not is_value(v):
-                raise TypeError(
-                    f"fact {self.relation} contains non-value {v!r}; "
-                    "facts hold Const/Null only (Var belongs in dependencies)"
-                )
-
-    @property
-    def arity(self) -> int:
-        """Number of positions in the fact."""
-        return len(self.values)
-
-    def nulls(self) -> Iterator[Null]:
-        """Yield the nulls of the fact, with repetitions."""
-        for v in self.values:
-            if isinstance(v, Null):
-                yield v
-
-    def is_ground(self) -> bool:
-        """True when every position holds a constant (no nulls)."""
-        return all(isinstance(v, Const) for v in self.values)
-
-    def substitute(self, mapping: Mapping[Value, Value]) -> "Fact":
-        """Apply a value mapping (identity outside its domain)."""
-        return Fact(self.relation, tuple(mapping.get(v, v) for v in self.values))
-
-    def __str__(self) -> str:
-        args = ", ".join(str(v) for v in self.values)
-        return f"{self.relation}({args})"
-
-    def sort_key(self) -> tuple:
-        """A total order over facts with mixed constant/null values."""
-        return (self.relation, tuple(value_sort_key(v) for v in self.values))
-
-
-def fact(relation: str, *tokens: object) -> Fact:
-    """Convenience constructor: ``fact("P", "a", "X", 3)``.
-
-    Strings are interpreted by :func:`repro.terms.value_from_token`
-    (lowercase/number = constant, uppercase = null); ints become constants;
-    ``Const``/``Null`` objects pass through.
-    """
-    values = []
-    for tok in tokens:
-        if is_value(tok):
-            values.append(tok)
-        elif isinstance(tok, int):
-            values.append(Const(tok))
-        elif isinstance(tok, str):
-            values.append(value_from_token(tok))
-        else:
-            raise TypeError(f"cannot build a fact value from {tok!r}")
-    return Fact(relation, tuple(values))
-
-
-def _digest_value(value: Value) -> bytes:
-    """Type-tagged serialization of one value for :meth:`Instance.digest`."""
-    if isinstance(value, Const):
-        payload = value.value
-        tag = b"ci:" if isinstance(payload, int) else b"cs:"
-        return tag + str(payload).encode("utf-8") + b";"
-    return b"n:" + value.name.encode("utf-8") + b";"
+__all__ = ["Fact", "Instance", "InstanceBuilder", "fact"]
 
 
 class Instance:
-    """An immutable finite relational instance.
+    """An immutable finite relational instance (a facade over a store).
 
-    Facts are stored per relation for fast pattern matching; the instance
-    also precomputes its active domain, null set, and a hash.  Instances
-    compare equal exactly when they contain the same facts (set equality;
-    homomorphic equivalence is a separate, weaker notion provided by
-    :mod:`repro.homs`).
+    Facts are stored per relation for fast pattern matching; the backing
+    store also tracks the active domain, null set, and content digest.
+    Instances compare equal exactly when they contain the same facts
+    (set equality; homomorphic equivalence is a separate, weaker notion
+    provided by :mod:`repro.homs`) — regardless of which backend either
+    side lives in.
     """
 
-    __slots__ = (
-        "_relations",
-        "_facts",
-        "_hash",
-        "_adom",
-        "_nulls",
-        "_index",
-        "_digest",
-    )
+    __slots__ = ("_store", "_hash", "_digest_cache", "_facts_cache")
 
-    def __init__(self, facts: Iterable[Fact] = (), schema: Optional[Schema] = None) -> None:
-        """Build from *facts*; a *schema* adds arity validation."""
-        relations: Dict[str, set] = {}
-        all_facts = []
-        for f in facts:
-            if not isinstance(f, Fact):
-                raise TypeError(f"expected Fact, got {f!r}")
+    def __init__(
+        self,
+        facts: Iterable[Fact] = (),
+        schema: Optional[Schema] = None,
+        store: Optional[InstanceStore] = None,
+    ) -> None:
+        """Build from *facts*; a *schema* adds arity validation.
+
+        Alternatively wrap an existing *store* (it is frozen first;
+        passing both facts and a store is an error).  The facade never
+        mutates its store — immutability invariants hang off that.
+        """
+        if store is not None:
+            if facts:
+                raise ValueError("pass either facts or a store, not both")
             if schema is not None:
-                if f.relation not in schema:
-                    raise ValueError(f"fact {f} uses relation outside schema {schema!r}")
-                if schema.arity(f.relation) != f.arity:
-                    raise ValueError(
-                        f"fact {f} has arity {f.arity}, schema says "
-                        f"{schema.arity(f.relation)}"
-                    )
-            bucket = relations.setdefault(f.relation, set())
-            if f.values not in bucket:
-                bucket.add(f.values)
-                all_facts.append(f)
-        self._relations: Dict[str, FrozenSet[Tuple[Value, ...]]] = {
-            rel: frozenset(tuples) for rel, tuples in relations.items()
-        }
-        self._facts: FrozenSet[Fact] = frozenset(all_facts)
-        self._hash = hash(self._facts)
-        adom = set()
-        nulls = set()
-        for f in all_facts:
-            for v in f.values:
-                adom.add(v)
-                if isinstance(v, Null):
-                    nulls.add(v)
-        self._adom: FrozenSet[Value] = frozenset(adom)
-        self._nulls: FrozenSet[Null] = frozenset(nulls)
-        self._index: Optional[Dict[str, dict]] = None
-        self._digest: Optional[str] = None
+                raise ValueError(
+                    "schema validation applies at store build time; "
+                    "cannot validate an existing store"
+                )
+            store.freeze()
+            self._store: InstanceStore = store
+        else:
+            memory = MemoryStore(schema=schema)
+            memory.add_all(facts)
+            memory.freeze()
+            self._store = memory
+        self._hash: Optional[int] = None
+        self._digest_cache: Optional[str] = None
+        self._facts_cache: Optional[FrozenSet[Fact]] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -211,36 +137,47 @@ class Instance:
         return cls(facts_)
 
     # ------------------------------------------------------------------
+    # The store behind the facade
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> InstanceStore:
+        """The (frozen) backend this instance reads from."""
+        return self._store
+
+    # ------------------------------------------------------------------
     # Set-like protocol
     # ------------------------------------------------------------------
 
     def __iter__(self) -> Iterator[Fact]:
-        return iter(sorted(self._facts, key=Fact.sort_key))
+        return iter(sorted(self.facts, key=Fact.sort_key))
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._store)
 
     def __contains__(self, f: object) -> bool:
-        return f in self._facts
+        return f in self._store
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Instance):
             return NotImplemented
-        return self._facts == other._facts
+        return self.facts == other.facts
 
     def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.facts)
         return self._hash
 
     def __le__(self, other: "Instance") -> bool:
         """Subset on fact sets (the paper's ``I1 ⊆ I2``)."""
-        return self._facts <= other._facts
+        return self.facts <= other.facts
 
     def __repr__(self) -> str:
         inner = ", ".join(str(f) for f in self)
         return f"Instance({{{inner}}})"
 
     def __str__(self) -> str:
-        if not self._facts:
+        if self.is_empty():
             return "{}"
         return "{" + ", ".join(str(f) for f in self) + "}"
 
@@ -255,79 +192,73 @@ class Instance:
         fact sets (up to hash collision): facts are serialized in sorted
         order with type-tagged values, so ``Const(3)``, ``Const("3")``,
         and ``Null("3")`` all digest differently.  The engine's
-        content-addressed caches key on this.
+        content-addressed caches key on this.  The digest is
+        backend-independent: memory- and SQLite-backed instances with
+        the same facts digest identically (``SqliteStore`` streams it
+        one relation at a time).
         """
-        if self._digest is None:
-            h = hashlib.sha256()
-            for f in sorted(self._facts, key=Fact.sort_key):
-                h.update(f.relation.encode("utf-8"))
-                h.update(b"(")
-                for v in f.values:
-                    h.update(_digest_value(v))
-                h.update(b")")
-            self._digest = h.hexdigest()
-        return self._digest
+        if self._digest_cache is None:
+            self._digest_cache = self._store.digest()
+        return self._digest_cache
 
     @property
     def facts(self) -> FrozenSet[Fact]:
-        """Every fact in the instance, as an immutable set."""
-        return self._facts
+        """Every fact in the instance, as an immutable set.
+
+        On a disk-backed store this materializes (and caches) the fact
+        set in memory — fine for algebra on results, defeats the point
+        for instances meant to stay out-of-core (iterate
+        ``store.facts()`` or use ``digest()``/``len()`` instead).
+        """
+        if self._facts_cache is None:
+            self._facts_cache = self._store.fact_set()
+        return self._facts_cache
 
     @property
     def relation_names(self) -> Tuple[str, ...]:
         """Sorted names of the relations with at least one fact."""
-        return tuple(sorted(self._relations))
+        return self._store.relation_names()
 
-    def tuples(self, relation: str) -> FrozenSet[Tuple[Value, ...]]:
+    def tuples(self, relation: str):
         """Return the tuples of *relation* (empty if absent)."""
-        return self._relations.get(relation, frozenset())
+        return self._store.tuples(relation)
 
     def tuples_at(
         self, relation: str, position: int, value: Value
     ) -> Tuple[Tuple[Value, ...], ...]:
         """Tuples of *relation* carrying *value* at *position*.
 
-        Backed by a lazily built per-(relation, position, value) hash
-        index, so selective premise atoms scan only their candidates
-        instead of the whole relation.  The index is built once per
-        instance on first use (instances are immutable).
+        Position-indexed candidate lookup (the matching layer's hot
+        path): the memory backend answers from a lazily built
+        per-(relation, position, value) hash index, the SQLite backend
+        from a per-column B-tree index.
         """
-        if self._index is None:
-            index: Dict[str, Dict[Tuple[int, Value], list]] = {}
-            for rel, tuples in self._relations.items():
-                buckets: Dict[Tuple[int, Value], list] = {}
-                for values in tuples:
-                    for pos, val in enumerate(values):
-                        buckets.setdefault((pos, val), []).append(values)
-                index[rel] = buckets
-            self._index = index
-        buckets = self._index.get(relation)
-        if buckets is None:
-            return ()
-        return tuple(buckets.get((position, value), ()))
+        return self._store.tuples_at(relation, position, value)
 
     @property
     def active_domain(self) -> FrozenSet[Value]:
         """All values occurring in the instance."""
-        return self._adom
+        return self._store.active_domain()
 
     @property
     def nulls(self) -> FrozenSet[Null]:
         """All labeled nulls occurring in the instance."""
-        return self._nulls
+        return self._store.nulls()
 
     @property
     def constants(self) -> FrozenSet[Const]:
         """All constants occurring in the instance."""
-        return frozenset(v for v in self._adom if isinstance(v, Const))
+        return frozenset(
+            v for v in self._store.active_domain() if isinstance(v, Const)
+        )
 
     def is_ground(self) -> bool:
         """True when the instance contains no nulls."""
-        return not self._nulls
+        return not self._store.nulls()
 
     def is_empty(self) -> bool:
         """True when the instance holds no facts at all."""
-        return not self._facts
+        return len(self._store) == 0
 
     # ------------------------------------------------------------------
     # Algebra
@@ -335,16 +266,16 @@ class Instance:
 
     def union(self, other: "Instance") -> "Instance":
         """A new instance holding the facts of both."""
-        return Instance(list(self._facts) + list(other._facts))
+        return Instance(list(self.facts) + list(other.facts))
 
     def difference(self, other: "Instance") -> "Instance":
         """A new instance with *other*'s facts removed."""
-        return Instance(self._facts - other._facts)
+        return Instance(self.facts - other.facts)
 
     def restrict(self, relations: Iterable[str]) -> "Instance":
         """Keep only the facts over the given relation names."""
         keep = set(relations)
-        return Instance(f for f in self._facts if f.relation in keep)
+        return Instance(f for f in self.facts if f.relation in keep)
 
     def substitute(self, mapping: Mapping[Value, Value]) -> "Instance":
         """Apply a value mapping to every fact (identity outside its domain).
@@ -352,33 +283,35 @@ class Instance:
         This is how a homomorphism (or a quotient of nulls) is applied to an
         instance; collapsing facts is allowed and handled by set semantics.
         """
-        return Instance(f.substitute(mapping) for f in self._facts)
+        return Instance(f.substitute(mapping) for f in self.facts)
 
     def rename_nulls_apart(self, avoid: "Instance", prefix: str = "R") -> "Instance":
         """Rename this instance's nulls so they are disjoint from *avoid*'s."""
-        clashes = self._nulls & avoid.nulls
+        clashes = self.nulls & avoid.nulls
         if not clashes:
             return self
-        factory = NullFactory.avoiding(self._adom | avoid.active_domain, prefix=prefix)
+        factory = NullFactory.avoiding(
+            self.active_domain | avoid.active_domain, prefix=prefix
+        )
         renaming: Dict[Value, Value] = {n: factory.fresh() for n in sorted(clashes)}
         return self.substitute(renaming)
 
     def freshen_nulls(self, prefix: str = "F") -> "Instance":
         """Rename every null to a fresh one with the given prefix."""
         factory = NullFactory(prefix=prefix)
-        renaming: Dict[Value, Value] = {n: factory.fresh() for n in sorted(self._nulls)}
+        renaming: Dict[Value, Value] = {n: factory.fresh() for n in sorted(self.nulls)}
         return self.substitute(renaming)
 
     def map_values(self, fn: Callable[[Value], Value]) -> "Instance":
         """Apply an arbitrary value function to every position."""
         return Instance(
-            Fact(f.relation, tuple(fn(v) for v in f.values)) for f in self._facts
+            Fact(f.relation, tuple(fn(v) for v in f.values)) for f in self.facts
         )
 
     def schema(self) -> Schema:
         """Infer the minimal schema this instance is over."""
         arities: Dict[str, int] = {}
-        for f in self._facts:
+        for f in self.facts:
             known = arities.get(f.relation)
             if known is not None and known != f.arity:
                 raise ValueError(
@@ -387,6 +320,43 @@ class Instance:
             arities[f.relation] = f.arity
         return Schema.from_arities(arities)
 
+    # ------------------------------------------------------------------
+    # Deprecated internals (pre-store attribute pokes)
+    # ------------------------------------------------------------------
+
+    @property
+    def _facts(self) -> FrozenSet[Fact]:
+        """Deprecated alias of :attr:`facts` (pre-store internal)."""
+        warn_deprecated_attr("Instance", "_facts", "the facts property")
+        return self.facts
+
+    @property
+    def _relations(self) -> Dict[str, FrozenSet[Tuple[Value, ...]]]:
+        """Deprecated: the pre-store per-relation tuple map."""
+        warn_deprecated_attr("Instance", "_relations", "tuples(relation)")
+        return {
+            rel: frozenset(self._store.tuples(rel))
+            for rel in self._store.relation_names()
+        }
+
+    @property
+    def _adom(self) -> FrozenSet[Value]:
+        """Deprecated alias of :attr:`active_domain` (pre-store internal)."""
+        warn_deprecated_attr("Instance", "_adom", "the active_domain property")
+        return self.active_domain
+
+    @property
+    def _nulls(self) -> FrozenSet[Null]:
+        """Deprecated alias of :attr:`nulls` (pre-store internal)."""
+        warn_deprecated_attr("Instance", "_nulls", "the nulls property")
+        return self.nulls
+
+    @property
+    def _index(self):
+        """Deprecated: the pre-store lazy match index (now store-owned)."""
+        warn_deprecated_attr("Instance", "_index", "tuples_at(...)")
+        return getattr(self._store, "_index", None)
+
 
 class InstanceBuilder:
     """A mutable accumulator of facts, for the chase's inner loops.
@@ -394,46 +364,58 @@ class InstanceBuilder:
     Deduplicates eagerly, tracks the null set so the chase can mint fresh
     nulls without rescanning, and exposes a live per-relation ``tuples``
     view so satisfaction checks can run against the builder without
-    snapshotting (the restricted chase's hot path).
+    snapshotting (the restricted chase's hot path).  Wraps a *mutable*
+    store — :class:`~repro.store.MemoryStore` by default; pass
+    ``store=`` to accumulate into another backend.
     """
 
-    def __init__(self, base: Optional[Instance] = None) -> None:
+    def __init__(
+        self,
+        base: Optional[Instance] = None,
+        store: Optional[InstanceStore] = None,
+    ) -> None:
         """Start empty, or pre-seeded with *base*'s facts and domain."""
-        self._facts: set[Fact] = set(base.facts) if base is not None else set()
-        self._values: set[Value] = set(base.active_domain) if base is not None else set()
-        self._relations: Dict[str, set] = {}
-        for f in self._facts:
-            self._relations.setdefault(f.relation, set()).add(f.values)
+        if store is not None:
+            self._store: InstanceStore = store
+            if base is not None:
+                store.add_all(base.facts)
+        elif base is not None:
+            self._store = MemoryStore.from_instance(base)
+        else:
+            self._store = MemoryStore()
+
+    @property
+    def store(self) -> InstanceStore:
+        """The mutable backend facts accumulate into."""
+        return self._store
 
     def add(self, f: Fact) -> bool:
         """Add a fact; return True when it was new."""
-        if f in self._facts:
-            return False
-        self._facts.add(f)
-        self._values.update(f.values)
-        self._relations.setdefault(f.relation, set()).add(f.values)
-        return True
+        return self._store.add(f)
 
-    def tuples(self, relation: str) -> set:
+    def tuples(self, relation: str):
         """Live view of the tuples of *relation* (matching-protocol duck
         type shared with :class:`Instance`)."""
-        return self._relations.get(relation, set())
+        return self._store.tuples(relation)
 
     def add_all(self, facts_: Iterable[Fact]) -> int:
         """Add many facts; return how many were new."""
-        return sum(1 for f in facts_ if self.add(f))
+        return self._store.add_all(facts_)
 
     def __contains__(self, f: Fact) -> bool:
-        return f in self._facts
+        return f in self._store
 
     def __len__(self) -> int:
-        return len(self._facts)
+        return len(self._store)
 
     @property
     def values(self) -> set:
         """The active domain accumulated so far (mutable view)."""
-        return self._values
+        view = getattr(self._store, "values_view", None)
+        if view is not None:
+            return view()
+        return set(self._store.active_domain())
 
     def snapshot(self) -> Instance:
         """Freeze the current contents into an :class:`Instance`."""
-        return Instance(self._facts)
+        return self._store.snapshot()

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Tuple
 
-from ..instance import Fact
+from ..facts import Fact
 from ..terms import Const, Term, Value, Var, is_term
 
 

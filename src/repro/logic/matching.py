@@ -13,10 +13,12 @@ all their variables are bound.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
-from ..instance import Instance
 from ..terms import Const, Value, Var
+
+if TYPE_CHECKING:  # annotation-only: any InstanceStore-shaped object works
+    from ..instance import Instance
 from .atoms import Atom
 from .guards import Guard
 

@@ -59,6 +59,10 @@ class ProgressReporter:
         self._rounds = 0
         self._steps = 0
         self._gauges: Dict[str, int] = {}
+        self.branches_opened = 0
+        self.branches_forked = 0
+        self.branches_closed = 0
+        self.close_reasons: Dict[str, int] = {}
         self.ticks = 0
         self._line_open = False
 
@@ -92,6 +96,50 @@ class ProgressReporter:
         self.ticks += 1
         self._write(self.render(now))
 
+    def branch_event(self, kind: str, reason: Optional[str] = None) -> None:
+        """Record one disjunctive-chase branch lifecycle event.
+
+        *kind* is ``"opened"``, ``"forked"`` (the branch fired a
+        disjunctive trigger and was superseded by its children), or
+        ``"closed"``; close events carry the chase's close *reason*
+        (``finished``, ``duplicate``, ``exhausted``,
+        ``nonterminating``).  The running breakdown is appended to the
+        throttled ticker line — the latest-gauge heartbeats alone
+        cannot say *why* the open-branch count moved.
+        """
+        if kind == "opened":
+            self.branches_opened += 1
+        elif kind == "forked":
+            self.branches_forked += 1
+        elif kind == "closed":
+            self.branches_closed += 1
+            if reason:
+                self.close_reasons[reason] = self.close_reasons.get(reason, 0) + 1
+        else:
+            raise ValueError(f"unknown branch event kind {kind!r}")
+
+    @property
+    def branches_open(self) -> int:
+        """Branches opened and neither closed nor superseded."""
+        return self.branches_opened - self.branches_closed - self.branches_forked
+
+    def branch_breakdown(self) -> str:
+        """The per-branch ticker segment, or ``""`` before any event."""
+        if not self.branches_opened:
+            return ""
+        text = (
+            f"branches open={self.branches_open} "
+            f"opened={self.branches_opened} "
+            f"forked={self.branches_forked} closed={self.branches_closed}"
+        )
+        if self.close_reasons:
+            reasons = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.close_reasons.items())
+            )
+            text += f" ({reasons})"
+        return text
+
     @property
     def elapsed(self) -> float:
         if self._started_at is None:
@@ -112,6 +160,9 @@ class ProgressReporter:
             if name in self._gauges:
                 parts.append(f"{name}={self._gauges[name]}")
         parts.append(f"elapsed={elapsed:.1f}s")
+        breakdown = self.branch_breakdown()
+        if breakdown:
+            parts.append(f"| {breakdown}")
         return " ".join(parts)
 
     # -- output --------------------------------------------------------

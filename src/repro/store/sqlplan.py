@@ -1,0 +1,458 @@
+"""Mapping → SQL plan compiler: the set-at-a-time chase.
+
+"Laconic schema mappings" (ten Cate, Chiticariu, Kolaitis, Tan) shows
+that for broad mapping classes the chase underpinning data exchange can
+be compiled to SQL and run set-at-a-time instead of trigger-by-trigger.
+This module does that for the **non-disjunctive tgd fragment**: each
+plain or inequality-guarded :class:`~repro.logic.dependencies.Tgd`
+becomes one ``INSERT ... SELECT`` per conclusion atom, executed inside
+a :class:`~repro.store.SqliteStore`:
+
+* the **trigger query** joins the premise atoms (shared variables become
+  equi-join conditions, constants become parameters, inequality guards
+  become ``<>`` predicates on the encoded cells — sound because the
+  value encoding is injective) and keeps the ``DISTINCT`` frontier
+  assignments with no witness, via ``NOT EXISTS`` over the joined
+  conclusion atoms — exactly the restricted-chase firing condition;
+* triggers land in a temp table whose ``rowid`` (1..n, assigned in
+  insertion order by ``CREATE TABLE AS``) numbers them, so existential
+  nulls are minted *inside SQL* as ``'n:' || prefix || (base + (rowid-1)*K + j)``
+  — deterministic, collision-free, no per-row Python;
+* one ``INSERT OR IGNORE ... SELECT`` per conclusion atom then fires
+  every trigger at once.
+
+Dependencies outside the fragment (``Constant`` guards, or anything a
+future dialect adds) **fall back per round** to the tuple-at-a-time
+chase — premise matching runs against the store through the ordinary
+:func:`~repro.logic.matching.match_atoms` protocol — so a mixed
+dependency set still reaches the same fixpoint.  Disjunctive tgds are
+rejected outright, mirroring :func:`repro.chase.standard.chase`.
+
+Result caveat: a SQL chase reaches the same fixpoint as the in-memory
+restricted chase *up to null renaming* (hom-equivalent); for **full**
+tgds no nulls are minted and the result is fact-for-fact identical —
+that is what CI's store-smoke diff pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..terms import Const, Null, Var
+from ..logic.atoms import Atom
+from ..logic.dependencies import Dependency, Tgd
+from ..logic.guards import Guard, Inequality
+from .sqlite import SqliteStore, encode_value
+
+__all__ = [
+    "CompiledTgd",
+    "SqlChaseResult",
+    "SqlPlanError",
+    "compile_tgd",
+    "in_sql_fragment",
+    "sql_chase",
+]
+
+#: Name of the per-statement temp table holding the current trigger set.
+TRIGGER_TABLE = "_sqlchase_trig"
+
+#: Param-plan sentinels, replaced at execution time (see CompiledTgd).
+PREFIX = object()
+BASE = object()
+
+
+class SqlPlanError(ReproError):
+    """A dependency cannot be executed by the SQL chase at all."""
+
+
+def in_sql_fragment(dep: Dependency) -> bool:
+    """True when *dep* compiles to a SQL plan (no per-round fallback).
+
+    The fragment is: non-disjunctive tgds whose guards are all
+    inequalities.  ``Constant`` guards probe the *type* of a value —
+    expressible on the tagged encoding, but deliberately left to the
+    tuple fallback to keep the compiled dialect small and obviously
+    sound.
+    """
+    return isinstance(dep, Tgd) and all(
+        isinstance(g, Inequality) for g in dep.guards
+    )
+
+
+@dataclass(frozen=True)
+class CompiledTgd:
+    """One tgd's SQL plan: trigger query + per-conclusion-atom inserts.
+
+    ``trigger_sql``/``trigger_params`` build the trigger temp table;
+    ``inserts`` holds ``(sql, param_plan)`` pairs whose statements
+    select from it.  A *param_plan* lists the statement's positional
+    parameters in placeholder order: encoded literal cells verbatim,
+    plus the :data:`PREFIX`/:data:`BASE` sentinels that the executor
+    replaces with the null prefix and the round's minting base.
+    """
+
+    tgd: Tgd
+    index: int
+    frontier: Tuple[Var, ...]
+    existentials: Tuple[Var, ...]
+    trigger_sql: str
+    trigger_params: Tuple[str, ...]
+    inserts: Tuple[Tuple[str, Tuple[object, ...]], ...]
+
+
+def _compile_premise(
+    tgd: Tgd, resolve: Dict[str, Tuple[str, int]]
+) -> Tuple[List[str], List[str], List[str], Dict[Var, str]]:
+    """FROM items, WHERE conditions, parameters, and var→column map."""
+    from_items: List[str] = []
+    conds: List[str] = []
+    params: List[str] = []
+    var_col: Dict[Var, str] = {}
+    for i, atom in enumerate(tgd.premise):
+        tbl, _ = resolve[atom.relation]
+        alias = f"t{i}"
+        from_items.append(f"{tbl} AS {alias}")
+        for j, term in enumerate(atom.terms):
+            col = f"{alias}.c{j}"
+            if isinstance(term, Const):
+                conds.append(f"{col} = ?")
+                params.append(encode_value(term))
+            else:
+                bound = var_col.get(term)
+                if bound is None:
+                    var_col[term] = col
+                else:
+                    conds.append(f"{col} = {bound}")
+    return from_items, conds, params, var_col
+
+
+def _guard_condition(
+    guard: Guard, var_col: Dict[Var, str], params: List[str]
+) -> str:
+    """An inequality guard as a SQL predicate on encoded cells."""
+    assert isinstance(guard, Inequality)
+    sides = []
+    for term in (guard.left, guard.right):
+        if isinstance(term, Const):
+            sides.append("?")
+            params.append(encode_value(term))
+        else:
+            sides.append(var_col[term])
+    return f"{sides[0]} <> {sides[1]}"
+
+
+def _witness_subquery(
+    tgd: Tgd,
+    resolve: Dict[str, Tuple[str, int]],
+    var_col: Dict[Var, str],
+    params: List[str],
+) -> str:
+    """``EXISTS``-body joining the conclusion atoms (restricted check).
+
+    Frontier variables correlate with the outer premise columns;
+    existential variables join freely inside the subquery — precisely
+    "the conclusion is witnessed by some extension of the frontier
+    binding".
+    """
+    from_items: List[str] = []
+    conds: List[str] = []
+    sub_col: Dict[Var, str] = {}
+    for i, atom in enumerate(tgd.conclusion):
+        tbl, _ = resolve[atom.relation]
+        alias = f"s{i}"
+        from_items.append(f"{tbl} AS {alias}")
+        for j, term in enumerate(atom.terms):
+            col = f"{alias}.c{j}"
+            if isinstance(term, Const):
+                conds.append(f"{col} = ?")
+                params.append(encode_value(term))
+            elif term in var_col:  # frontier: correlate with the outer row
+                conds.append(f"{col} = {var_col[term]}")
+            else:  # existential: free join variable inside the subquery
+                bound = sub_col.get(term)
+                if bound is None:
+                    sub_col[term] = col
+                else:
+                    conds.append(f"{col} = {bound}")
+    where = f" WHERE {' AND '.join(conds)}" if conds else ""
+    return f"SELECT 1 FROM {', '.join(from_items)}{where}"
+
+
+def compile_tgd(
+    tgd: Tgd, index: int, resolve: Dict[str, Tuple[str, int]]
+) -> Optional[CompiledTgd]:
+    """Compile one tgd against the store's table catalog.
+
+    Returns ``None`` when the dependency is outside the SQL fragment
+    (the caller then routes it to the per-round tuple fallback).
+    *resolve* maps every premise/conclusion relation to its
+    ``(table, arity)`` — the caller ensures the tables exist.
+    """
+    if not in_sql_fragment(tgd):
+        return None
+    frontier = tuple(sorted(tgd.frontier))
+    existentials = tuple(sorted(tgd.existential_variables))
+
+    from_items, conds, params, var_col = _compile_premise(tgd, resolve)
+    for guard in tgd.guards:
+        conds.append(_guard_condition(guard, var_col, params))
+    conds.append(f"NOT EXISTS ({_witness_subquery(tgd, resolve, var_col, params)})")
+
+    if frontier:
+        select = ", ".join(
+            f"{var_col[v]} AS f{i}" for i, v in enumerate(frontier)
+        )
+    else:
+        select = "1 AS f_dummy"
+    trigger_sql = (
+        f"SELECT DISTINCT {select} FROM {', '.join(from_items)} "
+        f"WHERE {' AND '.join(conds)}"
+    )
+
+    frontier_pos = {v: i for i, v in enumerate(frontier)}
+    exist_pos = {v: j for j, v in enumerate(existentials)}
+    stride = max(len(existentials), 1)
+    inserts: List[Tuple[str, Tuple[object, ...]]] = []
+    for atom in tgd.conclusion:
+        tbl, _ = resolve[atom.relation]
+        exprs: List[str] = []
+        param_plan: List[object] = []
+        for term in atom.terms:
+            if isinstance(term, Const):
+                exprs.append("?")
+                param_plan.append(encode_value(term))
+            elif term in frontier_pos:
+                exprs.append(f"f{frontier_pos[term]}")
+            else:
+                # Fresh null: base + (rowid-1)*stride + position, named in
+                # SQL.  `?` slots for (prefix, base) are filled per round.
+                j = exist_pos[term]
+                exprs.append(
+                    "'n:' || ? || (? + "
+                    f"({TRIGGER_TABLE}.rowid - 1) * {stride} + {j})"
+                )
+                param_plan.extend((PREFIX, BASE))
+        inserts.append(
+            (
+                f"INSERT OR IGNORE INTO {tbl} "
+                f"SELECT {', '.join(exprs)} FROM {TRIGGER_TABLE}",
+                tuple(param_plan),
+            )
+        )
+    return CompiledTgd(
+        tgd=tgd,
+        index=index,
+        frontier=frontier,
+        existentials=existentials,
+        trigger_sql=trigger_sql,
+        trigger_params=tuple(params),
+        inserts=tuple(inserts),
+    )
+
+
+@dataclass(frozen=True)
+class SqlChaseResult:
+    """Outcome of a SQL chase run over a :class:`SqliteStore`.
+
+    Mirrors :class:`repro.chase.standard.ChaseResult` where it can;
+    ``generated_count`` replaces the materialized ``generated`` set (the
+    point of this backend is not to materialize), and ``compiled`` /
+    ``fallback`` report how the dependency set split across the two
+    execution regimes.
+    """
+
+    store: SqliteStore
+    steps: int
+    rounds: int
+    generated_count: int
+    compiled: int
+    fallback: int
+    exhausted: Optional[object] = None
+
+    @property
+    def completed(self) -> bool:
+        """True when the chase reached its fixpoint within budget."""
+        return self.exhausted is None
+
+    @property
+    def instance(self):
+        """The chased store, frozen and wrapped as an ``Instance``."""
+        return self.store.as_instance()
+
+
+def _null_base(store: SqliteStore, prefix: str) -> int:
+    """First integer suffix that avoids every existing ``prefix<int>`` null."""
+    base = 0
+    for null in store.nulls():
+        if null.name.startswith(prefix):
+            suffix = null.name[len(prefix):]
+            if suffix.isdigit():
+                base = max(base, int(suffix) + 1)
+    return base
+
+
+def sql_chase(
+    store: SqliteStore,
+    dependencies: Sequence[Dependency],
+    *,
+    null_prefix: str = "N",
+    tracer=None,
+    limits=None,
+    budget=None,
+) -> SqlChaseResult:
+    """Run the restricted chase set-at-a-time inside *store*.
+
+    Compilable dependencies execute as ``INSERT ... SELECT`` plans; the
+    rest fall back, per round, to tuple-at-a-time matching against the
+    store (same fixpoint, slower).  Resource governance matches
+    :func:`repro.chase.standard.chase`: pass ``limits`` or a shared
+    ``budget``; with neither, the ambient budget or the 64-round
+    non-termination guard applies, and exhaustion either raises or
+    returns a tagged partial result per ``Limits.on_exhausted``.
+
+    Provenance note: the SQL path fires whole trigger *sets*, so no
+    per-trigger ``TriggerFired`` events are emitted — set-at-a-time
+    throughput trades away per-fact provenance.  Budget heartbeats and
+    exhaustion events still flow to the tracer/reporter as usual.
+    """
+    # Imported here, not at module top: chase.standard sits *above* the
+    # store package in the layer map (it imports the Instance facade).
+    from ..chase.standard import (
+        DEFAULT_MAX_ROUNDS,
+        _LEGACY_LIMITS,
+        _conclusion_satisfied,
+        report_exhaustion,
+        resolve_budget,
+    )
+    from ..logic.matching import match_atoms
+    from ..obs.tracer import current_tracer, maybe_span
+
+    tgds: List[Tgd] = []
+    for dep in dependencies:
+        if not isinstance(dep, Tgd):
+            raise SqlPlanError(
+                f"sql_chase handles plain tgds only, got {dep!r}; "
+                "use disjunctive_chase for disjunctive dependencies"
+            )
+        tgds.append(dep)
+    if store.frozen:
+        raise SqlPlanError("cannot chase into a frozen store")
+    if tracer is None:
+        tracer = current_tracer()
+    budget = resolve_budget(
+        limits, budget, _LEGACY_LIMITS, fallback_rounds=DEFAULT_MAX_ROUNDS
+    )
+
+    resolve: Dict[str, Tuple[str, int]] = {}
+    for tgd in tgds:
+        for atom in tuple(tgd.premise) + tuple(tgd.conclusion):
+            resolve[atom.relation] = store.ensure_relation(
+                atom.relation, atom.arity
+            )
+
+    compiled: List[CompiledTgd] = []
+    fallback: List[Tuple[int, Tgd]] = []
+    for index, tgd in enumerate(tgds):
+        plan = compile_tgd(tgd, index, resolve)
+        if plan is None:
+            fallback.append((index, tgd))
+        else:
+            compiled.append(plan)
+
+    conn = store.connection
+    next_null = _null_base(store, null_prefix)
+    steps = 0
+    rounds = 0
+    minted_total = 0
+    added_total = 0
+    exhausted = None
+
+    with maybe_span(
+        tracer, "sql_chase", compiled=len(compiled), fallback=len(fallback)
+    ):
+        while exhausted is None:
+            rounds += 1
+            exhausted = budget.start_round("sql_chase")
+            if exhausted is not None:
+                rounds -= 1
+                break
+            progressed = False
+            for plan in compiled:
+                conn.execute(f"DROP TABLE IF EXISTS {TRIGGER_TABLE}")
+                conn.execute(
+                    f"CREATE TEMP TABLE {TRIGGER_TABLE} AS {plan.trigger_sql}",
+                    plan.trigger_params,
+                )
+                (n,) = conn.execute(
+                    f"SELECT COUNT(*) FROM {TRIGGER_TABLE}"
+                ).fetchone()
+                if n == 0:
+                    continue
+                stride = len(plan.existentials)
+                added = 0
+                for insert_sql, param_plan in plan.inserts:
+                    params = tuple(
+                        null_prefix
+                        if p is PREFIX
+                        else next_null
+                        if p is BASE
+                        else p
+                        for p in param_plan
+                    )
+                    cur = conn.execute(insert_sql, params)
+                    added += max(cur.rowcount, 0)
+                next_null += n * stride
+                minted_total += n * stride
+                steps += n
+                added_total += added
+                progressed = True
+                store._count = None  # inserts bypassed the add() counter
+                exhausted = budget.charge(
+                    "sql_chase", facts=len(store), nulls=minted_total
+                )
+                if exhausted is not None:
+                    break
+            if exhausted is None:
+                for index, tgd in fallback:
+                    bindings = list(
+                        match_atoms(tgd.premise, store, tgd.guards)
+                    )
+                    for binding in bindings:
+                        if _conclusion_satisfied(tgd, binding, store):
+                            continue
+                        full = dict(binding)
+                        for var in sorted(tgd.existential_variables):
+                            full[var] = Null(f"{null_prefix}{next_null}")
+                            next_null += 1
+                            minted_total += 1
+                        added_total += store.add_all(
+                            atom.instantiate(full) for atom in tgd.conclusion
+                        )
+                        steps += 1
+                        progressed = True
+                        exhausted = budget.charge(
+                            "sql_chase", facts=len(store), nulls=minted_total
+                        )
+                        if exhausted is not None:
+                            break
+                    if exhausted is not None:
+                        break
+            if not progressed and exhausted is None:
+                break
+        conn.execute(f"DROP TABLE IF EXISTS {TRIGGER_TABLE}")
+        if exhausted is not None:
+            report_exhaustion(tracer, exhausted)
+            if budget.limits.raises:
+                budget.raise_exhausted()
+
+    return SqlChaseResult(
+        store=store,
+        steps=steps,
+        rounds=rounds,
+        generated_count=added_total,
+        compiled=len(compiled),
+        fallback=len(fallback),
+        exhausted=exhausted,
+    )

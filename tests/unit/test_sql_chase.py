@@ -1,0 +1,194 @@
+"""Unit tests for the mapping → SQL plan compiler and sql_chase."""
+
+import pytest
+
+from repro.chase.standard import chase
+from repro.errors import BudgetExhausted
+from repro.instance import Instance, fact
+from repro.limits import Limits
+from repro.logic.dependencies import DisjunctiveTgd, Tgd
+from repro.parsing.parser import parse_dependencies, parse_dependency
+from repro.store import SqliteStore, in_sql_fragment, sql_chase
+from repro.store.sqlplan import SqlPlanError, compile_tgd
+
+
+def _load(instance: Instance) -> SqliteStore:
+    store = SqliteStore(":memory:")
+    store.add_all(instance.facts)
+    return store
+
+
+def _memory_chase(instance, text):
+    return chase(instance, parse_dependencies(text)).instance
+
+
+class TestFragment:
+    def test_plain_tgd_in_fragment(self):
+        dep = parse_dependency("P(x, y) -> Q(x, y)")
+        assert in_sql_fragment(dep)
+
+    def test_inequality_guard_in_fragment(self):
+        dep = parse_dependency("P(x, y) & x != y -> Q(x, y)")
+        assert in_sql_fragment(dep)
+
+    def test_constant_guard_outside_fragment(self):
+        dep = parse_dependency("P(x, y) & Constant(x) -> Q(x, y)")
+        assert not in_sql_fragment(dep)
+        assert compile_tgd(dep, 0, {"P": ("r0", 2), "Q": ("r1", 2)}) is None
+
+    def test_disjunctive_rejected_outright(self):
+        dep = parse_dependency("P(x) -> Q(x) | R(x)")
+        assert isinstance(dep, DisjunctiveTgd)
+        store = _load(Instance.parse("P(a)"))
+        with pytest.raises(SqlPlanError):
+            sql_chase(store, [dep])
+
+    def test_frozen_store_rejected(self):
+        store = _load(Instance.parse("P(a, b)"))
+        store.freeze()
+        with pytest.raises(SqlPlanError):
+            sql_chase(store, parse_dependencies("P(x, y) -> Q(x, y)"))
+
+
+class TestCompiledExecution:
+    def test_full_tgd_identical_to_memory_chase(self):
+        text = "P(x, y, z) -> Q(x, y) & R(y, z)"
+        source = Instance.parse("P(a, b, c), P(a, b, d), P(e, e, e)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        assert result.compiled == 1 and result.fallback == 0
+        assert result.completed
+        assert result.instance.facts == _memory_chase(source, text).facts
+
+    def test_existentials_hom_equivalent(self):
+        from repro.homs.search import is_hom_equivalent
+
+        text = "P(x, y) -> Q(x, z)"
+        source = Instance.parse("P(a, b), P(c, d)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        reference = _memory_chase(source, text)
+        got = result.instance
+        assert len(got) == len(reference)
+        assert is_hom_equivalent(got, reference)
+        # Two distinct triggers, two distinct fresh nulls.
+        assert len(got.nulls) == 2
+
+    def test_restricted_not_oblivious(self):
+        # A witnessed trigger must not fire: P(a,b) with Q(a,c) already
+        # present satisfies P(x,y) -> Q(x,z) without minting.
+        store = _load(Instance.parse("P(a, b), Q(a, c)"))
+        result = sql_chase(store, parse_dependencies("P(x, y) -> Q(x, z)"))
+        assert result.steps == 0
+        assert result.instance.facts == Instance.parse("P(a, b), Q(a, c)").facts
+
+    def test_frontier_distinct_fires_once(self):
+        # Same frontier value reached by two premise rows → one trigger.
+        store = _load(Instance.parse("P(a, b), P(a, c)"))
+        result = sql_chase(store, parse_dependencies("P(x, y) -> S(x)"))
+        assert result.steps == 1
+        assert fact("S", "a") in result.instance.facts
+
+    def test_inequality_guard_enforced(self):
+        text = "P(x, y) & x != y -> Q(x, y)"
+        source = Instance.parse("P(a, a), P(a, b)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        assert result.compiled == 1
+        assert result.instance.facts == _memory_chase(source, text).facts
+        assert fact("Q", "a", "b") in result.instance.facts
+        assert fact("Q", "a", "a") not in result.instance.facts
+
+    def test_join_premise(self):
+        text = "E(x, y) & E(y, z) -> T(x, z)"
+        source = Instance.parse("E(a, b), E(b, c), E(c, d)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        assert result.instance.facts == _memory_chase(source, text).facts
+
+    def test_constants_in_premise_and_conclusion(self):
+        text = 'P("a", y) -> Q(y, "b")'
+        source = Instance.parse("P(a, x1), P(c, x2)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        assert result.instance.facts == _memory_chase(source, text).facts
+        assert fact("Q", "x1", "b") in result.instance.facts
+        assert fact("Q", "x2", "b") not in result.instance.facts
+
+    def test_multi_round_fixpoint(self):
+        # Transitive closure needs several compiled rounds.
+        text = "E(x, y) & E(y, z) -> E(x, z)"
+        source = Instance.parse("E(a, b), E(b, c), E(c, d), E(d, e)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        assert result.rounds > 1
+        assert result.instance.facts == _memory_chase(source, text).facts
+
+
+class TestFallback:
+    def test_constant_guard_falls_back_same_result(self):
+        text = "P(x, y) & Constant(x) -> Q(x, y)"
+        source = Instance.parse("P(a, b), P(N7, c)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        assert result.compiled == 0 and result.fallback == 1
+        assert result.instance.facts == _memory_chase(source, text).facts
+        assert fact("Q", "a", "b") in result.instance.facts
+        assert fact("Q", "N7", "c") not in result.instance.facts
+
+    def test_mixed_compiled_and_fallback(self):
+        text = (
+            "P(x, y) -> Q(x, y)\n"
+            "Q(x, y) & Constant(x) -> S(x)"
+        )
+        source = Instance.parse("P(a, b), P(N3, c)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        assert result.compiled == 1 and result.fallback == 1
+        assert result.instance.facts == _memory_chase(source, text).facts
+        assert fact("S", "a") in result.instance.facts
+
+    def test_fallback_nulls_do_not_collide_with_compiled(self):
+        # Both regimes mint from one shared counter.
+        text = (
+            "P(x, y) -> Q(x, z)\n"
+            "P(x, y) & Constant(x) -> R(x, w)"
+        )
+        source = Instance.parse("P(a, b)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        nulls = result.instance.nulls
+        assert len(nulls) == 2  # z-null and w-null stayed distinct
+
+    def test_null_prefix_avoids_existing_names(self):
+        source = Instance.parse("P(a, N5)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies("P(x, y) -> Q(x, z)"))
+        minted = result.instance.nulls - source.nulls
+        assert len(minted) == 1
+        assert next(iter(minted)).name != "N5"
+
+
+class TestGovernance:
+    def test_max_rounds_partial(self):
+        text = "E(x, y) & E(y, z) -> E(x, z)"
+        source = Instance.parse("E(a, b), E(b, c), E(c, d), E(d, e)")
+        store = _load(source)
+        result = sql_chase(
+            store,
+            parse_dependencies(text),
+            limits=Limits(max_rounds=1, on_exhausted="partial"),
+        )
+        assert not result.completed
+        assert result.exhausted.resource == "rounds"
+
+    def test_max_facts_raises(self):
+        text = "E(x, y) & E(y, z) -> E(x, z)"
+        source = Instance.parse("E(a, b), E(b, c), E(c, d), E(d, e)")
+        store = _load(source)
+        with pytest.raises(BudgetExhausted):
+            sql_chase(
+                store,
+                parse_dependencies(text),
+                limits=Limits(max_facts=5, on_exhausted="raise"),
+            )
