@@ -93,6 +93,11 @@ from .obs import (
     write_trace_jsonl,
 )
 from .parsing.parser import parse_query
+from .service.diskcache import (
+    DEFAULT_CACHE_DIR,
+    DiskCache,
+    resolve_cache_dir,
+)
 from .store import open_store
 
 #: ``REPRO_RUNS_DB`` values that disable the registry outright.
@@ -174,6 +179,7 @@ def _make_engine(
         registry=RunRegistry(registry_path) if registry_path else None,
         store=getattr(args, "store", None) or "memory",
         sql_chase=getattr(args, "sql_chase", False),
+        disk_cache=resolve_cache_dir(getattr(args, "cache_dir", None)),
     )
 
 
@@ -553,12 +559,58 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    sweep_cache = cache_dir is not None and os.path.isdir(cache_dir)
     registry = _runs_registry(args)
-    if registry is None:
+    if registry is not None:
+        deleted = registry.gc(keep=args.keep)
+        print(f"deleted {deleted} rows, kept {len(registry)}")
+    elif not (sweep_cache and args.cache_dir is not None):
+        # No registry and no explicit cache sweep requested: usage error.
         return 2
-    deleted = registry.gc(keep=args.keep)
-    print(f"deleted {deleted} rows, kept {len(registry)}")
+    if sweep_cache:
+        report = DiskCache(cache_dir).gc(
+            max_bytes=args.max_cache_bytes,
+            max_age=args.max_cache_age,
+        )
+        print(report.render())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived exchange service (see ``docs/SERVICE.md``)."""
+    from .service import ExchangeService, WarmPool, serve
+
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    if cache_dir is None and args.cache_dir is None:
+        cache_dir = DEFAULT_CACHE_DIR
+    registry_path = _registry_path(args)
+    pool = WarmPool(
+        workers=args.pool_workers,
+        engine_config={
+            "cache_dir": cache_dir,
+            "store": args.store or "memory",
+            "sql_chase": args.sql_chase,
+        },
+        deadline=args.deadline,
+        grace=args.grace if args.grace is not None else 2.0,
+        max_pending=args.max_pending,
+    )
+    service = ExchangeService(
+        pool,
+        cache_dir=cache_dir,
+        response_cache_size=args.response_cache_size,
+        allow_faults=args.allow_faults,
+        sink=_telemetry_sink(args),
+        registry=RunRegistry(registry_path) if registry_path else None,
+    )
+
+    def _ready(host: str, port: int) -> None:
+        print(f"serving on http://{host}:{port}", flush=True)
+        if cache_dir is not None:
+            print(f"cache: {cache_dir}", file=sys.stderr)
+
+    return serve(service, host=args.host, port=args.port, ready=_ready)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -636,6 +688,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile non-disjunctive restricted chases to SQL plans "
              "run inside a SQLite store (dependencies outside the "
              "fragment fall back to tuple-at-a-time per round)")
+    engine_flags.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent disk tier under the engine caches: results "
+             "survive process restarts, keyed by content digests "
+             "(env: REPRO_CACHE_DIR; 'off' disables)")
 
     chase = sub.add_parser("chase", parents=[engine_flags],
                            help="forward data exchange (the chase)")
@@ -738,9 +795,84 @@ def build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("second", type=int)
     runs_diff.set_defaults(func=_cmd_runs_diff)
     runs_gc = runs_sub.add_parser(
-        "gc", parents=[db_flag], help="prune all but the newest rows")
+        "gc", parents=[db_flag],
+        help="prune all but the newest rows; also sweeps the disk "
+             "result cache when one is configured")
     runs_gc.add_argument("--keep", type=int, default=1000)
+    runs_gc.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="disk result cache to sweep alongside the registry "
+             f"(env: REPRO_CACHE_DIR; default: {DEFAULT_CACHE_DIR} "
+             "when present)")
+    runs_gc.add_argument(
+        "--max-cache-bytes", type=int, default=None, metavar="N",
+        help="evict oldest cache entries until the total fits N bytes")
+    runs_gc.add_argument(
+        "--max-cache-age", type=float, default=None, metavar="SECONDS",
+        help="evict cache entries older than SECONDS")
     runs_gc.set_defaults(func=_cmd_runs_gc)
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="long-lived HTTP exchange service with a warm worker pool "
+             "and persistent result cache (see docs/SERVICE.md)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 picks a free one; the bound port prints "
+             "on stdout as 'serving on http://HOST:PORT')")
+    serve_cmd.add_argument(
+        "--pool-workers", type=int, default=2, metavar="N",
+        help="warm worker processes (each holds a ready engine)")
+    serve_cmd.add_argument(
+        "--cache-dir", metavar="PATH", default=None,
+        help="persistent result cache shared by workers and the "
+             f"response tier (default: {DEFAULT_CACHE_DIR}; "
+             "env REPRO_CACHE_DIR; 'off' disables)")
+    serve_cmd.add_argument(
+        "--response-cache-size", type=int, default=256, metavar="N",
+        help="in-memory response cache entries (0 = serve repeats "
+             "from disk every time)")
+    serve_cmd.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="per-request budget; a request may lower it via its "
+             "'limits' object")
+    serve_cmd.add_argument(
+        "--grace", type=float, default=None, metavar="SECONDS",
+        help="hard-kill a worker silent this long past the deadline "
+             "(default 2.0); the slot respawns in place")
+    serve_cmd.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="admission bound on queued+running requests "
+             "(default 4 x workers); beyond it requests get 429")
+    serve_cmd.add_argument(
+        "--allow-faults", action="store_true",
+        help="honor the test-only 'fault' request field (hang/crash "
+             "injection for supervision drills)")
+    serve_cmd.add_argument(
+        "--metrics-out", metavar="PATH",
+        default=os.environ.get("REPRO_METRICS_OUT") or None,
+        help="also write the OpenMetrics exposition served at /metrics "
+             "to PATH")
+    serve_cmd.add_argument(
+        "--ops-log", metavar="PATH",
+        help="append one JSON line per served request to PATH")
+    serve_cmd.add_argument(
+        "--registry", metavar="PATH", nargs="?", const=DEFAULT_DB_PATH,
+        default=None,
+        help="run-registry database recording every request "
+             f"(default: $REPRO_RUNS_DB or {DEFAULT_DB_PATH})")
+    serve_cmd.add_argument(
+        "--no-registry", action="store_true",
+        help="do not record requests in the run registry")
+    serve_cmd.add_argument(
+        "--store", metavar="SPEC", default="memory",
+        help="worker instance backend: memory (default), sqlite, "
+             "or sqlite:PATH")
+    serve_cmd.add_argument(
+        "--sql-chase", action="store_true",
+        help="workers compile eligible chases to SQL plans")
+    serve_cmd.set_defaults(func=_cmd_serve)
     return parser
 
 

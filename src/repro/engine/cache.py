@@ -7,6 +7,12 @@ two structurally identical instances built independently share entries.
 
 A cache of ``maxsize`` 0 is a valid always-miss cache — that is how
 ``--no-cache`` is implemented, keeping the engine code branch-free.
+
+:class:`TieredCache` layers an LRU over a persistent backing cache
+(duck-typed; in practice :class:`repro.service.DiskCache`): reads fall
+through memory to the backing tier and promote on hit, writes go to
+both.  It mimics the ``LRUCache`` surface exactly, so the engine's
+call sites stay tier-agnostic.
 """
 
 from __future__ import annotations
@@ -85,3 +91,77 @@ class LRUCache:
         """Drop every entry; lifetime counters are kept."""
         with self._lock:
             self._data.clear()
+
+
+class TieredCache:
+    """An LRU front over a persistent backing cache (usually on disk).
+
+    The backing tier is duck-typed: anything with ``get(key) ->
+    (hit, value)`` and ``put(key, value)`` works —
+    :class:`repro.service.DiskCache` in production, a plain dict-backed
+    stub in tests.  Backing keys are namespaced with the operation name
+    so one backing store can serve every per-op cache (and the ``hom``/
+    ``core`` key tuples, which carry no op tag of their own, cannot
+    collide with tagged ones).
+
+    ``stats`` counts the *combined* outcome: a hit in either tier is a
+    hit (``backing_hits`` tracks the subset served from the backing
+    tier); only a miss in both is a miss.  ``clear()`` empties the
+    memory tier only — persistence across clears/restarts is the
+    backing tier's whole purpose; bound it with its own ``gc``.
+    """
+
+    def __init__(self, memory: LRUCache, backing: Any, namespace: str) -> None:
+        """Layer *memory* over *backing*, tagging keys with *namespace*."""
+        self.memory = memory
+        self.backing = backing
+        self.namespace = namespace
+        self._stats = CacheStats()
+        self.backing_hits = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """Combined counters; evictions are the memory tier's."""
+        return CacheStats(
+            hits=self._stats.hits,
+            misses=self._stats.misses,
+            evictions=self.memory.stats.evictions,
+        )
+
+    def _backing_key(self, key: Hashable) -> tuple:
+        return (self.namespace,) + (key if isinstance(key, tuple) else (key,))
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """Memory first, then the backing tier (promoting on hit)."""
+        hit, value = self.memory.get(key)
+        if hit:
+            self._stats.hits += 1
+            return True, value
+        hit, value = self.backing.get(self._backing_key(key))
+        if hit:
+            self.memory.put(key, value)
+            self._stats.hits += 1
+            self.backing_hits += 1
+            return True, value
+        self._stats.misses += 1
+        return False, None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Write through: the entry lands in both tiers."""
+        self.memory.put(key, value)
+        self.backing.put(self._backing_key(key), value)
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.memory
+
+    @property
+    def maxsize(self) -> int:
+        """The memory tier's capacity (the backing tier is unbounded)."""
+        return self.memory.maxsize
+
+    def clear(self) -> None:
+        """Empty the memory tier; the backing tier persists by design."""
+        self.memory.clear()

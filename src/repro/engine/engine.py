@@ -52,7 +52,7 @@ from ..obs.registry import RunRegistry
 from ..obs.sinks import OpRecord, OpenMetricsSink, TelemetrySink
 from ..obs.tracer import Tracer, current_tracer, maybe_span
 from ..store import SqliteStore, open_store
-from .cache import LRUCache
+from .cache import LRUCache, TieredCache
 from .parallel import (
     ItemOutcome,
     chase_task,
@@ -172,6 +172,17 @@ class ExchangeEngine:
         tuple-at-a-time per round.  Results are hom-equivalent to the
         in-memory chase (identical for full tgds), so SQL-chased
         results are cached under a distinct key tag.
+    disk_cache:
+        A persistent backing cache layered **under** every in-memory
+        LRU: a :class:`repro.service.DiskCache` (or any object with
+        its ``get``/``put`` surface), or a directory path to open one
+        at.  Reads fall through memory to disk and promote on hit;
+        writes go to both tiers; partial (exhausted) results are still
+        never cached.  Because every cache key is a content digest,
+        entries persist correctly across processes and restarts — this
+        is what lets ``repro serve`` answer from disk on its first
+        request after a restart.  Ignored when ``enable_cache`` is
+        ``False``.
     """
 
     def __init__(
@@ -188,6 +199,7 @@ class ExchangeEngine:
         registry: Optional[RunRegistry] = None,
         store: str = "memory",
         sql_chase: bool = False,
+        disk_cache=None,
     ) -> None:
         if on_error not in _ON_ERROR:
             raise ValueError(
@@ -201,7 +213,20 @@ class ExchangeEngine:
                 "'sqlite', or 'sqlite:<path>'"
             )
         size = cache_size if enable_cache else 0
-        self._caches: Dict[str, LRUCache] = {op: LRUCache(size) for op in _OPS}
+        self.disk_cache = None
+        if disk_cache is not None and enable_cache:
+            if isinstance(disk_cache, str):
+                from ..service.diskcache import DiskCache
+
+                disk_cache = DiskCache(disk_cache)
+            self.disk_cache = disk_cache
+        if self.disk_cache is not None:
+            self._caches: Dict[str, LRUCache] = {
+                op: TieredCache(LRUCache(size), self.disk_cache, op)
+                for op in _OPS
+            }
+        else:
+            self._caches = {op: LRUCache(size) for op in _OPS}
         self._ops: Dict[str, _OpCounters] = {op: _OpCounters() for op in _OPS}
         self._ops_lock = Lock()
         self.jobs = jobs
@@ -873,8 +898,10 @@ class ExchangeEngine:
         max_branches: int = 10_000,
         limits: Optional[Limits] = None,
     ) -> List[Instance]:
-        """Deprecated alias shape: the raw branch list of the disjunctive
-        chase, exactly as ``SchemaMapping.reverse_chase`` returned it."""
+        """Deprecated alias shape returning the raw branch list.
+
+        Exactly what ``SchemaMapping.reverse_chase`` returned: the
+        disjunctive chase's candidates, no result wrapper."""
         _, _, candidates, _ = self._reverse_branches(
             mapping, target, max_nulls, minimize, max_branches, limits
         )
@@ -1159,9 +1186,10 @@ class ExchangeEngine:
     def audit(
         self, mapping: SchemaMapping, reverse: Optional[SchemaMapping] = None
     ) -> AuditReport:
-        """Invertibility audit: ground invertibility, extended
-        invertibility, and (when a candidate is given) the chase-inverse
-        check — all cached by mapping digest."""
+        """Invertibility audit of a mapping, cached by mapping digest.
+
+        Checks ground invertibility, extended invertibility, and (when
+        a candidate is given) the chase-inverse property."""
         key = (
             "audit",
             mapping.digest(),
@@ -1268,9 +1296,11 @@ class ExchangeEngine:
     # ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-operation counters: cache hits/misses/evictions, live
-        entries, compute wall time, and chase work (steps, rounds,
-        branches), plus a ``totals`` roll-up.
+        """Per-operation counters as a nested plain dict.
+
+        Covers cache hits/misses/evictions, live entries, compute wall
+        time, and chase work (steps, rounds, branches), plus a
+        ``totals`` roll-up.
 
         When a tracer is attached (or ambient), its metrics registry is
         merged in under the ``"tracer"`` key — event counts by kind and

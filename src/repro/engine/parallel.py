@@ -63,7 +63,7 @@ _TRANSIENT = (FaultInjected, BrokenExecutor, OSError, ConnectionError)
 
 
 def is_transient(error: BaseException) -> bool:
-    """Would a retry plausibly succeed?"""
+    """True when a retry of *error* would plausibly succeed."""
     return isinstance(error, _TRANSIENT) and not isinstance(error, BudgetExhausted)
 
 
@@ -172,8 +172,9 @@ def reverse_task(
 def reverse_task_traced(
     payload: Tuple[SchemaMapping, Instance, int, bool, Optional[Limits], Optional[Fault], int]
 ) -> Tuple[Branches, TraceState]:
-    """Traced counterpart of :func:`reverse_task` (see
-    :func:`chase_task_traced` for the per-worker tracer protocol)."""
+    """Traced counterpart of :func:`reverse_task`.
+
+    See :func:`chase_task_traced` for the per-worker tracer protocol."""
     mapping, target, max_nulls, minimize, limits, fault, attempt = payload
     trip(fault, attempt)
     local = Tracer()

@@ -44,8 +44,10 @@ class OperationStats:
 
 @dataclass(frozen=True)
 class CacheProvenance:
-    """Where a result came from: its content-addressed key and whether
-    the engine served it from cache (``hit``) or computed it fresh."""
+    """Where a result came from, as key plus hit flag.
+
+    ``key`` is the content-addressed cache key; ``hit`` is True when
+    the engine served the result from cache rather than computing."""
 
     key: str = ""
     hit: bool = False
@@ -147,8 +149,10 @@ class ReverseResult:
 
 @dataclass(frozen=True)
 class AuditReport:
-    """Invertibility audit of one mapping (plus an optional candidate
-    reverse), as produced by :meth:`ExchangeEngine.audit`."""
+    """Invertibility audit of one mapping, from :meth:`ExchangeEngine.audit`.
+
+    Optionally covers a candidate reverse mapping's chase-inverse
+    check alongside the two invertibility verdicts."""
 
     invertible: CheckVerdict
     extended_invertible: CheckVerdict

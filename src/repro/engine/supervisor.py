@@ -577,7 +577,7 @@ def run_batch_supervised(
 
 
 def supervision_available() -> bool:
-    """Can this host run supervised pools at all?
+    """True when this host can run supervised pools at all.
 
     Needs working ``multiprocessing`` process spawning; sandboxed hosts
     without ``/dev/shm`` or fork permission fall back to the

@@ -394,8 +394,10 @@ class InstanceBuilder:
         return self._store.add(f)
 
     def tuples(self, relation: str):
-        """Live view of the tuples of *relation* (matching-protocol duck
-        type shared with :class:`Instance`)."""
+        """Live view of the tuples of *relation*.
+
+        Part of the matching-protocol duck type shared with
+        :class:`Instance`."""
         return self._store.tuples(relation)
 
     def add_all(self, facts_: Iterable[Fact]) -> int:

@@ -106,10 +106,11 @@ def is_witness_solution(
 
 
 def witness_adversaries_for(source: Instance) -> List[Instance]:
-    """A default adversary pool: the source, diagonal completions, and
+    """A default adversary pool for invertibility witness checks.
 
-    null-fact extensions (the shapes Proposition 4.2's case analysis
-    needs).  Callers with domain knowledge should extend it.
+    Holds the source, diagonal completions, and null-fact extensions —
+    the shapes Proposition 4.2's case analysis needs.  Callers with
+    domain knowledge should extend it.
     """
     from ..instance import Fact
     from ..terms import Const, Null

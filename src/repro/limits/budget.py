@@ -272,8 +272,9 @@ def current_budget() -> Optional[Budget]:
 
 
 def set_budget(budget: Optional[Budget]) -> Optional[Budget]:
-    """Install *budget* as this thread's ambient budget; returns the
-    previous one."""
+    """Install *budget* as this thread's ambient budget.
+
+    Returns the previous ambient budget so callers can restore it."""
     previous = getattr(_ambient, "budget", None)
     _ambient.budget = budget
     return previous

@@ -132,8 +132,10 @@ class Limits:
         return dataclasses.replace(self, **changes)
 
     def merge(self, override: Optional["Limits"]) -> "Limits":
-        """Layer *override* on top of self: its non-``None`` bounds win,
-        and its ``on_exhausted`` policy always wins."""
+        """Layer *override* on top of self.
+
+        The override's non-``None`` bounds win, and its
+        ``on_exhausted`` policy always wins."""
         if override is None:
             return self
         return Limits(

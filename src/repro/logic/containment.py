@@ -63,9 +63,9 @@ def equivalent_queries(first: ConjunctiveQuery, second: ConjunctiveQuery) -> boo
 
 
 def minimize_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
-    """The minimal equivalent query (unique up to renaming): drop body
+    """The minimal equivalent query, unique up to renaming.
 
-    atoms while the smaller query stays equivalent.  Since dropping
+    Drops body atoms while the smaller query stays equivalent.  Since dropping
     atoms only *weakens* a CQ (fewer joins ⇒ more answers), it suffices
     to check ``smaller ⊆ query`` at each step.
     """

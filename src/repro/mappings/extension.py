@@ -78,10 +78,11 @@ def in_extension_reverse(
     source: Instance,
     max_nulls: int = 8,
 ) -> bool:
-    """``(target, source) ∈ e(M')`` for a reverse mapping given by
-    (disjunctive) tgds, decided via the reverse disjunctive chase:
-    some branch of ``chase_{M'}`` over a quotient of *target* must map
-    homomorphically into *source*.
+    """Decide ``(target, source) ∈ e(M')`` for a (disjunctive-)tgd reverse mapping.
+
+    Decided via the reverse disjunctive chase: some branch of
+    ``chase_{M'}`` over a quotient of *target* must map homomorphically
+    into *source*.
     """
     branches = reverse_disjunctive_chase(
         target,

@@ -173,7 +173,7 @@ class SchemaMapping:
     # ------------------------------------------------------------------
 
     def satisfies(self, source_instance: Instance, target_instance: Instance) -> bool:
-        """The semantic view: does ``(I, J) ⊨ Σ`` hold?
+        """The semantic view: whether ``(I, J) ⊨ Σ`` holds.
 
         For every premise match in the source instance whose guards hold,
         some disjunct must be witnessed in the target instance (sharing the
@@ -294,8 +294,10 @@ class SchemaMapping:
         max_branches: int = 10_000,
         limits=None,
     ) -> List[Instance]:
-        """Disjunctive chase of a target instance, restricted to this
-        mapping's *target* schema... i.e., to the conclusion side.
+        """Disjunctive chase of a target instance over this mapping.
+
+        Results are restricted to the mapping's *target* schema —
+        i.e., to the conclusion side.
 
         For a reverse mapping ``M' = (T, S, Σ')`` this returns the set
         ``chase_{M'}(J)`` of Definition 6.1 — the candidate recovered

@@ -246,8 +246,10 @@ class MetricsRegistry:
             )
 
     def export_payload(self) -> dict:
-        """A picklable/JSON-safe snapshot that round-trips via
-        :meth:`merge_payload` (raw totals, no rounding)."""
+        """A picklable/JSON-safe snapshot of the registry.
+
+        Round-trips via :meth:`merge_payload` (raw totals, no
+        rounding)."""
         return {
             "counters": dict(self._counters),
             "histograms": {

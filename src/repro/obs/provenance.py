@@ -244,7 +244,7 @@ class ProvenanceGraph:
         return Instance(facts)
 
     def check_replay(self, source: Instance, result: Instance) -> bool:
-        """Does replaying the provenance reproduce *result* exactly?"""
+        """True when replaying the provenance reproduces *result* exactly."""
         return self.replay(source) == result
 
     def _ancestry(self, branch: str) -> Iterator[str]:

@@ -339,8 +339,10 @@ class RunRegistry:
     def compare_to_baseline(
         self, run_id: int, factor: float = 2.0, min_samples: int = 3
     ) -> BaselineComparison:
-        """Flag *run_id* when its wall time exceeds the median of its
-        baseline group by more than *factor*.
+        """Judge *run_id*'s wall time against its baseline group's median.
+
+        The run is flagged when it exceeds that median by more than
+        *factor*.
 
         The baseline group is the run's full content address — *(op,
         mapping digest, instance digest)* — so a large instance's run is

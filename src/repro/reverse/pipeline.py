@@ -180,8 +180,10 @@ class EvolutionPipeline:
         return self.run_reverse(self.final(source))[-1]
 
     def recovery_is_sound(self, source: Instance) -> bool:
-        """The recovered source never claims more than the original:
-        recovered → source must hold (soundness of reverse exchange)."""
+        """True when the recovered source never claims more than the original.
+
+        ``recovered → source`` must hold (soundness of reverse
+        exchange)."""
         return is_homomorphic(self.round_trip(source), source)
 
     def recovery_is_complete(self, source: Instance) -> bool:

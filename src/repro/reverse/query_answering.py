@@ -105,8 +105,10 @@ def enumerate_instances(
     values: Sequence[Value],
     max_facts: int,
 ) -> List[Instance]:
-    """All instances over *schema* with at most *max_facts* facts drawn
-    from the given value pool.  Exponential — keep pools tiny (oracle use).
+    """All instances over *schema* with at most *max_facts* facts.
+
+    Facts are drawn from the given value pool.  Exponential — keep
+    pools tiny (oracle use).
     """
     pool: List[Fact] = []
     for relation in schema:

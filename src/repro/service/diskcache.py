@@ -1,0 +1,361 @@
+"""Disk-backed content-addressed result cache for the service layer.
+
+The engine's LRU caches (:mod:`repro.engine.cache`) die with their
+process; this module is the persistence tier underneath them.  Every
+entry is keyed by the same content-addressed tuples the engine already
+uses — ``("chase", mapping_digest, instance_digest, variant)`` and
+friends — so a result computed by any process is reusable by every
+later one: the chase is deterministic, which makes the cache
+semantically transparent exactly as the in-memory tier is.
+
+Layout and failure model (proven out by the SQLite run registry's
+atomic-rename discipline in :mod:`repro.obs.registry`):
+
+* entries live at ``<root>/<hh>/<digest>.rpc`` where ``digest`` is the
+  SHA-256 of the key's canonical ``repr`` and ``hh`` its first two hex
+  chars (sharding keeps directories small at millions of entries);
+* each file is ``b"RPC1" + sha256(payload) + payload`` with ``payload =
+  pickle((key_repr, value))`` — magic, checksum, and the embedded key
+  are all verified on read, so a truncated, corrupted, or colliding
+  file is **never** deserialized into a wrong answer;
+* corrupt files are treated as misses and moved into
+  ``<root>/quarantine/`` (never silently deleted — they are evidence);
+* writes go to a temp file in the same directory and land via
+  ``os.replace``, so concurrent writers of the same key are safe: both
+  write complete entries, the last rename wins, readers only ever see
+  a whole file;
+* unpicklable values (e.g. results backed by a live SQLite store) are
+  skipped and counted, never half-written.
+
+``gc`` bounds the on-disk footprint by total size and/or entry age,
+deleting oldest-first — the same command surface ``repro runs gc``
+exposes, so one invocation bounds all persistent state.
+
+The cache directory is chosen by, in precedence order: an explicit
+path, the ``REPRO_CACHE_DIR`` environment variable (the off-values
+``""``/``off``/``0``/``none``/``disabled`` disable the cache), or the
+caller's default (:data:`DEFAULT_CACHE_DIR` for ``repro serve``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional, Tuple
+
+#: Where ``repro serve`` keeps its cache when nothing else is configured.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: ``REPRO_CACHE_DIR`` values that disable the disk cache outright.
+CACHE_OFF_VALUES = ("", "off", "0", "none", "disabled")
+
+#: Entry file magic: format version 1 of the repro persistent cache.
+_MAGIC = b"RPC1"
+
+#: Length of the SHA-256 checksum that follows the magic.
+_DIGEST_LEN = 32
+
+#: Entry file suffix (quarantined files keep it, plus a marker).
+_SUFFIX = ".rpc"
+
+
+def resolve_cache_dir(explicit: Optional[str] = None) -> Optional[str]:
+    """The effective cache directory, or ``None`` when caching is off.
+
+    *explicit* (a CLI flag) wins; otherwise ``REPRO_CACHE_DIR`` is
+    consulted.  Off-values (:data:`CACHE_OFF_VALUES`) disable the cache
+    in either position.
+    """
+    if explicit is not None:
+        return None if explicit.strip().lower() in CACHE_OFF_VALUES else explicit
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is None:
+        return None
+    return None if env.strip().lower() in CACHE_OFF_VALUES else env
+
+
+@dataclass
+class DiskCacheStats:
+    """Lifetime counters for one :class:`DiskCache` handle.
+
+    ``quarantined`` counts corrupt entries moved aside on read;
+    ``skipped`` counts unpicklable values the cache refused to store;
+    ``evictions`` counts entries deleted by :meth:`DiskCache.gc`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    quarantined: int = 0
+    skipped: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (for ``/healthz`` and stats)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "quarantined": self.quarantined,
+            "skipped": self.skipped,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`DiskCache.gc` sweep did."""
+
+    scanned: int = 0
+    deleted: int = 0
+    bytes_freed: int = 0
+    bytes_kept: int = 0
+    quarantine_cleared: int = 0
+    reasons: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One human line for the CLI."""
+        return (
+            f"cache gc: scanned {self.scanned}, deleted {self.deleted} "
+            f"({self.bytes_freed} bytes freed, {self.bytes_kept} kept), "
+            f"quarantine cleared {self.quarantine_cleared}"
+        )
+
+
+class DiskCache:
+    """A content-addressed pickle cache with corruption-tolerant reads.
+
+    API-compatible with the read/write surface of
+    :class:`repro.engine.cache.LRUCache` — ``get(key) -> (hit, value)``
+    and ``put(key, value)`` — so it can sit behind a
+    :class:`repro.engine.cache.TieredCache` without the engine knowing
+    disk exists.
+    """
+
+    def __init__(self, root: str) -> None:
+        """Open (creating if needed) the cache rooted at *root*."""
+        self.root = root
+        self.stats = DiskCacheStats()
+        os.makedirs(root, exist_ok=True)
+
+    # -- addressing -----------------------------------------------------
+
+    @staticmethod
+    def _key_repr(key: Hashable) -> str:
+        return repr(key)
+
+    def path_for(self, key: Hashable) -> str:
+        """The entry file path *key* hashes to (exists or not)."""
+        digest = hashlib.sha256(self._key_repr(key).encode("utf-8")).hexdigest()
+        return os.path.join(self.root, digest[:2], digest + _SUFFIX)
+
+    @property
+    def quarantine_dir(self) -> str:
+        """Where corrupt entries are moved (created on first use)."""
+        return os.path.join(self.root, "quarantine")
+
+    # -- read path ------------------------------------------------------
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """Look up *key*: ``(True, value)`` on a verified hit, else miss.
+
+        Every failure mode — missing file, bad magic, truncation,
+        checksum mismatch, unpicklable payload, embedded-key mismatch —
+        degrades to a miss; files that exist but fail verification are
+        quarantined.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            self.stats.misses += 1
+            return False, None
+        value, ok = self._decode(blob, self._key_repr(key))
+        if not ok:
+            self._quarantine(path)
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def _decode(self, blob: bytes, key_repr: str) -> Tuple[Optional[Any], bool]:
+        """Verify and unpickle one entry blob; ``(value, ok)``."""
+        header = len(_MAGIC) + _DIGEST_LEN
+        if len(blob) < header or not blob.startswith(_MAGIC):
+            return None, False
+        checksum = blob[len(_MAGIC):header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest() != checksum:
+            return None, False
+        try:
+            stored_repr, value = pickle.loads(payload)
+        except Exception:
+            # A checksum-valid payload that fails to unpickle means the
+            # writing process had classes this one lacks; still a miss.
+            return None, False
+        if stored_repr != key_repr:
+            return None, False  # hash collision (or tampering)
+        return value, True
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry aside, keeping it for inspection."""
+        try:
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            target = os.path.join(
+                self.quarantine_dir, os.path.basename(path) + ".bad"
+            )
+            os.replace(path, target)
+            self.stats.quarantined += 1
+        except OSError:
+            # Another reader quarantined it first (or the FS is gone);
+            # either way the entry no longer shadows future writes.
+            pass
+
+    # -- write path -----------------------------------------------------
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store *value* under *key* atomically; unpicklable values skip.
+
+        Concurrent writers of the same key are safe: each builds a
+        complete temp file and the final ``os.replace`` is atomic, so
+        the entry is always one writer's whole payload.
+        """
+        key_repr = self._key_repr(key)
+        try:
+            payload = pickle.dumps((key_repr, value))
+        except Exception:
+            self.stats.skipped += 1
+            return
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        path = self.path_for(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            descriptor, temp_path = tempfile.mkstemp(
+                prefix=".rpc-", dir=directory
+            )
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    handle.write(blob)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.stats.skipped += 1
+            return
+        self.stats.writes += 1
+
+    # -- maintenance ----------------------------------------------------
+
+    def _entries(self):
+        """Every live entry as ``(path, size, mtime)``, quarantine excluded."""
+        out = []
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if os.path.abspath(dirpath).startswith(
+                os.path.abspath(self.quarantine_dir)
+            ):
+                continue
+            for name in filenames:
+                if not name.endswith(_SUFFIX):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                out.append((path, info.st_size, info.st_mtime))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> GcReport:
+        """Bound the cache by age and total size.
+
+        Drops entries past *max_age* (seconds), then deletes
+        oldest-first until total size fits *max_bytes*.
+
+        Quarantined files are always cleared — they have served their
+        diagnostic purpose by the time anyone runs a gc.  With neither
+        budget given only the quarantine is swept.
+        """
+        report = GcReport()
+        clock = time.time() if now is None else now
+        entries = sorted(self._entries(), key=lambda e: e[2])  # oldest first
+        report.scanned = len(entries)
+        kept = []
+        for path, size, mtime in entries:
+            if max_age is not None and clock - mtime > max_age:
+                if self._delete(path):
+                    report.deleted += 1
+                    report.bytes_freed += size
+                    report.reasons["age"] = report.reasons.get("age", 0) + 1
+                continue
+            kept.append((path, size, mtime))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in kept)
+            survivors = []
+            for path, size, mtime in kept:  # oldest first: evict from the front
+                if total > max_bytes:
+                    if self._delete(path):
+                        report.deleted += 1
+                        report.bytes_freed += size
+                        report.reasons["size"] = (
+                            report.reasons.get("size", 0) + 1
+                        )
+                        total -= size
+                    continue
+                survivors.append((path, size, mtime))
+            kept = survivors
+        report.bytes_kept = sum(size for _, size, _ in kept)
+        report.quarantine_cleared = self._clear_quarantine()
+        self.stats.evictions += report.deleted
+        return report
+
+    def _delete(self, path: str) -> bool:
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    def _clear_quarantine(self) -> int:
+        cleared = 0
+        try:
+            names = os.listdir(self.quarantine_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if self._delete(os.path.join(self.quarantine_dir, name)):
+                cleared += 1
+        return cleared
+
+    def clear(self) -> None:
+        """Delete every entry (quarantine included); counters are kept."""
+        for path, _, _ in self._entries():
+            self._delete(path)
+        self._clear_quarantine()
+
+
+__all__ = [
+    "CACHE_OFF_VALUES",
+    "DEFAULT_CACHE_DIR",
+    "DiskCache",
+    "DiskCacheStats",
+    "GcReport",
+    "resolve_cache_dir",
+]

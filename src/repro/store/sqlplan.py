@@ -11,7 +11,9 @@ a :class:`~repro.store.SqliteStore`:
 * the **trigger query** joins the premise atoms (shared variables become
   equi-join conditions, constants become parameters, inequality guards
   become ``<>`` predicates on the encoded cells — sound because the
-  value encoding is injective) and keeps the ``DISTINCT`` frontier
+  value encoding is injective, and ``Constant`` guards become prefix
+  tests on the encoding's type tag: a cell holds a null exactly when
+  it starts with ``'n:'``) and keeps the ``DISTINCT`` frontier
   assignments with no witness, via ``NOT EXISTS`` over the joined
   conclusion atoms — exactly the restricted-chase firing condition;
 * triggers land in a temp table whose ``rowid`` (1..n, assigned in
@@ -21,8 +23,8 @@ a :class:`~repro.store.SqliteStore`:
 * one ``INSERT OR IGNORE ... SELECT`` per conclusion atom then fires
   every trigger at once.
 
-Dependencies outside the fragment (``Constant`` guards, or anything a
-future dialect adds) **fall back per round** to the tuple-at-a-time
+Dependencies outside the fragment (guard kinds a future dialect might
+add) **fall back per round** to the tuple-at-a-time
 chase — premise matching runs against the store through the ordinary
 :func:`~repro.logic.matching.match_atoms` protocol — so a mixed
 dependency set still reaches the same fixpoint.  Disjunctive tgds are
@@ -43,7 +45,7 @@ from ..errors import ReproError
 from ..terms import Const, Null, Var
 from ..logic.atoms import Atom
 from ..logic.dependencies import Dependency, Tgd
-from ..logic.guards import Guard, Inequality
+from ..logic.guards import ConstantGuard, Guard, Inequality
 from .sqlite import SqliteStore, encode_value
 
 __all__ = [
@@ -71,13 +73,15 @@ def in_sql_fragment(dep: Dependency) -> bool:
     """True when *dep* compiles to a SQL plan (no per-round fallback).
 
     The fragment is: non-disjunctive tgds whose guards are all
-    inequalities.  ``Constant`` guards probe the *type* of a value —
-    expressible on the tagged encoding, but deliberately left to the
-    tuple fallback to keep the compiled dialect small and obviously
-    sound.
+    inequalities or ``Constant`` guards.  Inequalities compare encoded
+    cells (sound because the encoding is injective); ``Constant``
+    guards probe the *type* of a value, which the tagged encoding makes
+    a prefix test — a cell is a null exactly when it starts with
+    ``'n:'`` (constants encode as ``'i:'``/``'s:'``).  Guard kinds
+    outside the dialect route the dependency to the tuple fallback.
     """
     return isinstance(dep, Tgd) and all(
-        isinstance(g, Inequality) for g in dep.guards
+        isinstance(g, (Inequality, ConstantGuard)) for g in dep.guards
     )
 
 
@@ -131,7 +135,17 @@ def _compile_premise(
 def _guard_condition(
     guard: Guard, var_col: Dict[Var, str], params: List[str]
 ) -> str:
-    """An inequality guard as a SQL predicate on encoded cells."""
+    """A fragment guard as a SQL predicate on encoded cells.
+
+    Inequalities become ``<>`` between encoded cells/parameters;
+    ``Constant`` guards become the type-tag prefix test
+    ``SUBSTR(cell, 1, 2) <> 'n:'`` (a guard on a literal constant is
+    trivially true and compiles to ``1 = 1``).
+    """
+    if isinstance(guard, ConstantGuard):
+        if isinstance(guard.term, Const):
+            return "1 = 1"
+        return f"SUBSTR({var_col[guard.term]}, 1, 2) <> 'n:'"
     assert isinstance(guard, Inequality)
     sides = []
     for term in (guard.left, guard.right):

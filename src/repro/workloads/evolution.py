@@ -67,8 +67,10 @@ def drop_column(old: str, new: str, arity: int, position: int) -> Hop:
 def vertical_partition(
     old: str, left: str, right: str, arity: int, split: int
 ) -> Hop:
-    """Split columns ``[0, split]`` and ``[split, arity)`` sharing the
-    split column as the join key — Example 1.1 generalized (lossy)."""
+    """Split a relation into columns ``[0, split]`` and ``[split, arity)``.
+
+    The two halves share the split column as the join key — Example 1.1
+    generalized (lossy)."""
     if not 0 < split < arity - 1:
         raise ValueError(f"split {split} must leave columns on both sides")
     variables = _vars(arity)

@@ -1,0 +1,92 @@
+"""The docstring coverage/style gate (``tools/check_docstrings.py``)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "check_docstrings.py"
+_spec = importlib.util.spec_from_file_location("check_docstrings", _TOOL)
+check_docstrings = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_docstrings", check_docstrings)
+_spec.loader.exec_module(check_docstrings)
+
+check_style = check_docstrings.check_style
+inspect_file = check_docstrings.inspect_file
+main = check_docstrings.main
+
+
+class TestCheckStyle:
+    def test_plain_period_passes(self):
+        assert check_style("Do the thing.") is None
+
+    def test_multiline_summary_judged_on_first_line(self):
+        assert check_style("Do the thing.\n\nMore detail, no period") is None
+
+    def test_trailing_quote_after_period_passes(self):
+        assert check_style('Reject values other than "done."') is None
+        assert check_style("Handle the edge case (see item 3.)") is None
+
+    def test_missing_period_flagged(self):
+        problem = check_style("Do the thing")
+        assert problem is not None and "period" in problem
+
+    def test_empty_docstring_flagged(self):
+        assert check_style("") == "empty summary line"
+        assert check_style("\n\n") == "empty summary line"
+
+    def test_question_mark_flagged(self):
+        assert check_style("Does it hold?") is not None
+
+
+class TestInspectFile:
+    def _module(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        return path
+
+    def test_style_violations_located_by_qualname(self, tmp_path):
+        path = self._module(
+            tmp_path,
+            '"""Module summary without period"""\n'
+            "class Thing:\n"
+            '    """A thing."""\n'
+            "    def act(self):\n"
+            '        """Act"""\n',
+        )
+        report = inspect_file(path, style=True)
+        assert report.documented == report.total == 3
+        flagged = dict(report.style_violations)
+        assert set(flagged) == {"<module>", "Thing.act"}
+
+    def test_style_off_by_default(self, tmp_path):
+        path = self._module(tmp_path, '"""No period here"""\n')
+        assert inspect_file(path).style_violations == []
+
+    def test_missing_docstrings_not_style_checked(self, tmp_path):
+        path = self._module(tmp_path, "def act():\n    pass\n")
+        report = inspect_file(path, style=True)
+        assert report.missing == ["<module>", "act"]
+        assert report.style_violations == []
+
+
+class TestMain:
+    def test_style_failure_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text('"""No period here"""\n')
+        assert main([str(tmp_path), "--style"]) == 1
+        assert "style violation" in capsys.readouterr().err
+
+    def test_clean_tree_passes(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text('"""All good here."""\n')
+        assert main([str(tmp_path), "--style"]) == 0
+        out = capsys.readouterr().out
+        assert "style: all 1 docstring summaries conform" in out
+
+    def test_repo_package_conforms(self, capsys):
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert main([str(src), "--style"]) == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

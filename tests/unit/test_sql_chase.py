@@ -12,6 +12,28 @@ from repro.store import SqliteStore, in_sql_fragment, sql_chase
 from repro.store.sqlplan import SqlPlanError, compile_tgd
 
 
+class _OpaqueGuard:
+    """A guard kind the SQL dialect does not know: forces the fallback.
+
+    Implements the duck-typed guard protocol the tuple chase uses
+    (``holds``/``substitute_terms``) but is neither an ``Inequality``
+    nor a ``ConstantGuard``, so ``in_sql_fragment`` must reject it.
+    Semantically it is always true.
+    """
+
+    def __init__(self, term):
+        self.term = term
+
+    def holds(self, binding):
+        return True
+
+    def substitute_terms(self, mapping):
+        return self
+
+    def is_trivially_false(self):
+        return False
+
+
 def _load(instance: Instance) -> SqliteStore:
     store = SqliteStore(":memory:")
     store.add_all(instance.facts)
@@ -31,10 +53,23 @@ class TestFragment:
         dep = parse_dependency("P(x, y) & x != y -> Q(x, y)")
         assert in_sql_fragment(dep)
 
-    def test_constant_guard_outside_fragment(self):
+    def test_constant_guard_in_fragment(self):
+        # The tagged encoding makes Constant(x) a SQL prefix test.
         dep = parse_dependency("P(x, y) & Constant(x) -> Q(x, y)")
-        assert not in_sql_fragment(dep)
-        assert compile_tgd(dep, 0, {"P": ("r0", 2), "Q": ("r1", 2)}) is None
+        assert in_sql_fragment(dep)
+        plan = compile_tgd(dep, 0, {"P": ("r0", 2), "Q": ("r1", 2)})
+        assert plan is not None
+        assert "SUBSTR" in plan.trigger_sql and "'n:'" in plan.trigger_sql
+
+    def test_unknown_guard_outside_fragment(self):
+        dep = parse_dependency("P(x, y) -> Q(x, y)")
+        guarded = Tgd(
+            premise=dep.premise,
+            conclusion=dep.conclusion,
+            guards=(_OpaqueGuard(next(iter(dep.frontier))),),
+        )
+        assert not in_sql_fragment(guarded)
+        assert compile_tgd(guarded, 0, {"P": ("r0", 2), "Q": ("r1", 2)}) is None
 
     def test_disjunctive_rejected_outright(self):
         dep = parse_dependency("P(x) -> Q(x) | R(x)")
@@ -125,38 +160,85 @@ class TestCompiledExecution:
         assert result.instance.facts == _memory_chase(source, text).facts
 
 
-class TestFallback:
-    def test_constant_guard_falls_back_same_result(self):
+class TestConstantGuardCompiled:
+    def test_constant_guard_compiles_same_result(self):
         text = "P(x, y) & Constant(x) -> Q(x, y)"
         source = Instance.parse("P(a, b), P(N7, c)")
         store = _load(source)
         result = sql_chase(store, parse_dependencies(text))
-        assert result.compiled == 0 and result.fallback == 1
+        assert result.compiled == 1 and result.fallback == 0
         assert result.instance.facts == _memory_chase(source, text).facts
         assert fact("Q", "a", "b") in result.instance.facts
         assert fact("Q", "N7", "c") not in result.instance.facts
 
-    def test_mixed_compiled_and_fallback(self):
+    def test_constant_guard_on_minted_null(self):
+        # A null minted by a compiled round must fail Constant() in the
+        # next compiled round — the prefix test sees SQL-minted nulls.
         text = (
-            "P(x, y) -> Q(x, y)\n"
-            "Q(x, y) & Constant(x) -> S(x)"
+            "P(x) -> Q(x, z)\n"
+            "Q(x, y) & Constant(y) -> S(y)"
         )
-        source = Instance.parse("P(a, b), P(N3, c)")
+        source = Instance.parse("P(a), Q(b, c)")
         store = _load(source)
         result = sql_chase(store, parse_dependencies(text))
-        assert result.compiled == 1 and result.fallback == 1
+        assert result.compiled == 2 and result.fallback == 0
+        assert fact("S", "c") in result.instance.facts
+        # The only other S-fact candidate is the minted null: excluded.
+        s_facts = [f for f in result.instance.facts if f.relation == "S"]
+        assert len(s_facts) == 1
+
+    def test_constant_guard_with_inequality(self):
+        text = 'P(x, y) & Constant(x) & x != y -> Q(x, y)'
+        source = Instance.parse("P(a, a), P(a, b), P(N1, b)")
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text))
+        assert result.compiled == 1 and result.fallback == 0
         assert result.instance.facts == _memory_chase(source, text).facts
+        q_facts = [f for f in result.instance.facts if f.relation == "Q"]
+        assert q_facts == [fact("Q", "a", "b")]
+
+
+class TestFallback:
+    def test_unknown_guard_falls_back_same_result(self):
+        dep = parse_dependency("P(x, y) -> Q(x, y)")
+        guarded = Tgd(
+            premise=dep.premise,
+            conclusion=dep.conclusion,
+            guards=(_OpaqueGuard(next(iter(dep.frontier))),),
+        )
+        source = Instance.parse("P(a, b), P(c, d)")
+        store = _load(source)
+        result = sql_chase(store, [guarded])
+        assert result.compiled == 0 and result.fallback == 1
+        assert result.instance.facts == _memory_chase(source, "P(x, y) -> Q(x, y)").facts
+
+    def test_mixed_compiled_and_fallback(self):
+        compiled_dep = parse_dependency("P(x, y) -> Q(x, y)")
+        base = parse_dependency("Q(x, y) -> S(x)")
+        fallback_dep = Tgd(
+            premise=base.premise,
+            conclusion=base.conclusion,
+            guards=(_OpaqueGuard(next(iter(base.frontier))),),
+        )
+        source = Instance.parse("P(a, b), P(c, d)")
+        store = _load(source)
+        result = sql_chase(store, [compiled_dep, fallback_dep])
+        assert result.compiled == 1 and result.fallback == 1
         assert fact("S", "a") in result.instance.facts
+        assert fact("S", "c") in result.instance.facts
 
     def test_fallback_nulls_do_not_collide_with_compiled(self):
         # Both regimes mint from one shared counter.
-        text = (
-            "P(x, y) -> Q(x, z)\n"
-            "P(x, y) & Constant(x) -> R(x, w)"
+        compiled_dep = parse_dependency("P(x, y) -> Q(x, z)")
+        base = parse_dependency("P(x, y) -> R(x, w)")
+        fallback_dep = Tgd(
+            premise=base.premise,
+            conclusion=base.conclusion,
+            guards=(_OpaqueGuard(next(iter(base.frontier))),),
         )
         source = Instance.parse("P(a, b)")
         store = _load(source)
-        result = sql_chase(store, parse_dependencies(text))
+        result = sql_chase(store, [compiled_dep, fallback_dep])
         nulls = result.instance.nulls
         assert len(nulls) == 2  # z-null and w-null stayed distinct
 

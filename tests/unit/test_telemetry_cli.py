@@ -301,3 +301,76 @@ class TestExplainBudgetNote:
         )
         assert code == 0
         assert "budget:" not in out
+
+
+class TestCacheDirFlag:
+    def test_chase_results_persist_across_invocations(self, capsys, tmp_path):
+        from repro.service.diskcache import DiskCache
+
+        cache = tmp_path / "cache"
+        argv = (
+            "chase", "--mapping", MAPPING, "--instance", INSTANCE,
+            "--cache-dir", str(cache), "--no-registry",
+        )
+        code, out_cold, _ = run_cli(capsys, *argv)
+        assert code == 0
+        assert len(DiskCache(str(cache))) > 0
+        entries_after_cold = len(DiskCache(str(cache)))
+        # A second invocation builds a fresh engine (memory tier cold)
+        # and must serve the identical result from the disk tier.
+        code, out_warm, _ = run_cli(capsys, *argv)
+        assert code == 0
+        assert out_warm == out_cold
+        assert len(DiskCache(str(cache))) == entries_after_cold
+
+    def test_cache_dir_off_value_disables(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, _, _ = run_cli(
+            capsys,
+            "chase", "--mapping", MAPPING, "--instance", INSTANCE,
+            "--cache-dir", "off", "--no-registry",
+        )
+        assert code == 0
+        assert not (tmp_path / "off").exists()
+
+    def test_env_var_enables_disk_cache(self, capsys, tmp_path, monkeypatch):
+        cache = tmp_path / "envcache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        code, _, _ = run_cli(
+            capsys,
+            "chase", "--mapping", MAPPING, "--instance", INSTANCE,
+            "--no-registry",
+        )
+        assert code == 0
+        assert cache.is_dir()
+
+    def test_runs_gc_sweeps_cache(self, capsys, tmp_path):
+        from repro.service.diskcache import DiskCache
+
+        db = tmp_path / "runs.db"
+        cache = tmp_path / "cache"
+        run_cli(
+            capsys,
+            "chase", "--mapping", MAPPING, "--instance", INSTANCE,
+            "--cache-dir", str(cache), "--registry", str(db),
+        )
+        assert len(DiskCache(str(cache))) > 0
+        code, out, _ = run_cli(
+            capsys,
+            "runs", "gc", "--db", str(db),
+            "--cache-dir", str(cache), "--max-cache-bytes", "0",
+        )
+        assert code == 0
+        assert "cache gc:" in out
+        assert len(DiskCache(str(cache))) == 0
+
+    def test_runs_gc_without_cache_dir_skips_sweep(self, capsys, tmp_path):
+        db = tmp_path / "runs.db"
+        run_cli(
+            capsys,
+            "chase", "--mapping", MAPPING, "--instance", INSTANCE,
+            "--registry", str(db),
+        )
+        code, out, _ = run_cli(capsys, "runs", "gc", "--db", str(db))
+        assert code == 0
+        assert "cache gc:" not in out

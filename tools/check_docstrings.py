@@ -7,12 +7,20 @@ functions / methods (names not starting with ``_``, plus ``__init__``
 when the enclosing class is public — its signature is the constructor
 contract).  Nested ``def``s are implementation detail and are skipped.
 
+``--style`` adds a *style* pass over the docstrings that exist: the
+summary (first non-blank line) must be non-empty and end in a period —
+the convention the whole codebase follows, and the one tooling such as
+``pydocstyle`` (D400) standardizes on.  Style violations are listed and
+fail the gate regardless of the coverage percentage.
+
 Usage::
 
     python tools/check_docstrings.py src/repro --fail-under 90
     python tools/check_docstrings.py src/repro --list-missing
+    python tools/check_docstrings.py src/repro --style
 
-Exit codes: 0 coverage >= threshold, 1 below threshold, 2 usage error.
+Exit codes: 0 coverage >= threshold (and, under ``--style``, no style
+violations), 1 below threshold or style violations, 2 usage error.
 
 This replaces an ``interrogate`` dependency: CI images here only carry
 the baked-in toolchain, so the gate has to be stdlib-only.
@@ -32,19 +40,41 @@ _FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
 
 @dataclass
 class FileReport:
-    """Coverage tally for one module file."""
+    """Coverage and style tally for one module file."""
 
     path: Path
     total: int = 0
     documented: int = 0
     missing: List[str] = field(default_factory=list)
+    style_violations: List[Tuple[str, str]] = field(default_factory=list)
 
     def note(self, qualname: str, has_doc: bool) -> None:
+        """Count one public object, tracking it when undocumented."""
         self.total += 1
         if has_doc:
             self.documented += 1
         else:
             self.missing.append(qualname)
+
+    def note_style(self, qualname: str, problem: str) -> None:
+        """Record one docstring style violation."""
+        self.style_violations.append((qualname, problem))
+
+
+def check_style(docstring: str) -> str | None:
+    """The style problem with *docstring*'s summary line, or ``None``.
+
+    The summary is the first non-blank line; it must exist and end in
+    a period (a closing quote/paren/bracket after the period is fine —
+    summaries like ``Do X (see Y).`` pass).
+    """
+    lines = [line.strip() for line in docstring.strip().splitlines()]
+    summary = lines[0] if lines else ""
+    if not summary:
+        return "empty summary line"
+    if not summary.rstrip("\"')]}").endswith("."):
+        return f"summary does not end in a period: {summary!r}"
+    return None
 
 
 def _is_public(name: str, *, in_public_class: bool = False) -> bool:
@@ -80,15 +110,28 @@ def _walk_scope(
             )
 
 
-def inspect_file(path: Path) -> FileReport:
-    """Parse one module and tally its public docstring coverage."""
+def inspect_file(path: Path, style: bool = False) -> FileReport:
+    """Parse one module and tally its public docstring coverage.
+
+    With *style* the docstrings that exist are also checked against
+    :func:`check_style` and violations recorded on the report.
+    """
     report = FileReport(path=path)
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    report.note("<module>", ast.get_docstring(tree) is not None)
-    for qualname, has_doc, _node in _walk_scope(
+    module_doc = ast.get_docstring(tree)
+    report.note("<module>", module_doc is not None)
+    if style and module_doc is not None:
+        problem = check_style(module_doc)
+        if problem:
+            report.note_style("<module>", problem)
+    for qualname, has_doc, node in _walk_scope(
         tree.body, "", in_public_class=False
     ):
         report.note(qualname, has_doc)
+        if style and has_doc:
+            problem = check_style(ast.get_docstring(node))
+            if problem:
+                report.note_style(qualname, problem)
     return report
 
 
@@ -116,12 +159,21 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="print every undocumented public object",
     )
+    parser.add_argument(
+        "--style",
+        action="store_true",
+        help="also enforce summary-line style on existing docstrings "
+             "(non-empty first line ending in a period)",
+    )
     args = parser.parse_args(argv)
     if not args.root.is_dir():
         print(f"error: {args.root} is not a directory", file=sys.stderr)
         return 2
 
-    reports = [inspect_file(path) for path in iter_module_files(args.root)]
+    reports = [
+        inspect_file(path, style=args.style)
+        for path in iter_module_files(args.root)
+    ]
     total = sum(r.total for r in reports)
     documented = sum(r.documented for r in reports)
     if total == 0:
@@ -146,12 +198,32 @@ def main(argv: List[str] | None = None) -> int:
         f"\ntotal: {documented}/{total} public objects documented "
         f"({coverage:.1f}%, gate {args.fail_under:.0f}%)"
     )
+    failed = False
     if coverage < args.fail_under:
         print(
             f"FAIL: docstring coverage {coverage:.1f}% "
             f"< {args.fail_under:.1f}%",
             file=sys.stderr,
         )
+        failed = True
+    if args.style:
+        violations = [
+            (report.path, qualname, problem)
+            for report in reports
+            for qualname, problem in report.style_violations
+        ]
+        if violations:
+            print(
+                f"\n{len(violations)} docstring style violation"
+                f"{'s' if len(violations) != 1 else ''}:",
+                file=sys.stderr,
+            )
+            for path, qualname, problem in violations:
+                print(f"  {path}: {qualname}: {problem}", file=sys.stderr)
+            failed = True
+        else:
+            print(f"style: all {documented} docstring summaries conform")
+    if failed:
         return 1
     print("OK")
     return 0
