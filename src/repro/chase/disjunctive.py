@@ -39,6 +39,7 @@ from ..homs.quotient import enumerate_quotients
 from ..homs.search import is_homomorphic
 from ..instance import Instance, InstanceBuilder
 from ..limits import Budget, Exhausted, Limits
+from ..logic.delta import TriggerIndex, binding_sort_key, match_atoms_delta
 from ..logic.dependencies import Dependency, DisjunctiveTgd, iter_disjunctive
 from ..logic.matching import match_atoms
 from ..obs.events import (
@@ -50,7 +51,7 @@ from ..obs.events import (
 )
 from ..obs.tracer import Tracer, current_tracer, maybe_span
 from ..terms import NullFactory
-from .standard import report_exhaustion, resolve_budget
+from .standard import report_exhaustion, resolve_budget, resolve_evaluation
 
 #: Per-branch rounds guard when neither rounds nor deadline is bounded.
 DEFAULT_MAX_ROUNDS = 32
@@ -115,6 +116,7 @@ def disjunctive_chase(
     branch_root: str = "b",
     limits: Optional[Limits] = None,
     budget: Optional[Budget] = None,
+    evaluation: Optional[str] = None,
 ) -> Branches:
     """Chase *instance* with disjunctive tgds; return the branch instances.
 
@@ -122,6 +124,17 @@ def disjunctive_chase(
     Matching is syntactic; inequality guards hold between distinct values.
     Branches are *full* instances (input facts plus generated facts);
     callers typically restrict to the source schema afterwards.
+
+    Triggers are selected canonically — first dtgd in declaration order
+    with an unsatisfied match, smallest match by
+    :func:`~repro.logic.delta.binding_sort_key` — and, by default,
+    *semi-naively*: each branch carries a forked
+    :class:`~repro.logic.delta.TriggerIndex` plus per-dtgd agendas of
+    open triggers, and a child only re-matches against the facts its
+    disjunct added (:func:`~repro.logic.delta.match_atoms_delta`)
+    instead of the whole instance.  ``evaluation="naive"`` (or
+    ``REPRO_NAIVE_CHASE=1``) re-matches every branch from scratch; both
+    modes fire identical triggers and build identical branch trees.
 
     With a *tracer*, the branch genealogy is emitted as
     ``BranchOpened``/``BranchClosed`` events (*branch_root* names the
@@ -163,13 +176,25 @@ def disjunctive_chase(
             )
     if tracer is None:
         tracer = current_tracer()
+    evaluation = resolve_evaluation(evaluation)
     budget = resolve_budget(limits, budget, _LEGACY_LIMITS)
     lim = budget.limits
     guard_rounds = _guard(lim.max_rounds, lim.deadline, DEFAULT_MAX_ROUNDS)
     guard_branches = _guard(lim.max_branches, lim.deadline, DEFAULT_MAX_BRANCHES)
 
     finished = Branches()
-    frontier: List[Tuple[Instance, int, str]] = [(instance, 0, branch_root)]
+    # Frontier entries: (instance, rounds, branch id, delta state).
+    # Delta state is (TriggerIndex, per-dtgd agendas) under semi-naive
+    # evaluation, None under naive (agendas are then rebuilt per pop).
+    if evaluation == "delta":
+        root_index = TriggerIndex(instance)
+        root_state = (
+            root_index,
+            [_sorted_matches(dtgd, root_index) for dtgd in dtgds],
+        )
+    else:
+        root_state = None
+    frontier: List[tuple] = [(instance, 0, branch_root, root_state)]
     seen: Set[Instance] = set()
     # Branch lifecycle also feeds the progress ticker's per-branch
     # breakdown.  getattr-guarded: the supervisor installs a heartbeat
@@ -184,9 +209,9 @@ def disjunctive_chase(
     if tracer is not None:
         tracer.emit(BranchOpened(branch=branch_root))
 
-    def flush_exhausted(pending: List[Tuple[Instance, int, str]]) -> None:
+    def flush_exhausted(pending: List[tuple]) -> None:
         """Partial mode: unfinished worlds become results, tagged closed."""
-        for inst, _rounds, br in pending:
+        for inst, _rounds, br, _state in pending:
             if inst not in seen:
                 seen.add(inst)
                 finished.append(inst)
@@ -221,7 +246,7 @@ def disjunctive_chase(
                 flush_exhausted(frontier)
                 finished.exhausted = exhausted
                 return finished
-            current, rounds, branch = frontier.pop()
+            current, rounds, branch, state = frontier.pop()
             if guard_rounds is not None and rounds > guard_rounds:
                 exhausted = budget.mark(
                     "rounds", "disjunctive_chase", guard_rounds, rounds
@@ -255,7 +280,12 @@ def disjunctive_chase(
                 flush_exhausted(frontier)
                 finished.exhausted = exhausted
                 return finished
-            trigger = _find_trigger(dtgds, current)
+            if state is None:
+                index = None
+                agendas = [_sorted_matches(dtgd, current) for dtgd in dtgds]
+            else:
+                index, agendas = state
+            trigger = _select_trigger(dtgds, agendas, current)
             if trigger is None:
                 if current not in seen:
                     seen.add(current)
@@ -286,17 +316,18 @@ def disjunctive_chase(
                     fresh = factory.fresh()
                     full[var] = fresh
                     minted.append((var.name, fresh))
-                builder = InstanceBuilder(current)
+                if index is None:
+                    accumulator = InstanceBuilder(current)
+                else:
+                    accumulator = index.fork()
                 child_branch = f"{branch}.{disjunct_index}"
                 note_branch("opened")
-                if tracer is None:
-                    builder.add_all(atom.instantiate(full) for atom in disjunct)
-                else:
-                    added = []
-                    for atom in disjunct:
-                        f = atom.instantiate(full)
-                        if builder.add(f):
-                            added.append(f)
+                added = []
+                for atom in disjunct:
+                    f = atom.instantiate(full)
+                    if accumulator.add(f):
+                        added.append(f)
+                if tracer is not None:
                     tgd_text = str(dtgd)
                     tracer.emit(
                         BranchOpened(
@@ -332,10 +363,38 @@ def disjunctive_chase(
                             disjunct_index=disjunct_index,
                         )
                     )
-                child = builder.snapshot()
+                child = accumulator.snapshot()
                 budget.charge("disjunctive_chase", facts=len(child))
                 if child not in seen:
-                    frontier.append((child, rounds + 1, child_branch))
+                    if index is None:
+                        child_state = None
+                    else:
+                        # The child resumes its own delta set: only the
+                        # disjunct's added facts need re-matching.  The
+                        # fired entry is stripped everywhere — each
+                        # disjunct's facts witness it in that child.
+                        delta: dict = {}
+                        for f in added:
+                            delta.setdefault(f.relation, set()).add(f.values)
+                        child_agendas = []
+                        for di, d in enumerate(dtgds):
+                            base = (
+                                agendas[di][1:]
+                                if di == dtgd_index
+                                else list(agendas[di])
+                            )
+                            fresh_entries = [
+                                (binding_sort_key(b), b)
+                                for b in match_atoms_delta(
+                                    d.premise, accumulator, delta, d.guards
+                                )
+                            ]
+                            fresh_entries.sort(key=lambda entry: entry[0])
+                            child_agendas.append(
+                                _merge_agendas(base, fresh_entries)
+                            )
+                        child_state = (accumulator, child_agendas)
+                    frontier.append((child, rounds + 1, child_branch, child_state))
                 else:
                     note_branch("closed", "duplicate")
                     if tracer is not None:
@@ -349,12 +408,66 @@ def disjunctive_chase(
     return finished
 
 
-def _find_trigger(dtgds: List[DisjunctiveTgd], instance: Instance):
-    """Find one unsatisfied trigger, deterministically (first in order)."""
+def _sorted_matches(dtgd: DisjunctiveTgd, source) -> List[tuple]:
+    """All premise matches over *source* as a key-sorted agenda.
+
+    Entries are ``(binding_sort_key(b), b)`` pairs; the canonical key
+    order makes trigger selection content-determined (independent of
+    enumeration order), which is what lets per-branch delta agendas and
+    the naive full re-match agree on every firing.
+    """
+    entries = [
+        (binding_sort_key(binding), binding)
+        for binding in match_atoms(dtgd.premise, source, dtgd.guards)
+    ]
+    entries.sort(key=lambda entry: entry[0])
+    return entries
+
+
+def _merge_agendas(base: List[tuple], fresh: List[tuple]) -> List[tuple]:
+    """Merge two key-sorted agendas (delta matches never duplicate base)."""
+    if not fresh:
+        return base
+    if not base:
+        return fresh
+    merged: List[tuple] = []
+    i = j = 0
+    while i < len(base) and j < len(fresh):
+        if base[i][0] <= fresh[j][0]:
+            merged.append(base[i])
+            i += 1
+        else:
+            merged.append(fresh[j])
+            j += 1
+    merged.extend(base[i:])
+    merged.extend(fresh[j:])
+    return merged
+
+
+def _select_trigger(
+    dtgds: List[DisjunctiveTgd], agendas: List[List[tuple]], instance: Instance
+):
+    """First unsatisfied trigger in canonical (dtgd, binding-key) order.
+
+    Scans each dtgd's agenda in key order, *permanently dropping*
+    satisfied entries along the way: satisfaction is monotone under fact
+    addition, and every descendant branch is a superset of *instance*,
+    so a dropped entry could never fire again on this lineage.  On
+    success the fired entry is left at the head of its agenda (the
+    caller strips it when building child agendas, since each disjunct's
+    added facts witness it in every child).
+    """
     for dtgd_index, dtgd in enumerate(dtgds):
-        for binding in match_atoms(dtgd.premise, instance, dtgd.guards):
-            if not _trigger_satisfied(dtgd, binding, instance):
-                return dtgd_index, dtgd, binding
+        agenda = agendas[dtgd_index]
+        satisfied = 0
+        for _key, binding in agenda:
+            if _trigger_satisfied(dtgd, binding, instance):
+                satisfied += 1
+                continue
+            if satisfied:
+                del agenda[:satisfied]
+            return dtgd_index, dtgd, binding
+        agenda.clear()
     return None
 
 
@@ -390,6 +503,7 @@ def reverse_disjunctive_chase(
     tracer: Optional[Tracer] = None,
     limits: Optional[Limits] = None,
     budget: Optional[Budget] = None,
+    evaluation: Optional[str] = None,
 ) -> Branches:
     """Reverse data exchange: chase a target instance back to source worlds.
 
@@ -448,6 +562,7 @@ def reverse_disjunctive_chase(
             tracer=tracer,
             branch_root=f"q{quotient_index}",
             budget=budget,
+            evaluation=evaluation,
         )
         for branch in branches:
             if result_relations is not None:

@@ -19,7 +19,16 @@ Two variants are provided (design decision D1 in DESIGN.md):
   result is hom-equivalent to the restricted result.
 
 Both run to a fixpoint in rounds, so they also work when conclusions feed
-premises (not the s-t case).  Resource governance goes through
+premises (not the s-t case).  Rounds are evaluated **semi-naively** by
+default (decision D5 in DESIGN.md): facts live in a
+:class:`~repro.logic.delta.TriggerIndex` maintained incrementally as
+triggers fire, and round ``k`` enumerates only the bindings that touch a
+fact new in round ``k-1`` (:func:`~repro.logic.delta.match_atoms_delta`)
+instead of re-matching the whole instance.  The firing sequence — and
+therefore every null name, budget truncation point, and tracer event —
+is identical to the naive loop's, which remains available as
+``evaluation="naive"`` or via the ``REPRO_NAIVE_CHASE=1`` environment
+escape hatch.  Resource governance goes through
 :class:`repro.limits.Limits`: the chase checks a cooperative
 :class:`~repro.limits.Budget` (wall-clock deadline, fixpoint rounds,
 total facts, minted nulls, cancellation) inside the fixpoint loop, and
@@ -34,14 +43,16 @@ non-termination guard applies (raising :class:`ChaseNonTermination`).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..deprecation import warn_deprecated_kwarg
 from ..errors import ChaseNonTermination
-from ..instance import Instance, InstanceBuilder
+from ..instance import Instance
 from ..limits import Budget, Exhausted, Limits, current_budget
 from ..logic.atoms import Atom
+from ..logic.delta import TriggerIndex, match_atoms_delta
 from ..logic.dependencies import Dependency, Tgd
 from ..logic.matching import match_atoms
 from ..obs.events import NullMinted, TriggerFired, exhaustion_event, freeze_binding
@@ -53,6 +64,7 @@ __all__ = [
     "ChaseResult",
     "chase",
     "chase_atoms_canonical",
+    "resolve_evaluation",
 ]
 
 #: Rounds guard applied when the caller sets neither rounds nor deadline
@@ -75,6 +87,14 @@ class ChaseResult:
     budget-limited run it carries the :class:`repro.limits.Exhausted`
     diagnosis and ``instance`` is the sound partial result (a
     sub-instance of what the unlimited chase would produce).
+
+    Per-round statistics make the semi-naive win observable:
+    ``delta_sizes[k]`` is how many facts were new going into round
+    ``k+1`` (independent of the evaluation mode), and
+    ``triggers_considered`` counts the premise bindings the loop
+    actually enumerated — under delta evaluation this stays close to
+    ``steps``, while the naive loop re-enumerates every old binding
+    every round.
     """
 
     instance: Instance
@@ -82,6 +102,8 @@ class ChaseResult:
     steps: int
     rounds: int
     exhausted: Optional[Exhausted] = None
+    delta_sizes: Tuple[int, ...] = ()
+    triggers_considered: int = 0
 
     @property
     def completed(self) -> bool:
@@ -112,13 +134,18 @@ def _conclusion_satisfied(tgd: Tgd, binding: Dict[Var, Value], store) -> bool:
 def _fire(
     tgd: Tgd,
     binding: Dict[Var, Value],
-    builder: InstanceBuilder,
+    builder,
     factory: NullFactory,
     tracer: Optional[Tracer] = None,
     tgd_index: int = -1,
     round_number: int = 0,
 ) -> int:
-    """Add the conclusion facts for one trigger; return how many were new."""
+    """Add the conclusion facts for one trigger; return how many were new.
+
+    *builder* is anything with ``add``/``add_all`` — an
+    :class:`~repro.instance.InstanceBuilder` or (the chase's own case) a
+    :class:`~repro.logic.delta.TriggerIndex`.
+    """
     full = dict(binding)
     if tracer is None:
         for var in sorted(tgd.existential_variables):
@@ -201,6 +228,22 @@ def report_exhaustion(
         tracer.metrics.inc("chase.nontermination")
 
 
+def resolve_evaluation(evaluation: Optional[str]) -> str:
+    """The effective evaluation mode: explicit > environment > delta.
+
+    ``"delta"`` (semi-naive, the default) enumerates only bindings that
+    touch facts new in the previous round; ``"naive"`` re-matches the
+    whole instance each round.  Both produce fact-for-fact identical
+    results; naive survives as a differential-testing oracle, reachable
+    fleet-wide through ``REPRO_NAIVE_CHASE=1``.
+    """
+    if evaluation is None:
+        evaluation = "naive" if os.environ.get("REPRO_NAIVE_CHASE") else "delta"
+    if evaluation not in ("delta", "naive"):
+        raise ValueError(f"unknown chase evaluation {evaluation!r}")
+    return evaluation
+
+
 def chase(
     instance: Instance,
     dependencies: Sequence[Dependency],
@@ -210,12 +253,21 @@ def chase(
     tracer: Optional[Tracer] = None,
     limits: Optional[Limits] = None,
     budget: Optional[Budget] = None,
+    evaluation: Optional[str] = None,
 ) -> ChaseResult:
     """Chase *instance* with plain tgds; returns the full chased instance.
 
     Dependencies must be plain or guarded :class:`Tgd`s (disjunctive tgds
     need :func:`repro.chase.disjunctive.disjunctive_chase`).  Guards on
     premises are honored during matching.
+
+    Rounds are evaluated semi-naively by default; ``evaluation`` picks
+    the mode explicitly (``"delta"``/``"naive"``, see
+    :func:`resolve_evaluation`).  The two modes fire the same triggers
+    in the same order against the same canonical
+    :class:`~repro.logic.delta.TriggerIndex` view, so results — null
+    names, partial prefixes, traces — are identical; only the number of
+    bindings *considered* differs (``ChaseResult.triggers_considered``).
 
     Resource governance: pass ``limits`` (a :class:`repro.limits.Limits`)
     to bound wall-clock time, rounds, facts, or minted nulls; with
@@ -246,6 +298,7 @@ def chase(
         tgds.append(dep)
     if variant not in ("restricted", "oblivious"):
         raise ValueError(f"unknown chase variant {variant!r}")
+    evaluation = resolve_evaluation(evaluation)
     if max_rounds is not None:
         warn_deprecated_kwarg("repro.chase", "max_rounds", "limits=Limits(...)")
         if limits is None and budget is None:
@@ -256,12 +309,14 @@ def chase(
         limits, budget, _LEGACY_LIMITS, fallback_rounds=DEFAULT_MAX_ROUNDS
     )
 
-    builder = InstanceBuilder(instance)
+    index = TriggerIndex(instance)
     factory = NullFactory.avoiding(instance.active_domain, prefix=null_prefix)
     fired: Set[Tuple[int, Tuple[Tuple[Var, Value], ...]]] = set()
     steps = 0
     rounds = 0
     minted_total = 0
+    triggers_considered = 0
+    delta_sizes: List[int] = []
     exhausted: Optional[Exhausted] = None
 
     with maybe_span(tracer, "chase", variant=variant, input_facts=len(instance)):
@@ -271,12 +326,25 @@ def chase(
             if exhausted is not None:
                 rounds -= 1  # the exhausted round never ran
                 break
-            current = builder.snapshot()
+            # Rotate the round boundary: facts fired last round become
+            # visible (and are the delta), facts fired this round stay
+            # invisible to premise matching until the next rotation —
+            # exactly what the per-round snapshot used to enforce.
+            delta = index.begin_round()
+            delta_sizes.append(sum(len(rows) for rows in delta.values()))
+            view = index.round_view()
             progressed = False
             for tgd_index, tgd in enumerate(tgds):
                 if exhausted is not None:
                     break
-                for binding in match_atoms(tgd.premise, current, tgd.guards):
+                if evaluation == "delta":
+                    bindings = match_atoms_delta(
+                        tgd.premise, view, delta, tgd.guards
+                    )
+                else:
+                    bindings = match_atoms(tgd.premise, view, tgd.guards)
+                for binding in bindings:
+                    triggers_considered += 1
                     if variant == "oblivious":
                         key = (tgd_index, tuple(sorted(binding.items())))
                         if key in fired:
@@ -284,16 +352,19 @@ def chase(
                         fired.add(key)
                     else:
                         # Restricted: check satisfaction against the *live*
-                        # builder state so one round does not add duplicate
-                        # witnesses for overlapping triggers.
-                        if _conclusion_satisfied(tgd, binding, builder):
+                        # index state so one round does not add duplicate
+                        # witnesses for overlapping triggers (decision D5:
+                        # deltas drive premise matching only; satisfaction
+                        # must see everything, or a witness fired earlier
+                        # in the same round would be missed).
+                        if _conclusion_satisfied(tgd, binding, index):
                             continue
-                    _fire(tgd, binding, builder, factory, tracer, tgd_index, rounds)
+                    _fire(tgd, binding, index, factory, tracer, tgd_index, rounds)
                     steps += 1
                     progressed = True
                     minted_total += len(tgd.existential_variables)
                     exhausted = budget.charge(
-                        "chase", facts=len(builder), nulls=minted_total
+                        "chase", facts=len(index), nulls=minted_total
                     )
                     if exhausted is not None:
                         break
@@ -304,13 +375,15 @@ def chase(
             if budget.limits.raises:
                 budget.raise_exhausted()
 
-    final = builder.snapshot()
+    final = index.snapshot()
     return ChaseResult(
         instance=final,
         generated=final.facts - instance.facts,
         steps=steps,
         rounds=rounds,
         exhausted=exhausted,
+        delta_sizes=tuple(delta_sizes),
+        triggers_considered=triggers_considered,
     )
 
 

@@ -89,13 +89,18 @@ class _OpCounters:
     batch where half the items crashed still shows where the time went.
     ``kills`` counts hung pool workers the supervisor had to terminate
     (see :mod:`repro.engine.supervisor`) — including kills on attempts
-    that later retried successfully.
+    that later retried successfully.  ``triggers`` accumulates the
+    premise bindings the chase loop enumerated
+    (:attr:`~repro.chase.standard.ChaseResult.triggers_considered`) —
+    with semi-naive evaluation it grows much slower than naive
+    re-matching would.
     """
 
     calls: int = 0
     wall_time: float = 0.0
     steps: int = 0
     rounds: int = 0
+    triggers: int = 0
     branches: int = 0
     errors: int = 0
     error_wall_time: float = 0.0
@@ -267,6 +272,7 @@ class ExchangeEngine:
         wall_time: float = 0.0,
         steps: int = 0,
         rounds: int = 0,
+        triggers: int = 0,
         branches: int = 0,
         calls: int = 1,
         errors: int = 0,
@@ -279,6 +285,7 @@ class ExchangeEngine:
             counters.wall_time += wall_time
             counters.steps += steps
             counters.rounds += rounds
+            counters.triggers += triggers
             counters.branches += branches
             counters.errors += errors
             counters.error_wall_time += error_wall_time
@@ -400,7 +407,11 @@ class ExchangeEngine:
             if result.exhausted is None:
                 self._caches["chase"].put(key, entry)
             self._record(
-                "chase", wall_time=elapsed, steps=result.steps, rounds=result.rounds
+                "chase",
+                wall_time=elapsed,
+                steps=result.steps,
+                rounds=result.rounds,
+                triggers=result.triggers_considered,
             )
         else:
             self._record("chase", calls=1)
@@ -424,7 +435,13 @@ class ExchangeEngine:
             instance=restricted,
             full=result.instance,
             generated=frozenset(result.generated),
-            stats=OperationStats(elapsed, result.steps, result.rounds),
+            stats=OperationStats(
+                elapsed,
+                result.steps,
+                result.rounds,
+                triggers_considered=result.triggers_considered,
+                delta_sizes=result.delta_sizes,
+            ),
             provenance=CacheProvenance(self._key_id(key), hit),
             exhausted=result.exhausted,
         )
@@ -700,7 +717,11 @@ class ExchangeEngine:
                     self._caches["chase"].put(key, entry)
                 resolved[key] = (entry, False)
                 self._record(
-                    "chase", steps=result.steps, rounds=result.rounds, calls=1
+                    "chase",
+                    steps=result.steps,
+                    rounds=result.rounds,
+                    triggers=result.triggers_considered,
+                    calls=1,
                 )
                 if self._telemetry:
                     self._emit(
@@ -747,7 +768,13 @@ class ExchangeEngine:
                     instance=restricted,
                     full=result.instance,
                     generated=frozenset(result.generated),
-                    stats=OperationStats(0.0, result.steps, result.rounds),
+                    stats=OperationStats(
+                        0.0,
+                        result.steps,
+                        result.rounds,
+                        triggers_considered=result.triggers_considered,
+                        delta_sizes=result.delta_sizes,
+                    ),
                     provenance=CacheProvenance(self._key_id(key), hit),
                     exhausted=result.exhausted,
                 )
@@ -1299,8 +1326,8 @@ class ExchangeEngine:
         """Per-operation counters as a nested plain dict.
 
         Covers cache hits/misses/evictions, live entries, compute wall
-        time, and chase work (steps, rounds, branches), plus a
-        ``totals`` roll-up.
+        time, and chase work (steps, rounds, triggers, branches), plus
+        a ``totals`` roll-up.
 
         When a tracer is attached (or ambient), its metrics registry is
         merged in under the ``"tracer"`` key — event counts by kind and
@@ -1314,6 +1341,7 @@ class ExchangeEngine:
             "wall_time": 0.0,
             "steps": 0,
             "rounds": 0,
+            "triggers": 0,
             "branches": 0,
             "errors": 0,
             "error_wall_time": 0.0,
@@ -1329,6 +1357,7 @@ class ExchangeEngine:
                 "wall_time": round(counters.wall_time, 6),
                 "steps": counters.steps,
                 "rounds": counters.rounds,
+                "triggers": counters.triggers,
                 "branches": counters.branches,
                 "errors": counters.errors,
                 "error_wall_time": round(counters.error_wall_time, 6),
@@ -1342,6 +1371,7 @@ class ExchangeEngine:
             totals["wall_time"] = round(totals["wall_time"] + counters.wall_time, 6)
             totals["steps"] += counters.steps
             totals["rounds"] += counters.rounds
+            totals["triggers"] += counters.triggers
             totals["branches"] += counters.branches
             totals["errors"] += counters.errors
             totals["error_wall_time"] = round(
@@ -1381,7 +1411,8 @@ class ExchangeEngine:
         header = (
             f"  {'op':<8} {'calls':>6} {'hits':>6} {'misses':>7} {'hit%':>6} "
             f"{'evict':>6} {'entries':>8} {'wall(s)':>10} {'ms/call':>8} "
-            f"{'steps':>7} {'branches':>9} {'errors':>7} {'kills':>6}"
+            f"{'steps':>7} {'triggers':>9} {'branches':>9} {'errors':>7} "
+            f"{'kills':>6}"
         )
         lines.append(header)
         for op in (*_OPS, "totals"):
@@ -1394,8 +1425,8 @@ class ExchangeEngine:
                 f"{self._hit_rate(row['hits'], row['calls']):>6} "
                 f"{row['evictions']:>6} {entries:>8} {row['wall_time']:>10.4f} "
                 f"{self._ms_per_call(row['wall_time'], row['misses']):>8} "
-                f"{row['steps']:>7} {row['branches']:>9} {row['errors']:>7} "
-                f"{row['kills']:>6}"
+                f"{row['steps']:>7} {row['triggers']:>9} {row['branches']:>9} "
+                f"{row['errors']:>7} {row['kills']:>6}"
             )
         tracer_metrics = report.get("tracer")
         if tracer_metrics and (

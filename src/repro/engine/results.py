@@ -34,12 +34,22 @@ class OperationStats:
     hit); ``steps``/``rounds`` are chase trigger firings and fixpoint
     rounds (0 where not applicable); ``branches`` is the disjunctive
     branch count explored on reverse operations.
+
+    ``triggers_considered``/``delta_sizes`` carry the semi-naive
+    chase's per-round statistics through the engine (see
+    :class:`~repro.chase.standard.ChaseResult`): how many premise
+    bindings the loop enumerated, and how many facts were new going
+    into each round.  Cache hits replay the counters recorded when the
+    entry was computed (as with ``steps``/``rounds``); both are
+    zero/empty for operations without a standard-chase phase.
     """
 
     wall_time: float = 0.0
     steps: int = 0
     rounds: int = 0
     branches: int = 0
+    triggers_considered: int = 0
+    delta_sizes: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -102,6 +112,8 @@ class ExchangeResult:
             steps=self.stats.steps,
             rounds=self.stats.rounds,
             exhausted=self.exhausted,
+            delta_sizes=self.stats.delta_sizes,
+            triggers_considered=self.stats.triggers_considered,
         )
 
 

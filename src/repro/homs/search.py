@@ -28,7 +28,7 @@ from ..terms import Const, Null, Value
 _CHECK_EVERY = 256
 
 
-def _fact_order(source: Instance, target: Instance) -> list:
+def _fact_order(source: Instance, target) -> list:
     """Order source facts cheapest-first: few target candidates, many constants."""
 
     def key(f) -> tuple:
@@ -59,7 +59,7 @@ def _extend(
 
 def homomorphisms(
     source: Instance,
-    target: Instance,
+    target,
     seed: Optional[Mapping[Null, Value]] = None,
     ordering: str = "constrained",
     budget: Optional[Budget] = None,
@@ -69,6 +69,13 @@ def homomorphisms(
     Homomorphisms are returned as ``{null: value}`` maps over the nulls of
     *source* (constants are implicitly fixed).  *seed* pre-commits some
     nulls — useful for extending partial homomorphisms.
+
+    *target* may be any :class:`~repro.logic.matching.MatchSource`, not
+    just an :class:`~repro.instance.Instance`: candidate probing uses
+    ``tuples``/``tuples_at``, so the chase's live
+    :class:`~repro.logic.delta.TriggerIndex` works directly — hom
+    search over a mid-chase state costs no snapshot.  Sources without
+    ``tuples_at`` fall back to full-relation scans.
 
     *ordering* selects the fact-processing order: ``"constrained"``
     (default) sorts most-constrained-first; ``"naive"`` takes an arbitrary
@@ -94,16 +101,19 @@ def homomorphisms(
     governed = budget is not None
     probes = [0]
     rejected = [0]
+    lookup = getattr(target, "tuples_at", None)
 
     def candidates(f: Fact):
         """Index-backed candidate tuples: probe the smallest bucket among
         the positions already fixed (constants or assigned nulls)."""
+        if lookup is None:
+            return target.tuples(f.relation)
         best = None
         for position, v in enumerate(f.values):
             value = v if isinstance(v, Const) else assignment.get(v)
             if value is None:
                 continue
-            bucket = target.tuples_at(f.relation, position, value)
+            bucket = lookup(f.relation, position, value)
             if best is None or len(bucket) < len(best):
                 best = bucket
                 if not best:

@@ -4,7 +4,8 @@ from .atoms import Atom, atom
 from .guards import ConstantGuard, Inequality
 from .dependencies import Dependency, DisjunctiveTgd, Tgd
 from .queries import ConjunctiveQuery
-from .matching import match_atoms
+from .matching import MatchSource, has_match, match_atoms
+from .delta import TriggerIndex, binding_sort_key, match_atoms_delta
 from .containment import contained_in, equivalent_queries, minimize_query
 from .implication import equivalent, implies, prune_redundant
 from .normalization import normalize, split_full_conclusions
@@ -18,7 +19,12 @@ __all__ = [
     "DisjunctiveTgd",
     "Tgd",
     "ConjunctiveQuery",
+    "MatchSource",
+    "TriggerIndex",
+    "binding_sort_key",
+    "has_match",
     "match_atoms",
+    "match_atoms_delta",
     "contained_in",
     "equivalent_queries",
     "minimize_query",

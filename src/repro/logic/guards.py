@@ -17,7 +17,7 @@ the quotient branching of the disjunctive chase (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Union
+from typing import FrozenSet, Mapping, Union
 
 from ..terms import Const, Term, Value, Var, is_term
 
@@ -45,6 +45,17 @@ class Inequality:
     def holds(self, binding: Mapping[Var, Value]) -> bool:
         """Syntactic disequality of the bound values."""
         return _resolve(self.left, binding) != _resolve(self.right, binding)
+
+    def variables(self) -> FrozenSet[Var]:
+        """The variables the guard needs bound before it can be checked.
+
+        The matcher uses this to defer a guard exactly while some of
+        its variables are unbound — and to let real evaluation errors
+        propagate once they all are.
+        """
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Var)
+        )
 
     def substitute_terms(self, mapping: Mapping[Var, Term]) -> "Inequality":
         """Substitute into both sides (either may become a constant)."""
@@ -75,6 +86,12 @@ class ConstantGuard:
     def holds(self, binding: Mapping[Var, Value]) -> bool:
         """True when the bound value is a constant (not a null)."""
         return isinstance(_resolve(self.term, binding), Const)
+
+    def variables(self) -> FrozenSet[Var]:
+        """The variables the guard needs bound before it can be checked."""
+        if isinstance(self.term, Var):
+            return frozenset((self.term,))
+        return frozenset()
 
     def substitute_terms(self, mapping: Mapping[Var, Term]) -> "ConstantGuard":
         """Substitute into the guarded term."""

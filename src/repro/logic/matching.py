@@ -1,29 +1,84 @@
-"""Matching conjunctions of atoms against an instance.
+"""Matching conjunctions of atoms against a match source.
 
 This is the shared engine under chase steps and conjunctive-query
 evaluation: enumerate all variable bindings under which every relational
-atom of a premise is a fact of the instance and every guard holds.
+atom of a premise is a fact of the source and every guard holds.
 
 The matcher does a backtracking search, at each step picking the pending
 atom with the fewest candidate facts given the bindings so far
 (most-constrained-first), which keeps premise matching fast on the skewed
 instances the workload generators produce.  Guards are checked as soon as
 all their variables are bound.
+
+The matching contract
+---------------------
+
+What used to be informal ``getattr(store, "tuples_at", ...)`` duck
+typing is now the documented contract, named :class:`MatchSource`: any
+object offering
+
+* ``tuples(relation) -> Sequence[Tuple[Value, ...]]`` — the rows of a
+  relation (an empty sequence when the relation is absent); and,
+  optionally,
+* ``tuples_at(relation, position, value) -> Sequence[Tuple[Value, ...]]``
+  — the rows holding *value* at *position*
+
+can be matched against.  ``tuples`` alone is sufficient (the matcher
+falls back to full-relation scans); ``tuples_at`` is the accelerator
+that lets the matcher probe only the smallest index bucket among the
+bound positions.  Satisfying sources include :class:`~repro.instance.
+Instance` (over any store backend), a live :class:`~repro.instance.
+InstanceBuilder`, every :class:`~repro.store.InstanceStore`, and the
+:class:`~repro.logic.delta.TriggerIndex` (whose round view powers the
+semi-naive chase — see :func:`repro.logic.delta.match_atoms_delta`).
+
+``match_atoms``/``has_match`` accept the source as the second positional
+argument, now named ``source``; the historical keyword spelling
+``instance=`` keeps working as a warn-free shim.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from ..terms import Const, Value, Var
-
-if TYPE_CHECKING:  # annotation-only: any InstanceStore-shaped object works
-    from ..instance import Instance
 from .atoms import Atom
 from .guards import Guard
 
+__all__ = [
+    "MatchSource",
+    "has_match",
+    "match_atoms",
+]
 
-def _candidate_count(atom: Atom, instance: Instance, binding: Mapping[Var, Value]) -> int:
+
+@runtime_checkable
+class MatchSource(Protocol):
+    """Anything premise atoms can be matched against.
+
+    See the module docstring for the full contract; ``tuples`` is the
+    one required method.  ``tuples_at`` is optional and detected with
+    ``getattr`` — a source without it still matches correctly, only
+    slower (full-relation scans instead of index-bucket probes).
+    """
+
+    def tuples(self, relation: str) -> Sequence[Tuple[Value, ...]]:
+        """The rows of *relation* (an empty sequence when absent)."""
+        ...
+
+
+def _candidate_count(
+    atom: Atom, source: MatchSource, binding: Mapping[Var, Value]
+) -> int:
     """Cheap upper bound on how many facts could match *atom* now.
 
     Mirrors :func:`_candidates`: a partially bound atom will only probe
@@ -33,10 +88,10 @@ def _candidate_count(atom: Atom, instance: Instance, binding: Mapping[Var, Value
     ordering prefer fully-bound atoms over tightly-indexed ones and
     scan whole relations for nothing on skewed instances.
     """
-    tuples = instance.tuples(atom.relation)
+    tuples = source.tuples(atom.relation)
     if not tuples:
         return 0
-    lookup = getattr(instance, "tuples_at", None)
+    lookup = getattr(source, "tuples_at", None)
     best: Optional[int] = None
     bound = 0
     for position, term in enumerate(atom.terms):
@@ -63,17 +118,17 @@ def _candidate_count(atom: Atom, instance: Instance, binding: Mapping[Var, Value
     return len(tuples)
 
 
-def _candidates(atom: Atom, store, binding: Mapping[Var, Value]):
+def _candidates(atom: Atom, source: MatchSource, binding: Mapping[Var, Value]):
     """The tuples worth probing for *atom* given the current binding.
 
     When a term is already bound (a constant or a bound variable) and the
-    store carries a position index, scan only that bucket — the smallest
+    source carries a position index, scan only that bucket — the smallest
     one among the bound positions.  Falls back to the full relation for
-    unbound atoms or index-less stores (e.g. live chase builders).
+    unbound atoms or index-less sources (e.g. live chase builders).
     """
-    lookup = getattr(store, "tuples_at", None)
+    lookup = getattr(source, "tuples_at", None)
     if lookup is None:
-        return store.tuples(atom.relation)
+        return source.tuples(atom.relation)
     best = None
     for position, term in enumerate(atom.terms):
         if isinstance(term, Const):
@@ -90,7 +145,7 @@ def _candidates(atom: Atom, store, binding: Mapping[Var, Value]):
             if not best:
                 break
     if best is None:
-        return store.tuples(atom.relation)
+        return source.tuples(atom.relation)
     return best
 
 
@@ -112,50 +167,84 @@ def _match_fact(
     return extension
 
 
+def _guards_ok(guards: Sequence[Guard], binding: Mapping[Var, Value]) -> bool:
+    """Check guards mid-search, deferring only genuinely unbound ones.
+
+    A guard whose variables are all bound is evaluated for real, and any
+    exception it raises propagates — historically a ``KeyError`` from a
+    buggy ``holds()`` was silently swallowed as "variable not bound
+    yet", turning the bug into a wrong answer.  Guards that do not
+    expose ``variables()`` (duck-typed third-party guards) keep the old
+    defer-on-KeyError behavior.
+    """
+    for guard in guards:
+        variables_of = getattr(guard, "variables", None)
+        if variables_of is not None:
+            if any(v not in binding for v in variables_of()):
+                continue  # genuinely unbound: defer to the leaf check
+            if not guard.holds(binding):
+                return False
+            continue
+        try:
+            if not guard.holds(binding):
+                return False
+        except KeyError:
+            continue
+    return True
+
+
+def _all_guards_ok(
+    guards: Sequence[Guard], binding: Mapping[Var, Value]
+) -> bool:
+    """The leaf check: every variable is bound, every guard must hold."""
+    return all(guard.holds(binding) for guard in guards)
+
+
 def match_atoms(
     atoms: Sequence[Atom],
-    instance: Instance,
+    source: Optional[MatchSource] = None,
     guards: Sequence[Guard] = (),
     initial: Optional[Mapping[Var, Value]] = None,
+    *,
+    instance: Optional[MatchSource] = None,
 ) -> Iterator[Dict[Var, Value]]:
-    """Yield every binding satisfying all *atoms* and *guards* in *instance*.
+    """Yield every binding satisfying all *atoms* and *guards* in *source*.
 
-    Bindings map exactly the variables of *atoms* plus those of *initial*.
-    With no atoms, yields the initial binding once (if the guards hold).
+    *source* is any :class:`MatchSource` — see the module docstring for
+    the contract (``instance=`` is the historical keyword spelling and
+    keeps working, warning-free).  Bindings map exactly the variables of
+    *atoms* plus those of *initial*.  With no atoms, yields the initial
+    binding once (if the guards hold).
+
+    Enumeration order is deterministic given the source's row order:
+    the semi-naive chase relies on this to keep delta-driven firing
+    sequences identical to naive ones
+    (:func:`repro.logic.delta.match_atoms_delta`).
     """
+    if source is None:
+        source = instance
+        if source is None:
+            raise TypeError("match_atoms() missing required argument: 'source'")
     binding: Dict[Var, Value] = dict(initial) if initial else {}
-
-    def guards_ok(b: Mapping[Var, Value]) -> bool:
-        for guard in guards:
-            try:
-                if not guard.holds(b):
-                    return False
-            except KeyError:
-                # Guard variable not yet bound; defer to a later check.
-                continue
-        return True
-
-    def all_guards_ok(b: Mapping[Var, Value]) -> bool:
-        return all(guard.holds(b) for guard in guards)
 
     def search(pending: list, b: Dict[Var, Value]) -> Iterator[Dict[Var, Value]]:
         if not pending:
-            if all_guards_ok(b):
+            if _all_guards_ok(guards, b):
                 yield dict(b)
             return
         # Most-constrained-first: pick the cheapest pending atom.
         index = min(
             range(len(pending)),
-            key=lambda i: _candidate_count(pending[i], instance, b),
+            key=lambda i: _candidate_count(pending[i], source, b),
         )
         atom = pending[index]
         rest = pending[:index] + pending[index + 1 :]
-        for values in _candidates(atom, instance, b):
+        for values in _candidates(atom, source, b):
             extension = _match_fact(atom, values, b)
             if extension is None:
                 continue
             b.update(extension)
-            if guards_ok(b):
+            if _guards_ok(guards, b):
                 yield from search(rest, b)
             for var in extension:
                 del b[var]
@@ -165,9 +254,13 @@ def match_atoms(
 
 def has_match(
     atoms: Sequence[Atom],
-    instance: Instance,
+    source: Optional[MatchSource] = None,
     guards: Sequence[Guard] = (),
     initial: Optional[Mapping[Var, Value]] = None,
+    *,
+    instance: Optional[MatchSource] = None,
 ) -> bool:
-    """True when at least one binding exists."""
-    return next(match_atoms(atoms, instance, guards, initial), None) is not None
+    """True when at least one binding exists (same contract as match_atoms)."""
+    if source is None:
+        source = instance
+    return next(match_atoms(atoms, source, guards, initial), None) is not None

@@ -146,6 +146,42 @@ def chain_decomposition_mapping(length: int) -> SchemaMapping:
     return SchemaMapping([Tgd(premise, conclusion)])
 
 
+def path_closure_mapping() -> SchemaMapping:
+    """Transitive closure of an edge relation, as full (recursive) tgds.
+
+    ``E(x,y) -> P(x,y)`` seeds the paths; ``P(x,y) & E(y,z) -> P(x,z)``
+    extends them one edge per fixpoint round.  Unlike the paper's s-t
+    families this mapping is *recursive* — the conclusion relation
+    feeds the premise — so the chase runs many rounds and the workload
+    separates semi-naive from naive evaluation: naive re-matching
+    rejoins the entire accumulated ``P`` against ``E`` every round,
+    delta evaluation only the paths discovered last round.  The tgds
+    are full (no existentials, so no nulls), making outputs across
+    evaluation modes directly digest-comparable.
+    """
+    schema = Schema((RelationSymbol("E", 2), RelationSymbol("P", 2)))
+    x, y, z = Var("x"), Var("y"), Var("z")
+    tgds = [
+        Tgd((Atom("E", (x, y)),), (Atom("P", (x, y)),)),
+        Tgd((Atom("P", (x, y)), Atom("E", (y, z))), (Atom("P", (x, z)),)),
+    ]
+    return SchemaMapping(tgds, source=schema, target=schema)
+
+
+def chain_graph_instance(length: int) -> Instance:
+    """The path graph ``E(0,1), E(1,2), ..., E(length-1,length)``.
+
+    Under :func:`path_closure_mapping` this is the worst case for naive
+    evaluation: the closure has ``length*(length+1)/2`` paths reached
+    over ``length`` rounds, one new longest path per round at the end.
+    """
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    return Instance(
+        [Fact("E", (Const(i), Const(i + 1))) for i in range(length)]
+    )
+
+
 def chain_join_reverse(length: int) -> SchemaMapping:
     """Per-atom reverse of :func:`chain_decomposition_mapping`.
 

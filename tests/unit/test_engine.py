@@ -364,6 +364,26 @@ class TestStatsIntrospection:
         rendered = engine.render_stats()
         assert "chase" in rendered and "total" in rendered
 
+    def test_semi_naive_counters_surface(self, decomposition_mapping):
+        """triggers/delta_sizes flow from ChaseResult into stats and results."""
+        engine = ExchangeEngine()
+        source = Instance.parse("P(a, b, c), P(b, c, d)")
+        result = engine.exchange(decomposition_mapping, source)
+        assert result.stats.triggers_considered >= result.stats.steps > 0
+        assert result.stats.delta_sizes
+        assert sum(result.stats.delta_sizes) >= len(source)
+        stats = engine.stats()
+        assert stats["chase"]["triggers"] == result.stats.triggers_considered
+        assert stats["totals"]["triggers"] == stats["chase"]["triggers"]
+        assert "triggers" in engine.render_stats()
+        # Cache hits replay the recorded counters but record no new work.
+        again = engine.exchange(decomposition_mapping, source)
+        assert again.stats.triggers_considered == result.stats.triggers_considered
+        assert engine.stats()["chase"]["triggers"] == result.stats.triggers_considered
+        legacy = result.to_chase_result()
+        assert legacy.triggers_considered == result.stats.triggers_considered
+        assert legacy.delta_sizes == result.stats.delta_sizes
+
     def test_clear_empties_caches(self, decomposition_mapping):
         engine = ExchangeEngine()
         source = Instance.parse("P(a, b, c)")
