@@ -1,0 +1,180 @@
+"""SB-11 — chase profiler overhead guard: off ≤2%, on ≤10%.
+
+The chase profiler (``repro.obs.profile``) promises two budgets: with
+no profiler installed the kernels pay one ``None`` check per
+(dependency, round) — within the same ≤2% ambient-off envelope the
+tracer holds — and with a profiler installed the per-(dependency,
+round) clocking stays within 10% of the uninstrumented baseline.  This
+module enforces both by racing the instrumented
+:func:`repro.chase.standard.chase` (profiler off, then on) against the
+**uninstrumented reference loop** shared with
+``bench_tracing_overhead.py``.
+
+Runs two ways, like the other SB modules: under pytest-benchmark, and
+as a plain script for the CI profile smoke
+(``python benchmarks/bench_profile_overhead.py``), where it prints the
+timings and exits nonzero when either ratio exceeds its tolerance
+(``REPRO_PROFILE_OFF_TOLERANCE``, default 1.02;
+``REPRO_PROFILE_ON_TOLERANCE``, default 1.10; CI hosts are noisy, so
+the script interleaves min-of-N rounds before comparing).
+"""
+
+import os
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - script mode without PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.chase.standard import chase
+from repro.obs import ChaseProfiler, current_tracer
+
+try:
+    from .bench_tracing_overhead import _workload, reference_chase
+    from .conftest import record_metric
+except ImportError:  # script mode
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_tracing_overhead import _workload, reference_chase
+
+    def record_metric(benchmark, **metrics):
+        for key, value in metrics.items():
+            benchmark.extra_info[key] = value
+
+
+SIZE = 200
+# Script mode runs two *pairwise* races (reference vs off, then
+# reference vs on) rather than one three-way interleave: with three
+# series in one loop each is sampled at a slower cadence relative to
+# host noise and the min-of-N estimator gets flaky, while the two-way
+# interleave is the methodology bench_tracing_overhead.py has proven
+# stable.  Each race re-times its own reference minimum.  True
+# overhead is a *minimum*-cost property — scheduler noise only ever
+# inflates one side of a race, never deflates it — so a race whose
+# ratio misses the tolerance is retried (up to ATTEMPTS) and the best
+# ratio is gated; a real regression fails every attempt.
+ROUNDS = 7
+CHASES_PER_ROUND = 3
+ATTEMPTS = 5
+
+
+def _check_equivalence(mapping, source):
+    """Profiling must never change the chase result, or the race is moot."""
+    assert current_tracer() is None, "overhead baseline needs tracing off"
+    plain = chase(source, mapping.dependencies)
+    profiler = ChaseProfiler()
+    profiled = chase(source, mapping.dependencies, profiler=profiler)
+    assert plain.instance == profiled.instance, (
+        "profiled chase diverged from the unprofiled one"
+    )
+    profile = profiler.profile()
+    assert profile.triggers_considered == profiled.triggers_considered, (
+        "profile trigger counts disagree with the chase counter"
+    )
+    reference = reference_chase(source, mapping.dependencies)
+    assert reference == plain.instance, (
+        "reference chase diverged from the instrumented one"
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+
+def test_chase_profiler_off(benchmark):
+    """The instrumented chase with no profiler installed (the 2% side)."""
+    mapping, source = _workload()
+    result = benchmark(chase, source, mapping.dependencies)
+    record_metric(benchmark, size=SIZE, steps=result.steps)
+
+
+def test_chase_profiler_on(benchmark):
+    """The profiled chase (the 10% side)."""
+    mapping, source = _workload()
+
+    def profiled():
+        return chase(source, mapping.dependencies, profiler=ChaseProfiler())
+
+    result = benchmark(profiled)
+    record_metric(benchmark, size=SIZE, steps=result.steps)
+
+
+def test_chase_profile_reference(benchmark):
+    """The uninstrumented reference loop (the baseline side)."""
+    mapping, source = _workload()
+    benchmark(reference_chase, source, mapping.dependencies)
+    record_metric(benchmark, size=SIZE)
+
+
+# ----------------------------------------------------------------------
+# Script mode: the CI guard
+# ----------------------------------------------------------------------
+
+
+def _time_once(fn):
+    start = time.perf_counter()
+    for _ in range(CHASES_PER_ROUND):
+        fn()
+    return time.perf_counter() - start
+
+
+def _race(baseline, candidate):
+    """Interleaved min-of-N for one (baseline, candidate) pair."""
+    base_times, cand_times = [], []
+    for _ in range(ROUNDS):
+        base_times.append(_time_once(baseline))
+        cand_times.append(_time_once(candidate))
+    return min(base_times), min(cand_times)
+
+
+def _best_race(baseline, candidate, tolerance):
+    """Race until the ratio clears *tolerance* or ATTEMPTS run out."""
+    best = None
+    for _ in range(ATTEMPTS):
+        base, cand = _race(baseline, candidate)
+        ratio = cand / base if base else float("inf")
+        if best is None or ratio < best[0]:
+            best = (ratio, base, cand)
+        if ratio <= tolerance:
+            break
+    return best
+
+
+def main() -> int:
+    """Run the interleaved race and enforce both tolerances."""
+    tol_off = float(os.environ.get("REPRO_PROFILE_OFF_TOLERANCE", "1.02"))
+    tol_on = float(os.environ.get("REPRO_PROFILE_ON_TOLERANCE", "1.10"))
+    mapping, source = _workload()
+    _check_equivalence(mapping, source)
+
+    off = lambda: chase(source, mapping.dependencies)  # noqa: E731
+    on = lambda: chase(  # noqa: E731
+        source, mapping.dependencies, profiler=ChaseProfiler()
+    )
+    reference = lambda: reference_chase(source, mapping.dependencies)  # noqa: E731
+
+    # Warm-up, then race each side pairwise against a freshly timed
+    # reference, interleaving rounds so drift hits both sides equally;
+    # min-of-N is the standard noise-robust estimator here.
+    _time_once(off), _time_once(on), _time_once(reference)
+    ratio_off, ref_off, off_min = _best_race(reference, off, tol_off)
+    ratio_on, ref_on, on_min = _best_race(reference, on, tol_on)
+
+    print(f"reference chase (uninstrumented): {ref_off * 1e3:9.3f} ms"
+          f" / {ref_on * 1e3:9.3f} ms")
+    print(f"instrumented, profiler off      : {off_min * 1e3:9.3f} ms  "
+          f"ratio {ratio_off:6.4f}")
+    print(f"instrumented, profiler on       : {on_min * 1e3:9.3f} ms  "
+          f"ratio {ratio_on:6.4f}")
+    ok_off = ratio_off <= tol_off
+    ok_on = ratio_on <= tol_on
+    print(f"acceptance: off/reference {ratio_off:.4f} <= {tol_off} -> {ok_off}")
+    print(f"acceptance: on/reference  {ratio_on:.4f} <= {tol_on} -> {ok_on}")
+    return 0 if ok_off and ok_on else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

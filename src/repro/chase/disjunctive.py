@@ -31,6 +31,7 @@ tagged with the :class:`~repro.limits.Exhausted` diagnosis.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..deprecation import warn_deprecated_kwarg
@@ -49,9 +50,15 @@ from ..obs.events import (
     TriggerFired,
     freeze_binding,
 )
+from ..obs.profile import ChaseProfiler, fingerprint_dependency
 from ..obs.tracer import Tracer, current_tracer, maybe_span
 from ..terms import NullFactory
-from .standard import report_exhaustion, resolve_budget, resolve_evaluation
+from .standard import (
+    note_dependency_cell,
+    report_exhaustion,
+    resolve_budget,
+    resolve_evaluation,
+)
 
 #: Per-branch rounds guard when neither rounds nor deadline is bounded.
 DEFAULT_MAX_ROUNDS = 32
@@ -117,6 +124,7 @@ def disjunctive_chase(
     limits: Optional[Limits] = None,
     budget: Optional[Budget] = None,
     evaluation: Optional[str] = None,
+    profiler: Optional[ChaseProfiler] = None,
 ) -> Branches:
     """Chase *instance* with disjunctive tgds; return the branch instances.
 
@@ -151,6 +159,13 @@ def disjunctive_chase(
     :class:`repro.errors.BudgetExhausted` (a ``RuntimeError``); in
     partial mode the chase stops and returns the worlds explored so far,
     tagged via ``Branches.exhausted``.
+
+    With a *profiler* (:class:`repro.obs.profile.ChaseProfiler`) each
+    fired trigger's selection-and-fork block is attributed to its dtgd,
+    **branch-aware**: cells carry the id of the world being extended,
+    so hot dependencies can be pinned to the branch lineages that pay
+    for them.  ``considered`` counts the agenda entries the canonical
+    selection examined for that firing.
     """
     dtgds: List[DisjunctiveTgd] = list(iter_disjunctive(dependencies))
     if max_rounds is not None or max_branches is not None:
@@ -280,12 +295,18 @@ def disjunctive_chase(
                 flush_exhausted(frontier)
                 finished.exhausted = exhausted
                 return finished
+            if profiler is not None:
+                pop_started = time.perf_counter()
+                scanned = [0]
+                pop_facts = pop_nulls = 0
+            else:
+                scanned = None
             if state is None:
                 index = None
                 agendas = [_sorted_matches(dtgd, current) for dtgd in dtgds]
             else:
                 index, agendas = state
-            trigger = _select_trigger(dtgds, agendas, current)
+            trigger = _select_trigger(dtgds, agendas, current, scanned)
             if trigger is None:
                 if current not in seen:
                     seen.add(current)
@@ -316,6 +337,8 @@ def disjunctive_chase(
                     fresh = factory.fresh()
                     full[var] = fresh
                     minted.append((var.name, fresh))
+                if profiler is not None:
+                    pop_nulls += len(minted)
                 if index is None:
                     accumulator = InstanceBuilder(current)
                 else:
@@ -327,6 +350,8 @@ def disjunctive_chase(
                     f = atom.instantiate(full)
                     if accumulator.add(f):
                         added.append(f)
+                if profiler is not None:
+                    pop_facts += len(added)
                 if tracer is not None:
                     tgd_text = str(dtgd)
                     tracer.emit(
@@ -405,6 +430,21 @@ def disjunctive_chase(
                                 facts=len(child),
                             )
                         )
+            if profiler is not None:
+                note_dependency_cell(
+                    profiler,
+                    tracer,
+                    fingerprint_dependency(dtgd),
+                    str(dtgd),
+                    rounds + 1,
+                    pop_started,
+                    time.perf_counter(),
+                    scanned[0],
+                    len(dtgd.disjuncts),
+                    pop_facts,
+                    pop_nulls,
+                    branch=branch,
+                )
     return finished
 
 
@@ -445,7 +485,10 @@ def _merge_agendas(base: List[tuple], fresh: List[tuple]) -> List[tuple]:
 
 
 def _select_trigger(
-    dtgds: List[DisjunctiveTgd], agendas: List[List[tuple]], instance: Instance
+    dtgds: List[DisjunctiveTgd],
+    agendas: List[List[tuple]],
+    instance: Instance,
+    scanned: Optional[list] = None,
 ):
     """First unsatisfied trigger in canonical (dtgd, binding-key) order.
 
@@ -456,11 +499,16 @@ def _select_trigger(
     success the fired entry is left at the head of its agenda (the
     caller strips it when building child agendas, since each disjunct's
     added facts witness it in every child).
+
+    *scanned*, when given, is a one-element accumulator the profiler
+    uses: ``scanned[0]`` gains the number of agenda entries examined.
     """
     for dtgd_index, dtgd in enumerate(dtgds):
         agenda = agendas[dtgd_index]
         satisfied = 0
         for _key, binding in agenda:
+            if scanned is not None:
+                scanned[0] += 1
             if _trigger_satisfied(dtgd, binding, instance):
                 satisfied += 1
                 continue
@@ -504,6 +552,7 @@ def reverse_disjunctive_chase(
     limits: Optional[Limits] = None,
     budget: Optional[Budget] = None,
     evaluation: Optional[str] = None,
+    profiler: Optional[ChaseProfiler] = None,
 ) -> Branches:
     """Reverse data exchange: chase a target instance back to source worlds.
 
@@ -563,6 +612,7 @@ def reverse_disjunctive_chase(
             branch_root=f"q{quotient_index}",
             budget=budget,
             evaluation=evaluation,
+            profiler=profiler,
         )
         for branch in branches:
             if result_relations is not None:

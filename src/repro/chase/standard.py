@@ -44,6 +44,7 @@ non-termination guard applies (raising :class:`ChaseNonTermination`).
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -56,6 +57,7 @@ from ..logic.delta import TriggerIndex, match_atoms_delta
 from ..logic.dependencies import Dependency, Tgd
 from ..logic.matching import match_atoms
 from ..obs.events import NullMinted, TriggerFired, exhaustion_event, freeze_binding
+from ..obs.profile import DEP_SPAN_NAME, ChaseProfiler, fingerprint_dependency
 from ..obs.tracer import Tracer, current_tracer, maybe_span
 from ..terms import NullFactory, Value, Var
 
@@ -228,6 +230,56 @@ def report_exhaustion(
         tracer.metrics.inc("chase.nontermination")
 
 
+def note_dependency_cell(
+    profiler: ChaseProfiler,
+    tracer: Optional[Tracer],
+    fingerprint: str,
+    text: str,
+    round_number: int,
+    started: float,
+    ended: float,
+    considered: int,
+    fired: int,
+    facts: int,
+    nulls: int,
+    branch: Optional[str] = None,
+) -> None:
+    """Record one profiled (dependency, round) cell — and its span.
+
+    Shared by both fixpoint loops: the cell always lands on the
+    profiler; when a tracer is also active and the cell saw any
+    binding, a ``chase.dep`` span is recorded so cross-process merges
+    can rebuild the same profile from spans alone
+    (:meth:`repro.obs.profile.ChaseProfile.from_spans`).
+    """
+    seconds = ended - started
+    profiler.note(
+        fingerprint=fingerprint,
+        text=text,
+        round_number=round_number,
+        seconds=seconds,
+        considered=considered,
+        fired=fired,
+        facts=facts,
+        nulls=nulls,
+        branch=branch,
+    )
+    if tracer is not None and considered:
+        attrs = {
+            "fingerprint": fingerprint,
+            "tgd": text,
+            "round": round_number,
+            "seconds": seconds,
+            "considered": considered,
+            "fired": fired,
+            "facts": facts,
+            "nulls": nulls,
+        }
+        if branch is not None:
+            attrs["branch"] = branch
+        tracer.record_span(DEP_SPAN_NAME, started, ended, **attrs)
+
+
 def resolve_evaluation(evaluation: Optional[str]) -> str:
     """The effective evaluation mode: explicit > environment > delta.
 
@@ -254,6 +306,7 @@ def chase(
     limits: Optional[Limits] = None,
     budget: Optional[Budget] = None,
     evaluation: Optional[str] = None,
+    profiler: Optional[ChaseProfiler] = None,
 ) -> ChaseResult:
     """Chase *instance* with plain tgds; returns the full chased instance.
 
@@ -284,6 +337,12 @@ def chase(
     emitted as a typed event and recorded in the tracer's provenance
     graph; tracing never changes the chase result.  On non-termination
     the events emitted so far stay on the tracer (a partial trace).
+
+    With a *profiler* (:class:`repro.obs.profile.ChaseProfiler`) each
+    dependency's match-and-fire block is timed per round — self time,
+    triggers considered/fired, facts added, nulls minted — at a cost of
+    two clock reads per (dependency, round); profiling, like tracing,
+    never changes the chase result.
 
     With no limits at all, raises :class:`ChaseNonTermination` after 64
     fixpoint rounds; for source-to-target tgds one round always suffices.
@@ -318,6 +377,9 @@ def chase(
     triggers_considered = 0
     delta_sizes: List[int] = []
     exhausted: Optional[Exhausted] = None
+    if profiler is not None:
+        dep_keys = [(fingerprint_dependency(tgd), str(tgd)) for tgd in tgds]
+        clock = time.perf_counter
 
     with maybe_span(tracer, "chase", variant=variant, input_facts=len(instance)):
         while exhausted is None:
@@ -337,6 +399,12 @@ def chase(
             for tgd_index, tgd in enumerate(tgds):
                 if exhausted is not None:
                     break
+                if profiler is not None:
+                    cell_started = clock()
+                    considered_before = triggers_considered
+                    steps_before = steps
+                    facts_before = len(index)
+                    nulls_before = minted_total
                 if evaluation == "delta":
                     bindings = match_atoms_delta(
                         tgd.premise, view, delta, tgd.guards
@@ -368,6 +436,21 @@ def chase(
                     )
                     if exhausted is not None:
                         break
+                if profiler is not None:
+                    fingerprint, text = dep_keys[tgd_index]
+                    note_dependency_cell(
+                        profiler,
+                        tracer,
+                        fingerprint,
+                        text,
+                        rounds,
+                        cell_started,
+                        clock(),
+                        triggers_considered - considered_before,
+                        steps - steps_before,
+                        len(index) - facts_before,
+                        minted_total - nulls_before,
+                    )
             if not progressed and exhausted is None:
                 break
         if exhausted is not None:

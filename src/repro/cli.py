@@ -39,6 +39,20 @@ terminated and its item failed as *killed* (or retried under
 killed, the exit code is 7 (taking precedence over the generic batch
 failure code 5).
 
+Every invocation mints an ambient :class:`repro.obs.TraceContext`
+(a ``trace_id`` plus a ``req-…`` request id) that propagates across
+the worker-pool boundary and is stamped onto every span, ops-log
+line, and registry row the run produces — interrupt and partial
+notes on stderr cite the request id so a dump is matchable to its
+history rows.  ``--profile`` on the chase-running commands turns on
+the per-dependency chase profiler and prints its EXPLAIN
+ANALYZE-style table to **stderr** (stdout stays byte-identical to an
+unprofiled run); the profile summary also lands in the registry row,
+where ``repro runs show`` re-renders it and ``repro runs diff
+--profile`` attributes a wall-time move to the dependencies that
+moved.  ``repro runs list --columns`` adds opt-in columns, including
+the request id and a p50/p95 latency aggregate.
+
 Telemetry (see ``docs/OBSERVABILITY.md``): ``--metrics-out m.prom``
 (env ``REPRO_METRICS_OUT``) writes an OpenMetrics text file of per-op
 counters and wall-time histograms, ``--ops-log ops.jsonl`` appends one
@@ -80,6 +94,7 @@ from .inverses.quasi_inverse import (
 from .limits import CancelToken, Limits, cancel_scope
 from .mappings.schema_mapping import SchemaMapping
 from .obs import (
+    ChaseProfile,
     DEFAULT_DB_PATH,
     JsonlSink,
     MultiSink,
@@ -87,9 +102,15 @@ from .obs import (
     ProgressReporter,
     RunRegistry,
     Tracer,
+    context_scope,
+    diff_profiles,
+    mint_context,
     progress_scope,
     render_budget_summary,
     render_derivation,
+    render_profile,
+    render_span_tree,
+    spans_from_payload,
     write_trace_jsonl,
 )
 from .parsing.parser import parse_query
@@ -180,14 +201,26 @@ def _make_engine(
         store=getattr(args, "store", None) or "memory",
         sql_chase=getattr(args, "sql_chase", False),
         disk_cache=resolve_cache_dir(getattr(args, "cache_dir", None)),
+        profile=getattr(args, "profile", False),
     )
 
 
 def _note_partial(result, index: Optional[int] = None) -> None:
-    """Report a budget-truncated result on stderr (the result printed)."""
+    """Report a budget-truncated result on stderr (the result printed).
+
+    The note cites the request id the exhaustion was stamped with, so
+    a partial dump is matchable to its registry rows and spans."""
     if result.exhausted is not None:
         prefix = "" if index is None else f"[{index}] "
-        print(f"{prefix}partial: {result.exhausted.describe()}", file=sys.stderr)
+        request = (
+            f" [request {result.exhausted.request_id}]"
+            if getattr(result.exhausted, "request_id", "")
+            else ""
+        )
+        print(
+            f"{prefix}partial: {result.exhausted.describe()}{request}",
+            file=sys.stderr,
+        )
 
 
 def _note_batch_error(result: BatchItemError, index: int) -> bool:
@@ -223,6 +256,14 @@ def _finish(engine: ExchangeEngine, args: argparse.Namespace, code: int) -> int:
     engine.close_telemetry()
     if getattr(args, "metrics_out", None):
         print(f"metrics: -> {args.metrics_out}", file=sys.stderr)
+    if getattr(args, "profile", False):
+        if engine.last_profile is not None:
+            print(render_profile(engine.last_profile), file=sys.stderr)
+        else:
+            print(
+                "profile: not collected (batch run, cache hit, or SQL chase)",
+                file=sys.stderr,
+            )
     if getattr(args, "stats", False):
         print(engine.render_stats(), file=sys.stderr)
     return code
@@ -496,28 +537,140 @@ def _run_status(row) -> str:
     return "hit" if row.cache_hit else "ok"
 
 
+#: ``runs list --columns`` vocabulary, in canonical display order.
+_LIST_COLUMNS = (
+    "when", "op", "wall", "status", "request", "latency",
+    "triggers", "mapping",
+)
+
+#: Header text per ``--columns`` name.
+_LIST_HEADERS = {
+    "when": "when",
+    "op": "op",
+    "wall": "wall(s)",
+    "status": "status",
+    "request": "request",
+    "latency": "p50/p95(s)",
+    "triggers": "triggers",
+    "mapping": "mapping",
+}
+
+#: Numeric columns render right-aligned.
+_LIST_RIGHT = {"wall", "latency", "triggers"}
+
+
+def _percentile(values, q: float) -> float:
+    """The *q*-quantile of *values* by linear interpolation."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    position = (len(ordered) - 1) * q
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (position - low)
+
+
+def _latency_stats(rows) -> dict:
+    """Per-(op, mapping digest) p50/p95 wall times over the listed rows.
+
+    The aggregate is computed over the rows actually listed (after
+    ``--limit``/``--op``), so the latency column always describes the
+    history the user is looking at."""
+    groups: dict = {}
+    for row in rows:
+        groups.setdefault((row.op, row.mapping_digest), []).append(
+            row.wall_time
+        )
+    return {
+        key: (_percentile(values, 0.50), _percentile(values, 0.95))
+        for key, values in groups.items()
+    }
+
+
+def _list_cell(row, name: str, latency: dict, when: str) -> str:
+    """One formatted ``runs list`` cell for column *name*."""
+    if name == "when":
+        return when
+    if name == "op":
+        return row.op
+    if name == "wall":
+        return f"{row.wall_time:.6f}"
+    if name == "status":
+        return _run_status(row)
+    if name == "request":
+        return row.request_id or "-"
+    if name == "latency":
+        p50, p95 = latency[(row.op, row.mapping_digest)]
+        return f"{p50:.4f}/{p95:.4f}"
+    if name == "triggers":
+        return str(row.triggers)
+    return row.mapping_digest[:12]
+
+
 def _cmd_runs_list(args: argparse.Namespace) -> int:
     import time as _time
 
     registry = _runs_registry(args)
     if registry is None:
         return 2
+    columns = None
+    if getattr(args, "columns", None):
+        columns = [
+            name.strip() for name in args.columns.split(",") if name.strip()
+        ]
+        unknown = [name for name in columns if name not in _LIST_COLUMNS]
+        if unknown:
+            print(
+                f"error: unknown column(s) {', '.join(unknown)}"
+                f" (choose from {', '.join(_LIST_COLUMNS)})",
+                file=sys.stderr,
+            )
+            return 2
     rows = registry.list_runs(limit=args.limit, op=args.op)
     if not rows:
         print("-- no recorded runs --")
         return 0
-    print(
-        f"{'id':>5}  {'when':<19} {'op':<8} {'wall(s)':>10} "
-        f"{'status':<18} mapping"
-    )
-    for row in rows:
-        when = _time.strftime(
-            "%Y-%m-%d %H:%M:%S", _time.localtime(row.ts)
-        )
+    whens = {
+        row.id: _time.strftime("%Y-%m-%d %H:%M:%S", _time.localtime(row.ts))
+        for row in rows
+    }
+    if columns is None:
+        # The historical fixed-width layout, unchanged for scripts.
         print(
-            f"{row.id:>5}  {when:<19} {row.op:<8} {row.wall_time:>10.6f} "
-            f"{_run_status(row):<18} {row.mapping_digest[:12]}"
+            f"{'id':>5}  {'when':<19} {'op':<8} {'wall(s)':>10} "
+            f"{'status':<18} mapping"
         )
+        for row in rows:
+            print(
+                f"{row.id:>5}  {whens[row.id]:<19} {row.op:<8} "
+                f"{row.wall_time:>10.6f} "
+                f"{_run_status(row):<18} {row.mapping_digest[:12]}"
+            )
+        return 0
+    latency = _latency_stats(rows)
+    table = [
+        [_list_cell(row, name, latency, whens[row.id]) for name in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(_LIST_HEADERS[name]), *(len(line[i]) for line in table))
+        for i, name in enumerate(columns)
+    ]
+    header_cells = [
+        f"{_LIST_HEADERS[name]:>{widths[i]}}"
+        if name in _LIST_RIGHT
+        else f"{_LIST_HEADERS[name]:<{widths[i]}}"
+        for i, name in enumerate(columns)
+    ]
+    print(f"{'id':>5}  " + "  ".join(header_cells).rstrip())
+    for row, line in zip(rows, table):
+        cells = [
+            f"{line[i]:>{widths[i]}}"
+            if name in _LIST_RIGHT
+            else f"{line[i]:<{widths[i]}}"
+            for i, name in enumerate(columns)
+        ]
+        print(f"{row.id:>5}  " + "  ".join(cells).rstrip())
     return 0
 
 
@@ -539,10 +692,23 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
     print(f"  wall time: {row.wall_time:.6f}s  cache hit: {row.cache_hit}")
     print(
         f"  rounds={row.rounds} steps={row.steps} facts={row.facts} "
-        f"nulls={row.nulls} branches={row.branches}"
+        f"nulls={row.nulls} branches={row.branches} triggers={row.triggers}"
     )
     print(f"  exhausted: {row.exhausted or '-'}  error: {row.error or '-'}")
+    if row.trace_id or row.request_id:
+        print(
+            f"  trace: {row.trace_id or '-'}  request: {row.request_id or '-'}"
+        )
     print(registry.compare_to_baseline(row.id, factor=args.factor).render())
+    metrics = row.metrics or {}
+    spans = metrics.get("spans")
+    if spans:
+        print()
+        print(render_span_tree(spans_from_payload(spans)))
+    profile = ChaseProfile.from_summary(metrics.get("profile"))
+    if profile is not None:
+        print()
+        print(render_profile(profile))
     return 0
 
 
@@ -551,10 +717,31 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
     if registry is None:
         return 2
     try:
-        print(registry.diff(args.first, args.second).render())
+        diff = registry.diff(args.first, args.second)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    print(diff.render())
+    if getattr(args, "profile", False):
+        before = ChaseProfile.from_summary(
+            (diff.a.metrics or {}).get("profile")
+        )
+        after = ChaseProfile.from_summary(
+            (diff.b.metrics or {}).get("profile")
+        )
+        if before is None or after is None:
+            missing = ", ".join(
+                str(row.id)
+                for row, prof in ((diff.a, before), (diff.b, after))
+                if prof is None
+            )
+            print(
+                f"error: no stored chase profile for run(s) {missing}"
+                " (record runs with --profile first)",
+                file=sys.stderr,
+            )
+            return 2
+        print(diff_profiles(before, after))
     return 0
 
 
@@ -634,6 +821,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="record the run under a tracer and write JSONL to PATH "
              "(flushed even on non-termination)")
+    engine_flags.add_argument(
+        "--profile", action="store_true",
+        help="profile the chase per dependency and print the EXPLAIN "
+             "ANALYZE-style table to stderr (stdout is byte-identical "
+             "to an unprofiled run; the summary also lands in the "
+             "registry row for 'runs show' / 'runs diff --profile')")
     engine_flags.add_argument(
         "--deadline", type=float, metavar="SECONDS",
         help="wall-clock budget; on exhaustion the partial result prints "
@@ -779,6 +972,12 @@ def build_parser() -> argparse.ArgumentParser:
         "list", parents=[db_flag], help="recent runs, newest first")
     runs_list.add_argument("--limit", type=int, default=20)
     runs_list.add_argument("--op", help="filter by operation kind")
+    runs_list.add_argument(
+        "--columns", metavar="NAMES",
+        help="comma-separated columns to show, from: "
+             f"{', '.join(_LIST_COLUMNS)} (latency is the p50/p95 "
+             "wall time of each row's op + mapping group over the "
+             "listed rows; request is the request id)")
     runs_list.set_defaults(func=_cmd_runs_list)
     runs_show = runs_sub.add_parser(
         "show", parents=[db_flag],
@@ -793,6 +992,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-time and counter deltas between two runs")
     runs_diff.add_argument("first", type=int)
     runs_diff.add_argument("second", type=int)
+    runs_diff.add_argument(
+        "--profile", action="store_true",
+        help="also diff the stored chase profiles, attributing the "
+             "wall-time move to specific dependencies")
     runs_diff.set_defaults(func=_cmd_runs_diff)
     runs_gc = runs_sub.add_parser(
         "gc", parents=[db_flag],
@@ -880,6 +1083,10 @@ def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     token = CancelToken()
+    # One ambient TraceContext per invocation: every span, ops-log
+    # line, and registry row this command produces — in this process
+    # and in pool workers — carries the same trace/request ids.
+    context = mint_context()
 
     def _on_sigint(signum, frame):
         if token.cancelled:  # second Ctrl-C: the ordinary abort
@@ -887,6 +1094,7 @@ def main(argv: Optional[list] = None) -> int:
         token.cancel("SIGINT")
         print(
             "interrupt: stopping at the next checkpoint"
+            f" [request {context.request_id}]"
             " (Ctrl-C again to abort hard)",
             file=sys.stderr,
         )
@@ -904,7 +1112,7 @@ def main(argv: Optional[list] = None) -> int:
         else None
     )
     try:
-        with cancel_scope(token):
+        with cancel_scope(token), context_scope(context):
             if reporter is not None:
                 with progress_scope(reporter):
                     code = args.func(args)

@@ -21,7 +21,7 @@ call sites gain caching without changing.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from threading import Lock
 from typing import (
     Dict,
@@ -46,8 +46,10 @@ from ..limits import (
 )
 from ..logic.dependencies import Tgd
 from ..mappings.schema_mapping import SchemaMapping
+from ..obs.context import current_context
 from ..obs.events import CacheHit, CacheMiss
 from ..obs.events import WorkerKilled as WorkerKilledEvent
+from ..obs.profile import ChaseProfile, ChaseProfiler
 from ..obs.registry import RunRegistry
 from ..obs.sinks import OpRecord, OpenMetricsSink, TelemetrySink
 from ..obs.tracer import Tracer, current_tracer, maybe_span
@@ -188,6 +190,16 @@ class ExchangeEngine:
         is what lets ``repro serve`` answer from disk on its first
         request after a restart.  Ignored when ``enable_cache`` is
         ``False``.
+    profile:
+        ``True`` attaches a :class:`repro.obs.ChaseProfiler` to every
+        single-item chase and reverse chase, collecting per-dependency
+        × per-round attribution (self time, triggers considered/fired,
+        facts, nulls).  The resulting :class:`repro.obs.ChaseProfile`
+        is exposed as :attr:`last_profile` after each computed
+        operation (``None`` after cache hits) and persisted as a JSON
+        summary in the registry row's ``metrics`` payload.  Profiling
+        never changes chase output — the profiled instance is
+        byte-identical to the unprofiled one.
     """
 
     def __init__(
@@ -205,6 +217,7 @@ class ExchangeEngine:
         store: str = "memory",
         sql_chase: bool = False,
         disk_cache=None,
+        profile: bool = False,
     ) -> None:
         if on_error not in _ON_ERROR:
             raise ValueError(
@@ -244,6 +257,8 @@ class ExchangeEngine:
         self.registry = registry
         self.store_spec = store
         self.sql_chase = sql_chase
+        self.profile = profile
+        self.last_profile: Optional[ChaseProfile] = None
         self._clock = time.perf_counter
 
     def _tracer(self) -> Optional[Tracer]:
@@ -296,12 +311,31 @@ class ExchangeEngine:
         """Is any sink or registry configured?  (The off-path guard.)"""
         return self.sink is not None or self.registry is not None
 
-    def _emit(self, record: OpRecord) -> None:
-        """Flush one operation record to the sink and the registry."""
+    def _emit(
+        self, record: OpRecord, metrics: Optional[dict] = None
+    ) -> None:
+        """Flush one operation record to the sink and the registry.
+
+        Records that do not already carry a trace/request id are
+        stamped with the ambient :class:`repro.obs.context.TraceContext`
+        here — the one choke point every operation's telemetry flows
+        through — so CLI- and service-originated records correlate to
+        their request without each call site repeating the lookup.
+        *metrics* (the profile summary, stitched spans, …) rides only
+        the registry row's JSON payload, never the sink stream.
+        """
+        if not record.trace_id:
+            context = current_context()
+            if context is not None:
+                record = dc_replace(
+                    record,
+                    trace_id=context.trace_id,
+                    request_id=context.request_id,
+                )
         if self.sink is not None:
             self.sink.record(record)
         if self.registry is not None:
-            self.registry.record(record)
+            self.registry.record(record, metrics=metrics)
 
     def close_telemetry(self) -> None:
         """Flush and close the configured sink and registry (idempotent).
@@ -366,6 +400,10 @@ class ExchangeEngine:
         hit, entry = self._caches["chase"].get(key)
         self._cache_event(tracer, "chase", key, hit)
         elapsed = 0.0
+        self.last_profile = None
+        profiler = (
+            ChaseProfiler() if self.profile and not use_sql and not hit else None
+        )
         if not hit:
             start = self._clock()
             try:
@@ -381,6 +419,7 @@ class ExchangeEngine:
                             variant=variant,
                             tracer=tracer,
                             limits=effective,
+                            profiler=profiler,
                         )
             except Exception as error:
                 elapsed = self._clock() - start
@@ -413,6 +452,8 @@ class ExchangeEngine:
                 rounds=result.rounds,
                 triggers=result.triggers_considered,
             )
+            if profiler is not None:
+                self.last_profile = profiler.profile(total_time=elapsed)
         else:
             self._record("chase", calls=1)
         result, restricted = entry
@@ -428,8 +469,14 @@ class ExchangeEngine:
                     steps=result.steps,
                     facts=len(result.instance),
                     nulls=len(result.instance.nulls),
+                    triggers=result.triggers_considered,
                     exhausted=_exhausted_tag(result.exhausted),
-                )
+                ),
+                metrics=(
+                    {"profile": self.last_profile.to_summary()}
+                    if self.last_profile is not None
+                    else None
+                ),
             )
         return ExchangeResult(
             instance=restricted,
@@ -590,6 +637,7 @@ class ExchangeEngine:
             return
         self._record(op, calls=0, kills=outcome.kills)
         if tracer is not None:
+            context = current_context()
             tracer.emit(
                 WorkerKilledEvent(
                     op=op,
@@ -597,6 +645,8 @@ class ExchangeEngine:
                     kills=outcome.kills,
                     pid=getattr(outcome.error, "pid", None),
                     final=not outcome.ok,
+                    trace_id=context.trace_id if context is not None else "",
+                    request_id=context.request_id if context is not None else "",
                 )
             )
 
@@ -656,11 +706,14 @@ class ExchangeEngine:
                 pending[key] = (inst, index)
         if pending:
             todo = list(pending.items())
+            context = current_context()
+            ctx = context.to_dict() if context is not None else None
             payloads = [
                 (
                     mapping,
                     inst,
                     variant,
+                    ctx,
                     effective,
                     plan.for_item(first) if plan else None,
                     1,
@@ -669,7 +722,9 @@ class ExchangeEngine:
             ]
             fn = chase_task_traced if tracer is not None else chase_task
             start = self._clock()
-            with maybe_span(tracer, "engine.chase_many", items=len(todo)):
+            with maybe_span(
+                tracer, "engine.chase_many", items=len(todo)
+            ) as batch_span:
                 outcomes = self._run_batch(
                     payloads,
                     fn,
@@ -708,7 +763,12 @@ class ExchangeEngine:
                     continue
                 if tracer is not None:
                     result, state = outcome.value
-                    tracer.absorb(state)
+                    tracer.absorb(
+                        state,
+                        parent_id=(
+                            batch_span.span_id if batch_span is not None else None
+                        ),
+                    )
                 else:
                     result = outcome.value
                 restricted = result.restricted_to(mapping.target.names)
@@ -734,6 +794,7 @@ class ExchangeEngine:
                             steps=result.steps,
                             facts=len(result.instance),
                             nulls=len(result.instance.nulls),
+                            triggers=result.triggers_considered,
                             exhausted=_exhausted_tag(result.exhausted),
                             batch_index=first,
                             attempts=outcome.attempts,
@@ -817,6 +878,8 @@ class ExchangeEngine:
         self._cache_event(tracer, "reverse", key, hit)
         exhausted: Optional[Exhausted] = None
         elapsed = 0.0
+        self.last_profile = None
+        profiler = ChaseProfiler() if self.profile and not hit else None
         if not hit:
             start = self._clock()
             try:
@@ -829,6 +892,7 @@ class ExchangeEngine:
                         minimize=minimize,
                         limits=self._reverse_limits(max_branches, limits),
                         tracer=tracer,
+                        profiler=profiler,
                     )
             except Exception as error:
                 elapsed = self._clock() - start
@@ -854,8 +918,15 @@ class ExchangeEngine:
             elapsed = self._clock() - start
             if exhausted is None:
                 self._caches["reverse"].put(key, candidates)
+            triggers = 0
+            if profiler is not None:
+                self.last_profile = profiler.profile(total_time=elapsed)
+                triggers = self.last_profile.triggers_considered
             self._record(
-                "reverse", wall_time=elapsed, branches=len(candidates)
+                "reverse",
+                wall_time=elapsed,
+                branches=len(candidates),
+                triggers=triggers,
             )
         else:
             self._record("reverse", calls=1)
@@ -868,8 +939,18 @@ class ExchangeEngine:
                     wall_time=elapsed,
                     cache_hit=hit,
                     branches=len(candidates),
+                    triggers=(
+                        self.last_profile.triggers_considered
+                        if self.last_profile is not None
+                        else 0
+                    ),
                     exhausted=_exhausted_tag(exhausted),
-                )
+                ),
+                metrics=(
+                    {"profile": self.last_profile.to_summary()}
+                    if self.last_profile is not None
+                    else None
+                ),
             )
         return hit, key, candidates, exhausted
 
@@ -1024,12 +1105,15 @@ class ExchangeEngine:
                 pending[key] = (target, index)
         if pending:
             todo = list(pending.items())
+            context = current_context()
+            ctx = context.to_dict() if context is not None else None
             payloads = [
                 (
                     reverse_mapping,
                     t,
                     max_nulls,
                     minimize,
+                    ctx,
                     task_limits,
                     plan.for_item(first) if plan else None,
                     1,
@@ -1038,7 +1122,9 @@ class ExchangeEngine:
             ]
             fn = reverse_task_traced if tracer is not None else reverse_task
             start = self._clock()
-            with maybe_span(tracer, "engine.reverse_many", items=len(todo)):
+            with maybe_span(
+                tracer, "engine.reverse_many", items=len(todo)
+            ) as batch_span:
                 outcomes = self._run_batch(
                     payloads,
                     fn,
@@ -1077,7 +1163,12 @@ class ExchangeEngine:
                     continue
                 if tracer is not None:
                     branches, state = outcome.value
-                    tracer.absorb(state)
+                    tracer.absorb(
+                        state,
+                        parent_id=(
+                            batch_span.span_id if batch_span is not None else None
+                        ),
+                    )
                 else:
                     branches = outcome.value
                 candidates = tuple(branches)

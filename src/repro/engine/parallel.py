@@ -26,12 +26,17 @@ per-item :class:`repro.limits.Limits` (or ``None`` for legacy
 behavior), ``fault`` the per-item :class:`repro.limits.Fault` from a
 test/CI fault plan (or ``None``), and ``attempt`` the 1-based attempt
 number — the retry loop resubmits the same payload with only the last
-element bumped."""
+element bumped.  The element *before* the trailing triple is ``ctx``,
+the caller's serialized :class:`repro.obs.context.TraceContext` (a
+plain dict, or ``None`` outside a request): task functions restore it
+as the worker's ambient context so spans and records produced in the
+worker carry the originating request's ids."""
 
 from __future__ import annotations
 
 import os
 import time
+from contextlib import nullcontext
 from concurrent.futures import (
     FIRST_COMPLETED,
     Executor,
@@ -48,6 +53,7 @@ from ..errors import BudgetExhausted, FaultInjected
 from ..instance import Instance
 from ..limits import Exhausted, Fault, Limits, trip
 from ..mappings.schema_mapping import SchemaMapping
+from ..obs.context import TraceContext, context_scope
 from ..obs.tracer import Tracer, TraceState
 
 try:  # BrokenExecutor is 3.8+; keep the guard cheap and explicit
@@ -120,17 +126,29 @@ def _rebudgeted(payload: tuple, elapsed: float) -> tuple:
     return payload[:-3] + (limits.replace(deadline=remaining),) + payload[-2:]
 
 
+def _scope(ctx: Optional[dict]):
+    """The worker-side ambient-context scope for a payload's ``ctx``."""
+    if ctx:
+        return context_scope(TraceContext.from_dict(ctx))
+    return nullcontext()
+
+
 def chase_task(
-    payload: Tuple[SchemaMapping, Instance, str, Optional[Limits], Optional[Fault], int]
+    payload: Tuple[
+        SchemaMapping, Instance, str, Optional[dict], Optional[Limits], Optional[Fault], int
+    ]
 ) -> ChaseResult:
     """Chase one instance (runs inside a worker; must stay picklable)."""
-    mapping, instance, variant, limits, fault, attempt = payload
+    mapping, instance, variant, ctx, limits, fault, attempt = payload
     trip(fault, attempt)
-    return chase(instance, mapping.dependencies, variant=variant, limits=limits)
+    with _scope(ctx):
+        return chase(instance, mapping.dependencies, variant=variant, limits=limits)
 
 
 def chase_task_traced(
-    payload: Tuple[SchemaMapping, Instance, str, Optional[Limits], Optional[Fault], int]
+    payload: Tuple[
+        SchemaMapping, Instance, str, Optional[dict], Optional[Limits], Optional[Fault], int
+    ]
 ) -> Tuple[ChaseResult, TraceState]:
     """Chase one instance under a private tracer; ship the trace back.
 
@@ -139,59 +157,66 @@ def chase_task_traced(
     :class:`TraceState`; the engine absorbs the states on join.  The
     same shape runs in thread-pool and serial batches for uniformity.
     """
-    mapping, instance, variant, limits, fault, attempt = payload
+    mapping, instance, variant, ctx, limits, fault, attempt = payload
     trip(fault, attempt)
     local = Tracer()
-    result = chase(
-        instance, mapping.dependencies, variant=variant, tracer=local, limits=limits
-    )
+    with _scope(ctx):
+        result = chase(
+            instance, mapping.dependencies, variant=variant, tracer=local, limits=limits
+        )
     return result, local.export_state()
 
 
 def reverse_task(
-    payload: Tuple[SchemaMapping, Instance, int, bool, Optional[Limits], Optional[Fault], int]
+    payload: Tuple[
+        SchemaMapping, Instance, int, bool, Optional[dict], Optional[Limits], Optional[Fault], int
+    ]
 ) -> Branches:
     """Reverse-chase one target instance inside a worker."""
-    mapping, target, max_nulls, minimize, limits, fault, attempt = payload
+    mapping, target, max_nulls, minimize, ctx, limits, fault, attempt = payload
     trip(fault, attempt)
-    if mapping.is_disjunctive() or mapping.uses_inequality():
-        return reverse_disjunctive_chase(
-            target,
-            mapping.dependencies,
-            result_relations=mapping.target.names,
-            max_nulls=max_nulls,
-            minimize=minimize,
-            limits=limits,
-        )
-    result = chase(target, mapping.dependencies, limits=limits)
+    with _scope(ctx):
+        if mapping.is_disjunctive() or mapping.uses_inequality():
+            return reverse_disjunctive_chase(
+                target,
+                mapping.dependencies,
+                result_relations=mapping.target.names,
+                max_nulls=max_nulls,
+                minimize=minimize,
+                limits=limits,
+            )
+        result = chase(target, mapping.dependencies, limits=limits)
     branches = Branches([result.restricted_to(mapping.target.names)])
     branches.exhausted = result.exhausted
     return branches
 
 
 def reverse_task_traced(
-    payload: Tuple[SchemaMapping, Instance, int, bool, Optional[Limits], Optional[Fault], int]
+    payload: Tuple[
+        SchemaMapping, Instance, int, bool, Optional[dict], Optional[Limits], Optional[Fault], int
+    ]
 ) -> Tuple[Branches, TraceState]:
     """Traced counterpart of :func:`reverse_task`.
 
     See :func:`chase_task_traced` for the per-worker tracer protocol."""
-    mapping, target, max_nulls, minimize, limits, fault, attempt = payload
+    mapping, target, max_nulls, minimize, ctx, limits, fault, attempt = payload
     trip(fault, attempt)
     local = Tracer()
-    if mapping.is_disjunctive() or mapping.uses_inequality():
-        branches = reverse_disjunctive_chase(
-            target,
-            mapping.dependencies,
-            result_relations=mapping.target.names,
-            max_nulls=max_nulls,
-            minimize=minimize,
-            limits=limits,
-            tracer=local,
-        )
-    else:
-        result = chase(target, mapping.dependencies, tracer=local, limits=limits)
-        branches = Branches([result.restricted_to(mapping.target.names)])
-        branches.exhausted = result.exhausted
+    with _scope(ctx):
+        if mapping.is_disjunctive() or mapping.uses_inequality():
+            branches = reverse_disjunctive_chase(
+                target,
+                mapping.dependencies,
+                result_relations=mapping.target.names,
+                max_nulls=max_nulls,
+                minimize=minimize,
+                limits=limits,
+                tracer=local,
+            )
+        else:
+            result = chase(target, mapping.dependencies, tracer=local, limits=limits)
+            branches = Branches([result.restricted_to(mapping.target.names)])
+            branches.exhausted = result.exhausted
     return branches, local.export_state()
 
 

@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from typing import Optional
 
 from ..errors import BudgetExhausted, Cancelled, ChaseNonTermination
+from ..obs.context import current_context
 from ..obs.progress import current_reporter
 from .config import Exhausted, Limits
 
@@ -117,6 +118,7 @@ class Budget:
         "limits",
         "token",
         "reporter",
+        "context",
         "rounds",
         "steps",
         "exhausted",
@@ -137,6 +139,10 @@ class Budget:
         # own; both default to None, keeping checkpoints at slot reads.
         self.token = token if token is not None else current_cancel_token()
         self.reporter = reporter if reporter is not None else current_reporter()
+        # Budgets are request-scoped: capture the ambient TraceContext
+        # once at construction so every Exhausted diagnosis this budget
+        # marks carries the ids of the request whose work ran out.
+        self.context = current_context()
         self.rounds = 0
         self.steps = 0
         self.exhausted: Optional[Exhausted] = None
@@ -158,6 +164,7 @@ class Budget:
         (per-branch rounds, frontier size); once marked, every later
         check reports the same diagnosis."""
         if self.exhausted is None:
+            context = self.context
             self.exhausted = Exhausted(
                 resource=resource,
                 where=where,
@@ -165,6 +172,8 @@ class Budget:
                 used=used,
                 rounds=self.rounds,
                 steps=self.steps,
+                trace_id=context.trace_id if context is not None else "",
+                request_id=context.request_id if context is not None else "",
             )
         return self.exhausted
 

@@ -44,6 +44,11 @@ class Exhausted:
     used: object = None
     rounds: int = 0
     steps: int = 0
+    #: The ambient request context at the moment the budget tripped
+    #: (empty outside a traced request) — a partial result surfaced by
+    #: a server worker names the request whose budget ran out.
+    trace_id: str = ""
+    request_id: str = ""
 
     def describe(self) -> str:
         """One-line human-readable diagnosis."""

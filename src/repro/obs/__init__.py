@@ -30,8 +30,22 @@ Typical use::
 The instrumented call sites live in ``chase/``, ``homs/``, and
 ``engine/``; the CLI surfaces everything via ``--trace out.jsonl`` and
 ``repro explain``.
+
+Two request-scoped layers ride on top: the ambient
+:class:`TraceContext` (``trace_id``/``request_id`` propagated across
+process boundaries and stamped onto every span, event, and registry
+row — see ``docs/OBSERVABILITY.md`` §9) and the chase profiler
+(:class:`ChaseProfiler` / :class:`ChaseProfile` /
+:func:`render_profile` — ``EXPLAIN ANALYZE`` for the chase, §10).
 """
 
+from .context import (
+    TraceContext,
+    context_scope,
+    current_context,
+    mint_context,
+    set_context,
+)
 from .events import (
     Binding,
     BranchClosed,
@@ -50,8 +64,19 @@ from .export import (
     render_budget_summary,
     render_derivation,
     render_span_tree,
+    spans_from_payload,
+    spans_payload,
     trace_lines,
     write_trace_jsonl,
+)
+from .profile import (
+    ChaseProfile,
+    ChaseProfiler,
+    DEP_SPAN_NAME,
+    DependencyProfile,
+    diff_profiles,
+    fingerprint_dependency,
+    render_profile,
 )
 from .metrics import (
     BucketedHistogram,
@@ -107,7 +132,11 @@ __all__ = [
     "BucketedHistogram",
     "CacheHit",
     "CacheMiss",
+    "ChaseProfile",
+    "ChaseProfiler",
     "DEFAULT_DB_PATH",
+    "DEP_SPAN_NAME",
+    "DependencyProfile",
     "Derivation",
     "DerivationNode",
     "Histogram",
@@ -127,24 +156,34 @@ __all__ = [
     "RunRow",
     "Span",
     "TelemetrySink",
+    "TraceContext",
     "TraceEvent",
     "TraceState",
     "Tracer",
     "TriggerFired",
     "WorkerKilled",
+    "context_scope",
+    "current_context",
     "current_reporter",
     "current_tracer",
+    "diff_profiles",
     "event_to_dict",
+    "fingerprint_dependency",
     "freeze_binding",
     "maybe_span",
+    "mint_context",
     "openmetrics_name",
     "progress_scope",
     "registry_from_env",
     "render_budget_summary",
     "render_derivation",
+    "render_profile",
     "render_span_tree",
+    "set_context",
     "set_reporter",
     "set_tracer",
+    "spans_from_payload",
+    "spans_payload",
     "trace_lines",
     "tracing",
     "write_trace_jsonl",

@@ -1,0 +1,118 @@
+"""Ambient trace context: one identity for a request across processes.
+
+A :class:`TraceContext` names one logical request — a CLI invocation or
+one ``POST /v1/*`` call — with a ``trace_id`` (always freshly minted)
+and a ``request_id`` (client-supplied via the ``X-Repro-Request-Id``
+header, or minted).  Entry points install it ambiently
+(:func:`context_scope`); instrumentation reads it back cheaply
+(:func:`current_context`, a thread-local read) and stamps it onto
+spans, :class:`~repro.obs.sinks.OpRecord` telemetry, registry rows,
+and exhaustion diagnoses, so every artifact a request leaves behind is
+correlatable.
+
+The context is a frozen, picklable dataclass with a JSON-safe
+``to_dict``/``from_dict`` round trip: the engine's batch fan-out and
+the service's WarmPool both serialize it into worker payloads, and the
+worker restores it ambiently before running the task — the same
+request id therefore appears on records produced on both sides of a
+process boundary.
+
+The ambient slot is **thread-local** (service handler threads each
+carry their own request), mirroring :func:`repro.limits.budget_scope`
+rather than the process-global ambient tracer.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "TraceContext",
+    "context_scope",
+    "current_context",
+    "mint_context",
+    "set_context",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity of one logical request.
+
+    ``trace_id`` is minted fresh at the entry point; ``request_id`` is
+    the client-visible correlation id (honored from
+    ``X-Repro-Request-Id`` when supplied); ``parent_span`` optionally
+    names the span id this context was forked under, so workers can
+    stitch their root spans back to the caller's tree.
+    """
+
+    trace_id: str
+    request_id: str
+    parent_span: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        """A JSON-safe projection for payloads and HTTP bodies."""
+        out = {"trace_id": self.trace_id, "request_id": self.request_id}
+        if self.parent_span is not None:
+            out["parent_span"] = self.parent_span
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Optional[dict]) -> Optional["TraceContext"]:
+        """Rebuild a context from :meth:`to_dict` output (``None``-safe)."""
+        if not data:
+            return None
+        return cls(
+            trace_id=str(data.get("trace_id", "")),
+            request_id=str(data.get("request_id", "")),
+            parent_span=data.get("parent_span"),
+        )
+
+    def fork(self, parent_span: Optional[int]) -> "TraceContext":
+        """The same request identity, re-anchored under *parent_span*."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            request_id=self.request_id,
+            parent_span=parent_span,
+        )
+
+
+def mint_context(request_id: Optional[str] = None) -> TraceContext:
+    """A fresh context; *request_id* is honored when the caller has one."""
+    trace_id = uuid.uuid4().hex[:16]
+    if request_id is None or not str(request_id).strip():
+        request_id = f"req-{trace_id[:12]}"
+    return TraceContext(trace_id=trace_id, request_id=str(request_id).strip())
+
+
+_local = threading.local()
+
+
+def current_context() -> Optional[TraceContext]:
+    """The ambient context of this thread, or ``None`` outside a request."""
+    return getattr(_local, "context", None)
+
+
+def set_context(context: Optional[TraceContext]) -> Optional[TraceContext]:
+    """Install *context* ambiently; returns the previous one."""
+    previous = getattr(_local, "context", None)
+    _local.context = context
+    return previous
+
+
+@contextmanager
+def context_scope(context: Optional[TraceContext]):
+    """Scope an ambient context: ``with context_scope(ctx): ...``.
+
+    ``context=None`` is allowed and scopes "no context" (used by workers
+    handling requests that arrived without one).
+    """
+    previous = set_context(context)
+    try:
+        yield context
+    finally:
+        set_context(previous)

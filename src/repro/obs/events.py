@@ -149,7 +149,11 @@ class WorkerKilled:
     it (see :mod:`repro.engine.supervisor`).  ``kills`` is the item's
     cumulative kill count so far (> 1 when retries were also killed);
     ``final`` says whether the item was given up on (``True``) or
-    re-queued for another attempt."""
+    re-queued for another attempt.  ``trace_id``/``request_id`` carry
+    the originating request's ambient
+    :class:`repro.obs.context.TraceContext` (empty outside one), so a
+    kill in a server worker pool is attributable to the HTTP request
+    whose work hung."""
 
     kind: ClassVar[str] = "worker_killed"
 
@@ -158,6 +162,8 @@ class WorkerKilled:
     kills: int = 1
     pid: Optional[int] = None
     final: bool = True
+    trace_id: str = ""
+    request_id: str = ""
 
 
 @dataclass(frozen=True)

@@ -30,17 +30,69 @@ def trace_lines(source: Union[Tracer, TraceState]) -> List[dict]:
         record["seq"] = seq
         lines.append(record)
     for span in source.spans:
-        lines.append(
+        record = {
+            "kind": "span",
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "attrs": {k: str(v) for k, v in span.attrs.items()},
+            "duration": round(span.duration, 9),
+        }
+        if span.trace_id:
+            record["trace_id"] = span.trace_id
+            record["request_id"] = span.request_id
+        lines.append(record)
+    return lines
+
+
+def spans_payload(source: Union[Tracer, TraceState]) -> List[dict]:
+    """The spans of a trace as JSON-safe dicts, parentage preserved.
+
+    Unlike :func:`trace_lines` this keeps the raw ``start``/``end``
+    clocks and the profiler attributes untouched, so a payload stored
+    in the run registry's ``metrics`` column round-trips through
+    :func:`spans_from_payload` into a renderable span tree and a
+    rebuildable :class:`repro.obs.ChaseProfile`.
+    """
+    payload: List[dict] = []
+    for span in source.spans:
+        payload.append(
             {
-                "kind": "span",
                 "name": span.name,
                 "span_id": span.span_id,
                 "parent_id": span.parent_id,
-                "attrs": {k: str(v) for k, v in span.attrs.items()},
-                "duration": round(span.duration, 9),
+                "attrs": {
+                    k: (v if isinstance(v, (int, float, bool)) else str(v))
+                    for k, v in span.attrs.items()
+                },
+                "start": span.start,
+                "end": span.end,
+                "trace_id": span.trace_id,
+                "request_id": span.request_id,
             }
         )
-    return lines
+    return payload
+
+
+def spans_from_payload(payload: List[dict]) -> TraceState:
+    """Rebuild a span-only :class:`TraceState` from a stored payload.
+
+    The inverse of :func:`spans_payload` — ``repro runs show`` feeds
+    the result straight to :func:`render_span_tree`."""
+    spans = tuple(
+        Span(
+            name=record.get("name", ""),
+            span_id=int(record.get("span_id", 0)),
+            parent_id=record.get("parent_id"),
+            attrs=dict(record.get("attrs") or {}),
+            start=record.get("start") or 0.0,
+            end=record.get("end"),
+            trace_id=record.get("trace_id", ""),
+            request_id=record.get("request_id", ""),
+        )
+        for record in payload
+    )
+    return TraceState(events=(), spans=spans, metrics={})
 
 
 def write_trace_jsonl(source: Union[Tracer, TraceState], path: str) -> int:

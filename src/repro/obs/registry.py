@@ -51,20 +51,32 @@ CREATE TABLE IF NOT EXISTS runs (
     facts INTEGER NOT NULL DEFAULT 0,
     nulls INTEGER NOT NULL DEFAULT 0,
     branches INTEGER NOT NULL DEFAULT 0,
+    triggers INTEGER NOT NULL DEFAULT 0,
     exhausted TEXT,
     error TEXT,
+    trace_id TEXT NOT NULL DEFAULT '',
+    request_id TEXT NOT NULL DEFAULT '',
     metrics TEXT
 );
 CREATE INDEX IF NOT EXISTS runs_op_mapping ON runs (op, mapping_digest);
 CREATE INDEX IF NOT EXISTS runs_op_mapping_instance
     ON runs (op, mapping_digest, instance_digest);
+CREATE INDEX IF NOT EXISTS runs_request_id ON runs (request_id);
 """
 
 _COLUMNS = (
     "id", "ts", "op", "mapping_digest", "instance_digest", "wall_time",
     "cache_hit", "rounds", "steps", "facts", "nulls", "branches",
-    "exhausted", "error", "metrics",
+    "triggers", "exhausted", "error", "trace_id", "request_id", "metrics",
 )
+
+#: Columns added after the PR-4 schema, with their ALTER TABLE clauses —
+#: opening a pre-existing database migrates it in place.
+_MIGRATIONS = {
+    "triggers": "triggers INTEGER NOT NULL DEFAULT 0",
+    "trace_id": "trace_id TEXT NOT NULL DEFAULT ''",
+    "request_id": "request_id TEXT NOT NULL DEFAULT ''",
+}
 
 
 @dataclass(frozen=True)
@@ -83,8 +95,11 @@ class RunRow:
     facts: int
     nulls: int
     branches: int
+    triggers: int
     exhausted: Optional[str]
     error: Optional[str]
+    trace_id: str
+    request_id: str
     metrics: Optional[dict]
 
     @property
@@ -121,7 +136,14 @@ class RunDiff:
         """Per-counter ``b - a`` differences for the work counters."""
         return {
             name: getattr(self.b, name) - getattr(self.a, name)
-            for name in ("rounds", "steps", "facts", "nulls", "branches")
+            for name in (
+                "rounds",
+                "steps",
+                "facts",
+                "nulls",
+                "branches",
+                "triggers",
+            )
         }
 
     def render(self) -> str:
@@ -196,11 +218,27 @@ class RunRegistry:
     """
 
     def __init__(self, path: str = DEFAULT_DB_PATH) -> None:
-        """Open (or create) the SQLite registry at *path*."""
+        """Open (or create) the SQLite registry at *path*.
+
+        Databases created by earlier releases are migrated in place:
+        columns added since (``triggers``, ``trace_id``,
+        ``request_id``) are ``ALTER TABLE``-d in with their defaults
+        before the schema script runs, so old history stays readable
+        and new rows carry the new fields."""
         self.path = path
         parent = os.path.dirname(os.path.abspath(path))
         os.makedirs(parent, exist_ok=True)
         with self._connect() as connection:
+            existing = {
+                row[1]
+                for row in connection.execute("PRAGMA table_info(runs)")
+            }
+            if existing:
+                for column, clause in _MIGRATIONS.items():
+                    if column not in existing:
+                        connection.execute(
+                            f"ALTER TABLE runs ADD COLUMN {clause}"
+                        )
             connection.executescript(_SCHEMA)
 
     def _connect(self) -> sqlite3.Connection:
@@ -216,8 +254,9 @@ class RunRegistry:
             cursor = connection.execute(
                 "INSERT INTO runs (ts, op, mapping_digest, instance_digest,"
                 " wall_time, cache_hit, rounds, steps, facts, nulls,"
-                " branches, exhausted, error, metrics)"
-                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                " branches, triggers, exhausted, error, trace_id,"
+                " request_id, metrics)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     record.ts,
                     record.op,
@@ -230,8 +269,11 @@ class RunRegistry:
                     record.facts,
                     record.nulls,
                     record.branches,
+                    record.triggers,
                     record.exhausted,
                     record.error,
+                    record.trace_id,
+                    record.request_id,
                     json.dumps(metrics, sort_keys=True)
                     if metrics is not None
                     else None,

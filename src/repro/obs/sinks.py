@@ -54,6 +54,14 @@ class OpRecord:
     ``reverse_many``; ``kills`` how many hung workers the supervisor
     had to terminate while running the item (0 outside supervised
     batches).
+
+    ``triggers`` counts the premise bindings the operation's chase
+    enumerated (``ChaseResult.triggers_considered``), so ops-log lines
+    and registry rows agree with ``engine.stats()`` per operation.
+    ``trace_id``/``request_id`` carry the ambient
+    :class:`repro.obs.context.TraceContext` of the originating request
+    (empty outside one), making every exported record correlatable to
+    the CLI invocation or HTTP call that caused it.
     """
 
     op: str
@@ -66,11 +74,14 @@ class OpRecord:
     facts: int = 0
     nulls: int = 0
     branches: int = 0
+    triggers: int = 0
     exhausted: Optional[str] = None
     error: Optional[str] = None
     batch_index: Optional[int] = None
     attempts: int = 1
     kills: int = 0
+    trace_id: str = ""
+    request_id: str = ""
     ts: float = field(default_factory=time.time)
 
     def as_dict(self) -> dict:
@@ -181,7 +192,15 @@ class OpenMetricsSink:
             registry.inc(f"ops.{record.op}.errors")
         if record.exhausted is not None:
             registry.inc(f"ops.{record.op}.exhausted")
-        for counter in ("rounds", "steps", "facts", "nulls", "branches", "kills"):
+        for counter in (
+            "rounds",
+            "steps",
+            "facts",
+            "nulls",
+            "branches",
+            "triggers",
+            "kills",
+        ):
             amount = getattr(record, counter)
             if amount:
                 registry.inc(f"ops.{record.op}.{counter}", amount)

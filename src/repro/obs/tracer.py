@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .context import current_context
 from .events import TraceEvent
 from .metrics import MetricsRegistry
 from .provenance import ProvenanceGraph
@@ -35,7 +36,12 @@ from .provenance import ProvenanceGraph
 
 @dataclass
 class Span:
-    """A named, timed section of work with parent linkage."""
+    """A named, timed section of work with parent linkage.
+
+    ``trace_id``/``request_id`` carry the ambient
+    :class:`~repro.obs.context.TraceContext` active when the span was
+    opened (empty outside a request), so spans from different
+    processes serving the same request correlate."""
 
     name: str
     span_id: int
@@ -43,6 +49,8 @@ class Span:
     attrs: Dict[str, object] = field(default_factory=dict)
     start: float = 0.0
     end: Optional[float] = None
+    trace_id: str = ""
+    request_id: str = ""
 
     @property
     def duration(self) -> float:
@@ -106,12 +114,15 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+        context = current_context()
         with self._lock:
             span = Span(
                 name=name,
                 span_id=next(self._ids),
                 parent_id=stack[-1].span_id if stack else None,
                 attrs=dict(attrs),
+                trace_id=context.trace_id if context is not None else "",
+                request_id=context.request_id if context is not None else "",
             )
             self.spans.append(span)
         stack.append(span)
@@ -123,6 +134,39 @@ class Tracer:
             stack.pop()
             with self._lock:
                 self.metrics.observe(f"span.{name}", span.duration)
+
+    def record_span(
+        self, name: str, start: float, end: float, **attrs
+    ) -> Optional[Span]:
+        """Record an already-timed span under the current span stack.
+
+        For instrumentation that measures a block itself (the chase
+        profiler's per-dependency cells) rather than wrapping it in the
+        :meth:`span` context manager.  Parent linkage and context
+        stamping match :meth:`span`."""
+        if not self.enabled:
+            return None
+        stack = getattr(self._local, "stack", None)
+        context = current_context()
+        with self._lock:
+            span = Span(
+                name=name,
+                span_id=next(self._ids),
+                parent_id=stack[-1].span_id if stack else None,
+                attrs=dict(attrs),
+                start=start,
+                end=end,
+                trace_id=context.trace_id if context is not None else "",
+                request_id=context.request_id if context is not None else "",
+            )
+            self.spans.append(span)
+            self.metrics.observe(f"span.{name}", span.duration)
+        return span
+
+    def current_span_id(self) -> Optional[int]:
+        """The id of this thread's innermost open span, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else None
 
     # ------------------------------------------------------------------
     # Sinks and lifecycle
@@ -142,11 +186,17 @@ class Tracer:
                 metrics=self.metrics.export_payload(),
             )
 
-    def absorb(self, state: TraceState) -> None:
+    def absorb(
+        self, state: TraceState, parent_id: Optional[int] = None
+    ) -> None:
         """Merge a worker's :class:`TraceState` into this tracer.
 
         Events re-feed the provenance graph; span ids are re-based so
-        merged span trees stay internally consistent."""
+        merged span trees stay internally consistent.  *parent_id* (an
+        id already in **this** tracer, e.g. the batch span the worker
+        was fanned out under) re-parents the worker's root spans, so a
+        cross-process request stitches into one tree instead of
+        leaving orphaned roots."""
         if not self.enabled:
             return
         with self._lock:
@@ -164,11 +214,13 @@ class Tracer:
                         parent_id=(
                             span.parent_id + offset
                             if span.parent_id is not None
-                            else None
+                            else parent_id
                         ),
                         attrs=dict(span.attrs),
                         start=span.start,
                         end=span.end,
+                        trace_id=getattr(span, "trace_id", ""),
+                        request_id=getattr(span, "request_id", ""),
                     )
                 )
             self.metrics.merge_payload(state.metrics)

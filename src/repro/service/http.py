@@ -63,8 +63,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from ..engine.cache import LRUCache
+from ..obs.context import TraceContext, context_scope, mint_context
+from ..obs.export import spans_payload
 from ..obs.metrics import MetricsRegistry
 from ..obs.sinks import OpRecord
+from ..obs.tracer import Tracer
 from .diskcache import DiskCache
 from .ops import (
     SERVICE_OPS,
@@ -124,8 +127,41 @@ class ExchangeService:
 
     # -- request path ---------------------------------------------------
 
-    def handle(self, op: str, body: Any) -> Tuple[int, Dict[str, Any]]:
-        """Serve one operation request; ``(http_status, response_body)``."""
+    def handle(
+        self,
+        op: str,
+        body: Any,
+        context: Optional[TraceContext] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Serve one operation request; ``(http_status, response_body)``.
+
+        *context* is the request's :class:`repro.obs.TraceContext` —
+        the HTTP layer mints one per ``POST`` (adopting an
+        ``X-Repro-Request-Id`` header when the client sent one); direct
+        callers may omit it and a fresh context is minted here.  The
+        whole request runs under that ambient context and a
+        ``service.<op>`` span; the worker's span subtree (shipped back
+        as the response's ``trace`` state) is stitched under it, and
+        the combined tree is persisted with the request's registry row.
+        """
+        if context is None:
+            context = mint_context()
+        tracer = Tracer(provenance=False)
+        with context_scope(context):
+            with tracer.span(
+                f"service.{op}", request_id=context.request_id
+            ) as span:
+                return self._serve(op, body, context, tracer, span)
+
+    def _serve(
+        self,
+        op: str,
+        body: Any,
+        context: TraceContext,
+        tracer: Tracer,
+        span,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """The admission/cache/dispatch pipeline under the service span."""
         started = time.perf_counter()
         if self.pool.draining:
             return self._refuse(op, 503, "draining", "service is draining")
@@ -139,8 +175,15 @@ class ExchangeService:
             response, layer = cached
             response = dict(response)
             response["cache"] = {"hit": True, "layer": layer}
-            self._record(op, request, response, started, cache_layer=layer)
+            self._record(
+                op, request, response, started, context, tracer,
+                cache_layer=layer,
+            )
             return 200, response
+        # The cache key is already computed from content digests only,
+        # so stamping the request context here can never alias cache
+        # entries across requests.
+        request["trace"] = context.to_dict()
         try:
             limits = request.get("limits") or {}
             job = self.pool.submit(request, deadline=limits.get("deadline"))
@@ -149,11 +192,18 @@ class ExchangeService:
         except PoolDraining as error:
             return self._refuse(op, 503, "draining", str(error))
         response = job.result()
+        state = response.pop("trace", None) if isinstance(response, dict) else None
+        if state is not None:
+            tracer.absorb(
+                state, parent_id=span.span_id if span is not None else None
+            )
         if not response.get("ok"):
             error = response.get("error", {})
             status = _ERROR_STATUS.get(error.get("kind"), 500)
             self._count(op, status, error_kind=error.get("kind"))
-            self._record(op, request, response, started, error=error)
+            self._record(
+                op, request, response, started, context, tracer, error=error
+            )
             return status, {"op": op, "ok": False, "error": error}
         if response.get("exhausted") is None and request.get("fault") is None:
             self.memory.put(key, response)
@@ -161,7 +211,7 @@ class ExchangeService:
                 self.disk.put(key, response)
         response = dict(response)
         response["cache"] = {"hit": False, "layer": None}
-        self._record(op, request, response, started)
+        self._record(op, request, response, started, context, tracer)
         return 200, response
 
     def _cached_response(self, key) -> Optional[Tuple[dict, str]]:
@@ -209,21 +259,30 @@ class ExchangeService:
         request: Dict[str, Any],
         response: Dict[str, Any],
         started: float,
+        context: Optional[TraceContext] = None,
+        tracer: Optional[Tracer] = None,
         cache_layer: Optional[str] = None,
         error: Optional[dict] = None,
     ) -> None:
-        """Count the request and emit its :class:`OpRecord`."""
+        """Count the request and emit its :class:`OpRecord`.
+
+        The registry row additionally carries a ``metrics`` JSON
+        payload: the stitched request span tree (service span plus the
+        absorbed worker subtree) and, when the worker engine profiled
+        the chase, the per-dependency profile summary — what ``repro
+        runs show`` renders back."""
         status = 200 if error is None else _ERROR_STATUS.get(
             error.get("kind"), 500
         )
         if error is None:
             self._count(op, status, cache_layer=cache_layer)
         meta = response.get("meta") or {}
+        now = time.perf_counter()
         record = OpRecord(
             op=f"serve.{op}",
             mapping_digest=request.get("mapping_digest", ""),
             instance_digest=request.get("instance_digest", ""),
-            wall_time=time.perf_counter() - started,
+            wall_time=now - started,
             cache_hit=cache_layer is not None
             or bool(meta.get("engine_cache_hit")),
             rounds=meta.get("rounds", 0),
@@ -231,15 +290,32 @@ class ExchangeService:
             facts=response.get("facts", 0),
             nulls=response.get("nulls", 0),
             branches=meta.get("branches", 0),
+            triggers=meta.get("triggers", 0),
             exhausted=response.get("exhausted"),
             error=error.get("type") if error else None,
             kills=1 if (error or {}).get("kind") == "killed" else 0,
+            trace_id=context.trace_id if context is not None else "",
+            request_id=context.request_id if context is not None else "",
         )
         if self.sink is not None:
             self.sink.record(record)
         if self.registry is not None:
+            metrics: Optional[dict] = None
+            payload: Dict[str, Any] = {}
+            if tracer is not None and tracer.spans:
+                spans = spans_payload(tracer)
+                # The service span is still open while its row is
+                # written; close it at "now" so the stored tree has a
+                # duration instead of a null end.
+                for stored in spans:
+                    if stored["end"] is None:
+                        stored["end"] = now
+                payload["spans"] = spans
+            if meta.get("profile"):
+                payload["profile"] = meta["profile"]
+            metrics = payload or None
             try:
-                self.registry.record(record)
+                self.registry.record(record, metrics=metrics)
             except Exception:  # pragma: no cover - registry is best-effort
                 pass
 
@@ -295,11 +371,18 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Suppress per-request stderr chatter; metrics cover this."""
 
-    def _reply(self, status: int, body: Dict[str, Any]) -> None:
+    def _reply(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         data = json.dumps(body, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
@@ -336,7 +419,17 @@ class _Handler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        """Route ``POST /v1/<op>``; anything else is 404."""
+        """Route ``POST /v1/<op>``; anything else is 404.
+
+        Every ``POST`` gets a :class:`repro.obs.TraceContext`: an
+        ``X-Repro-Request-Id`` request header is adopted as the request
+        id (so clients can correlate their own ids through logs,
+        registry rows, and span trees), otherwise one is minted.  The
+        effective id is echoed back as the same header on the reply —
+        on every status, including refusals."""
+        requested_id = (self.headers.get("X-Repro-Request-Id") or "").strip()
+        context = mint_context(request_id=requested_id or None)
+        echo = {"X-Repro-Request-Id": context.request_id}
         parts = self.path.strip("/").split("/")
         if len(parts) != 2 or parts[0] != "v1" or parts[1] not in SERVICE_OPS:
             self._reply(
@@ -350,6 +443,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "kind": "invalid",
                     },
                 },
+                headers=echo,
             )
             return
         op = parts[1]
@@ -366,6 +460,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "kind": "invalid",
                     },
                 },
+                headers=echo,
             )
             return
         try:
@@ -382,14 +477,15 @@ class _Handler(BaseHTTPRequestHandler):
                         "kind": "invalid",
                     },
                 },
+                headers=echo,
             )
             return
         try:
-            status, payload = self.service.handle(op, body)
+            status, payload = self.service.handle(op, body, context=context)
         except Exception as error:  # pragma: no cover - belt and braces
             status, payload = 500, {"op": op, "ok": False,
                                     "error": error_payload(error)}
-        self._reply(status, payload)
+        self._reply(status, payload, headers=echo)
 
 
 class ServiceServer(ThreadingHTTPServer):

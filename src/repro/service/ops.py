@@ -28,7 +28,9 @@ pool supervisor kill and respawn it.
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import ExitStack
 from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ReproError
@@ -36,6 +38,8 @@ from ..instance import Instance
 from ..limits import Limits
 from ..limits.faults import Fault, trip
 from ..mappings.schema_mapping import SchemaMapping
+from ..obs.context import TraceContext, context_scope
+from ..obs.tracer import Tracer, tracing
 from ..parsing.parser import parse_query
 
 #: The operations the service exposes under ``POST /v1/<op>``.
@@ -257,6 +261,17 @@ def execute_op(engine, request: Dict[str, Any]) -> Dict[str, Any]:
     carries wall time and work counters for the parent's telemetry;
     ``exhausted`` tags budget-truncated partial results, which the
     caller must not cache.
+
+    When the request carries a ``"trace"`` field — the serialized
+    :class:`repro.obs.context.TraceContext` the HTTP layer stamps onto
+    every admitted request — the operation runs with that context
+    restored as the worker's ambient context, under a private
+    :class:`repro.obs.Tracer` opening a ``worker.<op>`` root span.  The
+    tracer's picklable state ships back as ``response["trace"]`` so the
+    parent can stitch the worker's span subtree into the request's
+    service span (the caller must pop it before JSON-encoding or
+    caching the response).  Without a ``"trace"`` field the operation
+    runs exactly as before — direct callers pay nothing.
     """
     op = request["op"]
     fault = request.get("fault")
@@ -265,81 +280,98 @@ def execute_op(engine, request: Dict[str, Any]) -> Dict[str, Any]:
     mapping = SchemaMapping.from_text(request["mapping"])
     limits = _limits_from_request(request)
     started = time.perf_counter()
-    if op == "chase":
-        result = engine.exchange(
-            mapping,
-            Instance.parse(request["instance"]),
-            variant=request["variant"],
-            limits=limits,
-        )
-        response: Dict[str, Any] = {
-            "instance": str(result.instance),
-            "facts": len(result.instance),
-            "nulls": len(result.instance.nulls),
-            "exhausted": _exhausted_tag(result.exhausted),
-            "meta": {
-                "rounds": result.stats.rounds,
-                "steps": result.stats.steps,
-                "engine_cache_hit": result.cached,
-            },
-        }
-    elif op == "reverse":
-        result = engine.reverse(
-            mapping,
-            Instance.parse(request["instance"]),
-            max_nulls=request["max_nulls"],
-            take_core=request["take_core"],
-            limits=limits,
-        )
-        response = {
-            "candidates": [str(c) for c in result.candidates],
-            "canonical": str(result.canonical),
-            "exhausted": _exhausted_tag(result.exhausted),
-            "meta": {
-                "branches": len(result.candidates),
-                "engine_cache_hit": result.cached,
-            },
-        }
-    elif op == "audit":
-        reverse = (
-            SchemaMapping.from_text(request["reverse"])
-            if request.get("reverse")
-            else None
-        )
-        report = engine.audit(mapping, reverse=reverse)
-        response = {
-            "invertible": _verdict(report.invertible),
-            "extended_invertible": _verdict(report.extended_invertible),
-            "chase_inverse": _verdict(report.chase_inverse),
-            "exhausted": None,
-            "meta": {"engine_cache_hit": report.cached},
-        }
-    else:  # answer
-        if request.get("recovery"):
-            recovery = SchemaMapping.from_text(request["recovery"])
-        else:
-            from ..inverses.quasi_inverse import (
-                maximum_extended_recovery_for_full_tgds,
+    trace = request.get("trace")
+    tracer: Optional[Tracer] = None
+    with ExitStack() as stack:
+        if trace:
+            context = TraceContext.from_dict(trace)
+            stack.enter_context(context_scope(context))
+            tracer = Tracer(provenance=False)
+            stack.enter_context(tracing(tracer))
+            stack.enter_context(
+                tracer.span(f"worker.{op}", pid=os.getpid())
             )
+        if op == "chase":
+            result = engine.exchange(
+                mapping,
+                Instance.parse(request["instance"]),
+                variant=request["variant"],
+                limits=limits,
+            )
+            response: Dict[str, Any] = {
+                "instance": str(result.instance),
+                "facts": len(result.instance),
+                "nulls": len(result.instance.nulls),
+                "exhausted": _exhausted_tag(result.exhausted),
+                "meta": {
+                    "rounds": result.stats.rounds,
+                    "steps": result.stats.steps,
+                    "triggers": result.stats.triggers_considered,
+                    "engine_cache_hit": result.cached,
+                },
+            }
+        elif op == "reverse":
+            result = engine.reverse(
+                mapping,
+                Instance.parse(request["instance"]),
+                max_nulls=request["max_nulls"],
+                take_core=request["take_core"],
+                limits=limits,
+            )
+            response = {
+                "candidates": [str(c) for c in result.candidates],
+                "canonical": str(result.canonical),
+                "exhausted": _exhausted_tag(result.exhausted),
+                "meta": {
+                    "branches": len(result.candidates),
+                    "engine_cache_hit": result.cached,
+                },
+            }
+        elif op == "audit":
+            reverse = (
+                SchemaMapping.from_text(request["reverse"])
+                if request.get("reverse")
+                else None
+            )
+            report = engine.audit(mapping, reverse=reverse)
+            response = {
+                "invertible": _verdict(report.invertible),
+                "extended_invertible": _verdict(report.extended_invertible),
+                "chase_inverse": _verdict(report.chase_inverse),
+                "exhausted": None,
+                "meta": {"engine_cache_hit": report.cached},
+            }
+        else:  # answer
+            if request.get("recovery"):
+                recovery = SchemaMapping.from_text(request["recovery"])
+            else:
+                from ..inverses.quasi_inverse import (
+                    maximum_extended_recovery_for_full_tgds,
+                )
 
-            recovery = maximum_extended_recovery_for_full_tgds(mapping)
-        answers = engine.answer(
-            mapping,
-            recovery,
-            parse_query(request["query"]),
-            Instance.parse(request["instance"]),
-            max_nulls=request["max_nulls"],
-        )
-        response = {
-            "rows": sorted(
-                [[str(value) for value in row] for row in answers]
-            ),
-            "exhausted": None,
-            "meta": {},
-        }
+                recovery = maximum_extended_recovery_for_full_tgds(mapping)
+            answers = engine.answer(
+                mapping,
+                recovery,
+                parse_query(request["query"]),
+                Instance.parse(request["instance"]),
+                max_nulls=request["max_nulls"],
+            )
+            response = {
+                "rows": sorted(
+                    [[str(value) for value in row] for row in answers]
+                ),
+                "exhausted": None,
+                "meta": {},
+            }
+        profile = getattr(engine, "last_profile", None)
+        if profile is not None:
+            response["meta"]["profile"] = profile.to_summary()
     response["op"] = op
     response["ok"] = True
     response["meta"]["wall_time"] = time.perf_counter() - started
+    if tracer is not None:
+        response["trace"] = tracer.export_state()
     return response
 
 

@@ -402,6 +402,7 @@ class WarmPool:
             self.stats_counters.bump(kills=1)
         self._respawn(slot)
         job.killed = True
+        trace = job.request.get("trace") or {}
         diagnosis = Exhausted(
             resource="killed",
             where="service.pool",
@@ -409,6 +410,8 @@ class WarmPool:
             used=reason,
             rounds=gauges.get("rounds", 0),
             steps=gauges.get("steps", 0),
+            trace_id=trace.get("trace_id", ""),
+            request_id=trace.get("request_id", ""),
         )
         self._finish(
             job,

@@ -1,0 +1,105 @@
+"""Unit tests for the ambient trace context (repro.obs.context)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+
+from repro.obs import (
+    TraceContext,
+    context_scope,
+    current_context,
+    mint_context,
+    set_context,
+)
+
+
+class TestMinting:
+    def test_mint_is_fresh(self):
+        a, b = mint_context(), mint_context()
+        assert a.trace_id != b.trace_id
+        assert len(a.trace_id) == 16
+
+    def test_default_request_id_derives_from_trace_id(self):
+        context = mint_context()
+        assert context.request_id == f"req-{context.trace_id[:12]}"
+
+    def test_client_request_id_is_honored(self):
+        context = mint_context(request_id="r1")
+        assert context.request_id == "r1"
+
+    def test_blank_request_id_falls_back_to_minted(self):
+        context = mint_context(request_id="   ")
+        assert context.request_id.startswith("req-")
+
+    def test_request_id_is_stripped(self):
+        assert mint_context(request_id=" r2 ").request_id == "r2"
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        context = mint_context(request_id="r1").fork(parent_span=7)
+        data = json.loads(json.dumps(context.to_dict()))
+        assert TraceContext.from_dict(data) == context
+
+    def test_from_dict_none_safe(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({}) is None
+
+    def test_parent_span_omitted_when_unset(self):
+        assert "parent_span" not in mint_context().to_dict()
+
+    def test_picklable(self):
+        context = mint_context()
+        assert pickle.loads(pickle.dumps(context)) == context
+
+    def test_fork_keeps_identity(self):
+        context = mint_context(request_id="r1")
+        forked = context.fork(parent_span=3)
+        assert forked.trace_id == context.trace_id
+        assert forked.request_id == "r1"
+        assert forked.parent_span == 3
+
+
+class TestAmbientScope:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+
+    def test_scope_installs_and_restores(self):
+        context = mint_context()
+        with context_scope(context):
+            assert current_context() is context
+        assert current_context() is None
+
+    def test_scope_nests(self):
+        outer, inner = mint_context(), mint_context()
+        with context_scope(outer):
+            with context_scope(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+
+    def test_none_scope_masks_enclosing_context(self):
+        with context_scope(mint_context()):
+            with context_scope(None):
+                assert current_context() is None
+
+    def test_set_context_returns_previous(self):
+        context = mint_context()
+        assert set_context(context) is None
+        try:
+            assert set_context(None) is context
+        finally:
+            set_context(None)
+
+    def test_ambient_slot_is_thread_local(self):
+        seen = []
+
+        def probe():
+            seen.append(current_context())
+
+        with context_scope(mint_context()):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen == [None]

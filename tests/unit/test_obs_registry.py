@@ -254,3 +254,60 @@ class TestRegistryFromEnv:
         assert registry is not None and registry.path == path
         registry.record(_chase())
         assert len(registry) == 1
+
+
+class TestSchemaMigration:
+    """Opening a pre-PR-9 database migrates it in place."""
+
+    _OLD_SCHEMA = """
+    CREATE TABLE runs (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        ts REAL NOT NULL,
+        op TEXT NOT NULL,
+        mapping_digest TEXT NOT NULL DEFAULT '',
+        instance_digest TEXT NOT NULL DEFAULT '',
+        wall_time REAL NOT NULL DEFAULT 0.0,
+        cache_hit INTEGER NOT NULL DEFAULT 0,
+        rounds INTEGER NOT NULL DEFAULT 0,
+        steps INTEGER NOT NULL DEFAULT 0,
+        facts INTEGER NOT NULL DEFAULT 0,
+        nulls INTEGER NOT NULL DEFAULT 0,
+        branches INTEGER NOT NULL DEFAULT 0,
+        exhausted TEXT,
+        error TEXT,
+        metrics TEXT
+    );
+    """
+
+    def _old_db(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "old.db")
+        with sqlite3.connect(path) as connection:
+            connection.executescript(self._OLD_SCHEMA)
+            connection.execute(
+                "INSERT INTO runs (ts, op, wall_time) VALUES (1.0, 'chase', 0.5)"
+            )
+        return path
+
+    def test_old_rows_stay_readable_with_defaults(self, tmp_path):
+        registry = RunRegistry(self._old_db(tmp_path))
+        (row,) = registry.list_runs(limit=10)
+        assert row.op == "chase" and row.wall_time == 0.5
+        assert row.triggers == 0
+        assert row.trace_id == "" and row.request_id == ""
+
+    def test_new_rows_carry_new_columns(self, tmp_path):
+        registry = RunRegistry(self._old_db(tmp_path))
+        run_id = registry.record(
+            _chase(triggers=9, trace_id="t" * 16, request_id="r1")
+        )
+        row = registry.get(run_id)
+        assert row.triggers == 9
+        assert row.trace_id == "t" * 16 and row.request_id == "r1"
+
+    def test_migration_is_idempotent(self, tmp_path):
+        path = self._old_db(tmp_path)
+        RunRegistry(path)
+        registry = RunRegistry(path)  # reopen: no duplicate-column error
+        assert len(registry) == 1

@@ -270,3 +270,67 @@ class TestMetricsRegistry:
         dst.observe("empty", 2.0)
         hist = dst.histogram("empty")
         assert hist.min == 2.0 and hist.max == 2.0
+
+
+def _traced_worker_chase(ctx_dict: dict):
+    """Pool-side task for the cross-process stitching test.
+
+    Runs a chase under its own tracer inside the restored ambient
+    context — the same shape the engine's ``chase_task_traced`` and the
+    serve worker's ``execute_op`` use — and ships the trace state back.
+    """
+    from repro.obs import TraceContext, context_scope
+
+    worker = Tracer()
+    with context_scope(TraceContext.from_dict(ctx_dict)):
+        with worker.span("worker.chase"):
+            chase(PABC, DECOMP.dependencies, tracer=worker)
+    return worker.export_state()
+
+
+class TestCrossProcessStitching:
+    def test_absorb_stitches_through_a_real_process_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.obs import context_scope, mint_context
+
+        context = mint_context(request_id="r-pool")
+        parent = Tracer()
+        with context_scope(context):
+            with parent.span("engine.batch") as batch:
+                with ProcessPoolExecutor(max_workers=2) as pool:
+                    states = list(
+                        pool.map(
+                            _traced_worker_chase, [context.to_dict()] * 2
+                        )
+                    )
+            for state in states:
+                parent.absorb(state, parent_id=batch.span_id)
+
+        # Exactly one root: both workers' trees hang off engine.batch.
+        roots = [s for s in parent.spans if s.parent_id is None]
+        assert [s.name for s in roots] == ["engine.batch"]
+        workers = [s for s in parent.spans if s.name == "worker.chase"]
+        assert len(workers) == 2
+        assert all(s.parent_id == batch.span_id for s in workers)
+        # Every worker-side chase span is a descendant of its worker
+        # root, ids stayed unique after the rebase, and the restored
+        # ambient context stamped every cross-process span.
+        by_id = {s.span_id: s for s in parent.spans}
+        for span in parent.spans:
+            if span.name == "chase":
+                assert by_id[span.parent_id].name == "worker.chase"
+        ids = [s.span_id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+        for span in workers:
+            assert span.trace_id == context.trace_id
+            assert span.request_id == "r-pool"
+
+    def test_absorb_without_parent_keeps_worker_roots(self):
+        worker = Tracer()
+        with worker.span("worker.chase"):
+            pass
+        parent = Tracer()
+        parent.absorb(worker.export_state())
+        (root,) = [s for s in parent.spans if s.parent_id is None]
+        assert root.name == "worker.chase"
