@@ -16,9 +16,11 @@ decomposition workload families:
 
 Runs two ways: under pytest-benchmark like every other SB module, and
 as a plain script (``python benchmarks/bench_store.py``) for the CI
-smoke run, where it prints the scale table, registers the measurements
-in the run registry (``$REPRO_RUNS_DB``), and exits nonzero if the
-acceptance claim fails.
+smoke run, where it prints the scale table, registers **every lane**
+(the tuple baseline, the sqlite SQL lane, and — when the wheel is
+installed — a duckdb SQL lane whose digest must match sqlite's) in the
+run registry (``$REPRO_RUNS_DB``), and exits nonzero if the acceptance
+claim fails.
 """
 
 import os
@@ -36,7 +38,7 @@ except ImportError:  # pragma: no cover - script mode without PYTHONPATH
 from repro.chase.standard import chase
 from repro.obs.registry import RunRegistry
 from repro.obs.sinks import OpRecord
-from repro.store import SqliteStore, sql_chase
+from repro.store import DuckDbStore, SqliteStore, duckdb_available, sql_chase
 from repro.workloads.generators import (
     chain_decomposition_mapping,
     random_instance,
@@ -214,6 +216,26 @@ def main(argv=None) -> int:
                 f"within-budget={within_budget} completed={completed}"
             )
 
+            # Every lane gets its own registry row — the tuple baseline
+            # used to live only inside the sqlite row's metrics blob,
+            # which made cross-lane queries impossible.
+            registry.record(
+                OpRecord(
+                    op="bench_store",
+                    mapping_digest=mapping.digest(),
+                    wall_time=base_t,
+                    rounds=base_result.rounds,
+                    steps=base_result.steps,
+                    facts=base_facts,
+                ),
+                metrics={
+                    "family": family,
+                    "lane": "tuple",
+                    "scale": 1,
+                    "base_size": BASE_SIZE,
+                    "peak_bytes": base_peak,
+                },
+            )
             registry.record(
                 OpRecord(
                     op="bench_store",
@@ -225,14 +247,52 @@ def main(argv=None) -> int:
                 ),
                 metrics={
                     "family": family,
+                    "lane": "sqlite",
                     "scale": SCALE,
                     "base_size": BASE_SIZE,
                     "base_wall_time": base_t,
                     "base_peak_bytes": base_peak,
+                    "peak_bytes": sql_peak,
                     "sql_peak_bytes": sql_peak,
                     "within_budget": within_budget,
                 },
             )
+
+            if duckdb_available():
+                duck = DuckDbStore(
+                    os.path.join(tmpdir, f"bench-{family}.duckdb"),
+                    fresh=True,
+                )
+                duck.add_all(_source(family, BASE_SIZE * SCALE).facts)
+                duck_t, duck_peak, duck_result = _traced(
+                    lambda: sql_chase(duck, mapping.dependencies)
+                )
+                duck_identical = duck.digest() == store.digest()
+                ok = ok and duck_result.completed and duck_identical
+                print(
+                    f"{family:14s} duck {SCALE}x : {duck_t * 1e3:9.1f} ms  "
+                    f"peak {duck_peak / 1e6:7.2f} MB  facts {len(duck)}  "
+                    f"identical={duck_identical}"
+                )
+                registry.record(
+                    OpRecord(
+                        op="bench_store",
+                        mapping_digest=mapping.digest(),
+                        wall_time=duck_t,
+                        rounds=duck_result.rounds,
+                        steps=duck_result.steps,
+                        facts=len(duck),
+                    ),
+                    metrics={
+                        "family": family,
+                        "lane": "duckdb",
+                        "scale": SCALE,
+                        "base_size": BASE_SIZE,
+                        "peak_bytes": duck_peak,
+                        "identical_to_sqlite": duck_identical,
+                    },
+                )
+                duck.close()
             store.close()
     registry.close()
     print(f"acceptance: sql chase at {SCALE}x within 1x memory budget — {ok}")

@@ -200,6 +200,7 @@ def _make_engine(
         registry=RunRegistry(registry_path) if registry_path else None,
         store=getattr(args, "store", None) or "memory",
         sql_chase=getattr(args, "sql_chase", False),
+        sql_jobs=getattr(args, "sql_jobs", None) or 1,
         disk_cache=resolve_cache_dir(getattr(args, "cache_dir", None)),
         profile=getattr(args, "profile", False),
     )
@@ -290,21 +291,22 @@ def _cancelled(
 def _parse_instances(args: argparse.Namespace) -> List[Instance]:
     """Parse ``--instance`` texts onto the selected store backend.
 
-    With ``--store sqlite[...]`` each parsed instance is rehydrated
-    into a SQLite store and handed back behind the ``Instance`` facade,
-    so every downstream code path (chase, reverse, audit, batches) runs
-    against the pluggable backend unchanged.  Path-based specs get a
-    ``.{i}`` suffix per extra instance so batch inputs never share a
-    database file.
+    With ``--store sqlite[...]`` or ``--store duckdb[...]`` each parsed
+    instance is rehydrated into a SQL store and handed back behind the
+    ``Instance`` facade, so every downstream code path (chase, reverse,
+    audit, batches) runs against the pluggable backend unchanged.
+    Path-based specs get a ``.{i}`` suffix per extra instance so batch
+    inputs never share a database file.
     """
     spec = getattr(args, "store", None) or "memory"
     parsed = [Instance.parse(text) for text in args.instance]
     if spec == "memory":
         return parsed
     loaded = []
+    _, sep, spec_path = spec.partition(":")
     for index, inst in enumerate(parsed):
         item_spec = spec
-        if index and spec.startswith("sqlite:") and len(spec) > len("sqlite:"):
+        if index and sep and spec_path:
             item_spec = f"{spec}.{index}"
         store = open_store(item_spec, fresh=True)
         store.add_all(inst.facts)
@@ -778,6 +780,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "cache_dir": cache_dir,
             "store": args.store or "memory",
             "sql_chase": args.sql_chase,
+            "sql_jobs": getattr(args, "sql_jobs", None) or 1,
         },
         deadline=args.deadline,
         grace=args.grace if args.grace is not None else 2.0,
@@ -873,14 +876,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not record this invocation in the run registry")
     engine_flags.add_argument(
         "--store", metavar="SPEC", default="memory",
-        help="instance backend: memory (default), sqlite (in-memory "
-             "database), or sqlite:PATH; parsed instances load onto "
-             "this backend and the SQL chase uses it as scratch space")
+        help="instance backend: memory (default), sqlite, sqlite:PATH, "
+             "duckdb, or duckdb:PATH (duckdb needs the optional wheel); "
+             "parsed instances load onto this backend and the SQL "
+             "chase uses it as scratch space")
     engine_flags.add_argument(
         "--sql-chase", action="store_true",
-        help="compile non-disjunctive restricted chases to SQL plans "
-             "run inside a SQLite store (dependencies outside the "
-             "fragment fall back to tuple-at-a-time per round)")
+        help="compile non-disjunctive restricted chases to semi-naive "
+             "SQL plans run inside the SQL store backend (dependencies "
+             "outside the fragment fall back to tuple-at-a-time per "
+             "round; REPRO_NAIVE_CHASE=1 selects the naive SQL oracle)")
+    engine_flags.add_argument(
+        "--sql-jobs", metavar="N", type=int, default=1,
+        help="shard SQL-chase rounds across N threads (default 1); "
+             "output is fact-for-fact identical to serial")
     engine_flags.add_argument(
         "--cache-dir", metavar="PATH", default=None,
         help="persistent disk tier under the engine caches: results "
@@ -1071,10 +1080,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument(
         "--store", metavar="SPEC", default="memory",
         help="worker instance backend: memory (default), sqlite, "
-             "or sqlite:PATH")
+             "sqlite:PATH, duckdb, or duckdb:PATH")
     serve_cmd.add_argument(
         "--sql-chase", action="store_true",
         help="workers compile eligible chases to SQL plans")
+    serve_cmd.add_argument(
+        "--sql-jobs", metavar="N", type=int, default=1,
+        help="shard SQL-chase rounds across N threads per worker")
     serve_cmd.set_defaults(func=_cmd_serve)
     return parser
 

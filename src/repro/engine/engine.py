@@ -53,7 +53,7 @@ from ..obs.profile import ChaseProfile, ChaseProfiler
 from ..obs.registry import RunRegistry
 from ..obs.sinks import OpRecord, OpenMetricsSink, TelemetrySink
 from ..obs.tracer import Tracer, current_tracer, maybe_span
-from ..store import SqliteStore, open_store
+from ..store import open_store
 from .cache import LRUCache, TieredCache
 from .parallel import (
     ItemOutcome,
@@ -168,7 +168,8 @@ class ExchangeEngine:
         Backend spec for the SQL-chase working store (the CLI's
         ``--store`` values): ``"memory"`` (default; the SQL chase, when
         enabled, still runs in an in-memory SQLite database),
-        ``"sqlite"``, or ``"sqlite:<path>"`` to spill the chase to
+        ``"sqlite"`` / ``"sqlite:<path>"``, or ``"duckdb"`` /
+        ``"duckdb:<path>"`` (optional dependency) to spill the chase to
         disk.  A path-based store is scratch space: it is recreated
         (``fresh=True``) for every operation that uses it.
     sql_chase:
@@ -179,6 +180,12 @@ class ExchangeEngine:
         tuple-at-a-time per round.  Results are hom-equivalent to the
         in-memory chase (identical for full tgds), so SQL-chased
         results are cached under a distinct key tag.
+    sql_jobs:
+        Shard count for SQL-chase rounds (default 1, serial).  Values
+        above 1 partition each round's trigger queries by
+        ``rowid % sql_jobs`` and evaluate the shards on a thread pool
+        over per-shard reader connections; output is fact-for-fact
+        identical to serial, so results share the same cache entries.
     disk_cache:
         A persistent backing cache layered **under** every in-memory
         LRU: a :class:`repro.service.DiskCache` (or any object with
@@ -216,6 +223,7 @@ class ExchangeEngine:
         registry: Optional[RunRegistry] = None,
         store: str = "memory",
         sql_chase: bool = False,
+        sql_jobs: int = 1,
         disk_cache=None,
         profile: bool = False,
     ) -> None:
@@ -225,11 +233,13 @@ class ExchangeEngine:
             )
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries!r}")
-        if store != "memory" and not store.startswith("sqlite"):
+        if store != "memory" and not store.startswith(("sqlite", "duckdb")):
             raise ValueError(
                 f"unknown store spec {store!r}; expected 'memory', "
-                "'sqlite', or 'sqlite:<path>'"
+                "'sqlite[:<path>]', or 'duckdb[:<path>]'"
             )
+        if sql_jobs < 1:
+            raise ValueError(f"sql_jobs must be >= 1, got {sql_jobs!r}")
         size = cache_size if enable_cache else 0
         self.disk_cache = None
         if disk_cache is not None and enable_cache:
@@ -257,6 +267,7 @@ class ExchangeEngine:
         self.registry = registry
         self.store_spec = store
         self.sql_chase = sql_chase
+        self.sql_jobs = sql_jobs
         self.profile = profile
         self.last_profile: Optional[ChaseProfile] = None
         self._clock = time.perf_counter
@@ -511,17 +522,20 @@ class ExchangeEngine:
         from ..store.sqlplan import sql_chase
 
         spec = self.store_spec
-        path = spec[len("sqlite:"):] if spec.startswith("sqlite:") else ""
+        backend, _, path = spec.partition(":")
+        if backend == "memory":
+            backend = "sqlite"
         if path:
-            store = open_store(f"sqlite:{path}.chase", fresh=True)
+            store = open_store(f"{backend}:{path}.chase", fresh=True)
         else:
-            store = SqliteStore(":memory:")
+            store = open_store(backend)
         store.add_all(source.facts)
         sqlres = sql_chase(
             store,
             mapping.dependencies,
             tracer=tracer,
             limits=effective,
+            jobs=self.sql_jobs,
         )
         full = sqlres.instance
         return ChaseResult(
@@ -530,6 +544,8 @@ class ExchangeEngine:
             steps=sqlres.steps,
             rounds=sqlres.rounds,
             exhausted=sqlres.exhausted,
+            delta_sizes=sqlres.delta_sizes,
+            triggers_considered=sqlres.triggers_considered,
         )
 
     def chase(

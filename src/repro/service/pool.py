@@ -91,6 +91,7 @@ def _build_worker_engine(config: Dict[str, Any]):
         cache_size=config.get("cache_size", 512),
         store=config.get("store", "memory"),
         sql_chase=config.get("sql_chase", False),
+        sql_jobs=config.get("sql_jobs", 1),
         disk_cache=DiskCache(cache_dir) if cache_dir else None,
     )
 

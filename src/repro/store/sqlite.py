@@ -11,84 +11,40 @@ connections: a store is scratch/working state for a single chase, not a
 durable multi-process registry, and temp tables plus bulk transactions
 need connection affinity.
 
-Layout
-------
+All the dialect-independent machinery — the ``_catalog``, the tagged
+value encoding, the matching protocol, the streaming digest — lives in
+:class:`repro.store.sqlbase.SqlStoreBase`, shared with the DuckDB
+backend; this module adds only what is SQLite-specific:
 
-* ``_catalog(relation, tbl, arity)`` maps relation names (data, may
-  contain any character — the paper uses names like ``P'``) to
-  generated table names ``r0, r1, ...`` (identifiers, always safe).
-* Each relation table has TEXT columns ``c0..c{arity-1}``, a unique
-  index over all columns (set semantics / ``INSERT OR IGNORE`` dedup)
-  and a secondary index per non-leading column (the ``tuples_at``
-  candidate lookups).
-* Values are encoded as tagged text — ``i:<int>``, ``s:<str>``,
-  ``n:<null-name>`` — mirroring the type tags of
-  :func:`repro.facts.digest_value` so distinct values never collide.
-
-The digest is computed *streamingly*: one relation at a time, rows
-sorted in Python by the value sort key, fed to
-:class:`repro.facts.FactDigest`.  Because the relation name leads the
-fact sort key and relations are visited in sorted-name order, this
-equals the digest of the globally sorted fact set — byte-identical to
-``MemoryStore`` and to the pre-store ``Instance.digest()``.
+* pragmas tuned for scratch state (``synchronous=OFF``,
+  ``journal_mode=MEMORY``) on an autocommit connection;
+* per-relation-table DDL: a unique *index* over all columns (the
+  ``INSERT OR IGNORE`` dedup target) plus a secondary index per
+  non-leading column for the ``tuples_at`` candidate lookups;
+* reader connections for the sharded SQL chase.  On-disk stores just
+  open the path again; ``:memory:`` stores are backed by a uniquely
+  named shared-cache database (``file:...?mode=memory&cache=shared``)
+  so that additional connections can see the same data — without the
+  URI, every ``:memory:`` connection is a separate database.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import sqlite3
-from typing import (
-    TYPE_CHECKING,
-    Dict,
-    FrozenSet,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Set,
-    Tuple,
-)
+from typing import List, Optional
 
-from ..facts import Fact, FactDigest
-from ..terms import Const, Null, Value
-from .base import StoreError
+from .sqlbase import SqlStoreBase, decode_value, encode_value
 
-if TYPE_CHECKING:
-    from ..instance import Instance
+__all__ = ["SqliteStore", "decode_value", "encode_value"]
 
-_CATALOG_SCHEMA = """
-CREATE TABLE IF NOT EXISTS _catalog (
-    relation TEXT PRIMARY KEY,
-    tbl      TEXT NOT NULL UNIQUE,
-    arity    INTEGER NOT NULL
-);
-"""
+#: Distinguishes the shared-cache databases of in-memory stores living
+#: in the same process (the URI *is* the database identity).
+_MEM_IDS = itertools.count()
 
 
-def encode_value(value: Value) -> str:
-    """Encode one value as tagged text for a column cell."""
-    if isinstance(value, Const):
-        payload = value.value
-        if isinstance(payload, int) and not isinstance(payload, bool):
-            return f"i:{payload}"
-        return f"s:{payload}"
-    if isinstance(value, Null):
-        return f"n:{value.name}"
-    raise TypeError(f"cannot store non-value {value!r}")
-
-
-def decode_value(cell: str) -> Value:
-    """Invert :func:`encode_value`."""
-    tag, payload = cell[0], cell[2:]
-    if tag == "i":
-        return Const(int(payload))
-    if tag == "s":
-        return Const(payload)
-    if tag == "n":
-        return Null(payload)
-    raise ValueError(f"unknown value tag in cell {cell!r}")
-
-
-class SqliteStore:
+class SqliteStore(SqlStoreBase):
     """Facts in a SQLite database (``:memory:`` or on disk).
 
     Satisfies the full :class:`~repro.store.InstanceStore` protocol, so
@@ -97,53 +53,48 @@ class SqliteStore:
     ``fresh=True`` drops any prior contents at that path first.
     """
 
+    dialect = "sqlite"
+
     def __init__(self, path: str = ":memory:", *, fresh: bool = False) -> None:
         """Open (or create) the store at *path*."""
-        self._path = path
-        self._conn = sqlite3.connect(path)
-        self._conn.isolation_level = None  # autocommit; bulk ops BEGIN explicitly
+        self._memory_uri: Optional[str] = None
+        if path == ":memory:":
+            self._memory_uri = (
+                f"file:repro-store-{os.getpid()}-{next(_MEM_IDS)}"
+                "?mode=memory&cache=shared"
+            )
+        super().__init__(path, fresh=fresh)
+
+    def _connect(self, path: str) -> sqlite3.Connection:
+        if self._memory_uri is not None:
+            try:
+                conn = sqlite3.connect(
+                    self._memory_uri, uri=True, check_same_thread=False
+                )
+            except sqlite3.Error:
+                # Shared-cache support can be compiled out; fall back to
+                # a plain private in-memory database (reader connections
+                # are then unavailable and sharded rounds run serially).
+                self._memory_uri = None
+                conn = sqlite3.connect(path, check_same_thread=False)
+        else:
+            conn = sqlite3.connect(path, check_same_thread=False)
+        conn.isolation_level = None  # autocommit; bulk ops BEGIN explicitly
+        return conn
+
+    def _configure(self) -> None:
         self._conn.execute("PRAGMA synchronous=OFF")
         self._conn.execute("PRAGMA journal_mode=MEMORY")
-        if fresh:
-            self._drop_all()
-        self._conn.execute(_CATALOG_SCHEMA)
-        self._tables: Dict[str, Tuple[str, int]] = {
-            relation: (tbl, arity)
-            for relation, tbl, arity in self._conn.execute(
-                "SELECT relation, tbl, arity FROM _catalog"
-            )
-        }
-        self._count: Optional[int] = None
-        self._frozen = False
 
-    # ------------------------------------------------------------------
-    # Schema management
-    # ------------------------------------------------------------------
+    def _table_names(self) -> List[str]:
+        return [
+            name
+            for (name,) in self._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            ).fetchall()
+        ]
 
-    def _drop_all(self) -> None:
-        rows = self._conn.execute(
-            "SELECT name FROM sqlite_master WHERE type='table'"
-        ).fetchall()
-        for (name,) in rows:
-            self._conn.execute(f'DROP TABLE IF EXISTS "{name}"')
-
-    def ensure_relation(self, relation: str, arity: int) -> Tuple[str, int]:
-        """Create (or fetch) the table for *relation*; returns (tbl, arity).
-
-        A relation has one fixed arity per store — reusing a name at a
-        different arity raises :class:`~repro.store.StoreError` (the
-        in-memory representation tolerates this; the relational layout
-        cannot).
-        """
-        known = self._tables.get(relation)
-        if known is not None:
-            if known[1] != arity:
-                raise StoreError(
-                    f"relation {relation!r} already stored at arity {known[1]}, "
-                    f"cannot also use arity {arity}"
-                )
-            return known
-        tbl = f"r{len(self._tables)}"
+    def _create_relation_table(self, tbl: str, arity: int) -> None:
         cols = ", ".join(f"c{i} TEXT NOT NULL" for i in range(arity))
         self._conn.execute(f"CREATE TABLE {tbl} ({cols})")
         all_cols = ", ".join(f"c{i}" for i in range(arity))
@@ -152,226 +103,22 @@ class SqliteStore:
         )
         for i in range(1, arity):
             self._conn.execute(f"CREATE INDEX {tbl}_c{i} ON {tbl} (c{i})")
-        self._conn.execute(
-            "INSERT INTO _catalog (relation, tbl, arity) VALUES (?, ?, ?)",
-            (relation, tbl, arity),
-        )
-        self._tables[relation] = (tbl, arity)
-        return (tbl, arity)
 
-    def table_for(self, relation: str) -> Optional[Tuple[str, int]]:
-        """(table name, arity) for *relation*, or None when absent."""
-        return self._tables.get(relation)
+    def reader_connection(self) -> Optional[sqlite3.Connection]:
+        """A second connection onto the same database, for shard reads.
 
-    @property
-    def connection(self) -> sqlite3.Connection:
-        """The underlying connection (the SQL chase executes on it)."""
-        return self._conn
-
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
-
-    def _check_mutable(self) -> None:
-        if self._frozen:
-            raise StoreError(
-                "SqliteStore is frozen; build a new store instead of "
-                "mutating a snapshot"
-            )
-
-    def add(self, f: Fact) -> bool:
-        """Insert one fact; return True when it was new."""
-        self._check_mutable()
-        if not isinstance(f, Fact):
-            raise TypeError(f"expected Fact, got {f!r}")
-        tbl, arity = self.ensure_relation(f.relation, f.arity)
-        placeholders = ", ".join("?" for _ in range(arity))
-        cur = self._conn.execute(
-            f"INSERT OR IGNORE INTO {tbl} VALUES ({placeholders})",
-            tuple(encode_value(v) for v in f.values),
-        )
-        added = cur.rowcount > 0
-        if added and self._count is not None:
-            self._count += 1
-        return added
-
-    def add_all(self, facts: Iterable[Fact]) -> int:
-        """Bulk insert inside one transaction; return how many were new."""
-        self._check_mutable()
-        before = self._conn.total_changes
-        tables_before = len(self._tables)
-        self._conn.execute("BEGIN")
-        try:
-            for f in facts:
-                if not isinstance(f, Fact):
-                    raise TypeError(f"expected Fact, got {f!r}")
-                tbl, arity = self.ensure_relation(f.relation, f.arity)
-                placeholders = ", ".join("?" for _ in range(arity))
-                self._conn.execute(
-                    f"INSERT OR IGNORE INTO {tbl} VALUES ({placeholders})",
-                    tuple(encode_value(v) for v in f.values),
-                )
-        except BaseException:
-            self._conn.execute("ROLLBACK")
-            raise
-        self._conn.execute("COMMIT")
-        # total_changes counts effective row inserts only (OR IGNOREd
-        # rows are not changes); subtract the catalog rows written for
-        # relations first seen inside this transaction.
-        added = (self._conn.total_changes - before) - (
-            len(self._tables) - tables_before
-        )
-        self._count = None
-        return max(added, 0)
-
-    # ------------------------------------------------------------------
-    # The matching protocol
-    # ------------------------------------------------------------------
-
-    def relation_names(self) -> Tuple[str, ...]:
-        """Sorted names of relations holding at least one fact."""
-        names = []
-        for relation, (tbl, _) in self._tables.items():
-            row = self._conn.execute(f"SELECT 1 FROM {tbl} LIMIT 1").fetchone()
-            if row is not None:
-                names.append(relation)
-        return tuple(sorted(names))
-
-    def tuples(self, relation: str) -> List[Tuple[Value, ...]]:
-        """All tuples of *relation*, decoded (empty list when absent)."""
-        known = self._tables.get(relation)
-        if known is None:
-            return []
-        tbl, _ = known
-        return [
-            tuple(decode_value(cell) for cell in row)
-            for row in self._conn.execute(f"SELECT * FROM {tbl}")
-        ]
-
-    def tuples_at(
-        self, relation: str, position: int, value: Value
-    ) -> Tuple[Tuple[Value, ...], ...]:
-        """Tuples of *relation* carrying *value* at *position* (indexed)."""
-        known = self._tables.get(relation)
-        if known is None:
-            return ()
-        tbl, arity = known
-        if not 0 <= position < arity:
-            return ()
-        rows = self._conn.execute(
-            f"SELECT * FROM {tbl} WHERE c{position} = ?",
-            (encode_value(value),),
-        )
-        return tuple(
-            tuple(decode_value(cell) for cell in row) for row in rows
-        )
-
-    # ------------------------------------------------------------------
-    # Contents
-    # ------------------------------------------------------------------
-
-    def facts(self) -> Iterator[Fact]:
-        """Stream every fact, one relation at a time."""
-        for relation in sorted(self._tables):
-            tbl, _ = self._tables[relation]
-            for row in self._conn.execute(f"SELECT * FROM {tbl}"):
-                yield Fact(relation, tuple(decode_value(cell) for cell in row))
-
-    def fact_set(self) -> FrozenSet[Fact]:
-        """Materialize the facts as a frozen set (pulls rows into RAM)."""
-        return frozenset(self.facts())
-
-    def __len__(self) -> int:
-        if self._count is None:
-            total = 0
-            for tbl, _ in self._tables.values():
-                (n,) = self._conn.execute(f"SELECT COUNT(*) FROM {tbl}").fetchone()
-                total += n
-            self._count = total
-        return self._count
-
-    def __contains__(self, f: object) -> bool:
-        if not isinstance(f, Fact):
-            return False
-        known = self._tables.get(f.relation)
-        if known is None or known[1] != f.arity:
-            return False
-        tbl, arity = known
-        where = " AND ".join(f"c{i} = ?" for i in range(arity))
-        row = self._conn.execute(
-            f"SELECT 1 FROM {tbl} WHERE {where} LIMIT 1",
-            tuple(encode_value(v) for v in f.values),
-        ).fetchone()
-        return row is not None
-
-    def active_domain(self) -> FrozenSet[Value]:
-        """All values occurring in the store (distinct per column)."""
-        values: Set[Value] = set()
-        for tbl, arity in self._tables.values():
-            for i in range(arity):
-                for (cell,) in self._conn.execute(
-                    f"SELECT DISTINCT c{i} FROM {tbl}"
-                ):
-                    values.add(decode_value(cell))
-        return frozenset(values)
-
-    def nulls(self) -> FrozenSet[Null]:
-        """All labeled nulls occurring in the store."""
-        nulls: Set[Null] = set()
-        for tbl, arity in self._tables.values():
-            for i in range(arity):
-                for (cell,) in self._conn.execute(
-                    f"SELECT DISTINCT c{i} FROM {tbl} WHERE c{i} LIKE 'n:%'"
-                ):
-                    nulls.add(Null(cell[2:]))
-        return frozenset(nulls)
-
-    def digest(self) -> str:
-        """Streaming content digest, byte-identical to ``MemoryStore``.
-
-        Relations are visited in sorted-name order and each relation's
-        rows are sorted in Python by the value sort key — equivalent to
-        the global fact sort because the relation name leads the fact
-        sort key.  (Sorting on the *encoded* text in SQL would be
-        unsound: the tag/separator bytes do not preserve the value
-        order.)
+        ``None`` for plain private ``:memory:`` stores (nothing else can
+        attach to those) — the sharded chase then evaluates its shards
+        serially on the main connection.
         """
-        acc = FactDigest()
-        for relation in sorted(self._tables):
-            tbl, _ = self._tables[relation]
-            rows = [
-                Fact(relation, tuple(decode_value(cell) for cell in row))
-                for row in self._conn.execute(f"SELECT * FROM {tbl}")
-            ]
-            acc.update_sorted(rows)
-        return acc.hexdigest()
-
-    # ------------------------------------------------------------------
-    # Life cycle
-    # ------------------------------------------------------------------
-
-    @property
-    def frozen(self) -> bool:
-        """True once :meth:`freeze` has run."""
-        return self._frozen
-
-    def freeze(self) -> None:
-        """Make the store immutable at the facade level (idempotent)."""
-        self._frozen = True
-
-    def as_instance(self) -> "Instance":
-        """Freeze and wrap *this* store as an ``Instance`` (no copy)."""
-        from ..instance import Instance
-
-        self.freeze()
-        return Instance(store=self)
-
-    def snapshot(self) -> "Instance":
-        """A frozen in-memory copy of the current contents."""
-        from ..instance import Instance
-
-        return Instance(self.facts())
-
-    def close(self) -> None:
-        """Close the underlying connection."""
-        self._conn.close()
+        if self._memory_uri is not None:
+            conn = sqlite3.connect(
+                self._memory_uri, uri=True, check_same_thread=False
+            )
+        elif self._path != ":memory:":
+            conn = sqlite3.connect(self._path, check_same_thread=False)
+        else:
+            return None
+        conn.isolation_level = None
+        conn.execute("PRAGMA query_only=ON")
+        return conn

@@ -1,4 +1,4 @@
-"""Mapping → SQL plan compiler: the set-at-a-time chase.
+"""Mapping → SQL plan compiler: the set-at-a-time, semi-naive chase.
 
 "Laconic schema mappings" (ten Cate, Chiticariu, Kolaitis, Tan) shows
 that for broad mapping classes the chase underpinning data exchange can
@@ -6,7 +6,8 @@ be compiled to SQL and run set-at-a-time instead of trigger-by-trigger.
 This module does that for the **non-disjunctive tgd fragment**: each
 plain or inequality-guarded :class:`~repro.logic.dependencies.Tgd`
 becomes one ``INSERT ... SELECT`` per conclusion atom, executed inside
-a :class:`~repro.store.SqliteStore`:
+any SQL-backed store (:class:`~repro.store.SqliteStore` or
+:class:`~repro.store.DuckDbStore`):
 
 * the **trigger query** joins the premise atoms (shared variables become
   equi-join conditions, constants become parameters, inequality guards
@@ -16,12 +17,39 @@ a :class:`~repro.store.SqliteStore`:
   it starts with ``'n:'``) and keeps the ``DISTINCT`` frontier
   assignments with no witness, via ``NOT EXISTS`` over the joined
   conclusion atoms — exactly the restricted-chase firing condition;
-* triggers land in a temp table whose ``rowid`` (1..n, assigned in
-  insertion order by ``CREATE TABLE AS``) numbers them, so existential
-  nulls are minted *inside SQL* as ``'n:' || prefix || (base + (rowid-1)*K + j)``
-  — deterministic, collision-free, no per-row Python;
+* triggers land in a temp table whose ``trig_n`` column (1..n, assigned
+  by ``ROW_NUMBER() OVER (ORDER BY frontier)``) numbers them, so
+  existential nulls are minted *inside SQL* as
+  ``'n:' || prefix || (base + (trig_n-1)*K + j)`` — deterministic,
+  collision-free, no per-row Python;
 * one ``INSERT OR IGNORE ... SELECT`` per conclusion atom then fires
   every trigger at once.
+
+Evaluation is **semi-naive by default** (decision D6): each round
+snapshots a per-relation ``rowid`` watermark — the SQL analog of
+``TriggerIndex.begin_round()`` — and each compiled tgd runs as the
+standard delta-join union: one variant per premise atom, where that
+atom reads only the previous round's delta window
+(``rowid`` in ``(W_prev, W]``), atoms before it read the pre-delta
+prefix (``rowid <= W_prev``), and atoms after it read the full visible
+relation (``rowid <= W``).  The variants partition the delta-touching
+join rows exactly, so round *k* only enumerates bindings that involve a
+round *k−1* fact.  The ``NOT EXISTS`` satisfaction check stays against
+the **live** tables (decision D5), which is what makes the delta and
+naive trigger sets provably identical per round: an all-old frontier
+row was enumerated the round before and is therefore satisfied now.
+Premise matching in *both* modes is confined to the round-start
+watermark, so ``evaluation="naive"`` (or ``REPRO_NAIVE_CHASE=1``)
+survives as a byte-identical differential oracle — same triggers, same
+null numbering, same rounds, same digests, only the per-round join work
+(``triggers_considered``) differs.
+
+Rounds can additionally be **sharded** (``jobs > 1``): each trigger
+query is partitioned by ``t0.rowid % jobs`` and the shards are
+evaluated on a thread pool over per-shard reader connections, then
+merged in Python by sorted-set union and renumbered — the merged
+trigger table is identical to the serial ``ROW_NUMBER`` ordering, so
+sharded output is fact-for-fact identical to serial (see D6).
 
 Dependencies outside the fragment (guard kinds a future dialect might
 add) **fall back per round** to the tuple-at-a-time
@@ -38,6 +66,7 @@ that is what CI's store-smoke diff pins.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,12 +75,14 @@ from ..terms import Const, Null, Var
 from ..logic.atoms import Atom
 from ..logic.dependencies import Dependency, Tgd
 from ..logic.guards import ConstantGuard, Guard, Inequality
-from .sqlite import SqliteStore, encode_value
+from .sqlbase import SqlStoreBase, encode_value
 
 __all__ = [
     "CompiledTgd",
     "SqlChaseResult",
     "SqlPlanError",
+    "TriggerQuery",
+    "Watermark",
     "compile_tgd",
     "in_sql_fragment",
     "sql_chase",
@@ -64,9 +95,27 @@ TRIGGER_TABLE = "_sqlchase_trig"
 PREFIX = object()
 BASE = object()
 
+#: Appended to a trigger/count query to restrict it to one shard; binds
+#: two extra parameters, ``(jobs, shard)``.
+SHARD_CLAUSE = " AND t0.rowid % ? = ?"
+
 
 class SqlPlanError(ReproError):
     """A dependency cannot be executed by the SQL chase at all."""
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """Param-plan sentinel: a per-relation ``rowid`` visibility bound.
+
+    Resolved at execution time against the round's watermark snapshots:
+    ``bound="new"`` is the round-start high-water mark *W* (facts
+    visible this round), ``bound="old"`` is the previous round's mark
+    *W_prev* (``(W_prev, W]`` is the delta window).
+    """
+
+    relation: str
+    bound: str  # "old" | "new"
 
 
 def in_sql_fragment(dep: Dependency) -> bool:
@@ -86,54 +135,61 @@ def in_sql_fragment(dep: Dependency) -> bool:
 
 
 @dataclass(frozen=True)
-class CompiledTgd:
-    """One tgd's SQL plan: trigger query + per-conclusion-atom inserts.
+class TriggerQuery:
+    """One candidate-trigger SELECT plus its join-size counter.
 
-    ``trigger_sql``/``trigger_params`` build the trigger temp table;
-    ``inserts`` holds ``(sql, param_plan)`` pairs whose statements
-    select from it.  A *param_plan* lists the statement's positional
-    parameters in placeholder order: encoded literal cells verbatim,
-    plus the :data:`PREFIX`/:data:`BASE` sentinels that the executor
-    replaces with the null prefix and the round's minting base.
+    ``sql`` yields the ``DISTINCT`` unsatisfied frontier rows of one
+    evaluation variant; ``count_sql`` counts the variant's raw premise
+    join rows (guards applied, satisfaction check dropped) — the
+    set-at-a-time analog of the tuple chase's *bindings enumerated*
+    metric.  Parameter tuples mix encoded literal cells with
+    :class:`Watermark` sentinels resolved per round.
+    """
+
+    sql: str
+    params: Tuple[object, ...]
+    count_sql: str
+    count_params: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class CompiledTgd:
+    """One tgd's SQL plan: trigger queries + per-conclusion-atom inserts.
+
+    ``naive`` is the single full-join trigger query (every premise atom
+    reads ``rowid <= W``); ``deltas`` holds the semi-naive variants, one
+    per premise atom (that atom reads the delta window, earlier atoms
+    the pre-delta prefix, later atoms the full visible relation — the
+    standard delta-join union, a disjoint cover of the delta-touching
+    join rows).  ``inserts`` holds ``(sql, param_plan)`` pairs whose
+    statements select from the trigger temp table.  A *param_plan*
+    lists the statement's positional parameters in placeholder order:
+    encoded literal cells verbatim, plus the :data:`PREFIX`/:data:`BASE`
+    sentinels that the executor replaces with the null prefix and the
+    round's minting base.
     """
 
     tgd: Tgd
     index: int
     frontier: Tuple[Var, ...]
     existentials: Tuple[Var, ...]
-    trigger_sql: str
-    trigger_params: Tuple[str, ...]
+    naive: TriggerQuery
+    deltas: Tuple[TriggerQuery, ...]
     inserts: Tuple[Tuple[str, Tuple[object, ...]], ...]
 
+    @property
+    def trigger_sql(self) -> str:
+        """The naive trigger SELECT (kept for introspection/tests)."""
+        return self.naive.sql
 
-def _compile_premise(
-    tgd: Tgd, resolve: Dict[str, Tuple[str, int]]
-) -> Tuple[List[str], List[str], List[str], Dict[Var, str]]:
-    """FROM items, WHERE conditions, parameters, and var→column map."""
-    from_items: List[str] = []
-    conds: List[str] = []
-    params: List[str] = []
-    var_col: Dict[Var, str] = {}
-    for i, atom in enumerate(tgd.premise):
-        tbl, _ = resolve[atom.relation]
-        alias = f"t{i}"
-        from_items.append(f"{tbl} AS {alias}")
-        for j, term in enumerate(atom.terms):
-            col = f"{alias}.c{j}"
-            if isinstance(term, Const):
-                conds.append(f"{col} = ?")
-                params.append(encode_value(term))
-            else:
-                bound = var_col.get(term)
-                if bound is None:
-                    var_col[term] = col
-                else:
-                    conds.append(f"{col} = {bound}")
-    return from_items, conds, params, var_col
+    @property
+    def trigger_params(self) -> Tuple[object, ...]:
+        """Parameters of :attr:`trigger_sql`."""
+        return self.naive.params
 
 
 def _guard_condition(
-    guard: Guard, var_col: Dict[Var, str], params: List[str]
+    guard: Guard, var_col: Dict[Var, str], params: List[object]
 ) -> str:
     """A fragment guard as a SQL predicate on encoded cells.
 
@@ -161,14 +217,15 @@ def _witness_subquery(
     tgd: Tgd,
     resolve: Dict[str, Tuple[str, int]],
     var_col: Dict[Var, str],
-    params: List[str],
+    params: List[object],
 ) -> str:
     """``EXISTS``-body joining the conclusion atoms (restricted check).
 
     Frontier variables correlate with the outer premise columns;
     existential variables join freely inside the subquery — precisely
     "the conclusion is witnessed by some extension of the frontier
-    binding".
+    binding".  Deliberately *unwindowed*: satisfaction reads the live
+    tables (decisions D5/D6).
     """
     from_items: List[str] = []
     conds: List[str] = []
@@ -194,6 +251,82 @@ def _witness_subquery(
     return f"SELECT 1 FROM {', '.join(from_items)}{where}"
 
 
+def _compile_variant(
+    tgd: Tgd,
+    resolve: Dict[str, Tuple[str, int]],
+    delta_index: Optional[int],
+) -> TriggerQuery:
+    """One evaluation variant of the trigger query.
+
+    ``delta_index=None`` compiles the naive variant (every premise atom
+    windowed to ``rowid <= W``); ``delta_index=d`` compiles the
+    semi-naive variant where atom *d* reads the delta window
+    ``(W_prev, W]``, atoms before *d* read ``rowid <= W_prev`` and
+    atoms after *d* read ``rowid <= W`` — so the variants for
+    ``d = 0..len(premise)-1`` partition the delta-touching join rows.
+    """
+    from_items: List[str] = []
+    conds: List[str] = []
+    params: List[object] = []
+    var_col: Dict[Var, str] = {}
+    for i, atom in enumerate(tgd.premise):
+        tbl, _ = resolve[atom.relation]
+        alias = f"t{i}"
+        from_items.append(f"{tbl} AS {alias}")
+        if delta_index is None or i > delta_index:
+            conds.append(f"{alias}.rowid <= ?")
+            params.append(Watermark(atom.relation, "new"))
+        elif i == delta_index:
+            conds.append(f"{alias}.rowid > ?")
+            params.append(Watermark(atom.relation, "old"))
+            conds.append(f"{alias}.rowid <= ?")
+            params.append(Watermark(atom.relation, "new"))
+        else:  # i < delta_index
+            conds.append(f"{alias}.rowid <= ?")
+            params.append(Watermark(atom.relation, "old"))
+        for j, term in enumerate(atom.terms):
+            col = f"{alias}.c{j}"
+            if isinstance(term, Const):
+                conds.append(f"{col} = ?")
+                params.append(encode_value(term))
+            else:
+                bound = var_col.get(term)
+                if bound is None:
+                    var_col[term] = col
+                else:
+                    conds.append(f"{col} = {bound}")
+    for guard in tgd.guards:
+        conds.append(_guard_condition(guard, var_col, params))
+
+    # Join-size counter: premise + guards, no satisfaction check.
+    count_sql = (
+        f"SELECT COUNT(*) FROM {', '.join(from_items)} "
+        f"WHERE {' AND '.join(conds)}"
+    )
+    count_params = tuple(params)
+
+    conds.append(
+        f"NOT EXISTS ({_witness_subquery(tgd, resolve, var_col, params)})"
+    )
+    frontier = tuple(sorted(tgd.frontier))
+    if frontier:
+        select = ", ".join(
+            f"{var_col[v]} AS f{i}" for i, v in enumerate(frontier)
+        )
+    else:
+        select = "1 AS f_dummy"
+    sql = (
+        f"SELECT DISTINCT {select} FROM {', '.join(from_items)} "
+        f"WHERE {' AND '.join(conds)}"
+    )
+    return TriggerQuery(
+        sql=sql,
+        params=tuple(params),
+        count_sql=count_sql,
+        count_params=count_params,
+    )
+
+
 def compile_tgd(
     tgd: Tgd, index: int, resolve: Dict[str, Tuple[str, int]]
 ) -> Optional[CompiledTgd]:
@@ -209,20 +342,9 @@ def compile_tgd(
     frontier = tuple(sorted(tgd.frontier))
     existentials = tuple(sorted(tgd.existential_variables))
 
-    from_items, conds, params, var_col = _compile_premise(tgd, resolve)
-    for guard in tgd.guards:
-        conds.append(_guard_condition(guard, var_col, params))
-    conds.append(f"NOT EXISTS ({_witness_subquery(tgd, resolve, var_col, params)})")
-
-    if frontier:
-        select = ", ".join(
-            f"{var_col[v]} AS f{i}" for i, v in enumerate(frontier)
-        )
-    else:
-        select = "1 AS f_dummy"
-    trigger_sql = (
-        f"SELECT DISTINCT {select} FROM {', '.join(from_items)} "
-        f"WHERE {' AND '.join(conds)}"
+    naive = _compile_variant(tgd, resolve, None)
+    deltas = tuple(
+        _compile_variant(tgd, resolve, d) for d in range(len(tgd.premise))
     )
 
     frontier_pos = {v: i for i, v in enumerate(frontier)}
@@ -240,12 +362,15 @@ def compile_tgd(
             elif term in frontier_pos:
                 exprs.append(f"f{frontier_pos[term]}")
             else:
-                # Fresh null: base + (rowid-1)*stride + position, named in
-                # SQL.  `?` slots for (prefix, base) are filled per round.
+                # Fresh null: base + (trig_n-1)*stride + position, named
+                # in SQL.  `?` slots for (prefix, base) are filled per
+                # round.  CAST keeps the concatenation portable (DuckDB
+                # will not implicitly stringify an integer operand).
                 j = exist_pos[term]
                 exprs.append(
-                    "'n:' || ? || (? + "
-                    f"({TRIGGER_TABLE}.rowid - 1) * {stride} + {j})"
+                    "'n:' || ? || CAST(? + "
+                    f"({TRIGGER_TABLE}.trig_n - 1) * {stride} + {j} "
+                    "AS VARCHAR)"
                 )
                 param_plan.extend((PREFIX, BASE))
         inserts.append(
@@ -260,30 +385,38 @@ def compile_tgd(
         index=index,
         frontier=frontier,
         existentials=existentials,
-        trigger_sql=trigger_sql,
-        trigger_params=tuple(params),
+        naive=naive,
+        deltas=deltas,
         inserts=tuple(inserts),
     )
 
 
 @dataclass(frozen=True)
 class SqlChaseResult:
-    """Outcome of a SQL chase run over a :class:`SqliteStore`.
+    """Outcome of a SQL chase run over a SQL-backed store.
 
     Mirrors :class:`repro.chase.standard.ChaseResult` where it can;
     ``generated_count`` replaces the materialized ``generated`` set (the
-    point of this backend is not to materialize), and ``compiled`` /
+    point of this backend is not to materialize), ``compiled`` /
     ``fallback`` report how the dependency set split across the two
-    execution regimes.
+    execution regimes, ``delta_sizes`` records how many facts became
+    newly visible entering each round, and ``triggers_considered``
+    totals the raw premise-join rows the trigger queries enumerated —
+    the set-at-a-time analog of the tuple chase's bindings metric, and
+    the quantity semi-naive evaluation shrinks.
     """
 
-    store: SqliteStore
+    store: SqlStoreBase
     steps: int
     rounds: int
     generated_count: int
     compiled: int
     fallback: int
     exhausted: Optional[object] = None
+    delta_sizes: Tuple[int, ...] = ()
+    triggers_considered: int = 0
+    evaluation: str = "delta"
+    jobs: int = 1
 
     @property
     def completed(self) -> bool:
@@ -296,7 +429,7 @@ class SqlChaseResult:
         return self.store.as_instance()
 
 
-def _null_base(store: SqliteStore, prefix: str) -> int:
+def _null_base(store: SqlStoreBase, prefix: str) -> int:
     """First integer suffix that avoids every existing ``prefix<int>`` null."""
     base = 0
     for null in store.nulls():
@@ -307,24 +440,158 @@ def _null_base(store: SqliteStore, prefix: str) -> int:
     return base
 
 
+def _resolve_params(
+    params: Tuple[object, ...],
+    wm_old: Dict[str, int],
+    wm_new: Dict[str, int],
+    extra: Tuple[object, ...] = (),
+) -> Tuple[object, ...]:
+    """Replace :class:`Watermark` sentinels with the round's snapshots."""
+    out: List[object] = []
+    for p in params:
+        if isinstance(p, Watermark):
+            out.append(wm_old[p.relation] if p.bound == "old" else wm_new[p.relation])
+        else:
+            out.append(p)
+    out.extend(extra)
+    return tuple(out)
+
+
+def _build_triggers_serial(
+    conn,
+    plan: CompiledTgd,
+    queries: Sequence[TriggerQuery],
+    wm_old: Dict[str, int],
+    wm_new: Dict[str, int],
+) -> Tuple[int, int]:
+    """Materialize the trigger table on the main connection.
+
+    The candidate rows (naive query, or the UNION of the delta
+    variants — UNION also deduplicates frontier rows reachable through
+    several variants) are numbered by ``ROW_NUMBER() OVER (ORDER BY
+    frontier)``, which fixes the null-minting order independently of
+    storage order.  Returns ``(trigger_count, joins_considered)``.
+    """
+    fcols = [f"f{i}" for i in range(len(plan.frontier))] or ["f_dummy"]
+    cand = " UNION ".join(q.sql for q in queries)
+    params: List[object] = []
+    for q in queries:
+        params.extend(_resolve_params(q.params, wm_old, wm_new))
+    conn.execute(
+        f"CREATE TEMP TABLE {TRIGGER_TABLE} AS "
+        f"SELECT {', '.join(fcols)}, "
+        f"ROW_NUMBER() OVER (ORDER BY {', '.join(fcols)}) AS trig_n "
+        f"FROM ({cand}) AS _cand",
+        tuple(params),
+    )
+    (n,) = conn.execute(f"SELECT COUNT(*) FROM {TRIGGER_TABLE}").fetchone()
+    considered = 0
+    for q in queries:
+        (c,) = conn.execute(
+            q.count_sql, _resolve_params(q.count_params, wm_old, wm_new)
+        ).fetchone()
+        considered += c
+    return n, considered
+
+
+def _build_triggers_sharded(
+    conn,
+    plan: CompiledTgd,
+    queries: Sequence[TriggerQuery],
+    wm_old: Dict[str, int],
+    wm_new: Dict[str, int],
+    jobs: int,
+    executor: Optional[ThreadPoolExecutor],
+    readers: Sequence[object],
+) -> Tuple[int, int]:
+    """Materialize the trigger table from ``jobs`` frontier shards.
+
+    Each shard evaluates every variant restricted to
+    ``t0.rowid % jobs = shard`` — a partition of the candidate rows'
+    *derivations* (a frontier row may surface in several shards; the
+    merge deduplicates).  Shards run on the thread pool over reader
+    connections when available, serially on the main connection
+    otherwise — either way the merged rows are sorted in Python (the
+    encoded cells are text; Python's code-point order equals SQL's
+    binary collation on their UTF-8 bytes) and numbered 1..n, exactly
+    reproducing the serial ``ROW_NUMBER`` ordering.  Returns
+    ``(trigger_count, joins_considered)``.
+    """
+
+    def run_shard(reader, shard: int):
+        rows: List[Tuple[object, ...]] = []
+        considered = 0
+        for q in queries:
+            rows.extend(
+                tuple(r)
+                for r in reader.execute(
+                    q.sql + SHARD_CLAUSE,
+                    _resolve_params(q.params, wm_old, wm_new, (jobs, shard)),
+                ).fetchall()
+            )
+            (c,) = reader.execute(
+                q.count_sql + SHARD_CLAUSE,
+                _resolve_params(q.count_params, wm_old, wm_new, (jobs, shard)),
+            ).fetchone()
+            considered += c
+        return rows, considered
+
+    if executor is not None:
+        parts = list(executor.map(run_shard, readers, range(jobs)))
+    else:
+        parts = [run_shard(conn, shard) for shard in range(jobs)]
+
+    merged: List[Tuple[object, ...]] = sorted(
+        {row for rows, _ in parts for row in rows}
+    )
+    considered = sum(c for _, c in parts)
+
+    if plan.frontier:
+        col_defs = ", ".join(f"f{i} TEXT" for i in range(len(plan.frontier)))
+    else:
+        col_defs = "f_dummy INTEGER"
+    conn.execute(
+        f"CREATE TEMP TABLE {TRIGGER_TABLE} ({col_defs}, trig_n INTEGER)"
+    )
+    if merged:
+        width = len(merged[0]) + 1
+        placeholders = ", ".join("?" for _ in range(width))
+        conn.executemany(
+            f"INSERT INTO {TRIGGER_TABLE} VALUES ({placeholders})",
+            [row + (i + 1,) for i, row in enumerate(merged)],
+        )
+    return len(merged), considered
+
+
 def sql_chase(
-    store: SqliteStore,
+    store: SqlStoreBase,
     dependencies: Sequence[Dependency],
     *,
     null_prefix: str = "N",
     tracer=None,
     limits=None,
     budget=None,
+    evaluation: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> SqlChaseResult:
     """Run the restricted chase set-at-a-time inside *store*.
 
     Compilable dependencies execute as ``INSERT ... SELECT`` plans; the
     rest fall back, per round, to tuple-at-a-time matching against the
-    store (same fixpoint, slower).  Resource governance matches
-    :func:`repro.chase.standard.chase`: pass ``limits`` or a shared
-    ``budget``; with neither, the ambient budget or the 64-round
-    non-termination guard applies, and exhaustion either raises or
-    returns a tagged partial result per ``Limits.on_exhausted``.
+    store (same fixpoint, slower).  *evaluation* selects semi-naive
+    delta joins (``"delta"``, the default) or the full-join oracle
+    (``"naive"``); resolution follows
+    :func:`repro.chase.standard.resolve_evaluation` (explicit argument >
+    ``REPRO_NAIVE_CHASE=1`` > delta), and the two modes are
+    byte-identical in everything but ``triggers_considered``.
+    *jobs* > 1 shards each round's trigger queries across a thread pool
+    (fact-for-fact identical to serial; see module docstring).
+
+    Resource governance matches :func:`repro.chase.standard.chase`:
+    pass ``limits`` or a shared ``budget``; with neither, the ambient
+    budget or the 64-round non-termination guard applies, and
+    exhaustion either raises or returns a tagged partial result per
+    ``Limits.on_exhausted``.
 
     Provenance note: the SQL path fires whole trigger *sets*, so no
     per-trigger ``TriggerFired`` events are emitted — set-at-a-time
@@ -339,10 +606,16 @@ def sql_chase(
         _conclusion_satisfied,
         report_exhaustion,
         resolve_budget,
+        resolve_evaluation,
     )
     from ..logic.matching import match_atoms
     from ..obs.tracer import current_tracer, maybe_span
 
+    if not isinstance(store, SqlStoreBase):
+        raise SqlPlanError(
+            f"sql_chase needs a SQL-backed store (sqlite or duckdb), "
+            f"got {type(store).__name__}"
+        )
     tgds: List[Tgd] = []
     for dep in dependencies:
         if not isinstance(dep, Tgd):
@@ -358,6 +631,8 @@ def sql_chase(
     budget = resolve_budget(
         limits, budget, _LEGACY_LIMITS, fallback_rounds=DEFAULT_MAX_ROUNDS
     )
+    evaluation = resolve_evaluation(evaluation)
+    jobs = 1 if jobs is None else max(int(jobs), 1)
 
     resolve: Dict[str, Tuple[str, int]] = {}
     for tgd in tgds:
@@ -381,85 +656,133 @@ def sql_chase(
     rounds = 0
     minted_total = 0
     added_total = 0
+    considered_total = 0
+    delta_sizes: List[int] = []
     exhausted = None
 
-    with maybe_span(
-        tracer, "sql_chase", compiled=len(compiled), fallback=len(fallback)
-    ):
-        while exhausted is None:
-            rounds += 1
-            exhausted = budget.start_round("sql_chase")
-            if exhausted is not None:
-                rounds -= 1
-                break
-            progressed = False
-            for plan in compiled:
-                conn.execute(f"DROP TABLE IF EXISTS {TRIGGER_TABLE}")
-                conn.execute(
-                    f"CREATE TEMP TABLE {TRIGGER_TABLE} AS {plan.trigger_sql}",
-                    plan.trigger_params,
-                )
-                (n,) = conn.execute(
-                    f"SELECT COUNT(*) FROM {TRIGGER_TABLE}"
-                ).fetchone()
-                if n == 0:
-                    continue
-                stride = len(plan.existentials)
-                added = 0
-                for insert_sql, param_plan in plan.inserts:
-                    params = tuple(
-                        null_prefix
-                        if p is PREFIX
-                        else next_null
-                        if p is BASE
-                        else p
-                        for p in param_plan
-                    )
-                    cur = conn.execute(insert_sql, params)
-                    added += max(cur.rowcount, 0)
-                next_null += n * stride
-                minted_total += n * stride
-                steps += n
-                added_total += added
-                progressed = True
-                store._count = None  # inserts bypassed the add() counter
-                exhausted = budget.charge(
-                    "sql_chase", facts=len(store), nulls=minted_total
-                )
+    executor: Optional[ThreadPoolExecutor] = None
+    readers: List[object] = []
+    if jobs > 1 and compiled:
+        readers = [store.reader_connection() for _ in range(jobs)]
+        if any(r is None for r in readers):
+            for r in readers:
+                if r is not None:
+                    store.close_reader(r)
+            readers = []  # shards run serially on the main connection
+        else:
+            executor = ThreadPoolExecutor(max_workers=jobs)
+
+    # Per-relation rowid watermarks: wm_visible is this round's premise
+    # visibility bound W, wm_old the previous round's (so (old, new] is
+    # the delta window).  Facts inserted mid-round get larger rowids and
+    # only become matchable next round — the SQL analog of
+    # TriggerIndex.begin_round() rotation.
+    wm_visible: Dict[str, int] = {rel: 0 for rel in resolve}
+
+    try:
+        with maybe_span(
+            tracer,
+            "sql_chase",
+            compiled=len(compiled),
+            fallback=len(fallback),
+            evaluation=evaluation,
+            jobs=jobs,
+        ):
+            while exhausted is None:
+                rounds += 1
+                exhausted = budget.start_round("sql_chase")
                 if exhausted is not None:
+                    rounds -= 1
                     break
-            if exhausted is None:
-                for index, tgd in fallback:
-                    bindings = list(
-                        match_atoms(tgd.premise, store, tgd.guards)
+                wm_old = wm_visible
+                wm_visible = {
+                    rel: store.max_rowid(resolve[rel][0]) for rel in resolve
+                }
+                delta_sizes.append(
+                    sum(
+                        wm_visible[rel] - wm_old[rel] for rel in resolve
                     )
-                    for binding in bindings:
-                        if _conclusion_satisfied(tgd, binding, store):
-                            continue
-                        full = dict(binding)
-                        for var in sorted(tgd.existential_variables):
-                            full[var] = Null(f"{null_prefix}{next_null}")
-                            next_null += 1
-                            minted_total += 1
-                        added_total += store.add_all(
-                            atom.instantiate(full) for atom in tgd.conclusion
+                )
+                progressed = False
+                for plan in compiled:
+                    queries = (
+                        plan.deltas if evaluation == "delta" else (plan.naive,)
+                    )
+                    conn.execute(f"DROP TABLE IF EXISTS {TRIGGER_TABLE}")
+                    if jobs > 1:
+                        n, considered = _build_triggers_sharded(
+                            conn, plan, queries, wm_old, wm_visible,
+                            jobs, executor, readers,
                         )
-                        steps += 1
-                        progressed = True
-                        exhausted = budget.charge(
-                            "sql_chase", facts=len(store), nulls=minted_total
+                    else:
+                        n, considered = _build_triggers_serial(
+                            conn, plan, queries, wm_old, wm_visible
                         )
-                        if exhausted is not None:
-                            break
+                    considered_total += considered
+                    if n == 0:
+                        continue
+                    stride = len(plan.existentials)
+                    added = 0
+                    for insert_sql, param_plan in plan.inserts:
+                        params = tuple(
+                            null_prefix
+                            if p is PREFIX
+                            else next_null
+                            if p is BASE
+                            else p
+                            for p in param_plan
+                        )
+                        added += store._exec_insert(insert_sql, params)
+                    next_null += n * stride
+                    minted_total += n * stride
+                    steps += n
+                    added_total += added
+                    progressed = True
+                    store._count = None  # inserts bypassed the add() counter
+                    exhausted = budget.charge(
+                        "sql_chase", facts=len(store), nulls=minted_total
+                    )
                     if exhausted is not None:
                         break
-            if not progressed and exhausted is None:
-                break
-        conn.execute(f"DROP TABLE IF EXISTS {TRIGGER_TABLE}")
-        if exhausted is not None:
-            report_exhaustion(tracer, exhausted)
-            if budget.limits.raises:
-                budget.raise_exhausted()
+                if exhausted is None:
+                    for index, tgd in fallback:
+                        bindings = list(
+                            match_atoms(tgd.premise, store, tgd.guards)
+                        )
+                        considered_total += len(bindings)
+                        for binding in bindings:
+                            if _conclusion_satisfied(tgd, binding, store):
+                                continue
+                            full = dict(binding)
+                            for var in sorted(tgd.existential_variables):
+                                full[var] = Null(f"{null_prefix}{next_null}")
+                                next_null += 1
+                                minted_total += 1
+                            added_total += store.add_all(
+                                atom.instantiate(full)
+                                for atom in tgd.conclusion
+                            )
+                            steps += 1
+                            progressed = True
+                            exhausted = budget.charge(
+                                "sql_chase", facts=len(store), nulls=minted_total
+                            )
+                            if exhausted is not None:
+                                break
+                        if exhausted is not None:
+                            break
+                if not progressed and exhausted is None:
+                    break
+            conn.execute(f"DROP TABLE IF EXISTS {TRIGGER_TABLE}")
+            if exhausted is not None:
+                report_exhaustion(tracer, exhausted)
+                if budget.limits.raises:
+                    budget.raise_exhausted()
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+        for r in readers:
+            store.close_reader(r)
 
     return SqlChaseResult(
         store=store,
@@ -469,4 +792,8 @@ def sql_chase(
         compiled=len(compiled),
         fallback=len(fallback),
         exhausted=exhausted,
+        delta_sizes=tuple(delta_sizes),
+        triggers_considered=considered_total,
+        evaluation=evaluation,
+        jobs=jobs,
     )

@@ -2,8 +2,13 @@
 
 The headline invariant — chase results over a SqliteStore-backed input
 equal the MemoryStore results *fact for fact* on generated scenarios —
-plus digest agreement and SQL-chase hom-equivalence on the compiled
-fragment.
+plus digest agreement, SQL-chase hom-equivalence on the compiled
+fragment, and the semi-naive equivalences: sql-delta ≡ sql-naive is
+byte-identical (null names included, truncation prefixes included,
+across serial/sharded execution and every SQL backend), sql ≡ tuple is
+fact-for-fact on full tgds and hom-equivalent when existentials mint
+nulls (the tuple chase's depth-first enumeration order cannot — and
+need not — be reproduced by set-at-a-time SQL naming).
 """
 
 from hypothesis import given, settings
@@ -12,7 +17,14 @@ from repro.chase.standard import chase
 from repro.facts import digest_facts
 from repro.homs.search import is_hom_equivalent
 from repro.instance import Instance
-from repro.store import MemoryStore, SqliteStore, sql_chase
+from repro.limits import Limits
+from repro.store import (
+    DuckDbStore,
+    MemoryStore,
+    SqliteStore,
+    duckdb_available,
+    sql_chase,
+)
 from repro.workloads.scenarios import PAPER_SCENARIOS
 
 from .strategies import instances
@@ -87,3 +99,102 @@ def test_sql_chase_hom_equivalent_with_existentials(inst):
     got = result.instance
     assert len(got) == len(reference)
     assert is_hom_equivalent(got, reference)
+
+
+# ----------------------------------------------------------------------
+# Semi-naive equivalences: sql-delta ≡ sql-naive ≡ tuple chase
+# ----------------------------------------------------------------------
+
+from repro.parsing.parser import parse_dependencies  # noqa: E402
+
+#: Recursive closure + an existential head: multi-round, null-minting.
+CLOSURE_DEPS = parse_dependencies(
+    "E(x, y) -> P(x, y)\n"
+    "P(x, y) & E(y, z) -> P(x, z)\n"
+    "P(x, y) -> H(y, w)"
+)
+E2 = {"E": 2}
+
+_SQL_BACKENDS = [lambda: SqliteStore(":memory:")]
+if duckdb_available():
+    _SQL_BACKENDS.append(lambda: DuckDbStore(":memory:"))
+
+
+def _sql_run(inst, make_store, **kw):
+    store = make_store()
+    store.add_all(inst.facts)
+    result = sql_chase(store, CLOSURE_DEPS, **kw)
+    return result, store.digest()
+
+
+@given(instances(E2, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_sql_delta_naive_sharded_byte_identical(inst):
+    # One (digest, steps, rounds) outcome across evaluation mode, shard
+    # count, and SQL backend — null names included.
+    outcomes = set()
+    for make_store in _SQL_BACKENDS:
+        for evaluation in ("delta", "naive"):
+            for jobs in (1, 3):
+                result, digest = _sql_run(
+                    inst, make_store, evaluation=evaluation, jobs=jobs
+                )
+                outcomes.add((digest, result.steps, result.rounds))
+    assert len(outcomes) == 1
+
+
+@given(instances(E2, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_sql_truncation_prefixes_byte_identical(inst):
+    # Budget-truncated partial results are the same sound prefix in
+    # every mode: truncation only drops a suffix of the firing sequence.
+    limits = Limits(max_facts=max(len(inst) + 2, 4), on_exhausted="partial")
+    outcomes = set()
+    for make_store in _SQL_BACKENDS:
+        for evaluation in ("delta", "naive"):
+            for jobs in (1, 2):
+                result, digest = _sql_run(
+                    inst,
+                    make_store,
+                    evaluation=evaluation,
+                    jobs=jobs,
+                    limits=limits,
+                )
+                outcomes.add(
+                    (digest, result.steps, result.rounds, result.completed)
+                )
+    assert len(outcomes) == 1
+
+
+#: Full-tgd closure (no existentials): SQL must equal the tuple chase
+#: fact for fact, in both tuple evaluation modes.
+FULL_CLOSURE_DEPS = parse_dependencies(
+    "E(x, y) -> P(x, y)\n"
+    "P(x, y) & E(y, z) -> P(x, z)"
+)
+
+
+@given(instances(E2, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_sql_equals_tuple_chase_on_full_tgds(inst):
+    tuple_delta = chase(inst, FULL_CLOSURE_DEPS, evaluation="delta").instance
+    tuple_naive = chase(inst, FULL_CLOSURE_DEPS, evaluation="naive").instance
+    assert tuple_delta.facts == tuple_naive.facts
+    for make_store in _SQL_BACKENDS:
+        store = make_store()
+        store.add_all(inst.facts)
+        result = sql_chase(store, FULL_CLOSURE_DEPS)
+        assert result.instance.facts == tuple_delta.facts
+
+
+@given(instances(E2, max_size=5))
+@settings(max_examples=20, deadline=None)
+def test_sql_hom_equivalent_to_tuple_chase_with_existentials(inst):
+    # With existential heads the tuple chase's DFS enumeration order
+    # fixes different null names; structure must still agree.
+    reference = chase(inst, CLOSURE_DEPS).instance
+    for make_store in _SQL_BACKENDS:
+        result, _ = _sql_run(inst, make_store)
+        got = result.instance
+        assert len(got) == len(reference)
+        assert is_hom_equivalent(got, reference)

@@ -9,8 +9,12 @@ byte-identical to the in-memory one.
 
 Only *deterministic* artifacts are pinned: parsed instances, full-tgd
 chase results, and canonically renamed (``freshen_nulls``) chase
-results.  Raw chase outputs with minted nulls are hash-seed dependent
-in their null *names* and must never be pinned directly.
+results.  Raw *tuple* chase outputs with minted nulls are hash-seed
+dependent in their null names and must never be pinned directly — but
+raw *SQL* chase outputs are pinnable even with existentials, because
+SQL-minted null names come from the deterministic trigger numbering
+(``base + (trig_n-1)*stride + j``), and the pin must hold across
+evaluation modes (delta/naive), shard counts, and SQL backends.
 """
 
 import pytest
@@ -18,7 +22,13 @@ import pytest
 from repro.chase.standard import chase
 from repro.instance import Instance
 from repro.parsing.parser import parse_dependencies
-from repro.store import MemoryStore, SqliteStore
+from repro.store import (
+    DuckDbStore,
+    MemoryStore,
+    SqliteStore,
+    duckdb_available,
+)
+from repro.store.sqlplan import sql_chase
 
 PINNED = {
     "P(a, b, c)":
@@ -84,3 +94,50 @@ def test_freshened_chase_digest_pinned():
     assert result.instance.freshen_nulls().digest() == (
         "0b8f81bffa86089efffdc7b0d73715f1602ec3503326b6d8187972be83f84880"
     )
+
+
+# A recursive closure plus an existential head: multi-round, null-minting,
+# and still fully deterministic under the SQL chase.
+SQL_CHASE_TEXT = (
+    "E(x, y) -> P(x, y)\n"
+    "P(x, y) & E(y, z) -> P(x, z)\n"
+    "P(x, y) -> H(y, w)"
+)
+SQL_CHASE_SOURCE = "E(a, b), E(b, c), E(c, d), E(d, e)"
+SQL_CHASE_DIGEST = (
+    "f6e6626e7e9c2b855b82b40d27d9d706bc6dd759e03bb7c3bd0fed2394a608b5"
+)
+
+
+def _sql_chase_digest(store, **kw):
+    store.add_all(Instance.parse(SQL_CHASE_SOURCE).facts)
+    result = sql_chase(store, parse_dependencies(SQL_CHASE_TEXT), **kw)
+    assert (result.steps, result.rounds) == (14, 5)
+    return store.digest()
+
+
+@pytest.mark.parametrize("evaluation", ["delta", "naive"])
+def test_sql_chase_digest_pinned(evaluation):
+    store = SqliteStore(":memory:")
+    assert _sql_chase_digest(store, evaluation=evaluation) == SQL_CHASE_DIGEST
+
+
+@pytest.mark.parametrize("jobs", [2, 5])
+def test_sharded_sql_chase_digest_pinned(jobs):
+    store = SqliteStore(":memory:")
+    assert _sql_chase_digest(store, jobs=jobs) == SQL_CHASE_DIGEST
+
+
+@pytest.mark.skipif(not duckdb_available(), reason="duckdb wheel not installed")
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_duckdb_sql_chase_digest_pinned(jobs):
+    store = DuckDbStore(":memory:")
+    assert _sql_chase_digest(store, jobs=jobs) == SQL_CHASE_DIGEST
+
+
+@pytest.mark.skipif(not duckdb_available(), reason="duckdb wheel not installed")
+@pytest.mark.parametrize("text", sorted(PINNED))
+def test_duckdb_digest_identical(text):
+    store = DuckDbStore(":memory:")
+    store.add_all(Instance.parse(text).facts)
+    assert store.digest() == PINNED[text]

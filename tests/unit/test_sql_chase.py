@@ -251,6 +251,118 @@ class TestFallback:
         assert next(iter(minted)).name != "N5"
 
 
+class TestSemiNaive:
+    """The delta-join union vs. the naive oracle, and sharded rounds."""
+
+    CLOSURE = "P(x, y) & E(y, z) -> P(x, z)\nE(x, y) -> P(x, y)"
+
+    def _chain(self, n):
+        return Instance.parse(
+            ", ".join(f"E(v{i}, v{i + 1})" for i in range(n))
+        )
+
+    def _run(self, source, text, **kw):
+        store = _load(source)
+        result = sql_chase(store, parse_dependencies(text), **kw)
+        return result, store.digest()
+
+    def test_delta_is_default_and_naive_is_byte_identical(self):
+        source = self._chain(10)
+        r_delta, d_delta = self._run(source, self.CLOSURE)
+        r_naive, d_naive = self._run(source, self.CLOSURE, evaluation="naive")
+        assert r_delta.evaluation == "delta"
+        assert r_naive.evaluation == "naive"
+        assert d_delta == d_naive
+        assert r_delta.steps == r_naive.steps
+        assert r_delta.rounds == r_naive.rounds
+        assert r_delta.delta_sizes == r_naive.delta_sizes
+
+    def test_delta_considers_fewer_triggers(self):
+        source = self._chain(16)
+        r_delta, _ = self._run(source, self.CLOSURE)
+        r_naive, _ = self._run(source, self.CLOSURE, evaluation="naive")
+        assert 0 < r_delta.triggers_considered < r_naive.triggers_considered
+
+    def test_env_escape_hatch_selects_naive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NAIVE_CHASE", "1")
+        result, _ = self._run(self._chain(4), self.CLOSURE)
+        assert result.evaluation == "naive"
+
+    def test_existential_null_numbering_identical(self):
+        # Byte identity must survive null minting, not just full tgds.
+        text = "P(x, y) & E(y, z) -> P(x, z)\nE(x, y) -> P(x, y)\nP(x, y) -> H(y, w)"
+        source = self._chain(6)
+        digests = {
+            self._run(source, text, evaluation=ev)[1]
+            for ev in ("delta", "naive")
+        }
+        assert len(digests) == 1
+
+    def test_truncation_prefixes_identical(self):
+        lim = Limits(max_facts=12, on_exhausted="partial")
+        source = self._chain(8)
+        outs = set()
+        for ev in ("delta", "naive"):
+            result, digest = self._run(
+                source, self.CLOSURE, evaluation=ev, limits=lim
+            )
+            assert not result.completed
+            outs.add((digest, result.steps, result.rounds))
+        assert len(outs) == 1
+
+    def test_unknown_evaluation_rejected(self):
+        with pytest.raises(ValueError):
+            self._run(self._chain(2), self.CLOSURE, evaluation="eager")
+
+    def test_delta_sizes_start_with_seed(self):
+        source = self._chain(5)
+        result, _ = self._run(source, self.CLOSURE)
+        assert len(result.delta_sizes) == result.rounds
+        assert result.delta_sizes[0] == len(source)
+        assert sum(result.delta_sizes) <= len(result.store)
+
+
+class TestShardedRounds:
+    CLOSURE = TestSemiNaive.CLOSURE
+
+    def _chain(self, n):
+        return TestSemiNaive()._chain(n)
+
+    @pytest.mark.parametrize("jobs", [2, 3, 7])
+    def test_sharded_fact_for_fact_identical(self, jobs):
+        source = self._chain(12)
+        serial_store = _load(source)
+        serial = sql_chase(serial_store, parse_dependencies(self.CLOSURE))
+        sharded_store = _load(source)
+        sharded = sql_chase(
+            sharded_store, parse_dependencies(self.CLOSURE), jobs=jobs
+        )
+        assert sharded.jobs == jobs
+        assert sharded_store.digest() == serial_store.digest()
+        assert sharded.steps == serial.steps
+        assert sharded.rounds == serial.rounds
+        assert sharded.triggers_considered == serial.triggers_considered
+
+    def test_sharded_existentials_identical(self):
+        text = "E(x, y) -> P(x, y)\nP(x, y) -> H(y, w)"
+        source = self._chain(9)
+        digests = set()
+        for jobs in (1, 4):
+            store = _load(source)
+            sql_chase(store, parse_dependencies(text), jobs=jobs)
+            digests.add(store.digest())
+        assert len(digests) == 1
+
+    def test_sharded_on_file_store(self, tmp_path):
+        source = self._chain(10)
+        serial_store = _load(source)
+        sql_chase(serial_store, parse_dependencies(self.CLOSURE))
+        file_store = SqliteStore(str(tmp_path / "shard.db"))
+        file_store.add_all(source.facts)
+        sql_chase(file_store, parse_dependencies(self.CLOSURE), jobs=3)
+        assert file_store.digest() == serial_store.digest()
+
+
 class TestGovernance:
     def test_max_rounds_partial(self):
         text = "E(x, y) & E(y, z) -> E(x, z)"

@@ -1,10 +1,11 @@
-"""Conformance suite: both InstanceStore backends, same semantics.
+"""Conformance suite: every InstanceStore backend, same semantics.
 
 Every test runs against :class:`MemoryStore`, an in-memory
-:class:`SqliteStore`, and an on-disk :class:`SqliteStore` — the
-behaviors the matching layer, the chases, and the ``Instance`` facade
-rely on (insertion/dedup, candidate lookup, digesting, freezing) must
-be indistinguishable across them.
+:class:`SqliteStore`, an on-disk :class:`SqliteStore`, and — when the
+optional wheel is installed — in-memory and on-disk
+:class:`DuckDbStore` — the behaviors the matching layer, the chases,
+and the ``Instance`` facade rely on (insertion/dedup, candidate
+lookup, digesting, freezing) must be indistinguishable across them.
 """
 
 import itertools
@@ -14,10 +15,12 @@ import pytest
 from repro.facts import digest_facts
 from repro.instance import Fact, Instance, fact
 from repro.store import (
+    DuckDbStore,
     InstanceStore,
     MemoryStore,
     SqliteStore,
     StoreError,
+    duckdb_available,
     open_store,
 )
 from repro.store.sqlite import decode_value, encode_value
@@ -25,8 +28,20 @@ from repro.terms import Const, Null
 
 _counter = itertools.count()
 
+needs_duckdb = pytest.mark.skipif(
+    not duckdb_available(), reason="duckdb wheel not installed"
+)
 
-@pytest.fixture(params=["memory", "sqlite", "sqlite-file"])
+BACKENDS = [
+    "memory",
+    "sqlite",
+    "sqlite-file",
+    pytest.param("duckdb", marks=needs_duckdb),
+    pytest.param("duckdb-file", marks=needs_duckdb),
+]
+
+
+@pytest.fixture(params=BACKENDS)
 def make_store(request, tmp_path):
     """A zero-argument factory for a fresh store of the current backend."""
 
@@ -35,7 +50,11 @@ def make_store(request, tmp_path):
             return MemoryStore()
         if request.param == "sqlite":
             return SqliteStore(":memory:")
-        return SqliteStore(str(tmp_path / f"store{next(_counter)}.db"))
+        if request.param == "sqlite-file":
+            return SqliteStore(str(tmp_path / f"store{next(_counter)}.db"))
+        if request.param == "duckdb":
+            return DuckDbStore(":memory:")
+        return DuckDbStore(str(tmp_path / f"store{next(_counter)}.duckdb"))
 
     return build
 
@@ -264,6 +283,97 @@ class TestSqliteSpecifics:
         fresh.close()
 
 
+class TestDuckDbSpecifics:
+    @pytest.mark.skipif(
+        duckdb_available(), reason="duckdb wheel installed"
+    )
+    def test_missing_wheel_raises_store_error(self):
+        with pytest.raises(StoreError, match="duckdb"):
+            DuckDbStore(":memory:")
+        with pytest.raises(StoreError, match="duckdb"):
+            open_store("duckdb")
+
+    @needs_duckdb
+    def test_quoted_relation_names_are_data(self):
+        store = DuckDbStore(":memory:")
+        store.add(fact("P'", "a"))
+        store.add(fact('R"; DROP TABLE _catalog; --', "b"))
+        assert set(store.relation_names()) == {
+            "P'",
+            'R"; DROP TABLE _catalog; --',
+        }
+        assert set(store.tuples("P'")) == {(Const("a"),)}
+
+    @needs_duckdb
+    def test_arity_clash_raises(self):
+        store = DuckDbStore(":memory:")
+        store.add(fact("P", "a"))
+        with pytest.raises(StoreError):
+            store.add(fact("P", "a", "b"))
+
+    @needs_duckdb
+    def test_persistence_across_connections(self, tmp_path):
+        path = str(tmp_path / "persist.duckdb")
+        store = DuckDbStore(path)
+        store.add_all(FACTS)
+        store.close()
+        reopened = DuckDbStore(path)
+        assert reopened.fact_set() == frozenset(FACTS)
+        assert reopened.digest() == digest_facts(FACTS)
+        reopened.close()
+
+    @needs_duckdb
+    def test_fresh_drops_prior_contents(self, tmp_path):
+        path = str(tmp_path / "fresh.duckdb")
+        store = DuckDbStore(path)
+        store.add_all(FACTS)
+        store.close()
+        fresh = DuckDbStore(path, fresh=True)
+        assert len(fresh) == 0
+        fresh.close()
+
+    @needs_duckdb
+    def test_digest_matches_sqlite(self):
+        duck, lite = DuckDbStore(":memory:"), SqliteStore(":memory:")
+        duck.add_all(FACTS)
+        lite.add_all(FACTS)
+        assert duck.digest() == lite.digest()
+
+
+class TestReaderConnections:
+    def test_sqlite_memory_reader_sees_data(self):
+        store = SqliteStore(":memory:")
+        store.add_all(FACTS)
+        reader = store.reader_connection()
+        if reader is None:  # shared-cache compiled out: serial fallback
+            return
+        tbl, _ = store.table_for("P")
+        (n,) = reader.execute(f"SELECT COUNT(*) FROM {tbl}").fetchone()
+        assert n == 3
+        store.close_reader(reader)
+
+    def test_sqlite_file_reader_sees_data(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "r.db"))
+        store.add_all(FACTS)
+        reader = store.reader_connection()
+        assert reader is not None
+        tbl, _ = store.table_for("Q")
+        (n,) = reader.execute(f"SELECT COUNT(*) FROM {tbl}").fetchone()
+        assert n == 1
+        store.close_reader(reader)
+
+    @needs_duckdb
+    def test_duckdb_reader_sees_data(self):
+        store = DuckDbStore(":memory:")
+        store.add_all(FACTS)
+        reader = store.reader_connection()
+        assert reader is not None
+        tbl, _ = store.table_for("P")
+        (n,) = reader.execute(f"SELECT COUNT(*) FROM {tbl}").fetchone()
+        assert n == 3
+        store.close_reader(reader)
+
+
 class TestOpenStore:
     def test_specs(self, tmp_path):
         assert isinstance(open_store("memory"), MemoryStore)
@@ -271,6 +381,14 @@ class TestOpenStore:
         assert isinstance(open_store("sqlite:"), SqliteStore)
         on_disk = open_store(f"sqlite:{tmp_path / 'x.db'}")
         assert isinstance(on_disk, SqliteStore)
+        on_disk.close()
+
+    @needs_duckdb
+    def test_duckdb_specs(self, tmp_path):
+        assert isinstance(open_store("duckdb"), DuckDbStore)
+        assert isinstance(open_store("duckdb:"), DuckDbStore)
+        on_disk = open_store(f"duckdb:{tmp_path / 'x.duckdb'}")
+        assert isinstance(on_disk, DuckDbStore)
         on_disk.close()
 
     def test_unknown_spec(self):

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Markdown link checker for the docs tree (stdlib-only).
+"""Markdown link and code-reference checker for the docs tree (stdlib-only).
 
 Validates every inline ``[text](target)`` link in the given markdown
 files:
@@ -11,6 +11,13 @@ files:
   (lowercase, spaces to hyphens, punctuation stripped);
 * ``http(s)://`` and ``mailto:`` targets are skipped — CI must not
   depend on the network.
+
+It also validates ``path:symbol``-style **code references** written in
+inline code spans, e.g. ```` `src/repro/store/sqlplan.py:sql_chase` ````:
+the path part must resolve to a real file (relative to the markdown
+file's directory or to the repository root), and for Python targets
+the symbol part must be *defined* in that file (a ``def``, ``class``,
+or module-level assignment of the symbol's leading dotted component).
 
 Usage::
 
@@ -32,6 +39,14 @@ _LINK = re.compile(r"\[(?:[^\]\[]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)"
 _HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 _CODE_FENCE = re.compile(r"^(```|~~~)")
 _SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+#: A ``path:symbol`` code reference inside an inline code span:
+#: a relative file path with an extension, a colon, and a dotted
+#: Python-identifier chain.  Line numbers (``file.py:123``) are not
+#: references and do not match.
+_CODE_REF = re.compile(
+    r"`([\w][\w./\-]*\.[A-Za-z]{1,4}):([A-Za-z_][\w]*(?:\.[A-Za-z_][\w]*)*)`"
+)
 
 
 def github_slug(heading: str) -> str:
@@ -82,6 +97,86 @@ def iter_links(path: Path) -> List[str]:
     return targets
 
 
+#: Repository root — code-reference paths also resolve from here, so
+#: docs one level down can say ``src/repro/...`` without ``../``.
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def iter_code_refs(path: Path) -> List[tuple]:
+    """Every ``(path, symbol)`` code reference in *path*, fences excluded."""
+    refs: List[tuple] = []
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        refs.extend(
+            (match.group(1), match.group(2))
+            for match in _CODE_REF.finditer(line)
+        )
+    return refs
+
+
+def collect_symbols(path: Path) -> Set[str]:
+    """Names defined in a Python file: defs, classes, assigned names.
+
+    Walks the whole AST, so methods and class attributes count too.
+    Returns ``None``-equivalent empty set plus a wildcard on syntax
+    errors — an unparseable target should not fail the docs build.
+    """
+    import ast
+
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError:
+        return {"*"}
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            names.update(
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            )
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def check_code_refs(path: Path, symbol_cache: Dict[Path, Set[str]]) -> List[str]:
+    """All broken code-reference complaints for one markdown file."""
+    problems: List[str] = []
+    for ref_path, symbol in iter_code_refs(path):
+        resolved = None
+        for base in (path.parent, _REPO_ROOT):
+            candidate = (base / ref_path).resolve()
+            if candidate.is_file():
+                resolved = candidate
+                break
+        if resolved is None:
+            problems.append(
+                f"{path}: code reference {ref_path}:{symbol} — no such file"
+            )
+            continue
+        if resolved.suffix != ".py":
+            continue  # symbol checks only make sense for Python targets
+        if resolved not in symbol_cache:
+            symbol_cache[resolved] = collect_symbols(resolved)
+        defined = symbol_cache[resolved]
+        if "*" in defined:
+            continue
+        missing = [part for part in symbol.split(".") if part not in defined]
+        if missing:
+            problems.append(
+                f"{path}: code reference {ref_path}:{symbol} — "
+                f"{missing[0]!r} not defined in {ref_path}"
+            )
+    return problems
+
+
 def check_file(path: Path, anchor_cache: Dict[Path, Set[str]]) -> List[str]:
     """All broken-link complaints for one markdown file."""
     problems: List[str] = []
@@ -119,17 +214,20 @@ def main(argv: List[str] | None = None) -> int:
             print(f"error: no such file {path}", file=sys.stderr)
         return 2
     anchor_cache: Dict[Path, Set[str]] = {}
+    symbol_cache: Dict[Path, Set[str]] = {}
     problems: List[str] = []
-    checked = 0
+    checked = refs = 0
     for path in files:
         links = iter_links(path)
         checked += len(links)
+        refs += len(iter_code_refs(path))
         problems.extend(check_file(path, anchor_cache))
+        problems.extend(check_code_refs(path, symbol_cache))
     for problem in problems:
         print(problem, file=sys.stderr)
     print(
-        f"{len(files)} files, {checked} links checked, "
-        f"{len(problems)} broken"
+        f"{len(files)} files, {checked} links and {refs} code references "
+        f"checked, {len(problems)} broken"
     )
     return 1 if problems else 0
 
